@@ -1,0 +1,74 @@
+//! Benchmarks of the paper's measurement and inference machinery:
+//! leakage metrics, identifiability, FD closure/minimal cover.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mp_core::{categorical_matches, identifiable_tuples, mse, tuple_matches};
+use mp_datasets::{all_classes_spec, echocardiogram};
+use mp_metadata::{AttrSet, Fd, FdSet};
+use std::hint::black_box;
+
+fn bench_leakage_measurement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("leakage_measurement");
+    for rows in [1_000usize, 20_000] {
+        let a = all_classes_spec(rows, 1).generate().unwrap().relation;
+        let b = all_classes_spec(rows, 2).generate().unwrap().relation;
+        group.bench_function(BenchmarkId::new("categorical_matches", rows), |bench| {
+            bench.iter(|| categorical_matches(black_box(&a), black_box(&b), 0).unwrap())
+        });
+        group.bench_function(BenchmarkId::new("mse", rows), |bench| {
+            bench.iter(|| mse(black_box(&a), black_box(&b), 2).unwrap())
+        });
+        group.bench_function(BenchmarkId::new("tuple_matches", rows), |bench| {
+            bench.iter(|| {
+                tuple_matches(black_box(&a), black_box(&b), &[0, 1, 2], 1.0).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_identifiability(c: &mut Criterion) {
+    let rel = echocardiogram();
+    let mut group = c.benchmark_group("identifiability");
+    for size in [1usize, 2] {
+        group.bench_function(BenchmarkId::from_parameter(size), |b| {
+            b.iter(|| identifiable_tuples(black_box(&rel), size).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_fd_inference(c: &mut Criterion) {
+    // A chain + diamond FD set over 16 attributes.
+    let mut fds = Vec::new();
+    for i in 0..15usize {
+        fds.push(Fd::new(i, i + 1));
+    }
+    fds.push(Fd::new(vec![0, 8], 15));
+    fds.push(Fd::new(vec![3, 7], 12));
+    let set = FdSet::from_fds(16, fds);
+
+    let mut group = c.benchmark_group("fd_inference");
+    group.bench_function("closure", |b| {
+        b.iter(|| set.closure(black_box(&AttrSet::single(0))))
+    });
+    group.bench_function("minimal_cover", |b| {
+        b.iter(|| black_box(&set).minimal_cover())
+    });
+    group.bench_function("candidate_keys", |b| {
+        b.iter(|| black_box(&set).candidate_keys())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    // Keep full-workspace bench runs fast: fewer samples and short
+    // measurement windows; pass Criterion CLI flags to override.
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(700));
+    targets = bench_leakage_measurement, bench_identifiability, bench_fd_inference
+);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Discovery benchmarks and the DESIGN.md §6 ablations:
+//! * TANE (stripped-partition) vs the naive exhaustive FD checker;
+//! * PLI-based `g3` vs the naive pairwise `g3`;
+//! * scaling of every RFD discovery pass with row count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mp_datasets::all_classes_spec;
+use mp_discovery::{
+    discover_dds, discover_fds, discover_fds_naive, discover_nds, discover_ods, discover_ofds,
+    DdConfig, NdConfig, OdConfig, TaneConfig,
+};
+use mp_metadata::Fd;
+use mp_relation::{Pli, Relation, Value};
+use std::hint::black_box;
+
+fn relation(rows: usize) -> Relation {
+    all_classes_spec(rows, 7).generate().expect("generation").relation
+}
+
+/// Reference `g3`: count violating tuples by comparing all pairs within
+/// sorted groups — the quadratic method TANE's PLIs replace.
+fn naive_g3(relation: &Relation, lhs: usize, rhs: usize) -> usize {
+    let xs = relation.column(lhs).unwrap();
+    let ys = relation.column(rhs).unwrap();
+    let mut idx: Vec<usize> = (0..relation.n_rows()).collect();
+    idx.sort_by(|&a, &b| xs[a].cmp(&xs[b]));
+    let mut total = 0;
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j < idx.len() && xs[idx[j]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Plurality of Y within the group.
+        let mut group: Vec<&Value> = idx[i..j].iter().map(|&r| &ys[r]).collect();
+        group.sort();
+        let mut best = 0;
+        let mut k = 0;
+        while k < group.len() {
+            let mut l = k;
+            while l < group.len() && group[l] == group[k] {
+                l += 1;
+            }
+            best = best.max(l - k);
+            k = l;
+        }
+        total += (j - i) - best;
+        i = j;
+    }
+    total
+}
+
+fn bench_tane_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fd_naive_vs_tane");
+    for rows in [100usize, 400] {
+        let rel = relation(rows);
+        group.bench_with_input(BenchmarkId::new("tane_depth2", rows), &rel, |b, rel| {
+            b.iter(|| {
+                discover_fds(black_box(rel), &TaneConfig { max_lhs: 2, g3_threshold: 0.0 })
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive_depth2", rows), &rel, |b, rel| {
+            b.iter(|| discover_fds_naive(black_box(rel), 2).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_g3_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("g3_methods");
+    for rows in [200usize, 2000] {
+        let rel = relation(rows);
+        group.bench_with_input(BenchmarkId::new("pli", rows), &rel, |b, rel| {
+            b.iter(|| {
+                Fd::new(0usize, 5).g3_error(black_box(rel)).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive_sorted", rows), &rel, |b, rel| {
+            b.iter(|| naive_g3(black_box(rel), 0, 5))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rfd_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rfd_discovery_scaling");
+    for rows in [100usize, 500, 2000] {
+        let rel = relation(rows);
+        group.bench_with_input(BenchmarkId::new("ods", rows), &rel, |b, rel| {
+            b.iter(|| discover_ods(black_box(rel), &OdConfig::default()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("nds", rows), &rel, |b, rel| {
+            b.iter(|| discover_nds(black_box(rel), &NdConfig::default()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("dds", rows), &rel, |b, rel| {
+            b.iter(|| discover_dds(black_box(rel), &DdConfig::default()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("ofds", rows), &rel, |b, rel| {
+            b.iter(|| discover_ofds(black_box(rel), true).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_pli_intersection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pli_intersection");
+    for rows in [1_000usize, 10_000] {
+        let rel = relation(rows);
+        let a = Pli::from_column(rel.column(0).unwrap());
+        let b = Pli::from_column(rel.column(4).unwrap());
+        group.bench_function(BenchmarkId::from_parameter(rows), |bencher| {
+            bencher.iter(|| black_box(&a).intersect(black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    // Keep full-workspace bench runs fast: fewer samples and short
+    // measurement windows; pass Criterion CLI flags to override.
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(700));
+    targets = bench_tane_vs_naive,
+    bench_g3_methods,
+    bench_rfd_scaling,
+    bench_pli_intersection
+
+);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Adversary-generation benchmarks, including the DESIGN.md §6 ablation:
+//! graph-driven (topological) generation vs independent per-attribute
+//! generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mp_datasets::{echocardiogram, verified_dependencies};
+use mp_metadata::{MetadataPackage, OrderDirection};
+use mp_relation::{Domain, Value};
+use mp_synth::{Adversary, SynthConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_per_generator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generator_throughput");
+    let n = 10_000usize;
+    let dom_cat = Domain::categorical((0i64..32).collect::<Vec<_>>());
+    let dom_cont = Domain::continuous(0.0, 100.0);
+    let lhs: Vec<Value> = (0..n).map(|i| Value::Int((i % 40) as i64)).collect();
+
+    group.bench_function(BenchmarkId::new("uniform", n), |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            mp_synth::sample_column(black_box(&dom_cat), n, &mut rng)
+        })
+    });
+    group.bench_function(BenchmarkId::new("fd", n), |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            mp_synth::generate_fd_column(&[black_box(&lhs)], &dom_cat, n, &mut rng)
+        })
+    });
+    group.bench_function(BenchmarkId::new("afd", n), |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            mp_synth::generate_afd_column(&[black_box(&lhs)], &dom_cat, 0.1, n, &mut rng)
+        })
+    });
+    group.bench_function(BenchmarkId::new("nd", n), |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            mp_synth::generate_nd_column(black_box(&lhs), &dom_cat, 4, n, &mut rng)
+        })
+    });
+    group.bench_function(BenchmarkId::new("od", n), |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            mp_synth::generate_od_column(
+                black_box(&lhs),
+                &dom_cont,
+                OrderDirection::Ascending,
+                n,
+                &mut rng,
+            )
+        })
+    });
+    group.bench_function(BenchmarkId::new("dd", n), |b| {
+        let xs: Vec<Value> = (0..n).map(|i| Value::Float(i as f64 * 0.01)).collect();
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            mp_synth::generate_dd_column(black_box(&xs), &dom_cont, 0.5, 1.0, n, &mut rng)
+        })
+    });
+    group.bench_function(BenchmarkId::new("ofd", n), |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            mp_synth::generate_ofd_column(black_box(&lhs), &dom_cat, n, &mut rng)
+        })
+    });
+    group.bench_function(BenchmarkId::new("sd", n), |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            mp_synth::generate_sd_column(black_box(&lhs), &dom_cont, 0.1, 0.5, n, &mut rng)
+        })
+    });
+    group.bench_function(BenchmarkId::new("cfd", n), |b| {
+        let cfd = mp_metadata::ConditionalFd::constant(0, 3i64, 1, 7i64);
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            mp_synth::generate_cfd_column(&cfd, &[black_box(&lhs)], &dom_cat, n, &mut rng)
+        })
+    });
+    group.bench_function(BenchmarkId::new("distribution", n), |b| {
+        let dist = mp_metadata::Distribution::Categorical(
+            (0..16i64).map(|i| (mp_relation::Value::Int(i), 1.0 / 16.0)).collect(),
+        );
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            mp_synth::sample_column_from_distribution(black_box(&dist), n, &mut rng)
+        })
+    });
+    group.finish();
+}
+
+fn bench_graph_vs_independent(c: &mut Criterion) {
+    let real = echocardiogram();
+    let pkg = MetadataPackage::describe("h", &real, verified_dependencies()).unwrap();
+    let adversary = Adversary::new(pkg);
+    let mut group = c.benchmark_group("graph_vs_independent");
+    for n in [132usize, 4096] {
+        group.bench_function(BenchmarkId::new("graph_driven", n), |b| {
+            b.iter(|| {
+                adversary
+                    .synthesize(black_box(&SynthConfig::with_dependencies(n, 3)))
+                    .unwrap()
+            })
+        });
+        group.bench_function(BenchmarkId::new("independent", n), |b| {
+            b.iter(|| {
+                adversary
+                    .synthesize(black_box(&SynthConfig::random_baseline(n, 3)))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    // Keep full-workspace bench runs fast: fewer samples and short
+    // measurement windows; pass Criterion CLI flags to override.
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(700));
+    targets = bench_per_generator, bench_graph_vs_independent
+);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! One-call privacy audit of the evaluation dataset (the consolidated
+//! PrivacyAudit API over echocardiogram with its discovered dependencies).
+use mp_core::{AuditConfig, PrivacyAudit};
+use mp_discovery::{DependencyProfile, ProfileConfig};
+
+fn main() {
+    let rel = mp_datasets::echocardiogram();
+    let profile =
+        DependencyProfile::discover(&rel, &ProfileConfig::paper()).expect("profiling");
+    let audit = PrivacyAudit::run(&rel, profile.to_dependencies(), &AuditConfig::default())
+        .expect("audit");
+    print!("{}", audit.render(&rel));
+}

@@ -1,0 +1,4 @@
+//! Dependency-discovery profile of the evaluation dataset.
+fn main() {
+    print!("{}", mp_bench::reports::discovery_report());
+}

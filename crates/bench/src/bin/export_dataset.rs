@@ -1,0 +1,18 @@
+//! Writes the reconstructed datasets as CSV files (for the `mpriv` CLI and
+//! external tooling): `echocardiogram.csv` and `employee.csv` into the
+//! directory given as the first argument (default `data/`).
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| "data".to_owned());
+    std::fs::create_dir_all(&dir).expect("create output directory");
+    let echo = mp_datasets::echocardiogram();
+    let employee = mp_datasets::employee();
+    mp_relation::csv::write_path(&echo, format!("{dir}/echocardiogram.csv"))
+        .expect("write echocardiogram");
+    mp_relation::csv::write_path(&employee, format!("{dir}/employee.csv"))
+        .expect("write employee");
+    println!(
+        "wrote {dir}/echocardiogram.csv ({} rows) and {dir}/employee.csv ({} rows)",
+        echo.n_rows(),
+        employee.n_rows()
+    );
+}

@@ -1,0 +1,4 @@
+//! A11 (extension): HFL vs VFL alignment contrast.
+fn main() {
+    print!("{}", mp_bench::reports::hfl_report());
+}

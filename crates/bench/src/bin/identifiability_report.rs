@@ -1,0 +1,4 @@
+//! A8 (§II, Definition 2.1): identifiability report.
+fn main() {
+    print!("{}", mp_bench::reports::identifiability_report());
+}

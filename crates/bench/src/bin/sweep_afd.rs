@@ -1,0 +1,4 @@
+//! A3 (§IV-A): AFD g3-budget sweep.
+fn main() {
+    print!("{}", mp_bench::sweeps::sweep_afd(1000, 200));
+}

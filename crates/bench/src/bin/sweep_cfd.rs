@@ -1,0 +1,4 @@
+//! A9 (extension): constant-CFD support sweep.
+fn main() {
+    print!("{}", mp_bench::sweeps::sweep_cfd(1000, 200));
+}

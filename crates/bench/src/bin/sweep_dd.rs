@@ -1,0 +1,4 @@
+//! A6 (§IV-D): differential-dependency ε sweep.
+fn main() {
+    print!("{}", mp_bench::sweeps::sweep_dd(1000, 200));
+}

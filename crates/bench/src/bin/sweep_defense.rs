@@ -1,0 +1,4 @@
+//! A10 (extension): domain-generalization defense sweep.
+fn main() {
+    print!("{}", mp_bench::sweeps::sweep_defense(1000, 200));
+}

@@ -1,0 +1,4 @@
+//! A12 (extension): distribution-sharing leakage sweep.
+fn main() {
+    print!("{}", mp_bench::sweeps::sweep_distribution(1000, 200));
+}

@@ -1,0 +1,4 @@
+//! A2 (§III-B): FD-driven vs random generation sweep.
+fn main() {
+    print!("{}", mp_bench::sweeps::sweep_fd(1000, 200));
+}

@@ -1,0 +1,4 @@
+//! A4 (§IV-B): numerical-dependency K sweep.
+fn main() {
+    print!("{}", mp_bench::sweeps::sweep_nd(1000, 200));
+}

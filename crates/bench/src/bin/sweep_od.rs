@@ -1,0 +1,4 @@
+//! A5 (§IV-C): order-dependency interval-overlap sweep.
+fn main() {
+    print!("{}", mp_bench::sweeps::sweep_od(2000));
+}

@@ -1,0 +1,4 @@
+//! A7 (§IV-E): ordered-FD random-walk sweep.
+fn main() {
+    print!("{}", mp_bench::sweeps::sweep_ofd(400));
+}

@@ -1,0 +1,4 @@
+//! A1 (§III-A): random-generation leakage sweep.
+fn main() {
+    print!("{}", mp_bench::sweeps::sweep_random(1000, 200));
+}

@@ -1,0 +1,134 @@
+//! Additional reproduction reports: identifiability (Definition 2.1 /
+//! experiment A8) and the dependency-discovery profile of the evaluation
+//! dataset.
+
+use mp_core::{categorical_matches, identifiability_rate, uniqueness_profile, ExperimentConfig, TextTable};
+use mp_datasets::{echocardiogram, employee};
+use mp_discovery::{DependencyProfile, ProfileConfig};
+use mp_federated::{horizontal_split, permutation_baseline};
+use mp_metadata::MetadataPackage;
+use mp_synth::{Adversary, SynthConfig};
+
+/// A8: identifiability report over both datasets.
+pub fn identifiability_report() -> String {
+    let mut out = String::from("A8 §II Definition 2.1 — identifiability\n\n");
+    for (name, rel) in [("employee (Table II)", employee()), ("echocardiogram", echocardiogram())]
+    {
+        out.push_str(&format!("{name} ({} rows):\n", rel.n_rows()));
+        let mut t = TextTable::new(vec![
+            "subset size ≤".into(),
+            "identifiable tuples".into(),
+        ]);
+        for size in 1..=3 {
+            let rate = identifiability_rate(&rel, size).expect("rate");
+            t.push_row(vec![size.to_string(), format!("{:.1}%", rate * 100.0)]);
+        }
+        out.push_str(&t.render());
+        let unique = uniqueness_profile(&rel).expect("profile");
+        out.push_str(&format!("tuples unique per single attribute: {unique:?}\n\n"));
+    }
+    out.push_str(
+        "Reading: near-total identifiability is what makes the index-aligned\n\
+         leakage definitions (2.2/2.3) the right granularity for VFL.\n",
+    );
+    out
+}
+
+/// Discovery profile of the echocardiogram reconstruction with the
+/// paper's pairwise configuration.
+pub fn discovery_report() -> String {
+    let rel = echocardiogram();
+    let profile =
+        DependencyProfile::discover(&rel, &ProfileConfig::paper()).expect("profiling");
+    let mut out = format!(
+        "Dependency profile of echocardiogram ({} rows × {} attrs), pairwise config\n\n",
+        rel.n_rows(),
+        rel.arity()
+    );
+    out.push_str(&format!(
+        "counts: {} FDs, {} AFDs, {} ODs, {} NDs, {} DDs, {} OFDs, {} CFDs, {} MFDs\n\n",
+        profile.fds.len(),
+        profile.afds.len(),
+        profile.ods.len(),
+        profile.nds.len(),
+        profile.dds.len(),
+        profile.ofds.len(),
+        profile.cfds.len(),
+        profile.mfds.len()
+    ));
+    for dep in profile.to_dependencies() {
+        out.push_str(&format!("  {dep}\n"));
+    }
+    for mfd in &profile.mfds {
+        out.push_str(&format!("  {mfd}\n"));
+    }
+    out
+}
+
+
+/// A11 (extension, paper §I): HFL vs VFL alignment contrast — without PSI,
+/// index-aligned matching carries no more signal than random permutation,
+/// which is why the paper's leakage definitions are VFL-specific.
+pub fn hfl_report() -> String {
+    let real = echocardiogram();
+    let parts = horizontal_split(&real, 2).expect("split");
+    let (mine, theirs) = (&parts[0], &parts[1]);
+    let pkg = MetadataPackage::describe("me", mine, vec![]).expect("describe");
+    let adversary = Adversary::new(pkg);
+    let syn = adversary
+        .synthesize(&SynthConfig::random_baseline(theirs.n_rows(), 17))
+        .expect("synthesize");
+    let config = ExperimentConfig { rounds: 200, base_seed: 5, epsilon: 0.0 };
+
+    let mut t = TextTable::new(vec![
+        "attr".into(),
+        "index-aligned matches".into(),
+        "permutation baseline".into(),
+    ]);
+    for &attr in &mp_datasets::CATEGORICAL_ATTRS {
+        let aligned = categorical_matches(theirs, &syn, attr).expect("matches") as f64;
+        let baseline =
+            permutation_baseline(theirs, &syn, attr, &config).expect("baseline");
+        t.push_row(vec![
+            attr.to_string(),
+            format!("{aligned:.1}"),
+            format!("{baseline:.2}"),
+        ]);
+    }
+    format!(
+        "A11 extension: HFL alignment contrast (two horizontal halves of \
+         echocardiogram; adversary knows the shared schema + its own slice's \
+         domains)\n{}\nWithout a PSI-fixed tuple index the aligned count is \
+         statistically the permutation baseline — the reason the paper's \
+         definitions target VFL.\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identifiability_report_renders() {
+        let r = identifiability_report();
+        assert!(r.contains("employee"));
+        assert!(r.contains("echocardiogram"));
+        assert!(r.contains("100.0%"));
+    }
+
+    #[test]
+    fn hfl_report_renders() {
+        let r = hfl_report();
+        assert!(r.contains("permutation"));
+        assert!(r.lines().count() > 6);
+    }
+
+    #[test]
+    fn discovery_report_lists_planted_classes() {
+        let r = discovery_report();
+        assert!(r.contains("FD "));
+        assert!(r.contains("OD "));
+        assert!(r.contains("ND "));
+    }
+}

@@ -1,0 +1,134 @@
+//! Minimal argument parsing (kept dependency-free by design).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand, positional arguments, and
+/// `--key value` / `--flag` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedArgs {
+    /// The subcommand (first non-flag argument).
+    pub command: String,
+    /// Positional arguments after the subcommand.
+    pub positionals: Vec<String>,
+    /// `--key value` options (flags map to `"true"`).
+    pub options: HashMap<String, String>,
+}
+
+/// Parses `argv[1..]`. Options may appear anywhere after the subcommand;
+/// an option followed by another option (or nothing) is a boolean flag.
+pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
+    let mut iter = args.iter().peekable();
+    let command = iter.next().cloned().ok_or("missing subcommand")?;
+    if command.starts_with("--") {
+        return Err(format!("expected a subcommand, got option `{command}`"));
+    }
+    let mut positionals = Vec::new();
+    let mut options = HashMap::new();
+    while let Some(arg) = iter.next() {
+        if let Some(key) = arg.strip_prefix("--") {
+            let takes_value =
+                iter.peek().map(|n| !n.starts_with("--")).unwrap_or(false);
+            if takes_value {
+                options.insert(key.to_owned(), iter.next().unwrap().clone());
+            } else {
+                options.insert(key.to_owned(), "true".to_owned());
+            }
+        } else {
+            positionals.push(arg.clone());
+        }
+    }
+    Ok(ParsedArgs { command, positionals, options })
+}
+
+impl ParsedArgs {
+    /// An option parsed as `T`, with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("invalid value `{raw}` for --{key}")),
+        }
+    }
+
+    /// A required positional argument.
+    pub fn positional(&self, index: usize, name: &str) -> Result<&str, String> {
+        self.positionals
+            .get(index)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing <{name}> argument"))
+    }
+
+    /// A comma-separated `usize` list option.
+    pub fn usize_list(&self, key: &str) -> Result<Vec<usize>, String> {
+        match self.options.get(key) {
+            None => Ok(Vec::new()),
+            Some(raw) => raw
+                .split(',')
+                .map(|p| {
+                    p.trim()
+                        .parse()
+                        .map_err(|_| format!("invalid index `{p}` in --{key}"))
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_subcommand_positionals_and_options() {
+        let p = parse(&argv(&["audit", "data.csv", "--rounds", "50", "--verbose"]))
+            .unwrap();
+        assert_eq!(p.command, "audit");
+        assert_eq!(p.positionals, vec!["data.csv"]);
+        assert_eq!(p.options["rounds"], "50");
+        assert_eq!(p.options["verbose"], "true");
+    }
+
+    #[test]
+    fn missing_subcommand_errors() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&argv(&["--oops"])).is_err());
+    }
+
+    #[test]
+    fn typed_option_access() {
+        let p = parse(&argv(&["x", "--rounds", "50"])).unwrap();
+        assert_eq!(p.get_or("rounds", 10usize).unwrap(), 50);
+        assert_eq!(p.get_or("epsilon", 1.5f64).unwrap(), 1.5);
+        assert!(p.get_or::<usize>("rounds", 0).is_ok());
+        let bad = parse(&argv(&["x", "--rounds", "abc"])).unwrap();
+        assert!(bad.get_or::<usize>("rounds", 0).is_err());
+    }
+
+    #[test]
+    fn positional_access() {
+        let p = parse(&argv(&["audit", "a.csv"])).unwrap();
+        assert_eq!(p.positional(0, "file").unwrap(), "a.csv");
+        assert!(p.positional(1, "other").is_err());
+    }
+
+    #[test]
+    fn usize_lists() {
+        let p = parse(&argv(&["x", "--qi", "0, 2,5"])).unwrap();
+        assert_eq!(p.usize_list("qi").unwrap(), vec![0, 2, 5]);
+        assert!(p.usize_list("missing").unwrap().is_empty());
+        let bad = parse(&argv(&["x", "--qi", "a,b"])).unwrap();
+        assert!(bad.usize_list("qi").is_err());
+    }
+
+    #[test]
+    fn flag_before_value_option() {
+        let p = parse(&argv(&["x", "--dry-run", "--k", "4"])).unwrap();
+        assert_eq!(p.options["dry-run"], "true");
+        assert_eq!(p.options["k"], "4");
+    }
+}

@@ -1,0 +1,78 @@
+//! `mpriv` — command-line metadata-privacy auditor.
+//!
+//! See `mpriv --help` (or [`commands::help`]) for usage. All heavy lifting
+//! lives in the workspace libraries; this binary only parses arguments,
+//! loads CSVs and prints reports.
+
+mod args;
+mod commands;
+
+use mp_relation::csv;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("mpriv: {msg}");
+            eprintln!("run `mpriv help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<String, String> {
+    if argv.is_empty() || argv[0] == "help" || argv[0] == "--help" {
+        return Ok(commands::help());
+    }
+    let parsed = args::parse(argv)?;
+    match parsed.command.as_str() {
+        "profile" => {
+            let rel = load(parsed.positional(0, "csv")?)?;
+            commands::profile(&rel)
+        }
+        "audit" => {
+            let rel = load(parsed.positional(0, "csv")?)?;
+            let policy = commands::policy_by_name(
+                &parsed.get_or("policy", "domains".to_owned())?,
+            )?;
+            let rounds = parsed.get_or("rounds", 100usize)?;
+            let epsilon = parsed.get_or("epsilon", 0.0f64)?;
+            commands::audit(&rel, policy, rounds, epsilon)
+        }
+        "identifiability" => {
+            let rel = load(parsed.positional(0, "csv")?)?;
+            let max_size = parsed.get_or("max-size", 2usize)?;
+            let qi = parsed.usize_list("qi")?;
+            commands::identifiability(&rel, max_size, &qi)
+        }
+        "compare" => {
+            let rel = load(parsed.positional(0, "csv")?)?;
+            let rounds = parsed.get_or("rounds", 60usize)?;
+            let epsilon = parsed.get_or("epsilon", 0.0f64)?;
+            commands::compare_policies(&rel, rounds, epsilon)
+        }
+        "anonymize" => {
+            let rel = load(parsed.positional(0, "csv")?)?;
+            let qi = parsed.usize_list("qi")?;
+            let k = parsed.get_or("k", 2usize)?;
+            let (report, anon) = commands::anonymize(&rel, &qi, k)?;
+            if let Some(out) = parsed.options.get("out") {
+                csv::write_path(&anon, out).map_err(|e| e.to_string())?;
+                Ok(format!("{report}written to {out}\n"))
+            } else {
+                Ok(format!("{report}{}", csv::write_str(&anon)))
+            }
+        }
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn load(path: &str) -> Result<mp_relation::Relation, String> {
+    csv::read_path(path, &csv::CsvOptions::default())
+        .map_err(|e| format!("cannot read `{path}`: {e}"))
+}

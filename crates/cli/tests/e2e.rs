@@ -1,0 +1,85 @@
+//! End-to-end tests of the `mpriv` binary via `std::process`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn mpriv() -> Command {
+    // Cargo exposes the binary under test via this env var for integration
+    // tests of the same package.
+    Command::new(env!("CARGO_BIN_EXE_mpriv"))
+}
+
+fn demo_csv() -> PathBuf {
+    let dir = std::env::temp_dir().join("mpriv-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("demo.csv");
+    std::fs::write(
+        &path,
+        "name,age,dept\nalice,18,sales\nbob,22,cs\ncarol,22,sales\ndan,26,mgmt\n",
+    )
+    .unwrap();
+    path
+}
+
+#[test]
+fn help_succeeds() {
+    let out = mpriv().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("mpriv"));
+    assert!(text.contains("audit"));
+}
+
+#[test]
+fn profile_runs_on_csv() {
+    let out = mpriv().arg("profile").arg(demo_csv()).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("4 rows"));
+    assert!(text.contains("FD"));
+}
+
+#[test]
+fn audit_with_options() {
+    let out = mpriv()
+        .args(["audit"])
+        .arg(demo_csv())
+        .args(["--policy", "domains", "--rounds", "20", "--epsilon", "1"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("dept"));
+    assert!(text.contains("shares domains: true"));
+}
+
+#[test]
+fn anonymize_writes_output_file() {
+    let out_path = std::env::temp_dir().join("mpriv-e2e").join("anon.csv");
+    let out = mpriv()
+        .arg("anonymize")
+        .arg(demo_csv())
+        .args(["--qi", "1", "--k", "2", "--out"])
+        .arg(&out_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let written = std::fs::read_to_string(&out_path).unwrap();
+    assert!(written.starts_with("name,age,dept"));
+    assert_eq!(written.lines().count(), 5);
+}
+
+#[test]
+fn unknown_subcommand_fails_with_message() {
+    let out = mpriv().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown subcommand"));
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let out = mpriv().args(["profile", "/nonexistent/nope.csv"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}

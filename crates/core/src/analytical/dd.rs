@@ -1,0 +1,133 @@
+//! §IV-D — differential dependencies.
+//!
+//! With continuous attributes a generated value within ε of the real one
+//! already leaks (Definition 2.3), so the determinant cell hits with
+//! probability `2ε_x/range(X)`. The dependent cell's success is the
+//! overlap of the generated and real δ-balls normalised by the range,
+//! giving the paper's product form
+//! `2ε_x · |[y'−ε, y'+ε] ∩ [y−ε, y+ε]| / (range(X)·range(Y))`.
+
+use super::od::interval_overlap;
+
+/// θ for the determinant: `2ε/range`, clamped to [0, 1].
+pub fn theta_ball(eps: f64, range: f64) -> f64 {
+    if range <= 0.0 {
+        return 1.0;
+    }
+    (2.0 * eps / range).clamp(0.0, 1.0)
+}
+
+/// Overlap length of the ε-balls around `y_gen` and `y_real`.
+pub fn ball_overlap(y_gen: f64, y_real: f64, eps: f64) -> f64 {
+    interval_overlap((y_gen - eps, y_gen + eps), (y_real - eps, y_real + eps))
+}
+
+/// The paper's per-tuple success probability for a DD-driven generation:
+/// `2ε_x · overlap / (range(X)·range(Y))` where `overlap` is the ball
+/// overlap on Y.
+pub fn tuple_probability(
+    eps_x: f64,
+    range_x: f64,
+    y_gen: f64,
+    y_real: f64,
+    eps_y: f64,
+    range_y: f64,
+) -> f64 {
+    if range_x <= 0.0 || range_y <= 0.0 {
+        return 0.0;
+    }
+    (2.0 * eps_x / range_x) * (ball_overlap(y_gen, y_real, eps_y) / range_y)
+}
+
+/// Expected matches integrating the ball overlap over a uniformly random
+/// generated value. The overlap of the two ε-balls is
+/// `max(2ε − |y'−y|, 0)`, a triangle of base `4ε` and height `2ε`; its
+/// mean over `y' ∈ [0, range]` (away from the boundary) is the triangle
+/// area over the range, `(2ε)²/range = 4ε²/range`. The expected match
+/// count is then `N · θ_x · E[overlap]/range_y`.
+pub fn expected_matches(n_rows: usize, eps_x: f64, range_x: f64, eps_y: f64, range_y: f64) -> f64 {
+    if range_x <= 0.0 || range_y <= 0.0 {
+        return 0.0;
+    }
+    let mean_overlap = 4.0 * eps_y * eps_y / range_y;
+    n_rows as f64 * theta_ball(eps_x, range_x) * (mean_overlap / range_y).min(1.0)
+}
+
+/// The ε-match expectation under Definition 2.3 for a *free* uniform
+/// generation of Y (the random baseline a DD must be compared against):
+/// `N·2ε/range(Y)`.
+pub fn random_baseline_matches(n_rows: usize, eps_y: f64, range_y: f64) -> f64 {
+    n_rows as f64 * theta_ball(eps_y, range_y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theta_ball_clamps() {
+        assert!((theta_ball(1.0, 10.0) - 0.2).abs() < 1e-12);
+        assert_eq!(theta_ball(100.0, 10.0), 1.0);
+        assert_eq!(theta_ball(1.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn ball_overlap_geometry() {
+        // Identical centres: full 2ε overlap.
+        assert!((ball_overlap(3.0, 3.0, 0.5) - 1.0).abs() < 1e-12);
+        // Centres 2ε apart: tangent, zero overlap.
+        assert_eq!(ball_overlap(0.0, 2.0, 1.0), 0.0);
+        // Partial.
+        assert!((ball_overlap(0.0, 1.0, 1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tuple_probability_product_form() {
+        let p = tuple_probability(1.0, 10.0, 5.0, 5.0, 0.5, 20.0);
+        // θ_x = 0.2; overlap = 1.0; /range_y = 0.05 → 0.01.
+        assert!((p - 0.01).abs() < 1e-12);
+        assert_eq!(tuple_probability(1.0, 0.0, 0.0, 0.0, 1.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn expected_matches_scales_quadratically_in_eps_y() {
+        let a = expected_matches(1000, 1.0, 10.0, 0.5, 50.0);
+        let b = expected_matches(1000, 1.0, 10.0, 1.0, 50.0);
+        assert!((b / a - 4.0).abs() < 1e-9, "doubling ε_y quadruples overlap mass");
+    }
+
+    #[test]
+    fn dd_pair_leaks_less_than_free_generation_pair() {
+        // For the (X, Y) PAIR, the DD-driven expectation N·θx·E[ov]/r is
+        // below the independent-random pair expectation N·θx·θy as soon as
+        // E[overlap]/range < θ_y, i.e. ε_y < range/… — sanity-check the
+        // regime the paper's conclusion covers.
+        let n = 1000;
+        let (ex, rx, ey, ry) = (1.0, 10.0, 0.5, 50.0);
+        let dd = expected_matches(n, ex, rx, ey, ry);
+        let rand_pair =
+            n as f64 * theta_ball(ex, rx) * theta_ball(ey, ry);
+        assert!(dd <= rand_pair + 1e-12);
+    }
+
+    #[test]
+    fn monte_carlo_ball_overlap_mean() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        // E[overlap(y', y)] over uniform y' matches (2ε)²/(2·range) away
+        // from boundaries.
+        let (eps, range) = (2.0, 100.0);
+        let y_real = 50.0;
+        let mut rng = StdRng::seed_from_u64(31);
+        let samples = 200_000;
+        let mean: f64 = (0..samples)
+            .map(|_| ball_overlap(rng.gen_range(0.0..range), y_real, eps))
+            .sum::<f64>()
+            / samples as f64;
+        let analytic = 4.0 * eps * eps / range;
+        assert!(
+            (mean - analytic).abs() < 0.05 * analytic,
+            "mean {mean} vs analytic {analytic}"
+        );
+    }
+}

@@ -1,0 +1,250 @@
+//! Distance metrics for continuous leakage.
+//!
+//! Definition 2.3 is parameterised by "any valid metric (distance)
+//! function d()" — the paper names Euclidean distance as one choice. This
+//! module provides the scalar metrics used for single attributes and the
+//! vector metrics used for multi-attribute tuple distances, and
+//! metric-parameterised variants of the leakage counters.
+
+use mp_relation::{Relation, Result};
+
+/// Distance between two scalar values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarMetric {
+    /// `|x − y|` (1-d Euclidean — the paper's default).
+    Absolute,
+    /// `|x − y| / max(|x|, |y|, 1)` — scale-free; useful when attributes
+    /// span different magnitudes (salaries vs fractions).
+    Relative,
+}
+
+impl ScalarMetric {
+    /// Applies the metric.
+    pub fn distance(&self, x: f64, y: f64) -> f64 {
+        match self {
+            ScalarMetric::Absolute => (x - y).abs(),
+            ScalarMetric::Relative => (x - y).abs() / x.abs().max(y.abs()).max(1.0),
+        }
+    }
+}
+
+/// Distance between two numeric vectors of equal length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VectorMetric {
+    /// `√Σ(xᵢ−yᵢ)²`.
+    Euclidean,
+    /// `Σ|xᵢ−yᵢ|`.
+    Manhattan,
+    /// `max|xᵢ−yᵢ|`.
+    Chebyshev,
+}
+
+impl VectorMetric {
+    /// Applies the metric. Panics if lengths differ.
+    pub fn distance(&self, x: &[f64], y: &[f64]) -> f64 {
+        assert_eq!(x.len(), y.len(), "vector metrics need equal dimensions");
+        match self {
+            VectorMetric::Euclidean => x
+                .iter()
+                .zip(y)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt(),
+            VectorMetric::Manhattan => x.iter().zip(y).map(|(a, b)| (a - b).abs()).sum(),
+            VectorMetric::Chebyshev => x
+                .iter()
+                .zip(y)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max),
+        }
+    }
+}
+
+/// Definition 2.3 with an explicit scalar metric: index-aligned rows where
+/// `d(t_syn[A], t_real[A]) ≤ ε`.
+pub fn continuous_matches_metric(
+    real: &Relation,
+    syn: &Relation,
+    attr: usize,
+    epsilon: f64,
+    metric: ScalarMetric,
+) -> Result<usize> {
+    let a = real.column(attr)?;
+    let b = syn.column(attr)?;
+    Ok(a.iter()
+        .zip(b.iter())
+        .filter(|(x, y)| match (x.as_f64(), y.as_f64()) {
+            (Some(x), Some(y)) => metric.distance(x, y) <= epsilon,
+            _ => false,
+        })
+        .count())
+}
+
+/// Multi-attribute Definition 2.3: rows whose numeric projections onto
+/// `attrs` are within `epsilon` under the vector metric. Rows with any
+/// non-numeric cell on either side never match.
+pub fn tuple_distance_matches(
+    real: &Relation,
+    syn: &Relation,
+    attrs: &[usize],
+    epsilon: f64,
+    metric: VectorMetric,
+) -> Result<usize> {
+    let mut count = 0;
+    'rows: for i in 0..real.n_rows().min(syn.n_rows()) {
+        let mut xs = Vec::with_capacity(attrs.len());
+        let mut ys = Vec::with_capacity(attrs.len());
+        for &a in attrs {
+            match (real.value(i, a)?.as_f64(), syn.value(i, a)?.as_f64()) {
+                (Some(x), Some(y)) => {
+                    xs.push(x);
+                    ys.push(y);
+                }
+                _ => continue 'rows,
+            }
+        }
+        if metric.distance(&xs, &ys) <= epsilon {
+            count += 1;
+        }
+    }
+    Ok(count)
+}
+
+/// Per-row distances under a scalar metric (`None` where non-numeric) —
+/// the raw series behind MSE-style reports.
+pub fn distance_series(
+    real: &Relation,
+    syn: &Relation,
+    attr: usize,
+    metric: ScalarMetric,
+) -> Result<Vec<Option<f64>>> {
+    let a = real.column(attr)?;
+    let b = syn.column(attr)?;
+    Ok(a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| match (x.as_f64(), y.as_f64()) {
+            (Some(x), Some(y)) => Some(metric.distance(x, y)),
+            _ => None,
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_relation::{Attribute, Schema, Value};
+
+    fn pair() -> (Relation, Relation) {
+        let schema = Schema::new(vec![
+            Attribute::continuous("x"),
+            Attribute::continuous("y"),
+        ])
+        .unwrap();
+        let real = Relation::from_rows(
+            schema.clone(),
+            vec![
+                vec![0.0.into(), 0.0.into()],
+                vec![100.0.into(), 3.0.into()],
+                vec![Value::Null, 4.0.into()],
+            ],
+        )
+        .unwrap();
+        let syn = Relation::from_rows(
+            schema,
+            vec![
+                vec![0.5.into(), 0.0.into()],
+                vec![105.0.into(), 7.0.into()],
+                vec![1.0.into(), 4.0.into()],
+            ],
+        )
+        .unwrap();
+        (real, syn)
+    }
+
+    #[test]
+    fn scalar_metrics() {
+        assert_eq!(ScalarMetric::Absolute.distance(3.0, -1.0), 4.0);
+        // Relative: |105−100| / 105.
+        let d = ScalarMetric::Relative.distance(100.0, 105.0);
+        assert!((d - 5.0 / 105.0).abs() < 1e-12);
+        // Relative floors the denominator at 1 near zero.
+        assert_eq!(ScalarMetric::Relative.distance(0.0, 0.5), 0.5);
+    }
+
+    #[test]
+    fn vector_metrics() {
+        let (x, y) = ([0.0, 3.0], [4.0, 0.0]);
+        assert!((VectorMetric::Euclidean.distance(&x, &y) - 5.0).abs() < 1e-12);
+        assert_eq!(VectorMetric::Manhattan.distance(&x, &y), 7.0);
+        assert_eq!(VectorMetric::Chebyshev.distance(&x, &y), 4.0);
+        assert_eq!(VectorMetric::Euclidean.distance(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal dimensions")]
+    fn mismatched_vectors_panic() {
+        VectorMetric::Euclidean.distance(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn absolute_vs_relative_matching() {
+        let (real, syn) = pair();
+        // ε = 1 absolute: row 0 (Δ=0.5) matches; row 1 (Δ=5) does not.
+        assert_eq!(
+            continuous_matches_metric(&real, &syn, 0, 1.0, ScalarMetric::Absolute).unwrap(),
+            1
+        );
+        // ε = 0.06 relative: row 1 (5/105 ≈ 0.048) matches now; row 0
+        // (0.5/1 = 0.5) does not.
+        assert_eq!(
+            continuous_matches_metric(&real, &syn, 0, 0.06, ScalarMetric::Relative).unwrap(),
+            1
+        );
+        // Null row never matches.
+        assert_eq!(
+            continuous_matches_metric(&real, &syn, 0, 1e9, ScalarMetric::Absolute).unwrap(),
+            2
+        );
+    }
+
+    #[test]
+    fn metric_agrees_with_default_definition() {
+        let (real, syn) = pair();
+        let via_metric =
+            continuous_matches_metric(&real, &syn, 1, 3.5, ScalarMetric::Absolute).unwrap();
+        let via_default = crate::leakage::continuous_matches(&real, &syn, 1, 3.5).unwrap();
+        assert_eq!(via_metric, via_default);
+    }
+
+    #[test]
+    fn tuple_distances() {
+        let (real, syn) = pair();
+        // Row 0: (0.5, 0) → L2 = 0.5; row 1: (5, 4) → L2 ≈ 6.4; row 2 has a
+        // null and is skipped.
+        assert_eq!(
+            tuple_distance_matches(&real, &syn, &[0, 1], 1.0, VectorMetric::Euclidean)
+                .unwrap(),
+            1
+        );
+        assert_eq!(
+            tuple_distance_matches(&real, &syn, &[0, 1], 10.0, VectorMetric::Euclidean)
+                .unwrap(),
+            2
+        );
+        // Chebyshev at ε = 5 admits row 1 too (max(5,4) = 5).
+        assert_eq!(
+            tuple_distance_matches(&real, &syn, &[0, 1], 5.0, VectorMetric::Chebyshev)
+                .unwrap(),
+            2
+        );
+    }
+
+    #[test]
+    fn distance_series_marks_nulls() {
+        let (real, syn) = pair();
+        let s = distance_series(&real, &syn, 0, ScalarMetric::Absolute).unwrap();
+        assert_eq!(s.len(), 3);
+        assert!((s[0].unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(s[2], None);
+    }
+}

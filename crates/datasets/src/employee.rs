@@ -1,0 +1,75 @@
+//! The paper's Table II running example.
+
+use mp_relation::{Attribute, Relation, Schema};
+
+/// Builds the employee table of the paper's Table II:
+///
+/// | Name    | Age | Department       | Salary |
+/// |---------|-----|------------------|--------|
+/// | Alice   | 18  | Sales            | 20000  |
+/// | Bob     | 22  | Customer Service | 25000  |
+/// | Charlie | 22  | Sales            | 27000  |
+/// | Danny   | 26  | Management       | 35000  |
+///
+/// `Name` is unique (Example 2.1), `Name → Age` and `Name → Salary` are
+/// FDs, and `Age → Salary` holds only as a relaxed dependency.
+pub fn employee() -> Relation {
+    let schema = Schema::new(vec![
+        Attribute::categorical("Name"),
+        Attribute::continuous("Age"),
+        Attribute::categorical("Department"),
+        Attribute::continuous("Salary"),
+    ])
+    .expect("employee schema is valid");
+    Relation::from_rows(
+        schema,
+        vec![
+            vec!["Alice".into(), 18i64.into(), "Sales".into(), 20_000i64.into()],
+            vec!["Bob".into(), 22i64.into(), "Customer Service".into(), 25_000i64.into()],
+            vec!["Charlie".into(), 22i64.into(), "Sales".into(), 27_000i64.into()],
+            vec!["Danny".into(), 26i64.into(), "Management".into(), 35_000i64.into()],
+        ],
+    )
+    .expect("employee rows are valid")
+}
+
+/// Attribute indices of the employee table, for readable test code.
+pub mod attrs {
+    /// Name (categorical, unique).
+    pub const NAME: usize = 0;
+    /// Age (continuous).
+    pub const AGE: usize = 1;
+    /// Department (categorical).
+    pub const DEPARTMENT: usize = 2;
+    /// Salary (continuous).
+    pub const SALARY: usize = 3;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_metadata::Fd;
+
+    #[test]
+    fn shape_matches_table_ii() {
+        let r = employee();
+        assert_eq!(r.n_rows(), 4);
+        assert_eq!(r.arity(), 4);
+        assert_eq!(r.schema().attribute(attrs::DEPARTMENT).unwrap().name, "Department");
+    }
+
+    #[test]
+    fn example_21_dependencies() {
+        let r = employee();
+        assert!(Fd::new(attrs::NAME, attrs::AGE).holds(&r).unwrap());
+        assert!(Fd::new(attrs::NAME, attrs::SALARY).holds(&r).unwrap());
+        // Age → Salary is NOT a strict FD (Bob and Charlie share age 22).
+        assert!(!Fd::new(attrs::AGE, attrs::SALARY).holds(&r).unwrap());
+    }
+
+    #[test]
+    fn name_is_unique() {
+        let r = employee();
+        assert_eq!(r.distinct_count(attrs::NAME).unwrap(), 4);
+    }
+}

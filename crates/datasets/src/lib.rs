@@ -1,0 +1,28 @@
+//! # mp-datasets — datasets for the metadata-privacy reproduction
+//!
+//! * [`employee`] — the paper's Table II running example;
+//! * [`echocardiogram()`](fn@echocardiogram) — a deterministic reconstruction of the UCI
+//!   echocardiogram dataset the paper evaluates on (see the module docs and
+//!   DESIGN.md §4 for the substitution argument), plus the per-attribute
+//!   dependency inventory ([`paper_inventory`]) that regenerates the `NA`
+//!   pattern of Tables III and IV;
+//! * [`fintech_scenario`] — the Figure 1 bank × e-commerce VFL scenario;
+//! * [`SyntheticSpec`] — configurable relations with planted FD/AFD/OD/ND
+//!   ground truth for discovery tests and benches.
+
+#![warn(missing_docs)]
+
+pub mod echocardiogram;
+mod employee;
+mod fintech;
+mod generator;
+mod iris;
+
+pub use echocardiogram::{
+    echocardiogram, echocardiogram_schema, echocardiogram_with_seed, paper_inventory,
+    verified_dependencies, PaperInventory, CATEGORICAL_ATTRS, CONTINUOUS_ATTRS, N_ROWS,
+};
+pub use employee::{attrs as employee_attrs, employee};
+pub use fintech::{fintech_scenario, FintechParty, FintechScenario};
+pub use iris::{iris_attrs, iris_dependencies, iris_like, iris_like_with_seed, IRIS_ROWS};
+pub use generator::{all_classes_spec, ColumnSpec, SyntheticRelation, SyntheticSpec};

@@ -1,0 +1,449 @@
+//! TANE-style level-wise discovery of (approximate) functional
+//! dependencies over stripped partitions.
+//!
+//! This is the algorithm the paper cites (\[13\], Huhtala et al.) for FD
+//! discovery, extended with the `g3`-threshold validity test of \[14\]
+//! (Kivinen & Mannila) for approximate FDs as in \[6\]. The lattice is
+//! traversed level by level; candidate right-hand sides are pruned with
+//! TANE's `C⁺` sets and key pruning.
+
+use mp_metadata::{AttrSet, Fd};
+use mp_relation::{Pli, Relation, Result};
+use std::collections::HashMap;
+
+/// Limits and thresholds for FD discovery.
+#[derive(Debug, Clone)]
+pub struct TaneConfig {
+    /// Maximum LHS size explored (lattice depth). The paper's evaluation
+    /// uses pairwise dependencies, i.e. `max_lhs = 1`; the default explores
+    /// composite determinants too.
+    pub max_lhs: usize,
+    /// `g3` validity threshold: `0.0` discovers exact FDs, a positive value
+    /// discovers approximate FDs (AFDs) that hold after removing at most
+    /// this fraction of tuples.
+    pub g3_threshold: f64,
+}
+
+impl Default for TaneConfig {
+    fn default() -> Self {
+        Self { max_lhs: 3, g3_threshold: 0.0 }
+    }
+}
+
+/// Bitset over attributes; schemas are capped at 64 attributes, far above
+/// the paper-scale relations this workspace targets.
+type Bits = u64;
+
+fn bit(a: usize) -> Bits {
+    1u64 << a
+}
+
+fn set_to_bits(s: &AttrSet) -> Bits {
+    s.iter().fold(0, |acc, a| acc | bit(a))
+}
+
+/// One lattice node: the attribute set's PLI and its `C⁺` candidate set.
+struct Node {
+    pli: Pli,
+    cplus: Bits,
+}
+
+/// Discovers the minimal non-trivial FDs of `relation` with LHS size up to
+/// `config.max_lhs`.
+///
+/// With `g3_threshold = 0` the result is exactly the set of minimal valid
+/// FDs (every returned FD holds; every valid FD within the depth bound is
+/// implied). With a positive threshold the result is the TANE-approximate
+/// generalisation: returned FDs have `g3 ≤ threshold` and no strict subset
+/// of their LHS does.
+///
+/// # Errors
+/// Propagates column-access errors; relations wider than 64 attributes are
+/// rejected via `RelationError::IndexOutOfBounds`.
+pub fn discover_fds(relation: &Relation, config: &TaneConfig) -> Result<Vec<Fd>> {
+    let m = relation.arity();
+    if m > 64 {
+        return Err(mp_relation::RelationError::IndexOutOfBounds { index: m, len: 64 });
+    }
+    let n = relation.n_rows();
+    let all: Bits = if m == 64 { !0 } else { bit(m) - 1 };
+    let mut results: Vec<Fd> = Vec::new();
+    if m == 0 || n == 0 {
+        return Ok(results);
+    }
+
+    // Full signatures of single attributes, for g3 checks.
+    let mut rhs_sigs: Vec<Vec<usize>> = Vec::with_capacity(m);
+    // Level 1 nodes.
+    let mut level: HashMap<AttrSet, Node> = HashMap::new();
+    for a in 0..m {
+        let pli = Pli::from_column(relation.column(a)?);
+        rhs_sigs.push(pli.full_signature());
+        level.insert(AttrSet::single(a), Node { pli, cplus: all });
+    }
+    let threshold_violations = (config.g3_threshold * n as f64).floor() as usize;
+
+    // Empty-set partition error, for level-1 validity checks (∅ → A).
+    let unit = Pli::unit(n);
+    // ∅ → A holds iff column A is constant; handle as level-0 so level-1
+    // pruning is correct.
+    let mut constant_attrs: Bits = 0;
+    for (a, sig) in rhs_sigs.iter().enumerate() {
+        if unit.g3_violations(sig) <= threshold_violations {
+            results.push(Fd::new(AttrSet::empty(), a));
+            constant_attrs |= bit(a);
+        }
+    }
+
+    // Level ℓ holds attribute sets of size ℓ and tests FDs with LHS size
+    // ℓ − 1, so discovering FDs with |LHS| ≤ max_lhs needs ℓ up to
+    // max_lhs + 1.
+    let mut depth = 1;
+    while !level.is_empty() && depth <= config.max_lhs + 1 {
+        // Compute dependencies at this level.
+        let keys: Vec<AttrSet> = level.keys().cloned().collect();
+        for x in &keys {
+            // C⁺(X) = ∩_{A∈X} C⁺(X \ {A}) was folded in during generation;
+            // at level 1 it is `all` minus constants found at level 0.
+            let x_bits = set_to_bits(x);
+            let mut cplus = level[x].cplus;
+            if depth == 1 {
+                cplus &= !constant_attrs;
+            }
+            // Candidates to test: A ∈ X ∩ C⁺(X).
+            for a in x.iter() {
+                if cplus & bit(a) == 0 {
+                    continue;
+                }
+                let lhs = x.without(a);
+                let violations = if lhs.is_empty() {
+                    unit.g3_violations(&rhs_sigs[a])
+                } else {
+                    lhs_violations(relation, &lhs, &rhs_sigs[a])?
+                };
+                if violations <= threshold_violations {
+                    results.push(Fd::new(lhs, a));
+                    // Prune: remove A and all attributes outside X from C⁺(X).
+                    cplus &= !bit(a);
+                    cplus &= x_bits;
+                }
+            }
+            if let Some(node) = level.get_mut(x) {
+                node.cplus = cplus;
+            }
+        }
+
+        // Key pruning: a (super)key X determines every attribute, so its
+        // lattice descendants carry no new minimal FDs. Before dropping X,
+        // emit the minimal FDs X → A for outside attributes A still in
+        // C⁺(X); X → A is minimal iff no immediate subset of X determines
+        // A (monotonicity makes checking immediate subsets sufficient).
+        for x in &keys {
+            let Some(node) = level.get(x) else { continue };
+            if !node.pli.is_key() {
+                continue;
+            }
+            let x_bits = set_to_bits(x);
+            let cplus = node.cplus;
+            if x.len() <= config.max_lhs {
+                let mut a_bits = cplus & !x_bits;
+                while a_bits != 0 {
+                    let a = a_bits.trailing_zeros() as usize;
+                    a_bits &= a_bits - 1;
+                    let mut minimal = true;
+                    for b in x.iter() {
+                        let sub = x.without(b);
+                        let v = if sub.is_empty() {
+                            unit.g3_violations(&rhs_sigs[a])
+                        } else {
+                            lhs_violations(relation, &sub, &rhs_sigs[a])?
+                        };
+                        if v <= threshold_violations {
+                            minimal = false;
+                            break;
+                        }
+                    }
+                    if minimal {
+                        results.push(Fd::new(x.clone(), a));
+                    }
+                }
+            }
+            level.remove(x);
+        }
+
+        if depth == config.max_lhs + 1 {
+            break;
+        }
+        let mut next: HashMap<AttrSet, Node> = HashMap::new();
+        let mut names: Vec<&AttrSet> = level.keys().collect();
+        names.sort();
+        for i in 0..names.len() {
+            for j in (i + 1)..names.len() {
+                let (a, b) = (names[i], names[j]);
+                // Prefix join: sets must agree on all but their last element.
+                if a.indices()[..depth - 1] != b.indices()[..depth - 1] {
+                    continue;
+                }
+                let union = a.union(b);
+                if next.contains_key(&union) {
+                    continue;
+                }
+                // All subsets of size `depth` must be present (apriori).
+                let mut cplus = level[a].cplus & level[b].cplus;
+                let mut ok = true;
+                for attr in union.iter() {
+                    let sub = union.without(attr);
+                    match level.get(&sub) {
+                        Some(node) => cplus &= node.cplus,
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if !ok || cplus == 0 {
+                    continue;
+                }
+                let pli = level[a].pli.intersect(&level[b].pli);
+                next.insert(union, Node { pli, cplus });
+            }
+        }
+        level = next;
+        depth += 1;
+    }
+
+    Ok(results)
+}
+
+/// `g3` violation count of `lhs → rhs` with the LHS partition recomputed
+/// from single-column PLIs. LHS sizes are bounded by `max_lhs`, so the
+/// intersection chain is short; this avoids keeping two lattice levels
+/// alive at once.
+fn lhs_violations(relation: &Relation, lhs: &AttrSet, rhs_sig: &[usize]) -> Result<usize> {
+    let pli = mp_metadata::pli_of_set(relation, lhs)?;
+    Ok(pli.g3_violations(rhs_sig))
+}
+
+/// Reference implementation: exhaustive minimal-FD discovery by direct
+/// validation of every LHS subset (ascending by size) for every RHS.
+/// Exponential; used to cross-check TANE in tests and as the ablation
+/// baseline in benches.
+pub fn discover_fds_naive(relation: &Relation, max_lhs: usize) -> Result<Vec<Fd>> {
+    let m = relation.arity();
+    let mut results = Vec::new();
+    if m == 0 || relation.n_rows() == 0 {
+        return Ok(results);
+    }
+    let rhs_sigs: Vec<Vec<usize>> = (0..m)
+        .map(|a| Ok(Pli::from_column(relation.column(a)?).full_signature()))
+        .collect::<Result<_>>()?;
+
+    for (rhs, rhs_sig) in rhs_sigs.iter().enumerate() {
+        let mut minimal: Vec<AttrSet> = Vec::new();
+        // Enumerate subsets of attributes (excluding rhs) by ascending size.
+        let others: Vec<usize> = (0..m).filter(|&a| a != rhs).collect();
+        for size in 0..=max_lhs.min(others.len()) {
+            for combo in combinations(&others, size) {
+                let lhs = AttrSet::from_iter(combo.iter().copied());
+                if minimal.iter().any(|s| s.is_subset_of(&lhs)) {
+                    continue;
+                }
+                let pli = mp_metadata::pli_of_set(relation, &lhs)?;
+                if pli.satisfies_fd(rhs_sig) {
+                    minimal.push(lhs);
+                }
+            }
+        }
+        results.extend(minimal.into_iter().map(|lhs| Fd::new(lhs, rhs)));
+    }
+    Ok(results)
+}
+
+/// All `size`-element combinations of `items`.
+fn combinations(items: &[usize], size: usize) -> Vec<Vec<usize>> {
+    if size == 0 {
+        return vec![Vec::new()];
+    }
+    if size > items.len() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut idx: Vec<usize> = (0..size).collect();
+    loop {
+        out.push(idx.iter().map(|&i| items[i]).collect());
+        // Advance the combination indices.
+        let mut i = size;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if idx[i] != i + items.len() - size {
+                break;
+            }
+            if i == 0 {
+                return out;
+            }
+        }
+        idx[i] += 1;
+        for j in (i + 1)..size {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_datasets::{employee, employee_attrs as ea};
+    use mp_relation::{Attribute, Schema, Value};
+
+    fn exact(max_lhs: usize) -> TaneConfig {
+        TaneConfig { max_lhs, g3_threshold: 0.0 }
+    }
+
+    /// Canonical form for comparing FD sets.
+    fn canon(mut fds: Vec<Fd>) -> Vec<(Vec<usize>, usize)> {
+        let mut v: Vec<(Vec<usize>, usize)> =
+            fds.drain(..).map(|f| (f.lhs.indices().to_vec(), f.rhs)).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn employee_single_attr_fds() {
+        let fds = discover_fds(&employee(), &exact(1)).unwrap();
+        // Name is a key: Name → everything.
+        for rhs in [ea::AGE, ea::DEPARTMENT, ea::SALARY] {
+            assert!(fds.iter().any(|f| f.lhs == AttrSet::single(ea::NAME) && f.rhs == rhs));
+        }
+        // Salary is unique too: Salary → everything.
+        assert!(fds.iter().any(|f| f.lhs == AttrSet::single(ea::SALARY) && f.rhs == ea::AGE));
+        // Age does NOT determine Salary.
+        assert!(!fds.iter().any(|f| f.lhs == AttrSet::single(ea::AGE) && f.rhs == ea::SALARY));
+        // Every discovered FD actually holds.
+        for f in &fds {
+            assert!(f.holds(&employee()).unwrap(), "discovered FD must hold");
+        }
+    }
+
+    #[test]
+    fn tane_matches_naive_on_employee() {
+        let r = employee();
+        for depth in 1..=3 {
+            let tane = canon(discover_fds(&r, &exact(depth)).unwrap());
+            let naive = canon(discover_fds_naive(&r, depth).unwrap());
+            assert_eq!(tane, naive, "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn tane_matches_naive_on_synthetic() {
+        for seed in [3u64, 17] {
+            let out = mp_datasets::all_classes_spec(80, seed).generate().unwrap();
+            let tane = canon(discover_fds(&out.relation, &exact(2)).unwrap());
+            let naive = canon(discover_fds_naive(&out.relation, 2).unwrap());
+            assert_eq!(tane, naive, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn discovers_planted_fd() {
+        let out = mp_datasets::all_classes_spec(300, 9).generate().unwrap();
+        let fds = discover_fds(&out.relation, &exact(1)).unwrap();
+        // Planted: base(0) → fd_child(1).
+        assert!(fds.iter().any(|f| f.lhs == AttrSet::single(0) && f.rhs == 1));
+    }
+
+    #[test]
+    fn constant_column_yields_empty_lhs_fd() {
+        let schema = Schema::new(vec![
+            Attribute::categorical("k"),
+            Attribute::categorical("c"),
+        ])
+        .unwrap();
+        let r = Relation::from_rows(
+            schema,
+            vec![
+                vec!["a".into(), "z".into()],
+                vec!["b".into(), "z".into()],
+            ],
+        )
+        .unwrap();
+        let fds = discover_fds(&r, &exact(2)).unwrap();
+        assert!(fds.iter().any(|f| f.lhs.is_empty() && f.rhs == 1));
+        // And no non-minimal {0} → 1 is emitted.
+        assert!(!fds.iter().any(|f| f.lhs == AttrSet::single(0) && f.rhs == 1));
+    }
+
+    #[test]
+    fn approximate_discovery_relaxes() {
+        let out = mp_datasets::all_classes_spec(400, 21).generate().unwrap();
+        // afd_child(5) is a 5%-perturbed function of base(0): exact TANE
+        // must not find 0 → 5, approximate TANE (10%) must.
+        let exact_fds = discover_fds(&out.relation, &exact(1)).unwrap();
+        assert!(!exact_fds.iter().any(|f| f.lhs == AttrSet::single(0) && f.rhs == 5));
+        let approx = discover_fds(
+            &out.relation,
+            &TaneConfig { max_lhs: 1, g3_threshold: 0.10 },
+        )
+        .unwrap();
+        assert!(approx.iter().any(|f| f.lhs == AttrSet::single(0) && f.rhs == 5));
+    }
+
+    #[test]
+    fn empty_and_degenerate_relations() {
+        let schema = Schema::new(vec![Attribute::categorical("a")]).unwrap();
+        let empty = Relation::empty(schema.clone());
+        assert!(discover_fds(&empty, &exact(2)).unwrap().is_empty());
+
+        let single = Relation::from_rows(schema, vec![vec![Value::Null]]).unwrap();
+        let fds = discover_fds(&single, &exact(1)).unwrap();
+        // One row: the column is constant → ∅ → 0.
+        assert!(fds.iter().any(|f| f.lhs.is_empty() && f.rhs == 0));
+    }
+
+    #[test]
+    fn composite_lhs_found_when_needed() {
+        // c = f(a, b) but neither a nor b alone determines c.
+        let schema = Schema::new(vec![
+            Attribute::categorical("a"),
+            Attribute::categorical("b"),
+            Attribute::categorical("c"),
+        ])
+        .unwrap();
+        let rows = vec![
+            vec!["a0".into(), "b0".into(), "x".into()],
+            vec!["a0".into(), "b1".into(), "y".into()],
+            vec!["a1".into(), "b0".into(), "y".into()],
+            vec!["a1".into(), "b1".into(), "x".into()],
+            // duplicates so nothing is spuriously a key
+            vec!["a0".into(), "b0".into(), "x".into()],
+            vec!["a1".into(), "b1".into(), "x".into()],
+        ];
+        let r = Relation::from_rows(schema, rows).unwrap();
+        let fds = discover_fds(&r, &exact(2)).unwrap();
+        assert!(fds
+            .iter()
+            .any(|f| f.lhs == AttrSet::from_iter([0, 1]) && f.rhs == 2));
+        assert!(!fds.iter().any(|f| f.lhs == AttrSet::single(0) && f.rhs == 2));
+        assert!(!fds.iter().any(|f| f.lhs == AttrSet::single(1) && f.rhs == 2));
+    }
+
+    #[test]
+    fn max_lhs_bounds_depth() {
+        let out = mp_datasets::all_classes_spec(100, 2).generate().unwrap();
+        let fds = discover_fds(&out.relation, &exact(2)).unwrap();
+        assert!(fds.iter().all(|f| f.lhs.len() <= 2));
+    }
+
+    #[test]
+    fn combinations_enumerate_correctly() {
+        let c = combinations(&[1, 2, 3, 4], 2);
+        assert_eq!(c.len(), 6);
+        assert!(c.contains(&vec![1, 4]));
+        assert_eq!(combinations(&[1, 2], 3), Vec::<Vec<usize>>::new());
+        assert_eq!(combinations(&[1, 2], 0), vec![Vec::<usize>::new()]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Oracle test: TANE must agree with the exhaustive minimal-FD baseline on
+//! randomized relations at every lattice depth.
+
+use mp_discovery::{discover_fds, discover_fds_naive, TaneConfig};
+use mp_relation::{Attribute, Relation, Schema, Value};
+use proptest::prelude::*;
+
+fn canon(fds: Vec<mp_metadata::Fd>) -> Vec<(Vec<usize>, usize)> {
+    let mut v: Vec<(Vec<usize>, usize)> =
+        fds.into_iter().map(|f| (f.lhs.indices().to_vec(), f.rhs)).collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn tane_agrees_with_exhaustive_baseline(
+        n_attrs in 2usize..7,
+        rows in prop::collection::vec(
+            prop::collection::vec(0i64..4, 6),
+            0..40,
+        ),
+        depth in 1usize..4,
+    ) {
+        let attrs: Vec<Attribute> =
+            (0..n_attrs).map(|i| Attribute::categorical(format!("a{i}"))).collect();
+        let schema = Schema::new(attrs).unwrap();
+        let data: Vec<Vec<Value>> = rows
+            .into_iter()
+            .map(|r| r.into_iter().take(n_attrs).map(Value::Int).collect())
+            .collect();
+        let rel = Relation::from_rows(schema, data).unwrap();
+
+        let tane = discover_fds(&rel, &TaneConfig { max_lhs: depth, g3_threshold: 0.0 })
+            .unwrap();
+        let naive = discover_fds_naive(&rel, depth).unwrap();
+        prop_assert_eq!(canon(tane.clone()), canon(naive));
+
+        // Soundness: every discovered FD holds.
+        for fd in &tane {
+            prop_assert!(fd.holds(&rel).unwrap(), "{:?} does not hold", fd);
+        }
+    }
+
+    #[test]
+    fn approximate_tane_is_sound(
+        rows in prop::collection::vec(prop::collection::vec(0i64..3, 3), 5..60),
+        threshold in 0.0f64..0.4,
+    ) {
+        let attrs: Vec<Attribute> =
+            (0..3).map(|i| Attribute::categorical(format!("a{i}"))).collect();
+        let schema = Schema::new(attrs).unwrap();
+        let data: Vec<Vec<Value>> =
+            rows.into_iter().map(|r| r.into_iter().map(Value::Int).collect()).collect();
+        let rel = Relation::from_rows(schema, data).unwrap();
+        let approx = discover_fds(
+            &rel,
+            &TaneConfig { max_lhs: 2, g3_threshold: threshold },
+        )
+        .unwrap();
+        // Every reported AFD really has g3 within the threshold (floored to
+        // a violation count, as the implementation documents).
+        let n = rel.n_rows() as f64;
+        for fd in &approx {
+            let g3 = fd.g3_error(&rel).unwrap();
+            prop_assert!(
+                g3 * n <= (threshold * n).floor() + 1e-9,
+                "g3 {} over threshold {}",
+                g3,
+                threshold
+            );
+        }
+    }
+}

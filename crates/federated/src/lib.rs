@@ -1,0 +1,40 @@
+//! # mp-federated — vertical federated learning substrate
+//!
+//! The VFL environment the paper presupposes, as a single-process
+//! simulation:
+//!
+//! * [`Party`] — a named participant holding a vertical slice keyed by an
+//!   entity-id column, with its known dependencies;
+//! * [`psi`] — simulated hash-based private set intersection producing the
+//!   canonical row alignment that fixes the tuple index of the paper's
+//!   Definitions 2.2/2.3;
+//! * [`VflSession`] — the setup protocol: PSI, then metadata exchange
+//!   under per-party [`mp_metadata::SharePolicy`] redactions;
+//! * [`model`] — vertically federated logistic regression by score
+//!   aggregation (only partial logits and residuals cross the boundary);
+//! * [`run_scenario`] — the paper's Figure 1 bank × e-commerce scenario
+//!   end to end: utility (federated vs solo accuracy) side by side with
+//!   the metadata synthesis attack under the chosen policy.
+
+#![warn(missing_docs)]
+
+mod bloom;
+pub mod horizontal;
+pub mod model;
+mod multiparty;
+mod party;
+pub mod psi;
+mod protocol;
+mod scenario;
+
+pub use bloom::{bloom_candidate_rows, BloomFilter};
+pub use horizontal::{horizontal_split, permutation_baseline, schemas_compatible};
+pub use model::{
+    auc, holdout_split, labels_from_column, train, FeatureBlock, FederatedModel, PartyModel,
+    TrainConfig,
+};
+pub use multiparty::{multi_align, MultiAlignment, MultiPartySession, MultiSetupOutcome};
+pub use party::Party;
+pub use protocol::{SetupOutcome, VflSession};
+pub use psi::{align, PsiAlignment};
+pub use scenario::{run_scenario, ScenarioOutcome};

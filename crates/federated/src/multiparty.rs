@@ -1,0 +1,202 @@
+//! N-party vertical federated learning.
+//!
+//! The paper's exposition is two-party (Figure 1), but nothing in its
+//! analysis depends on that: with `k` silos the setup phase runs a k-way
+//! PSI and a full metadata broadcast, and every pairwise exchange carries
+//! the same §III/§IV leakage surface. This module generalises
+//! [`crate::VflSession`] accordingly.
+
+use crate::party::Party;
+use crate::psi::{digest, IdDigest};
+use mp_metadata::{MetadataPackage, SharePolicy};
+use mp_relation::{Relation, Result};
+use std::collections::HashMap;
+
+/// Alignment of N parties over their common entities: `rows[p][i]` is the
+/// row of party `p` holding the i-th common entity (same `i` ⇒ same
+/// entity everywhere).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiAlignment {
+    /// Per-party row indices, all of equal length.
+    pub rows: Vec<Vec<usize>>,
+}
+
+impl MultiAlignment {
+    /// Number of common entities.
+    pub fn len(&self) -> usize {
+        self.rows.first().map_or(0, Vec::len)
+    }
+
+    /// `true` if no entity is shared by all parties.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// K-way PSI over salted digests: entities present in *every* party's id
+/// column, in canonical (ascending digest) order. First occurrence wins
+/// within a party, as in the two-party case.
+pub fn multi_align(id_columns: &[&[mp_relation::Value]], salt: u64) -> MultiAlignment {
+    if id_columns.is_empty() {
+        return MultiAlignment { rows: Vec::new() };
+    }
+    let mut maps: Vec<HashMap<IdDigest, usize>> = Vec::with_capacity(id_columns.len());
+    for ids in id_columns {
+        let mut m = HashMap::new();
+        for (i, v) in ids.iter().enumerate() {
+            m.entry(digest(v, salt)).or_insert(i);
+        }
+        maps.push(m);
+    }
+    let mut common: Vec<IdDigest> = maps[0]
+        .keys()
+        .filter(|d| maps[1..].iter().all(|m| m.contains_key(d)))
+        .copied()
+        .collect();
+    common.sort();
+    let rows = maps
+        .iter()
+        .map(|m| common.iter().map(|d| m[d]).collect())
+        .collect();
+    MultiAlignment { rows }
+}
+
+/// Outcome of an N-party setup.
+#[derive(Debug, Clone)]
+pub struct MultiSetupOutcome {
+    /// The k-way alignment.
+    pub alignment: MultiAlignment,
+    /// Each party's aligned feature slice (id columns removed).
+    pub aligned: Vec<Relation>,
+    /// Each party's disclosed metadata (same order as the parties).
+    pub metadata: Vec<MetadataPackage>,
+}
+
+/// An N-party VFL session.
+#[derive(Debug, Clone)]
+pub struct MultiPartySession {
+    /// The participants; by convention party 0 is the active (label) party.
+    pub parties: Vec<Party>,
+    /// Shared PSI salt.
+    pub salt: u64,
+}
+
+impl MultiPartySession {
+    /// Creates a session over at least one party.
+    pub fn new(parties: Vec<Party>, salt: u64) -> Self {
+        Self { parties, salt }
+    }
+
+    /// Runs k-way PSI and the metadata broadcast; `policies[p]` governs
+    /// what party `p` discloses to the rest.
+    pub fn run_setup(&self, policies: &[SharePolicy]) -> Result<MultiSetupOutcome> {
+        assert_eq!(
+            policies.len(),
+            self.parties.len(),
+            "one policy per party"
+        );
+        let id_cols: Vec<&[mp_relation::Value]> =
+            self.parties.iter().map(|p| p.ids()).collect::<Result<_>>()?;
+        let alignment = multi_align(&id_cols, self.salt);
+        let mut aligned = Vec::with_capacity(self.parties.len());
+        let mut metadata = Vec::with_capacity(self.parties.len());
+        for (p, (party, policy)) in self.parties.iter().zip(policies).enumerate() {
+            aligned.push(
+                party
+                    .aligned_rows(&alignment.rows[p])?
+                    .project(&party.feature_columns())?,
+            );
+            metadata.push(party.share_metadata(policy)?);
+        }
+        Ok(MultiSetupOutcome { alignment, aligned, metadata })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_relation::{Attribute, Schema, Value};
+
+    fn party(name: &str, ids: &[&str], feature: &str) -> Party {
+        let schema = Schema::new(vec![
+            Attribute::categorical("id"),
+            Attribute::continuous(feature),
+        ])
+        .unwrap();
+        let rel = Relation::from_rows(
+            schema,
+            ids.iter()
+                .enumerate()
+                .map(|(i, id)| vec![Value::Text((*id).into()), Value::Float(i as f64)])
+                .collect(),
+        )
+        .unwrap();
+        Party::new(name, rel, 0, vec![]).unwrap()
+    }
+
+    #[test]
+    fn three_way_alignment_is_entity_consistent() {
+        let a = party("a", &["u1", "u2", "u3", "u4"], "fa");
+        let b = party("b", &["u4", "u2", "u9"], "fb");
+        let c = party("c", &["u2", "u4", "u7"], "fc");
+        let ids: Vec<Vec<Value>> = [&a, &b, &c]
+            .iter()
+            .map(|p| p.ids().unwrap().to_vec())
+            .collect();
+        let session = MultiPartySession::new(vec![a, b, c], 42);
+        let out = session
+            .run_setup(&[SharePolicy::FULL, SharePolicy::FULL, SharePolicy::NAMES_ONLY])
+            .unwrap();
+        // Common entities: u2, u4.
+        assert_eq!(out.alignment.len(), 2);
+        for i in 0..out.alignment.len() {
+            let e0 = &ids[0][out.alignment.rows[0][i]];
+            for p in 1..3 {
+                assert_eq!(e0, &ids[p][out.alignment.rows[p][i]]);
+            }
+        }
+        // Aligned slices have feature columns only, equal length.
+        for slice in &out.aligned {
+            assert_eq!(slice.n_rows(), 2);
+            assert_eq!(slice.arity(), 1);
+        }
+        // Per-party policies applied.
+        assert!(out.metadata[0].shares_domains());
+        assert!(!out.metadata[2].shares_domains());
+    }
+
+    #[test]
+    fn two_party_multi_matches_pairwise_psi() {
+        let a = party("a", &["x", "y", "z"], "fa");
+        let b = party("b", &["z", "x"], "fb");
+        let ids_a = a.ids().unwrap().to_vec();
+        let ids_b = b.ids().unwrap().to_vec();
+        let multi = multi_align(&[&ids_a, &ids_b], 9);
+        let pair = crate::psi::align(&ids_a, &ids_b, 9);
+        assert_eq!(multi.rows[0], pair.rows_a);
+        assert_eq!(multi.rows[1], pair.rows_b);
+    }
+
+    #[test]
+    fn disjoint_party_empties_intersection() {
+        let a = party("a", &["u1"], "fa");
+        let b = party("b", &["u2"], "fb");
+        let ids: Vec<Vec<Value>> =
+            [&a, &b].iter().map(|p| p.ids().unwrap().to_vec()).collect();
+        let al = multi_align(&[&ids[0], &ids[1]], 0);
+        assert!(al.is_empty());
+    }
+
+    #[test]
+    fn empty_party_list() {
+        assert!(multi_align(&[], 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "one policy per party")]
+    fn policy_count_must_match() {
+        let a = party("a", &["u1"], "fa");
+        let session = MultiPartySession::new(vec![a], 0);
+        let _ = session.run_setup(&[]);
+    }
+}

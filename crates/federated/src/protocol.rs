@@ -1,0 +1,173 @@
+//! The two-party VFL setup protocol: PSI alignment, then metadata
+//! exchange under each party's redaction policy.
+//!
+//! This is the "preliminary stage of model training" whose privacy the
+//! paper analyses: after [`VflSession::run_setup`] both parties hold the
+//! other's (redacted) metadata package and an aligned view of the common
+//! population — precisely the state in which the adversarial synthesis of
+//! §II-B becomes possible.
+
+use crate::party::Party;
+use crate::psi::{align, PsiAlignment};
+use mp_metadata::{MetadataPackage, SharePolicy};
+use mp_relation::{Relation, Result};
+
+/// The setup outcome for one direction of the exchange.
+#[derive(Debug, Clone)]
+pub struct SetupOutcome {
+    /// Alignment of both parties' rows over the common population.
+    pub alignment: PsiAlignment,
+    /// Party A's aligned rows (feature columns only, A's coordinates).
+    pub aligned_a: Relation,
+    /// Party B's aligned rows.
+    pub aligned_b: Relation,
+    /// The metadata A disclosed to B.
+    pub metadata_from_a: MetadataPackage,
+    /// The metadata B disclosed to A.
+    pub metadata_from_b: MetadataPackage,
+}
+
+/// A two-party session.
+#[derive(Debug, Clone)]
+pub struct VflSession {
+    /// Party A (by convention the active/label party).
+    pub party_a: Party,
+    /// Party B (passive).
+    pub party_b: Party,
+    /// PSI salt both parties agreed on out of band.
+    pub salt: u64,
+}
+
+impl VflSession {
+    /// Creates a session.
+    pub fn new(party_a: Party, party_b: Party, salt: u64) -> Self {
+        Self { party_a, party_b, salt }
+    }
+
+    /// Runs PSI and the metadata exchange. `policy_a` governs what A
+    /// disclosed to B and vice versa.
+    pub fn run_setup(
+        &self,
+        policy_a: &SharePolicy,
+        policy_b: &SharePolicy,
+    ) -> Result<SetupOutcome> {
+        let alignment =
+            align(self.party_a.ids()?, self.party_b.ids()?, self.salt);
+        let aligned_a = self
+            .party_a
+            .aligned_rows(&alignment.rows_a)?
+            .project(&self.party_a.feature_columns())?;
+        let aligned_b = self
+            .party_b
+            .aligned_rows(&alignment.rows_b)?
+            .project(&self.party_b.feature_columns())?;
+        Ok(SetupOutcome {
+            alignment,
+            aligned_a,
+            aligned_b,
+            metadata_from_a: self.party_a.share_metadata(policy_a)?,
+            metadata_from_b: self.party_b.share_metadata(policy_b)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_metadata::Fd;
+    use mp_relation::{Attribute, Schema, Value};
+
+    fn parties() -> (Party, Party) {
+        let schema_a = Schema::new(vec![
+            Attribute::categorical("id"),
+            Attribute::continuous("income"),
+        ])
+        .unwrap();
+        let rel_a = Relation::from_rows(
+            schema_a,
+            vec![
+                vec!["u1".into(), 10.0.into()],
+                vec!["u2".into(), 20.0.into()],
+                vec!["u3".into(), 30.0.into()],
+            ],
+        )
+        .unwrap();
+        let schema_b = Schema::new(vec![
+            Attribute::categorical("id"),
+            Attribute::continuous("spend"),
+            Attribute::categorical("tier"),
+        ])
+        .unwrap();
+        let rel_b = Relation::from_rows(
+            schema_b,
+            vec![
+                vec!["u3".into(), 5.0.into(), "hi".into()],
+                vec!["u4".into(), 7.0.into(), "lo".into()],
+                vec!["u1".into(), 9.0.into(), "hi".into()],
+            ],
+        )
+        .unwrap();
+        (
+            Party::new("bank", rel_a, 0, vec![]).unwrap(),
+            Party::new("shop", rel_b, 0, vec![Fd::new(1usize, 2).into()]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn setup_aligns_and_exchanges() {
+        let (a, b) = parties();
+        let session = VflSession::new(a, b, 99);
+        let out = session.run_setup(&SharePolicy::FULL, &SharePolicy::FULL).unwrap();
+        assert_eq!(out.alignment.len(), 2); // u1, u3
+        assert_eq!(out.aligned_a.n_rows(), 2);
+        assert_eq!(out.aligned_b.n_rows(), 2);
+        // Feature-only projections: no id columns.
+        assert_eq!(out.aligned_a.arity(), 1);
+        assert_eq!(out.aligned_b.arity(), 2);
+        // Metadata flows both ways; B's FD survives re-indexing.
+        assert_eq!(out.metadata_from_a.party, "bank");
+        assert_eq!(out.metadata_from_b.dependencies.len(), 1);
+    }
+
+    #[test]
+    fn aligned_rows_refer_to_same_entity() {
+        let (a, b) = parties();
+        let ids_a = a.ids().unwrap().to_vec();
+        let ids_b = b.ids().unwrap().to_vec();
+        let session = VflSession::new(a, b, 5);
+        let out = session.run_setup(&SharePolicy::FULL, &SharePolicy::FULL).unwrap();
+        for i in 0..out.alignment.len() {
+            assert_eq!(
+                ids_a[out.alignment.rows_a[i]],
+                ids_b[out.alignment.rows_b[i]]
+            );
+        }
+    }
+
+    #[test]
+    fn asymmetric_policies() {
+        let (a, b) = parties();
+        let session = VflSession::new(a, b, 1);
+        let out = session
+            .run_setup(&SharePolicy::NAMES_ONLY, &SharePolicy::FULL)
+            .unwrap();
+        assert!(!out.metadata_from_a.shares_domains());
+        assert!(out.metadata_from_b.shares_domains());
+    }
+
+    #[test]
+    fn empty_intersection_setup() {
+        let schema = Schema::new(vec![Attribute::categorical("id")]).unwrap();
+        let ra = Relation::from_rows(schema.clone(), vec![vec![Value::Text("a".into())]])
+            .unwrap();
+        let rb = Relation::from_rows(schema, vec![vec![Value::Text("b".into())]]).unwrap();
+        let session = VflSession::new(
+            Party::new("a", ra, 0, vec![]).unwrap(),
+            Party::new("b", rb, 0, vec![]).unwrap(),
+            0,
+        );
+        let out = session.run_setup(&SharePolicy::FULL, &SharePolicy::FULL).unwrap();
+        assert!(out.alignment.is_empty());
+        assert_eq!(out.aligned_a.n_rows(), 0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Simulated private set intersection.
+//!
+//! The paper's setup step: *"data from various parties is synchronized
+//! using private set intersection techniques ... the identity of the data
+//! tuples is known only to the parties involved"* (refs \[10\], \[12\]). This
+//! module simulates the *protocol shape* of a hash-based PSI — parties
+//! exchange salted hashes of their identifiers, never the identifiers —
+//! and produces the aligned row indices both sides use from then on. It is
+//! a single-process simulation: the hash is not cryptographically
+//! oblivious, but the information flow (only salted digests cross the
+//! boundary) and the output (a canonical common ordering that fixes the
+//! tuple index `i` of Definitions 2.2/2.3) match the real thing.
+
+use mp_relation::Value;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// A salted identifier digest, the only thing that crosses the boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IdDigest(u64);
+
+/// Hashes one identifier under a shared salt.
+pub fn digest(id: &Value, salt: u64) -> IdDigest {
+    let mut h = DefaultHasher::new();
+    salt.hash(&mut h);
+    id.hash(&mut h);
+    IdDigest(h.finish())
+}
+
+/// One party's PSI submission: digests in that party's row order.
+pub fn submit(ids: &[Value], salt: u64) -> Vec<IdDigest> {
+    ids.iter().map(|v| digest(v, salt)).collect()
+}
+
+/// Result of the intersection: for each party, the rows (in that party's
+/// local indexing) of the common entities, listed in the same canonical
+/// order — index `i` of one party's list refers to the same entity as
+/// index `i` of the other's.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PsiAlignment {
+    /// Row indices into party A's relation.
+    pub rows_a: Vec<usize>,
+    /// Row indices into party B's relation.
+    pub rows_b: Vec<usize>,
+}
+
+impl PsiAlignment {
+    /// Number of common entities.
+    pub fn len(&self) -> usize {
+        self.rows_a.len()
+    }
+
+    /// `true` if the intersection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows_a.is_empty()
+    }
+}
+
+/// Intersects two digest submissions. Duplicate digests within one party
+/// (duplicate ids, or — astronomically unlikely — hash collisions) keep
+/// their first occurrence only, mirroring PSI's set semantics. The
+/// canonical order is ascending digest, which both parties can compute
+/// independently.
+pub fn intersect(a: &[IdDigest], b: &[IdDigest]) -> PsiAlignment {
+    let mut first_a: HashMap<IdDigest, usize> = HashMap::new();
+    for (i, d) in a.iter().enumerate() {
+        first_a.entry(*d).or_insert(i);
+    }
+    let mut first_b: HashMap<IdDigest, usize> = HashMap::new();
+    for (i, d) in b.iter().enumerate() {
+        first_b.entry(*d).or_insert(i);
+    }
+    let mut common: Vec<(IdDigest, usize, usize)> = first_a
+        .iter()
+        .filter_map(|(d, &ia)| first_b.get(d).map(|&ib| (*d, ia, ib)))
+        .collect();
+    common.sort();
+    PsiAlignment {
+        rows_a: common.iter().map(|&(_, ia, _)| ia).collect(),
+        rows_b: common.iter().map(|&(_, _, ib)| ib).collect(),
+    }
+}
+
+/// Convenience: full PSI between two id columns under a shared salt.
+pub fn align(ids_a: &[Value], ids_b: &[Value], salt: u64) -> PsiAlignment {
+    intersect(&submit(ids_a, salt), &submit(ids_b, salt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(names: &[&str]) -> Vec<Value> {
+        names.iter().map(|&s| Value::Text(s.into())).collect()
+    }
+
+    #[test]
+    fn intersection_finds_common_entities() {
+        let a = ids(&["u1", "u2", "u3", "u4"]);
+        let b = ids(&["u3", "u9", "u1"]);
+        let al = align(&a, &b, 42);
+        assert_eq!(al.len(), 2);
+        // Alignment is consistent: the same entity at the same position.
+        for i in 0..al.len() {
+            assert_eq!(a[al.rows_a[i]], b[al.rows_b[i]]);
+        }
+    }
+
+    #[test]
+    fn disjoint_sets_yield_empty() {
+        let al = align(&ids(&["a"]), &ids(&["b"]), 0);
+        assert!(al.is_empty());
+        assert_eq!(al.len(), 0);
+    }
+
+    #[test]
+    fn salt_changes_digests_not_alignment() {
+        let a = ids(&["u1", "u2"]);
+        let b = ids(&["u2", "u1"]);
+        let d1 = submit(&a, 1);
+        let d2 = submit(&a, 2);
+        assert_ne!(d1, d2, "different salts must produce different digests");
+        let al1 = align(&a, &b, 1);
+        let al2 = align(&a, &b, 2);
+        // The *set* of aligned pairs is salt-independent.
+        let pairs = |al: &PsiAlignment| {
+            let mut p: Vec<(usize, usize)> =
+                al.rows_a.iter().copied().zip(al.rows_b.iter().copied()).collect();
+            p.sort();
+            p
+        };
+        assert_eq!(pairs(&al1), pairs(&al2));
+    }
+
+    #[test]
+    fn duplicates_keep_first_occurrence() {
+        let a = ids(&["u1", "u1", "u2"]);
+        let b = ids(&["u1"]);
+        let al = align(&a, &b, 7);
+        assert_eq!(al.rows_a, vec![0]);
+        assert_eq!(al.rows_b, vec![0]);
+    }
+
+    #[test]
+    fn canonical_order_is_shared() {
+        // Both parties, computing independently, get the same entity order.
+        let a = ids(&["x", "y", "z"]);
+        let b = ids(&["z", "x", "y"]);
+        let al = align(&a, &b, 3);
+        assert_eq!(al.len(), 3);
+        for i in 0..3 {
+            assert_eq!(a[al.rows_a[i]], b[al.rows_b[i]]);
+        }
+    }
+
+    #[test]
+    fn numeric_ids_work() {
+        let a: Vec<Value> = (0..10i64).map(Value::Int).collect();
+        let b: Vec<Value> = (5..15i64).map(Value::Int).collect();
+        let al = align(&a, &b, 9);
+        assert_eq!(al.len(), 5);
+    }
+}

@@ -1,0 +1,186 @@
+//! Distribution metadata — the disclosure level *above* domains.
+//!
+//! The paper's evaluation assumes the value distribution is withheld:
+//! *"this distribution is not communicated, so we will assume a uniform
+//! distribution for our experiments"*. Real federated-learning frameworks
+//! often do exchange richer statistics (histograms for binning, value
+//! frequencies for encoders), so this module models that next level:
+//! per-value frequencies for categorical attributes and equi-width
+//! histograms for continuous ones. `mp-core`'s
+//! `analytical::distribution` quantifies why this leaks strictly more
+//! than a domain: the match rate becomes the collision probability
+//! `Σ p_v²`, which is ≥ `1/|D|` with equality only for uniform data.
+
+use mp_relation::{AttrKind, Relation, RelationError, Result, Value};
+use serde::{Deserialize, Serialize};
+
+/// Shared distribution metadata for one attribute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Distribution {
+    /// Categorical value frequencies (probabilities summing to ~1).
+    Categorical(Vec<(Value, f64)>),
+    /// Equi-width histogram over `[min, max]` with bucket probabilities.
+    Histogram {
+        /// Lower bound of the first bucket.
+        min: f64,
+        /// Upper bound of the last bucket.
+        max: f64,
+        /// Per-bucket probabilities (sum ~1).
+        densities: Vec<f64>,
+    },
+}
+
+impl Distribution {
+    /// Estimates the distribution of column `col` (categorical:
+    /// frequencies including nulls; continuous: `buckets` equi-width bins
+    /// over the observed range).
+    pub fn estimate(relation: &Relation, col: usize, buckets: usize) -> Result<Distribution> {
+        let kind = relation.schema().attribute(col)?.kind;
+        let column = relation.column(col)?;
+        let n = column.len().max(1) as f64;
+        match kind {
+            AttrKind::Categorical => {
+                let mut values: Vec<Value> = column.to_vec();
+                values.sort();
+                let mut out: Vec<(Value, f64)> = Vec::new();
+                let mut i = 0;
+                while i < values.len() {
+                    let mut j = i;
+                    while j < values.len() && values[j] == values[i] {
+                        j += 1;
+                    }
+                    out.push((values[i].clone(), (j - i) as f64 / n));
+                    i = j;
+                }
+                Ok(Distribution::Categorical(out))
+            }
+            AttrKind::Continuous => {
+                let hist = mp_relation::Histogram::compute(relation, col, buckets)?
+                    .ok_or(RelationError::EmptyRelation)?;
+                let total: usize = hist.counts.iter().sum();
+                let total = total.max(1) as f64;
+                Ok(Distribution::Histogram {
+                    min: hist.min,
+                    max: hist.max,
+                    densities: hist.counts.iter().map(|&c| c as f64 / total).collect(),
+                })
+            }
+        }
+    }
+
+    /// Collision probability `Σ p²` — the probability two independent
+    /// draws from the distribution coincide (categorical) or land in the
+    /// same bucket (continuous). This is the §III-A `θ` generalised beyond
+    /// uniformity.
+    pub fn collision_probability(&self) -> f64 {
+        match self {
+            Distribution::Categorical(freqs) => freqs.iter().map(|(_, p)| p * p).sum(),
+            Distribution::Histogram { densities, .. } => {
+                densities.iter().map(|p| p * p).sum()
+            }
+        }
+    }
+
+    /// The uniform-equivalent support size: `1/Σp²` (the Rényi-2
+    /// "effective cardinality"). Sharing a distribution is as leaky as
+    /// sharing a *uniform* domain of this (smaller) size.
+    pub fn effective_cardinality(&self) -> f64 {
+        let c = self.collision_probability();
+        if c > 0.0 {
+            1.0 / c
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_relation::{Attribute, Schema};
+
+    fn rel() -> Relation {
+        let schema = Schema::new(vec![
+            Attribute::categorical("c"),
+            Attribute::continuous("x"),
+        ])
+        .unwrap();
+        Relation::from_rows(
+            schema,
+            vec![
+                vec!["a".into(), 0.0.into()],
+                vec!["a".into(), 1.0.into()],
+                vec!["a".into(), 2.0.into()],
+                vec!["b".into(), 9.0.into()],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn categorical_frequencies() {
+        let d = Distribution::estimate(&rel(), 0, 0).unwrap();
+        let Distribution::Categorical(freqs) = &d else { panic!() };
+        assert_eq!(freqs.len(), 2);
+        assert!((freqs[0].1 - 0.75).abs() < 1e-12); // "a"
+        assert!((freqs[1].1 - 0.25).abs() < 1e-12); // "b"
+        // Σp² = 0.5625 + 0.0625 = 0.625 > 1/2 (uniform over 2).
+        assert!((d.collision_probability() - 0.625).abs() < 1e-12);
+        assert!((d.effective_cardinality() - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_estimation() {
+        let d = Distribution::estimate(&rel(), 1, 3).unwrap();
+        let Distribution::Histogram { min, max, densities } = &d else { panic!() };
+        assert_eq!((*min, *max), (0.0, 9.0));
+        assert_eq!(densities.len(), 3);
+        assert!((densities.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Buckets [0,3), [3,6), [6,9]: counts 3, 0, 1.
+        assert!((densities[0] - 0.75).abs() < 1e-12);
+        assert_eq!(densities[1], 0.0);
+    }
+
+    #[test]
+    fn skew_raises_collision_probability() {
+        let uniform = Distribution::Categorical(vec![
+            (Value::Int(0), 0.5),
+            (Value::Int(1), 0.5),
+        ]);
+        let skewed = Distribution::Categorical(vec![
+            (Value::Int(0), 0.9),
+            (Value::Int(1), 0.1),
+        ]);
+        assert!(skewed.collision_probability() > uniform.collision_probability());
+        assert!(skewed.effective_cardinality() < 2.0);
+        assert!((uniform.effective_cardinality() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nulls_counted_as_values() {
+        let schema = Schema::new(vec![Attribute::categorical("c")]).unwrap();
+        let r = Relation::from_rows(
+            schema,
+            vec![vec![Value::Null], vec![Value::Null], vec!["x".into()]],
+        )
+        .unwrap();
+        let d = Distribution::estimate(&r, 0, 0).unwrap();
+        let Distribution::Categorical(freqs) = &d else { panic!() };
+        assert_eq!(freqs[0].0, Value::Null);
+        assert!((freqs[0].1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let d = Distribution::estimate(&rel(), 1, 4).unwrap();
+        let json = serde_json::to_string(&d).unwrap();
+        assert_eq!(serde_json::from_str::<Distribution>(&json).unwrap(), d);
+    }
+
+    #[test]
+    fn empty_continuous_column_errors() {
+        let schema = Schema::new(vec![Attribute::continuous("x")]).unwrap();
+        let r = Relation::empty(schema);
+        assert!(Distribution::estimate(&r, 0, 4).is_err());
+    }
+}

@@ -1,0 +1,159 @@
+//! Redaction policies over metadata packages.
+//!
+//! The paper's conclusion recommends a specific disclosure level: *"feature
+//! names and dependencies should be communicated without the domain and
+//! type."* A [`SharePolicy`] encodes which fields of a
+//! [`MetadataPackage`] survive the exchange, with presets for every level
+//! the paper discusses.
+
+use crate::dependency::Dependency;
+use crate::exchange::{AttributeMeta, MetadataPackage};
+use serde::{Deserialize, Serialize};
+
+/// Which metadata fields a party is willing to disclose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SharePolicy {
+    /// Share attribute kinds (types).
+    pub kinds: bool,
+    /// Share attribute domains (§III-A shows this enables leakage).
+    pub domains: bool,
+    /// Share value distributions (leaks more than domains — the collision
+    /// probability Σp² exceeds 1/|D| for any non-uniform data).
+    pub distributions: bool,
+    /// Share the tuple count.
+    pub row_count: bool,
+    /// Share strict functional dependencies (§III-B).
+    pub fds: bool,
+    /// Share relaxed functional dependencies (§IV: AFD/OD/ND/DD/OFD).
+    pub rfds: bool,
+}
+
+impl SharePolicy {
+    /// Names only — the minimum for schema matching.
+    pub const NAMES_ONLY: SharePolicy =
+        SharePolicy { kinds: false, domains: false, distributions: false, row_count: false, fds: false, rfds: false };
+
+    /// Names, kinds and domains — what the paper observes *"current
+    /// federated learning frameworks"* commonly exchange (§III).
+    pub const NAMES_AND_DOMAINS: SharePolicy =
+        SharePolicy { kinds: true, domains: true, distributions: false, row_count: true, fds: false, rfds: false };
+
+    /// Everything: names, kinds, domains, row count and all dependencies.
+    pub const FULL: SharePolicy =
+        SharePolicy { kinds: true, domains: true, distributions: true, row_count: true, fds: true, rfds: true };
+
+    /// The paper's recommendation (§VI): names and dependencies, but *no*
+    /// domains or types.
+    pub const PAPER_RECOMMENDED: SharePolicy =
+        SharePolicy { kinds: false, domains: false, distributions: false, row_count: true, fds: true, rfds: true };
+
+    /// Applies the policy, producing the redacted package that actually
+    /// crosses the trust boundary.
+    pub fn apply(&self, pkg: &MetadataPackage) -> MetadataPackage {
+        let attributes = pkg
+            .attributes
+            .iter()
+            .map(|a| AttributeMeta {
+                name: a.name.clone(),
+                kind: if self.kinds { a.kind } else { None },
+                domain: if self.domains { a.domain.clone() } else { None },
+                distribution: if self.distributions { a.distribution.clone() } else { None },
+            })
+            .collect();
+        let dependencies = pkg
+            .dependencies
+            .iter()
+            .filter(|d| match d {
+                Dependency::Fd(_) => self.fds,
+                _ => self.rfds,
+            })
+            .cloned()
+            .collect();
+        MetadataPackage {
+            party: pkg.party.clone(),
+            attributes,
+            dependencies,
+            n_rows: if self.row_count { pkg.n_rows } else { None },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dependency::{Fd, OrderDep};
+    use mp_relation::{Attribute, Relation, Schema};
+
+    fn pkg() -> MetadataPackage {
+        let schema = Schema::new(vec![
+            Attribute::categorical("dept"),
+            Attribute::continuous("salary"),
+        ])
+        .unwrap();
+        let rel = Relation::from_rows(
+            schema,
+            vec![vec!["Sales".into(), 20.0.into()], vec!["CS".into(), 30.0.into()]],
+        )
+        .unwrap();
+        MetadataPackage::describe(
+            "bank",
+            &rel,
+            vec![Fd::new(0usize, 1).into(), OrderDep::ascending(0, 1).into()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn names_only_strips_everything() {
+        let out = SharePolicy::NAMES_ONLY.apply(&pkg());
+        assert_eq!(out.arity(), 2);
+        assert_eq!(out.attributes[0].name, "dept");
+        assert!(out.attributes.iter().all(|a| a.kind.is_none() && a.domain.is_none()));
+        assert!(out.dependencies.is_empty());
+        assert_eq!(out.n_rows, None);
+    }
+
+    #[test]
+    fn names_and_domains_keeps_domains_not_deps() {
+        let out = SharePolicy::NAMES_AND_DOMAINS.apply(&pkg());
+        assert!(out.shares_domains());
+        assert!(!out.shares_dependencies());
+        assert_eq!(out.n_rows, Some(2));
+    }
+
+    #[test]
+    fn full_keeps_all() {
+        let out = SharePolicy::FULL.apply(&pkg());
+        assert_eq!(out, pkg());
+    }
+
+    #[test]
+    fn paper_recommended_shares_deps_without_domains() {
+        let out = SharePolicy::PAPER_RECOMMENDED.apply(&pkg());
+        assert!(!out.shares_domains());
+        assert!(out.attributes.iter().all(|a| a.kind.is_none()));
+        assert_eq!(out.dependencies.len(), 2);
+    }
+
+    #[test]
+    fn fd_rfd_split_is_respected() {
+        let only_fds =
+            SharePolicy { fds: true, rfds: false, ..SharePolicy::FULL };
+        let out = only_fds.apply(&pkg());
+        assert_eq!(out.dependencies.len(), 1);
+        assert!(matches!(out.dependencies[0], Dependency::Fd(_)));
+
+        let only_rfds =
+            SharePolicy { fds: false, rfds: true, ..SharePolicy::FULL };
+        let out = only_rfds.apply(&pkg());
+        assert_eq!(out.dependencies.len(), 1);
+        assert!(matches!(out.dependencies[0], Dependency::Od(_)));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = SharePolicy::PAPER_RECOMMENDED;
+        let json = serde_json::to_string(&p).unwrap();
+        assert_eq!(serde_json::from_str::<SharePolicy>(&json).unwrap(), p);
+    }
+}

@@ -1,0 +1,192 @@
+//! Sequential dependencies (SDs).
+//!
+//! From the RFD survey's order-based family: on tuples ordered by X,
+//! consecutive Y values change by a *bounded gap* —
+//! `x_i < x_{i+1} ⇒ y_{i+1} − y_i ∈ [min_gap, max_gap]`. An SD is stronger
+//! than the OD it implies when `min_gap ≥ 0` (monotone with bounded
+//! steps), and like the OD/DD classes its metadata is structural: bounds,
+//! not values.
+
+use mp_relation::{Relation, Result, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A sequential dependency `X ↦ Y gaps ∈ [min_gap, max_gap]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SequentialDep {
+    /// Ordering attribute X.
+    pub lhs: usize,
+    /// Gap-constrained numeric attribute Y.
+    pub rhs: usize,
+    /// Smallest allowed consecutive gap.
+    pub min_gap: f64,
+    /// Largest allowed consecutive gap.
+    pub max_gap: f64,
+}
+
+impl SequentialDep {
+    /// Creates the SD.
+    pub fn new(lhs: usize, rhs: usize, min_gap: f64, max_gap: f64) -> Self {
+        Self { lhs, rhs, min_gap, max_gap }
+    }
+
+    /// Consecutive (by ascending X, nulls skipped, X-ties collapsed to
+    /// their first row) Y-gaps of the relation. `None` if Y has non-null
+    /// non-numeric values.
+    pub fn gaps(lhs: usize, rhs: usize, relation: &Relation) -> Result<Option<Vec<f64>>> {
+        let xs = relation.column(lhs)?;
+        let ys = relation.column(rhs)?;
+        if ys.iter().any(|v| !v.is_null() && v.as_f64().is_none()) {
+            return Ok(None);
+        }
+        let mut pairs: Vec<(&Value, f64)> = xs
+            .iter()
+            .zip(ys.iter())
+            .filter_map(|(x, y)| {
+                if x.is_null() {
+                    None
+                } else {
+                    y.as_f64().map(|y| (x, y))
+                }
+            })
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(b.0));
+        let mut gaps = Vec::new();
+        let mut prev: Option<(&Value, f64)> = None;
+        for (x, y) in pairs {
+            if let Some((px, py)) = prev {
+                if px == x {
+                    continue; // tie on X: keep the first representative
+                }
+                gaps.push(y - py);
+            }
+            prev = Some((x, y));
+        }
+        Ok(Some(gaps))
+    }
+
+    /// Exact validation: every consecutive gap lies in `[min_gap, max_gap]`.
+    pub fn holds(&self, relation: &Relation) -> Result<bool> {
+        match Self::gaps(self.lhs, self.rhs, relation)? {
+            None => Ok(false),
+            Some(gaps) => Ok(gaps
+                .iter()
+                .all(|g| *g >= self.min_gap - 1e-12 && *g <= self.max_gap + 1e-12)),
+        }
+    }
+
+    /// The tightest `[min_gap, max_gap]` for which the SD holds; `None`
+    /// when there are no consecutive pairs or Y is non-numeric.
+    pub fn tight_bounds(lhs: usize, rhs: usize, relation: &Relation) -> Result<Option<(f64, f64)>> {
+        match Self::gaps(lhs, rhs, relation)? {
+            None => Ok(None),
+            Some(gaps) if gaps.is_empty() => Ok(None),
+            Some(gaps) => {
+                let lo = gaps.iter().copied().fold(f64::INFINITY, f64::min);
+                let hi = gaps.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                Ok(Some((lo, hi)))
+            }
+        }
+    }
+}
+
+impl fmt::Display for SequentialDep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SD {} -> {} (gaps in [{}, {}])",
+            self.lhs, self.rhs, self.min_gap, self.max_gap
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_relation::{Attribute, Schema};
+
+    fn rel(rows: &[(f64, f64)]) -> Relation {
+        let schema = Schema::new(vec![
+            Attribute::continuous("x"),
+            Attribute::continuous("y"),
+        ])
+        .unwrap();
+        Relation::from_rows(
+            schema,
+            rows.iter().map(|&(x, y)| vec![x.into(), y.into()]).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn gaps_follow_x_order() {
+        // Rows unsorted on purpose; sorted by x: y = 10, 12, 15 → gaps 2, 3.
+        let r = rel(&[(3.0, 15.0), (1.0, 10.0), (2.0, 12.0)]);
+        assert_eq!(
+            SequentialDep::gaps(0, 1, &r).unwrap().unwrap(),
+            vec![2.0, 3.0]
+        );
+        assert_eq!(
+            SequentialDep::tight_bounds(0, 1, &r).unwrap(),
+            Some((2.0, 3.0))
+        );
+        assert!(SequentialDep::new(0, 1, 2.0, 3.0).holds(&r).unwrap());
+        assert!(!SequentialDep::new(0, 1, 2.5, 3.0).holds(&r).unwrap());
+        assert!(!SequentialDep::new(0, 1, 0.0, 2.5).holds(&r).unwrap());
+    }
+
+    #[test]
+    fn x_ties_collapse_to_first() {
+        let r = rel(&[(1.0, 10.0), (1.0, 99.0), (2.0, 11.0)]);
+        assert_eq!(SequentialDep::gaps(0, 1, &r).unwrap().unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn negative_gaps_allowed_by_bounds() {
+        let r = rel(&[(1.0, 10.0), (2.0, 8.0), (3.0, 9.0)]);
+        assert!(SequentialDep::new(0, 1, -2.0, 1.0).holds(&r).unwrap());
+        assert_eq!(
+            SequentialDep::tight_bounds(0, 1, &r).unwrap(),
+            Some((-2.0, 1.0))
+        );
+    }
+
+    #[test]
+    fn nonmonotone_fails_monotone_sd() {
+        let r = rel(&[(1.0, 10.0), (2.0, 8.0)]);
+        assert!(!SequentialDep::new(0, 1, 0.0, 5.0).holds(&r).unwrap());
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let r = rel(&[(1.0, 10.0)]);
+        assert_eq!(SequentialDep::gaps(0, 1, &r).unwrap().unwrap(), Vec::<f64>::new());
+        assert_eq!(SequentialDep::tight_bounds(0, 1, &r).unwrap(), None);
+        // No pairs → holds vacuously.
+        assert!(SequentialDep::new(0, 1, 0.0, 0.0).holds(&r).unwrap());
+    }
+
+    #[test]
+    fn text_rhs_is_undefined() {
+        let schema = Schema::new(vec![
+            Attribute::continuous("x"),
+            Attribute::categorical("t"),
+        ])
+        .unwrap();
+        let r = Relation::from_rows(
+            schema,
+            vec![vec![1.0.into(), "a".into()], vec![2.0.into(), "b".into()]],
+        )
+        .unwrap();
+        assert_eq!(SequentialDep::gaps(0, 1, &r).unwrap(), None);
+        assert!(!SequentialDep::new(0, 1, -1e9, 1e9).holds(&r).unwrap());
+    }
+
+    #[test]
+    fn serde_and_display() {
+        let sd = SequentialDep::new(0, 1, -1.0, 2.0);
+        let json = serde_json::to_string(&sd).unwrap();
+        assert_eq!(serde_json::from_str::<SequentialDep>(&json).unwrap(), sd);
+        assert!(sd.to_string().contains("gaps in [-1, 2]"));
+    }
+}

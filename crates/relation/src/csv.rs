@@ -1,0 +1,439 @@
+//! Minimal CSV reader/writer for relations.
+//!
+//! Supports RFC-4180-style quoting, type inference (int → float → text),
+//! and the echocardiogram convention that `?` or an empty field is a
+//! missing value. Implemented in-repo to keep the dependency footprint to
+//! the crates the project brief allows.
+
+use crate::error::{RelationError, Result};
+use crate::relation::Relation;
+use crate::schema::{AttrKind, Attribute, Schema};
+use crate::value::Value;
+use std::path::Path;
+
+/// Options controlling CSV parsing.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field delimiter (default `,`).
+    pub delimiter: char,
+    /// Whether the first record is a header of attribute names.
+    pub has_header: bool,
+    /// Tokens (beyond the empty string) treated as missing values.
+    pub null_tokens: Vec<String>,
+    /// Honour/emit a `#kinds` annotation row (second line, fields
+    /// `categorical`/`continuous`) that round-trips attribute kinds —
+    /// plain CSV cannot distinguish an integer-coded categorical from a
+    /// continuous column otherwise.
+    pub kind_row: bool,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        Self {
+            delimiter: ',',
+            has_header: true,
+            null_tokens: vec!["?".to_owned(), "NA".to_owned()],
+            kind_row: false,
+        }
+    }
+}
+
+impl CsvOptions {
+    /// Defaults plus the `#kinds` annotation row.
+    pub fn with_kind_row() -> Self {
+        Self { kind_row: true, ..Self::default() }
+    }
+}
+
+/// Splits raw CSV text into records of string fields.
+///
+/// Handles quoted fields (including embedded delimiters, escaped quotes and
+/// embedded newlines). Returns an error with a 1-based line number on an
+/// unterminated quote.
+pub fn parse_records(text: &str, delimiter: char) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut chars = text.chars().peekable();
+    let mut any = false;
+
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push(c);
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                '\r' => {} // tolerate CRLF
+                '\n' => {
+                    line += 1;
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                c if c == delimiter => record.push(std::mem::take(&mut field)),
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(RelationError::Csv { line, message: "unterminated quoted field".into() });
+    }
+    if any && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push(record);
+    }
+    // Drop fully empty trailing records (e.g. file ends with blank line).
+    records.retain(|r| !(r.len() == 1 && r[0].is_empty()));
+    Ok(records)
+}
+
+/// Parses one field into a [`Value`], using `null_tokens`.
+fn parse_field(field: &str, null_tokens: &[String]) -> Value {
+    let trimmed = field.trim();
+    if trimmed.is_empty() || null_tokens.iter().any(|t| t == trimmed) {
+        return Value::Null;
+    }
+    if let Ok(i) = trimmed.parse::<i64>() {
+        return Value::Int(i);
+    }
+    // Only finite numerics count as numbers: `nan`/`inf` parse as f64 but
+    // must stay text, or text columns containing them would not round-trip.
+    if let Ok(f) = trimmed.parse::<f64>() {
+        if f.is_finite() {
+            return Value::Float(f);
+        }
+    }
+    Value::Text(trimmed.to_owned())
+}
+
+/// Infers an [`AttrKind`] for a parsed column: all-numeric (ignoring nulls)
+/// columns become continuous, everything else categorical.
+fn infer_kind(column: &[Value]) -> AttrKind {
+    let mut saw_numeric = false;
+    for v in column {
+        match v {
+            Value::Null => {}
+            Value::Int(_) | Value::Float(_) => saw_numeric = true,
+            Value::Text(_) => return AttrKind::Categorical,
+        }
+    }
+    if saw_numeric {
+        AttrKind::Continuous
+    } else {
+        AttrKind::Categorical
+    }
+}
+
+/// Reads a relation from CSV text, inferring attribute kinds.
+///
+/// If `opts.has_header` is false, attributes are named `attr0..attrN`
+/// (matching the paper's Table III/IV naming).
+pub fn read_str(text: &str, opts: &CsvOptions) -> Result<Relation> {
+    let mut records = parse_records(text, opts.delimiter)?;
+    if records.is_empty() {
+        return Err(RelationError::Csv { line: 1, message: "empty input".into() });
+    }
+    let header: Vec<String> = if opts.has_header {
+        records.remove(0)
+    } else {
+        (0..records[0].len()).map(|i| format!("attr{i}")).collect()
+    };
+    let arity = header.len();
+    // Optional `#kinds` annotation row immediately after the header.
+    let mut declared_kinds: Option<Vec<AttrKind>> = None;
+    if opts.kind_row {
+        if let Some(first) = records.first() {
+            if first.first().is_some_and(|f| f.starts_with("#kinds")) {
+                let row = records.remove(0);
+                if row.len() != arity {
+                    return Err(RelationError::Csv {
+                        line: 2,
+                        message: format!(
+                            "#kinds row has {} fields, expected {arity}",
+                            row.len()
+                        ),
+                    });
+                }
+                let parse_kind = |f: &str, c: usize| match f.trim() {
+                    "categorical" => Ok(AttrKind::Categorical),
+                    "continuous" => Ok(AttrKind::Continuous),
+                    other => Err(RelationError::Csv {
+                        line: 2,
+                        message: format!("unknown kind `{other}` in #kinds field {c}"),
+                    }),
+                };
+                let mut kinds = Vec::with_capacity(arity);
+                // Field 0 carries the marker plus column 0's kind:
+                // `#kinds=<kind>`.
+                let first_kind = row[0]
+                    .strip_prefix("#kinds=")
+                    .map(|k| parse_kind(k, 0))
+                    .transpose()?
+                    .unwrap_or(AttrKind::Categorical);
+                kinds.push(first_kind);
+                for (c, f) in row.iter().enumerate().skip(1) {
+                    kinds.push(parse_kind(f, c)?);
+                }
+                declared_kinds = Some(kinds);
+            }
+        }
+    }
+    let mut columns: Vec<Vec<Value>> = vec![Vec::with_capacity(records.len()); arity];
+    for (i, rec) in records.iter().enumerate() {
+        if rec.len() != arity {
+            return Err(RelationError::Csv {
+                line: i + 1 + usize::from(opts.has_header),
+                message: format!("expected {arity} fields, found {}", rec.len()),
+            });
+        }
+        for (c, f) in rec.iter().enumerate() {
+            columns[c].push(parse_field(f, &opts.null_tokens));
+        }
+    }
+    let attrs: Vec<Attribute> = header
+        .into_iter()
+        .enumerate()
+        .zip(&columns)
+        .map(|((i, name), col)| {
+            let kind = declared_kinds
+                .as_ref()
+                .and_then(|ks| ks.get(i).copied())
+                .unwrap_or_else(|| infer_kind(col));
+            Attribute::new(name, kind)
+        })
+        .collect();
+    // Mixed numeric/text columns were inferred categorical; stringify the
+    // numerics so the column is homogeneous (e.g. an ID column of "1, 2, x").
+    for (attr, col) in attrs.iter().zip(&mut columns) {
+        if attr.kind == AttrKind::Categorical
+            && col.iter().any(|v| matches!(v, Value::Text(_)))
+            && col.iter().any(|v| v.as_f64().is_some())
+        {
+            for v in col.iter_mut() {
+                if v.as_f64().is_some() {
+                    *v = Value::Text(v.to_string());
+                }
+            }
+        }
+    }
+    Relation::from_columns(Schema::new(attrs)?, columns)
+}
+
+/// Reads a relation from a CSV file.
+pub fn read_path(path: impl AsRef<Path>, opts: &CsvOptions) -> Result<Relation> {
+    let text = std::fs::read_to_string(path)?;
+    read_str(&text, opts)
+}
+
+/// Serialises a relation to CSV text (with header, `?` for nulls).
+pub fn write_str(relation: &Relation) -> String {
+    write_str_with(relation, &CsvOptions::default())
+}
+
+/// Serialises a relation, optionally emitting the `#kinds` annotation row
+/// so kinds round-trip through [`read_str`] with the same options.
+pub fn write_str_with(relation: &Relation, opts: &CsvOptions) -> String {
+    let mut out = String::new();
+    let names: Vec<&str> =
+        relation.schema().attributes().iter().map(|a| a.name.as_str()).collect();
+    out.push_str(&names.iter().map(|n| escape(n)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    if opts.kind_row {
+        let attrs = relation.schema().attributes();
+        let mut fields = Vec::with_capacity(attrs.len());
+        for (i, a) in attrs.iter().enumerate() {
+            if i == 0 {
+                fields.push(format!("#kinds={}", a.kind));
+            } else {
+                fields.push(a.kind.to_string());
+            }
+        }
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    for row in relation.rows() {
+        let fields: Vec<String> = row.iter().map(|v| escape(&v.to_string())).collect();
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a relation to a CSV file.
+pub fn write_path(relation: &Relation, path: impl AsRef<Path>) -> Result<()> {
+    std::fs::write(path, write_str(relation))?;
+    Ok(())
+}
+
+fn escape(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_parse_with_header() {
+        let r = read_str("name,age\nAlice,18\nBob,22\n", &CsvOptions::default()).unwrap();
+        assert_eq!(r.n_rows(), 2);
+        assert_eq!(r.schema().attribute(0).unwrap().kind, AttrKind::Categorical);
+        assert_eq!(r.schema().attribute(1).unwrap().kind, AttrKind::Continuous);
+        assert_eq!(r.column_by_name("age").unwrap()[1], Value::Int(22));
+    }
+
+    #[test]
+    fn headerless_names_attrs_by_index() {
+        let opts = CsvOptions { has_header: false, ..Default::default() };
+        let r = read_str("1,2.5\n3,4.5\n", &opts).unwrap();
+        assert_eq!(r.schema().attribute(0).unwrap().name, "attr0");
+        assert_eq!(r.schema().attribute(1).unwrap().name, "attr1");
+    }
+
+    #[test]
+    fn question_mark_is_null() {
+        let r = read_str("x,y\n?,1\n2,?\n", &CsvOptions::default()).unwrap();
+        assert_eq!(r.column(0).unwrap()[0], Value::Null);
+        assert_eq!(r.column(1).unwrap()[1], Value::Null);
+        // Column with nulls and ints still infers continuous.
+        assert_eq!(r.schema().attribute(0).unwrap().kind, AttrKind::Continuous);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_quotes() {
+        let r = read_str(
+            "name,quote\n\"Smith, John\",\"he said \"\"hi\"\"\"\n",
+            &CsvOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(r.column(0).unwrap()[0], Value::Text("Smith, John".into()));
+        assert_eq!(r.column(1).unwrap()[0], Value::Text("he said \"hi\"".into()));
+    }
+
+    #[test]
+    fn embedded_newline_in_quotes() {
+        let r = read_str("a,b\n\"line1\nline2\",2\n", &CsvOptions::default()).unwrap();
+        assert_eq!(r.n_rows(), 1);
+        assert_eq!(r.column(0).unwrap()[0], Value::Text("line1\nline2".into()));
+    }
+
+    #[test]
+    fn unterminated_quote_errors() {
+        let err = read_str("a\n\"oops\n", &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, RelationError::Csv { .. }));
+    }
+
+    #[test]
+    fn ragged_rows_rejected_with_line_number() {
+        let err = read_str("a,b\n1,2\n3\n", &CsvOptions::default()).unwrap_err();
+        match err {
+            RelationError::Csv { line, .. } => assert_eq!(line, 3),
+            other => panic!("expected Csv error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn mixed_numeric_text_column_becomes_categorical_text() {
+        let r = read_str("x\n1\nhello\n", &CsvOptions::default()).unwrap();
+        assert_eq!(r.schema().attribute(0).unwrap().kind, AttrKind::Categorical);
+        // The numeric is stringified so the column is homogeneous text.
+        assert_eq!(r.column(0).unwrap()[0], Value::Text("1".into()));
+        assert_eq!(r.column(0).unwrap()[1], Value::Text("hello".into()));
+    }
+
+    #[test]
+    fn kind_row_roundtrips_kinds() {
+        let schema = Schema::new(vec![
+            Attribute::categorical("code"), // integer-coded categorical
+            Attribute::continuous("x"),
+        ])
+        .unwrap();
+        let r = Relation::from_rows(
+            schema,
+            vec![
+                vec![Value::Int(0), 1.5.into()],
+                vec![Value::Int(1), 2.5.into()],
+            ],
+        )
+        .unwrap();
+        let opts = CsvOptions::with_kind_row();
+        let text = write_str_with(&r, &opts);
+        assert!(text.lines().nth(1).unwrap().starts_with("#kinds=categorical"));
+        let back = read_str(&text, &opts).unwrap();
+        assert_eq!(back.schema(), r.schema());
+        assert_eq!(back, r);
+        // Without the option the annotation is not honoured and the coded
+        // column comes back continuous (the plain-CSV limitation).
+        let plain = read_str(&text, &CsvOptions::default()).unwrap();
+        assert_ne!(plain.schema(), r.schema());
+    }
+
+    #[test]
+    fn malformed_kind_row_errors() {
+        let opts = CsvOptions::with_kind_row();
+        let err = read_str("a,b
+#kinds=categorical,weird
+1,2
+", &opts).unwrap_err();
+        assert!(matches!(err, RelationError::Csv { line: 2, .. }));
+        let err = read_str("a,b
+#kinds=categorical
+1,2
+", &opts).unwrap_err();
+        assert!(matches!(err, RelationError::Csv { line: 2, .. }));
+    }
+
+    #[test]
+    fn nan_and_inf_stay_text() {
+        let r = read_str("x
+nan
+inf
+-inf
+NaN
+", &CsvOptions::default()).unwrap();
+        assert_eq!(r.schema().attribute(0).unwrap().kind, AttrKind::Categorical);
+        for v in r.column(0).unwrap() {
+            assert!(matches!(v, Value::Text(_)), "{v:?} should be text");
+        }
+    }
+
+    #[test]
+    fn crlf_tolerated() {
+        let r = read_str("a,b\r\n1,2\r\n", &CsvOptions::default()).unwrap();
+        assert_eq!(r.n_rows(), 1);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let csv = "name,age\n\"Smith, J\",18\nBob,?\n";
+        let r = read_str(csv, &CsvOptions::default()).unwrap();
+        let out = write_str(&r);
+        let r2 = read_str(&out, &CsvOptions::default()).unwrap();
+        assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert!(read_str("", &CsvOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,41 @@
+//! # mp-relation — relational substrate
+//!
+//! The in-memory relational layer underneath the `metadata-privacy`
+//! workspace, the Rust reproduction of *"Will Sharing Metadata Leak
+//! Privacy?"* (Zhan & Hai, ICDE 2024).
+//!
+//! It provides:
+//!
+//! * [`Value`] — dynamically typed cells with a total order suitable for
+//!   grouping and sorting;
+//! * [`Schema`] / [`Attribute`] / [`AttrKind`] — named, kinded attributes
+//!   (the paper's categorical/continuous split);
+//! * [`Relation`] — column-oriented tables with typed construction,
+//!   projection (vertical partitioning between VFL parties) and row
+//!   selection (PSI-aligned intersections);
+//! * [`Domain`] — the attribute-domain metadata whose sharing the paper
+//!   analyses, with inference from data and the paper's θ probabilities;
+//! * [`Pli`] — TANE-style stripped partitions powering dependency
+//!   discovery and `g3` error computation;
+//! * [`csv`] — a small reader/writer with `?`-as-missing handling;
+//! * [`ColumnStats`] / [`Histogram`] — summary statistics for reports.
+
+#![warn(missing_docs)]
+
+pub mod csv;
+mod domain;
+mod error;
+mod partition;
+#[allow(clippy::module_inception)]
+mod relation;
+mod schema;
+mod stats;
+mod value;
+
+pub use domain::Domain;
+pub use error::{RelationError, Result};
+pub use partition::Pli;
+pub use relation::{Relation, RelationBuilder};
+pub use schema::{AttrKind, Attribute, Schema};
+pub use stats::{quantile, quartiles, ColumnStats, Histogram};
+pub use value::Value;

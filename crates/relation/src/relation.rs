@@ -1,0 +1,464 @@
+//! Column-oriented relations (tables).
+
+use crate::error::{RelationError, Result};
+use crate::schema::{AttrKind, Attribute, Schema};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A relation: a schema plus column-oriented storage.
+///
+/// Storage is one `Vec<Value>` per attribute, which suits the access
+/// patterns of dependency discovery (whole-column scans) and of the paper's
+/// leakage measurements (index-aligned column comparisons).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Relation {
+    schema: Schema,
+    columns: Vec<Vec<Value>>,
+    n_rows: usize,
+}
+
+impl Relation {
+    /// Creates an empty relation with the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        let columns = vec![Vec::new(); schema.arity()];
+        Self { schema, columns, n_rows: 0 }
+    }
+
+    /// Builds a relation from rows, checking arity and column type
+    /// homogeneity (nulls are allowed in any column).
+    pub fn from_rows(schema: Schema, rows: Vec<Vec<Value>>) -> Result<Self> {
+        let mut builder = RelationBuilder::new(schema);
+        for row in rows {
+            builder.push_row(row)?;
+        }
+        Ok(builder.finish())
+    }
+
+    /// Builds a relation directly from columns.
+    ///
+    /// All columns must have equal length; types are checked the same way as
+    /// [`Relation::from_rows`].
+    pub fn from_columns(schema: Schema, columns: Vec<Vec<Value>>) -> Result<Self> {
+        if columns.len() != schema.arity() {
+            return Err(RelationError::ArityMismatch {
+                expected: schema.arity(),
+                got: columns.len(),
+            });
+        }
+        let n_rows = columns.first().map_or(0, Vec::len);
+        for (i, col) in columns.iter().enumerate() {
+            if col.len() != n_rows {
+                return Err(RelationError::ArityMismatch { expected: n_rows, got: col.len() });
+            }
+            check_column_homogeneous(schema.attribute(i)?, col)?;
+        }
+        Ok(Self { schema, columns, n_rows })
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.schema.arity()
+    }
+
+    /// Returns `true` if the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    /// The column at `index`.
+    pub fn column(&self, index: usize) -> Result<&[Value]> {
+        self.columns
+            .get(index)
+            .map(Vec::as_slice)
+            .ok_or(RelationError::IndexOutOfBounds { index, len: self.columns.len() })
+    }
+
+    /// The column named `name`.
+    pub fn column_by_name(&self, name: &str) -> Result<&[Value]> {
+        let idx = self.schema.index_of(name)?;
+        self.column(idx)
+    }
+
+    /// The cell at (`row`, `col`).
+    pub fn value(&self, row: usize, col: usize) -> Result<&Value> {
+        let column = self.column(col)?;
+        column.get(row).ok_or(RelationError::IndexOutOfBounds { index: row, len: self.n_rows })
+    }
+
+    /// Materialises row `row` as an owned vector.
+    pub fn row(&self, row: usize) -> Result<Vec<Value>> {
+        if row >= self.n_rows {
+            return Err(RelationError::IndexOutOfBounds { index: row, len: self.n_rows });
+        }
+        Ok(self.columns.iter().map(|c| c[row].clone()).collect())
+    }
+
+    /// Iterator over materialised rows.
+    pub fn rows(&self) -> impl Iterator<Item = Vec<Value>> + '_ {
+        (0..self.n_rows).map(move |r| self.columns.iter().map(|c| c[r].clone()).collect())
+    }
+
+    /// Projection onto the attributes at `indices` (vertical slice).
+    pub fn project(&self, indices: &[usize]) -> Result<Relation> {
+        let schema = self.schema.project(indices)?;
+        let mut columns = Vec::with_capacity(indices.len());
+        for &i in indices {
+            columns.push(self.column(i)?.to_vec());
+        }
+        Ok(Relation { schema, columns, n_rows: self.n_rows })
+    }
+
+    /// Projection by attribute names.
+    pub fn project_names(&self, names: &[&str]) -> Result<Relation> {
+        let indices: Vec<usize> =
+            names.iter().map(|n| self.schema.index_of(n)).collect::<Result<_>>()?;
+        self.project(&indices)
+    }
+
+    /// Horizontal slice keeping only the tuples at `row_indices`
+    /// (in the given order). Used to realise PSI-aligned intersections.
+    pub fn select_rows(&self, row_indices: &[usize]) -> Result<Relation> {
+        for &r in row_indices {
+            if r >= self.n_rows {
+                return Err(RelationError::IndexOutOfBounds { index: r, len: self.n_rows });
+            }
+        }
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| row_indices.iter().map(|&r| c[r].clone()).collect())
+            .collect();
+        Ok(Relation { schema: self.schema.clone(), columns, n_rows: row_indices.len() })
+    }
+
+    /// Appends a row (type-checked).
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<()> {
+        if row.len() != self.schema.arity() {
+            return Err(RelationError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: row.len(),
+            });
+        }
+        for (i, v) in row.iter().enumerate() {
+            check_value(self.schema.attribute(i)?, &self.columns[i], v)?;
+        }
+        for (i, v) in row.into_iter().enumerate() {
+            self.columns[i].push(v);
+        }
+        self.n_rows += 1;
+        Ok(())
+    }
+
+    /// Appends all rows of `other` (schemas must be equal). Used when
+    /// recombining horizontal slices.
+    pub fn append(&mut self, other: &Relation) -> Result<()> {
+        if self.schema != *other.schema() {
+            return Err(RelationError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: other.schema().arity(),
+            });
+        }
+        for (mine, theirs) in self.columns.iter_mut().zip(&other.columns) {
+            mine.extend(theirs.iter().cloned());
+        }
+        self.n_rows += other.n_rows;
+        Ok(())
+    }
+
+    /// A copy of the relation with rows sorted by column `col` ascending
+    /// (stable, nulls first per `Value`'s total order).
+    pub fn sorted_by_column(&self, col: usize) -> Result<Relation> {
+        let key = self.column(col)?;
+        let mut order: Vec<usize> = (0..self.n_rows).collect();
+        order.sort_by(|&a, &b| key[a].cmp(&key[b]));
+        self.select_rows(&order)
+    }
+
+    /// Rows where `predicate` holds on the value of column `col`.
+    pub fn filter_rows<F>(&self, col: usize, predicate: F) -> Result<Relation>
+    where
+        F: Fn(&Value) -> bool,
+    {
+        let column = self.column(col)?;
+        let keep: Vec<usize> =
+            (0..self.n_rows).filter(|&r| predicate(&column[r])).collect();
+        self.select_rows(&keep)
+    }
+
+    /// Number of distinct values in column `col` (nulls count as one value).
+    pub fn distinct_count(&self, col: usize) -> Result<usize> {
+        let mut vals: Vec<&Value> = self.column(col)?.iter().collect();
+        vals.sort();
+        vals.dedup();
+        Ok(vals.len())
+    }
+}
+
+/// Checks a single value against the column's established non-null type.
+fn check_value(attr: &Attribute, column: &[Value], v: &Value) -> Result<()> {
+    if v.is_null() {
+        return Ok(());
+    }
+    // Continuous columns accept any numeric; categorical accept a single
+    // non-null variant (established by the first non-null value).
+    match attr.kind {
+        AttrKind::Continuous => {
+            if v.as_f64().is_none() {
+                return Err(RelationError::TypeMismatch {
+                    column: attr.name.clone(),
+                    expected: "numeric",
+                    got: v.type_name(),
+                });
+            }
+        }
+        AttrKind::Categorical => {
+            if let Some(first) = column.iter().find(|x| !x.is_null()) {
+                let same = matches!(
+                    (first, v),
+                    (Value::Int(_), Value::Int(_))
+                        | (Value::Float(_), Value::Float(_))
+                        | (Value::Text(_), Value::Text(_))
+                );
+                if !same {
+                    return Err(RelationError::TypeMismatch {
+                        column: attr.name.clone(),
+                        expected: first.type_name(),
+                        got: v.type_name(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks a whole column for homogeneity.
+fn check_column_homogeneous(attr: &Attribute, col: &[Value]) -> Result<()> {
+    let mut seen: Vec<Value> = Vec::new();
+    for v in col {
+        check_value(attr, &seen, v)?;
+        if !v.is_null() && seen.is_empty() {
+            seen.push(v.clone());
+        }
+    }
+    Ok(())
+}
+
+/// Incremental, type-checked relation builder.
+#[derive(Debug, Clone)]
+pub struct RelationBuilder {
+    relation: Relation,
+}
+
+impl RelationBuilder {
+    /// Starts an empty builder over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        Self { relation: Relation::empty(schema) }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<&mut Self> {
+        self.relation.push_row(row)?;
+        Ok(self)
+    }
+
+    /// Finishes the build.
+    pub fn finish(self) -> Relation {
+        self.relation
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for r in 0..self.n_rows.min(20) {
+            let cells: Vec<String> = self.columns.iter().map(|c| c[r].to_string()).collect();
+            writeln!(f, "{}", cells.join(" | "))?;
+        }
+        if self.n_rows > 20 {
+            writeln!(f, "... ({} rows total)", self.n_rows)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::categorical("name"),
+            Attribute::continuous("age"),
+            Attribute::categorical("dept"),
+        ])
+        .unwrap()
+    }
+
+    fn sample() -> Relation {
+        Relation::from_rows(
+            schema(),
+            vec![
+                vec!["Alice".into(), 18i64.into(), "Sales".into()],
+                vec!["Bob".into(), 22i64.into(), "CS".into()],
+                vec!["Charlie".into(), 22i64.into(), "Sales".into()],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_and_access() {
+        let r = sample();
+        assert_eq!(r.n_rows(), 3);
+        assert_eq!(r.arity(), 3);
+        assert_eq!(*r.value(1, 0).unwrap(), Value::Text("Bob".into()));
+        assert_eq!(r.column_by_name("age").unwrap()[2], Value::Int(22));
+        assert_eq!(r.row(0).unwrap()[2], Value::Text("Sales".into()));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let err = Relation::from_rows(schema(), vec![vec!["x".into()]]).unwrap_err();
+        assert!(matches!(err, RelationError::ArityMismatch { expected: 3, got: 1 }));
+    }
+
+    #[test]
+    fn categorical_type_homogeneity_enforced() {
+        let err = Relation::from_rows(
+            schema(),
+            vec![
+                vec!["Alice".into(), 18i64.into(), "Sales".into()],
+                vec![Value::Int(5), 20i64.into(), "CS".into()],
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, RelationError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn continuous_rejects_text() {
+        let err = Relation::from_rows(
+            schema(),
+            vec![vec!["Alice".into(), "old".into(), "Sales".into()]],
+        )
+        .unwrap_err();
+        assert!(matches!(err, RelationError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn nulls_allowed_anywhere() {
+        let r = Relation::from_rows(
+            schema(),
+            vec![vec![Value::Null, Value::Null, Value::Null]],
+        )
+        .unwrap();
+        assert_eq!(r.n_rows(), 1);
+    }
+
+    #[test]
+    fn continuous_accepts_mixed_int_float() {
+        let r = Relation::from_rows(
+            schema(),
+            vec![
+                vec!["A".into(), Value::Int(18), "S".into()],
+                vec!["B".into(), Value::Float(22.5), "S".into()],
+            ],
+        )
+        .unwrap();
+        assert_eq!(r.column(1).unwrap()[1], Value::Float(22.5));
+    }
+
+    #[test]
+    fn projection_and_selection() {
+        let r = sample();
+        let p = r.project_names(&["dept", "name"]).unwrap();
+        assert_eq!(p.arity(), 2);
+        assert_eq!(p.column(0).unwrap()[0], Value::Text("Sales".into()));
+
+        let s = r.select_rows(&[2, 0]).unwrap();
+        assert_eq!(s.n_rows(), 2);
+        assert_eq!(*s.value(0, 0).unwrap(), Value::Text("Charlie".into()));
+        assert!(r.select_rows(&[9]).is_err());
+    }
+
+    #[test]
+    fn from_columns_checks_lengths() {
+        let err = Relation::from_columns(
+            schema(),
+            vec![vec!["A".into()], vec![], vec!["S".into()]],
+        )
+        .unwrap_err();
+        assert!(matches!(err, RelationError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn distinct_counts() {
+        let r = sample();
+        assert_eq!(r.distinct_count(2).unwrap(), 2); // Sales, CS
+        assert_eq!(r.distinct_count(1).unwrap(), 2); // 18, 22
+    }
+
+    #[test]
+    fn empty_relation_behaviour() {
+        let r = Relation::empty(schema());
+        assert!(r.is_empty());
+        assert_eq!(r.rows().count(), 0);
+        assert_eq!(r.distinct_count(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn append_concatenates_rows() {
+        let mut r = sample();
+        let other = sample();
+        r.append(&other).unwrap();
+        assert_eq!(r.n_rows(), 6);
+        assert_eq!(*r.value(3, 0).unwrap(), Value::Text("Alice".into()));
+        // Mismatched schemas rejected.
+        let narrow = Relation::empty(
+            Schema::new(vec![Attribute::categorical("x")]).unwrap(),
+        );
+        assert!(r.append(&narrow).is_err());
+    }
+
+    #[test]
+    fn sorted_by_column_orders_rows() {
+        let r = sample().sorted_by_column(1).unwrap();
+        let ages: Vec<_> = r.column(1).unwrap().to_vec();
+        let mut expected = ages.clone();
+        expected.sort();
+        assert_eq!(ages, expected);
+        // Stability: Bob (row 1) precedes Charlie (row 2) among age ties.
+        assert_eq!(*r.value(1, 0).unwrap(), Value::Text("Bob".into()));
+        assert_eq!(*r.value(2, 0).unwrap(), Value::Text("Charlie".into()));
+    }
+
+    #[test]
+    fn filter_rows_by_predicate() {
+        let r = sample()
+            .filter_rows(2, |v| *v == Value::Text("Sales".into()))
+            .unwrap();
+        assert_eq!(r.n_rows(), 2);
+        assert!(r.column(2).unwrap().iter().all(|v| *v == Value::Text("Sales".into())));
+        let none = sample().filter_rows(2, |_| false).unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn display_truncates() {
+        let r = sample();
+        let d = r.to_string();
+        assert!(d.contains("Alice"));
+    }
+}

@@ -1,0 +1,308 @@
+//! The dynamically typed cell value used throughout the workspace.
+//!
+//! A [`Value`] is one of `Null`, `Int`, `Float` or `Text`. Columns are
+//! type-homogeneous (enforced by [`crate::relation::RelationBuilder`]), so
+//! cross-variant comparisons only matter for establishing a stable total
+//! order; they never decide dependency semantics.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A single cell value.
+///
+/// `Value` implements a *total* order and hash so it can serve as a grouping
+/// key in partition refinement and dependency discovery:
+///
+/// * `Null` sorts before everything and equals only itself.
+/// * `Int` and `Float` compare numerically against each other.
+/// * `Text` sorts after all numerics, lexicographically.
+/// * `Float` NaNs are canonicalised: every NaN is equal to every other NaN
+///   and sorts after all other floats.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// A missing value (the echocardiogram dataset marks these `?`).
+    Null,
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A 64-bit float.
+    Float(f64),
+    /// A string / categorical label.
+    Text(String),
+}
+
+impl Value {
+    /// Returns `true` if the value is [`Value::Null`].
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view of the value, if it has one.
+    ///
+    /// `Int` widens to `f64`; `Null` and `Text` return `None`.
+    #[inline]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view of the value, if it is an `Int`.
+    #[inline]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view of the value, if it is `Text`.
+    #[inline]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short name for the variant, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Text(_) => "text",
+        }
+    }
+
+    /// Rank used to order values of different variants.
+    ///
+    /// `Int` and `Float` share a rank so they compare numerically.
+    #[inline]
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Int(_) | Value::Float(_) => 1,
+            Value::Text(_) => 2,
+        }
+    }
+
+    /// Canonical bit pattern for a float: all NaNs collapse to one pattern,
+    /// and `-0.0` collapses to `0.0`, so `Eq`/`Hash`/`Ord` agree.
+    #[inline]
+    fn canonical_bits(f: f64) -> u64 {
+        if f.is_nan() {
+            f64::NAN.to_bits()
+        } else if f == 0.0 {
+            0.0f64.to_bits()
+        } else {
+            f.to_bits()
+        }
+    }
+
+    /// Total order over floats with canonical NaN greatest.
+    #[inline]
+    fn float_cmp(a: f64, b: f64) -> Ordering {
+        match (a.is_nan(), b.is_nan()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+            (false, false) => a.partial_cmp(&b).expect("both non-NaN"),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Text(a), Text(b)) => a.cmp(b),
+            (Float(a), Float(b)) => Self::float_cmp(*a, *b),
+            // Cross numeric comparison: compare as floats, fall back to the
+            // exact integer order when the float comparison ties (guards
+            // against precision loss above 2^53).
+            (Int(a), Float(b)) => match Self::float_cmp(*a as f64, *b) {
+                Ordering::Equal => Ordering::Equal,
+                o => o,
+            },
+            (Float(a), Int(b)) => match Self::float_cmp(*a, *b as f64) {
+                Ordering::Equal => Ordering::Equal,
+                o => o,
+            },
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            // Numerics hash via the canonical float bit pattern so that
+            // `Int(2)` and `Float(2.0)` (which compare equal) hash equal.
+            Value::Int(i) => {
+                state.write_u8(1);
+                state.write_u64(Self::canonical_bits(*i as f64));
+            }
+            Value::Float(f) => {
+                state.write_u8(1);
+                state.write_u64(Self::canonical_bits(*f));
+            }
+            Value::Text(s) => {
+                state.write_u8(2);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "?"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Text(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn null_only_equals_null() {
+        assert_eq!(Value::Null, Value::Null);
+        assert_ne!(Value::Null, Value::Int(0));
+        assert_ne!(Value::Null, Value::Text(String::new()));
+    }
+
+    #[test]
+    fn numeric_cross_type_equality() {
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        assert_ne!(Value::Int(2), Value::Float(2.5));
+        assert_eq!(hash_of(&Value::Int(2)), hash_of(&Value::Float(2.0)));
+    }
+
+    #[test]
+    fn nan_is_canonical() {
+        let a = Value::Float(f64::NAN);
+        let b = Value::Float(-f64::NAN);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+        assert!(Value::Float(f64::INFINITY) < a);
+    }
+
+    #[test]
+    fn negative_zero_equals_zero() {
+        assert_eq!(Value::Float(-0.0), Value::Float(0.0));
+        assert_eq!(hash_of(&Value::Float(-0.0)), hash_of(&Value::Float(0.0)));
+    }
+
+    #[test]
+    fn total_order_across_types() {
+        let mut vals = [
+            Value::Text("a".into()),
+            Value::Float(1.5),
+            Value::Null,
+            Value::Int(-3),
+            Value::Text("A".into()),
+            Value::Int(2),
+        ];
+        vals.sort();
+        assert_eq!(vals[0], Value::Null);
+        assert_eq!(vals[1], Value::Int(-3));
+        assert_eq!(vals[2], Value::Float(1.5));
+        assert_eq!(vals[3], Value::Int(2));
+        assert_eq!(vals[4], Value::Text("A".into()));
+        assert_eq!(vals[5], Value::Text("a".into()));
+    }
+
+    #[test]
+    fn as_f64_widens_ints() {
+        assert_eq!(Value::Int(7).as_f64(), Some(7.0));
+        assert_eq!(Value::Float(0.5).as_f64(), Some(0.5));
+        assert_eq!(Value::Null.as_f64(), None);
+        assert_eq!(Value::Text("x".into()).as_f64(), None);
+    }
+
+    #[test]
+    fn display_roundtrip_forms() {
+        assert_eq!(Value::Null.to_string(), "?");
+        assert_eq!(Value::Int(-5).to_string(), "-5");
+        assert_eq!(Value::Text("dept".into()).to_string(), "dept");
+    }
+
+    #[test]
+    fn from_option_maps_none_to_null() {
+        assert_eq!(Value::from(None::<i64>), Value::Null);
+        assert_eq!(Value::from(Some(3i64)), Value::Int(3));
+    }
+
+    #[test]
+    fn large_int_order_preserved() {
+        // Above 2^53 both map to the same f64; the integer tiebreak keeps Eq
+        // consistent with Int-vs-Int ordering.
+        let a = Value::Int(i64::MAX);
+        let b = Value::Int(i64::MAX - 1);
+        assert!(a > b);
+    }
+}

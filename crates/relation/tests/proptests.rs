@@ -1,0 +1,182 @@
+//! Property-based tests for the relational substrate.
+
+use mp_relation::{csv, AttrKind, Attribute, Domain, Pli, Relation, Schema, Value};
+use proptest::prelude::*;
+
+/// Strategy: a column of small integers (dense duplicates, exercising
+/// partition clusters).
+fn small_int_column() -> impl Strategy<Value = Vec<Value>> {
+    prop::collection::vec((0i64..6).prop_map(Value::Int), 0..60)
+}
+
+/// Reference partition semantics: group row indices by value.
+fn naive_groups(col: &[Value]) -> Vec<Vec<usize>> {
+    let mut sorted: Vec<(usize, &Value)> = col.iter().enumerate().collect();
+    sorted.sort_by(|a, b| a.1.cmp(b.1).then(a.0.cmp(&b.0)));
+    let mut out: Vec<Vec<usize>> = Vec::new();
+    for (i, v) in sorted {
+        match out.last_mut() {
+            Some(last) if col[last[0]] == *v => last.push(i),
+            _ => out.push(vec![i]),
+        }
+    }
+    out.retain(|g| g.len() >= 2);
+    out.sort_by_key(|g| g[0]);
+    out
+}
+
+proptest! {
+    #[test]
+    fn pli_matches_naive_grouping(col in small_int_column()) {
+        let pli = Pli::from_column(&col);
+        prop_assert_eq!(pli.clusters().to_vec(), naive_groups(&col));
+    }
+
+    #[test]
+    fn pli_intersection_commutes(a in small_int_column(), b in small_int_column()) {
+        let n = a.len().min(b.len());
+        let pa = Pli::from_column(&a[..n]);
+        let pb = Pli::from_column(&b[..n]);
+        prop_assert_eq!(pa.intersect(&pb), pb.intersect(&pa));
+    }
+
+    #[test]
+    fn pli_intersection_associates(
+        a in small_int_column(),
+        b in small_int_column(),
+        c in small_int_column(),
+    ) {
+        let n = a.len().min(b.len()).min(c.len());
+        let pa = Pli::from_column(&a[..n]);
+        let pb = Pli::from_column(&b[..n]);
+        let pc = Pli::from_column(&c[..n]);
+        prop_assert_eq!(
+            pa.intersect(&pb).intersect(&pc),
+            pa.intersect(&pb.intersect(&pc))
+        );
+    }
+
+    #[test]
+    fn pli_intersection_refines_both(a in small_int_column(), b in small_int_column()) {
+        let n = a.len().min(b.len());
+        let pa = Pli::from_column(&a[..n]);
+        let pb = Pli::from_column(&b[..n]);
+        let pab = pa.intersect(&pb);
+        prop_assert!(pab.refines(&pa));
+        prop_assert!(pab.refines(&pb));
+    }
+
+    #[test]
+    fn pli_intersection_idempotent(a in small_int_column()) {
+        let pa = Pli::from_column(&a);
+        prop_assert_eq!(pa.intersect(&pa), pa);
+    }
+
+    #[test]
+    fn pli_intersection_matches_pairwise_semantics(
+        a in small_int_column(),
+        b in small_int_column(),
+    ) {
+        // Two rows share a cluster in the product iff they agree on both
+        // columns — the defining property of Π_{X∪Y}.
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let sig = Pli::from_column(a).intersect(&Pli::from_column(b)).full_signature();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let together = sig[i] == sig[j];
+                let agree = a[i] == a[j] && b[i] == b[j];
+                prop_assert_eq!(together, agree, "rows {} {}", i, j);
+            }
+        }
+    }
+
+    #[test]
+    fn g3_zero_iff_fd_holds(a in small_int_column(), b in small_int_column()) {
+        let n = a.len().min(b.len());
+        let pa = Pli::from_column(&a[..n]);
+        let pb = Pli::from_column(&b[..n]);
+        let sig = pb.full_signature();
+        prop_assert_eq!(pa.g3_violations(&sig) == 0, pa.satisfies_fd(&sig));
+    }
+
+    #[test]
+    fn g3_bounded_by_covered_rows(a in small_int_column(), b in small_int_column()) {
+        let n = a.len().min(b.len());
+        let pa = Pli::from_column(&a[..n]);
+        let pb = Pli::from_column(&b[..n]);
+        let v = pa.g3_violations(&pb.full_signature());
+        prop_assert!(v <= pa.covered_count().saturating_sub(pa.cluster_count()));
+    }
+
+    #[test]
+    fn value_ordering_is_total_and_consistent(
+        x in any::<i64>(),
+        y in any::<f64>(),
+        s in "[a-z]{0,8}",
+    ) {
+        let vals = [Value::Null, Value::Int(x), Value::Float(y), Value::Text(s)];
+        for a in &vals {
+            prop_assert_eq!(a.cmp(a), std::cmp::Ordering::Equal);
+            for b in &vals {
+                prop_assert_eq!(a.cmp(b), b.cmp(a).reverse());
+                prop_assert_eq!(a == b, a.cmp(b) == std::cmp::Ordering::Equal);
+            }
+        }
+    }
+
+    #[test]
+    fn csv_roundtrips_relations(
+        rows in prop::collection::vec((0i64..50, "[a-z]{1,6}", prop::option::of(-100.0f64..100.0)), 1..40)
+    ) {
+        let schema = Schema::new(vec![
+            Attribute::continuous("id"),
+            Attribute::categorical("label"),
+            Attribute::continuous("score"),
+        ]).unwrap();
+        let rel = Relation::from_rows(
+            schema,
+            rows.into_iter()
+                .map(|(i, s, f)| vec![Value::Int(i), Value::Text(s), Value::from(f)])
+                .collect(),
+        ).unwrap();
+        let text = csv::write_str(&rel);
+        let back = csv::read_str(&text, &csv::CsvOptions::default()).unwrap();
+        prop_assert_eq!(back.n_rows(), rel.n_rows());
+        // Values round-trip (floats print exactly via Display for these).
+        for c in 0..rel.arity() {
+            prop_assert_eq!(back.column(c).unwrap(), rel.column(c).unwrap());
+        }
+    }
+
+    #[test]
+    fn domain_inference_contains_all_values(col in small_int_column()) {
+        prop_assume!(!col.is_empty());
+        let schema = Schema::new(vec![Attribute::categorical("x")]).unwrap();
+        let rel = Relation::from_rows(schema, col.iter().map(|v| vec![v.clone()]).collect()).unwrap();
+        let dom = Domain::infer(&rel, 0).unwrap();
+        for v in &col {
+            prop_assert!(dom.contains(v));
+        }
+        prop_assert_eq!(dom.cardinality().unwrap(), rel.distinct_count(0).unwrap());
+    }
+
+    #[test]
+    fn continuous_domain_bounds_are_tight(xs in prop::collection::vec(-1e6f64..1e6, 1..50)) {
+        let schema = Schema::new(vec![Attribute::continuous("x")]).unwrap();
+        let rel = Relation::from_rows(
+            schema,
+            xs.iter().map(|&x| vec![Value::Float(x)]).collect(),
+        ).unwrap();
+        let dom = Domain::infer(&rel, 0).unwrap();
+        let (min, max) = dom.bounds().unwrap();
+        prop_assert!(xs.iter().all(|&x| x >= min && x <= max));
+        prop_assert!(xs.contains(&min) && xs.contains(&max));
+    }
+}
+
+#[test]
+fn attr_kind_is_exported() {
+    // Smoke check that the public API surface re-exports what examples use.
+    let _ = AttrKind::Categorical;
+}

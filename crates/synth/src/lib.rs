@@ -1,0 +1,44 @@
+//! # mp-synth — the metadata adversary
+//!
+//! Synthetic-data generators conditioned on shared metadata, implementing
+//! the attack model of *"Will Sharing Metadata Leak Privacy?"* (Zhan &
+//! Hai, ICDE 2024):
+//!
+//! * [`sample_uniform`] / [`sample_column`] — the §III-A random baseline
+//!   (uniform generation from a shared domain);
+//! * [`generate_fd_column`] / [`generate_afd_column`] — FD/AFD mapping
+//!   generation (§III-B, §IV-A);
+//! * [`generate_nd_column`] — hypergeometric k-subset mappings (§IV-B);
+//! * [`generate_od_column`] — monotone interval-sequence generation
+//!   (§IV-C);
+//! * [`generate_dd_column`] — Markov-chain ε/δ-ball generation (§IV-D);
+//! * [`generate_ofd_column`] — the directed-random-walk strict mapping
+//!   (§IV-E);
+//! * [`Adversary`] — the orchestrator that turns a received
+//!   [`mp_metadata::MetadataPackage`] into a full `R_syn`, following the
+//!   dependency graph's generation plan.
+//!
+//! Every generator guarantees the generated pair *satisfies* the
+//! dependency it was driven by (property-tested), mirroring the paper's
+//! premise that the adversary produces data consistent with all shared
+//! metadata.
+
+#![warn(missing_docs)]
+
+mod adversary;
+mod cfd_gen;
+mod interval;
+mod mapping;
+mod sampler;
+
+pub use adversary::{Adversary, SynthConfig};
+pub use cfd_gen::generate_cfd_column;
+pub use interval::{generate_dd_column, generate_od_column, generate_sd_column};
+pub use mapping::{
+    generate_afd_column, generate_fd_column, generate_nd_column, generate_ofd_column,
+    DEFAULT_BINS,
+};
+pub use sampler::{
+    enumerate_domain, sample_column, sample_column_from_distribution, sample_from_distribution,
+    sample_uniform,
+};

@@ -1,0 +1,326 @@
+//! Mapping-based generation for FD, AFD, ND and OFD metadata.
+//!
+//! The common shape (paper §III-B): the adversary first generates the
+//! determinant column(s), then materialises a *random mapping* from
+//! observed determinant values into the dependent attribute's domain —
+//! "one-time initialization throughout the dataset". Each dependency class
+//! constrains the mapping differently:
+//!
+//! * **FD** — any function: each LHS value maps to one uniformly chosen
+//!   RHS value (`P(B|A=a) = 1/|D_B|`).
+//! * **AFD** — an FD mapping, but an ε fraction of rows are perturbed to
+//!   independent uniform values, scattering violations across partitions
+//!   exactly as §IV-A describes.
+//! * **ND** — each LHS value maps to a uniformly chosen `k`-subset of the
+//!   RHS domain (the hypergeometric selection of §IV-B); rows then sample
+//!   inside their subset.
+//! * **OFD** — distinct LHS values map to a *strictly increasing* random
+//!   sequence of RHS values — the directed-random-walk of §IV-E.
+
+use crate::sampler::{enumerate_domain, sample_uniform};
+use mp_relation::{Domain, Value};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Number of grid points used to view a continuous domain as a finite
+/// codomain for subset/walk mappings.
+pub const DEFAULT_BINS: usize = 64;
+
+/// Composite key of the already-generated determinant columns for one row.
+fn lhs_key(lhs_cols: &[&[Value]], row: usize) -> Vec<Value> {
+    lhs_cols.iter().map(|c| c[row].clone()).collect()
+}
+
+/// Generates a dependent column under an **FD**: one uniformly random image
+/// per distinct determinant value.
+pub fn generate_fd_column<R: Rng + ?Sized>(
+    lhs_cols: &[&[Value]],
+    rhs_domain: &Domain,
+    n_rows: usize,
+    rng: &mut R,
+) -> Vec<Value> {
+    let mut mapping: HashMap<Vec<Value>, Value> = HashMap::new();
+    (0..n_rows)
+        .map(|r| {
+            let key = lhs_key(lhs_cols, r);
+            mapping
+                .entry(key)
+                .or_insert_with(|| sample_uniform(rhs_domain, rng))
+                .clone()
+        })
+        .collect()
+}
+
+/// Generates a dependent column under an **AFD**: the FD mapping with an
+/// `epsilon` fraction of rows replaced by independent uniform draws.
+pub fn generate_afd_column<R: Rng + ?Sized>(
+    lhs_cols: &[&[Value]],
+    rhs_domain: &Domain,
+    epsilon: f64,
+    n_rows: usize,
+    rng: &mut R,
+) -> Vec<Value> {
+    let mut mapping: HashMap<Vec<Value>, Value> = HashMap::new();
+    (0..n_rows)
+        .map(|r| {
+            if rng.gen::<f64>() < epsilon {
+                sample_uniform(rhs_domain, rng)
+            } else {
+                let key = lhs_key(lhs_cols, r);
+                mapping
+                    .entry(key)
+                    .or_insert_with(|| sample_uniform(rhs_domain, rng))
+                    .clone()
+            }
+        })
+        .collect()
+}
+
+/// Generates a dependent column under an **ND** `X →≤k Y`: each distinct
+/// determinant value gets a uniformly chosen `k`-subset of the (possibly
+/// discretised) RHS domain; each row samples uniformly within its subset.
+pub fn generate_nd_column<R: Rng + ?Sized>(
+    lhs_col: &[Value],
+    rhs_domain: &Domain,
+    k: usize,
+    n_rows: usize,
+    rng: &mut R,
+) -> Vec<Value> {
+    let pool = enumerate_domain(rhs_domain, DEFAULT_BINS.max(k));
+    if pool.is_empty() {
+        return vec![Value::Null; n_rows];
+    }
+    let k = k.clamp(1, pool.len());
+    let mut subsets: HashMap<&Value, Vec<usize>> = HashMap::new();
+    (0..n_rows)
+        .map(|r| {
+            let subset = subsets.entry(&lhs_col[r]).or_insert_with(|| {
+                // Partial Fisher–Yates: a uniform k-subset of the pool.
+                let mut idx: Vec<usize> = (0..pool.len()).collect();
+                for i in 0..k {
+                    let j = rng.gen_range(i..idx.len());
+                    idx.swap(i, j);
+                }
+                idx.truncate(k);
+                idx
+            });
+            pool[subset[rng.gen_range(0..subset.len())]].clone()
+        })
+        .collect()
+}
+
+/// Generates a dependent column under an **OFD** `X → Y`: the `m` distinct
+/// determinant values, in sorted order, map to a strictly increasing
+/// uniformly random sequence over the RHS codomain.
+///
+/// When the finite codomain has fewer than `m` values a strictly increasing
+/// sequence is impossible; the walk degrades to non-decreasing (the closest
+/// realisable mapping — the paper's transition probability
+/// `P_{i,i+1} = 1 − (|X|−t)/|Y|` likewise forces every remaining step up
+/// when the codomain budget runs out).
+pub fn generate_ofd_column<R: Rng + ?Sized>(
+    lhs_col: &[Value],
+    rhs_domain: &Domain,
+    n_rows: usize,
+    rng: &mut R,
+) -> Vec<Value> {
+    let mut distinct: Vec<&Value> = lhs_col.iter().collect();
+    distinct.sort();
+    distinct.dedup();
+    let m = distinct.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    let pool = enumerate_domain(rhs_domain, DEFAULT_BINS.max(m));
+    if pool.is_empty() {
+        return vec![Value::Null; n_rows];
+    }
+
+    // Choose m indices into the sorted pool: a uniform m-combination when
+    // possible (strictly increasing), otherwise a sorted m-multiset.
+    let indices: Vec<usize> = if m <= pool.len() {
+        let mut idx: Vec<usize> = (0..pool.len()).collect();
+        for i in 0..m {
+            let j = rng.gen_range(i..idx.len());
+            idx.swap(i, j);
+        }
+        idx.truncate(m);
+        idx.sort_unstable();
+        idx
+    } else {
+        let mut idx: Vec<usize> = (0..m).map(|_| rng.gen_range(0..pool.len())).collect();
+        idx.sort_unstable();
+        idx
+    };
+
+    let mapping: HashMap<&Value, &Value> =
+        distinct.iter().zip(indices.iter().map(|&i| &pool[i])).map(|(k, v)| (*k, v)).collect();
+    (0..n_rows).map(|r| mapping[&lhs_col[r]].clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_metadata::{Fd, NumericalDep, OrderedFd};
+    use mp_relation::{Attribute, Relation, Schema};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rel_from(cols: Vec<(Attribute, Vec<Value>)>) -> Relation {
+        let (attrs, columns): (Vec<_>, Vec<_>) = cols.into_iter().unzip();
+        Relation::from_columns(Schema::new(attrs).unwrap(), columns).unwrap()
+    }
+
+    fn lhs_values(n: usize, card: usize) -> Vec<Value> {
+        (0..n).map(|i| Value::Int((i % card) as i64)).collect()
+    }
+
+    #[test]
+    fn fd_generation_satisfies_fd() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let lhs = lhs_values(100, 7);
+        let rhs_dom = Domain::categorical(vec!["a", "b", "c"]);
+        let rhs = generate_fd_column(&[&lhs], &rhs_dom, 100, &mut rng);
+        let r = rel_from(vec![
+            (Attribute::categorical("x"), lhs),
+            (Attribute::categorical("y"), rhs),
+        ]);
+        assert!(Fd::new(0usize, 1).holds(&r).unwrap());
+    }
+
+    #[test]
+    fn fd_generation_composite_lhs() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = lhs_values(120, 4);
+        let b: Vec<Value> = (0..120).map(|i| Value::Int((i / 4 % 3) as i64)).collect();
+        let dom = Domain::categorical(vec![0i64, 1]);
+        let c = generate_fd_column(&[&a, &b], &dom, 120, &mut rng);
+        let r = rel_from(vec![
+            (Attribute::categorical("a"), a),
+            (Attribute::categorical("b"), b),
+            (Attribute::categorical("c"), c),
+        ]);
+        assert!(Fd::new(vec![0, 1], 2).holds(&r).unwrap());
+    }
+
+    #[test]
+    fn afd_generation_respects_epsilon_roughly() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let lhs = lhs_values(2000, 5);
+        let dom = Domain::categorical((0i64..20).collect::<Vec<_>>());
+        let rhs = generate_afd_column(&[&lhs], &dom, 0.1, 2000, &mut rng);
+        let r = rel_from(vec![
+            (Attribute::categorical("x"), lhs),
+            (Attribute::categorical("y"), rhs),
+        ]);
+        let g3 = Fd::new(0usize, 1).g3_error(&r).unwrap();
+        assert!(g3 > 0.02, "g3 {g3}: perturbations must land");
+        assert!(g3 < 0.15, "g3 {g3}: too many violations for ε=0.1");
+    }
+
+    #[test]
+    fn afd_with_zero_epsilon_is_fd() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let lhs = lhs_values(200, 6);
+        let dom = Domain::categorical(vec![0i64, 1, 2]);
+        let rhs = generate_afd_column(&[&lhs], &dom, 0.0, 200, &mut rng);
+        let r = rel_from(vec![
+            (Attribute::categorical("x"), lhs),
+            (Attribute::categorical("y"), rhs),
+        ]);
+        assert!(Fd::new(0usize, 1).holds(&r).unwrap());
+    }
+
+    #[test]
+    fn nd_generation_bounds_fanout() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let lhs = lhs_values(600, 6);
+        let dom = Domain::categorical((0i64..30).collect::<Vec<_>>());
+        let rhs = generate_nd_column(&lhs, &dom, 4, 600, &mut rng);
+        let r = rel_from(vec![
+            (Attribute::categorical("x"), lhs),
+            (Attribute::categorical("y"), rhs),
+        ]);
+        assert!(NumericalDep::new(0, 1, 4).holds(&r).unwrap());
+        // And the generator uses the budget: with 100 rows per group the
+        // fanout should actually reach 4 for some group.
+        let max = NumericalDep::max_fanout(0, 1, &r).unwrap();
+        assert!(max >= 3, "fanout {max} suspiciously small");
+    }
+
+    #[test]
+    fn nd_generation_continuous_domain() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let lhs = lhs_values(200, 4);
+        let dom = Domain::continuous(0.0, 100.0);
+        let rhs = generate_nd_column(&lhs, &dom, 3, 200, &mut rng);
+        let r = rel_from(vec![
+            (Attribute::categorical("x"), lhs),
+            (Attribute::continuous("y"), rhs),
+        ]);
+        assert!(NumericalDep::new(0, 1, 3).holds(&r).unwrap());
+    }
+
+    #[test]
+    fn nd_with_k_larger_than_domain_clamps() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let lhs = lhs_values(50, 2);
+        let dom = Domain::categorical(vec![0i64, 1]);
+        let rhs = generate_nd_column(&lhs, &dom, 99, 50, &mut rng);
+        assert_eq!(rhs.len(), 50);
+        assert!(rhs.iter().all(|v| dom.contains(v)));
+    }
+
+    #[test]
+    fn ofd_generation_satisfies_ofd() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let lhs = lhs_values(150, 8);
+        let dom = Domain::categorical((0i64..40).collect::<Vec<_>>());
+        let rhs = generate_ofd_column(&lhs, &dom, 150, &mut rng);
+        let r = rel_from(vec![
+            (Attribute::categorical("x"), lhs),
+            (Attribute::categorical("y"), rhs),
+        ]);
+        assert!(OrderedFd::new(0, 1).holds(&r).unwrap());
+    }
+
+    #[test]
+    fn ofd_generation_continuous_codomain() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let lhs: Vec<Value> = (0..100).map(|i| Value::Float((i % 10) as f64)).collect();
+        let dom = Domain::continuous(-5.0, 5.0);
+        let rhs = generate_ofd_column(&lhs, &dom, 100, &mut rng);
+        let r = rel_from(vec![
+            (Attribute::continuous("x"), lhs),
+            (Attribute::continuous("y"), rhs),
+        ]);
+        assert!(OrderedFd::new(0, 1).holds(&r).unwrap());
+    }
+
+    #[test]
+    fn ofd_degrades_gracefully_when_codomain_small() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let lhs = lhs_values(60, 10); // 10 distinct lhs values
+        let dom = Domain::categorical(vec![0i64, 1, 2]); // only 3 targets
+        let rhs = generate_ofd_column(&lhs, &dom, 60, &mut rng);
+        // Strictness is unachievable; the result must still be an
+        // order-compatible function (FD + non-decreasing).
+        let r = rel_from(vec![
+            (Attribute::categorical("x"), lhs),
+            (Attribute::categorical("y"), rhs),
+        ]);
+        assert!(Fd::new(0usize, 1).holds(&r).unwrap());
+        assert!(mp_metadata::OrderDep::ascending(0, 1).holds(&r).unwrap());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let dom = Domain::categorical(vec![0i64]);
+        assert!(generate_ofd_column(&[], &dom, 0, &mut rng).is_empty());
+        assert!(generate_fd_column(&[&[]], &dom, 0, &mut rng).is_empty());
+        let empty_dom = Domain::Categorical(vec![]);
+        let out = generate_nd_column(&lhs_values(5, 2), &empty_dom, 2, 5, &mut rng);
+        assert!(out.iter().all(Value::is_null));
+    }
+}

@@ -1,0 +1,81 @@
+//! The paper's Figure 1 scenario, end to end: a bank and an e-commerce
+//! company align their customers with (simulated) PSI, exchange metadata
+//! under a policy, train a vertically federated loan-approval model, and
+//! measure what the exchanged metadata would let a curious partner
+//! reconstruct.
+//!
+//! Run with: `cargo run --release --example fintech_vfl`
+
+use metadata_privacy::core::ExperimentConfig;
+use metadata_privacy::datasets::fintech_scenario;
+use metadata_privacy::federated::{run_scenario, Party};
+use metadata_privacy::metadata::SharePolicy;
+
+fn main() {
+    let data = fintech_scenario(600, 2024);
+    println!(
+        "Bank holds {} customers × {} attributes; e-commerce holds {} × {}.",
+        data.bank.relation.n_rows(),
+        data.bank.relation.arity(),
+        data.ecommerce.relation.n_rows(),
+        data.ecommerce.relation.arity(),
+    );
+
+    let experiment = ExperimentConfig { rounds: 100, base_seed: 11, epsilon: 1_000.0 };
+
+    for (name, policy) in [
+        ("FULL (names + domains + dependencies)", SharePolicy::FULL),
+        ("NAMES_AND_DOMAINS (today's common practice)", SharePolicy::NAMES_AND_DOMAINS),
+        ("PAPER_RECOMMENDED (names + dependencies, no domains)", SharePolicy::PAPER_RECOMMENDED),
+    ] {
+        let bank = Party::new(
+            "bank",
+            data.bank.relation.clone(),
+            0,
+            data.bank.dependencies.clone(),
+        )
+        .expect("bank party");
+        let ecom = Party::new(
+            "ecommerce",
+            data.ecommerce.relation.clone(),
+            0,
+            data.ecommerce.dependencies.clone(),
+        )
+        .expect("ecom party");
+
+        // Bank column 5 is loan_approved — the training label.
+        let outcome =
+            run_scenario(bank, ecom, 5, &policy, &experiment).expect("scenario runs");
+
+        println!("\n━━ Policy: {name}");
+        println!(
+            "   PSI intersection: {} customers",
+            outcome.setup.alignment.len()
+        );
+        println!(
+            "   Utility    federated accuracy {:.3} vs bank-solo {:.3}",
+            outcome.federated_accuracy, outcome.solo_accuracy
+        );
+        println!("   Privacy    mean index-aligned matches per bank attribute:");
+        for (with_deps, random) in outcome
+            .attack_with_deps
+            .per_attr
+            .iter()
+            .zip(&outcome.attack_random.per_attr)
+        {
+            println!(
+                "     {:<14} with deps {:>8.2}   random baseline {:>8.2}",
+                with_deps.name, with_deps.mean_matches, random.mean_matches
+            );
+        }
+    }
+
+    println!(
+        "\nReading: under FULL and NAMES_AND_DOMAINS the attack leaks ≈ N/|D| \
+         cells per categorical attribute, and sharing dependencies adds no \
+         extra leakage (§III-B/§IV). Under the paper's recommended policy \
+         the domains are withheld and the attack collapses, while training \
+         utility is unaffected — the model never needed the metadata's \
+         domains, only the aligned features."
+    );
+}

@@ -1,0 +1,104 @@
+//! Metadata privacy audit: before sharing a dataset's metadata, quantify
+//! what each disclosure level would leak — identifiability, analytical
+//! expectations, and the measured synthesis attack — on the echocardiogram
+//! reconstruction the paper evaluates.
+//!
+//! Run with: `cargo run --release --example metadata_audit`
+
+use metadata_privacy::core::analytical;
+use metadata_privacy::core::{
+    identifiability_rate, run_attack, uniqueness_profile, ExperimentConfig, TextTable,
+};
+use metadata_privacy::datasets::{echocardiogram, verified_dependencies};
+use metadata_privacy::metadata::{MetadataPackage, SharePolicy};
+use metadata_privacy::relation::Domain;
+
+fn main() {
+    let real = echocardiogram();
+    println!(
+        "Auditing `echocardiogram` ({} rows × {} attributes)\n",
+        real.n_rows(),
+        real.arity()
+    );
+
+    // ── Identifiability (Definition 2.1) ───────────────────────────────
+    println!("Identifiability (Definition 2.1):");
+    for size in 1..=3 {
+        println!(
+            "  attribute subsets of size ≤ {size}: {:.1}% of tuples identifiable",
+            100.0 * identifiability_rate(&real, size).unwrap()
+        );
+    }
+    let unique = uniqueness_profile(&real).unwrap();
+    println!("  tuples unique per single attribute: {unique:?}\n");
+
+    // ── Analytical expectations per attribute (§III-A) ─────────────────
+    let domains = Domain::infer_all(&real).unwrap();
+    let mut table = TextTable::new(vec![
+        "attribute".into(),
+        "domain".into(),
+        "θ".into(),
+        "E[matches] = N·θ".into(),
+        "leaks? (N·θ ≥ 1)".into(),
+    ]);
+    for (i, dom) in domains.iter().enumerate() {
+        let theta = dom.theta(1.0); // ε = 1 for continuous attributes
+        let desc = match dom {
+            Domain::Categorical(v) => format!("|D| = {}", v.len()),
+            Domain::Continuous { min, max } => format!("[{min:.1}, {max:.1}]"),
+        };
+        table.push_row(vec![
+            real.schema().attribute(i).unwrap().name.clone(),
+            desc,
+            format!("{theta:.4}"),
+            format!("{:.2}", analytical::random::expected_matches(real.n_rows(), theta)),
+            analytical::random::leaks(real.n_rows(), theta).to_string(),
+        ]);
+    }
+    println!("Random-generation expectations if domains are shared (ε = 1):");
+    print!("{}", table.render());
+
+    // ── Measured attack per policy ──────────────────────────────────────
+    let package =
+        MetadataPackage::describe("hospital", &real, verified_dependencies()).unwrap();
+    let config = ExperimentConfig { rounds: 100, base_seed: 5, epsilon: 1.0 };
+    println!("\nMeasured synthesis attack (mean matches over {} rounds):", config.rounds);
+    let mut table = TextTable::new(vec![
+        "attribute".into(),
+        "names+domains".into(),
+        "+dependencies".into(),
+        "paper policy".into(),
+    ]);
+    let dom_only = run_attack(
+        &real,
+        &SharePolicy::NAMES_AND_DOMAINS.apply(&package),
+        false,
+        &config,
+    )
+    .unwrap();
+    let with_deps =
+        run_attack(&real, &SharePolicy::FULL.apply(&package), true, &config).unwrap();
+    let recommended = run_attack(
+        &real,
+        &SharePolicy::PAPER_RECOMMENDED.apply(&package),
+        true,
+        &config,
+    )
+    .unwrap();
+    for i in 0..real.arity() {
+        table.push_row(vec![
+            real.schema().attribute(i).unwrap().name.clone(),
+            format!("{:.2}", dom_only.attr(i).unwrap().mean_matches),
+            format!("{:.2}", with_deps.attr(i).unwrap().mean_matches),
+            format!("{:.2}", recommended.attr(i).unwrap().mean_matches),
+        ]);
+    }
+    print!("{}", table.render());
+
+    println!(
+        "\nVerdict: domains drive the leakage; adding FD/RFD metadata moves the \
+         numbers within noise (the paper's §III-B/§IV conclusion); the \
+         recommended policy (share names and dependencies, withhold domains \
+         and types) eliminates the generation channel."
+    );
+}

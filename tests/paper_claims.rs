@@ -1,0 +1,185 @@
+//! Per-section assertions of the paper's claims, measured on the
+//! reconstruction (absolute values differ from the paper's testbed; the
+//! claims are about *relationships*, which must hold here too).
+
+use metadata_privacy::core::{run_cell, ExperimentConfig};
+use metadata_privacy::datasets::{
+    echocardiogram, paper_inventory, CATEGORICAL_ATTRS, CONTINUOUS_ATTRS,
+};
+use metadata_privacy::prelude::*;
+
+fn config(rounds: usize) -> ExperimentConfig {
+    ExperimentConfig { rounds, base_seed: 0xAB, epsilon: 0.0 }
+}
+
+/// §II-A, Example 2.1: the running example's dependencies.
+#[test]
+fn example_2_1_dependencies() {
+    let r = metadata_privacy::datasets::employee();
+    assert!(Fd::new(0usize, 1).holds(&r).unwrap(), "Name → Age");
+    assert!(Fd::new(0usize, 3).holds(&r).unwrap(), "Name → Salary");
+    // Age → Salary only as a relaxed dependency: the strict FD fails but
+    // an ND with k = 2 holds.
+    assert!(!Fd::new(1usize, 3).holds(&r).unwrap());
+    assert!(NumericalDep::new(1, 3, 2).holds(&r).unwrap());
+}
+
+/// §III-B: FDs imply |D_A| ≥ |D_B| (A refines B) on real data.
+#[test]
+fn fd_refinement_on_echocardiogram() {
+    let r = echocardiogram();
+    for dep in metadata_privacy::datasets::verified_dependencies() {
+        if let Dependency::Fd(fd) = &dep {
+            if fd.lhs.len() != 1 {
+                continue;
+            }
+            let da = r.distinct_count(fd.lhs.indices()[0]).unwrap();
+            let db = r.distinct_count(fd.rhs).unwrap();
+            assert!(da >= db, "{dep}: |D_A| = {da} < |D_B| = {db}");
+        }
+    }
+}
+
+/// Table IV row "Random Generation": categorical matches ≈ N/|D|.
+/// The paper reports 44, 44, 33, 44 for attrs 1, 3, 11, 12 with N = 132 —
+/// i.e. domains of size 3, 3, 4, 3. The reconstruction reproduces the
+/// domain sizes exactly, so the same expectations apply.
+#[test]
+fn table4_random_row_shape() {
+    let r = echocardiogram();
+    let domains = Domain::infer_all(&r).unwrap();
+    let expected = [44.0, 44.0, 33.0, 44.0];
+    for (&attr, &exp) in CATEGORICAL_ATTRS.iter().zip(&expected) {
+        let cell = run_cell(&r, &domains, None, attr, &config(400)).unwrap();
+        assert!(
+            (cell.mean_matches - exp).abs() < 0.12 * exp,
+            "attr {attr}: measured {:.2} vs paper-law {exp}",
+            cell.mean_matches
+        );
+    }
+}
+
+/// Table IV rows "Functional Dep"/"Ord Dep": close to the random row
+/// (within noise), per the paper's summary that dependencies add no extra
+/// leakage.
+#[test]
+fn table4_dependency_rows_close_to_random() {
+    let r = echocardiogram();
+    let domains = Domain::infer_all(&r).unwrap();
+    let inventory = paper_inventory();
+    for &attr in &CATEGORICAL_ATTRS {
+        let random = run_cell(&r, &domains, None, attr, &config(300)).unwrap();
+        for class in ["FD", "OD"] {
+            let Some(dep) = inventory.lookup(class, attr) else { continue };
+            let cell = run_cell(&r, &domains, Some(dep), attr, &config(300)).unwrap();
+            let bound = 0.30 * r.n_rows() as f64;
+            assert!(
+                (cell.mean_matches - random.mean_matches).abs() <= bound,
+                "attr {attr} {class}: {:.2} vs random {:.2}",
+                cell.mean_matches,
+                random.mean_matches
+            );
+        }
+    }
+}
+
+/// Table III row "Random Generation": MSE scale follows the
+/// uniform-vs-data law (between range²/12 and range² for every continuous
+/// attribute).
+#[test]
+fn table3_random_row_mse_scale() {
+    let r = echocardiogram();
+    let domains = Domain::infer_all(&r).unwrap();
+    for &attr in &CONTINUOUS_ATTRS {
+        let cell = run_cell(&r, &domains, None, attr, &config(150)).unwrap();
+        let mse = cell.mean_mse.unwrap();
+        let range = domains[attr].range().unwrap();
+        assert!(
+            mse >= range * range / 20.0 && mse <= range * range,
+            "attr {attr}: mse {mse} vs range {range}"
+        );
+    }
+}
+
+/// Table III rows: FD-generated MSE within noise of random MSE for every
+/// covered continuous attribute (the paper's FD row ≈ random row).
+#[test]
+fn table3_fd_row_close_to_random() {
+    let r = echocardiogram();
+    let domains = Domain::infer_all(&r).unwrap();
+    let inventory = paper_inventory();
+    for &attr in &CONTINUOUS_ATTRS {
+        let Some(dep) = inventory.lookup("FD", attr) else { continue };
+        let random = run_cell(&r, &domains, None, attr, &config(200)).unwrap();
+        let fd = run_cell(&r, &domains, Some(dep), attr, &config(200)).unwrap();
+        let (rm, fm) = (random.mean_mse.unwrap(), fd.mean_mse.unwrap());
+        assert!(
+            (fm - rm).abs() <= 0.5 * rm,
+            "attr {attr}: fd mse {fm} vs random {rm}"
+        );
+    }
+}
+
+/// §IV-C: the paper's OD observation — order metadata shifts MSE in
+/// either direction (their attr 5 improved ×6, their attr 2 worsened).
+/// With determinants generated blindly from the domain, OD stays within
+/// noise of random (no extra leakage). But when the adversary *knows* the
+/// determinant's real values — the VFL case where the LHS is its own
+/// aligned feature — the interval generation localises the dependent
+/// values and the MSE drops well below random.
+#[test]
+fn table3_od_improves_with_known_determinant() {
+    use metadata_privacy::core::run_cell_with_known_lhs;
+    use metadata_privacy::datasets::echocardiogram::attrs::EPSS;
+    let r = echocardiogram();
+    let domains = Domain::infer_all(&r).unwrap();
+    let inventory = paper_inventory();
+    let dep = inventory.lookup("OD", EPSS).unwrap();
+    let random = run_cell(&r, &domains, None, EPSS, &config(200)).unwrap();
+
+    // Blind determinant: within noise of random (the §IV-C "low leakage"
+    // conclusion).
+    let od_blind = run_cell(&r, &domains, Some(dep), EPSS, &config(200)).unwrap();
+    let rm = random.mean_mse.unwrap();
+    assert!(
+        (od_blind.mean_mse.unwrap() - rm).abs() < 0.5 * rm,
+        "blind od {} vs random {rm}",
+        od_blind.mean_mse.unwrap()
+    );
+
+    // Known determinant: substantially better than random.
+    let od_known = run_cell_with_known_lhs(&r, &domains, dep, EPSS, &config(200)).unwrap();
+    assert!(
+        od_known.mean_mse.unwrap() < 0.6 * rm,
+        "known-lhs od {} vs random {rm}",
+        od_known.mean_mse.unwrap()
+    );
+}
+
+/// The `NA` pattern of Tables III/IV is reproduced by the inventory: no FD
+/// for attrs 9 (mult) and 12 (alive_at_1), NDs only for attrs 0 and 1.
+#[test]
+fn na_pattern_matches_paper() {
+    let inv = paper_inventory();
+    assert!(inv.lookup("FD", 9).is_none());
+    assert!(inv.lookup("FD", 12).is_none());
+    let nd_attrs: Vec<usize> = CONTINUOUS_ATTRS
+        .iter()
+        .chain(CATEGORICAL_ATTRS.iter())
+        .copied()
+        .filter(|&a| inv.lookup("ND", a).is_some())
+        .collect();
+    assert_eq!(nd_attrs, vec![0, 1]);
+}
+
+/// §VI summary claim 1: domains enable random-generation leakage — on
+/// every categorical attribute N·θ ≥ 1 here, so leakage is expected.
+#[test]
+fn summary_domains_leak() {
+    use metadata_privacy::core::analytical::random;
+    let r = echocardiogram();
+    for &attr in &CATEGORICAL_ATTRS {
+        let d = Domain::infer(&r, attr).unwrap();
+        assert!(random::leaks(r.n_rows(), d.theta(0.0)), "attr {attr}");
+    }
+}

@@ -1,0 +1,147 @@
+//! Full-pipeline integration tests: dataset → discovery → metadata
+//! exchange → synthesis attack → leakage measurement.
+
+use metadata_privacy::prelude::*;
+use metadata_privacy::{core::analytical, datasets};
+
+fn experiment(rounds: usize) -> ExperimentConfig {
+    ExperimentConfig { rounds, base_seed: 0xFEED, epsilon: 0.0 }
+}
+
+#[test]
+fn discovery_to_attack_pipeline_runs() {
+    let real = datasets::echocardiogram();
+    let profile = DependencyProfile::discover(&real, &ProfileConfig::paper()).unwrap();
+    assert!(!profile.fds.is_empty());
+    assert!(!profile.ods.is_empty());
+
+    let package =
+        MetadataPackage::describe("hospital", &real, profile.to_dependencies()).unwrap();
+    let result = run_attack(&real, &package, true, &experiment(10)).unwrap();
+    assert_eq!(result.per_attr.len(), 13);
+    assert_eq!(result.rounds, 10);
+}
+
+#[test]
+fn random_matches_follow_n_over_domain_law() {
+    // §III-A: expected categorical matches = N/|D| for every attribute.
+    let real = datasets::echocardiogram();
+    let package = MetadataPackage::describe("hospital", &real, vec![]).unwrap();
+    let result = run_attack(&real, &package, false, &experiment(300)).unwrap();
+    for &attr in &datasets::CATEGORICAL_ATTRS {
+        let domain = Domain::infer(&real, attr).unwrap();
+        let expected = analytical::random::expected_matches(
+            real.n_rows(),
+            domain.theta(0.0),
+        );
+        let measured = result.attr(attr).unwrap().mean_matches;
+        assert!(
+            (measured - expected).abs() < 0.15 * expected + 1.0,
+            "attr {attr}: measured {measured} vs N/|D| {expected}"
+        );
+    }
+}
+
+#[test]
+fn fd_driven_attack_leaks_no_more_than_random() {
+    // The paper's §III-B conclusion on the real pipeline.
+    let real = datasets::echocardiogram();
+    let deps = datasets::verified_dependencies();
+    let pkg_deps = MetadataPackage::describe("h", &real, deps).unwrap();
+    let pkg_rand = MetadataPackage::describe("h", &real, vec![]).unwrap();
+
+    let with_deps = run_attack(&real, &pkg_deps, true, &experiment(200)).unwrap();
+    let random = run_attack(&real, &pkg_rand, false, &experiment(200)).unwrap();
+
+    for &attr in &datasets::CATEGORICAL_ATTRS {
+        let d = with_deps.attr(attr).unwrap().mean_matches;
+        let r = random.attr(attr).unwrap().mean_matches;
+        // No *extra* leakage: within noise, or below.
+        assert!(
+            d <= r + 0.20 * real.n_rows() as f64,
+            "attr {attr}: deps {d} vs random {r}"
+        );
+    }
+}
+
+#[test]
+fn recommended_policy_zeroes_generation() {
+    let real = datasets::echocardiogram();
+    let package =
+        MetadataPackage::describe("h", &real, datasets::verified_dependencies()).unwrap();
+    let shared = SharePolicy::PAPER_RECOMMENDED.apply(&package);
+    let result = run_attack(&real, &shared, true, &experiment(5)).unwrap();
+    for summary in &result.per_attr {
+        // Null columns can only "match" real nulls.
+        let real_nulls = real
+            .column(summary.attr)
+            .unwrap()
+            .iter()
+            .filter(|v| v.is_null())
+            .count() as f64;
+        assert!(
+            summary.mean_matches <= real_nulls,
+            "attr {} leaked {}",
+            summary.name,
+            summary.mean_matches
+        );
+    }
+}
+
+#[test]
+fn exchange_round_trips_through_json() {
+    // Metadata survives the wire format: attack outcomes are identical
+    // whether the package went through JSON or not.
+    let real = datasets::employee();
+    let profile = DependencyProfile::discover(&real, &ProfileConfig::paper()).unwrap();
+    let package =
+        MetadataPackage::describe("bank", &real, profile.to_dependencies()).unwrap();
+    let wire = package.to_json();
+    let received = MetadataPackage::from_json(&wire).unwrap();
+    assert_eq!(received, package);
+
+    let a = run_attack(&real, &package, true, &experiment(20)).unwrap();
+    let b = run_attack(&real, &received, true, &experiment(20)).unwrap();
+    for (x, y) in a.per_attr.iter().zip(&b.per_attr) {
+        assert_eq!(x.mean_matches, y.mean_matches);
+    }
+}
+
+#[test]
+fn discovered_dependencies_transfer_to_synthetic_data() {
+    // Dependencies discovered on real data and shared with the adversary
+    // hold on the adversary's synthetic output when they drive generation.
+    let real = datasets::employee();
+    let profile = DependencyProfile::discover(&real, &ProfileConfig::paper()).unwrap();
+    let package =
+        MetadataPackage::describe("bank", &real, profile.to_dependencies()).unwrap();
+    let adversary = Adversary::new(package.clone());
+    let syn = adversary
+        .synthesize(&SynthConfig::with_dependencies(100, 3))
+        .unwrap();
+
+    // Every dependency chosen by the generation plan must hold on R_syn.
+    let graph = package.dependency_graph().unwrap();
+    for step in graph.plan() {
+        if let metadata_privacy::metadata::PlanStep::Derive { dep, .. } = step {
+            let dep = &package.dependencies[dep];
+            assert!(dep.holds(&syn).unwrap(), "{dep} violated on R_syn");
+        }
+    }
+}
+
+#[test]
+fn identifiability_of_shared_data() {
+    // The employee table is fully identifiable (Name is a key); the
+    // echocardiogram reconstruction is near-fully identifiable at subset
+    // size 2 (continuous measurements), matching the GDPR concern that
+    // motivates Definition 2.1.
+    let employee = datasets::employee();
+    assert_eq!(
+        metadata_privacy::core::identifiability_rate(&employee, 1).unwrap(),
+        1.0
+    );
+    let echo = datasets::echocardiogram();
+    let rate = metadata_privacy::core::identifiability_rate(&echo, 2).unwrap();
+    assert!(rate > 0.9, "rate {rate}");
+}
