@@ -6,8 +6,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mp_datasets::all_classes_spec;
 use mp_discovery::{
-    discover_dds, discover_fds, discover_fds_naive, discover_nds, discover_ods, discover_ofds,
-    DdConfig, NdConfig, OdConfig, TaneConfig,
+    discover_dds, discover_fds, discover_fds_naive, discover_fds_with, discover_nds,
+    discover_ods, discover_ofds, DdConfig, DiscoveryContext, NdConfig, OdConfig, ParallelConfig,
+    TaneConfig,
 };
 use mp_metadata::Fd;
 use mp_relation::{Pli, Relation, Value};
@@ -56,8 +57,11 @@ fn bench_tane_vs_naive(c: &mut Criterion) {
         let rel = relation(rows);
         group.bench_with_input(BenchmarkId::new("tane_depth2", rows), &rel, |b, rel| {
             b.iter(|| {
-                discover_fds(black_box(rel), &TaneConfig { max_lhs: 2, g3_threshold: 0.0 })
-                    .unwrap()
+                discover_fds(
+                    black_box(rel),
+                    &TaneConfig { max_lhs: 2, g3_threshold: 0.0, ..TaneConfig::default() },
+                )
+                .unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("naive_depth2", rows), &rel, |b, rel| {
@@ -103,6 +107,41 @@ fn bench_rfd_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// The tentpole ablation: cached vs uncached lattice discovery on a large
+/// generated relation. With the shared [`DiscoveryContext`] each lattice
+/// node pays exactly one `Pli` intersection, and repeated passes (the AFD
+/// sweep, the profiler) are nearly free; the uncached baseline rebuilds
+/// every partition per pass. The measured hit rate is printed alongside
+/// the timings so bench logs double as cache-efficacy reports.
+fn bench_cached_vs_uncached(c: &mut Criterion) {
+    let rel = relation(10_000);
+    let config = TaneConfig { max_lhs: 2, g3_threshold: 0.0, ..TaneConfig::default() };
+
+    let mut group = c.benchmark_group("pli_cache_10k_rows");
+    group.bench_function("uncached", |b| {
+        let ctx = DiscoveryContext::new(&rel, ParallelConfig::uncached(0));
+        b.iter(|| discover_fds_with(black_box(&ctx), &config).unwrap())
+    });
+    group.bench_function("cached", |b| {
+        let ctx = DiscoveryContext::new(&rel, ParallelConfig::default());
+        b.iter(|| discover_fds_with(black_box(&ctx), &config).unwrap())
+    });
+    group.finish();
+
+    // Report the steady-state hit rate of a warm shared context: one cold
+    // pass to populate, one warm pass measured.
+    let ctx = DiscoveryContext::new(&rel, ParallelConfig::default());
+    discover_fds_with(&ctx, &config).unwrap();
+    let cold = ctx.cache_stats();
+    discover_fds_with(&ctx, &config).unwrap();
+    let warm = ctx.cache_stats();
+    println!(
+        "pli_cache_10k_rows: cold pass {cold}; after warm rerun {warm} \
+         ({} extra misses on rerun)",
+        warm.misses - cold.misses
+    );
+}
+
 fn bench_pli_intersection(c: &mut Criterion) {
     let mut group = c.benchmark_group("pli_intersection");
     for rows in [1_000usize, 10_000] {
@@ -127,6 +166,7 @@ criterion_group!(
     targets = bench_tane_vs_naive,
     bench_g3_methods,
     bench_rfd_scaling,
+    bench_cached_vs_uncached,
     bench_pli_intersection
 
 );

@@ -5,7 +5,7 @@ use mp_core::{
     identifiability_rate, k_anonymity, run_attack, uniqueness_profile, ExperimentConfig,
     TextTable,
 };
-use mp_discovery::{DependencyProfile, ProfileConfig};
+use mp_discovery::{DependencyProfile, DiscoveryContext, ParallelConfig, ProfileConfig};
 use mp_metadata::{MetadataPackage, SharePolicy};
 use mp_relation::Relation;
 
@@ -22,12 +22,15 @@ pub fn policy_by_name(name: &str) -> Result<SharePolicy, String> {
     }
 }
 
-/// `mpriv profile <csv>` — dependency discovery report.
+/// `mpriv profile <csv>` — dependency discovery report, including the
+/// shared PLI-cache statistics of the discovery engine.
 pub fn profile(relation: &Relation) -> Result<String, String> {
-    let profile = DependencyProfile::discover(relation, &ProfileConfig::paper())
+    let ctx = DiscoveryContext::new(relation, ParallelConfig::default());
+    let profile = DependencyProfile::discover_with(&ctx, &ProfileConfig::paper())
         .map_err(|e| e.to_string())?;
+    let stats = ctx.cache_stats();
     let mut out = format!(
-        "{} rows × {} attributes\n{} FDs, {} AFDs, {} ODs, {} NDs, {} DDs, {} OFDs\n\n",
+        "{} rows × {} attributes\n{} FDs, {} AFDs, {} ODs, {} NDs, {} DDs, {} OFDs\nPLI cache: {} ({} threads)\n\n",
         relation.n_rows(),
         relation.arity(),
         profile.fds.len(),
@@ -35,7 +38,9 @@ pub fn profile(relation: &Relation) -> Result<String, String> {
         profile.ods.len(),
         profile.nds.len(),
         profile.dds.len(),
-        profile.ofds.len()
+        profile.ofds.len(),
+        stats,
+        ctx.threads(),
     );
     let names: Vec<String> =
         relation.schema().attributes().iter().map(|a| a.name.clone()).collect();
@@ -242,6 +247,8 @@ mod tests {
         assert!(out.contains("4 rows × 3 attributes"));
         assert!(out.contains("FD"));
         assert!(out.contains("name"));
+        assert!(out.contains("PLI cache:"), "cache stats line missing: {out}");
+        assert!(out.contains("hit rate"), "hit rate missing: {out}");
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! `X (ε) → Y (δ)` is informative only when `δ_Y` is substantially smaller
 //! than Y's range — otherwise the "dependency" says nothing.
 
+use crate::engine::{DiscoveryContext, ParallelConfig};
 use mp_metadata::DifferentialDep;
 use mp_relation::{AttrKind, Relation, Result, Value};
 
@@ -70,27 +71,49 @@ fn numeric_range(relation: &Relation, col: usize) -> Result<Option<f64>> {
 /// Discovers informative differential dependencies between continuous
 /// attribute pairs.
 pub fn discover_dds(relation: &Relation, config: &DdConfig) -> Result<Vec<DifferentialDep>> {
+    let ctx = DiscoveryContext::new(relation, ParallelConfig::default());
+    discover_dds_with(&ctx, config)
+}
+
+/// [`discover_dds`] against a shared [`DiscoveryContext`]: the quadratic
+/// ε-window sweeps — the expensive part — fan out over source attributes
+/// on the context's thread budget, merged in attribute order so the
+/// output is identical to the sequential scan.
+pub fn discover_dds_with(
+    ctx: &DiscoveryContext<'_>,
+    config: &DdConfig,
+) -> Result<Vec<DifferentialDep>> {
+    let relation = ctx.relation();
     let continuous = relation.schema().indices_of_kind(AttrKind::Continuous);
+    // Ranges once per attribute, shared by both loop roles.
+    let mut ranges: Vec<(usize, f64)> = Vec::new();
+    for &c in &continuous {
+        if let Some(range) = numeric_range(relation, c)? {
+            if range > 0.0 {
+                ranges.push((c, range));
+            }
+        }
+    }
+
+    let per_lhs: Vec<Result<Vec<DifferentialDep>>> =
+        ctx.par_map(ranges.clone(), |(lhs, range_x)| {
+            let eps = config.eps_fraction * range_x;
+            let mut out = Vec::new();
+            for &(rhs, range_y) in &ranges {
+                if lhs == rhs {
+                    continue;
+                }
+                let Some(delta) = tight_delta(relation, lhs, rhs, eps)? else { continue };
+                if delta <= config.delta_fraction * range_y {
+                    out.push(DifferentialDep::new(lhs, rhs, eps, delta));
+                }
+            }
+            Ok(out)
+        });
+
     let mut out = Vec::new();
-    for &lhs in &continuous {
-        let Some(range_x) = numeric_range(relation, lhs)? else { continue };
-        if range_x <= 0.0 {
-            continue;
-        }
-        let eps = config.eps_fraction * range_x;
-        for &rhs in &continuous {
-            if lhs == rhs {
-                continue;
-            }
-            let Some(range_y) = numeric_range(relation, rhs)? else { continue };
-            if range_y <= 0.0 {
-                continue;
-            }
-            let Some(delta) = tight_delta(relation, lhs, rhs, eps)? else { continue };
-            if delta <= config.delta_fraction * range_y {
-                out.push(DifferentialDep::new(lhs, rhs, eps, delta));
-            }
-        }
+    for found in per_lhs {
+        out.extend(found?);
     }
     Ok(out)
 }

@@ -20,6 +20,7 @@
 
 mod cfd;
 mod dd;
+mod engine;
 mod mfd;
 mod nd;
 mod od;
@@ -28,12 +29,15 @@ mod profiler;
 mod tane;
 
 pub use cfd::{discover_cfds, CfdConfig};
+pub use engine::{DiscoveryContext, ParallelConfig};
 pub use mfd::{
     discover_mfds, discover_sds, discover_variable_cfds, MfdConfig, SdConfig, VariableCfdConfig,
 };
-pub use dd::{discover_dds, tight_delta, DdConfig};
-pub use nd::{discover_nds, NdConfig};
-pub use od::{discover_approx_ods, discover_ods, od_error, od_violations, OdConfig};
-pub use ofd::discover_ofds;
+pub use dd::{discover_dds, discover_dds_with, tight_delta, DdConfig};
+pub use nd::{discover_nds, discover_nds_with, NdConfig};
+pub use od::{
+    discover_approx_ods, discover_ods, discover_ods_with, od_error, od_violations, OdConfig,
+};
+pub use ofd::{discover_ofds, discover_ofds_with};
 pub use profiler::{DependencyProfile, ProfileConfig};
-pub use tane::{discover_fds, discover_fds_naive, TaneConfig};
+pub use tane::{discover_fds, discover_fds_naive, discover_fds_with, TaneConfig};

@@ -6,6 +6,7 @@
 //! ND `X →≤k Y` only when the bound is *informative*: much smaller than
 //! `|dom(Y)|`, since `k = |dom(Y)|` holds for every pair vacuously.
 
+use crate::engine::{DiscoveryContext, ParallelConfig};
 use mp_metadata::NumericalDep;
 use mp_relation::{Relation, Result};
 
@@ -33,20 +34,38 @@ impl Default for NdConfig {
 /// relation, so `NumericalDep::holds` is true by construction and false
 /// for `k − 1` (asserted in tests).
 pub fn discover_nds(relation: &Relation, config: &NdConfig) -> Result<Vec<NumericalDep>> {
+    let ctx = DiscoveryContext::new(relation, ParallelConfig::default());
+    discover_nds_with(&ctx, config)
+}
+
+/// [`discover_nds`] against a shared [`DiscoveryContext`]: LHS partitions
+/// and RHS signatures come from the context's PLI cache (so a preceding
+/// FD pass has already paid for them), and the pair sweep fans out over
+/// determinants on the context's thread budget. Output is identical to
+/// the sequential scan.
+pub fn discover_nds_with(
+    ctx: &DiscoveryContext<'_>,
+    config: &NdConfig,
+) -> Result<Vec<NumericalDep>> {
+    let relation = ctx.relation();
     let m = relation.arity();
-    let mut out = Vec::new();
     if relation.n_rows() == 0 {
-        return Ok(out);
+        return Ok(Vec::new());
     }
     let distinct: Vec<usize> =
         (0..m).map(|c| relation.distinct_count(c)).collect::<Result<_>>()?;
+    // RHS full signatures, shared by every determinant's sweep.
+    let rhs_sigs: Vec<Vec<usize>> =
+        (0..m).map(|c| Ok(ctx.pli_of_single(c)?.full_signature())).collect::<Result<_>>()?;
 
-    for lhs in 0..m {
+    let per_lhs: Vec<Result<Vec<NumericalDep>>> = ctx.par_map((0..m).collect(), |lhs| {
+        let lhs_pli = ctx.pli_of_single(lhs)?;
+        let mut out = Vec::new();
         for (rhs, &rhs_distinct) in distinct.iter().enumerate() {
             if lhs == rhs {
                 continue;
             }
-            let k = NumericalDep::max_fanout(lhs, rhs, relation)?;
+            let k = max_fanout(&lhs_pli, &rhs_sigs[rhs]);
             if k == 0 {
                 continue;
             }
@@ -59,8 +78,30 @@ pub fn discover_nds(relation: &Relation, config: &NdConfig) -> Result<Vec<Numeri
                 out.push(NumericalDep::new(lhs, rhs, k));
             }
         }
+        Ok(out)
+    });
+
+    let mut out = Vec::new();
+    for found in per_lhs {
+        out.extend(found?);
     }
     Ok(out)
+}
+
+/// Tightest fanout bound from a stripped LHS partition and an RHS full
+/// signature — the same computation as [`NumericalDep::max_fanout`], but
+/// over partitions the discovery context has already built.
+fn max_fanout(lhs_pli: &mp_relation::Pli, rhs_sig: &[usize]) -> usize {
+    let mut max = if rhs_sig.is_empty() { 0 } else { 1 };
+    let mut seen: Vec<usize> = Vec::new();
+    for cluster in lhs_pli.clusters() {
+        seen.clear();
+        seen.extend(cluster.iter().map(|&r| rhs_sig[r]));
+        seen.sort_unstable();
+        seen.dedup();
+        max = max.max(seen.len());
+    }
+    max
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@
 //! variants. Constant columns are excluded by default: an OD onto a
 //! constant attribute holds vacuously and carries no structure.
 
+use crate::engine::{DiscoveryContext, ParallelConfig};
 use mp_metadata::{OrderDep, OrderDirection};
 use mp_relation::{Relation, Result, Value};
 
@@ -39,16 +40,30 @@ fn non_null_constant(relation: &Relation, col: usize) -> Result<bool> {
 /// directions (possible only if Y is constant across distinct X values,
 /// which `exclude_constant` usually rules out), both are returned.
 pub fn discover_ods(relation: &Relation, config: &OdConfig) -> Result<Vec<OrderDep>> {
+    let ctx = DiscoveryContext::new(relation, ParallelConfig::default());
+    discover_ods_with(&ctx, config)
+}
+
+/// [`discover_ods`] against a shared [`DiscoveryContext`]: the candidate
+/// set fans out over determinants on the context's thread budget (each
+/// determinant's column sort and RHS sweeps are independent), and results
+/// are merged in determinant order, so the output is identical to the
+/// sequential scan.
+pub fn discover_ods_with(
+    ctx: &DiscoveryContext<'_>,
+    config: &OdConfig,
+) -> Result<Vec<OrderDep>> {
+    let relation = ctx.relation();
     let m = relation.arity();
     let mut constant = vec![false; m];
     for (c, flag) in constant.iter_mut().enumerate() {
         *flag = non_null_constant(relation, c)?;
     }
 
-    let mut out = Vec::new();
-    for lhs in 0..m {
+    let per_lhs: Vec<Result<Vec<OrderDep>>> = ctx.par_map((0..m).collect(), |lhs| {
+        let mut out = Vec::new();
         if config.exclude_constant && constant[lhs] {
-            continue;
+            return Ok(out);
         }
         // Pre-sort the LHS once per determinant; reuse for all RHS checks.
         let xs = relation.column(lhs)?;
@@ -94,6 +109,12 @@ pub fn discover_ods(relation: &Relation, config: &OdConfig) -> Result<Vec<OrderD
                 out.push(OrderDep::descending(lhs, rhs));
             }
         }
+        Ok(out)
+    });
+
+    let mut out = Vec::new();
+    for found in per_lhs {
+        out.extend(found?);
     }
     Ok(out)
 }

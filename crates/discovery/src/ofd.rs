@@ -5,6 +5,7 @@
 //! attribute pair with [`OrderedFd::holds`]. Constant columns are excluded
 //! (an OFD onto a constant holds only for constant X and says nothing).
 
+use crate::engine::{DiscoveryContext, ParallelConfig};
 use mp_metadata::OrderedFd;
 use mp_relation::{Relation, Result};
 
@@ -13,6 +14,18 @@ use mp_relation::{Relation, Result};
 /// `exclude_constant` skips pairs where either side is constant over its
 /// non-null rows.
 pub fn discover_ofds(relation: &Relation, exclude_constant: bool) -> Result<Vec<OrderedFd>> {
+    let ctx = DiscoveryContext::new(relation, ParallelConfig::default());
+    discover_ofds_with(&ctx, exclude_constant)
+}
+
+/// [`discover_ofds`] against a shared [`DiscoveryContext`]: the pairwise
+/// validations fan out over determinants on the context's thread budget,
+/// merged in determinant order.
+pub fn discover_ofds_with(
+    ctx: &DiscoveryContext<'_>,
+    exclude_constant: bool,
+) -> Result<Vec<OrderedFd>> {
+    let relation = ctx.relation();
     let m = relation.arity();
     let mut constant = vec![false; m];
     if exclude_constant {
@@ -25,10 +38,11 @@ pub fn discover_ofds(relation: &Relation, exclude_constant: bool) -> Result<Vec<
             };
         }
     }
-    let mut out = Vec::new();
-    for lhs in 0..m {
+
+    let per_lhs: Vec<Result<Vec<OrderedFd>>> = ctx.par_map((0..m).collect(), |lhs| {
+        let mut out = Vec::new();
         if constant[lhs] {
-            continue;
+            return Ok(out);
         }
         for (rhs, &rhs_constant) in constant.iter().enumerate() {
             if rhs == lhs || rhs_constant {
@@ -39,6 +53,12 @@ pub fn discover_ofds(relation: &Relation, exclude_constant: bool) -> Result<Vec<
                 out.push(ofd);
             }
         }
+        Ok(out)
+    });
+
+    let mut out = Vec::new();
+    for found in per_lhs {
+        out.extend(found?);
     }
     Ok(out)
 }

@@ -1,12 +1,13 @@
 //! One-call dependency profiling: every class the paper analyses.
 
 use crate::cfd::{discover_cfds, CfdConfig};
-use crate::dd::{discover_dds, DdConfig};
+use crate::dd::{discover_dds_with, DdConfig};
+use crate::engine::DiscoveryContext;
 use crate::mfd::{discover_mfds, MfdConfig};
-use crate::nd::{discover_nds, NdConfig};
-use crate::od::{discover_ods, OdConfig};
-use crate::ofd::discover_ofds;
-use crate::tane::{discover_fds, TaneConfig};
+use crate::nd::{discover_nds_with, NdConfig};
+use crate::od::{discover_ods_with, OdConfig};
+use crate::ofd::discover_ofds_with;
+use crate::tane::{discover_fds_with, TaneConfig};
 use mp_metadata::{
     Afd, ConditionalFd, Dependency, DifferentialDep, Fd, MetricFd, NumericalDep, OrderDep,
     OrderedFd,
@@ -39,7 +40,7 @@ impl ProfileConfig {
     /// dependencies only (`max_lhs = 1`), all classes on.
     pub fn paper() -> Self {
         Self {
-            fd: TaneConfig { max_lhs: 1, g3_threshold: 0.0 },
+            fd: TaneConfig { max_lhs: 1, g3_threshold: 0.0, ..TaneConfig::default() },
             afd_threshold: Some(0.05),
             od: OdConfig::default(),
             nd: NdConfig::default(),
@@ -75,13 +76,29 @@ pub struct DependencyProfile {
 
 impl DependencyProfile {
     /// Runs every configured discovery pass.
+    ///
+    /// A [`DiscoveryContext`] is created from `config.fd.parallel` and
+    /// shared by every pass, so PLIs built during FD discovery are reused
+    /// by the AFD, OD and ND passes. Use [`DependencyProfile::discover_with`]
+    /// to supply (and inspect) the context yourself.
     pub fn discover(relation: &Relation, config: &ProfileConfig) -> Result<Self> {
-        let fds = discover_fds(relation, &config.fd)?;
+        let ctx = DiscoveryContext::new(relation, config.fd.parallel);
+        Self::discover_with(&ctx, config)
+    }
+
+    /// [`DependencyProfile::discover`] against a caller-supplied
+    /// [`DiscoveryContext`]. All passes draw single-attribute and lattice
+    /// PLIs from the context's shared cache and fan out on its thread
+    /// budget; afterwards `ctx.cache_stats()` reports the cross-pass hit
+    /// rate.
+    pub fn discover_with(ctx: &DiscoveryContext<'_>, config: &ProfileConfig) -> Result<Self> {
+        let relation = ctx.relation();
+        let fds = discover_fds_with(ctx, &config.fd)?;
         let afds = match config.afd_threshold {
             Some(eps) if eps > 0.0 => {
-                let approx = discover_fds(
-                    relation,
-                    &TaneConfig { max_lhs: config.fd.max_lhs, g3_threshold: eps },
+                let approx = discover_fds_with(
+                    ctx,
+                    &TaneConfig { g3_threshold: eps, ..config.fd.clone() },
                 )?;
                 approx
                     .into_iter()
@@ -93,13 +110,13 @@ impl DependencyProfile {
             }
             _ => Vec::new(),
         };
-        let ods = discover_ods(relation, &config.od)?;
-        let nds = discover_nds(relation, &config.nd)?;
+        let ods = discover_ods_with(ctx, &config.od)?;
+        let nds = discover_nds_with(ctx, &config.nd)?;
         let dds = match &config.dd {
-            Some(cfg) => discover_dds(relation, cfg)?,
+            Some(cfg) => discover_dds_with(ctx, cfg)?,
             None => Vec::new(),
         };
-        let ofds = if config.ofds { discover_ofds(relation, true)? } else { Vec::new() };
+        let ofds = if config.ofds { discover_ofds_with(ctx, true)? } else { Vec::new() };
         let cfds = match &config.cfd {
             Some(cfg) => discover_cfds(relation, cfg)?,
             None => Vec::new(),
@@ -190,6 +207,24 @@ mod tests {
         for dep in profile.to_dependencies() {
             assert!(dep.holds(&employee()).unwrap(), "{dep}");
         }
+    }
+
+    #[test]
+    fn shared_context_profile_matches_and_hits_cache() {
+        use crate::engine::ParallelConfig;
+        let out = all_classes_spec(300, 19).generate().unwrap();
+        let config = ProfileConfig::paper();
+        let baseline = DependencyProfile::discover(&out.relation, &config).unwrap();
+
+        let ctx = DiscoveryContext::new(&out.relation, ParallelConfig::default());
+        let shared = DependencyProfile::discover_with(&ctx, &config).unwrap();
+        assert_eq!(format!("{:?}", baseline), format!("{:?}", shared));
+
+        let stats = ctx.cache_stats();
+        // The FD pass and the AFD pass walk the same lattice; the ND pass
+        // re-reads single-attribute PLIs. Sharing one context must produce
+        // cache hits.
+        assert!(stats.hits > 0, "shared context should reuse PLIs: {stats}");
     }
 
     #[test]

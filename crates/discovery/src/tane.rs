@@ -7,9 +7,11 @@
 //! traversed level by level; candidate right-hand sides are pruned with
 //! TANE's `C⁺` sets and key pruning.
 
+use crate::engine::{DiscoveryContext, ParallelConfig};
 use mp_metadata::{AttrSet, Fd};
 use mp_relation::{Pli, Relation, Result};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Limits and thresholds for FD discovery.
 #[derive(Debug, Clone)]
@@ -22,11 +24,15 @@ pub struct TaneConfig {
     /// discovers approximate FDs (AFDs) that hold after removing at most
     /// this fraction of tuples.
     pub g3_threshold: f64,
+    /// Thread and PLI-cache budget. Only consulted by [`discover_fds`],
+    /// which builds a private [`DiscoveryContext`] from it;
+    /// [`discover_fds_with`] uses the budget of the context it is given.
+    pub parallel: ParallelConfig,
 }
 
 impl Default for TaneConfig {
     fn default() -> Self {
-        Self { max_lhs: 3, g3_threshold: 0.0 }
+        Self { max_lhs: 3, g3_threshold: 0.0, parallel: ParallelConfig::default() }
     }
 }
 
@@ -44,7 +50,7 @@ fn set_to_bits(s: &AttrSet) -> Bits {
 
 /// One lattice node: the attribute set's PLI and its `C⁺` candidate set.
 struct Node {
-    pli: Pli,
+    pli: Arc<Pli>,
     cplus: Bits,
 }
 
@@ -57,10 +63,28 @@ struct Node {
 /// generalisation: returned FDs have `g3 ≤ threshold` and no strict subset
 /// of their LHS does.
 ///
+/// Builds a private [`DiscoveryContext`] from `config.parallel`; to share
+/// one PLI cache across several discovery calls, use
+/// [`discover_fds_with`].
+///
 /// # Errors
 /// Propagates column-access errors; relations wider than 64 attributes are
 /// rejected via `RelationError::IndexOutOfBounds`.
 pub fn discover_fds(relation: &Relation, config: &TaneConfig) -> Result<Vec<Fd>> {
+    let ctx = DiscoveryContext::new(relation, config.parallel);
+    discover_fds_with(&ctx, config)
+}
+
+/// [`discover_fds`] against a caller-supplied [`DiscoveryContext`]: the
+/// context's PLI cache memoizes every LHS partition the lattice touches
+/// (so a later pass — the approximate sweep, ND discovery, a repeated
+/// run — reuses them), and each lattice level's candidate tests, key
+/// minimality checks and child-PLI constructions are evaluated on the
+/// context's thread budget. The result is identical to the sequential
+/// traversal for every thread count and cache capacity: nodes are
+/// processed in sorted attribute-set order and merged sequentially.
+pub fn discover_fds_with(ctx: &DiscoveryContext<'_>, config: &TaneConfig) -> Result<Vec<Fd>> {
+    let relation = ctx.relation();
     let m = relation.arity();
     if m > 64 {
         return Err(mp_relation::RelationError::IndexOutOfBounds { index: m, len: 64 });
@@ -77,7 +101,7 @@ pub fn discover_fds(relation: &Relation, config: &TaneConfig) -> Result<Vec<Fd>>
     // Level 1 nodes.
     let mut level: HashMap<AttrSet, Node> = HashMap::new();
     for a in 0..m {
-        let pli = Pli::from_column(relation.column(a)?);
+        let pli = ctx.pli_of_single(a)?;
         rhs_sigs.push(pli.full_signature());
         level.insert(AttrSet::single(a), Node { pli, cplus: all });
     }
@@ -100,16 +124,23 @@ pub fn discover_fds(relation: &Relation, config: &TaneConfig) -> Result<Vec<Fd>>
     // max_lhs + 1.
     let mut depth = 1;
     while !level.is_empty() && depth <= config.max_lhs + 1 {
-        // Compute dependencies at this level.
-        let keys: Vec<AttrSet> = level.keys().cloned().collect();
-        for x in &keys {
+        // Nodes are processed in sorted order and merged sequentially, so
+        // the discovered set (and its order) is independent of both hash
+        // iteration order and the thread count.
+        let mut keys: Vec<AttrSet> = level.keys().cloned().collect();
+        keys.sort();
+
+        // Phase 1 — candidate tests, in parallel over lattice nodes. Each
+        // node's test reads only its own `C⁺` and the shared PLI cache.
+        let tested: Vec<Result<(Bits, Vec<Fd>)>> = ctx.par_map(keys.clone(), |x| {
             // C⁺(X) = ∩_{A∈X} C⁺(X \ {A}) was folded in during generation;
             // at level 1 it is `all` minus constants found at level 0.
-            let x_bits = set_to_bits(x);
-            let mut cplus = level[x].cplus;
+            let x_bits = set_to_bits(&x);
+            let mut cplus = level[&x].cplus;
             if depth == 1 {
                 cplus &= !constant_attrs;
             }
+            let mut found = Vec::new();
             // Candidates to test: A ∈ X ∩ C⁺(X).
             for a in x.iter() {
                 if cplus & bit(a) == 0 {
@@ -119,32 +150,40 @@ pub fn discover_fds(relation: &Relation, config: &TaneConfig) -> Result<Vec<Fd>>
                 let violations = if lhs.is_empty() {
                     unit.g3_violations(&rhs_sigs[a])
                 } else {
-                    lhs_violations(relation, &lhs, &rhs_sigs[a])?
+                    ctx.lhs_violations(&lhs, &rhs_sigs[a])?
                 };
                 if violations <= threshold_violations {
-                    results.push(Fd::new(lhs, a));
+                    found.push(Fd::new(lhs, a));
                     // Prune: remove A and all attributes outside X from C⁺(X).
                     cplus &= !bit(a);
                     cplus &= x_bits;
                 }
             }
+            Ok((cplus, found))
+        });
+        for (x, outcome) in keys.iter().zip(tested) {
+            let (cplus, found) = outcome?;
+            results.extend(found);
             if let Some(node) = level.get_mut(x) {
                 node.cplus = cplus;
             }
         }
 
-        // Key pruning: a (super)key X determines every attribute, so its
-        // lattice descendants carry no new minimal FDs. Before dropping X,
-        // emit the minimal FDs X → A for outside attributes A still in
-        // C⁺(X); X → A is minimal iff no immediate subset of X determines
-        // A (monotonicity makes checking immediate subsets sufficient).
-        for x in &keys {
-            let Some(node) = level.get(x) else { continue };
+        // Phase 2 — key pruning: a (super)key X determines every
+        // attribute, so its lattice descendants carry no new minimal FDs.
+        // Before dropping X, emit the minimal FDs X → A for outside
+        // attributes A still in C⁺(X); X → A is minimal iff no immediate
+        // subset of X determines A (monotonicity makes checking immediate
+        // subsets sufficient). The per-key minimality checks are
+        // independent, so they too run on the thread budget.
+        let pruned: Vec<Result<Option<Vec<Fd>>>> = ctx.par_map(keys.clone(), |x| {
+            let node = &level[&x];
             if !node.pli.is_key() {
-                continue;
+                return Ok(None);
             }
-            let x_bits = set_to_bits(x);
+            let x_bits = set_to_bits(&x);
             let cplus = node.cplus;
+            let mut emitted = Vec::new();
             if x.len() <= config.max_lhs {
                 let mut a_bits = cplus & !x_bits;
                 while a_bits != 0 {
@@ -156,7 +195,7 @@ pub fn discover_fds(relation: &Relation, config: &TaneConfig) -> Result<Vec<Fd>>
                         let v = if sub.is_empty() {
                             unit.g3_violations(&rhs_sigs[a])
                         } else {
-                            lhs_violations(relation, &sub, &rhs_sigs[a])?
+                            ctx.lhs_violations(&sub, &rhs_sigs[a])?
                         };
                         if v <= threshold_violations {
                             minimal = false;
@@ -164,19 +203,32 @@ pub fn discover_fds(relation: &Relation, config: &TaneConfig) -> Result<Vec<Fd>>
                         }
                     }
                     if minimal {
-                        results.push(Fd::new(x.clone(), a));
+                        emitted.push(Fd::new(x.clone(), a));
                     }
                 }
             }
-            level.remove(x);
+            Ok(Some(emitted))
+        });
+        for (x, outcome) in keys.iter().zip(pruned) {
+            if let Some(emitted) = outcome? {
+                results.extend(emitted);
+                level.remove(x);
+            }
         }
 
         if depth == config.max_lhs + 1 {
             break;
         }
-        let mut next: HashMap<AttrSet, Node> = HashMap::new();
+
+        // Phase 3 — generate the next level. The prefix joins and C⁺
+        // intersections are cheap bit work (sequential); the child PLIs —
+        // the expensive part — are built in parallel through the cache,
+        // which turns each into a single intersection with the memoized
+        // parent partition.
         let mut names: Vec<&AttrSet> = level.keys().collect();
         names.sort();
+        let mut joins: Vec<(AttrSet, Bits)> = Vec::new();
+        let mut seen: HashSet<AttrSet> = HashSet::new();
         for i in 0..names.len() {
             for j in (i + 1)..names.len() {
                 let (a, b) = (names[i], names[j]);
@@ -185,7 +237,7 @@ pub fn discover_fds(relation: &Relation, config: &TaneConfig) -> Result<Vec<Fd>>
                     continue;
                 }
                 let union = a.union(b);
-                if next.contains_key(&union) {
+                if seen.contains(&union) {
                     continue;
                 }
                 // All subsets of size `depth` must be present (apriori).
@@ -204,24 +256,21 @@ pub fn discover_fds(relation: &Relation, config: &TaneConfig) -> Result<Vec<Fd>>
                 if !ok || cplus == 0 {
                     continue;
                 }
-                let pli = level[a].pli.intersect(&level[b].pli);
-                next.insert(union, Node { pli, cplus });
+                seen.insert(union.clone());
+                joins.push((union, cplus));
             }
+        }
+        let sets: Vec<AttrSet> = joins.iter().map(|(u, _)| u.clone()).collect();
+        let plis: Vec<Result<Arc<Pli>>> = ctx.par_map(sets, |u| ctx.pli_of(&u));
+        let mut next: HashMap<AttrSet, Node> = HashMap::new();
+        for ((union, cplus), pli) in joins.into_iter().zip(plis) {
+            next.insert(union, Node { pli: pli?, cplus });
         }
         level = next;
         depth += 1;
     }
 
     Ok(results)
-}
-
-/// `g3` violation count of `lhs → rhs` with the LHS partition recomputed
-/// from single-column PLIs. LHS sizes are bounded by `max_lhs`, so the
-/// intersection chain is short; this avoids keeping two lattice levels
-/// alive at once.
-fn lhs_violations(relation: &Relation, lhs: &AttrSet, rhs_sig: &[usize]) -> Result<usize> {
-    let pli = mp_metadata::pli_of_set(relation, lhs)?;
-    Ok(pli.g3_violations(rhs_sig))
 }
 
 /// Reference implementation: exhaustive minimal-FD discovery by direct
@@ -299,7 +348,7 @@ mod tests {
     use mp_relation::{Attribute, Schema, Value};
 
     fn exact(max_lhs: usize) -> TaneConfig {
-        TaneConfig { max_lhs, g3_threshold: 0.0 }
+        TaneConfig { max_lhs, g3_threshold: 0.0, ..TaneConfig::default() }
     }
 
     /// Canonical form for comparing FD sets.
@@ -386,7 +435,7 @@ mod tests {
         assert!(!exact_fds.iter().any(|f| f.lhs == AttrSet::single(0) && f.rhs == 5));
         let approx = discover_fds(
             &out.relation,
-            &TaneConfig { max_lhs: 1, g3_threshold: 0.10 },
+            &TaneConfig { max_lhs: 1, g3_threshold: 0.10, ..TaneConfig::default() },
         )
         .unwrap();
         assert!(approx.iter().any(|f| f.lhs == AttrSet::single(0) && f.rhs == 5));
@@ -436,6 +485,44 @@ mod tests {
         let out = mp_datasets::all_classes_spec(100, 2).generate().unwrap();
         let fds = discover_fds(&out.relation, &exact(2)).unwrap();
         assert!(fds.iter().all(|f| f.lhs.len() <= 2));
+    }
+
+    #[test]
+    fn output_is_identical_across_thread_and_cache_budgets() {
+        let out = mp_datasets::all_classes_spec(150, 41).generate().unwrap();
+        let reference = discover_fds(
+            &out.relation,
+            &TaneConfig { max_lhs: 2, g3_threshold: 0.0, parallel: ParallelConfig::sequential() },
+        )
+        .unwrap();
+        for parallel in [
+            ParallelConfig::default(),
+            ParallelConfig { threads: 4, cache_capacity: 4096 },
+            ParallelConfig { threads: 3, cache_capacity: 8 },
+            ParallelConfig::uncached(4),
+            ParallelConfig::uncached(1),
+        ] {
+            let got = discover_fds(
+                &out.relation,
+                &TaneConfig { max_lhs: 2, g3_threshold: 0.0, parallel },
+            )
+            .unwrap();
+            // Not just the same set: the same Vec, element for element.
+            assert_eq!(got, reference, "{parallel:?}");
+        }
+    }
+
+    #[test]
+    fn shared_context_reuses_partitions_across_calls() {
+        let r = employee();
+        let ctx = DiscoveryContext::new(&r, ParallelConfig::default());
+        let first = discover_fds_with(&ctx, &exact(2)).unwrap();
+        let misses_after_first = ctx.cache_stats().misses;
+        let second = discover_fds_with(&ctx, &exact(2)).unwrap();
+        assert_eq!(first, second);
+        // The repeat run finds every partition it needs in the cache.
+        assert_eq!(ctx.cache_stats().misses, misses_after_first);
+        assert!(ctx.cache_stats().hits > 0);
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! Property tests for the discovery engine's PLI cache: partitions served
+//! from the cache must be *bit-identical* to partitions rebuilt from
+//! scratch, for arbitrary relations, attribute sets, cache budgets, and
+//! request orders.
+
+use mp_discovery::{DiscoveryContext, ParallelConfig};
+use mp_metadata::{pli_of_set, AttrSet};
+use mp_relation::{Attribute, Relation, Schema, Value};
+use proptest::prelude::*;
+
+fn build(rows: Vec<Vec<i64>>, n_attrs: usize) -> Relation {
+    let attrs: Vec<Attribute> =
+        (0..n_attrs).map(|i| Attribute::categorical(format!("a{i}"))).collect();
+    let schema = Schema::new(attrs).unwrap();
+    let data: Vec<Vec<Value>> = rows
+        .into_iter()
+        .map(|r| r.into_iter().take(n_attrs).map(Value::Int).collect())
+        .collect();
+    Relation::from_rows(schema, data).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cached_pli_bit_identical_to_uncached(
+        rows in prop::collection::vec(prop::collection::vec(0i64..4, 5), 0..50),
+        sets in prop::collection::vec(prop::collection::vec(0usize..5, 1..4), 1..8),
+        cache_capacity in prop::option::of(1usize..6),
+    ) {
+        let rel = build(rows, 5);
+        // A tiny Some(capacity) forces evictions mid-sequence; None means
+        // the uncached ablation path.
+        let parallel = ParallelConfig {
+            threads: 1,
+            cache_capacity: cache_capacity.unwrap_or(0),
+        };
+        let cached = DiscoveryContext::new(&rel, parallel);
+        let reference = DiscoveryContext::new(&rel, ParallelConfig::uncached(1));
+
+        for set in &sets {
+            let set = AttrSet::from_iter(set.iter().copied());
+            let from_cache = cached.pli_of(&set).unwrap();
+            let fresh = reference.pli_of(&set).unwrap();
+            // Bit-identical: same clusters in the same order, same row
+            // count — Pli's derived PartialEq compares the full structure.
+            prop_assert_eq!(&*from_cache, &*fresh);
+            // And both agree with the independent linear-scan builder.
+            prop_assert_eq!(&*from_cache, &pli_of_set(&rel, &set).unwrap());
+        }
+    }
+
+    #[test]
+    fn repeated_requests_return_identical_partitions(
+        rows in prop::collection::vec(prop::collection::vec(0i64..3, 4), 1..40),
+        set in prop::collection::vec(0usize..4, 1..4),
+    ) {
+        // Cache hit (second request) must return the same Arc contents as
+        // the miss that populated it, even after other sets evicted it.
+        let rel = build(rows, 4);
+        let ctx = DiscoveryContext::new(&rel, ParallelConfig { threads: 1, cache_capacity: 2 });
+        let set = AttrSet::from_iter(set.iter().copied());
+        let first = ctx.pli_of(&set).unwrap();
+        // Churn the tiny cache with every single-attribute partition.
+        for a in 0..4 {
+            ctx.pli_of(&AttrSet::single(a)).unwrap();
+        }
+        let second = ctx.pli_of(&set).unwrap();
+        prop_assert_eq!(&*first, &*second);
+    }
+}

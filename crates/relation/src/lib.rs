@@ -17,6 +17,9 @@
 //!   analyses, with inference from data and the paper's θ probabilities;
 //! * [`Pli`] — TANE-style stripped partitions powering dependency
 //!   discovery and `g3` error computation;
+//! * [`PliCache`] — a thread-safe LRU-bounded memoizing store for
+//!   partitions shared across discovery passes;
+//! * [`par`] — a minimal order-preserving scoped-thread parallel map;
 //! * [`csv`] — a small reader/writer with `?`-as-missing handling;
 //! * [`ColumnStats`] / [`Histogram`] — summary statistics for reports.
 
@@ -25,7 +28,9 @@
 pub mod csv;
 mod domain;
 mod error;
+pub mod par;
 mod partition;
+mod pli_cache;
 #[allow(clippy::module_inception)]
 mod relation;
 mod schema;
@@ -35,6 +40,7 @@ mod value;
 pub use domain::Domain;
 pub use error::{RelationError, Result};
 pub use partition::Pli;
+pub use pli_cache::{PliCache, PliCacheStats};
 pub use relation::{Relation, RelationBuilder};
 pub use schema::{AttrKind, Attribute, Schema};
 pub use stats::{quantile, quartiles, ColumnStats, Histogram};

@@ -1,0 +1,294 @@
+//! A shared, thread-safe, size-bounded cache of stripped partitions.
+//!
+//! Building `Π_X` for an attribute set X by intersecting single-column
+//! PLIs is the dominant cost of every discovery pass (TANE's lattice,
+//! `g3` checks, ND fanout bounds, the full profiler). The same `Π_X` is
+//! requested many times — by different levels of one lattice traversal,
+//! by the exact and approximate FD passes, and by different dependency
+//! classes profiling the same relation — so memoizing partitions behind
+//! one [`PliCache`] removes the repeated intersection work.
+//!
+//! Keys are `u64` attribute bitsets (one bit per attribute), which caps
+//! cacheable schemas at 64 attributes — far above the paper-scale
+//! relations this workspace targets; wider relations simply bypass the
+//! cache. Entries are `Arc<Pli>` so concurrent readers share one
+//! partition without copying. The cache is bounded: when `capacity` is
+//! exceeded the least-recently-used entry is evicted, keeping memory
+//! proportional to `capacity × O(n_rows)` instead of the full lattice.
+
+use crate::Pli;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A point-in-time snapshot of a [`PliCache`]'s counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PliCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to build the partition.
+    pub misses: u64,
+    /// Entries evicted to stay within capacity.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Maximum resident entries (`0` = caching disabled).
+    pub capacity: usize,
+}
+
+impl PliCacheStats {
+    /// Fraction of lookups served from the cache (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for PliCacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses ({:.1}% hit rate), {} resident, {} evicted, capacity {}",
+            self.hits,
+            self.misses,
+            100.0 * self.hit_rate(),
+            self.entries,
+            self.evictions,
+            self.capacity
+        )
+    }
+}
+
+/// One resident entry: the partition plus its last-touched tick.
+struct Entry {
+    pli: Arc<Pli>,
+    last_used: u64,
+}
+
+/// The lock-guarded map; counters live outside the lock.
+struct Inner {
+    map: HashMap<u64, Entry>,
+    tick: u64,
+}
+
+/// Thread-safe LRU-bounded memoizing store for stripped partitions,
+/// keyed by attribute bitset. See the module docs for the design.
+pub struct PliCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for PliCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PliCache")
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl PliCache {
+    /// A cache holding at most `capacity` partitions. `capacity == 0`
+    /// disables caching entirely: every [`get`](Self::get) misses and
+    /// [`insert`](Self::insert) is a no-op (useful as an ablation
+    /// baseline and for relations too wide to key).
+    pub fn new(capacity: usize) -> Self {
+        PliCache {
+            inner: Mutex::new(Inner { map: HashMap::new(), tick: 0 }),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("PliCache lock poisoned").map.len()
+    }
+
+    /// `true` when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up the partition for the attribute bitset `key`, bumping its
+    /// recency and the hit/miss counters.
+    pub fn get(&self, key: u64) -> Option<Arc<Pli>> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut inner = self.inner.lock().expect("PliCache lock poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                let pli = Arc::clone(&entry.pli);
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(pli)
+            }
+            None => {
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) the partition for `key`, evicting the
+    /// least-recently-used entry if the cache is full. Returns the
+    /// resident `Arc` — if another thread inserted the same key first,
+    /// that earlier partition is kept and returned, so all callers share
+    /// one allocation.
+    pub fn insert(&self, key: u64, pli: Pli) -> Arc<Pli> {
+        let pli = Arc::new(pli);
+        if self.capacity == 0 {
+            return pli;
+        }
+        let mut inner = self.inner.lock().expect("PliCache lock poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(existing) = inner.map.get_mut(&key) {
+            existing.last_used = tick;
+            return Arc::clone(&existing.pli);
+        }
+        if inner.map.len() >= self.capacity {
+            // O(entries) scan; capacities are small enough that a heap
+            // would cost more in constant factors than it saves.
+            if let Some(&victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                inner.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        inner.map.insert(key, Entry { pli: Arc::clone(&pli), last_used: tick });
+        pli
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&self) {
+        self.inner.lock().expect("PliCache lock poisoned").map.clear();
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> PliCacheStats {
+        PliCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    fn pli(values: &[i64]) -> Pli {
+        let column: Vec<Value> = values.iter().map(|&v| Value::Int(v)).collect();
+        Pli::from_column(&column)
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let cache = PliCache::new(8);
+        assert!(cache.get(0b1).is_none());
+        cache.insert(0b1, pli(&[1, 1, 2]));
+        let hit = cache.get(0b1).expect("present");
+        assert_eq!(*hit, pli(&[1, 1, 2]));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recently_used() {
+        let cache = PliCache::new(2);
+        cache.insert(1, pli(&[1]));
+        cache.insert(2, pli(&[1, 1]));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(cache.get(1).is_some());
+        cache.insert(3, pli(&[1, 1, 1]));
+        assert!(cache.get(1).is_some(), "recently used survives");
+        assert!(cache.get(2).is_none(), "LRU entry evicted");
+        assert!(cache.get(3).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = PliCache::new(0);
+        cache.insert(1, pli(&[1, 2]));
+        assert!(cache.get(1).is_none());
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn duplicate_insert_keeps_first_resident() {
+        let cache = PliCache::new(4);
+        let a = cache.insert(7, pli(&[1, 1, 2, 2]));
+        let b = cache.insert(7, pli(&[1, 1, 2, 2]));
+        assert!(Arc::ptr_eq(&a, &b), "second insert returns the resident Arc");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let cache = PliCache::new(64);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..50u64 {
+                        let key = (i + t) % 16;
+                        match cache.get(key) {
+                            Some(p) => assert_eq!(p.n_rows(), key as usize + 1),
+                            None => {
+                                let vals: Vec<i64> =
+                                    (0..=key as i64).map(|v| v % 3).collect();
+                                cache.insert(key, pli(&vals));
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert!(stats.hits + stats.misses >= 200);
+        assert!(cache.len() <= 16);
+    }
+
+    #[test]
+    fn display_is_humane() {
+        let cache = PliCache::new(3);
+        cache.insert(1, pli(&[1]));
+        cache.get(1);
+        let text = cache.stats().to_string();
+        assert!(text.contains("1 hits"), "{text}");
+        assert!(text.contains("capacity 3"), "{text}");
+    }
+}

@@ -73,6 +73,31 @@ proptest! {
     }
 
     #[test]
+    fn pli_unit_is_intersection_identity(a in small_int_column()) {
+        // Π_∅ = the unit partition (one cluster of all rows) is the
+        // identity of ∩ — the base case the discovery engine's cache
+        // relies on for the empty attribute set.
+        let pa = Pli::from_column(&a);
+        let unit = Pli::unit(a.len());
+        prop_assert_eq!(pa.intersect(&unit), pa.clone());
+        prop_assert_eq!(unit.intersect(&pa), pa);
+    }
+
+    #[test]
+    fn refines_is_consistent_with_satisfies_fd(
+        a in small_int_column(),
+        b in small_int_column(),
+    ) {
+        // Π_X refines Π_Y exactly when the FD X → Y holds (checked via
+        // the signature-based validator the TANE engine uses).
+        let n = a.len().min(b.len());
+        let pa = Pli::from_column(&a[..n]);
+        let pb = Pli::from_column(&b[..n]);
+        prop_assert_eq!(pa.refines(&pb), pa.satisfies_fd(&pb.full_signature()));
+        prop_assert_eq!(pb.refines(&pa), pb.satisfies_fd(&pa.full_signature()));
+    }
+
+    #[test]
     fn pli_intersection_matches_pairwise_semantics(
         a in small_int_column(),
         b in small_int_column(),

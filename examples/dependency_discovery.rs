@@ -63,8 +63,11 @@ fn main() {
     }
 
     // ── TANE vs the exhaustive baseline ─────────────────────────────────
-    let tane = discover_fds(&out.relation, &TaneConfig { max_lhs: 2, g3_threshold: 0.0 })
-        .expect("TANE runs");
+    let tane = discover_fds(
+        &out.relation,
+        &TaneConfig { max_lhs: 2, g3_threshold: 0.0, ..TaneConfig::default() },
+    )
+    .expect("TANE runs");
     let naive = discover_fds_naive(&out.relation, 2).expect("naive runs");
     let canon = |fds: &[metadata_privacy::metadata::Fd]| {
         let mut v: Vec<String> = fds.iter().map(|f| format!("{}→{}", f.lhs, f.rhs)).collect();

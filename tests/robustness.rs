@@ -30,7 +30,7 @@ fn sixty_five_attribute_relation_rejected_by_tane() {
     let schema = Schema::new(attrs).unwrap();
     let rel = Relation::from_rows(
         schema,
-        vec![(0..65).map(|i| Value::Int(i)).collect()],
+        vec![(0..65).map(Value::Int).collect()],
     )
     .unwrap();
     let err = discover_fds(&rel, &TaneConfig::default()).unwrap_err();

@@ -1,0 +1,44 @@
+//! Deterministic case runner support for the vendored `proptest`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Property-test configuration (`ProptestConfig` in the prelude).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of cases each property test runs.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 64 }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case was skipped by `prop_assume!`.
+    Reject(String),
+    /// The case failed a `prop_assert!` / `prop_assert_eq!`.
+    Fail(String),
+}
+
+/// Deterministic per-case PRNG: seeded from the test's identity and case
+/// index via `DefaultHasher` (fixed keys), so every run samples the same
+/// inputs and failures reproduce exactly.
+pub fn case_rng(test_name: &str, case: u64) -> StdRng {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    test_name.hash(&mut hasher);
+    case.hash(&mut hasher);
+    StdRng::seed_from_u64(hasher.finish())
+}

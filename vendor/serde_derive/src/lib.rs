@@ -1,0 +1,414 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The build environment has no crates.io access (so no `syn`/`quote`);
+//! this crate parses the derive input token stream by hand. It supports
+//! exactly the shapes the workspace derives on:
+//!
+//! * structs with named fields (honouring `#[serde(default)]`),
+//! * tuple structs (newtype structs serialize transparently),
+//! * enums with unit, tuple and struct variants (serde's external
+//!   tagging: `"Variant"`, `{"Variant": payload}`).
+//!
+//! Generics, lifetimes and other serde attributes are rejected with a
+//! compile error rather than silently mis-handled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---- input model -----------------------------------------------------
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Data {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    data: Data,
+}
+
+// ---- token-stream parsing --------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor { tokens: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn at_ident(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == kw)
+    }
+
+    /// Consumes attributes (`#[...]`), returning true if any of them is
+    /// `#[serde(default)]`.
+    fn skip_attrs(&mut self) -> bool {
+        let mut has_default = false;
+        while self.at_punct('#') {
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.next() {
+                let text = g.stream().to_string().replace(' ', "");
+                if text.starts_with("serde(") && text.contains("default") {
+                    has_default = true;
+                }
+            }
+        }
+        has_default
+    }
+
+    /// Consumes `pub`, `pub(crate)`, `pub(in ...)` if present.
+    fn skip_visibility(&mut self) {
+        if self.at_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected {what}, found {other:?}"),
+        }
+    }
+
+    /// Consumes type tokens up to (not including) a top-level comma,
+    /// tracking `<`/`>` depth so `Map<K, V>` does not split early.
+    fn skip_type(&mut self) {
+        let mut angle: i32 = 0;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(group);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let default = c.skip_attrs();
+        c.skip_visibility();
+        let name = c.expect_ident("field name");
+        assert!(c.at_punct(':'), "serde_derive: expected `:` after field `{name}`");
+        c.next();
+        c.skip_type();
+        if c.at_punct(',') {
+            c.next();
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut c = Cursor::new(group);
+    let mut count = 0;
+    while c.peek().is_some() {
+        c.skip_attrs();
+        c.skip_visibility();
+        c.skip_type();
+        count += 1;
+        if c.at_punct(',') {
+            c.next();
+        }
+    }
+    count
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(group);
+    let mut variants = Vec::new();
+    while c.peek().is_some() {
+        c.skip_attrs();
+        let name = c.expect_ident("variant name");
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                c.next();
+                Shape::Tuple(count_tuple_fields(inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                c.next();
+                Shape::Named(parse_named_fields(inner))
+            }
+            _ => Shape::Unit,
+        };
+        if c.at_punct('=') {
+            // Explicit discriminant: skip to the comma.
+            while c.peek().is_some() && !c.at_punct(',') {
+                c.next();
+            }
+        }
+        if c.at_punct(',') {
+            c.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_visibility();
+    let kind = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("type name");
+    if c.at_punct('<') {
+        panic!("serde_derive (vendored): generic types are not supported; write the impl by hand");
+    }
+    let data = match kind.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Struct(Shape::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::Struct(Shape::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::Struct(Shape::Unit),
+            other => panic!("serde_derive: unsupported struct body: {other:?}"),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: expected enum body, found {other:?}"),
+        },
+        other => panic!("serde_derive: expected struct or enum, found `{other}`"),
+    };
+    Input { name, data }
+}
+
+// ---- code generation -------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::Struct(Shape::Named(fields)) => {
+            let mut s = String::from(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "__fields.push((::std::string::String::from(\"{0}\"), ::serde::Serialize::to_content(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::Content::Map(__fields)");
+            s
+        }
+        Data::Struct(Shape::Tuple(1)) => {
+            "::serde::Serialize::to_content(&self.0)".to_owned()
+        }
+        Data::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Data::Struct(Shape::Unit) => {
+            format!("::serde::Content::Str(::std::string::String::from(\"{name}\"))")
+        }
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Content::Str(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    Shape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::Content::Map(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Serialize::to_content(__f0))]),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_content({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Content::Map(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Content::Seq(::std::vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_content({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Content::Map(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Content::Map(::std::vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n    fn to_content(&self) -> ::serde::Content {{\n        {body}\n    }}\n}}\n"
+    )
+}
+
+fn named_fields_ctor(ty_path: &str, ty_label: &str, fields: &[Field], map_expr: &str) -> String {
+    let mut s = format!("{ty_path} {{\n");
+    for f in fields {
+        let missing = if f.default {
+            "::std::default::Default::default()".to_owned()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(::serde::DeError::missing_field(\"{}\", \"{ty_label}\"))",
+                f.name
+            )
+        };
+        s.push_str(&format!(
+            "{0}: match ::serde::content_get({map_expr}, \"{0}\") {{\n                ::std::option::Option::Some(__v) => ::serde::Deserialize::from_content(__v)?,\n                ::std::option::Option::None => {missing},\n            }},\n",
+            f.name
+        ));
+    }
+    s.push('}');
+    s
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::Struct(Shape::Named(fields)) => {
+            let ctor = named_fields_ctor(name, name, fields, "__map");
+            format!(
+                "let __map = __c.as_map().ok_or_else(|| ::serde::DeError::expected(\"object\", \"{name}\", __c))?;\n::std::result::Result::Ok({ctor})"
+            )
+        }
+        Data::Struct(Shape::Tuple(1)) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_content(__c)?))"
+        ),
+        Data::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&__seq[{i}])?"))
+                .collect();
+            format!(
+                "let __seq = __c.as_seq().ok_or_else(|| ::serde::DeError::expected(\"array\", \"{name}\", __c))?;\nif __seq.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::custom(\"wrong tuple length for {name}\")); }}\n::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Data::Struct(Shape::Unit) => {
+            format!("::std::result::Result::Ok({name})")
+        }
+        Data::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Shape::Tuple(1) => payload_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_content(__v)?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::from_content(&__seq[{i}])?")
+                            })
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n  let __seq = __v.as_seq().ok_or_else(|| ::serde::DeError::expected(\"array\", \"{name}::{vn}\", __v))?;\n  if __seq.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::custom(\"wrong payload length for {name}::{vn}\")); }}\n  ::std::result::Result::Ok({name}::{vn}({}))\n}}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let ctor = named_fields_ctor(
+                            &format!("{name}::{vn}"),
+                            &format!("{name}::{vn}"),
+                            fields,
+                            "__vmap",
+                        );
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n  let __vmap = __v.as_map().ok_or_else(|| ::serde::DeError::expected(\"object\", \"{name}::{vn}\", __v))?;\n  ::std::result::Result::Ok({ctor})\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __c {{\n\
+                 ::serde::Content::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::unknown_variant(__other, \"{name}\")),\n}},\n\
+                 ::serde::Content::Map(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __v) = &__m[0];\n\
+                 match __k.as_str() {{\n{payload_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::unknown_variant(__other, \"{name}\")),\n}}\n}},\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::expected(\"string or single-key object\", \"{name}\", __other)),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n    fn from_content(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n        {body}\n    }}\n}}\n"
+    )
+}
+
+/// Derives the vendored `serde::Serialize` (content-tree form).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed).parse().expect("serde_derive: generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` (content-tree form).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed).parse().expect("serde_derive: generated Deserialize impl parses")
+}
