@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mp_core::{measure_all, run_attack, ExperimentConfig};
 use mp_datasets::{all_classes_spec, echocardiogram, verified_dependencies};
-use mp_metadata::{DomainGeneralization, MetadataPackage};
 use mp_federated::{align, bloom_candidate_rows, BloomFilter};
+use mp_metadata::{DomainGeneralization, MetadataPackage};
 use mp_synth::{Adversary, SynthConfig};
 use std::hint::black_box;
 
@@ -14,8 +14,7 @@ fn bench_attack_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("attack_scaling");
     for rows in [200usize, 2_000, 20_000] {
         let real = all_classes_spec(rows, 5).generate().unwrap();
-        let pkg =
-            MetadataPackage::describe("p", &real.relation, real.planted.clone()).unwrap();
+        let pkg = MetadataPackage::describe("p", &real.relation, real.planted.clone()).unwrap();
         let adversary = Adversary::new(pkg);
         group.bench_function(BenchmarkId::new("synthesize_with_deps", rows), |b| {
             b.iter(|| {
@@ -24,7 +23,9 @@ fn bench_attack_scaling(c: &mut Criterion) {
                     .unwrap()
             })
         });
-        let syn = adversary.synthesize(&SynthConfig::with_dependencies(rows, 1)).unwrap();
+        let syn = adversary
+            .synthesize(&SynthConfig::with_dependencies(rows, 1))
+            .unwrap();
         group.bench_function(BenchmarkId::new("measure_all", rows), |b| {
             b.iter(|| measure_all(black_box(&real.relation), black_box(&syn), 1.0).unwrap())
         });
@@ -37,7 +38,11 @@ fn bench_full_rounds(c: &mut Criterion) {
     let pkg = MetadataPackage::describe("h", &real, verified_dependencies()).unwrap();
     let mut group = c.benchmark_group("attack_rounds_echocardiogram");
     for rounds in [1usize, 10] {
-        let config = ExperimentConfig { rounds, base_seed: 1, epsilon: 0.0 };
+        let config = ExperimentConfig {
+            rounds,
+            base_seed: 1,
+            epsilon: 0.0,
+        };
         group.bench_function(BenchmarkId::from_parameter(rounds), |b| {
             b.iter(|| run_attack(black_box(&real), black_box(&pkg), true, &config).unwrap())
         });
@@ -66,19 +71,19 @@ fn bench_psi_variants(c: &mut Criterion) {
     // Ablation: digest PSI (exact, linear communication) vs Bloom-filter
     // candidate generation (fixed communication, false positives).
     let data = mp_datasets::fintech_scenario(20_000, 3);
-    let a = data.bank.relation.column(0).unwrap();
-    let b = data.ecommerce.relation.column(0).unwrap();
+    let a = data.bank.relation.column_values(0).unwrap();
+    let b = data.ecommerce.relation.column_values(0).unwrap();
     let mut group = c.benchmark_group("psi_variants");
     group.bench_function("digest_align", |bench| {
-        bench.iter(|| align(black_box(a), black_box(b), 42))
+        bench.iter(|| align(black_box(&a), black_box(&b), 42))
     });
     group.bench_function("bloom_build_and_probe", |bench| {
         bench.iter(|| {
             let mut f = BloomFilter::with_capacity(a.len(), 4, 42);
-            for id in a {
+            for id in &a {
                 f.insert(id);
             }
-            bloom_candidate_rows(&f, black_box(b))
+            bloom_candidate_rows(&f, black_box(&b))
         })
     });
     group.finish();

@@ -19,9 +19,7 @@ fn bench_leakage_measurement(c: &mut Criterion) {
             bench.iter(|| mse(black_box(&a), black_box(&b), 2).unwrap())
         });
         group.bench_function(BenchmarkId::new("tuple_matches", rows), |bench| {
-            bench.iter(|| {
-                tuple_matches(black_box(&a), black_box(&b), &[0, 1, 2], 1.0).unwrap()
-            })
+            bench.iter(|| tuple_matches(black_box(&a), black_box(&b), &[0, 1, 2], 1.0).unwrap())
         });
     }
     group.finish();

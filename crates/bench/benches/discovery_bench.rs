@@ -1,28 +1,36 @@
 //! Discovery benchmarks and the DESIGN.md §6 ablations:
 //! * TANE (stripped-partition) vs the naive exhaustive FD checker;
 //! * PLI-based `g3` vs the naive pairwise `g3`;
-//! * scaling of every RFD discovery pass with row count.
+//! * scaling of every RFD discovery pass with row count;
+//! * typed-code vs boxed-`Value` PLI construction (§6b columnar layer).
+//!
+//! Besides the Criterion groups, the run writes `BENCH_columnar.json` at
+//! the repo root — cached/uncached discovery wall-clock, warm cache hit
+//! rate, and columnar-vs-boxed PLI build times — so the perf trajectory
+//! of the columnar storage layer is tracked across PRs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use mp_datasets::all_classes_spec;
 use mp_discovery::{
-    discover_dds, discover_fds, discover_fds_naive, discover_fds_with, discover_nds,
-    discover_ods, discover_ofds, DdConfig, DiscoveryContext, NdConfig, OdConfig, ParallelConfig,
-    TaneConfig,
+    discover_dds, discover_fds, discover_fds_naive, discover_fds_with, discover_nds, discover_ods,
+    discover_ofds, DdConfig, DiscoveryContext, NdConfig, OdConfig, ParallelConfig, TaneConfig,
 };
 use mp_metadata::Fd;
 use mp_relation::{Pli, Relation, Value};
 use std::hint::black_box;
 
 fn relation(rows: usize) -> Relation {
-    all_classes_spec(rows, 7).generate().expect("generation").relation
+    all_classes_spec(rows, 7)
+        .generate()
+        .expect("generation")
+        .relation
 }
 
 /// Reference `g3`: count violating tuples by comparing all pairs within
 /// sorted groups — the quadratic method TANE's PLIs replace.
 fn naive_g3(relation: &Relation, lhs: usize, rhs: usize) -> usize {
-    let xs = relation.column(lhs).unwrap();
-    let ys = relation.column(rhs).unwrap();
+    let xs = relation.column_values(lhs).unwrap();
+    let ys = relation.column_values(rhs).unwrap();
     let mut idx: Vec<usize> = (0..relation.n_rows()).collect();
     idx.sort_by(|&a, &b| xs[a].cmp(&xs[b]));
     let mut total = 0;
@@ -59,7 +67,11 @@ fn bench_tane_vs_naive(c: &mut Criterion) {
             b.iter(|| {
                 discover_fds(
                     black_box(rel),
-                    &TaneConfig { max_lhs: 2, g3_threshold: 0.0, ..TaneConfig::default() },
+                    &TaneConfig {
+                        max_lhs: 2,
+                        g3_threshold: 0.0,
+                        ..TaneConfig::default()
+                    },
                 )
                 .unwrap()
             })
@@ -76,9 +88,7 @@ fn bench_g3_methods(c: &mut Criterion) {
     for rows in [200usize, 2000] {
         let rel = relation(rows);
         group.bench_with_input(BenchmarkId::new("pli", rows), &rel, |b, rel| {
-            b.iter(|| {
-                Fd::new(0usize, 5).g3_error(black_box(rel)).unwrap()
-            })
+            b.iter(|| Fd::new(0usize, 5).g3_error(black_box(rel)).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("naive_sorted", rows), &rel, |b, rel| {
             b.iter(|| naive_g3(black_box(rel), 0, 5))
@@ -115,7 +125,11 @@ fn bench_rfd_scaling(c: &mut Criterion) {
 /// the timings so bench logs double as cache-efficacy reports.
 fn bench_cached_vs_uncached(c: &mut Criterion) {
     let rel = relation(10_000);
-    let config = TaneConfig { max_lhs: 2, g3_threshold: 0.0, ..TaneConfig::default() };
+    let config = TaneConfig {
+        max_lhs: 2,
+        g3_threshold: 0.0,
+        ..TaneConfig::default()
+    };
 
     let mut group = c.benchmark_group("pli_cache_10k_rows");
     group.bench_function("uncached", |b| {
@@ -146,13 +160,122 @@ fn bench_pli_intersection(c: &mut Criterion) {
     let mut group = c.benchmark_group("pli_intersection");
     for rows in [1_000usize, 10_000] {
         let rel = relation(rows);
-        let a = Pli::from_column(rel.column(0).unwrap());
-        let b = Pli::from_column(rel.column(4).unwrap());
+        let a = Pli::from_typed(rel.column(0).unwrap());
+        let b = Pli::from_typed(rel.column(4).unwrap());
         group.bench_function(BenchmarkId::from_parameter(rows), |bencher| {
             bencher.iter(|| black_box(&a).intersect(black_box(&b)))
         });
     }
     group.finish();
+}
+
+/// The §6b columnar ablation: building every single-column PLI of the
+/// 10k-row relation from typed codes (dictionary/primitive grouping) vs
+/// from boxed `Value` hashing — the cold-start cost every discovery pass
+/// pays before the cache warms.
+fn bench_columnar_pli_build(c: &mut Criterion) {
+    let rel = relation(10_000);
+    let boxed: Vec<Vec<Value>> = (0..rel.arity())
+        .map(|a| rel.column_values(a).unwrap())
+        .collect();
+
+    let mut group = c.benchmark_group("pli_build_10k_rows");
+    group.bench_function("boxed_value", |b| {
+        b.iter(|| {
+            boxed
+                .iter()
+                .map(|col| Pli::from_column(black_box(col)).cluster_count())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("typed_codes", |b| {
+        b.iter(|| {
+            (0..rel.arity())
+                .map(|a| Pli::from_typed(black_box(rel.column(a).unwrap())).cluster_count())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+/// Median wall-clock of `reps` runs of `f`, in milliseconds.
+fn median_ms<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = std::time::Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("elapsed times are finite"));
+    samples[samples.len() / 2]
+}
+
+/// Writes `BENCH_columnar.json` at the repo root: the machine-readable
+/// record of the columnar layer's hot-path numbers for this commit.
+fn emit_columnar_json() {
+    let rel = relation(10_000);
+    let config = TaneConfig {
+        max_lhs: 2,
+        g3_threshold: 0.0,
+        ..TaneConfig::default()
+    };
+
+    // Cold/uncached discovery wall-clock: a fresh context per run.
+    let uncached_ms = median_ms(3, || {
+        let ctx = DiscoveryContext::new(&rel, ParallelConfig::uncached(0));
+        discover_fds_with(&ctx, &config).unwrap();
+    });
+    let cached_cold_ms = median_ms(3, || {
+        let ctx = DiscoveryContext::new(&rel, ParallelConfig::default());
+        discover_fds_with(&ctx, &config).unwrap();
+    });
+
+    // Warm rerun on a shared context, plus its steady-state hit rate.
+    let ctx = DiscoveryContext::new(&rel, ParallelConfig::default());
+    discover_fds_with(&ctx, &config).unwrap();
+    let cached_warm_ms = median_ms(3, || {
+        discover_fds_with(&ctx, &config).unwrap();
+    });
+    let stats = ctx.cache_stats();
+
+    // Columnar vs boxed PLI construction over every column.
+    let boxed: Vec<Vec<Value>> = (0..rel.arity())
+        .map(|a| rel.column_values(a).unwrap())
+        .collect();
+    let boxed_ms = median_ms(5, || {
+        for col in &boxed {
+            black_box(Pli::from_column(col));
+        }
+    });
+    let typed_ms = median_ms(5, || {
+        for a in 0..rel.arity() {
+            black_box(Pli::from_typed(rel.column(a).unwrap()));
+        }
+    });
+
+    let reprs: Vec<String> = (0..rel.arity())
+        .map(|a| format!("\"{}\"", rel.column(a).unwrap().repr_name()))
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"columnar\",\n  \"relation\": {{ \"rows\": {}, \"arity\": {}, \"column_reprs\": [{}] }},\n  \"pli_build\": {{ \"boxed_value_ms\": {:.3}, \"typed_codes_ms\": {:.3}, \"speedup\": {:.2} }},\n  \"discovery_10k_depth2\": {{ \"uncached_ms\": {:.3}, \"cached_cold_ms\": {:.3}, \"cached_warm_ms\": {:.3}, \"warm_hit_rate\": {:.4}, \"hits\": {}, \"misses\": {}, \"evictions\": {} }}\n}}\n",
+        rel.n_rows(),
+        rel.arity(),
+        reprs.join(", "),
+        boxed_ms,
+        typed_ms,
+        boxed_ms / typed_ms,
+        uncached_ms,
+        cached_cold_ms,
+        cached_warm_ms,
+        stats.hit_rate(),
+        stats.hits,
+        stats.misses,
+        stats.evictions,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_columnar.json");
+    std::fs::write(path, &json).expect("write BENCH_columnar.json");
+    println!("wrote {path}:\n{json}");
 }
 
 criterion_group!(
@@ -167,7 +290,12 @@ criterion_group!(
     bench_g3_methods,
     bench_rfd_scaling,
     bench_cached_vs_uncached,
-    bench_pli_intersection
+    bench_pli_intersection,
+    bench_columnar_pli_build
 
 );
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    emit_columnar_json();
+}

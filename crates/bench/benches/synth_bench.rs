@@ -82,7 +82,9 @@ fn bench_per_generator(c: &mut Criterion) {
     });
     group.bench_function(BenchmarkId::new("distribution", n), |b| {
         let dist = mp_metadata::Distribution::Categorical(
-            (0..16i64).map(|i| (mp_relation::Value::Int(i), 1.0 / 16.0)).collect(),
+            (0..16i64)
+                .map(|i| (mp_relation::Value::Int(i), 1.0 / 16.0))
+                .collect(),
         );
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(1);

@@ -12,7 +12,11 @@ use std::hint::black_box;
 fn bench_table4_cells(c: &mut Criterion) {
     let real = echocardiogram();
     let domains = Domain::infer_all(&real).unwrap();
-    let config = ExperimentConfig { rounds: 10, base_seed: 1, epsilon: 0.0 };
+    let config = ExperimentConfig {
+        rounds: 10,
+        base_seed: 1,
+        epsilon: 0.0,
+    };
     let mut group = c.benchmark_group("table4_cells");
     for (_, class) in tables::ROWS {
         group.bench_function(BenchmarkId::from_parameter(class), |b| {
@@ -29,7 +33,11 @@ fn bench_table4_cells(c: &mut Criterion) {
 fn bench_table3_cells(c: &mut Criterion) {
     let real = echocardiogram();
     let domains = Domain::infer_all(&real).unwrap();
-    let config = ExperimentConfig { rounds: 10, base_seed: 1, epsilon: 0.0 };
+    let config = ExperimentConfig {
+        rounds: 10,
+        base_seed: 1,
+        epsilon: 0.0,
+    };
     let mut group = c.benchmark_group("table3_cells");
     for (_, class) in tables::ROWS {
         group.bench_function(BenchmarkId::from_parameter(class), |b| {
@@ -47,10 +55,10 @@ fn bench_psi(c: &mut Criterion) {
     let mut group = c.benchmark_group("psi_align");
     for n in [1_000usize, 50_000] {
         let data = fintech_scenario(n, 5);
-        let ids_a = data.bank.relation.column(0).unwrap();
-        let ids_b = data.ecommerce.relation.column(0).unwrap();
+        let ids_a = data.bank.relation.column_values(0).unwrap();
+        let ids_b = data.ecommerce.relation.column_values(0).unwrap();
         group.bench_function(BenchmarkId::from_parameter(n), |b| {
-            b.iter(|| align(black_box(ids_a), black_box(ids_b), 42))
+            b.iter(|| align(black_box(&ids_a), black_box(&ids_b), 42))
         });
     }
     group.finish();
@@ -72,7 +80,11 @@ fn bench_federated_training(c: &mut Criterion) {
             train(
                 vec![black_box(bank.clone())],
                 &labels,
-                &TrainConfig { epochs: 50, lr: 0.5, l2: 1e-4 },
+                &TrainConfig {
+                    epochs: 50,
+                    lr: 0.5,
+                    l2: 1e-4,
+                },
             )
         })
     });

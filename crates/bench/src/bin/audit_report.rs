@@ -5,9 +5,8 @@ use mp_discovery::{DependencyProfile, ProfileConfig};
 
 fn main() {
     let rel = mp_datasets::echocardiogram();
-    let profile =
-        DependencyProfile::discover(&rel, &ProfileConfig::paper()).expect("profiling");
-    let audit = PrivacyAudit::run(&rel, profile.to_dependencies(), &AuditConfig::default())
-        .expect("audit");
+    let profile = DependencyProfile::discover(&rel, &ProfileConfig::paper()).expect("profiling");
+    let audit =
+        PrivacyAudit::run(&rel, profile.to_dependencies(), &AuditConfig::default()).expect("audit");
     print!("{}", audit.render(&rel));
 }

@@ -8,8 +8,7 @@ fn main() {
     let employee = mp_datasets::employee();
     mp_relation::csv::write_path(&echo, format!("{dir}/echocardiogram.csv"))
         .expect("write echocardiogram");
-    mp_relation::csv::write_path(&employee, format!("{dir}/employee.csv"))
-        .expect("write employee");
+    mp_relation::csv::write_path(&employee, format!("{dir}/employee.csv")).expect("write employee");
     println!(
         "wrote {dir}/echocardiogram.csv ({} rows) and {dir}/employee.csv ({} rows)",
         echo.n_rows(),

@@ -34,11 +34,9 @@ fn main() {
     print!("{sep}");
     // Consolidated audit of the evaluation dataset (extension API).
     let rel = mp_datasets::echocardiogram();
-    let profile = mp_discovery::DependencyProfile::discover(
-        &rel,
-        &mp_discovery::ProfileConfig::paper(),
-    )
-    .expect("profiling");
+    let profile =
+        mp_discovery::DependencyProfile::discover(&rel, &mp_discovery::ProfileConfig::paper())
+            .expect("profiling");
     let audit = mp_core::PrivacyAudit::run(
         &rel,
         profile.to_dependencies(),

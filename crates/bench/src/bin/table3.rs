@@ -1,6 +1,9 @@
 //! Regenerates the paper's Table III (continuous-attribute MSE).
 fn main() {
-    let rounds = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(200);
+    let rounds = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(200);
     print!("{}", mp_bench::tables::table3(rounds));
     println!();
     print!("{}", mp_bench::tables::table3_known_lhs(rounds));

@@ -1,6 +1,9 @@
 //! Regenerates the paper's Table IV (categorical positive matches).
 fn main() {
-    let rounds = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(200);
+    let rounds = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(200);
     print!("{}", mp_bench::tables::table4(rounds));
     println!();
     print!("{}", mp_bench::tables::table4_known_lhs(rounds));

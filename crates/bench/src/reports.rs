@@ -2,7 +2,9 @@
 //! experiment A8) and the dependency-discovery profile of the evaluation
 //! dataset.
 
-use mp_core::{categorical_matches, identifiability_rate, uniqueness_profile, ExperimentConfig, TextTable};
+use mp_core::{
+    categorical_matches, identifiability_rate, uniqueness_profile, ExperimentConfig, TextTable,
+};
 use mp_datasets::{echocardiogram, employee};
 use mp_discovery::{DependencyProfile, ProfileConfig};
 use mp_federated::{horizontal_split, permutation_baseline};
@@ -12,20 +14,21 @@ use mp_synth::{Adversary, SynthConfig};
 /// A8: identifiability report over both datasets.
 pub fn identifiability_report() -> String {
     let mut out = String::from("A8 §II Definition 2.1 — identifiability\n\n");
-    for (name, rel) in [("employee (Table II)", employee()), ("echocardiogram", echocardiogram())]
-    {
+    for (name, rel) in [
+        ("employee (Table II)", employee()),
+        ("echocardiogram", echocardiogram()),
+    ] {
         out.push_str(&format!("{name} ({} rows):\n", rel.n_rows()));
-        let mut t = TextTable::new(vec![
-            "subset size ≤".into(),
-            "identifiable tuples".into(),
-        ]);
+        let mut t = TextTable::new(vec!["subset size ≤".into(), "identifiable tuples".into()]);
         for size in 1..=3 {
             let rate = identifiability_rate(&rel, size).expect("rate");
             t.push_row(vec![size.to_string(), format!("{:.1}%", rate * 100.0)]);
         }
         out.push_str(&t.render());
         let unique = uniqueness_profile(&rel).expect("profile");
-        out.push_str(&format!("tuples unique per single attribute: {unique:?}\n\n"));
+        out.push_str(&format!(
+            "tuples unique per single attribute: {unique:?}\n\n"
+        ));
     }
     out.push_str(
         "Reading: near-total identifiability is what makes the index-aligned\n\
@@ -38,8 +41,7 @@ pub fn identifiability_report() -> String {
 /// paper's pairwise configuration.
 pub fn discovery_report() -> String {
     let rel = echocardiogram();
-    let profile =
-        DependencyProfile::discover(&rel, &ProfileConfig::paper()).expect("profiling");
+    let profile = DependencyProfile::discover(&rel, &ProfileConfig::paper()).expect("profiling");
     let mut out = format!(
         "Dependency profile of echocardiogram ({} rows × {} attrs), pairwise config\n\n",
         rel.n_rows(),
@@ -65,7 +67,6 @@ pub fn discovery_report() -> String {
     out
 }
 
-
 /// A11 (extension, paper §I): HFL vs VFL alignment contrast — without PSI,
 /// index-aligned matching carries no more signal than random permutation,
 /// which is why the paper's leakage definitions are VFL-specific.
@@ -78,7 +79,11 @@ pub fn hfl_report() -> String {
     let syn = adversary
         .synthesize(&SynthConfig::random_baseline(theirs.n_rows(), 17))
         .expect("synthesize");
-    let config = ExperimentConfig { rounds: 200, base_seed: 5, epsilon: 0.0 };
+    let config = ExperimentConfig {
+        rounds: 200,
+        base_seed: 5,
+        epsilon: 0.0,
+    };
 
     let mut t = TextTable::new(vec![
         "attr".into(),
@@ -87,8 +92,7 @@ pub fn hfl_report() -> String {
     ]);
     for &attr in &mp_datasets::CATEGORICAL_ATTRS {
         let aligned = categorical_matches(theirs, &syn, attr).expect("matches") as f64;
-        let baseline =
-            permutation_baseline(theirs, &syn, attr, &config).expect("baseline");
+        let baseline = permutation_baseline(theirs, &syn, attr, &config).expect("baseline");
         t.push_row(vec![
             attr.to_string(),
             format!("{aligned:.1}"),

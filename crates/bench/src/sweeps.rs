@@ -45,7 +45,10 @@ pub fn sweep_random(n: usize, rounds: usize) -> String {
             analytical::random::leaks(n, theta).to_string(),
         ]);
     }
-    format!("A1 §III-A random generation (N = {n}, {rounds} rounds)\n{}", t.render())
+    format!(
+        "A1 §III-A random generation (N = {n}, {rounds} rounds)\n{}",
+        t.render()
+    )
 }
 
 /// Real data for the FD/AFD/ND sweeps: X uniform over `card_x`, Y a true
@@ -82,22 +85,32 @@ pub fn sweep_fd(n: usize, rounds: usize) -> String {
             let mut rng = StdRng::seed_from_u64(seed);
             let sx = mp_synth::sample_column(&dom_x, n, &mut rng);
             let sy = mp_synth::generate_fd_column(&[&sx], &dom_y, n, &mut rng);
-            (0..n).filter(|&i| sx[i] == real_x[i] && sy[i] == real_y[i]).count()
+            (0..n)
+                .filter(|&i| sx[i] == real_x[i] && sy[i] == real_y[i])
+                .count()
         });
         let rand_emp = mean_matches(rounds, |seed| {
             let mut rng = StdRng::seed_from_u64(seed + 5000);
             let sx = mp_synth::sample_column(&dom_x, n, &mut rng);
             let sy = mp_synth::sample_column(&dom_y, n, &mut rng);
-            (0..n).filter(|&i| sx[i] == real_x[i] && sy[i] == real_y[i]).count()
+            (0..n)
+                .filter(|&i| sx[i] == real_x[i] && sy[i] == real_y[i])
+                .count()
         });
         t.push_row(vec![
             card_x.to_string(),
-            format!("{:.2}", analytical::fd::expected_pair_matches(n, card_x, card_y)),
+            format!(
+                "{:.2}",
+                analytical::fd::expected_pair_matches(n, card_x, card_y)
+            ),
             format!("{fd_emp:.2}"),
             format!("{rand_emp:.2}"),
         ]);
     }
-    format!("A2 §III-B FD vs random (N = {n}, |D_B| = {card_y}, {rounds} rounds)\n{}", t.render())
+    format!(
+        "A2 §III-B FD vs random (N = {n}, |D_B| = {card_y}, {rounds} rounds)\n{}",
+        t.render()
+    )
 }
 
 /// A3 (§IV-A): AFD sweep over the g3 budget ε — totals stay at the FD/
@@ -119,7 +132,9 @@ pub fn sweep_afd(n: usize, rounds: usize) -> String {
             let mut rng = StdRng::seed_from_u64(seed);
             let sx = mp_synth::sample_column(&dom_x, n, &mut rng);
             let sy = mp_synth::generate_afd_column(&[&sx], &dom_y, eps, n, &mut rng);
-            (0..n).filter(|&i| sx[i] == real_x[i] && sy[i] == real_y[i]).count()
+            (0..n)
+                .filter(|&i| sx[i] == real_x[i] && sy[i] == real_y[i])
+                .count()
         });
         let (structured, scattered) = analytical::fd::afd_split(n, eps, card_x, card_y);
         t.push_row(vec![
@@ -130,7 +145,10 @@ pub fn sweep_afd(n: usize, rounds: usize) -> String {
             format!("{scattered:.2}"),
         ]);
     }
-    format!("A3 §IV-A AFD ε sweep (N = {n}, {rounds} rounds)\n{}", t.render())
+    format!(
+        "A3 §IV-A AFD ε sweep (N = {n}, {rounds} rounds)\n{}",
+        t.render()
+    )
 }
 
 /// A4 (§IV-B): ND sweep over K — exact-cell totals are K-independent
@@ -156,11 +174,16 @@ pub fn sweep_nd(n: usize, rounds: usize) -> String {
             let mut rng = StdRng::seed_from_u64(seed + 31);
             let sx = mp_synth::sample_column(&dom_x, n, &mut rng);
             let sy = mp_synth::generate_nd_column(&sx, &dom_y, k, n, &mut rng);
-            (0..n).filter(|&i| sx[i] == real_x[i] && sy[i] == real_y[i]).count()
+            (0..n)
+                .filter(|&i| sx[i] == real_x[i] && sy[i] == real_y[i])
+                .count()
         });
         t.push_row(vec![
             k.to_string(),
-            format!("{:.2}", analytical::nd::expected_pair_matches(n, k, card_x, card_y)),
+            format!(
+                "{:.2}",
+                analytical::nd::expected_pair_matches(n, k, card_x, card_y)
+            ),
             format!(
                 "{:.2}",
                 analytical::nd::expected_exact_pair_matches(n, card_x, card_y)
@@ -170,22 +193,25 @@ pub fn sweep_nd(n: usize, rounds: usize) -> String {
             analytical::nd::guaranteed_overlap(k, card_y).to_string(),
         ]);
     }
-    format!("A4 §IV-B ND K sweep (N = {n}, |Dx| = {card_x}, |Dy| = {card_y}, {rounds} rounds)\n{}", t.render())
+    format!(
+        "A4 §IV-B ND K sweep (N = {n}, |Dx| = {card_x}, |Dy| = {card_y}, {rounds} rounds)\n{}",
+        t.render()
+    )
 }
 
 /// A5 (§IV-C): OD partition-count sweep — expected interval overlap (and
 /// with it the leakage) shrinks as the partition count grows, the paper's
 /// "high variance ⇒ low leakage" argument.
 pub fn sweep_od(samples: usize) -> String {
-    let mut t = TextTable::new(vec![
-        "partitions m".into(),
-        "E[overlap]/range (MC)".into(),
-    ]);
+    let mut t = TextTable::new(vec!["partitions m".into(), "E[overlap]/range (MC)".into()]);
     for m in [1usize, 2, 4, 8, 16, 32, 64] {
         let overlap = analytical::od::expected_overlap_uniform(m, samples, 17);
         t.push_row(vec![m.to_string(), format!("{overlap:.4}")]);
     }
-    format!("A5 §IV-C OD interval-overlap sweep ({samples} MC samples)\n{}", t.render())
+    format!(
+        "A5 §IV-C OD interval-overlap sweep ({samples} MC samples)\n{}",
+        t.render()
+    )
 }
 
 /// A6 (§IV-D): DD ε sweep — leakage grows quadratically in ε_y and stays
@@ -227,7 +253,10 @@ pub fn sweep_dd(n: usize, rounds: usize) -> String {
             format!("{baseline:.2}"),
         ]);
     }
-    format!("A6 §IV-D DD ε sweep (N = {n}, ranges {range_x}/{range_y}, {rounds} rounds)\n{}", t.render())
+    format!(
+        "A6 §IV-D DD ε sweep (N = {n}, ranges {range_x}/{range_y}, {rounds} rounds)\n{}",
+        t.render()
+    )
 }
 
 /// A7 (§IV-E): OFD sweep over the codomain size — transition
@@ -247,8 +276,10 @@ pub fn sweep_ofd(rounds: usize) -> String {
         let lhs: Vec<Value> = (0..m * 20).map(|i| Value::Int((i % m) as i64)).collect();
         // Real mapping: i ↦ i·(card_y/m) — strictly increasing.
         let stride = (card_y / m).max(1) as i64;
-        let real: Vec<Value> =
-            lhs.iter().map(|v| Value::Int(v.as_i64().unwrap() * stride)).collect();
+        let real: Vec<Value> = lhs
+            .iter()
+            .map(|v| Value::Int(v.as_i64().unwrap() * stride))
+            .collect();
         let emp = mean_matches(rounds, |seed| {
             let mut rng = StdRng::seed_from_u64(seed);
             let syn = mp_synth::generate_ofd_column(&lhs, &dom, lhs.len(), &mut rng);
@@ -256,15 +287,26 @@ pub fn sweep_ofd(rounds: usize) -> String {
         });
         t.push_row(vec![
             card_y.to_string(),
-            format!("{:.3}", analytical::ofd::transition_probability(m, card_y, 0)),
-            format!("{:.5}", analytical::ofd::whole_mapping_probability(m, card_y)),
-            format!("{:.3}", analytical::ofd::expected_matches(m, 1.0, m, card_y)),
+            format!(
+                "{:.3}",
+                analytical::ofd::transition_probability(m, card_y, 0)
+            ),
+            format!(
+                "{:.5}",
+                analytical::ofd::whole_mapping_probability(m, card_y)
+            ),
+            format!(
+                "{:.3}",
+                analytical::ofd::expected_matches(m, 1.0, m, card_y)
+            ),
             format!("{emp:.3}"),
         ]);
     }
-    format!("A7 §IV-E OFD codomain sweep (|X| = {m}, {rounds} rounds)\n{}", t.render())
+    format!(
+        "A7 §IV-E OFD codomain sweep (|X| = {m}, {rounds} rounds)\n{}",
+        t.render()
+    )
 }
-
 
 /// A9 (extension): constant-CFD support sweep — the flood strategy beats
 /// the random baseline exactly when `s > N/|D_Y|`, making CFDs the one
@@ -308,7 +350,10 @@ pub fn sweep_cfd(n: usize, rounds: usize) -> String {
             target_support.to_string(),
             format!("{:.1}", n as f64 / card_y as f64),
             format!("{emp:.1}"),
-            format!("{:.1}", analytical::cfd::flood_strategy_hits(target_support)),
+            format!(
+                "{:.1}",
+                analytical::cfd::flood_strategy_hits(target_support)
+            ),
             format!(
                 "{:.2}",
                 analytical::cfd::flood_amplification(n, target_support, card_y)
@@ -336,15 +381,17 @@ pub fn sweep_defense(n: usize, rounds: usize) -> String {
         "empirical".into(),
     ]);
     for widen in [1.0f64, 2.0, 4.0, 8.0, 16.0] {
-        let g = mp_metadata::DomainGeneralization { widen, snap: 0.0, suppress_below: 0 };
+        let g = mp_metadata::DomainGeneralization {
+            widen,
+            snap: 0.0,
+            suppress_below: 0,
+        };
         let shared = g.apply_domain(&dom, None);
         let emp = mean_matches(rounds, |seed| {
             let mut rng = StdRng::seed_from_u64(seed + 41);
             let syn = mp_synth::sample_column(&shared, n, &mut rng);
             (0..n)
-                .filter(|&i| {
-                    (real[i].as_f64().unwrap() - syn[i].as_f64().unwrap()).abs() <= eps
-                })
+                .filter(|&i| (real[i].as_f64().unwrap() - syn[i].as_f64().unwrap()).abs() <= eps)
                 .count()
         });
         let analytic = n as f64 * 2.0 * eps / shared.range().unwrap();
@@ -359,7 +406,6 @@ pub fn sweep_defense(n: usize, rounds: usize) -> String {
         t.render()
     )
 }
-
 
 /// A12 (extension): distribution-sharing sweep — the per-cell match rate
 /// is the collision probability `Σp²`, strictly above the paper's uniform
@@ -395,7 +441,10 @@ pub fn sweep_distribution(n: usize, rounds: usize) -> String {
             format!("{skew:.1}"),
             format!("{:.4}", dist.collision_probability()),
             format!("{:.2}", dist.effective_cardinality()),
-            format!("{:.2}", analytical::distribution::expected_matches(n, &dist)),
+            format!(
+                "{:.2}",
+                analytical::distribution::expected_matches(n, &dist)
+            ),
             format!("{emp:.2}"),
             format!("{:.2}", analytical::distribution::uniform_baseline(n, card)),
         ]);

@@ -8,9 +8,7 @@
 //! categorical attributes (Table IV), MSE for continuous ones (Table III).
 
 use mp_core::{na_cell, run_cell, ExperimentConfig, TextTable};
-use mp_datasets::{
-    echocardiogram, paper_inventory, CATEGORICAL_ATTRS, CONTINUOUS_ATTRS,
-};
+use mp_datasets::{echocardiogram, paper_inventory, CATEGORICAL_ATTRS, CONTINUOUS_ATTRS};
 use mp_relation::{Domain, Relation};
 
 /// Rows of both tables, in the paper's order.
@@ -24,9 +22,18 @@ pub const ROWS: [(&str, &str); 4] = [
 /// The paper's published Table IV (categorical positive matches), for
 /// side-by-side display. `None` = NA.
 pub const PAPER_TABLE4: [(&str, [Option<f64>; 4]); 4] = [
-    ("Random Generation", [Some(44.0), Some(44.0), Some(33.0), Some(44.0)]),
-    ("Functional Dep", [Some(44.082), Some(43.954), Some(32.815), None]),
-    ("Order Dep", [Some(44.0), Some(32.0), Some(29.0), Some(47.0)]),
+    (
+        "Random Generation",
+        [Some(44.0), Some(44.0), Some(33.0), Some(44.0)],
+    ),
+    (
+        "Functional Dep",
+        [Some(44.082), Some(43.954), Some(32.815), None],
+    ),
+    (
+        "Order Dep",
+        [Some(44.0), Some(32.0), Some(29.0), Some(47.0)],
+    ),
     ("Numerical Dep", [Some(56.0), None, None, None]),
 ];
 
@@ -71,7 +78,10 @@ pub const PAPER_TABLE3: [(&str, [Option<f64>; 8]); 4] = [
             Some(1.41),
         ],
     ),
-    ("Numerical Dep", [Some(708.58), None, None, None, None, None, None, None]),
+    (
+        "Numerical Dep",
+        [Some(708.58), None, None, None, None, None, None, None],
+    ),
 ];
 
 /// One regenerated cell: measured value (`None` = NA) for a (row, attr).
@@ -100,7 +110,10 @@ pub fn table4(rounds: usize) -> String {
     render(
         "TABLE IV — PRIVACY LEAKAGE OF CATEGORICAL ATTRIBUTES (positive matches)",
         &CATEGORICAL_ATTRS,
-        &PAPER_TABLE4.iter().map(|(n, v)| (*n, v.to_vec())).collect::<Vec<_>>(),
+        &PAPER_TABLE4
+            .iter()
+            .map(|(n, v)| (*n, v.to_vec()))
+            .collect::<Vec<_>>(),
         rounds,
         3,
     )
@@ -111,7 +124,10 @@ pub fn table3(rounds: usize) -> String {
     render(
         "TABLE III — PRIVACY LEAKAGE OF CONTINUOUS ATTRIBUTES (MSE)",
         &CONTINUOUS_ATTRS,
-        &PAPER_TABLE3.iter().map(|(n, v)| (*n, v.to_vec())).collect::<Vec<_>>(),
+        &PAPER_TABLE3
+            .iter()
+            .map(|(n, v)| (*n, v.to_vec()))
+            .collect::<Vec<_>>(),
         rounds,
         2,
     )
@@ -150,7 +166,10 @@ pub fn table4_known_lhs(rounds: usize) -> String {
     render_with(
         "TABLE IV (variant) — categorical matches, adversary KNOWS the determinant column",
         &CATEGORICAL_ATTRS,
-        &PAPER_TABLE4.iter().map(|(n, v)| (*n, v.to_vec())).collect::<Vec<_>>(),
+        &PAPER_TABLE4
+            .iter()
+            .map(|(n, v)| (*n, v.to_vec()))
+            .collect::<Vec<_>>(),
         rounds,
         3,
         cell_known_lhs,
@@ -162,7 +181,10 @@ pub fn table3_known_lhs(rounds: usize) -> String {
     render_with(
         "TABLE III (variant) — continuous MSE, adversary KNOWS the determinant column",
         &CONTINUOUS_ATTRS,
-        &PAPER_TABLE3.iter().map(|(n, v)| (*n, v.to_vec())).collect::<Vec<_>>(),
+        &PAPER_TABLE3
+            .iter()
+            .map(|(n, v)| (*n, v.to_vec()))
+            .collect::<Vec<_>>(),
         rounds,
         2,
         cell_known_lhs,
@@ -189,7 +211,11 @@ fn render_with(
 ) -> String {
     let real = echocardiogram();
     let domains = Domain::infer_all(&real).expect("domains infer");
-    let config = ExperimentConfig { rounds, base_seed: 0xEC40, epsilon: 0.0 };
+    let config = ExperimentConfig {
+        rounds,
+        base_seed: 0xEC40,
+        epsilon: 0.0,
+    };
 
     let mut header = vec!["Dep".to_owned(), "".to_owned()];
     header.extend(attrs.iter().map(|a| format!("Attr {a}")));
@@ -198,14 +224,21 @@ fn render_with(
     for ((row_name, class), (_, paper_vals)) in ROWS.iter().zip(paper) {
         let mut measured = vec![row_name.to_string(), "measured".to_owned()];
         for &attr in attrs {
-            measured.push(na_cell(cell_fn(&real, &domains, class, attr, &config), decimals));
+            measured.push(na_cell(
+                cell_fn(&real, &domains, class, attr, &config),
+                decimals,
+            ));
         }
         table.push_row(measured);
         let mut published = vec![String::new(), "paper".to_owned()];
         published.extend(paper_vals.iter().map(|v| na_cell(*v, decimals)));
         table.push_row(published);
     }
-    format!("{title}\n(N = {} rows, {rounds} rounds)\n{}", real.n_rows(), table.render())
+    format!(
+        "{title}\n(N = {} rows, {rounds} rounds)\n{}",
+        real.n_rows(),
+        table.render()
+    )
 }
 
 #[cfg(test)]
@@ -216,7 +249,11 @@ mod tests {
     fn table4_na_pattern_matches_paper() {
         let real = echocardiogram();
         let domains = Domain::infer_all(&real).unwrap();
-        let config = ExperimentConfig { rounds: 2, base_seed: 1, epsilon: 0.0 };
+        let config = ExperimentConfig {
+            rounds: 2,
+            base_seed: 1,
+            epsilon: 0.0,
+        };
         for ((_, class), (_, paper_vals)) in ROWS.iter().zip(&PAPER_TABLE4) {
             for (&attr, paper_val) in CATEGORICAL_ATTRS.iter().zip(paper_vals.iter()) {
                 let measured = cell(&real, &domains, class, attr, &config);
@@ -233,7 +270,11 @@ mod tests {
     fn table3_na_pattern_matches_paper() {
         let real = echocardiogram();
         let domains = Domain::infer_all(&real).unwrap();
-        let config = ExperimentConfig { rounds: 2, base_seed: 1, epsilon: 0.0 };
+        let config = ExperimentConfig {
+            rounds: 2,
+            base_seed: 1,
+            epsilon: 0.0,
+        };
         for ((_, class), (_, paper_vals)) in ROWS.iter().zip(&PAPER_TABLE3) {
             for (&attr, paper_val) in CONTINUOUS_ATTRS.iter().zip(paper_vals.iter()) {
                 let measured = cell(&real, &domains, class, attr, &config);

@@ -26,8 +26,7 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
     let mut options = HashMap::new();
     while let Some(arg) = iter.next() {
         if let Some(key) = arg.strip_prefix("--") {
-            let takes_value =
-                iter.peek().map(|n| !n.starts_with("--")).unwrap_or(false);
+            let takes_value = iter.peek().map(|n| !n.starts_with("--")).unwrap_or(false);
             if takes_value {
                 options.insert(key.to_owned(), iter.next().unwrap().clone());
             } else {
@@ -37,7 +36,11 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
             positionals.push(arg.clone());
         }
     }
-    Ok(ParsedArgs { command, positionals, options })
+    Ok(ParsedArgs {
+        command,
+        positionals,
+        options,
+    })
 }
 
 impl ParsedArgs {
@@ -85,8 +88,7 @@ mod tests {
 
     #[test]
     fn parses_subcommand_positionals_and_options() {
-        let p = parse(&argv(&["audit", "data.csv", "--rounds", "50", "--verbose"]))
-            .unwrap();
+        let p = parse(&argv(&["audit", "data.csv", "--rounds", "50", "--verbose"])).unwrap();
         assert_eq!(p.command, "audit");
         assert_eq!(p.positionals, vec!["data.csv"]);
         assert_eq!(p.options["rounds"], "50");

@@ -2,8 +2,7 @@
 //! report strings so they are directly testable.
 
 use mp_core::{
-    identifiability_rate, k_anonymity, run_attack, uniqueness_profile, ExperimentConfig,
-    TextTable,
+    identifiability_rate, k_anonymity, run_attack, uniqueness_profile, ExperimentConfig, TextTable,
 };
 use mp_discovery::{DependencyProfile, DiscoveryContext, ParallelConfig, ProfileConfig};
 use mp_metadata::{MetadataPackage, SharePolicy};
@@ -42,8 +41,23 @@ pub fn profile(relation: &Relation) -> Result<String, String> {
         stats,
         ctx.threads(),
     );
-    let names: Vec<String> =
-        relation.schema().attributes().iter().map(|a| a.name.clone()).collect();
+    let names: Vec<String> = relation
+        .schema()
+        .attributes()
+        .iter()
+        .map(|a| a.name.clone())
+        .collect();
+    out.push_str("columns:\n");
+    for (i, name) in names.iter().enumerate() {
+        let col = relation.column(i).map_err(|e| e.to_string())?;
+        out.push_str(&format!(
+            "  {name}: {} ({} distinct, {} null)\n",
+            col.repr_name(),
+            col.distinct_count(),
+            col.null_count()
+        ));
+    }
+    out.push('\n');
     for dep in profile.to_dependencies() {
         out.push_str(&format!(
             "  {dep}    [{} -> {}]\n",
@@ -67,9 +81,12 @@ pub fn audit(
     let package = MetadataPackage::describe("me", relation, profile.to_dependencies())
         .map_err(|e| e.to_string())?;
     let shared = policy.apply(&package);
-    let config = ExperimentConfig { rounds, base_seed: 0xC11, epsilon };
-    let result =
-        run_attack(relation, &shared, true, &config).map_err(|e| e.to_string())?;
+    let config = ExperimentConfig {
+        rounds,
+        base_seed: 0xC11,
+        epsilon,
+    };
+    let result = run_attack(relation, &shared, true, &config).map_err(|e| e.to_string())?;
 
     let mut t = TextTable::new(vec![
         "attribute".into(),
@@ -81,7 +98,10 @@ pub fn audit(
         t.push_row(vec![
             s.name.clone(),
             format!("{:.2}", s.mean_matches),
-            format!("{:.1}%", 100.0 * s.mean_matches / relation.n_rows().max(1) as f64),
+            format!(
+                "{:.1}%",
+                100.0 * s.mean_matches / relation.n_rows().max(1) as f64
+            ),
             s.mean_mse.map_or("—".into(), |m| format!("{m:.3}")),
         ]);
     }
@@ -127,8 +147,8 @@ pub fn anonymize(
         return Err("--qi must list at least one attribute index".into());
     }
     let before = k_anonymity(relation, qi).map_err(|e| e.to_string())?;
-    let (anon, widths) = mp_core::generalize_to_k(relation, qi, k, 1.0, 16)
-        .map_err(|e| e.to_string())?;
+    let (anon, widths) =
+        mp_core::generalize_to_k(relation, qi, k, 1.0, 16).map_err(|e| e.to_string())?;
     let after = k_anonymity(&anon, qi).map_err(|e| e.to_string())?;
     let report = format!(
         "k-anonymity over {qi:?}: {before} → {after} (target {k})\nbucket widths: {widths:?}\n"
@@ -147,7 +167,11 @@ pub fn compare_policies(
         .map_err(|e| e.to_string())?;
     let package = MetadataPackage::describe("me", relation, profile.to_dependencies())
         .map_err(|e| e.to_string())?;
-    let config = ExperimentConfig { rounds, base_seed: 0xC12, epsilon };
+    let config = ExperimentConfig {
+        rounds,
+        base_seed: 0xC12,
+        epsilon,
+    };
 
     let presets = [
         ("names", SharePolicy::NAMES_ONLY),
@@ -158,22 +182,18 @@ pub fn compare_policies(
     let mut results = Vec::new();
     for (_, policy) in &presets {
         let shared = policy.apply(&package);
-        results.push(
-            run_attack(relation, &shared, true, &config).map_err(|e| e.to_string())?,
-        );
+        results.push(run_attack(relation, &shared, true, &config).map_err(|e| e.to_string())?);
     }
     let mut header = vec!["attribute".to_owned()];
     header.extend(presets.iter().map(|(n, _)| n.to_string()));
     let mut t = TextTable::new(header);
     for attr in 0..relation.arity() {
-        let mut row = vec![
-            relation
-                .schema()
-                .attribute(attr)
-                .map_err(|e| e.to_string())?
-                .name
-                .clone(),
-        ];
+        let mut row = vec![relation
+            .schema()
+            .attribute(attr)
+            .map_err(|e| e.to_string())?
+            .name
+            .clone()];
         for r in &results {
             row.push(format!("{:.2}", r.attr(attr).unwrap().mean_matches));
         }
@@ -247,8 +267,16 @@ mod tests {
         assert!(out.contains("4 rows × 3 attributes"));
         assert!(out.contains("FD"));
         assert!(out.contains("name"));
-        assert!(out.contains("PLI cache:"), "cache stats line missing: {out}");
+        assert!(
+            out.contains("PLI cache:"),
+            "cache stats line missing: {out}"
+        );
         assert!(out.contains("hit rate"), "hit rate missing: {out}");
+        assert!(
+            out.contains("columns:"),
+            "columnar repr section missing: {out}"
+        );
+        assert!(out.contains("dict"), "dictionary repr missing: {out}");
     }
 
     #[test]
@@ -288,7 +316,13 @@ mod tests {
     #[test]
     fn help_mentions_every_subcommand() {
         let h = help();
-        for cmd in ["profile", "audit", "identifiability", "anonymize", "compare"] {
+        for cmd in [
+            "profile",
+            "audit",
+            "identifiability",
+            "anonymize",
+            "compare",
+        ] {
             assert!(h.contains(cmd), "help missing {cmd}");
         }
     }

@@ -37,9 +37,7 @@ fn run(argv: &[String]) -> Result<String, String> {
         }
         "audit" => {
             let rel = load(parsed.positional(0, "csv")?)?;
-            let policy = commands::policy_by_name(
-                &parsed.get_or("policy", "domains".to_owned())?,
-            )?;
+            let policy = commands::policy_by_name(&parsed.get_or("policy", "domains".to_owned())?)?;
             let rounds = parsed.get_or("rounds", 100usize)?;
             let epsilon = parsed.get_or("epsilon", 0.0f64)?;
             commands::audit(&rel, policy, rounds, epsilon)

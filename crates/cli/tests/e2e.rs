@@ -33,7 +33,11 @@ fn help_succeeds() {
 #[test]
 fn profile_runs_on_csv() {
     let out = mpriv().arg("profile").arg(demo_csv()).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("4 rows"));
     assert!(text.contains("FD"));
@@ -63,7 +67,11 @@ fn anonymize_writes_output_file() {
         .arg(&out_path)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let written = std::fs::read_to_string(&out_path).unwrap();
     assert!(written.starts_with("name,age,dept"));
     assert_eq!(written.lines().count(), 5);
@@ -79,7 +87,10 @@ fn unknown_subcommand_fails_with_message() {
 
 #[test]
 fn missing_file_fails_cleanly() {
-    let out = mpriv().args(["profile", "/nonexistent/nope.csv"]).output().unwrap();
+    let out = mpriv()
+        .args(["profile", "/nonexistent/nope.csv"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 }

@@ -93,7 +93,10 @@ mod tests {
     fn expected_matches_scales_quadratically_in_eps_y() {
         let a = expected_matches(1000, 1.0, 10.0, 0.5, 50.0);
         let b = expected_matches(1000, 1.0, 10.0, 1.0, 50.0);
-        assert!((b / a - 4.0).abs() < 1e-9, "doubling ε_y quadruples overlap mass");
+        assert!(
+            (b / a - 4.0).abs() < 1e-9,
+            "doubling ε_y quadruples overlap mass"
+        );
     }
 
     #[test]
@@ -105,8 +108,7 @@ mod tests {
         let n = 1000;
         let (ex, rx, ey, ry) = (1.0, 10.0, 0.5, 50.0);
         let dd = expected_matches(n, ex, rx, ey, ry);
-        let rand_pair =
-            n as f64 * theta_ball(ex, rx) * theta_ball(ey, ry);
+        let rand_pair = n as f64 * theta_ball(ex, rx) * theta_ball(ey, ry);
         assert!(dd <= rand_pair + 1e-12);
     }
 

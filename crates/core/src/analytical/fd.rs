@@ -61,12 +61,7 @@ pub fn rhs_match_variance(n_rows: usize, card_a: usize, card_b: usize) -> f64 {
 /// §IV-A: the AFD split of expected pair matches into the structured
 /// (mapping-driven, `1 − ε`) and scattered (random, `ε`) parts. They sum to
 /// the FD/random total.
-pub fn afd_split(
-    n_rows: usize,
-    epsilon: f64,
-    card_a: usize,
-    card_b: usize,
-) -> (f64, f64) {
+pub fn afd_split(n_rows: usize, epsilon: f64, card_a: usize, card_b: usize) -> (f64, f64) {
     let total = expected_pair_matches(n_rows, card_a, card_b);
     (total * (1.0 - epsilon), total * epsilon)
 }
@@ -136,9 +131,7 @@ mod tests {
         let (card_a, card_b, n, rounds) = (10usize, 5usize, 500usize, 60usize);
         let dom_b = Domain::categorical((0i64..card_b as i64).collect::<Vec<_>>());
         let mut rng = StdRng::seed_from_u64(4242);
-        let real_a: Vec<Value> = (0..n)
-            .map(|i| Value::Int((i % card_a) as i64))
-            .collect();
+        let real_a: Vec<Value> = (0..n).map(|i| Value::Int((i % card_a) as i64)).collect();
         let real_b: Vec<Value> = real_a
             .iter()
             .map(|v| Value::Int(v.as_i64().unwrap() % card_b as i64))

@@ -148,8 +148,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(777);
 
         // Real data: X uniform; Y drawn from a per-X real k-subset.
-        let real_x: Vec<Value> =
-            (0..n).map(|_| Value::Int(rng.gen_range(0..card_x) as i64)).collect();
+        let real_x: Vec<Value> = (0..n)
+            .map(|_| Value::Int(rng.gen_range(0..card_x) as i64))
+            .collect();
         let real_y: Vec<Value> = real_x
             .iter()
             .map(|v| {

@@ -105,8 +105,10 @@ mod tests {
         let lhs: Vec<Value> = (0..m * 10).map(|i| Value::Int((i % m) as i64)).collect();
 
         // Real mapping: value i ↦ 3i (strictly increasing).
-        let real: Vec<Value> =
-            lhs.iter().map(|v| Value::Int(v.as_i64().unwrap() * 3)).collect();
+        let real: Vec<Value> = lhs
+            .iter()
+            .map(|v| Value::Int(v.as_i64().unwrap() * 3))
+            .collect();
 
         let mut element_hits = 0usize;
         for round in 0..rounds {
@@ -124,6 +126,9 @@ mod tests {
         // well above zero; sanity-band it.
         let upper = expected_matches(m, 1.0, m, d) + 1.0;
         assert!(mean > 0.05, "mean {mean} suspiciously low");
-        assert!(mean < upper, "mean {mean} above element-overlap bound {upper}");
+        assert!(
+            mean < upper,
+            "mean {mean} above element-overlap bound {upper}"
+        );
     }
 }

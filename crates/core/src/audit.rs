@@ -27,7 +27,12 @@ pub struct AuditConfig {
 
 impl Default for AuditConfig {
     fn default() -> Self {
-        Self { rounds: 60, epsilon: 0.0, max_subset_size: 2, base_seed: 0xA0D1 }
+        Self {
+            rounds: 60,
+            epsilon: 0.0,
+            max_subset_size: 2,
+            base_seed: 0xA0D1,
+        }
     }
 }
 
@@ -113,7 +118,11 @@ impl PrivacyAudit {
                 let card_y = relation.distinct_count(cfd.rhs)?;
                 let amplification = analytical::cfd::flood_amplification(n, support, card_y);
                 if amplification > 1.0 {
-                    cfd_risks.push(CfdRisk { cfd: cfd.clone(), support, amplification });
+                    cfd_risks.push(CfdRisk {
+                        cfd: cfd.clone(),
+                        support,
+                        amplification,
+                    });
                 }
             }
         }
@@ -153,7 +162,13 @@ impl PrivacyAudit {
         // dependencies (FD/RFD) are fine to share per §III-B/§IV.
         let recommendation = SharePolicy::PAPER_RECOMMENDED;
 
-        Ok(Self { identifiability, policies, cfd_risks, recommendation, reasons })
+        Ok(Self {
+            identifiability,
+            policies,
+            cfd_risks,
+            recommendation,
+            reasons,
+        })
     }
 
     /// Renders the audit as a readable report.
@@ -185,8 +200,10 @@ impl PrivacyAudit {
                 ));
             }
         }
-        out.push_str("\nRecommendation: share feature names and structural dependencies, \
-                      withhold domains, types, distributions and CFD tableaux.\n");
+        out.push_str(
+            "\nRecommendation: share feature names and structural dependencies, \
+                      withhold domains, types, distributions and CFD tableaux.\n",
+        );
         for reason in &self.reasons {
             out.push_str(&format!("  - {reason}\n"));
         }
@@ -201,18 +218,18 @@ mod tests {
     use mp_metadata::Fd;
 
     fn quick() -> AuditConfig {
-        AuditConfig { rounds: 15, epsilon: 0.0, max_subset_size: 2, base_seed: 1 }
+        AuditConfig {
+            rounds: 15,
+            epsilon: 0.0,
+            max_subset_size: 2,
+            base_seed: 1,
+        }
     }
 
     #[test]
     fn audit_of_employee_table() {
         let rel = employee();
-        let audit = PrivacyAudit::run(
-            &rel,
-            vec![Fd::new(0usize, 1).into()],
-            &quick(),
-        )
-        .unwrap();
+        let audit = PrivacyAudit::run(&rel, vec![Fd::new(0usize, 1).into()], &quick()).unwrap();
         assert_eq!(audit.identifiability[0], (1, 1.0));
         assert_eq!(audit.policies.len(), 4);
         // Names-only and recommended leak nothing (no domains).
@@ -221,7 +238,11 @@ mod tests {
             assert_eq!(p.total_matches, 0.0, "{name}");
         }
         // Domains leak ≈ N/|D| summed over categorical attrs ≥ 1.
-        let domains = audit.policies.iter().find(|p| p.policy == "domains").unwrap();
+        let domains = audit
+            .policies
+            .iter()
+            .find(|p| p.policy == "domains")
+            .unwrap();
         assert!(domains.total_matches >= 1.0);
         assert_eq!(audit.recommendation, SharePolicy::PAPER_RECOMMENDED);
         assert!(!audit.reasons.is_empty());
@@ -264,7 +285,11 @@ mod tests {
         let audit = PrivacyAudit::run(&rel, vec![], &quick()).unwrap();
         assert!(audit.identifiability[0].1 > 0.9);
         let full = audit.policies.iter().find(|p| p.policy == "full").unwrap();
-        let domains = audit.policies.iter().find(|p| p.policy == "domains").unwrap();
+        let domains = audit
+            .policies
+            .iter()
+            .find(|p| p.policy == "domains")
+            .unwrap();
         // §III-B: dependencies add nothing, so full ≈ domains.
         assert!((full.total_matches - domains.total_matches).abs() < 25.0);
     }

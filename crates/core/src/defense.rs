@@ -25,17 +25,18 @@ pub fn k_anonymity(relation: &Relation, qi: &[usize]) -> Result<usize> {
     if pli.covered_count() < relation.n_rows() {
         return Ok(1);
     }
-    Ok(pli.clusters().iter().map(Vec::len).min().unwrap_or(relation.n_rows()))
+    Ok(pli
+        .clusters()
+        .iter()
+        .map(Vec::len)
+        .min()
+        .unwrap_or(relation.n_rows()))
 }
 
 /// Generalises a continuous column by flooring values to multiples of
 /// `bucket_width` (nulls pass through). A coarser view of the data that
 /// trades utility for anonymity.
-pub fn bucketize_column(
-    relation: &Relation,
-    col: usize,
-    bucket_width: f64,
-) -> Result<Relation> {
+pub fn bucketize_column(relation: &Relation, col: usize, bucket_width: f64) -> Result<Relation> {
     if bucket_width <= 0.0 {
         return Err(RelationError::Csv {
             line: 0,
@@ -49,8 +50,9 @@ pub fn bucketize_column(
             got: "categorical",
         });
     }
-    let mut columns: Vec<Vec<Value>> =
-        (0..relation.arity()).map(|c| relation.column(c).map(<[Value]>::to_vec)).collect::<Result<_>>()?;
+    let mut columns: Vec<Vec<Value>> = (0..relation.arity())
+        .map(|c| relation.column_values(c))
+        .collect::<Result<_>>()?;
     for v in &mut columns[col] {
         if let Some(x) = v.as_f64() {
             *v = Value::Float((x / bucket_width).floor() * bucket_width);
@@ -134,7 +136,7 @@ mod tests {
         let coarse = bucketize_column(&r, 0, 10.0).unwrap();
         // Ages floor to 20, 20, 20, 50, 50 → k over age = 2.
         assert_eq!(k_anonymity(&coarse, &[0]).unwrap(), 2);
-        assert_eq!(coarse.column(0).unwrap()[0], Value::Float(20.0));
+        assert_eq!(coarse.value(0, 0).unwrap(), Value::Float(20.0));
     }
 
     #[test]
@@ -183,13 +185,9 @@ mod tests {
     #[test]
     fn nulls_pass_through_bucketing() {
         let schema = Schema::new(vec![Attribute::continuous("x")]).unwrap();
-        let r = Relation::from_rows(
-            schema,
-            vec![vec![Value::Null], vec![7.0.into()]],
-        )
-        .unwrap();
+        let r = Relation::from_rows(schema, vec![vec![Value::Null], vec![7.0.into()]]).unwrap();
         let out = bucketize_column(&r, 0, 5.0).unwrap();
-        assert_eq!(out.column(0).unwrap()[0], Value::Null);
-        assert_eq!(out.column(0).unwrap()[1], Value::Float(5.0));
+        assert_eq!(out.value(0, 0).unwrap(), Value::Null);
+        assert_eq!(out.value(1, 0).unwrap(), Value::Float(5.0));
     }
 }

@@ -34,7 +34,11 @@ pub struct ExperimentConfig {
 
 impl Default for ExperimentConfig {
     fn default() -> Self {
-        Self { rounds: 100, base_seed: 0x5EED, epsilon: 0.0 }
+        Self {
+            rounds: 100,
+            base_seed: 0x5EED,
+            epsilon: 0.0,
+        }
     }
 }
 
@@ -158,8 +162,11 @@ pub fn run_cell_with_known_lhs(
     let n = real.n_rows();
     let name = real.schema().attribute(attr)?.name.clone();
     let mut acc = RoundAccumulator::new(attr, name);
-    let lhs_cols: Vec<&[Value]> =
-        lhs_order(dep).into_iter().map(|a| real.column(a)).collect::<Result<_>>()?;
+    let lhs_owned: Vec<Vec<Value>> = lhs_order(dep)
+        .into_iter()
+        .map(|a| real.column_values(a))
+        .collect::<Result<_>>()?;
+    let lhs_cols: Vec<&[Value]> = lhs_owned.iter().map(Vec::as_slice).collect();
 
     for round in 0..config.rounds {
         let mut rng = StdRng::seed_from_u64(config.base_seed.wrapping_add(round as u64));
@@ -213,7 +220,12 @@ struct RoundAccumulator {
 
 impl RoundAccumulator {
     fn new(attr: usize, name: String) -> Self {
-        Self { attr, name, matches: Vec::new(), mses: Vec::new() }
+        Self {
+            attr,
+            name,
+            matches: Vec::new(),
+            mses: Vec::new(),
+        }
     }
 
     fn push(&mut self, measured: &AttrLeakage) {
@@ -236,7 +248,7 @@ impl RoundAccumulator {
             .iter()
             .zip(syn_col)
             .filter(|(x, y)| match kind {
-                AttrKind::Categorical => x == y,
+                AttrKind::Categorical => *x == y.as_value_ref(),
                 AttrKind::Continuous => match (x.as_f64(), y.as_f64()) {
                     (Some(a), Some(b)) => (a - b).abs() <= epsilon,
                     _ => false,
@@ -262,7 +274,12 @@ impl RoundAccumulator {
     fn finish(self) -> AttrSummary {
         let n = self.matches.len().max(1) as f64;
         let mean = self.matches.iter().sum::<f64>() / n;
-        let var = self.matches.iter().map(|m| (m - mean) * (m - mean)).sum::<f64>() / n;
+        let var = self
+            .matches
+            .iter()
+            .map(|m| (m - mean) * (m - mean))
+            .sum::<f64>()
+            / n;
         let mean_mse = if self.mses.is_empty() {
             None
         } else {
@@ -285,7 +302,11 @@ mod tests {
     use mp_metadata::{Fd, MetadataPackage};
 
     fn config(rounds: usize) -> ExperimentConfig {
-        ExperimentConfig { rounds, base_seed: 7, epsilon: 0.0 }
+        ExperimentConfig {
+            rounds,
+            base_seed: 7,
+            epsilon: 0.0,
+        }
     }
 
     #[test]
@@ -309,12 +330,9 @@ mod tests {
         // than random generation on the dependent attribute.
         let real = employee();
         let pkg_rand = MetadataPackage::describe("a", &real, vec![]).unwrap();
-        let pkg_fd = MetadataPackage::describe(
-            "a",
-            &real,
-            vec![Fd::new(ea::NAME, ea::DEPARTMENT).into()],
-        )
-        .unwrap();
+        let pkg_fd =
+            MetadataPackage::describe("a", &real, vec![Fd::new(ea::NAME, ea::DEPARTMENT).into()])
+                .unwrap();
         let rand = run_attack(&real, &pkg_rand, false, &config(600)).unwrap();
         let fd = run_attack(&real, &pkg_fd, true, &config(600)).unwrap();
         let (r, f) = (

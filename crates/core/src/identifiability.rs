@@ -74,7 +74,7 @@ pub fn uniqueness_profile(relation: &Relation) -> Result<Vec<usize>> {
     let n = relation.n_rows();
     (0..relation.arity())
         .map(|a| {
-            let pli = Pli::from_column(relation.column(a)?);
+            let pli = Pli::from_typed(relation.column(a)?);
             Ok(n - pli.covered_count())
         })
         .collect()

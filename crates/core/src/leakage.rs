@@ -14,16 +14,121 @@
 //! the paper's Table III does, interpreting MSE "as an indicator of a value
 //! of ε to indicate leakage".
 
-use mp_relation::{Relation, RelationError, Result};
+use mp_relation::{Column, Relation, RelationError, Result};
+use std::collections::HashMap;
+
+/// Index-aligned Value-equality matches between two columns, exploiting the
+/// typed layouts: dictionary-encoded columns are compared by `u32` code
+/// after remapping the synthetic dictionary into the real one, integer and
+/// float columns directly on their primitive slices with the null bitmaps.
+/// Mismatched layouts fall back to the row-wise [`ValueRef`] comparison,
+/// which defines the semantics the fast paths must reproduce.
+///
+/// [`ValueRef`]: mp_relation::ValueRef
+pub(crate) fn aligned_value_matches(a: &Column, b: &Column) -> usize {
+    match (a, b) {
+        (
+            Column::Categorical {
+                dict: da,
+                codes: ca,
+            },
+            Column::Categorical {
+                dict: db,
+                codes: cb,
+            },
+        ) => {
+            // Map every code of `a` to the first code carrying its label
+            // (dictionaries are normally duplicate-free, but nothing in the
+            // `Column` API forces that), then remap `b`'s codes into the
+            // same space. Absent labels get a sentinel no real code equals.
+            let mut first: HashMap<&str, u32> = HashMap::with_capacity(da.len());
+            let mut canon: Vec<u32> = Vec::with_capacity(da.len() + 1);
+            canon.push(0);
+            for (i, s) in da.iter().enumerate() {
+                canon.push(*first.entry(s.as_str()).or_insert(i as u32 + 1));
+            }
+            let mut remap: Vec<u32> = Vec::with_capacity(db.len() + 1);
+            remap.push(0); // null matches null
+            remap.extend(
+                db.iter()
+                    .map(|s| first.get(s.as_str()).copied().unwrap_or(u32::MAX)),
+            );
+            ca.iter()
+                .zip(cb)
+                .filter(|&(&x, &y)| canon[x as usize] == remap[y as usize])
+                .count()
+        }
+        (
+            Column::Int {
+                values: va,
+                nulls: na,
+            },
+            Column::Int {
+                values: vb,
+                nulls: nb,
+            },
+        ) => (0..va.len())
+            .filter(|&i| match (na.get(i), nb.get(i)) {
+                (true, true) => true,
+                (false, false) => va[i] == vb[i],
+                _ => false,
+            })
+            .count(),
+        (
+            Column::Float {
+                values: va,
+                nulls: na,
+                ..
+            },
+            Column::Float {
+                values: vb,
+                nulls: nb,
+                ..
+            },
+        ) => (0..va.len())
+            .filter(|&i| match (na.get(i), nb.get(i)) {
+                (true, true) => true,
+                // `==` already treats -0.0 like 0.0, and any Int rows in the
+                // mask are exactly representable, so plain float equality
+                // plus the NaN-canonicalisation clause matches Value::eq.
+                (false, false) => va[i] == vb[i] || (va[i].is_nan() && vb[i].is_nan()),
+                _ => false,
+            })
+            .count(),
+        _ => (0..a.len())
+            .filter(|&i| a.value_ref(i) == b.value_ref(i))
+            .count(),
+    }
+}
+
+/// Calls `f(x, y)` for every index-aligned row where both columns hold a
+/// numeric value, reading `&[f64]` slices under the null bitmaps when both
+/// sides are float columns.
+fn for_each_numeric_pair(a: &Column, b: &Column, mut f: impl FnMut(f64, f64)) {
+    if let (Some((va, na)), Some((vb, nb))) = (a.as_float_parts(), b.as_float_parts()) {
+        for i in 0..va.len() {
+            if !na.get(i) && !nb.get(i) {
+                f(va[i], vb[i]);
+            }
+        }
+        return;
+    }
+    for i in 0..a.len() {
+        if let (Some(x), Some(y)) = (a.f64_at(i), b.f64_at(i)) {
+            f(x, y);
+        }
+    }
+}
 
 /// Number of index-aligned exact matches on a categorical attribute
 /// (Definition 2.2). Nulls match nulls: `?` is an observable value in the
-/// echocardiogram evaluation.
+/// echocardiogram evaluation. Dictionary-encoded columns are counted by
+/// `u32` code equality after remapping dictionaries.
 pub fn categorical_matches(real: &Relation, syn: &Relation, attr: usize) -> Result<usize> {
     let a = real.column(attr)?;
     let b = syn.column(attr)?;
     check_aligned(real, syn)?;
-    Ok(a.iter().zip(b.iter()).filter(|(x, y)| x == y).count())
+    Ok(aligned_value_matches(a, b))
 }
 
 /// Number of index-aligned ε-close matches on a continuous attribute
@@ -37,30 +142,28 @@ pub fn continuous_matches(
     let a = real.column(attr)?;
     let b = syn.column(attr)?;
     check_aligned(real, syn)?;
-    Ok(a.iter()
-        .zip(b.iter())
-        .filter(|(x, y)| match (x.as_f64(), y.as_f64()) {
-            (Some(x), Some(y)) => (x - y).abs() <= epsilon,
-            _ => false,
-        })
-        .count())
+    let mut count = 0usize;
+    for_each_numeric_pair(a, b, |x, y| {
+        if (x - y).abs() <= epsilon {
+            count += 1;
+        }
+    });
+    Ok(count)
 }
 
 /// Mean squared error between the real and synthetic columns over rows
-/// where both are numeric (the paper's Table III metric). `None` if no such
-/// rows exist.
+/// where both are numeric (the paper's Table III metric), computed over the
+/// typed `&[f64]` slices with the null masks. `None` if no such rows exist.
 pub fn mse(real: &Relation, syn: &Relation, attr: usize) -> Result<Option<f64>> {
     let a = real.column(attr)?;
     let b = syn.column(attr)?;
     check_aligned(real, syn)?;
     let mut sum = 0.0;
     let mut n = 0usize;
-    for (x, y) in a.iter().zip(b.iter()) {
-        if let (Some(x), Some(y)) = (x.as_f64(), y.as_f64()) {
-            sum += (x - y) * (x - y);
-            n += 1;
-        }
-    }
+    for_each_numeric_pair(a, b, |x, y| {
+        sum += (x - y) * (x - y);
+        n += 1;
+    });
     Ok((n > 0).then(|| sum / n as f64))
 }
 
@@ -75,15 +178,19 @@ pub fn tuple_matches(
     epsilon: f64,
 ) -> Result<usize> {
     check_aligned(real, syn)?;
+    // Hoist the schema and column lookups out of the row loop; the scan
+    // itself then reads typed cells only.
+    let mut checks = Vec::with_capacity(attrs.len());
+    for &a in attrs {
+        let kind = real.schema().attribute(a)?.kind;
+        checks.push((kind, real.column(a)?, syn.column(a)?));
+    }
     let mut count = 0;
     'rows: for i in 0..real.n_rows() {
-        for &a in attrs {
-            let kind = real.schema().attribute(a)?.kind;
-            let x = real.value(i, a)?;
-            let y = syn.value(i, a)?;
+        for (kind, xs, ys) in &checks {
             let matched = match kind {
-                mp_relation::AttrKind::Categorical => x == y,
-                mp_relation::AttrKind::Continuous => match (x.as_f64(), y.as_f64()) {
+                mp_relation::AttrKind::Categorical => xs.value_ref(i) == ys.value_ref(i),
+                mp_relation::AttrKind::Continuous => match (xs.f64_at(i), ys.f64_at(i)) {
                     (Some(x), Some(y)) => (x - y).abs() <= epsilon,
                     _ => false,
                 },
@@ -99,12 +206,7 @@ pub fn tuple_matches(
 
 /// The fraction of rows leaked on `attr` under the appropriate definition
 /// for the attribute's kind.
-pub fn leakage_rate(
-    real: &Relation,
-    syn: &Relation,
-    attr: usize,
-    epsilon: f64,
-) -> Result<f64> {
+pub fn leakage_rate(real: &Relation, syn: &Relation, attr: usize, epsilon: f64) -> Result<f64> {
     if real.n_rows() == 0 {
         return Ok(0.0);
     }
@@ -161,14 +263,17 @@ pub fn measure_all(real: &Relation, syn: &Relation, epsilon: f64) -> Result<Vec<
         .map(|attr| {
             let name = real.schema().attribute(attr)?.name.clone();
             let matches = match real.schema().attribute(attr)?.kind {
-                mp_relation::AttrKind::Categorical => {
-                    categorical_matches(real, syn, attr)? as f64
-                }
+                mp_relation::AttrKind::Categorical => categorical_matches(real, syn, attr)? as f64,
                 mp_relation::AttrKind::Continuous => {
                     continuous_matches(real, syn, attr, epsilon)? as f64
                 }
             };
-            Ok(AttrLeakage { attr, name, matches, mse: mse(real, syn, attr)? })
+            Ok(AttrLeakage {
+                attr,
+                name,
+                matches,
+                mse: mse(real, syn, attr)?,
+            })
         })
         .collect()
 }

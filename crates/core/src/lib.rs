@@ -28,11 +28,11 @@ pub mod leakage;
 pub mod metric;
 pub mod report;
 
+pub use audit::{AuditConfig, CfdRisk, PolicyOutcome, PrivacyAudit};
+pub use defense::{bucketize_column, generalize_to_k, k_anonymity};
 pub use experiment::{
     run_attack, run_cell, run_cell_with_known_lhs, AttackResult, AttrSummary, ExperimentConfig,
 };
-pub use audit::{AuditConfig, CfdRisk, PolicyOutcome, PrivacyAudit};
-pub use defense::{bucketize_column, generalize_to_k, k_anonymity};
 pub use identifiability::{
     identifiability_rate, identifiable_tuples, minimal_identifying_sets, uniqueness_profile,
 };
@@ -41,7 +41,6 @@ pub use leakage::{
     AttrLeakage,
 };
 pub use metric::{
-    continuous_matches_metric, distance_series, tuple_distance_matches, ScalarMetric,
-    VectorMetric,
+    continuous_matches_metric, distance_series, tuple_distance_matches, ScalarMetric, VectorMetric,
 };
 pub use report::{na_cell, TextTable};

@@ -135,11 +135,8 @@ mod tests {
     use mp_relation::{Attribute, Schema, Value};
 
     fn pair() -> (Relation, Relation) {
-        let schema = Schema::new(vec![
-            Attribute::continuous("x"),
-            Attribute::continuous("y"),
-        ])
-        .unwrap();
+        let schema =
+            Schema::new(vec![Attribute::continuous("x"), Attribute::continuous("y")]).unwrap();
         let real = Relation::from_rows(
             schema.clone(),
             vec![
@@ -222,19 +219,16 @@ mod tests {
         // Row 0: (0.5, 0) → L2 = 0.5; row 1: (5, 4) → L2 ≈ 6.4; row 2 has a
         // null and is skipped.
         assert_eq!(
-            tuple_distance_matches(&real, &syn, &[0, 1], 1.0, VectorMetric::Euclidean)
-                .unwrap(),
+            tuple_distance_matches(&real, &syn, &[0, 1], 1.0, VectorMetric::Euclidean).unwrap(),
             1
         );
         assert_eq!(
-            tuple_distance_matches(&real, &syn, &[0, 1], 10.0, VectorMetric::Euclidean)
-                .unwrap(),
+            tuple_distance_matches(&real, &syn, &[0, 1], 10.0, VectorMetric::Euclidean).unwrap(),
             2
         );
         // Chebyshev at ε = 5 admits row 1 too (max(5,4) = 5).
         assert_eq!(
-            tuple_distance_matches(&real, &syn, &[0, 1], 5.0, VectorMetric::Chebyshev)
-                .unwrap(),
+            tuple_distance_matches(&real, &syn, &[0, 1], 5.0, VectorMetric::Chebyshev).unwrap(),
             2
         );
     }

@@ -13,7 +13,10 @@ pub struct TextTable {
 impl TextTable {
     /// Starts a table with the given column headers.
     pub fn new(header: Vec<String>) -> Self {
-        Self { header, rows: Vec::new() }
+        Self {
+            header,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row; short rows are padded with empty cells.
@@ -26,9 +29,10 @@ impl TextTable {
 
     /// Renders the table with column alignment and a header rule.
     pub fn render(&self) -> String {
-        let cols = self.header.len().max(
-            self.rows.iter().map(Vec::len).max().unwrap_or(0),
-        );
+        let cols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; cols];
         for (i, h) in self.header.iter().enumerate() {
             widths[i] = widths[i].max(h.len());

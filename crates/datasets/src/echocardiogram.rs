@@ -282,24 +282,51 @@ pub fn paper_inventory() -> PaperInventory {
         (STILL_ALIVE, Fd::new(SURVIVAL, STILL_ALIVE).into()),
         (AGE, Fd::new(GROUP, AGE).into()), // predefined
         (PERICARDIAL, Fd::new(WALL_MOTION_SCORE, PERICARDIAL).into()),
-        (FRACTIONAL_SHORTENING, Fd::new(LVDD, FRACTIONAL_SHORTENING).into()), // predefined
+        (
+            FRACTIONAL_SHORTENING,
+            Fd::new(LVDD, FRACTIONAL_SHORTENING).into(),
+        ), // predefined
         (EPSS, Fd::new(LVDD, EPSS).into()),
         (LVDD, Fd::new(EPSS, LVDD).into()), // predefined
-        (WALL_MOTION_SCORE, Fd::new(WALL_MOTION_INDEX, WALL_MOTION_SCORE).into()),
-        (WALL_MOTION_INDEX, Fd::new(WALL_MOTION_SCORE, WALL_MOTION_INDEX).into()),
+        (
+            WALL_MOTION_SCORE,
+            Fd::new(WALL_MOTION_INDEX, WALL_MOTION_SCORE).into(),
+        ),
+        (
+            WALL_MOTION_INDEX,
+            Fd::new(WALL_MOTION_SCORE, WALL_MOTION_INDEX).into(),
+        ),
         (GROUP, Fd::new(AGE, GROUP).into()),
     ];
     let od: Vec<(usize, Dependency)> = vec![
         (SURVIVAL, OrderDep::ascending(GROUP, SURVIVAL).into()), // predefined
-        (STILL_ALIVE, OrderDep::ascending(SURVIVAL, STILL_ALIVE).into()),
+        (
+            STILL_ALIVE,
+            OrderDep::ascending(SURVIVAL, STILL_ALIVE).into(),
+        ),
         (AGE, OrderDep::ascending(GROUP, AGE).into()), // predefined
-        (PERICARDIAL, OrderDep::ascending(WALL_MOTION_SCORE, PERICARDIAL).into()),
-        (FRACTIONAL_SHORTENING, OrderDep::ascending(MULT, FRACTIONAL_SHORTENING).into()),
+        (
+            PERICARDIAL,
+            OrderDep::ascending(WALL_MOTION_SCORE, PERICARDIAL).into(),
+        ),
+        (
+            FRACTIONAL_SHORTENING,
+            OrderDep::ascending(MULT, FRACTIONAL_SHORTENING).into(),
+        ),
         (EPSS, OrderDep::ascending(LVDD, EPSS).into()),
         (LVDD, OrderDep::ascending(EPSS, LVDD).into()), // predefined
-        (WALL_MOTION_SCORE, OrderDep::ascending(WALL_MOTION_INDEX, WALL_MOTION_SCORE).into()),
-        (WALL_MOTION_INDEX, OrderDep::ascending(WALL_MOTION_SCORE, WALL_MOTION_INDEX).into()),
-        (MULT, OrderDep::ascending(FRACTIONAL_SHORTENING, MULT).into()),
+        (
+            WALL_MOTION_SCORE,
+            OrderDep::ascending(WALL_MOTION_INDEX, WALL_MOTION_SCORE).into(),
+        ),
+        (
+            WALL_MOTION_INDEX,
+            OrderDep::ascending(WALL_MOTION_SCORE, WALL_MOTION_INDEX).into(),
+        ),
+        (
+            MULT,
+            OrderDep::ascending(FRACTIONAL_SHORTENING, MULT).into(),
+        ),
         (GROUP, OrderDep::ascending(AGE, GROUP).into()),
         (ALIVE_AT_1, OrderDep::ascending(SURVIVAL, ALIVE_AT_1).into()), // predefined
     ];
@@ -325,10 +352,7 @@ mod tests {
     #[test]
     fn determinism() {
         assert_eq!(echocardiogram(), echocardiogram());
-        assert_ne!(
-            echocardiogram_with_seed(1),
-            echocardiogram_with_seed(2)
-        );
+        assert_ne!(echocardiogram_with_seed(1), echocardiogram_with_seed(2));
     }
 
     #[test]
@@ -336,10 +360,22 @@ mod tests {
         // Table IV's random-match counts are N/|D|: 44 ⇒ |D| = 3 for attrs
         // 1, 3, 12 and 33 ⇒ |D| = 4 for attr 11.
         let r = echocardiogram();
-        assert_eq!(Domain::infer(&r, attrs::STILL_ALIVE).unwrap().cardinality(), Some(3));
-        assert_eq!(Domain::infer(&r, attrs::PERICARDIAL).unwrap().cardinality(), Some(3));
-        assert_eq!(Domain::infer(&r, attrs::GROUP).unwrap().cardinality(), Some(4));
-        assert_eq!(Domain::infer(&r, attrs::ALIVE_AT_1).unwrap().cardinality(), Some(3));
+        assert_eq!(
+            Domain::infer(&r, attrs::STILL_ALIVE).unwrap().cardinality(),
+            Some(3)
+        );
+        assert_eq!(
+            Domain::infer(&r, attrs::PERICARDIAL).unwrap().cardinality(),
+            Some(3)
+        );
+        assert_eq!(
+            Domain::infer(&r, attrs::GROUP).unwrap().cardinality(),
+            Some(4)
+        );
+        assert_eq!(
+            Domain::infer(&r, attrs::ALIVE_AT_1).unwrap().cardinality(),
+            Some(3)
+        );
     }
 
     #[test]
@@ -380,10 +416,14 @@ mod tests {
     fn mult_has_no_fd_from_fractional_shortening() {
         // Nulls on attr 4 map to random mult values, so only the OD holds.
         let r = echocardiogram();
-        assert!(!Fd::new(attrs::FRACTIONAL_SHORTENING, attrs::MULT).holds(&r).unwrap());
-        assert!(OrderDep::ascending(attrs::FRACTIONAL_SHORTENING, attrs::MULT)
+        assert!(!Fd::new(attrs::FRACTIONAL_SHORTENING, attrs::MULT)
             .holds(&r)
             .unwrap());
+        assert!(
+            OrderDep::ascending(attrs::FRACTIONAL_SHORTENING, attrs::MULT)
+                .holds(&r)
+                .unwrap()
+        );
     }
 
     #[test]
@@ -424,9 +464,7 @@ mod tests {
     #[test]
     fn missing_values_present_where_planted() {
         let r = echocardiogram();
-        let nulls = |c: usize| {
-            r.column(c).unwrap().iter().filter(|v| v.is_null()).count()
-        };
+        let nulls = |c: usize| r.column(c).unwrap().iter().filter(|v| v.is_null()).count();
         assert_eq!(nulls(attrs::SURVIVAL), 4);
         assert_eq!(nulls(attrs::STILL_ALIVE), 12);
         assert_eq!(nulls(attrs::FRACTIONAL_SHORTENING), 8);

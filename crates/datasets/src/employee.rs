@@ -24,10 +24,30 @@ pub fn employee() -> Relation {
     Relation::from_rows(
         schema,
         vec![
-            vec!["Alice".into(), 18i64.into(), "Sales".into(), 20_000i64.into()],
-            vec!["Bob".into(), 22i64.into(), "Customer Service".into(), 25_000i64.into()],
-            vec!["Charlie".into(), 22i64.into(), "Sales".into(), 27_000i64.into()],
-            vec!["Danny".into(), 26i64.into(), "Management".into(), 35_000i64.into()],
+            vec![
+                "Alice".into(),
+                18i64.into(),
+                "Sales".into(),
+                20_000i64.into(),
+            ],
+            vec![
+                "Bob".into(),
+                22i64.into(),
+                "Customer Service".into(),
+                25_000i64.into(),
+            ],
+            vec![
+                "Charlie".into(),
+                22i64.into(),
+                "Sales".into(),
+                27_000i64.into(),
+            ],
+            vec![
+                "Danny".into(),
+                26i64.into(),
+                "Management".into(),
+                35_000i64.into(),
+            ],
         ],
     )
     .expect("employee rows are valid")
@@ -55,7 +75,10 @@ mod tests {
         let r = employee();
         assert_eq!(r.n_rows(), 4);
         assert_eq!(r.arity(), 4);
-        assert_eq!(r.schema().attribute(attrs::DEPARTMENT).unwrap().name, "Department");
+        assert_eq!(
+            r.schema().attribute(attrs::DEPARTMENT).unwrap().name,
+            "Department"
+        );
     }
 
     #[test]

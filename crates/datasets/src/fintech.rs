@@ -75,12 +75,12 @@ pub fn fintech_scenario(n_customers: usize, seed: u64) -> FintechScenario {
     }
     let bank_rel = Relation::from_rows(bank_schema, bank_rows).expect("bank rows valid");
     let bank_deps: Vec<Dependency> = vec![
-        Fd::new(1usize, 2).into(),               // income → tier
-        OrderDep::ascending(1, 2).into(),        // income ≤ → tier ≤
-        Fd::new(2usize, 3).into(),               // tier → limit
-        OrderDep::ascending(2, 3).into(),        // tier ≤ → limit ≤
-        NumericalDep::new(2, 3, 1).into(),       // tier →≤1 limit
-        Fd::new(vec![2, 4], 5).into(),           // {tier, region} → approved
+        Fd::new(1usize, 2).into(),         // income → tier
+        OrderDep::ascending(1, 2).into(),  // income ≤ → tier ≤
+        Fd::new(2usize, 3).into(),         // tier → limit
+        OrderDep::ascending(2, 3).into(),  // tier ≤ → limit ≤
+        NumericalDep::new(2, 3, 1).into(), // tier →≤1 limit
+        Fd::new(vec![2, 4], 5).into(),     // {tier, region} → approved
     ];
 
     // ---- E-commerce side -------------------------------------------------
@@ -133,8 +133,14 @@ pub fn fintech_scenario(n_customers: usize, seed: u64) -> FintechScenario {
     ];
 
     FintechScenario {
-        bank: FintechParty { relation: bank_rel, dependencies: bank_deps },
-        ecommerce: FintechParty { relation: ecom_rel, dependencies: ecom_deps },
+        bank: FintechParty {
+            relation: bank_rel,
+            dependencies: bank_deps,
+        },
+        ecommerce: FintechParty {
+            relation: ecom_rel,
+            dependencies: ecom_deps,
+        },
     }
 }
 
@@ -166,8 +172,8 @@ mod tests {
     #[test]
     fn customer_ids_overlap_partially() {
         let s = fintech_scenario(50, 3);
-        let bank_ids: Vec<_> = s.bank.relation.column(0).unwrap().to_vec();
-        let ecom_ids: Vec<_> = s.ecommerce.relation.column(0).unwrap().to_vec();
+        let bank_ids: Vec<_> = s.bank.relation.column_values(0).unwrap();
+        let ecom_ids: Vec<_> = s.ecommerce.relation.column_values(0).unwrap();
         let shared = ecom_ids.iter().filter(|v| bank_ids.contains(v)).count();
         assert_eq!(shared, 40);
         assert!(ecom_ids.iter().any(|v| !bank_ids.contains(v)));

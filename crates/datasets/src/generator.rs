@@ -155,7 +155,11 @@ impl SyntheticSpec {
                 ColumnSpec::ContinuousUniform { min, max, .. } => (0..self.n_rows)
                     .map(|_| Value::Float(rng.gen_range(*min..=*max)))
                     .collect(),
-                ColumnSpec::FdOf { source, cardinality, .. } => {
+                ColumnSpec::FdOf {
+                    source,
+                    cardinality,
+                    ..
+                } => {
                     assert!(*source < ci, "FdOf source must precede column");
                     let mut map: HashMap<Value, usize> = HashMap::new();
                     let src = &columns[*source];
@@ -170,7 +174,12 @@ impl SyntheticSpec {
                     planted.push(Fd::new(*source, ci).into());
                     out
                 }
-                ColumnSpec::ApproxFdOf { source, cardinality, error_rate, .. } => {
+                ColumnSpec::ApproxFdOf {
+                    source,
+                    cardinality,
+                    error_rate,
+                    ..
+                } => {
                     assert!(*source < ci, "ApproxFdOf source must precede column");
                     let mut map: HashMap<Value, usize> = HashMap::new();
                     let src = columns[*source].clone();
@@ -188,7 +197,9 @@ impl SyntheticSpec {
                     planted.push(Afd::new(*source, ci, *error_rate * 1.5 + 0.02).into());
                     out
                 }
-                ColumnSpec::MonotoneOf { source, min, max, .. } => {
+                ColumnSpec::MonotoneOf {
+                    source, min, max, ..
+                } => {
                     assert!(*source < ci, "MonotoneOf source must precede column");
                     let src: Vec<f64> = columns[*source]
                         .iter()
@@ -205,7 +216,12 @@ impl SyntheticSpec {
                     planted.push(OrderDep::ascending(*source, ci).into());
                     out
                 }
-                ColumnSpec::BoundedFanout { source, k, cardinality, .. } => {
+                ColumnSpec::BoundedFanout {
+                    source,
+                    k,
+                    cardinality,
+                    ..
+                } => {
                     assert!(*source < ci, "BoundedFanout source must precede column");
                     assert!(*k >= 1 && *k <= *cardinality, "fanout k out of range");
                     let mut subsets: HashMap<Value, Vec<usize>> = HashMap::new();
@@ -266,18 +282,43 @@ pub fn all_classes_spec(n_rows: usize, seed: u64) -> SyntheticSpec {
         n_rows,
         seed,
         columns: vec![
-            ColumnSpec::CategoricalUniform { name: "base".into(), cardinality: 12 },
-            ColumnSpec::FdOf { name: "fd_child".into(), source: 0, cardinality: 5 },
-            ColumnSpec::ContinuousUniform { name: "x".into(), min: 0.0, max: 100.0 },
-            ColumnSpec::MonotoneOf { name: "mono".into(), source: 2, min: -1.0, max: 1.0 },
-            ColumnSpec::BoundedFanout { name: "fan".into(), source: 0, k: 3, cardinality: 10 },
+            ColumnSpec::CategoricalUniform {
+                name: "base".into(),
+                cardinality: 12,
+            },
+            ColumnSpec::FdOf {
+                name: "fd_child".into(),
+                source: 0,
+                cardinality: 5,
+            },
+            ColumnSpec::ContinuousUniform {
+                name: "x".into(),
+                min: 0.0,
+                max: 100.0,
+            },
+            ColumnSpec::MonotoneOf {
+                name: "mono".into(),
+                source: 2,
+                min: -1.0,
+                max: 1.0,
+            },
+            ColumnSpec::BoundedFanout {
+                name: "fan".into(),
+                source: 0,
+                k: 3,
+                cardinality: 10,
+            },
             ColumnSpec::ApproxFdOf {
                 name: "afd_child".into(),
                 source: 0,
                 cardinality: 5,
                 error_rate: 0.05,
             },
-            ColumnSpec::NoisyOf { name: "noisy".into(), source: 2, noise: 5.0 },
+            ColumnSpec::NoisyOf {
+                name: "noisy".into(),
+                source: 2,
+                noise: 5.0,
+            },
         ],
     }
 }
@@ -340,7 +381,9 @@ mod tests {
     #[test]
     fn afd_g3_close_to_error_rate() {
         let out = all_classes_spec(2000, 8).generate().unwrap();
-        let g3 = mp_metadata::Fd::new(0usize, 5).g3_error(&out.relation).unwrap();
+        let g3 = mp_metadata::Fd::new(0usize, 5)
+            .g3_error(&out.relation)
+            .unwrap();
         assert!(g3 > 0.0, "perturbations must create violations");
         assert!(g3 < 0.12, "g3 {g3} too far above the 5% error rate");
     }
@@ -351,7 +394,11 @@ mod tests {
         let spec = SyntheticSpec {
             n_rows: 10,
             seed: 0,
-            columns: vec![ColumnSpec::FdOf { name: "bad".into(), source: 0, cardinality: 2 }],
+            columns: vec![ColumnSpec::FdOf {
+                name: "bad".into(),
+                source: 0,
+                cardinality: 2,
+            }],
         };
         let _ = spec.generate();
     }

@@ -118,7 +118,9 @@ mod tests {
         // The OD holds because the band labels happen to sort
         // lexicographically in band order: setosa < versicolor < virginica.
         let r = iris_like();
-        assert!(OrderDep::ascending(PETAL_LENGTH, SPECIES).holds(&r).unwrap());
+        assert!(OrderDep::ascending(PETAL_LENGTH, SPECIES)
+            .holds(&r)
+            .unwrap());
     }
 
     #[test]

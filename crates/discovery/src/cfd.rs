@@ -20,7 +20,10 @@ pub struct CfdConfig {
 
 impl Default for CfdConfig {
     fn default() -> Self {
-        Self { min_support: 3, exclude_fd_pairs: true }
+        Self {
+            min_support: 3,
+            exclude_fd_pairs: true,
+        }
     }
 }
 
@@ -33,7 +36,7 @@ pub fn discover_cfds(relation: &Relation, config: &CfdConfig) -> Result<Vec<Cond
     }
     for lhs in 0..m {
         let lhs_col = relation.column(lhs)?;
-        let lhs_pli = Pli::from_column(lhs_col);
+        let lhs_pli = Pli::from_typed(lhs_col);
         for rhs in 0..m {
             if rhs == lhs {
                 continue;
@@ -46,13 +49,13 @@ pub fn discover_cfds(relation: &Relation, config: &CfdConfig) -> Result<Vec<Cond
                 if cluster.len() < config.min_support {
                     continue;
                 }
-                let y = &rhs_col[cluster[0]];
-                if cluster[1..].iter().all(|&r| &rhs_col[r] == y) {
+                let y = rhs_col.value_ref(cluster[0]);
+                if cluster[1..].iter().all(|&r| rhs_col.value_ref(r) == y) {
                     out.push(ConditionalFd::constant(
                         lhs,
-                        lhs_col[cluster[0]].clone(),
+                        lhs_col.value(cluster[0]),
                         rhs,
-                        y.clone(),
+                        y.to_value(),
                     ));
                 }
             }
@@ -98,16 +101,19 @@ mod tests {
         let mgmt = ConditionalFd::constant(0, "Mgmt", 1, "2");
         assert!(!cfds.contains(&mgmt));
         // CS does not determine bonus.
-        assert!(!cfds.iter().any(|c| {
-            c.lhs[0].1.constant() == Some(&Value::Text("CS".into()))
-        }));
+        assert!(!cfds
+            .iter()
+            .any(|c| { c.lhs[0].1.constant() == Some(&Value::Text("CS".into())) }));
     }
 
     #[test]
     fn min_support_is_honoured() {
         let cfds = discover_cfds(
             &rel(),
-            &CfdConfig { min_support: 2, exclude_fd_pairs: true },
+            &CfdConfig {
+                min_support: 2,
+                exclude_fd_pairs: true,
+            },
         )
         .unwrap();
         assert!(cfds.contains(&ConditionalFd::constant(0, "Mgmt", 1, "2")));
@@ -132,7 +138,10 @@ mod tests {
         // ...unless asked for.
         let all = discover_cfds(
             &out.relation,
-            &CfdConfig { min_support: 3, exclude_fd_pairs: false },
+            &CfdConfig {
+                min_support: 3,
+                exclude_fd_pairs: false,
+            },
         )
         .unwrap();
         assert!(all.iter().any(|c| c.lhs[0].0 == 0 && c.rhs == 1));

@@ -8,7 +8,7 @@
 
 use crate::engine::{DiscoveryContext, ParallelConfig};
 use mp_metadata::DifferentialDep;
-use mp_relation::{AttrKind, Relation, Result, Value};
+use mp_relation::{AttrKind, Relation, Result};
 
 /// Options for DD discovery.
 #[derive(Debug, Clone)]
@@ -21,19 +21,17 @@ pub struct DdConfig {
 
 impl Default for DdConfig {
     fn default() -> Self {
-        Self { eps_fraction: 0.05, delta_fraction: 0.25 }
+        Self {
+            eps_fraction: 0.05,
+            delta_fraction: 0.25,
+        }
     }
 }
 
 /// The tightest `δ_Y` for the DD `lhs (eps) → rhs` on `relation`: the
 /// maximum RHS gap over all ε-close LHS pairs, or `None` if fewer than two
 /// non-null pairs exist.
-pub fn tight_delta(
-    relation: &Relation,
-    lhs: usize,
-    rhs: usize,
-    eps: f64,
-) -> Result<Option<f64>> {
+pub fn tight_delta(relation: &Relation, lhs: usize, rhs: usize, eps: f64) -> Result<Option<f64>> {
     let xs = relation.column(lhs)?;
     let ys = relation.column(rhs)?;
     let mut pairs: Vec<(f64, f64)> = xs
@@ -58,8 +56,11 @@ pub fn tight_delta(
 }
 
 fn numeric_range(relation: &Relation, col: usize) -> Result<Option<f64>> {
-    let nums: Vec<f64> =
-        relation.column(col)?.iter().filter_map(Value::as_f64).collect();
+    let nums: Vec<f64> = relation
+        .column(col)?
+        .iter()
+        .filter_map(|v| v.as_f64())
+        .collect();
     if nums.is_empty() {
         return Ok(None);
     }
@@ -103,7 +104,9 @@ pub fn discover_dds_with(
                 if lhs == rhs {
                     continue;
                 }
-                let Some(delta) = tight_delta(relation, lhs, rhs, eps)? else { continue };
+                let Some(delta) = tight_delta(relation, lhs, rhs, eps)? else {
+                    continue;
+                };
                 if delta <= config.delta_fraction * range_y {
                     out.push(DifferentialDep::new(lhs, rhs, eps, delta));
                 }
@@ -125,14 +128,13 @@ mod tests {
     use mp_relation::{Attribute, Schema};
 
     fn xy(rows: &[(f64, f64)]) -> Relation {
-        let schema = Schema::new(vec![
-            Attribute::continuous("x"),
-            Attribute::continuous("y"),
-        ])
-        .unwrap();
+        let schema =
+            Schema::new(vec![Attribute::continuous("x"), Attribute::continuous("y")]).unwrap();
         Relation::from_rows(
             schema,
-            rows.iter().map(|&(x, y)| vec![x.into(), y.into()]).collect(),
+            rows.iter()
+                .map(|&(x, y)| vec![x.into(), y.into()])
+                .collect(),
         )
         .unwrap()
     }
@@ -159,12 +161,7 @@ mod tests {
             // Tightness: shrinking delta below the reported value breaks it
             // (unless delta is 0, i.e. ε-close pairs agree exactly).
             if d.delta_rhs > 0.0 {
-                let tighter = DifferentialDep::new(
-                    d.lhs,
-                    d.rhs,
-                    d.eps_lhs,
-                    d.delta_rhs * 0.999,
-                );
+                let tighter = DifferentialDep::new(d.lhs, d.rhs, d.eps_lhs, d.delta_rhs * 0.999);
                 assert!(!tighter.holds(&out.relation).unwrap());
             }
         }
@@ -177,7 +174,10 @@ mod tests {
         let out = all_classes_spec(300, 13).generate().unwrap();
         let dds = discover_dds(
             &out.relation,
-            &DdConfig { eps_fraction: 0.05, delta_fraction: 0.02 },
+            &DdConfig {
+                eps_fraction: 0.05,
+                delta_fraction: 0.02,
+            },
         )
         .unwrap();
         assert!(!dds.iter().any(|d| d.lhs == 2 && d.rhs == 6));

@@ -32,7 +32,10 @@ pub struct ParallelConfig {
 
 impl Default for ParallelConfig {
     fn default() -> Self {
-        Self { threads: 0, cache_capacity: 4096 }
+        Self {
+            threads: 0,
+            cache_capacity: 4096,
+        }
     }
 }
 
@@ -40,12 +43,18 @@ impl ParallelConfig {
     /// Fully sequential, cache on: the reference configuration whose
     /// output every parallel configuration must reproduce.
     pub fn sequential() -> Self {
-        Self { threads: 1, cache_capacity: 4096 }
+        Self {
+            threads: 1,
+            cache_capacity: 4096,
+        }
     }
 
     /// Cache off, threads as configured: the ablation baseline.
     pub fn uncached(threads: usize) -> Self {
-        Self { threads, cache_capacity: 0 }
+        Self {
+            threads,
+            cache_capacity: 0,
+        }
     }
 
     /// The resolved worker count (`threads == 0` → machine parallelism).
@@ -75,8 +84,16 @@ impl<'r> DiscoveryContext<'r> {
     /// bitset; their context degrades to an always-miss cache (capacity
     /// forced to 0) and discovery still works, just without memoization.
     pub fn new(relation: &'r Relation, parallel: ParallelConfig) -> Self {
-        let capacity = if relation.arity() > 64 { 0 } else { parallel.cache_capacity };
-        DiscoveryContext { relation, cache: PliCache::new(capacity), parallel }
+        let capacity = if relation.arity() > 64 {
+            0
+        } else {
+            parallel.cache_capacity
+        };
+        DiscoveryContext {
+            relation,
+            cache: PliCache::new(capacity),
+            parallel,
+        }
     }
 
     /// The bound relation.
@@ -117,7 +134,7 @@ impl<'r> DiscoveryContext<'r> {
                 return Ok(pli);
             }
         }
-        let pli = Pli::from_column(self.relation.column(attr)?);
+        let pli = Pli::from_typed(self.relation.column(attr)?);
         Ok(self.store(key, pli))
     }
 
@@ -142,9 +159,9 @@ impl<'r> DiscoveryContext<'r> {
             // would rebuild each parent prefix from scratch).
             let mut iter = set.iter();
             let first = iter.next().expect("checked non-empty");
-            let mut pli = Pli::from_column(self.relation.column(first)?);
+            let mut pli = Pli::from_typed(self.relation.column(first)?);
             for attr in iter {
-                pli = pli.intersect(&Pli::from_column(self.relation.column(attr)?));
+                pli = pli.intersect(&Pli::from_typed(self.relation.column(attr)?));
             }
             return Ok(Arc::new(pli));
         }
@@ -152,7 +169,10 @@ impl<'r> DiscoveryContext<'r> {
         if let Some(pli) = self.cache.get(key) {
             return Ok(pli);
         }
-        let last = set.iter().last().expect("non-empty set has a last attribute");
+        let last = set
+            .iter()
+            .last()
+            .expect("non-empty set has a last attribute");
         let parent = set.without(last);
         let a = self.pli_of(&parent)?;
         let b = self.pli_of_single(last)?;
@@ -194,7 +214,7 @@ mod tests {
         let r = employee();
         let ctx = DiscoveryContext::new(&r, ParallelConfig::default());
         for a in 0..r.arity() {
-            let direct = Pli::from_column(r.column(a).unwrap());
+            let direct = Pli::from_typed(r.column(a).unwrap());
             assert_eq!(*ctx.pli_of_single(a).unwrap(), direct);
         }
         for (a, b) in [(0usize, 1usize), (1, 2), (0, 3), (2, 3)] {
@@ -239,7 +259,13 @@ mod tests {
     #[test]
     fn concurrent_pli_requests_agree() {
         let r = employee();
-        let ctx = DiscoveryContext::new(&r, ParallelConfig { threads: 4, cache_capacity: 64 });
+        let ctx = DiscoveryContext::new(
+            &r,
+            ParallelConfig {
+                threads: 4,
+                cache_capacity: 64,
+            },
+        );
         let sets: Vec<AttrSet> = (0..r.arity())
             .flat_map(|a| (0..r.arity()).map(move |b| AttrSet::from_iter([a, b])))
             .collect();

@@ -9,7 +9,7 @@
 //!   the matching partition even though it fails globally.
 
 use mp_metadata::{ConditionalFd, Fd, MetricFd};
-use mp_relation::{Pli, Relation, Result, Value};
+use mp_relation::{Pli, Relation, Result};
 
 /// Options for MFD discovery.
 #[derive(Debug, Clone)]
@@ -23,7 +23,10 @@ pub struct MfdConfig {
 
 impl Default for MfdConfig {
     fn default() -> Self {
-        Self { delta_fraction: 0.2, exclude_fds: true }
+        Self {
+            delta_fraction: 0.2,
+            exclude_fds: true,
+        }
     }
 }
 
@@ -38,7 +41,7 @@ pub fn discover_mfds(relation: &Relation, config: &MfdConfig) -> Result<Vec<Metr
         let nums: Vec<f64> = relation
             .column(rhs)?
             .iter()
-            .filter_map(Value::as_f64)
+            .filter_map(|v| v.as_f64())
             .collect();
         if nums.len() < 2 {
             continue;
@@ -78,7 +81,10 @@ pub struct VariableCfdConfig {
 
 impl Default for VariableCfdConfig {
     fn default() -> Self {
-        Self { min_support: 4, exclude_global_fds: true }
+        Self {
+            min_support: 4,
+            exclude_global_fds: true,
+        }
     }
 }
 
@@ -94,7 +100,7 @@ pub fn discover_variable_cfds(
     }
     for cond in 0..m {
         let cond_col = relation.column(cond)?;
-        let cond_pli = Pli::from_column(cond_col);
+        let cond_pli = Pli::from_typed(cond_col);
         for fd_lhs in 0..m {
             if fd_lhs == cond {
                 continue;
@@ -114,7 +120,7 @@ pub fn discover_variable_cfds(
                     if Fd::new(fd_lhs, rhs).holds(&subset)? {
                         out.push(ConditionalFd::variable(
                             cond,
-                            cond_col[cluster[0]].clone(),
+                            cond_col.value(cluster[0]),
                             fd_lhs,
                             rhs,
                         ));
@@ -125,7 +131,6 @@ pub fn discover_variable_cfds(
     }
     Ok(out)
 }
-
 
 /// Options for SD discovery.
 #[derive(Debug, Clone)]
@@ -140,7 +145,10 @@ pub struct SdConfig {
 
 impl Default for SdConfig {
     fn default() -> Self {
-        Self { width_fraction: 0.3, min_pairs: 4 }
+        Self {
+            width_fraction: 0.3,
+            min_pairs: 4,
+        }
     }
 }
 
@@ -157,7 +165,7 @@ pub fn discover_sds(
         let nums: Vec<f64> = relation
             .column(rhs)?
             .iter()
-            .filter_map(Value::as_f64)
+            .filter_map(|v| v.as_f64())
             .collect();
         if nums.len() < 2 {
             continue;
@@ -172,7 +180,9 @@ pub fn discover_sds(
             if lhs == rhs {
                 continue;
             }
-            let Some(gaps) = SequentialDep::gaps(lhs, rhs, relation)? else { continue };
+            let Some(gaps) = SequentialDep::gaps(lhs, rhs, relation)? else {
+                continue;
+            };
             if gaps.len() < config.min_pairs {
                 continue;
             }
@@ -189,7 +199,7 @@ pub fn discover_sds(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mp_relation::{Attribute, Schema};
+    use mp_relation::{Attribute, Schema, Value};
 
     #[test]
     fn mfd_discovery_finds_bounded_spread() {
@@ -211,7 +221,10 @@ mod tests {
         )
         .unwrap();
         let mfds = discover_mfds(&r, &MfdConfig::default()).unwrap();
-        let found = mfds.iter().find(|d| d.lhs == 0 && d.rhs == 1).expect("MFD 0→1");
+        let found = mfds
+            .iter()
+            .find(|d| d.lhs == 0 && d.rhs == 1)
+            .expect("MFD 0→1");
         assert!((found.delta - 0.8).abs() < 1e-12, "tight delta");
         assert!(found.holds(&r).unwrap());
     }
@@ -235,10 +248,15 @@ mod tests {
         assert!(discover_mfds(&r, &MfdConfig::default()).unwrap().is_empty());
         let with = discover_mfds(
             &r,
-            &MfdConfig { exclude_fds: false, delta_fraction: 0.2 },
+            &MfdConfig {
+                exclude_fds: false,
+                delta_fraction: 0.2,
+            },
         )
         .unwrap();
-        assert!(with.iter().any(|d| d.lhs == 0 && d.rhs == 1 && d.delta == 0.0));
+        assert!(with
+            .iter()
+            .any(|d| d.lhs == 0 && d.rhs == 1 && d.delta == 0.0));
     }
 
     #[test]
@@ -306,7 +324,10 @@ mod tests {
             .is_empty());
         let relaxed = discover_variable_cfds(
             &r,
-            &VariableCfdConfig { min_support: 2, exclude_global_fds: true },
+            &VariableCfdConfig {
+                min_support: 2,
+                exclude_global_fds: true,
+            },
         )
         .unwrap();
         assert!(relaxed.contains(&ConditionalFd::variable(0, "a", 1, 2)));
@@ -325,11 +346,8 @@ mod tests {
     #[test]
     fn sd_discovery_finds_bounded_gaps() {
         use mp_metadata::SequentialDep;
-        let schema = Schema::new(vec![
-            Attribute::continuous("x"),
-            Attribute::continuous("y"),
-        ])
-        .unwrap();
+        let schema =
+            Schema::new(vec![Attribute::continuous("x"), Attribute::continuous("y")]).unwrap();
         // y increases by 1.0–1.2 per step of x over a range of ~6.
         let r = Relation::from_rows(
             schema,
@@ -343,8 +361,18 @@ mod tests {
                 .collect(),
         )
         .unwrap();
-        let sds = discover_sds(&r, &SdConfig { width_fraction: 0.3, min_pairs: 4 }).unwrap();
-        let sd = sds.iter().find(|d| d.lhs == 0 && d.rhs == 1).expect("SD 0→1");
+        let sds = discover_sds(
+            &r,
+            &SdConfig {
+                width_fraction: 0.3,
+                min_pairs: 4,
+            },
+        )
+        .unwrap();
+        let sd = sds
+            .iter()
+            .find(|d| d.lhs == 0 && d.rhs == 1)
+            .expect("SD 0→1");
         assert!(sd.holds(&r).unwrap());
         // Tightness: shrinking the window breaks it.
         let tighter = SequentialDep::new(0, 1, sd.min_gap + 0.01, sd.max_gap);
@@ -360,7 +388,10 @@ mod tests {
         // An absurdly tight width filter returns nothing.
         let none = discover_sds(
             &out.relation,
-            &SdConfig { width_fraction: 1e-12, min_pairs: 4 },
+            &SdConfig {
+                width_fraction: 1e-12,
+                min_pairs: 4,
+            },
         )
         .unwrap();
         assert!(none.iter().all(|sd| sd.max_gap - sd.min_gap <= 1e-9));

@@ -24,7 +24,11 @@ pub struct NdConfig {
 
 impl Default for NdConfig {
     fn default() -> Self {
-        Self { max_k: 32, max_fanout_ratio: 0.5, exclude_fds: true }
+        Self {
+            max_k: 32,
+            max_fanout_ratio: 0.5,
+            exclude_fds: true,
+        }
     }
 }
 
@@ -52,11 +56,13 @@ pub fn discover_nds_with(
     if relation.n_rows() == 0 {
         return Ok(Vec::new());
     }
-    let distinct: Vec<usize> =
-        (0..m).map(|c| relation.distinct_count(c)).collect::<Result<_>>()?;
+    let distinct: Vec<usize> = (0..m)
+        .map(|c| relation.distinct_count(c))
+        .collect::<Result<_>>()?;
     // RHS full signatures, shared by every determinant's sweep.
-    let rhs_sigs: Vec<Vec<usize>> =
-        (0..m).map(|c| Ok(ctx.pli_of_single(c)?.full_signature())).collect::<Result<_>>()?;
+    let rhs_sigs: Vec<Vec<usize>> = (0..m)
+        .map(|c| Ok(ctx.pli_of_single(c)?.full_signature()))
+        .collect::<Result<_>>()?;
 
     let per_lhs: Vec<Result<Vec<NumericalDep>>> = ctx.par_map((0..m).collect(), |lhs| {
         let lhs_pli = ctx.pli_of_single(lhs)?;
@@ -72,8 +78,8 @@ pub fn discover_nds_with(
             if config.exclude_fds && k == 1 {
                 continue;
             }
-            let informative = k <= config.max_k
-                && (k as f64) <= config.max_fanout_ratio * rhs_distinct as f64;
+            let informative =
+                k <= config.max_k && (k as f64) <= config.max_fanout_ratio * rhs_distinct as f64;
             if informative {
                 out.push(NumericalDep::new(lhs, rhs, k));
             }
@@ -142,7 +148,11 @@ mod tests {
         let r = echocardiogram();
         let nds = discover_nds(
             &r,
-            &NdConfig { max_k: 24, max_fanout_ratio: 0.6, exclude_fds: true },
+            &NdConfig {
+                max_k: 24,
+                max_fanout_ratio: 0.6,
+                exclude_fds: true,
+            },
         )
         .unwrap();
         assert!(
@@ -160,10 +170,16 @@ mod tests {
 
         let with_fds = discover_nds(
             &out.relation,
-            &NdConfig { exclude_fds: false, max_k: 32, max_fanout_ratio: 0.5 },
+            &NdConfig {
+                exclude_fds: false,
+                max_k: 32,
+                max_fanout_ratio: 0.5,
+            },
         )
         .unwrap();
-        assert!(with_fds.iter().any(|d| d.lhs == 0 && d.rhs == 1 && d.k == 1));
+        assert!(with_fds
+            .iter()
+            .any(|d| d.lhs == 0 && d.rhs == 1 && d.k == 1));
     }
 
     #[test]
@@ -171,7 +187,11 @@ mod tests {
         let out = all_classes_spec(300, 6).generate().unwrap();
         let strict = discover_nds(
             &out.relation,
-            &NdConfig { max_k: 1, max_fanout_ratio: 0.01, exclude_fds: true },
+            &NdConfig {
+                max_k: 1,
+                max_fanout_ratio: 0.01,
+                exclude_fds: true,
+            },
         )
         .unwrap();
         assert!(strict.is_empty());
@@ -180,6 +200,8 @@ mod tests {
     #[test]
     fn empty_relation() {
         let out = all_classes_spec(0, 0).generate().unwrap();
-        assert!(discover_nds(&out.relation, &NdConfig::default()).unwrap().is_empty());
+        assert!(discover_nds(&out.relation, &NdConfig::default())
+            .unwrap()
+            .is_empty());
     }
 }

@@ -7,7 +7,7 @@
 
 use crate::engine::{DiscoveryContext, ParallelConfig};
 use mp_metadata::{OrderDep, OrderDirection};
-use mp_relation::{Relation, Result, Value};
+use mp_relation::{Relation, Result, ValueRef};
 
 /// Options for OD discovery.
 #[derive(Debug, Clone)]
@@ -20,12 +20,16 @@ pub struct OdConfig {
 
 impl Default for OdConfig {
     fn default() -> Self {
-        Self { exclude_constant: true, include_descending: true }
+        Self {
+            exclude_constant: true,
+            include_descending: true,
+        }
     }
 }
 
 fn non_null_constant(relation: &Relation, col: usize) -> Result<bool> {
-    let mut non_null = relation.column(col)?.iter().filter(|v| !v.is_null());
+    let column = relation.column(col)?;
+    let mut non_null = column.iter().filter(|v| !v.is_null());
     let Some(first) = non_null.next() else {
         return Ok(true);
     };
@@ -49,10 +53,7 @@ pub fn discover_ods(relation: &Relation, config: &OdConfig) -> Result<Vec<OrderD
 /// determinant's column sort and RHS sweeps are independent), and results
 /// are merged in determinant order, so the output is identical to the
 /// sequential scan.
-pub fn discover_ods_with(
-    ctx: &DiscoveryContext<'_>,
-    config: &OdConfig,
-) -> Result<Vec<OrderDep>> {
+pub fn discover_ods_with(ctx: &DiscoveryContext<'_>, config: &OdConfig) -> Result<Vec<OrderDep>> {
     let relation = ctx.relation();
     let m = relation.arity();
     let mut constant = vec![false; m];
@@ -67,9 +68,8 @@ pub fn discover_ods_with(
         }
         // Pre-sort the LHS once per determinant; reuse for all RHS checks.
         let xs = relation.column(lhs)?;
-        let mut order: Vec<usize> =
-            (0..relation.n_rows()).filter(|&r| !xs[r].is_null()).collect();
-        order.sort_by(|&a, &b| xs[a].cmp(&xs[b]));
+        let mut order: Vec<usize> = (0..relation.n_rows()).filter(|&r| !xs.is_null(r)).collect();
+        order.sort_by(|&a, &b| xs.value_ref(a).cmp(&xs.value_ref(b)));
 
         for (rhs, &rhs_constant) in constant.iter().enumerate() {
             if rhs == lhs || (config.exclude_constant && rhs_constant) {
@@ -77,22 +77,23 @@ pub fn discover_ods_with(
             }
             let ys = relation.column(rhs)?;
             let (mut asc, mut desc) = (true, config.include_descending);
-            let mut prev: Option<(&Value, &Value)> = None;
+            let mut prev: Option<(ValueRef<'_>, ValueRef<'_>)> = None;
             for &r in &order {
-                if ys[r].is_null() {
+                if ys.is_null(r) {
                     continue;
                 }
+                let (x, y) = (xs.value_ref(r), ys.value_ref(r));
                 if let Some((px, py)) = prev {
-                    if *px == xs[r] {
-                        if *py != ys[r] {
+                    if px == x {
+                        if py != y {
                             asc = false;
                             desc = false;
                         }
                     } else {
-                        if *py > ys[r] {
+                        if py > y {
                             asc = false;
                         }
-                        if *py < ys[r] {
+                        if py < y {
                             desc = false;
                         }
                     }
@@ -100,7 +101,7 @@ pub fn discover_ods_with(
                         break;
                     }
                 }
-                prev = Some((&xs[r], &ys[r]));
+                prev = Some((x, y));
             }
             if asc {
                 out.push(OrderDep::ascending(lhs, rhs));
@@ -119,7 +120,6 @@ pub fn discover_ods_with(
     Ok(out)
 }
 
-
 /// The minimum number of tuples to delete so the OD holds — the `g3`
 /// analogue for order dependencies, computed as (non-null pairs) minus the
 /// longest subsequence that is order-compatible (non-decreasing Y along
@@ -131,13 +131,13 @@ pub fn od_violations(relation: &Relation, od: &OrderDep) -> Result<usize> {
     // Collect non-null pairs sorted by X (stable, so equal X keeps row
     // order; we then require Y non-decreasing overall, which subsumes the
     // tie condition up to the deletion metric).
-    let mut pairs: Vec<(&Value, &Value)> = xs
+    let mut pairs: Vec<(ValueRef<'_>, ValueRef<'_>)> = xs
         .iter()
         .zip(ys.iter())
         .filter(|(x, y)| !x.is_null() && !y.is_null())
         .collect();
-    pairs.sort_by(|a, b| a.0.cmp(b.0));
-    let seq: Vec<&Value> = pairs
+    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    let seq: Vec<ValueRef<'_>> = pairs
         .iter()
         .map(|(_, y)| match od.direction {
             OrderDirection::Ascending => *y,
@@ -155,10 +155,10 @@ pub fn od_violations(relation: &Relation, od: &OrderDep) -> Result<usize> {
 
 /// Length of the longest non-decreasing (or non-increasing when `rev`)
 /// subsequence.
-fn longest_monotone(seq: &[&Value], rev: bool) -> usize {
+fn longest_monotone(seq: &[ValueRef<'_>], rev: bool) -> usize {
     // tails[k] = smallest possible tail of a monotone subsequence of
     // length k+1 (for non-decreasing; mirrored for non-increasing).
-    let mut tails: Vec<&Value> = Vec::new();
+    let mut tails: Vec<ValueRef<'_>> = Vec::new();
     for &v in seq {
         let pos = tails.partition_point(|&t| {
             if rev {
@@ -265,11 +265,8 @@ mod tests {
 
     #[test]
     fn descending_found() {
-        let schema = Schema::new(vec![
-            Attribute::continuous("x"),
-            Attribute::continuous("y"),
-        ])
-        .unwrap();
+        let schema =
+            Schema::new(vec![Attribute::continuous("x"), Attribute::continuous("y")]).unwrap();
         let r = Relation::from_rows(
             schema,
             vec![
@@ -283,9 +280,14 @@ mod tests {
         assert!(ods.contains(&OrderDep::descending(0, 1)));
         assert!(!ods.contains(&OrderDep::ascending(0, 1)));
 
-        let no_desc =
-            discover_ods(&r, &OdConfig { include_descending: false, ..Default::default() })
-                .unwrap();
+        let no_desc = discover_ods(
+            &r,
+            &OdConfig {
+                include_descending: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(no_desc.iter().all(|od| od.lhs != 0 || od.rhs != 1));
     }
 
@@ -302,19 +304,21 @@ mod tests {
         )
         .unwrap();
         assert!(discover_ods(&r, &OdConfig::default()).unwrap().is_empty());
-        let with_const =
-            discover_ods(&r, &OdConfig { exclude_constant: false, ..Default::default() })
-                .unwrap();
+        let with_const = discover_ods(
+            &r,
+            &OdConfig {
+                exclude_constant: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(with_const.contains(&OrderDep::ascending(0, 1)));
     }
 
     #[test]
     fn empty_relation_yields_nothing() {
-        let schema = Schema::new(vec![
-            Attribute::continuous("x"),
-            Attribute::continuous("y"),
-        ])
-        .unwrap();
+        let schema =
+            Schema::new(vec![Attribute::continuous("x"), Attribute::continuous("y")]).unwrap();
         let r = Relation::empty(schema);
         assert!(discover_ods(&r, &OdConfig::default()).unwrap().is_empty());
     }
@@ -331,9 +335,10 @@ mod tests {
                 if lhs == rhs {
                     continue;
                 }
-                for od in
-                    [OrderDep::ascending(lhs, rhs), OrderDep::descending(lhs, rhs)]
-                {
+                for od in [
+                    OrderDep::ascending(lhs, rhs),
+                    OrderDep::descending(lhs, rhs),
+                ] {
                     let found = ods.contains(&od);
                     let holds = od.holds(r).unwrap();
                     if found {
@@ -353,11 +358,8 @@ mod tests {
 
     #[test]
     fn od_violations_counts_minimum_deletions() {
-        let schema = Schema::new(vec![
-            Attribute::continuous("x"),
-            Attribute::continuous("y"),
-        ])
-        .unwrap();
+        let schema =
+            Schema::new(vec![Attribute::continuous("x"), Attribute::continuous("y")]).unwrap();
         // Sorted by x, y = 1, 2, 9, 3, 4: delete the single 9 → holds.
         let r = Relation::from_rows(
             schema,
@@ -376,7 +378,9 @@ mod tests {
         // Exact OD fails, approximate at 20% succeeds.
         assert!(!od.holds(&r).unwrap());
         let approx = discover_approx_ods(&r, 0.2, &OdConfig::default()).unwrap();
-        assert!(approx.iter().any(|(d, e)| *d == od && (*e - 0.2).abs() < 1e-12));
+        assert!(approx
+            .iter()
+            .any(|(d, e)| *d == od && (*e - 0.2).abs() < 1e-12));
         // Tighter threshold excludes it.
         let none = discover_approx_ods(&r, 0.1, &OdConfig::default()).unwrap();
         assert!(!none.iter().any(|(d, _)| *d == od));
@@ -392,11 +396,8 @@ mod tests {
 
     #[test]
     fn descending_violations() {
-        let schema = Schema::new(vec![
-            Attribute::continuous("x"),
-            Attribute::continuous("y"),
-        ])
-        .unwrap();
+        let schema =
+            Schema::new(vec![Attribute::continuous("x"), Attribute::continuous("y")]).unwrap();
         let r = Relation::from_rows(
             schema,
             vec![

@@ -103,9 +103,7 @@ mod tests {
             assert!(OrderDep::ascending(ofd.lhs, ofd.rhs).holds(&r).unwrap());
             // The FD part is implied on null-free column pairs; FD
             // validation treats nulls as values while OFD skips them.
-            let null_free = |c: usize| {
-                r.column(c).unwrap().iter().all(|v| !v.is_null())
-            };
+            let null_free = |c: usize| r.column(c).unwrap().iter().all(|v| !v.is_null());
             if null_free(ofd.lhs) && null_free(ofd.rhs) {
                 assert!(Fd::new(ofd.lhs, ofd.rhs).holds(&r).unwrap());
             }

@@ -40,7 +40,11 @@ impl ProfileConfig {
     /// dependencies only (`max_lhs = 1`), all classes on.
     pub fn paper() -> Self {
         Self {
-            fd: TaneConfig { max_lhs: 1, g3_threshold: 0.0, ..TaneConfig::default() },
+            fd: TaneConfig {
+                max_lhs: 1,
+                g3_threshold: 0.0,
+                ..TaneConfig::default()
+            },
             afd_threshold: Some(0.05),
             od: OdConfig::default(),
             nd: NdConfig::default(),
@@ -98,14 +102,23 @@ impl DependencyProfile {
             Some(eps) if eps > 0.0 => {
                 let approx = discover_fds_with(
                     ctx,
-                    &TaneConfig { g3_threshold: eps, ..config.fd.clone() },
+                    &TaneConfig {
+                        g3_threshold: eps,
+                        ..config.fd.clone()
+                    },
                 )?;
                 approx
                     .into_iter()
                     // Keep only genuinely approximate ones: not implied by
                     // an exact minimal FD.
-                    .filter(|f| !fds.iter().any(|e| e.rhs == f.rhs && e.lhs.is_subset_of(&f.lhs)))
-                    .map(|f| Afd { fd: f, g3_threshold: eps })
+                    .filter(|f| {
+                        !fds.iter()
+                            .any(|e| e.rhs == f.rhs && e.lhs.is_subset_of(&f.lhs))
+                    })
+                    .map(|f| Afd {
+                        fd: f,
+                        g3_threshold: eps,
+                    })
                     .collect()
             }
             _ => Vec::new(),
@@ -116,7 +129,11 @@ impl DependencyProfile {
             Some(cfg) => discover_dds_with(ctx, cfg)?,
             None => Vec::new(),
         };
-        let ofds = if config.ofds { discover_ofds_with(ctx, true)? } else { Vec::new() };
+        let ofds = if config.ofds {
+            discover_ofds_with(ctx, true)?
+        } else {
+            Vec::new()
+        };
         let cfds = match &config.cfd {
             Some(cfg) => discover_cfds(relation, cfg)?,
             None => Vec::new(),
@@ -125,7 +142,16 @@ impl DependencyProfile {
             Some(cfg) => discover_mfds(relation, cfg)?,
             None => Vec::new(),
         };
-        Ok(Self { fds, afds, ods, nds, dds, ofds, cfds, mfds })
+        Ok(Self {
+            fds,
+            afds,
+            ods,
+            nds,
+            dds,
+            ofds,
+            cfds,
+            mfds,
+        })
     }
 
     /// Total number of discovered dependencies.
@@ -170,8 +196,7 @@ mod tests {
     #[test]
     fn profile_finds_every_planted_class() {
         let out = all_classes_spec(500, 19).generate().unwrap();
-        let profile =
-            DependencyProfile::discover(&out.relation, &ProfileConfig::paper()).unwrap();
+        let profile = DependencyProfile::discover(&out.relation, &ProfileConfig::paper()).unwrap();
         assert!(!profile.fds.is_empty(), "FDs");
         assert!(!profile.afds.is_empty(), "AFDs");
         assert!(!profile.ods.is_empty(), "ODs");
@@ -188,8 +213,7 @@ mod tests {
     #[test]
     fn afds_are_not_exact_fds() {
         let out = all_classes_spec(500, 23).generate().unwrap();
-        let profile =
-            DependencyProfile::discover(&out.relation, &ProfileConfig::paper()).unwrap();
+        let profile = DependencyProfile::discover(&out.relation, &ProfileConfig::paper()).unwrap();
         for afd in &profile.afds {
             assert!(
                 !afd.fd.holds(&out.relation).unwrap(),
@@ -202,8 +226,7 @@ mod tests {
 
     #[test]
     fn every_discovered_dependency_holds() {
-        let profile =
-            DependencyProfile::discover(&employee(), &ProfileConfig::paper()).unwrap();
+        let profile = DependencyProfile::discover(&employee(), &ProfileConfig::paper()).unwrap();
         for dep in profile.to_dependencies() {
             assert!(dep.holds(&employee()).unwrap(), "{dep}");
         }

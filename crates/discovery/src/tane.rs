@@ -32,7 +32,11 @@ pub struct TaneConfig {
 
 impl Default for TaneConfig {
     fn default() -> Self {
-        Self { max_lhs: 3, g3_threshold: 0.0, parallel: ParallelConfig::default() }
+        Self {
+            max_lhs: 3,
+            g3_threshold: 0.0,
+            parallel: ParallelConfig::default(),
+        }
     }
 }
 
@@ -284,7 +288,7 @@ pub fn discover_fds_naive(relation: &Relation, max_lhs: usize) -> Result<Vec<Fd>
         return Ok(results);
     }
     let rhs_sigs: Vec<Vec<usize>> = (0..m)
-        .map(|a| Ok(Pli::from_column(relation.column(a)?).full_signature()))
+        .map(|a| Ok(Pli::from_typed(relation.column(a)?).full_signature()))
         .collect::<Result<_>>()?;
 
     for (rhs, rhs_sig) in rhs_sigs.iter().enumerate() {
@@ -348,13 +352,19 @@ mod tests {
     use mp_relation::{Attribute, Schema, Value};
 
     fn exact(max_lhs: usize) -> TaneConfig {
-        TaneConfig { max_lhs, g3_threshold: 0.0, ..TaneConfig::default() }
+        TaneConfig {
+            max_lhs,
+            g3_threshold: 0.0,
+            ..TaneConfig::default()
+        }
     }
 
     /// Canonical form for comparing FD sets.
     fn canon(mut fds: Vec<Fd>) -> Vec<(Vec<usize>, usize)> {
-        let mut v: Vec<(Vec<usize>, usize)> =
-            fds.drain(..).map(|f| (f.lhs.indices().to_vec(), f.rhs)).collect();
+        let mut v: Vec<(Vec<usize>, usize)> = fds
+            .drain(..)
+            .map(|f| (f.lhs.indices().to_vec(), f.rhs))
+            .collect();
         v.sort();
         v.dedup();
         v
@@ -365,12 +375,18 @@ mod tests {
         let fds = discover_fds(&employee(), &exact(1)).unwrap();
         // Name is a key: Name → everything.
         for rhs in [ea::AGE, ea::DEPARTMENT, ea::SALARY] {
-            assert!(fds.iter().any(|f| f.lhs == AttrSet::single(ea::NAME) && f.rhs == rhs));
+            assert!(fds
+                .iter()
+                .any(|f| f.lhs == AttrSet::single(ea::NAME) && f.rhs == rhs));
         }
         // Salary is unique too: Salary → everything.
-        assert!(fds.iter().any(|f| f.lhs == AttrSet::single(ea::SALARY) && f.rhs == ea::AGE));
+        assert!(fds
+            .iter()
+            .any(|f| f.lhs == AttrSet::single(ea::SALARY) && f.rhs == ea::AGE));
         // Age does NOT determine Salary.
-        assert!(!fds.iter().any(|f| f.lhs == AttrSet::single(ea::AGE) && f.rhs == ea::SALARY));
+        assert!(!fds
+            .iter()
+            .any(|f| f.lhs == AttrSet::single(ea::AGE) && f.rhs == ea::SALARY));
         // Every discovered FD actually holds.
         for f in &fds {
             assert!(f.holds(&employee()).unwrap(), "discovered FD must hold");
@@ -402,7 +418,9 @@ mod tests {
         let out = mp_datasets::all_classes_spec(300, 9).generate().unwrap();
         let fds = discover_fds(&out.relation, &exact(1)).unwrap();
         // Planted: base(0) → fd_child(1).
-        assert!(fds.iter().any(|f| f.lhs == AttrSet::single(0) && f.rhs == 1));
+        assert!(fds
+            .iter()
+            .any(|f| f.lhs == AttrSet::single(0) && f.rhs == 1));
     }
 
     #[test]
@@ -414,16 +432,15 @@ mod tests {
         .unwrap();
         let r = Relation::from_rows(
             schema,
-            vec![
-                vec!["a".into(), "z".into()],
-                vec!["b".into(), "z".into()],
-            ],
+            vec![vec!["a".into(), "z".into()], vec!["b".into(), "z".into()]],
         )
         .unwrap();
         let fds = discover_fds(&r, &exact(2)).unwrap();
         assert!(fds.iter().any(|f| f.lhs.is_empty() && f.rhs == 1));
         // And no non-minimal {0} → 1 is emitted.
-        assert!(!fds.iter().any(|f| f.lhs == AttrSet::single(0) && f.rhs == 1));
+        assert!(!fds
+            .iter()
+            .any(|f| f.lhs == AttrSet::single(0) && f.rhs == 1));
     }
 
     #[test]
@@ -432,13 +449,21 @@ mod tests {
         // afd_child(5) is a 5%-perturbed function of base(0): exact TANE
         // must not find 0 → 5, approximate TANE (10%) must.
         let exact_fds = discover_fds(&out.relation, &exact(1)).unwrap();
-        assert!(!exact_fds.iter().any(|f| f.lhs == AttrSet::single(0) && f.rhs == 5));
+        assert!(!exact_fds
+            .iter()
+            .any(|f| f.lhs == AttrSet::single(0) && f.rhs == 5));
         let approx = discover_fds(
             &out.relation,
-            &TaneConfig { max_lhs: 1, g3_threshold: 0.10, ..TaneConfig::default() },
+            &TaneConfig {
+                max_lhs: 1,
+                g3_threshold: 0.10,
+                ..TaneConfig::default()
+            },
         )
         .unwrap();
-        assert!(approx.iter().any(|f| f.lhs == AttrSet::single(0) && f.rhs == 5));
+        assert!(approx
+            .iter()
+            .any(|f| f.lhs == AttrSet::single(0) && f.rhs == 5));
     }
 
     #[test]
@@ -476,8 +501,12 @@ mod tests {
         assert!(fds
             .iter()
             .any(|f| f.lhs == AttrSet::from_iter([0, 1]) && f.rhs == 2));
-        assert!(!fds.iter().any(|f| f.lhs == AttrSet::single(0) && f.rhs == 2));
-        assert!(!fds.iter().any(|f| f.lhs == AttrSet::single(1) && f.rhs == 2));
+        assert!(!fds
+            .iter()
+            .any(|f| f.lhs == AttrSet::single(0) && f.rhs == 2));
+        assert!(!fds
+            .iter()
+            .any(|f| f.lhs == AttrSet::single(1) && f.rhs == 2));
     }
 
     #[test]
@@ -492,19 +521,33 @@ mod tests {
         let out = mp_datasets::all_classes_spec(150, 41).generate().unwrap();
         let reference = discover_fds(
             &out.relation,
-            &TaneConfig { max_lhs: 2, g3_threshold: 0.0, parallel: ParallelConfig::sequential() },
+            &TaneConfig {
+                max_lhs: 2,
+                g3_threshold: 0.0,
+                parallel: ParallelConfig::sequential(),
+            },
         )
         .unwrap();
         for parallel in [
             ParallelConfig::default(),
-            ParallelConfig { threads: 4, cache_capacity: 4096 },
-            ParallelConfig { threads: 3, cache_capacity: 8 },
+            ParallelConfig {
+                threads: 4,
+                cache_capacity: 4096,
+            },
+            ParallelConfig {
+                threads: 3,
+                cache_capacity: 8,
+            },
             ParallelConfig::uncached(4),
             ParallelConfig::uncached(1),
         ] {
             let got = discover_fds(
                 &out.relation,
-                &TaneConfig { max_lhs: 2, g3_threshold: 0.0, parallel },
+                &TaneConfig {
+                    max_lhs: 2,
+                    g3_threshold: 0.0,
+                    parallel,
+                },
             )
             .unwrap();
             // Not just the same set: the same Vec, element for element.

@@ -9,8 +9,9 @@ use mp_relation::{Attribute, Relation, Schema, Value};
 use proptest::prelude::*;
 
 fn build(rows: Vec<Vec<i64>>, n_attrs: usize) -> Relation {
-    let attrs: Vec<Attribute> =
-        (0..n_attrs).map(|i| Attribute::categorical(format!("a{i}"))).collect();
+    let attrs: Vec<Attribute> = (0..n_attrs)
+        .map(|i| Attribute::categorical(format!("a{i}")))
+        .collect();
     let schema = Schema::new(attrs).unwrap();
     let data: Vec<Vec<Value>> = rows
         .into_iter()

@@ -1,0 +1,105 @@
+//! Regression: a [`DiscoveryContext`] whose cache holds a single entry must
+//! still return bit-identical partitions under an adversarial request order
+//! that evicts the resident entry on every step, and the cache counters
+//! must account for exactly those evictions.
+
+use mp_discovery::{
+    discover_fds, discover_fds_naive, DiscoveryContext, ParallelConfig, TaneConfig,
+};
+use mp_metadata::{pli_of_set, AttrSet};
+
+#[test]
+fn capacity_one_alternating_singletons_stay_bit_identical() {
+    let rel = mp_datasets::employee();
+    let ctx = DiscoveryContext::new(
+        &rel,
+        ParallelConfig {
+            threads: 1,
+            cache_capacity: 1,
+        },
+    );
+
+    // Alternate between two attributes: with one slot, every request misses
+    // and every insert (after the first) evicts the other attribute's
+    // partition.
+    let rounds = 8;
+    for i in 0..rounds {
+        for attr in [0usize, 1] {
+            let got = ctx.pli_of_single(attr).unwrap();
+            let direct = pli_of_set(&rel, &AttrSet::from_iter([attr])).unwrap();
+            assert_eq!(*got, direct, "round {i}, attribute {attr}");
+        }
+    }
+
+    let stats = ctx.cache_stats();
+    assert_eq!(stats.hits, 0, "no request may survive to be hit: {stats}");
+    assert_eq!(stats.misses, 2 * rounds, "every request misses: {stats}");
+    // Every miss triggers a build + insert; each insert except the very
+    // first evicts the resident entry.
+    assert_eq!(stats.evictions, 2 * rounds - 1, "{stats}");
+    assert_eq!(
+        stats.entries, 1,
+        "exactly one partition stays resident: {stats}"
+    );
+}
+
+#[test]
+fn capacity_one_alternating_pairs_stay_bit_identical() {
+    let rel = mp_datasets::employee();
+    let ctx = DiscoveryContext::new(
+        &rel,
+        ParallelConfig {
+            threads: 1,
+            cache_capacity: 1,
+        },
+    );
+
+    // Each pair request recurses through its parent singleton and the last
+    // attribute's singleton, so one request performs three misses and three
+    // inserts — all evicting each other through the single slot.
+    let sets = [
+        AttrSet::from_iter([0usize, 1]),
+        AttrSet::from_iter([2usize, 3]),
+    ];
+    let rounds = 5;
+    for i in 0..rounds {
+        for set in &sets {
+            let got = ctx.pli_of(set).unwrap();
+            let direct = pli_of_set(&rel, set).unwrap();
+            assert_eq!(*got, direct, "round {i}, set {set:?}");
+        }
+    }
+
+    let stats = ctx.cache_stats();
+    assert_eq!(stats.hits, 0, "{stats}");
+    assert_eq!(stats.misses, 2 * rounds * 3, "{stats}");
+    assert_eq!(stats.evictions, 2 * rounds * 3 - 1, "{stats}");
+    assert_eq!(stats.entries, 1, "{stats}");
+}
+
+#[test]
+fn capacity_one_discovery_output_matches_naive_oracle() {
+    // Full TANE under the thrashing cache must reproduce the naive
+    // baseline exactly — eviction may cost time, never correctness.
+    for rel in [mp_datasets::employee(), mp_datasets::echocardiogram()] {
+        let naive = discover_fds_naive(&rel, 2).unwrap();
+        let config = TaneConfig {
+            max_lhs: 2,
+            g3_threshold: 0.0,
+            parallel: ParallelConfig {
+                threads: 2,
+                cache_capacity: 1,
+            },
+        };
+        let engine = discover_fds(&rel, &config).unwrap();
+        let canon = |fds: &[mp_metadata::Fd]| {
+            let mut v: Vec<(Vec<usize>, usize)> = fds
+                .iter()
+                .map(|f| (f.lhs.indices().to_vec(), f.rhs))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(canon(&engine), canon(&naive));
+    }
+}

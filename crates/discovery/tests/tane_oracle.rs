@@ -15,34 +15,80 @@ use mp_relation::{Attribute, Relation, Schema, Value};
 use proptest::prelude::*;
 
 fn canon(fds: Vec<mp_metadata::Fd>) -> Vec<(Vec<usize>, usize)> {
-    let mut v: Vec<(Vec<usize>, usize)> =
-        fds.into_iter().map(|f| (f.lhs.indices().to_vec(), f.rhs)).collect();
+    let mut v: Vec<(Vec<usize>, usize)> = fds
+        .into_iter()
+        .map(|f| (f.lhs.indices().to_vec(), f.rhs))
+        .collect();
     v.sort();
     v
 }
 
 /// The parallel/cache configurations every oracle comparison runs under:
 /// sequential, default (all threads, default cache), oversubscribed with a
-/// tiny cache that forces evictions, and fully uncached ablation.
+/// tiny cache that forces evictions, a single-entry cache that thrashes on
+/// every step, and fully uncached ablation.
 fn engine_configs() -> Vec<ParallelConfig> {
     vec![
         ParallelConfig::sequential(),
         ParallelConfig::default(),
-        ParallelConfig { threads: 3, cache_capacity: 8 },
+        ParallelConfig {
+            threads: 3,
+            cache_capacity: 8,
+        },
+        ParallelConfig {
+            threads: 2,
+            cache_capacity: 1,
+        },
         ParallelConfig::uncached(4),
     ]
 }
 
+/// Round-trips `rel` through the `Value` boundary twice — typed columns →
+/// `Value` rows → typed columns, and typed columns → `Value` columns →
+/// typed columns — asserting both reconstructions are identical relations.
+fn roundtrip_through_values(rel: &Relation, label: &str) -> Relation {
+    let via_rows = Relation::from_rows(rel.schema().clone(), rel.rows().collect()).unwrap();
+    assert_eq!(
+        &via_rows, rel,
+        "{label}: columns → rows → columns round-trip changed the relation"
+    );
+    let via_cols = Relation::from_columns(
+        rel.schema().clone(),
+        (0..rel.arity())
+            .map(|i| rel.column_values(i).unwrap())
+            .collect(),
+    )
+    .unwrap();
+    assert_eq!(
+        &via_cols, rel,
+        "{label}: columns → Values → columns round-trip changed the relation"
+    );
+    via_rows
+}
+
 /// Asserts that the engine output equals the naive oracle on `rel` for
-/// every engine configuration, at lattice depth `max_lhs`.
+/// every engine configuration, at lattice depth `max_lhs` — and that the
+/// same holds on the columnar representation round-tripped through `Value`
+/// rows (freshly rebuilt dictionaries and null bitmaps).
 fn assert_matches_oracle(rel: &Relation, max_lhs: usize, label: &str) {
     let naive = canon(discover_fds_naive(rel, max_lhs).unwrap());
+    let roundtripped = roundtrip_through_values(rel, label);
     for parallel in engine_configs() {
-        let config = TaneConfig { max_lhs, g3_threshold: 0.0, parallel };
+        let config = TaneConfig {
+            max_lhs,
+            g3_threshold: 0.0,
+            parallel,
+        };
         let engine = canon(discover_fds(rel, &config).unwrap());
         assert_eq!(
             engine, naive,
             "{label}: engine ({parallel:?}) disagrees with naive oracle at depth {max_lhs}"
+        );
+        let engine_rt = canon(discover_fds(&roundtripped, &config).unwrap());
+        assert_eq!(
+            engine_rt, naive,
+            "{label}: engine ({parallel:?}) disagrees with naive oracle on the \
+             round-tripped relation at depth {max_lhs}"
         );
     }
 }
@@ -75,7 +121,11 @@ fn shared_context_matches_fresh_context() {
     // A context reused across calls (warm cache, nonzero hit counters) must
     // give the same answer as a cold one.
     let rel = mp_datasets::echocardiogram();
-    let config = TaneConfig { max_lhs: 2, g3_threshold: 0.0, ..TaneConfig::default() };
+    let config = TaneConfig {
+        max_lhs: 2,
+        g3_threshold: 0.0,
+        ..TaneConfig::default()
+    };
     let cold = discover_fds(&rel, &config).unwrap();
 
     let ctx = DiscoveryContext::new(&rel, ParallelConfig::default());

@@ -56,9 +56,7 @@ impl BloomFilter {
         (base, 0x9E37_79B9_7F4A_7C15u64).hash(&mut h2hasher);
         let h2 = h2hasher.finish() | 1; // odd => full period
         let m = self.m_bits as u64;
-        (0..self.k_hashes as u64).map(move |i| {
-            (h1.wrapping_add(i.wrapping_mul(h2)) % m) as usize
-        })
+        (0..self.k_hashes as u64).map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % m) as usize)
     }
 
     /// Inserts an id.
@@ -72,7 +70,8 @@ impl BloomFilter {
 
     /// Membership test — no false negatives, tunable false positives.
     pub fn contains(&self, id: &Value) -> bool {
-        self.positions(id).all(|p| self.bits[p / 64] & (1u64 << (p % 64)) != 0)
+        self.positions(id)
+            .all(|p| self.bits[p / 64] & (1u64 << (p % 64)) != 0)
     }
 
     /// The standard false-positive-rate estimate `(1 − e^{−kn/m})^k`.
@@ -148,8 +147,7 @@ mod tests {
             f.insert(id);
         }
         let probes = ids(1_000_000..1_020_000);
-        let fp = probes.iter().filter(|id| f.contains(id)).count() as f64
-            / probes.len() as f64;
+        let fp = probes.iter().filter(|id| f.contains(id)).count() as f64 / probes.len() as f64;
         let est = f.estimated_fpr();
         assert!(
             (fp - est).abs() < 0.5 * est + 0.01,

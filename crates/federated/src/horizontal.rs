@@ -20,8 +20,9 @@ use rand::{Rng, SeedableRng};
 pub fn horizontal_split(relation: &Relation, n_parties: usize) -> Result<Vec<Relation>> {
     let mut out = Vec::with_capacity(n_parties);
     for p in 0..n_parties {
-        let rows: Vec<usize> =
-            (0..relation.n_rows()).filter(|r| r % n_parties == p).collect();
+        let rows: Vec<usize> = (0..relation.n_rows())
+            .filter(|r| r % n_parties == p)
+            .collect();
         out.push(relation.select_rows(&rows)?);
     }
     Ok(out)
@@ -62,13 +63,11 @@ pub fn permutation_baseline(
         }
         total += (0..n)
             .filter(|&i| match kind {
-                AttrKind::Categorical => real_col[perm[i]] == syn_col[i],
-                AttrKind::Continuous => {
-                    match (real_col[perm[i]].as_f64(), syn_col[i].as_f64()) {
-                        (Some(x), Some(y)) => (x - y).abs() <= config.epsilon,
-                        _ => false,
-                    }
-                }
+                AttrKind::Categorical => real_col.value_ref(perm[i]) == syn_col.value_ref(i),
+                AttrKind::Continuous => match (real_col.f64_at(perm[i]), syn_col.f64_at(i)) {
+                    (Some(x), Some(y)) => (x - y).abs() <= config.epsilon,
+                    _ => false,
+                },
             })
             .count();
     }
@@ -88,7 +87,10 @@ mod tests {
         let r = echocardiogram();
         let parts = horizontal_split(&r, 3).unwrap();
         assert_eq!(parts.len(), 3);
-        assert_eq!(parts.iter().map(Relation::n_rows).sum::<usize>(), r.n_rows());
+        assert_eq!(
+            parts.iter().map(Relation::n_rows).sum::<usize>(),
+            r.n_rows()
+        );
         for p in &parts {
             assert!(schemas_compatible(&r, p));
         }
@@ -122,7 +124,11 @@ mod tests {
             .synthesize(&SynthConfig::random_baseline(theirs.n_rows(), 17))
             .unwrap();
 
-        let config = ExperimentConfig { rounds: 200, base_seed: 5, epsilon: 0.0 };
+        let config = ExperimentConfig {
+            rounds: 200,
+            base_seed: 5,
+            epsilon: 0.0,
+        };
         for &attr in &mp_datasets::CATEGORICAL_ATTRS {
             let aligned = categorical_matches(theirs, &syn, attr).unwrap() as f64;
             let baseline = permutation_baseline(theirs, &syn, attr, &config).unwrap();
@@ -139,12 +145,20 @@ mod tests {
     #[test]
     fn permutation_baseline_edge_cases() {
         let r = echocardiogram();
-        let config = ExperimentConfig { rounds: 0, base_seed: 0, epsilon: 0.0 };
+        let config = ExperimentConfig {
+            rounds: 0,
+            base_seed: 0,
+            epsilon: 0.0,
+        };
         assert_eq!(permutation_baseline(&r, &r, 1, &config).unwrap(), 0.0);
 
         // Self-comparison under permutations ≈ Σ (count_v)² / N for the
         // value distribution — sanity check it is below N.
-        let config = ExperimentConfig { rounds: 50, base_seed: 0, epsilon: 0.0 };
+        let config = ExperimentConfig {
+            rounds: 50,
+            base_seed: 0,
+            epsilon: 0.0,
+        };
         let b = permutation_baseline(&r, &r, 1, &config).unwrap();
         assert!(b > 0.0 && b < r.n_rows() as f64);
     }

@@ -23,8 +23,8 @@ pub mod horizontal;
 pub mod model;
 mod multiparty;
 mod party;
-pub mod psi;
 mod protocol;
+pub mod psi;
 mod scenario;
 
 pub use bloom::{bloom_candidate_rows, BloomFilter};

@@ -15,7 +15,7 @@
 //! BlindFL-style score aggregation) without their cryptographic layers —
 //! enough to measure how shared metadata affects downstream utility.
 
-use mp_relation::{AttrKind, Relation, Result, Value};
+use mp_relation::{AttrKind, Relation, Result, ValueRef};
 use std::collections::HashMap;
 
 /// A party-local feature matrix: standardised numeric encodings of the
@@ -44,12 +44,12 @@ impl FeatureBlock {
                     col.iter().map(|v| v.as_f64().unwrap_or(f64::NAN)).collect()
                 }
                 AttrKind::Categorical => {
-                    let mut codes: Vec<&Value> = col.iter().collect();
+                    let mut codes: Vec<ValueRef<'_>> = col.iter().collect();
                     codes.sort();
                     codes.dedup();
-                    let index: HashMap<&Value, usize> =
+                    let index: HashMap<ValueRef<'_>, usize> =
                         codes.iter().enumerate().map(|(i, v)| (*v, i)).collect();
-                    col.iter().map(|v| index[v] as f64).collect()
+                    col.iter().map(|v| index[&v] as f64).collect()
                 }
             };
             let finite: Vec<f64> = raw.iter().copied().filter(|x| x.is_finite()).collect();
@@ -97,7 +97,10 @@ pub struct PartyModel {
 impl PartyModel {
     /// Initialises zero weights over a feature block.
     pub fn new(features: FeatureBlock) -> Self {
-        Self { weights: vec![0.0; features.cols()], features }
+        Self {
+            weights: vec![0.0; features.cols()],
+            features,
+        }
     }
 
     /// Partial logits `w_p · x_p` for every row — the only per-row value a
@@ -142,7 +145,11 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { epochs: 200, lr: 0.5, l2: 1e-4 }
+        Self {
+            epochs: 200,
+            lr: 0.5,
+            l2: 1e-4,
+        }
     }
 }
 
@@ -169,7 +176,11 @@ fn sigmoid(z: f64) -> f64 {
 pub fn train(blocks: Vec<FeatureBlock>, labels: &[f64], config: &TrainConfig) -> FederatedModel {
     let n = labels.len();
     for b in &blocks {
-        assert_eq!(b.rows(), n, "feature blocks must be PSI-aligned with the labels");
+        assert_eq!(
+            b.rows(),
+            n,
+            "feature blocks must be PSI-aligned with the labels"
+        );
     }
     let mut parties: Vec<PartyModel> = blocks.into_iter().map(PartyModel::new).collect();
     let mut bias = 0.0;
@@ -195,14 +206,21 @@ pub fn train(blocks: Vec<FeatureBlock>, labels: &[f64], config: &TrainConfig) ->
             party.apply_residuals(&residuals, config.lr, config.l2);
         }
     }
-    FederatedModel { parties, bias, loss_trace }
+    FederatedModel {
+        parties,
+        bias,
+        loss_trace,
+    }
 }
 
 impl FederatedModel {
     /// Predicted probabilities on the training alignment.
     pub fn predict(&self) -> Vec<f64> {
-        let partials: Vec<Vec<f64>> =
-            self.parties.iter().map(PartyModel::partial_scores).collect();
+        let partials: Vec<Vec<f64>> = self
+            .parties
+            .iter()
+            .map(PartyModel::partial_scores)
+            .collect();
         let n = partials.first().map_or(0, Vec::len);
         (0..n)
             .map(|i| sigmoid(self.bias + partials.iter().map(|p| p[i]).sum::<f64>()))
@@ -253,8 +271,7 @@ pub fn auc(scores: &[f64], labels: &[f64]) -> f64 {
         .filter(|&k| labels[k] >= 0.5)
         .map(|k| ranks[k])
         .sum();
-    (rank_sum_pos - n_pos as f64 * (n_pos as f64 + 1.0) / 2.0)
-        / (n_pos as f64 * n_neg as f64)
+    (rank_sum_pos - n_pos as f64 * (n_pos as f64 + 1.0) / 2.0) / (n_pos as f64 * n_neg as f64)
 }
 
 /// A deterministic train/holdout row split (every `holdout_every`-th row is
@@ -278,14 +295,20 @@ pub fn labels_from_column(relation: &Relation, col: usize) -> Result<Vec<f64>> {
     Ok(relation
         .column(col)?
         .iter()
-        .map(|v| if v.as_f64().unwrap_or(0.0) >= 0.5 { 1.0 } else { 0.0 })
+        .map(|v| {
+            if v.as_f64().unwrap_or(0.0) >= 0.5 {
+                1.0
+            } else {
+                0.0
+            }
+        })
         .collect())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mp_relation::{Attribute, Schema};
+    use mp_relation::{Attribute, Schema, Value};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -295,18 +318,19 @@ mod tests {
         let schema = Schema::new(vec![Attribute::continuous("x")]).unwrap();
         let xa: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let xb: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let labels: Vec<f64> =
-            xa.iter().zip(&xb).map(|(a, b)| f64::from(a + b > 0.0)).collect();
+        let labels: Vec<f64> = xa
+            .iter()
+            .zip(&xb)
+            .map(|(a, b)| f64::from(a + b > 0.0))
+            .collect();
         let rel_a = Relation::from_columns(
             schema.clone(),
             vec![xa.iter().map(|&x| Value::Float(x)).collect()],
         )
         .unwrap();
-        let rel_b = Relation::from_columns(
-            schema,
-            vec![xb.iter().map(|&x| Value::Float(x)).collect()],
-        )
-        .unwrap();
+        let rel_b =
+            Relation::from_columns(schema, vec![xb.iter().map(|&x| Value::Float(x)).collect()])
+                .unwrap();
         (
             FeatureBlock::encode(&rel_a, &[0]).unwrap(),
             FeatureBlock::encode(&rel_b, &[0]).unwrap(),
@@ -367,11 +391,7 @@ mod tests {
     #[test]
     fn constant_column_is_harmless() {
         let schema = Schema::new(vec![Attribute::continuous("k")]).unwrap();
-        let rel = Relation::from_rows(
-            schema,
-            vec![vec![5.0.into()], vec![5.0.into()]],
-        )
-        .unwrap();
+        let rel = Relation::from_rows(schema, vec![vec![5.0.into()], vec![5.0.into()]]).unwrap();
         let block = FeatureBlock::encode(&rel, &[0]).unwrap();
         let model = train(vec![block], &[0.0, 1.0], &TrainConfig::default());
         assert!(model.accuracy(&[0.0, 1.0]).is_finite());

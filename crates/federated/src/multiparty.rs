@@ -90,14 +90,14 @@ impl MultiPartySession {
     /// Runs k-way PSI and the metadata broadcast; `policies[p]` governs
     /// what party `p` discloses to the rest.
     pub fn run_setup(&self, policies: &[SharePolicy]) -> Result<MultiSetupOutcome> {
-        assert_eq!(
-            policies.len(),
-            self.parties.len(),
-            "one policy per party"
-        );
-        let id_cols: Vec<&[mp_relation::Value]> =
-            self.parties.iter().map(|p| p.ids()).collect::<Result<_>>()?;
-        let alignment = multi_align(&id_cols, self.salt);
+        assert_eq!(policies.len(), self.parties.len(), "one policy per party");
+        let id_cols: Vec<Vec<mp_relation::Value>> = self
+            .parties
+            .iter()
+            .map(|p| p.ids())
+            .collect::<Result<_>>()?;
+        let id_slices: Vec<&[mp_relation::Value]> = id_cols.iter().map(Vec::as_slice).collect();
+        let alignment = multi_align(&id_slices, self.salt);
         let mut aligned = Vec::with_capacity(self.parties.len());
         let mut metadata = Vec::with_capacity(self.parties.len());
         for (p, (party, policy)) in self.parties.iter().zip(policies).enumerate() {
@@ -108,7 +108,11 @@ impl MultiPartySession {
             );
             metadata.push(party.share_metadata(policy)?);
         }
-        Ok(MultiSetupOutcome { alignment, aligned, metadata })
+        Ok(MultiSetupOutcome {
+            alignment,
+            aligned,
+            metadata,
+        })
     }
 }
 
@@ -139,13 +143,14 @@ mod tests {
         let a = party("a", &["u1", "u2", "u3", "u4"], "fa");
         let b = party("b", &["u4", "u2", "u9"], "fb");
         let c = party("c", &["u2", "u4", "u7"], "fc");
-        let ids: Vec<Vec<Value>> = [&a, &b, &c]
-            .iter()
-            .map(|p| p.ids().unwrap().to_vec())
-            .collect();
+        let ids: Vec<Vec<Value>> = [&a, &b, &c].iter().map(|p| p.ids().unwrap()).collect();
         let session = MultiPartySession::new(vec![a, b, c], 42);
         let out = session
-            .run_setup(&[SharePolicy::FULL, SharePolicy::FULL, SharePolicy::NAMES_ONLY])
+            .run_setup(&[
+                SharePolicy::FULL,
+                SharePolicy::FULL,
+                SharePolicy::NAMES_ONLY,
+            ])
             .unwrap();
         // Common entities: u2, u4.
         assert_eq!(out.alignment.len(), 2);
@@ -169,8 +174,8 @@ mod tests {
     fn two_party_multi_matches_pairwise_psi() {
         let a = party("a", &["x", "y", "z"], "fa");
         let b = party("b", &["z", "x"], "fb");
-        let ids_a = a.ids().unwrap().to_vec();
-        let ids_b = b.ids().unwrap().to_vec();
+        let ids_a = a.ids().unwrap();
+        let ids_b = b.ids().unwrap();
         let multi = multi_align(&[&ids_a, &ids_b], 9);
         let pair = crate::psi::align(&ids_a, &ids_b, 9);
         assert_eq!(multi.rows[0], pair.rows_a);
@@ -181,8 +186,7 @@ mod tests {
     fn disjoint_party_empties_intersection() {
         let a = party("a", &["u1"], "fa");
         let b = party("b", &["u2"], "fb");
-        let ids: Vec<Vec<Value>> =
-            [&a, &b].iter().map(|p| p.ids().unwrap().to_vec()).collect();
+        let ids: Vec<Vec<Value>> = [&a, &b].iter().map(|p| p.ids().unwrap()).collect();
         let al = multi_align(&[&ids[0], &ids[1]], 0);
         assert!(al.is_empty());
     }

@@ -28,17 +28,25 @@ impl Party {
         dependencies: Vec<Dependency>,
     ) -> Result<Self> {
         relation.schema().attribute(id_column)?;
-        Ok(Self { name: name.into(), relation, id_column, dependencies })
+        Ok(Self {
+            name: name.into(),
+            relation,
+            id_column,
+            dependencies,
+        })
     }
 
-    /// The party's entity ids, in row order.
-    pub fn ids(&self) -> Result<&[Value]> {
-        self.relation.column(self.id_column)
+    /// The party's entity ids, in row order, materialised from the typed
+    /// id column.
+    pub fn ids(&self) -> Result<Vec<Value>> {
+        self.relation.column_values(self.id_column)
     }
 
     /// Feature column indices (everything except the id column).
     pub fn feature_columns(&self) -> Vec<usize> {
-        (0..self.relation.arity()).filter(|&c| c != self.id_column).collect()
+        (0..self.relation.arity())
+            .filter(|&c| c != self.id_column)
+            .collect()
     }
 
     /// Builds the party's metadata package over its *feature* attributes
@@ -77,12 +85,18 @@ fn remap_dependency(
     Some(match dep {
         Dependency::Fd(f) => {
             let lhs: Option<Vec<usize>> = f.lhs.iter().map(remap).collect();
-            Dependency::Fd(Fd { lhs: AttrSet::from_iter(lhs?), rhs: remap(f.rhs)? })
+            Dependency::Fd(Fd {
+                lhs: AttrSet::from_iter(lhs?),
+                rhs: remap(f.rhs)?,
+            })
         }
         Dependency::Afd(a) => {
             let lhs: Option<Vec<usize>> = a.fd.lhs.iter().map(remap).collect();
             Dependency::Afd(Afd {
-                fd: Fd { lhs: AttrSet::from_iter(lhs?), rhs: remap(a.fd.rhs)? },
+                fd: Fd {
+                    lhs: AttrSet::from_iter(lhs?),
+                    rhs: remap(a.fd.rhs)?,
+                },
                 g3_threshold: a.g3_threshold,
             })
         }
@@ -91,18 +105,21 @@ fn remap_dependency(
             rhs: remap(o.rhs)?,
             direction: o.direction,
         }),
-        Dependency::Nd(n) => {
-            Dependency::Nd(NumericalDep { lhs: remap(n.lhs)?, rhs: remap(n.rhs)?, k: n.k })
-        }
+        Dependency::Nd(n) => Dependency::Nd(NumericalDep {
+            lhs: remap(n.lhs)?,
+            rhs: remap(n.rhs)?,
+            k: n.k,
+        }),
         Dependency::Dd(d) => Dependency::Dd(DifferentialDep {
             lhs: remap(d.lhs)?,
             rhs: remap(d.rhs)?,
             eps_lhs: d.eps_lhs,
             delta_rhs: d.delta_rhs,
         }),
-        Dependency::Ofd(o) => {
-            Dependency::Ofd(OrderedFd { lhs: remap(o.lhs)?, rhs: remap(o.rhs)? })
-        }
+        Dependency::Ofd(o) => Dependency::Ofd(OrderedFd {
+            lhs: remap(o.lhs)?,
+            rhs: remap(o.rhs)?,
+        }),
         Dependency::Cfd(c) => {
             let lhs: Option<Vec<(usize, mp_metadata::PatternCell)>> = c
                 .lhs
@@ -185,6 +202,6 @@ mod tests {
         let p = party();
         let sub = p.aligned_rows(&[1]).unwrap();
         assert_eq!(sub.n_rows(), 1);
-        assert_eq!(*sub.value(0, 0).unwrap(), Value::Text("c2".into()));
+        assert_eq!(sub.value(0, 0).unwrap(), Value::Text("c2".into()));
     }
 }

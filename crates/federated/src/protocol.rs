@@ -41,7 +41,11 @@ pub struct VflSession {
 impl VflSession {
     /// Creates a session.
     pub fn new(party_a: Party, party_b: Party, salt: u64) -> Self {
-        Self { party_a, party_b, salt }
+        Self {
+            party_a,
+            party_b,
+            salt,
+        }
     }
 
     /// Runs PSI and the metadata exchange. `policy_a` governs what A
@@ -51,8 +55,7 @@ impl VflSession {
         policy_a: &SharePolicy,
         policy_b: &SharePolicy,
     ) -> Result<SetupOutcome> {
-        let alignment =
-            align(self.party_a.ids()?, self.party_b.ids()?, self.salt);
+        let alignment = align(&self.party_a.ids()?, &self.party_b.ids()?, self.salt);
         let aligned_a = self
             .party_a
             .aligned_rows(&alignment.rows_a)?
@@ -117,7 +120,9 @@ mod tests {
     fn setup_aligns_and_exchanges() {
         let (a, b) = parties();
         let session = VflSession::new(a, b, 99);
-        let out = session.run_setup(&SharePolicy::FULL, &SharePolicy::FULL).unwrap();
+        let out = session
+            .run_setup(&SharePolicy::FULL, &SharePolicy::FULL)
+            .unwrap();
         assert_eq!(out.alignment.len(), 2); // u1, u3
         assert_eq!(out.aligned_a.n_rows(), 2);
         assert_eq!(out.aligned_b.n_rows(), 2);
@@ -132,10 +137,12 @@ mod tests {
     #[test]
     fn aligned_rows_refer_to_same_entity() {
         let (a, b) = parties();
-        let ids_a = a.ids().unwrap().to_vec();
-        let ids_b = b.ids().unwrap().to_vec();
+        let ids_a = a.ids().unwrap();
+        let ids_b = b.ids().unwrap();
         let session = VflSession::new(a, b, 5);
-        let out = session.run_setup(&SharePolicy::FULL, &SharePolicy::FULL).unwrap();
+        let out = session
+            .run_setup(&SharePolicy::FULL, &SharePolicy::FULL)
+            .unwrap();
         for i in 0..out.alignment.len() {
             assert_eq!(
                 ids_a[out.alignment.rows_a[i]],
@@ -158,15 +165,16 @@ mod tests {
     #[test]
     fn empty_intersection_setup() {
         let schema = Schema::new(vec![Attribute::categorical("id")]).unwrap();
-        let ra = Relation::from_rows(schema.clone(), vec![vec![Value::Text("a".into())]])
-            .unwrap();
+        let ra = Relation::from_rows(schema.clone(), vec![vec![Value::Text("a".into())]]).unwrap();
         let rb = Relation::from_rows(schema, vec![vec![Value::Text("b".into())]]).unwrap();
         let session = VflSession::new(
             Party::new("a", ra, 0, vec![]).unwrap(),
             Party::new("b", rb, 0, vec![]).unwrap(),
             0,
         );
-        let out = session.run_setup(&SharePolicy::FULL, &SharePolicy::FULL).unwrap();
+        let out = session
+            .run_setup(&SharePolicy::FULL, &SharePolicy::FULL)
+            .unwrap();
         assert!(out.alignment.is_empty());
         assert_eq!(out.aligned_a.n_rows(), 0);
     }

@@ -125,8 +125,12 @@ mod tests {
         let al2 = align(&a, &b, 2);
         // The *set* of aligned pairs is salt-independent.
         let pairs = |al: &PsiAlignment| {
-            let mut p: Vec<(usize, usize)> =
-                al.rows_a.iter().copied().zip(al.rows_b.iter().copied()).collect();
+            let mut p: Vec<(usize, usize)> = al
+                .rows_a
+                .iter()
+                .copied()
+                .zip(al.rows_b.iter().copied())
+                .collect();
             p.sort();
             p
         };

@@ -49,11 +49,16 @@ pub fn run_scenario(
             .iter()
             .position(|&c| c == label_column)
             .expect("label must be a bank feature column");
-        (0..setup.aligned_a.arity()).filter(|&c| c != label_pos).collect()
+        (0..setup.aligned_a.arity())
+            .filter(|&c| c != label_pos)
+            .collect()
     };
     let label_pos = {
         let feats = session.party_a.feature_columns();
-        feats.iter().position(|&c| c == label_column).expect("label position")
+        feats
+            .iter()
+            .position(|&c| c == label_column)
+            .expect("label position")
     };
     let labels = labels_from_column(&setup.aligned_a, label_pos)?;
     let bank_block = FeatureBlock::encode(&setup.aligned_a, &bank_features)?;
@@ -68,10 +73,8 @@ pub fn run_scenario(
     let solo = train(vec![bank_block], &labels, &TrainConfig::default());
 
     // --- Privacy: the e-commerce party attacks the bank's slice. --------
-    let attack_with_deps =
-        run_attack(&setup.aligned_a, &setup.metadata_from_a, true, experiment)?;
-    let attack_random =
-        run_attack(&setup.aligned_a, &setup.metadata_from_a, false, experiment)?;
+    let attack_with_deps = run_attack(&setup.aligned_a, &setup.metadata_from_a, true, experiment)?;
+    let attack_random = run_attack(&setup.aligned_a, &setup.metadata_from_a, false, experiment)?;
 
     Ok(ScenarioOutcome {
         setup,
@@ -107,17 +110,24 @@ mod tests {
     }
 
     fn fast_experiment() -> ExperimentConfig {
-        ExperimentConfig { rounds: 20, base_seed: 3, epsilon: 500.0 }
+        ExperimentConfig {
+            rounds: 20,
+            base_seed: 3,
+            epsilon: 500.0,
+        }
     }
 
     #[test]
     fn scenario_runs_end_to_end() {
         let (bank, ecom) = build_parties();
         // loan_approved is bank column 5.
-        let out =
-            run_scenario(bank, ecom, 5, &SharePolicy::FULL, &fast_experiment()).unwrap();
+        let out = run_scenario(bank, ecom, 5, &SharePolicy::FULL, &fast_experiment()).unwrap();
         assert_eq!(out.setup.alignment.len(), 240);
-        assert!(out.federated_accuracy > 0.6, "federated {}", out.federated_accuracy);
+        assert!(
+            out.federated_accuracy > 0.6,
+            "federated {}",
+            out.federated_accuracy
+        );
         assert!(out.federated_accuracy >= out.solo_accuracy - 0.05);
         assert_eq!(out.attack_with_deps.per_attr.len(), 5);
     }
@@ -128,8 +138,7 @@ mod tests {
         // mean exact-match leakage with dependencies stays within noise of
         // the random baseline.
         let (bank, ecom) = build_parties();
-        let out =
-            run_scenario(bank, ecom, 5, &SharePolicy::FULL, &fast_experiment()).unwrap();
+        let out = run_scenario(bank, ecom, 5, &SharePolicy::FULL, &fast_experiment()).unwrap();
         for (with_deps, random) in out
             .attack_with_deps
             .per_attr

@@ -120,7 +120,13 @@ impl AttrSet {
 
     /// Set difference `self \ other`.
     pub fn difference(&self, other: &AttrSet) -> AttrSet {
-        AttrSet(self.0.iter().copied().filter(|a| !other.contains(*a)).collect())
+        AttrSet(
+            self.0
+                .iter()
+                .copied()
+                .filter(|a| !other.contains(*a))
+                .collect(),
+        )
     }
 
     /// Renders the set against attribute names, e.g. `{Name, Age}`.

@@ -98,7 +98,7 @@ impl ConditionalFd {
     /// `true` if row `i` of `relation` matches the LHS pattern.
     pub fn row_matches(&self, relation: &Relation, i: usize) -> Result<bool> {
         for (attr, cell) in &self.lhs {
-            if !cell.matches(relation.value(i, *attr)?) {
+            if !cell.matches(&relation.value(i, *attr)?) {
                 return Ok(false);
             }
         }
@@ -121,7 +121,7 @@ impl ConditionalFd {
         match &self.rhs_pattern {
             PatternCell::Const(c) => {
                 for i in 0..relation.n_rows() {
-                    if self.row_matches(relation, i)? && relation.value(i, self.rhs)? != c {
+                    if self.row_matches(relation, i)? && relation.value(i, self.rhs)? != *c {
                         return Ok(false);
                     }
                 }
@@ -143,9 +143,9 @@ impl ConditionalFd {
                     }
                     let key: Vec<Value> = key_attrs
                         .iter()
-                        .map(|&a| relation.value(i, a).cloned())
+                        .map(|&a| relation.value(i, a))
                         .collect::<Result<_>>()?;
-                    let y = relation.value(i, self.rhs)?.clone();
+                    let y = relation.value(i, self.rhs)?;
                     match seen.get(&key) {
                         Some(prev) if *prev != y => return Ok(false),
                         Some(_) => {}

@@ -28,7 +28,10 @@ pub struct Fd {
 impl Fd {
     /// Creates `lhs → rhs`.
     pub fn new(lhs: impl Into<AttrSet>, rhs: usize) -> Self {
-        Self { lhs: lhs.into(), rhs }
+        Self {
+            lhs: lhs.into(),
+            rhs,
+        }
     }
 
     /// `true` if the FD is trivial (`rhs ∈ lhs`).
@@ -39,7 +42,7 @@ impl Fd {
     /// Exact validation against a relation via partition refinement.
     pub fn holds(&self, relation: &Relation) -> Result<bool> {
         let lhs_pli = pli_of_set(relation, &self.lhs)?;
-        let rhs_sig = Pli::from_column(relation.column(self.rhs)?).full_signature();
+        let rhs_sig = Pli::from_column(&relation.column_values(self.rhs)?).full_signature();
         Ok(lhs_pli.satisfies_fd(&rhs_sig))
     }
 
@@ -47,7 +50,7 @@ impl Fd {
     /// tuples to remove for it to hold (0 iff it holds exactly).
     pub fn g3_error(&self, relation: &Relation) -> Result<f64> {
         let lhs_pli = pli_of_set(relation, &self.lhs)?;
-        let rhs_sig = Pli::from_column(relation.column(self.rhs)?).full_signature();
+        let rhs_sig = Pli::from_column(&relation.column_values(self.rhs)?).full_signature();
         Ok(lhs_pli.g3_error(&rhs_sig))
     }
 }
@@ -60,9 +63,9 @@ pub fn pli_of_set(relation: &Relation, set: &AttrSet) -> Result<Pli> {
     let Some(first) = iter.next() else {
         return Ok(Pli::unit(relation.n_rows()));
     };
-    let mut pli = Pli::from_column(relation.column(first)?);
+    let mut pli = Pli::from_column(&relation.column_values(first)?);
     for attr in iter {
-        let other = Pli::from_column(relation.column(attr)?);
+        let other = Pli::from_column(&relation.column_values(attr)?);
         pli = pli.intersect(&other);
     }
     Ok(pli)
@@ -82,7 +85,10 @@ pub struct Afd {
 impl Afd {
     /// Creates `lhs → rhs` with tolerance `g3_threshold`.
     pub fn new(lhs: impl Into<AttrSet>, rhs: usize, g3_threshold: f64) -> Self {
-        Self { fd: Fd::new(lhs, rhs), g3_threshold }
+        Self {
+            fd: Fd::new(lhs, rhs),
+            g3_threshold,
+        }
     }
 
     /// `true` iff the `g3` error on `relation` is within the threshold.
@@ -119,19 +125,27 @@ pub struct OrderDep {
 impl OrderDep {
     /// Creates an ascending OD `lhs ≤ → rhs ≤`.
     pub fn ascending(lhs: usize, rhs: usize) -> Self {
-        Self { lhs, rhs, direction: OrderDirection::Ascending }
+        Self {
+            lhs,
+            rhs,
+            direction: OrderDirection::Ascending,
+        }
     }
 
     /// Creates a descending OD `lhs ≤ → rhs ≥`.
     pub fn descending(lhs: usize, rhs: usize) -> Self {
-        Self { lhs, rhs, direction: OrderDirection::Descending }
+        Self {
+            lhs,
+            rhs,
+            direction: OrderDirection::Descending,
+        }
     }
 
     /// Exact validation: sort the non-null pairs by X and check Y is
     /// monotone in the dependency's direction, with X-ties forcing Y-ties.
     pub fn holds(&self, relation: &Relation) -> Result<bool> {
-        let xs = relation.column(self.lhs)?;
-        let ys = relation.column(self.rhs)?;
+        let xs = &relation.column_values(self.lhs)?;
+        let ys = &relation.column_values(self.rhs)?;
         let mut pairs: Vec<(&Value, &Value)> = xs
             .iter()
             .zip(ys.iter())
@@ -174,8 +188,8 @@ impl NumericalDep {
     /// on `relation` (the tightest k for which the ND holds). Zero for an
     /// empty relation.
     pub fn max_fanout(lhs: usize, rhs: usize, relation: &Relation) -> Result<usize> {
-        let lhs_pli = Pli::from_column(relation.column(lhs)?);
-        let rhs_sig = Pli::from_column(relation.column(rhs)?).full_signature();
+        let lhs_pli = Pli::from_column(&relation.column_values(lhs)?);
+        let rhs_sig = Pli::from_column(&relation.column_values(rhs)?).full_signature();
         let mut max = if relation.n_rows() == 0 { 0 } else { 1 };
         let mut seen: Vec<usize> = Vec::new();
         for cluster in lhs_pli.clusters() {
@@ -213,15 +227,20 @@ pub struct DifferentialDep {
 impl DifferentialDep {
     /// Creates the DD with the given thresholds.
     pub fn new(lhs: usize, rhs: usize, eps_lhs: f64, delta_rhs: f64) -> Self {
-        Self { lhs, rhs, eps_lhs, delta_rhs }
+        Self {
+            lhs,
+            rhs,
+            eps_lhs,
+            delta_rhs,
+        }
     }
 
     /// Exact validation. Sorting by X lets each tuple only be compared
     /// against its ε-neighbourhood, so this is `O(n log n + n·w)` where `w`
     /// is the neighbourhood width, rather than `O(n²)`.
     pub fn holds(&self, relation: &Relation) -> Result<bool> {
-        let xs = relation.column(self.lhs)?;
-        let ys = relation.column(self.rhs)?;
+        let xs = &relation.column_values(self.lhs)?;
+        let ys = &relation.column_values(self.rhs)?;
         let mut pairs: Vec<(f64, f64)> = xs
             .iter()
             .zip(ys.iter())
@@ -262,8 +281,8 @@ impl OrderedFd {
     /// Exact validation: equal X ⇒ equal Y, and strictly increasing X ⇒
     /// strictly increasing Y (nulls skipped).
     pub fn holds(&self, relation: &Relation) -> Result<bool> {
-        let xs = relation.column(self.lhs)?;
-        let ys = relation.column(self.rhs)?;
+        let xs = &relation.column_values(self.lhs)?;
+        let ys = &relation.column_values(self.rhs)?;
         let mut pairs: Vec<(&Value, &Value)> = xs
             .iter()
             .zip(ys.iter())
@@ -362,7 +381,11 @@ impl fmt::Display for Dependency {
         match self {
             Dependency::Fd(d) => write!(f, "FD {} -> {}", d.lhs, d.rhs),
             Dependency::Afd(d) => {
-                write!(f, "AFD {} -> {} (g3<={})", d.fd.lhs, d.fd.rhs, d.g3_threshold)
+                write!(
+                    f,
+                    "AFD {} -> {} (g3<={})",
+                    d.fd.lhs, d.fd.rhs, d.g3_threshold
+                )
             }
             Dependency::Od(d) => {
                 let arrow = match d.direction {
@@ -373,7 +396,11 @@ impl fmt::Display for Dependency {
             }
             Dependency::Nd(d) => write!(f, "ND {} ->{{{}}} {}", d.lhs, d.k, d.rhs),
             Dependency::Dd(d) => {
-                write!(f, "DD {} (eps={}) -> {} (delta={})", d.lhs, d.eps_lhs, d.rhs, d.delta_rhs)
+                write!(
+                    f,
+                    "DD {} (eps={}) -> {} (delta={})",
+                    d.lhs, d.eps_lhs, d.rhs, d.delta_rhs
+                )
             }
             Dependency::Ofd(d) => write!(f, "OFD {} -> {}", d.lhs, d.rhs),
             Dependency::Cfd(d) => write!(f, "{d}"),
@@ -434,10 +461,30 @@ mod tests {
         Relation::from_rows(
             schema,
             vec![
-                vec!["Alice".into(), 18i64.into(), "Sales".into(), 20_000i64.into()],
-                vec!["Bob".into(), 22i64.into(), "Customer Service".into(), 25_000i64.into()],
-                vec!["Charlie".into(), 22i64.into(), "Sales".into(), 27_000i64.into()],
-                vec!["Danny".into(), 26i64.into(), "Management".into(), 35_000i64.into()],
+                vec![
+                    "Alice".into(),
+                    18i64.into(),
+                    "Sales".into(),
+                    20_000i64.into(),
+                ],
+                vec![
+                    "Bob".into(),
+                    22i64.into(),
+                    "Customer Service".into(),
+                    25_000i64.into(),
+                ],
+                vec![
+                    "Charlie".into(),
+                    22i64.into(),
+                    "Sales".into(),
+                    27_000i64.into(),
+                ],
+                vec![
+                    "Danny".into(),
+                    26i64.into(),
+                    "Management".into(),
+                    35_000i64.into(),
+                ],
             ],
         )
         .unwrap()
@@ -473,11 +520,8 @@ mod tests {
         let r = employee();
         assert!(!Fd::new(AttrSet::empty(), 3).holds(&r).unwrap());
         let schema = Schema::new(vec![Attribute::categorical("c")]).unwrap();
-        let constant = Relation::from_rows(
-            schema,
-            vec![vec!["x".into()], vec!["x".into()]],
-        )
-        .unwrap();
+        let constant =
+            Relation::from_rows(schema, vec![vec!["x".into()], vec!["x".into()]]).unwrap();
         assert!(Fd::new(AttrSet::empty(), 0).holds(&constant).unwrap());
     }
 
@@ -504,11 +548,8 @@ mod tests {
 
     #[test]
     fn order_dependency_skips_nulls() {
-        let schema = Schema::new(vec![
-            Attribute::continuous("x"),
-            Attribute::continuous("y"),
-        ])
-        .unwrap();
+        let schema =
+            Schema::new(vec![Attribute::continuous("x"), Attribute::continuous("y")]).unwrap();
         let r = Relation::from_rows(
             schema,
             vec![

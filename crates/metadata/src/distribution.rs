@@ -36,11 +36,11 @@ impl Distribution {
     /// over the observed range).
     pub fn estimate(relation: &Relation, col: usize, buckets: usize) -> Result<Distribution> {
         let kind = relation.schema().attribute(col)?.kind;
-        let column = relation.column(col)?;
+        let column = relation.column_values(col)?;
         let n = column.len().max(1) as f64;
         match kind {
             AttrKind::Categorical => {
-                let mut values: Vec<Value> = column.to_vec();
+                let mut values: Vec<Value> = column.clone();
                 values.sort();
                 let mut out: Vec<(Value, f64)> = Vec::new();
                 let mut i = 0;
@@ -75,9 +75,7 @@ impl Distribution {
     pub fn collision_probability(&self) -> f64 {
         match self {
             Distribution::Categorical(freqs) => freqs.iter().map(|(_, p)| p * p).sum(),
-            Distribution::Histogram { densities, .. } => {
-                densities.iter().map(|p| p * p).sum()
-            }
+            Distribution::Histogram { densities, .. } => densities.iter().map(|p| p * p).sum(),
         }
     }
 
@@ -120,11 +118,13 @@ mod tests {
     #[test]
     fn categorical_frequencies() {
         let d = Distribution::estimate(&rel(), 0, 0).unwrap();
-        let Distribution::Categorical(freqs) = &d else { panic!() };
+        let Distribution::Categorical(freqs) = &d else {
+            panic!()
+        };
         assert_eq!(freqs.len(), 2);
         assert!((freqs[0].1 - 0.75).abs() < 1e-12); // "a"
         assert!((freqs[1].1 - 0.25).abs() < 1e-12); // "b"
-        // Σp² = 0.5625 + 0.0625 = 0.625 > 1/2 (uniform over 2).
+                                                    // Σp² = 0.5625 + 0.0625 = 0.625 > 1/2 (uniform over 2).
         assert!((d.collision_probability() - 0.625).abs() < 1e-12);
         assert!((d.effective_cardinality() - 1.6).abs() < 1e-12);
     }
@@ -132,7 +132,14 @@ mod tests {
     #[test]
     fn histogram_estimation() {
         let d = Distribution::estimate(&rel(), 1, 3).unwrap();
-        let Distribution::Histogram { min, max, densities } = &d else { panic!() };
+        let Distribution::Histogram {
+            min,
+            max,
+            densities,
+        } = &d
+        else {
+            panic!()
+        };
         assert_eq!((*min, *max), (0.0, 9.0));
         assert_eq!(densities.len(), 3);
         assert!((densities.iter().sum::<f64>() - 1.0).abs() < 1e-12);
@@ -143,14 +150,8 @@ mod tests {
 
     #[test]
     fn skew_raises_collision_probability() {
-        let uniform = Distribution::Categorical(vec![
-            (Value::Int(0), 0.5),
-            (Value::Int(1), 0.5),
-        ]);
-        let skewed = Distribution::Categorical(vec![
-            (Value::Int(0), 0.9),
-            (Value::Int(1), 0.1),
-        ]);
+        let uniform = Distribution::Categorical(vec![(Value::Int(0), 0.5), (Value::Int(1), 0.5)]);
+        let skewed = Distribution::Categorical(vec![(Value::Int(0), 0.9), (Value::Int(1), 0.1)]);
         assert!(skewed.collision_probability() > uniform.collision_probability());
         assert!(skewed.effective_cardinality() < 2.0);
         assert!((uniform.effective_cardinality() - 2.0).abs() < 1e-12);
@@ -165,7 +166,9 @@ mod tests {
         )
         .unwrap();
         let d = Distribution::estimate(&r, 0, 0).unwrap();
-        let Distribution::Categorical(freqs) = &d else { panic!() };
+        let Distribution::Categorical(freqs) = &d else {
+            panic!()
+        };
         assert_eq!(freqs[0].0, Value::Null);
         assert!((freqs[0].1 - 2.0 / 3.0).abs() < 1e-12);
     }

@@ -32,7 +32,11 @@ pub struct DomainGeneralization {
 
 impl Default for DomainGeneralization {
     fn default() -> Self {
-        Self { widen: 2.0, snap: 10.0, suppress_below: 2 }
+        Self {
+            widen: 2.0,
+            snap: 10.0,
+            suppress_below: 2,
+        }
     }
 }
 
@@ -55,7 +59,9 @@ impl DomainGeneralization {
                 if self.suppress_below == 0 {
                     return domain.clone();
                 }
-                let Some(col) = column else { return domain.clone() };
+                let Some(col) = column else {
+                    return domain.clone();
+                };
                 let mut freq: HashMap<&Value, usize> = HashMap::new();
                 for v in col {
                     *freq.entry(v).or_insert(0) += 1;
@@ -79,8 +85,8 @@ impl DomainGeneralization {
         let mut out = pkg.clone();
         for (i, meta) in out.attributes.iter_mut().enumerate() {
             if let Some(dom) = &meta.domain {
-                let column = source.column(i).ok();
-                meta.domain = Some(self.apply_domain(dom, column));
+                let column = source.column_values(i).ok();
+                meta.domain = Some(self.apply_domain(dom, column.as_deref()));
             }
         }
         Ok(out)
@@ -105,27 +111,46 @@ mod tests {
 
     #[test]
     fn continuous_widening_and_snapping() {
-        let g = DomainGeneralization { widen: 2.0, snap: 10.0, suppress_below: 0 };
+        let g = DomainGeneralization {
+            widen: 2.0,
+            snap: 10.0,
+            suppress_below: 0,
+        };
         let d = g.apply_domain(&Domain::continuous(20.0, 40.0), None);
         // Width 20 → 40 centred on 30 → [10, 50]; snap keeps them.
         assert_eq!(d.bounds(), Some((10.0, 50.0)));
 
-        let g = DomainGeneralization { widen: 1.0, snap: 25.0, suppress_below: 0 };
+        let g = DomainGeneralization {
+            widen: 1.0,
+            snap: 25.0,
+            suppress_below: 0,
+        };
         let d = g.apply_domain(&Domain::continuous(20.0, 40.0), None);
         assert_eq!(d.bounds(), Some((0.0, 50.0)));
     }
 
     #[test]
     fn widen_below_one_is_clamped() {
-        let g = DomainGeneralization { widen: 0.5, snap: 0.0, suppress_below: 0 };
+        let g = DomainGeneralization {
+            widen: 0.5,
+            snap: 0.0,
+            suppress_below: 0,
+        };
         let d = g.apply_domain(&Domain::continuous(0.0, 10.0), None);
         assert_eq!(d.bounds(), Some((0.0, 10.0)));
     }
 
     #[test]
     fn categorical_suppression() {
-        let g = DomainGeneralization { widen: 1.0, snap: 0.0, suppress_below: 2 };
-        let col: Vec<Value> = ["a", "a", "b", "b", "rare"].iter().map(|&s| s.into()).collect();
+        let g = DomainGeneralization {
+            widen: 1.0,
+            snap: 0.0,
+            suppress_below: 2,
+        };
+        let col: Vec<Value> = ["a", "a", "b", "b", "rare"]
+            .iter()
+            .map(|&s| s.into())
+            .collect();
         let dom = Domain::categorical(vec!["a", "b", "rare"]);
         let out = g.apply_domain(&dom, Some(&col));
         let values = out.values().unwrap();
@@ -140,16 +165,30 @@ mod tests {
     #[test]
     fn suppression_skipped_without_column_or_threshold() {
         let dom = Domain::categorical(vec!["a", "b"]);
-        let g = DomainGeneralization { widen: 1.0, snap: 0.0, suppress_below: 2 };
+        let g = DomainGeneralization {
+            widen: 1.0,
+            snap: 0.0,
+            suppress_below: 2,
+        };
         assert_eq!(g.apply_domain(&dom, None), dom);
-        let g0 = DomainGeneralization { widen: 1.0, snap: 0.0, suppress_below: 0 };
+        let g0 = DomainGeneralization {
+            widen: 1.0,
+            snap: 0.0,
+            suppress_below: 0,
+        };
         assert_eq!(g0.apply_domain(&dom, Some(&["a".into()])), dom);
     }
 
     #[test]
     fn theta_ratio_reflects_widening() {
-        let g = DomainGeneralization { widen: 4.0, snap: 0.0, suppress_below: 0 };
-        let ratio = g.continuous_theta_ratio(&Domain::continuous(0.0, 10.0)).unwrap();
+        let g = DomainGeneralization {
+            widen: 4.0,
+            snap: 0.0,
+            suppress_below: 0,
+        };
+        let ratio = g
+            .continuous_theta_ratio(&Domain::continuous(0.0, 10.0))
+            .unwrap();
         assert!((ratio - 0.25).abs() < 1e-12);
     }
 
@@ -170,7 +209,11 @@ mod tests {
         )
         .unwrap();
         let pkg = MetadataPackage::describe("p", &rel, vec![]).unwrap();
-        let g = DomainGeneralization { widen: 2.0, snap: 50.0, suppress_below: 2 };
+        let g = DomainGeneralization {
+            widen: 2.0,
+            snap: 50.0,
+            suppress_below: 2,
+        };
         let out = g.apply(&pkg, &rel).unwrap();
         let cont = out.attributes[1].domain.as_ref().unwrap();
         assert_eq!(cont.bounds(), Some((-50.0, 150.0)));

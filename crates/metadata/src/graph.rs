@@ -55,7 +55,9 @@ impl DependencyGraph {
     pub fn new(n_attrs: usize, deps: Vec<Dependency>) -> Result<Self, String> {
         for d in &deps {
             if d.rhs() >= n_attrs || d.lhs().iter().any(|a| a >= n_attrs) {
-                return Err(format!("dependency {d} references attribute out of range (n={n_attrs})"));
+                return Err(format!(
+                    "dependency {d} references attribute out of range (n={n_attrs})"
+                ));
             }
         }
         Ok(Self { n_attrs, deps })
@@ -102,8 +104,7 @@ impl DependencyGraph {
                 }
             }
         }
-        let mut queue: VecDeque<usize> =
-            (0..self.n_attrs).filter(|&a| indegree[a] == 0).collect();
+        let mut queue: VecDeque<usize> = (0..self.n_attrs).filter(|&a| indegree[a] == 0).collect();
         let mut order = Vec::with_capacity(self.n_attrs);
         while let Some(a) = queue.pop_front() {
             order.push(a);
@@ -128,7 +129,9 @@ impl DependencyGraph {
     /// * Cyclic dependency sets fall back to a deterministic order in which
     ///   cycle-breaking attributes become `Free`.
     pub fn plan(&self) -> Vec<PlanStep> {
-        let order = self.topo_order().unwrap_or_else(|| self.acyclic_fallback_order());
+        let order = self
+            .topo_order()
+            .unwrap_or_else(|| self.acyclic_fallback_order());
         let mut produced = AttrSet::empty();
         let mut plan = Vec::with_capacity(self.n_attrs);
         for &attr in &order {
@@ -164,7 +167,10 @@ impl DependencyGraph {
             let next_ready = (0..self.n_attrs).find(|&a| {
                 !emitted.contains(a)
                     && self.incoming(a).iter().all(|&i| {
-                        self.deps[i].lhs().iter().all(|l| emitted.contains(l) || l == a)
+                        self.deps[i]
+                            .lhs()
+                            .iter()
+                            .all(|l| emitted.contains(l) || l == a)
                     })
             });
             let next = next_ready
@@ -206,11 +212,7 @@ mod tests {
 
     #[test]
     fn plan_prefers_fd_over_rfd() {
-        let g = DependencyGraph::new(
-            2,
-            vec![OrderDep::ascending(0, 1).into(), fd(0, 1)],
-        )
-        .unwrap();
+        let g = DependencyGraph::new(2, vec![OrderDep::ascending(0, 1).into(), fd(0, 1)]).unwrap();
         let plan = g.plan();
         assert_eq!(plan[1], PlanStep::Derive { attr: 1, dep: 1 });
     }
@@ -231,7 +233,10 @@ mod tests {
         assert!(g.has_cycle());
         let plan = g.plan();
         assert_eq!(plan.len(), 2);
-        let derives = plan.iter().filter(|s| matches!(s, PlanStep::Derive { .. })).count();
+        let derives = plan
+            .iter()
+            .filter(|s| matches!(s, PlanStep::Derive { .. }))
+            .count();
         assert_eq!(derives, 1);
     }
 
@@ -241,8 +246,7 @@ mod tests {
         let dep: Dependency = Fd::new(vec![0, 1], 2).into();
         let g = DependencyGraph::new(3, vec![dep]).unwrap();
         let plan = g.plan();
-        let pos =
-            |a: usize| plan.iter().position(|s| s.attr() == a).unwrap();
+        let pos = |a: usize| plan.iter().position(|s| s.attr() == a).unwrap();
         assert!(pos(2) > pos(0) && pos(2) > pos(1));
         assert_eq!(plan[pos(2)], PlanStep::Derive { attr: 2, dep: 0 });
     }
@@ -269,11 +273,7 @@ mod tests {
 
     #[test]
     fn plan_covers_every_attribute_once() {
-        let g = DependencyGraph::new(
-            5,
-            vec![fd(0, 1), fd(1, 2), fd(3, 4), fd(0, 4)],
-        )
-        .unwrap();
+        let g = DependencyGraph::new(5, vec![fd(0, 1), fd(1, 2), fd(3, 4), fd(0, 4)]).unwrap();
         let plan = g.plan();
         let mut attrs: Vec<usize> = plan.iter().map(PlanStep::attr).collect();
         attrs.sort_unstable();

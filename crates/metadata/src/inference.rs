@@ -20,7 +20,10 @@ pub struct FdSet {
 impl FdSet {
     /// Creates an FD set over a schema of `n_attrs` attributes.
     pub fn new(n_attrs: usize) -> Self {
-        Self { fds: Vec::new(), n_attrs }
+        Self {
+            fds: Vec::new(),
+            n_attrs,
+        }
     }
 
     /// Creates an FD set from existing dependencies.
@@ -137,7 +140,10 @@ impl FdSet {
                 i += 1;
             }
         }
-        FdSet { fds: work, n_attrs: self.n_attrs }
+        FdSet {
+            fds: work,
+            n_attrs: self.n_attrs,
+        }
     }
 
     /// All candidate keys: minimal attribute sets whose closure is the full
@@ -150,7 +156,9 @@ impl FdSet {
         }
         // Attributes never appearing on any RHS must be in every key.
         let rhs_attrs: BTreeSet<usize> = self.fds.iter().map(|f| f.rhs).collect();
-        let core: AttrSet = (0..self.n_attrs).filter(|a| !rhs_attrs.contains(a)).collect();
+        let core: AttrSet = (0..self.n_attrs)
+            .filter(|a| !rhs_attrs.contains(a))
+            .collect();
 
         if self.closure(&core) == all {
             return vec![core];
@@ -224,7 +232,10 @@ impl FdSet {
         for a in &self.fds {
             for b in &self.fds {
                 if b.lhs.len() == 1 && b.lhs.contains(a.rhs) {
-                    let fd = Fd { lhs: a.lhs.clone(), rhs: b.rhs };
+                    let fd = Fd {
+                        lhs: a.lhs.clone(),
+                        rhs: b.rhs,
+                    };
                     if !fd.is_trivial() && !self.fds.contains(&fd) && !out.contains(&fd) {
                         out.push(fd);
                     }
@@ -248,7 +259,10 @@ mod tests {
         // 0→1, 1→2, {2,3}→4 over 5 attrs.
         let f = FdSet::from_fds(5, [fd(&[0], 1), fd(&[1], 2), fd(&[2, 3], 4)]);
         assert_eq!(f.closure(&AttrSet::single(0)).indices(), &[0, 1, 2]);
-        assert_eq!(f.closure(&AttrSet::from_iter([0, 3])).indices(), &[0, 1, 2, 3, 4]);
+        assert_eq!(
+            f.closure(&AttrSet::from_iter([0, 3])).indices(),
+            &[0, 1, 2, 3, 4]
+        );
         assert_eq!(f.closure(&AttrSet::single(4)).indices(), &[4]);
     }
 
@@ -376,10 +390,7 @@ mod tests {
 
     #[test]
     fn derivation_agrees_with_implies() {
-        let f = FdSet::from_fds(
-            5,
-            [fd(&[0], 1), fd(&[1, 2], 3), fd(&[3], 4), fd(&[4], 0)],
-        );
+        let f = FdSet::from_fds(5, [fd(&[0], 1), fd(&[1, 2], 3), fd(&[3], 4), fd(&[4], 0)]);
         for lhs in 0..5usize {
             for rhs in 0..5usize {
                 let candidate = fd(&[lhs], rhs);

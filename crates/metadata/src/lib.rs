@@ -31,15 +31,15 @@ mod seq;
 
 pub use attrset::AttrSet;
 pub use cfd::{ConditionalFd, PatternCell};
-pub use distribution::Distribution;
 pub use dependency::{
     pli_of_set, Afd, Dependency, DifferentialDep, Fd, NumericalDep, OrderDep, OrderDirection,
     OrderedFd,
 };
+pub use distribution::Distribution;
 pub use exchange::{AttributeMeta, MetadataPackage};
 pub use generalization::DomainGeneralization;
 pub use graph::{DependencyGraph, PlanStep};
 pub use inference::FdSet;
 pub use mfd::{discover_inds, InclusionDep, MetricFd};
-pub use seq::SequentialDep;
 pub use redaction::SharePolicy;
+pub use seq::SequentialDep;

@@ -34,11 +34,11 @@ impl MetricFd {
     /// `None` when Y has non-null non-numeric values, for which no metric
     /// exists).
     pub fn tight_delta(lhs: usize, rhs: usize, relation: &Relation) -> Result<Option<f64>> {
-        let ys = relation.column(rhs)?;
+        let ys = &relation.column_values(rhs)?;
         if ys.iter().any(|v| !v.is_null() && v.as_f64().is_none()) {
             return Ok(None);
         }
-        let pli = Pli::from_column(relation.column(lhs)?);
+        let pli = Pli::from_column(&relation.column_values(lhs)?);
         let mut delta = 0.0f64;
         for cluster in pli.clusters() {
             let nums: Vec<f64> = cluster.iter().filter_map(|&r| ys[r].as_f64()).collect();
@@ -94,11 +94,12 @@ impl InclusionDep {
     /// Exact validation: every non-null value of `from`'s column appears
     /// in `to`'s column.
     pub fn holds(&self, from: &Relation, to: &Relation) -> Result<bool> {
-        let mut haystack: Vec<&Value> = to.column(self.to_attr)?.iter().collect();
+        let to_vals = to.column_values(self.to_attr)?;
+        let mut haystack: Vec<&Value> = to_vals.iter().collect();
         haystack.sort();
         haystack.dedup();
         Ok(from
-            .column(self.from_attr)?
+            .column_values(self.from_attr)?
             .iter()
             .filter(|v| !v.is_null())
             .all(|v| haystack.binary_search(&v).is_ok()))
@@ -116,7 +117,7 @@ impl fmt::Display for InclusionDep {
 pub fn discover_inds(from: &Relation, to: &Relation) -> Result<Vec<InclusionDep>> {
     let mut out = Vec::new();
     for a in 0..from.arity() {
-        let non_null = from.column(a)?.iter().any(|v| !v.is_null());
+        let non_null = from.column(a)?.null_count() < from.n_rows();
         if !non_null {
             continue;
         }
@@ -143,7 +144,9 @@ mod tests {
         .unwrap();
         Relation::from_rows(
             schema,
-            vals.iter().map(|&(k, y)| vec![k.into(), y.into()]).collect(),
+            vals.iter()
+                .map(|&(k, y)| vec![k.into(), y.into()])
+                .collect(),
         )
         .unwrap()
     }
@@ -207,11 +210,8 @@ mod tests {
     #[test]
     fn ind_nulls_are_ignored_on_the_from_side() {
         let schema = Schema::new(vec![Attribute::categorical("k")]).unwrap();
-        let from = Relation::from_rows(
-            schema.clone(),
-            vec![vec!["a".into()], vec![Value::Null]],
-        )
-        .unwrap();
+        let from =
+            Relation::from_rows(schema.clone(), vec![vec!["a".into()], vec![Value::Null]]).unwrap();
         let to = Relation::from_rows(schema, vec![vec!["a".into()]]).unwrap();
         assert!(InclusionDep::new(0, 0).holds(&from, &to).unwrap());
     }
@@ -233,15 +233,17 @@ mod tests {
     #[test]
     fn ind_discovery_skips_all_null_columns() {
         let schema = Schema::new(vec![Attribute::categorical("k")]).unwrap();
-        let from =
-            Relation::from_rows(schema.clone(), vec![vec![Value::Null]]).unwrap();
+        let from = Relation::from_rows(schema.clone(), vec![vec![Value::Null]]).unwrap();
         let to = Relation::from_rows(schema, vec![vec!["a".into()]]).unwrap();
         assert!(discover_inds(&from, &to).unwrap().is_empty());
     }
 
     #[test]
     fn displays() {
-        assert_eq!(MetricFd::new(0, 1, 2.5).to_string(), "MFD 0 -> 1 (delta=2.5)");
+        assert_eq!(
+            MetricFd::new(0, 1, 2.5).to_string(),
+            "MFD 0 -> 1 (delta=2.5)"
+        );
         assert_eq!(InclusionDep::new(2, 3).to_string(), "IND from.2 ⊆ to.3");
     }
 }

@@ -30,22 +30,46 @@ pub struct SharePolicy {
 
 impl SharePolicy {
     /// Names only — the minimum for schema matching.
-    pub const NAMES_ONLY: SharePolicy =
-        SharePolicy { kinds: false, domains: false, distributions: false, row_count: false, fds: false, rfds: false };
+    pub const NAMES_ONLY: SharePolicy = SharePolicy {
+        kinds: false,
+        domains: false,
+        distributions: false,
+        row_count: false,
+        fds: false,
+        rfds: false,
+    };
 
     /// Names, kinds and domains — what the paper observes *"current
     /// federated learning frameworks"* commonly exchange (§III).
-    pub const NAMES_AND_DOMAINS: SharePolicy =
-        SharePolicy { kinds: true, domains: true, distributions: false, row_count: true, fds: false, rfds: false };
+    pub const NAMES_AND_DOMAINS: SharePolicy = SharePolicy {
+        kinds: true,
+        domains: true,
+        distributions: false,
+        row_count: true,
+        fds: false,
+        rfds: false,
+    };
 
     /// Everything: names, kinds, domains, row count and all dependencies.
-    pub const FULL: SharePolicy =
-        SharePolicy { kinds: true, domains: true, distributions: true, row_count: true, fds: true, rfds: true };
+    pub const FULL: SharePolicy = SharePolicy {
+        kinds: true,
+        domains: true,
+        distributions: true,
+        row_count: true,
+        fds: true,
+        rfds: true,
+    };
 
     /// The paper's recommendation (§VI): names and dependencies, but *no*
     /// domains or types.
-    pub const PAPER_RECOMMENDED: SharePolicy =
-        SharePolicy { kinds: false, domains: false, distributions: false, row_count: true, fds: true, rfds: true };
+    pub const PAPER_RECOMMENDED: SharePolicy = SharePolicy {
+        kinds: false,
+        domains: false,
+        distributions: false,
+        row_count: true,
+        fds: true,
+        rfds: true,
+    };
 
     /// Applies the policy, producing the redacted package that actually
     /// crosses the trust boundary.
@@ -57,7 +81,11 @@ impl SharePolicy {
                 name: a.name.clone(),
                 kind: if self.kinds { a.kind } else { None },
                 domain: if self.domains { a.domain.clone() } else { None },
-                distribution: if self.distributions { a.distribution.clone() } else { None },
+                distribution: if self.distributions {
+                    a.distribution.clone()
+                } else {
+                    None
+                },
             })
             .collect();
         let dependencies = pkg
@@ -92,7 +120,10 @@ mod tests {
         .unwrap();
         let rel = Relation::from_rows(
             schema,
-            vec![vec!["Sales".into(), 20.0.into()], vec!["CS".into(), 30.0.into()]],
+            vec![
+                vec!["Sales".into(), 20.0.into()],
+                vec!["CS".into(), 30.0.into()],
+            ],
         )
         .unwrap();
         MetadataPackage::describe(
@@ -108,7 +139,10 @@ mod tests {
         let out = SharePolicy::NAMES_ONLY.apply(&pkg());
         assert_eq!(out.arity(), 2);
         assert_eq!(out.attributes[0].name, "dept");
-        assert!(out.attributes.iter().all(|a| a.kind.is_none() && a.domain.is_none()));
+        assert!(out
+            .attributes
+            .iter()
+            .all(|a| a.kind.is_none() && a.domain.is_none()));
         assert!(out.dependencies.is_empty());
         assert_eq!(out.n_rows, None);
     }
@@ -137,14 +171,20 @@ mod tests {
 
     #[test]
     fn fd_rfd_split_is_respected() {
-        let only_fds =
-            SharePolicy { fds: true, rfds: false, ..SharePolicy::FULL };
+        let only_fds = SharePolicy {
+            fds: true,
+            rfds: false,
+            ..SharePolicy::FULL
+        };
         let out = only_fds.apply(&pkg());
         assert_eq!(out.dependencies.len(), 1);
         assert!(matches!(out.dependencies[0], Dependency::Fd(_)));
 
-        let only_rfds =
-            SharePolicy { fds: false, rfds: true, ..SharePolicy::FULL };
+        let only_rfds = SharePolicy {
+            fds: false,
+            rfds: true,
+            ..SharePolicy::FULL
+        };
         let out = only_rfds.apply(&pkg());
         assert_eq!(out.dependencies.len(), 1);
         assert!(matches!(out.dependencies[0], Dependency::Od(_)));

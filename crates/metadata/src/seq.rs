@@ -27,15 +27,20 @@ pub struct SequentialDep {
 impl SequentialDep {
     /// Creates the SD.
     pub fn new(lhs: usize, rhs: usize, min_gap: f64, max_gap: f64) -> Self {
-        Self { lhs, rhs, min_gap, max_gap }
+        Self {
+            lhs,
+            rhs,
+            min_gap,
+            max_gap,
+        }
     }
 
     /// Consecutive (by ascending X, nulls skipped, X-ties collapsed to
     /// their first row) Y-gaps of the relation. `None` if Y has non-null
     /// non-numeric values.
     pub fn gaps(lhs: usize, rhs: usize, relation: &Relation) -> Result<Option<Vec<f64>>> {
-        let xs = relation.column(lhs)?;
-        let ys = relation.column(rhs)?;
+        let xs = &relation.column_values(lhs)?;
+        let ys = &relation.column_values(rhs)?;
         if ys.iter().any(|v| !v.is_null() && v.as_f64().is_none()) {
             return Ok(None);
         }
@@ -106,14 +111,13 @@ mod tests {
     use mp_relation::{Attribute, Schema};
 
     fn rel(rows: &[(f64, f64)]) -> Relation {
-        let schema = Schema::new(vec![
-            Attribute::continuous("x"),
-            Attribute::continuous("y"),
-        ])
-        .unwrap();
+        let schema =
+            Schema::new(vec![Attribute::continuous("x"), Attribute::continuous("y")]).unwrap();
         Relation::from_rows(
             schema,
-            rows.iter().map(|&(x, y)| vec![x.into(), y.into()]).collect(),
+            rows.iter()
+                .map(|&(x, y)| vec![x.into(), y.into()])
+                .collect(),
         )
         .unwrap()
     }
@@ -160,7 +164,10 @@ mod tests {
     #[test]
     fn degenerate_inputs() {
         let r = rel(&[(1.0, 10.0)]);
-        assert_eq!(SequentialDep::gaps(0, 1, &r).unwrap().unwrap(), Vec::<f64>::new());
+        assert_eq!(
+            SequentialDep::gaps(0, 1, &r).unwrap().unwrap(),
+            Vec::<f64>::new()
+        );
         assert_eq!(SequentialDep::tight_bounds(0, 1, &r).unwrap(), None);
         // No pairs → holds vacuously.
         assert!(SequentialDep::new(0, 1, 0.0, 0.0).holds(&r).unwrap());

@@ -41,7 +41,10 @@ impl Default for CsvOptions {
 impl CsvOptions {
     /// Defaults plus the `#kinds` annotation row.
     pub fn with_kind_row() -> Self {
-        Self { kind_row: true, ..Self::default() }
+        Self {
+            kind_row: true,
+            ..Self::default()
+        }
     }
 }
 
@@ -92,7 +95,10 @@ pub fn parse_records(text: &str, delimiter: char) -> Result<Vec<Vec<String>>> {
         }
     }
     if in_quotes {
-        return Err(RelationError::Csv { line, message: "unterminated quoted field".into() });
+        return Err(RelationError::Csv {
+            line,
+            message: "unterminated quoted field".into(),
+        });
     }
     if any && (!field.is_empty() || !record.is_empty()) {
         record.push(field);
@@ -147,7 +153,10 @@ fn infer_kind(column: &[Value]) -> AttrKind {
 pub fn read_str(text: &str, opts: &CsvOptions) -> Result<Relation> {
     let mut records = parse_records(text, opts.delimiter)?;
     if records.is_empty() {
-        return Err(RelationError::Csv { line: 1, message: "empty input".into() });
+        return Err(RelationError::Csv {
+            line: 1,
+            message: "empty input".into(),
+        });
     }
     let header: Vec<String> = if opts.has_header {
         records.remove(0)
@@ -164,10 +173,7 @@ pub fn read_str(text: &str, opts: &CsvOptions) -> Result<Relation> {
                 if row.len() != arity {
                     return Err(RelationError::Csv {
                         line: 2,
-                        message: format!(
-                            "#kinds row has {} fields, expected {arity}",
-                            row.len()
-                        ),
+                        message: format!("#kinds row has {} fields, expected {arity}", row.len()),
                     });
                 }
                 let parse_kind = |f: &str, c: usize| match f.trim() {
@@ -250,9 +256,19 @@ pub fn write_str(relation: &Relation) -> String {
 /// so kinds round-trip through [`read_str`] with the same options.
 pub fn write_str_with(relation: &Relation, opts: &CsvOptions) -> String {
     let mut out = String::new();
-    let names: Vec<&str> =
-        relation.schema().attributes().iter().map(|a| a.name.as_str()).collect();
-    out.push_str(&names.iter().map(|n| escape(n)).collect::<Vec<_>>().join(","));
+    let names: Vec<&str> = relation
+        .schema()
+        .attributes()
+        .iter()
+        .map(|a| a.name.as_str())
+        .collect();
+    out.push_str(
+        &names
+            .iter()
+            .map(|n| escape(n))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
     out.push('\n');
     if opts.kind_row {
         let attrs = relation.schema().attributes();
@@ -299,12 +315,15 @@ mod tests {
         assert_eq!(r.n_rows(), 2);
         assert_eq!(r.schema().attribute(0).unwrap().kind, AttrKind::Categorical);
         assert_eq!(r.schema().attribute(1).unwrap().kind, AttrKind::Continuous);
-        assert_eq!(r.column_by_name("age").unwrap()[1], Value::Int(22));
+        assert_eq!(r.column_by_name("age").unwrap().value(1), Value::Int(22));
     }
 
     #[test]
     fn headerless_names_attrs_by_index() {
-        let opts = CsvOptions { has_header: false, ..Default::default() };
+        let opts = CsvOptions {
+            has_header: false,
+            ..Default::default()
+        };
         let r = read_str("1,2.5\n3,4.5\n", &opts).unwrap();
         assert_eq!(r.schema().attribute(0).unwrap().name, "attr0");
         assert_eq!(r.schema().attribute(1).unwrap().name, "attr1");
@@ -313,8 +332,8 @@ mod tests {
     #[test]
     fn question_mark_is_null() {
         let r = read_str("x,y\n?,1\n2,?\n", &CsvOptions::default()).unwrap();
-        assert_eq!(r.column(0).unwrap()[0], Value::Null);
-        assert_eq!(r.column(1).unwrap()[1], Value::Null);
+        assert_eq!(r.column(0).unwrap().value(0), Value::Null);
+        assert_eq!(r.column(1).unwrap().value(1), Value::Null);
         // Column with nulls and ints still infers continuous.
         assert_eq!(r.schema().attribute(0).unwrap().kind, AttrKind::Continuous);
     }
@@ -326,15 +345,24 @@ mod tests {
             &CsvOptions::default(),
         )
         .unwrap();
-        assert_eq!(r.column(0).unwrap()[0], Value::Text("Smith, John".into()));
-        assert_eq!(r.column(1).unwrap()[0], Value::Text("he said \"hi\"".into()));
+        assert_eq!(
+            r.column(0).unwrap().value(0),
+            Value::Text("Smith, John".into())
+        );
+        assert_eq!(
+            r.column(1).unwrap().value(0),
+            Value::Text("he said \"hi\"".into())
+        );
     }
 
     #[test]
     fn embedded_newline_in_quotes() {
         let r = read_str("a,b\n\"line1\nline2\",2\n", &CsvOptions::default()).unwrap();
         assert_eq!(r.n_rows(), 1);
-        assert_eq!(r.column(0).unwrap()[0], Value::Text("line1\nline2".into()));
+        assert_eq!(
+            r.column(0).unwrap().value(0),
+            Value::Text("line1\nline2".into())
+        );
     }
 
     #[test]
@@ -357,8 +385,8 @@ mod tests {
         let r = read_str("x\n1\nhello\n", &CsvOptions::default()).unwrap();
         assert_eq!(r.schema().attribute(0).unwrap().kind, AttrKind::Categorical);
         // The numeric is stringified so the column is homogeneous text.
-        assert_eq!(r.column(0).unwrap()[0], Value::Text("1".into()));
-        assert_eq!(r.column(0).unwrap()[1], Value::Text("hello".into()));
+        assert_eq!(r.column(0).unwrap().value(0), Value::Text("1".into()));
+        assert_eq!(r.column(0).unwrap().value(1), Value::Text("hello".into()));
     }
 
     #[test]
@@ -378,7 +406,11 @@ mod tests {
         .unwrap();
         let opts = CsvOptions::with_kind_row();
         let text = write_str_with(&r, &opts);
-        assert!(text.lines().nth(1).unwrap().starts_with("#kinds=categorical"));
+        assert!(text
+            .lines()
+            .nth(1)
+            .unwrap()
+            .starts_with("#kinds=categorical"));
         let back = read_str(&text, &opts).unwrap();
         assert_eq!(back.schema(), r.schema());
         assert_eq!(back, r);
@@ -391,29 +423,44 @@ mod tests {
     #[test]
     fn malformed_kind_row_errors() {
         let opts = CsvOptions::with_kind_row();
-        let err = read_str("a,b
+        let err = read_str(
+            "a,b
 #kinds=categorical,weird
 1,2
-", &opts).unwrap_err();
+",
+            &opts,
+        )
+        .unwrap_err();
         assert!(matches!(err, RelationError::Csv { line: 2, .. }));
-        let err = read_str("a,b
+        let err = read_str(
+            "a,b
 #kinds=categorical
 1,2
-", &opts).unwrap_err();
+",
+            &opts,
+        )
+        .unwrap_err();
         assert!(matches!(err, RelationError::Csv { line: 2, .. }));
     }
 
     #[test]
     fn nan_and_inf_stay_text() {
-        let r = read_str("x
+        let r = read_str(
+            "x
 nan
 inf
 -inf
 NaN
-", &CsvOptions::default()).unwrap();
+",
+            &CsvOptions::default(),
+        )
+        .unwrap();
         assert_eq!(r.schema().attribute(0).unwrap().kind, AttrKind::Categorical);
-        for v in r.column(0).unwrap() {
-            assert!(matches!(v, Value::Text(_)), "{v:?} should be text");
+        for v in r.column(0).unwrap().iter() {
+            assert!(
+                matches!(v, crate::value::ValueRef::Text(_)),
+                "{v:?} should be text"
+            );
         }
     }
 

@@ -94,9 +94,7 @@ impl Domain {
     pub fn contains(&self, v: &Value) -> bool {
         match self {
             Domain::Categorical(vals) => vals.binary_search(v).is_ok(),
-            Domain::Continuous { min, max } => {
-                v.as_f64().is_some_and(|x| x >= *min && x <= *max)
-            }
+            Domain::Continuous { min, max } => v.as_f64().is_some_and(|x| x >= *min && x <= *max),
         }
     }
 
@@ -114,13 +112,13 @@ impl Domain {
         let column = relation.column(col)?;
         match attr.kind {
             AttrKind::Categorical => {
-                let mut vals: Vec<Value> = column.to_vec();
+                let mut vals: Vec<Value> = column.to_values();
                 vals.sort();
                 vals.dedup();
                 Ok(Domain::Categorical(vals))
             }
             AttrKind::Continuous => {
-                let mut it = column.iter().filter_map(Value::as_f64);
+                let mut it = column.iter().filter_map(|v| v.as_f64());
                 let first = it.next().ok_or(RelationError::EmptyRelation)?;
                 let (min, max) = it.fold((first, first), |(lo, hi), x| (lo.min(x), hi.max(x)));
                 Ok(Domain::Continuous { min, max })
@@ -130,7 +128,9 @@ impl Domain {
 
     /// Infers the domain of every column.
     pub fn infer_all(relation: &Relation) -> Result<Vec<Domain>> {
-        (0..relation.arity()).map(|c| Domain::infer(relation, c)).collect()
+        (0..relation.arity())
+            .map(|c| Domain::infer(relation, c))
+            .collect()
     }
 
     /// The paper's per-cell correct-generation probability θ_A for uniform
@@ -223,7 +223,10 @@ mod tests {
     fn continuous_all_null_is_error() {
         let schema = Schema::new(vec![Attribute::continuous("x")]).unwrap();
         let r = Relation::from_rows(schema, vec![vec![Value::Null], vec![Value::Null]]).unwrap();
-        assert!(matches!(Domain::infer(&r, 0), Err(RelationError::EmptyRelation)));
+        assert!(matches!(
+            Domain::infer(&r, 0),
+            Err(RelationError::EmptyRelation)
+        ));
     }
 
     #[test]

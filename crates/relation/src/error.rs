@@ -12,6 +12,16 @@ pub enum RelationError {
         /// Number of values supplied.
         got: usize,
     },
+    /// A column supplied to `from_columns` had a different length than the
+    /// first column.
+    ColumnLengthMismatch {
+        /// Name of the offending column.
+        column: String,
+        /// Length of the first column (the expected row count).
+        expected: usize,
+        /// Length of the offending column.
+        got: usize,
+    },
     /// A value's type did not match the column's established type.
     TypeMismatch {
         /// Column name.
@@ -49,16 +59,39 @@ impl fmt::Display for RelationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RelationError::ArityMismatch { expected, got } => {
-                write!(f, "row arity mismatch: schema has {expected} attributes, row has {got}")
+                write!(
+                    f,
+                    "row arity mismatch: schema has {expected} attributes, row has {got}"
+                )
             }
-            RelationError::TypeMismatch { column, expected, got } => {
-                write!(f, "type mismatch in column `{column}`: expected {expected}, got {got}")
+            RelationError::ColumnLengthMismatch {
+                column,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "column `{column}` has {got} rows, expected {expected} to match the first column"
+                )
+            }
+            RelationError::TypeMismatch {
+                column,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "type mismatch in column `{column}`: expected {expected}, got {got}"
+                )
             }
             RelationError::UnknownAttribute(name) => {
                 write!(f, "unknown attribute `{name}`")
             }
             RelationError::IndexOutOfBounds { index, len } => {
-                write!(f, "attribute index {index} out of bounds for schema of {len} attributes")
+                write!(
+                    f,
+                    "attribute index {index} out of bounds for schema of {len} attributes"
+                )
             }
             RelationError::DuplicateAttribute(name) => {
                 write!(f, "duplicate attribute name `{name}`")
@@ -89,7 +122,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = RelationError::ArityMismatch { expected: 4, got: 3 };
+        let e = RelationError::ArityMismatch {
+            expected: 4,
+            got: 3,
+        };
         assert!(e.to_string().contains("4"));
         assert!(e.to_string().contains("3"));
 
@@ -101,8 +137,20 @@ mod tests {
         assert!(e.to_string().contains("age"));
         assert!(e.to_string().contains("int"));
 
-        let e = RelationError::Csv { line: 7, message: "unterminated quote".into() };
+        let e = RelationError::Csv {
+            line: 7,
+            message: "unterminated quote".into(),
+        };
         assert!(e.to_string().contains("line 7"));
+
+        let e = RelationError::ColumnLengthMismatch {
+            column: "score".into(),
+            expected: 10,
+            got: 7,
+        };
+        assert!(e.to_string().contains("score"));
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("7"));
     }
 
     #[test]

@@ -6,8 +6,12 @@
 //!
 //! It provides:
 //!
-//! * [`Value`] — dynamically typed cells with a total order suitable for
-//!   grouping and sorting;
+//! * [`Value`] / [`ValueRef`] — dynamically typed cells (owned and
+//!   borrowing views) with a total order suitable for grouping and
+//!   sorting;
+//! * [`Column`] — typed columnar storage: dictionary-encoded categorical
+//!   codes (code 0 = null) and `i64`/`f64` vectors with null bitmaps,
+//!   with a boxed fallback for heterogeneous columns;
 //! * [`Schema`] / [`Attribute`] / [`AttrKind`] — named, kinded attributes
 //!   (the paper's categorical/continuous split);
 //! * [`Relation`] — column-oriented tables with typed construction,
@@ -25,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+mod column;
 pub mod csv;
 mod domain;
 mod error;
@@ -37,6 +42,7 @@ mod schema;
 mod stats;
 mod value;
 
+pub use column::{Bitmap, Column, ColumnBuilder};
 pub use domain::Domain;
 pub use error::{RelationError, Result};
 pub use partition::Pli;
@@ -44,4 +50,4 @@ pub use pli_cache::{PliCache, PliCacheStats};
 pub use relation::{Relation, RelationBuilder};
 pub use schema::{AttrKind, Attribute, Schema};
 pub use stats::{quantile, quartiles, ColumnStats, Histogram};
-pub use value::Value;
+pub use value::{Value, ValueRef};

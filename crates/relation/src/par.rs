@@ -15,7 +15,9 @@ use std::sync::Mutex;
 /// available parallelism", anything else is taken literally.
 pub fn effective_threads(requested: usize) -> usize {
     if requested == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     } else {
         requested
     }
@@ -44,8 +46,10 @@ where
     // Hand out items by index; slots hold inputs going in and outputs
     // coming back, so ordering is positional and lock-free reads are
     // never needed.
-    let inputs: Vec<Mutex<Option<T>>> =
-        items.into_iter().map(|item| Mutex::new(Some(item))).collect();
+    let inputs: Vec<Mutex<Option<T>>> = items
+        .into_iter()
+        .map(|item| Mutex::new(Some(item)))
+        .collect();
     let outputs: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
 

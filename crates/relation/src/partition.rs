@@ -6,6 +6,7 @@
 //! (the inner loop of level-wise FD discovery) proportional to the number of
 //! duplicated tuples rather than |R|.
 
+use crate::column::Column;
 use crate::value::Value;
 use std::collections::HashMap;
 
@@ -27,11 +28,55 @@ impl Pli {
         for (i, v) in column.iter().enumerate() {
             groups.entry(v).or_default().push(i);
         }
-        let mut clusters: Vec<Vec<usize>> =
-            groups.into_values().filter(|g| g.len() >= 2).collect();
+        let mut clusters: Vec<Vec<usize>> = groups.into_values().filter(|g| g.len() >= 2).collect();
         // Rows were pushed in index order, so each cluster is sorted already.
         clusters.sort_by_key(|c| c[0]);
-        Self { clusters, n_rows: column.len() }
+        Self {
+            clusters,
+            n_rows: column.len(),
+        }
+    }
+
+    /// Builds the stripped partition of a typed column, grouping by the
+    /// column's equality-class codes — a single counting-style pass with no
+    /// `Value` hashing. Produces output identical to [`Pli::from_column`]
+    /// over the materialised values.
+    pub fn from_typed(column: &Column) -> Self {
+        let (codes, n_codes) = column.group_codes();
+        Self::from_codes(&codes, n_codes)
+    }
+
+    /// Builds the stripped partition from per-row equality-class codes
+    /// (`codes[i] < n_codes` for all rows; two rows share a code iff their
+    /// cells are equal). Counting-style: one pass to size each group, one
+    /// pass to scatter row indices, so clusters come out internally sorted
+    /// without hashing.
+    pub fn from_codes(codes: &[u32], n_codes: usize) -> Self {
+        let mut counts = vec![0u32; n_codes];
+        for &c in codes {
+            counts[c as usize] += 1;
+        }
+        // Only codes occurring ≥ 2 times produce (stripped) clusters.
+        let mut slot = vec![usize::MAX; n_codes];
+        let mut clusters: Vec<Vec<usize>> = Vec::new();
+        for (code, &count) in counts.iter().enumerate() {
+            if count >= 2 {
+                slot[code] = clusters.len();
+                clusters.push(Vec::with_capacity(count as usize));
+            }
+        }
+        for (row, &c) in codes.iter().enumerate() {
+            let s = slot[c as usize];
+            if s != usize::MAX {
+                clusters[s].push(row);
+            }
+        }
+        // Rows were scattered in index order, so each cluster is sorted.
+        clusters.sort_by_key(|c| c[0]);
+        Self {
+            clusters,
+            n_rows: codes.len(),
+        }
     }
 
     /// Builds a partition directly from clusters (used by tests and by
@@ -49,9 +94,15 @@ impl Pli {
     /// attribute set: all tuples agree on ∅).
     pub fn unit(n_rows: usize) -> Self {
         if n_rows >= 2 {
-            Self { clusters: vec![(0..n_rows).collect()], n_rows }
+            Self {
+                clusters: vec![(0..n_rows).collect()],
+                n_rows,
+            }
         } else {
-            Self { clusters: vec![], n_rows }
+            Self {
+                clusters: vec![],
+                n_rows,
+            }
         }
     }
 
@@ -150,7 +201,10 @@ impl Pli {
             }
         }
         out.sort_by_key(|c| c[0]);
-        Pli { clusters: out, n_rows: self.n_rows }
+        Pli {
+            clusters: out,
+            n_rows: self.n_rows,
+        }
     }
 
     /// `true` iff this partition refines `other`: every cluster of `self`
@@ -327,5 +381,38 @@ mod tests {
         assert!(p.is_key());
         assert_eq!(p.key_error(), 0.0);
         assert_eq!(p.g3_error(&[]), 0.0);
+    }
+
+    #[test]
+    fn from_codes_matches_from_column() {
+        // codes: 1 1 2 0 0 3 1 → clusters {0,1,6} {3,4}
+        let p = Pli::from_codes(&[1, 1, 2, 0, 0, 3, 1], 4);
+        assert_eq!(p.clusters(), &[vec![0, 1, 6], vec![3, 4]]);
+        assert_eq!(p, Pli::from_column(&vals(&[1, 1, 2, 0, 0, 3, 1])));
+        assert!(Pli::from_codes(&[], 0).is_key());
+    }
+
+    #[test]
+    fn from_typed_matches_from_column() {
+        use crate::value::Value;
+        let values = vec![
+            Value::Int(2),
+            Value::Float(2.0),
+            Value::Null,
+            Value::Null,
+            Value::Float(f64::NAN),
+            Value::Float(-f64::NAN),
+            Value::Int(2),
+        ];
+        let boxed = Column::Boxed(values.clone());
+        assert_eq!(Pli::from_typed(&boxed), Pli::from_column(&values));
+
+        // Typed float layout with the int mask groups identically.
+        let mut col = Column::default();
+        for v in &values {
+            col.push_value(v.clone());
+        }
+        assert!(matches!(col, Column::Float { .. }));
+        assert_eq!(Pli::from_typed(&col), Pli::from_column(&values));
     }
 }

@@ -101,7 +101,10 @@ impl PliCache {
     /// baseline and for relations too wide to key).
     pub fn new(capacity: usize) -> Self {
         PliCache {
-            inner: Mutex::new(Inner { map: HashMap::new(), tick: 0 }),
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
             capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -180,13 +183,23 @@ impl PliCache {
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
-        inner.map.insert(key, Entry { pli: Arc::clone(&pli), last_used: tick });
+        inner.map.insert(
+            key,
+            Entry {
+                pli: Arc::clone(&pli),
+                last_used: tick,
+            },
+        );
         pli
     }
 
     /// Drops every entry (counters are kept).
     pub fn clear(&self) {
-        self.inner.lock().expect("PliCache lock poisoned").map.clear();
+        self.inner
+            .lock()
+            .expect("PliCache lock poisoned")
+            .map
+            .clear();
     }
 
     /// Snapshot of the counters.
@@ -252,7 +265,10 @@ mod tests {
         let cache = PliCache::new(4);
         let a = cache.insert(7, pli(&[1, 1, 2, 2]));
         let b = cache.insert(7, pli(&[1, 1, 2, 2]));
-        assert!(Arc::ptr_eq(&a, &b), "second insert returns the resident Arc");
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "second insert returns the resident Arc"
+        );
         assert_eq!(cache.len(), 1);
     }
 
@@ -268,8 +284,7 @@ mod tests {
                         match cache.get(key) {
                             Some(p) => assert_eq!(p.n_rows(), key as usize + 1),
                             None => {
-                                let vals: Vec<i64> =
-                                    (0..=key as i64).map(|v| v % 3).collect();
+                                let vals: Vec<i64> = (0..=key as i64).map(|v| v % 3).collect();
                                 cache.insert(key, pli(&vals));
                             }
                         }

@@ -1,28 +1,38 @@
 //! Column-oriented relations (tables).
 
+use crate::column::{check_column_kind, check_kind, Column, ColumnBuilder};
 use crate::error::{RelationError, Result};
-use crate::schema::{AttrKind, Attribute, Schema};
-use crate::value::Value;
-use serde::{Deserialize, Serialize};
+use crate::schema::Schema;
+use crate::value::{Value, ValueRef};
+use serde::{content_get, Content, DeError, Deserialize, Serialize};
 use std::fmt;
 
-/// A relation: a schema plus column-oriented storage.
+/// A relation: a schema plus typed column-oriented storage.
 ///
-/// Storage is one `Vec<Value>` per attribute, which suits the access
-/// patterns of dependency discovery (whole-column scans) and of the paper's
-/// leakage measurements (index-aligned column comparisons).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// Storage is one [`Column`] per attribute — dictionary-encoded codes for
+/// categorical text, `i64`/`f64` vectors with null bitmaps for numerics —
+/// which suits the access patterns of dependency discovery (whole-column
+/// PLI grouping) and of the paper's leakage measurements (index-aligned
+/// column comparisons). [`Value`] remains the boundary type: rows go in
+/// and out as `Vec<Value>`, and [`Relation::column_values`] materialises a
+/// column for Value-level consumers (CSV, serde packages, naive oracle
+/// baselines).
+#[derive(Debug, Clone, PartialEq)]
 pub struct Relation {
     schema: Schema,
-    columns: Vec<Vec<Value>>,
+    columns: Vec<Column>,
     n_rows: usize,
 }
 
 impl Relation {
     /// Creates an empty relation with the given schema.
     pub fn empty(schema: Schema) -> Self {
-        let columns = vec![Vec::new(); schema.arity()];
-        Self { schema, columns, n_rows: 0 }
+        let columns = (0..schema.arity()).map(|_| Column::default()).collect();
+        Self {
+            schema,
+            columns,
+            n_rows: 0,
+        }
     }
 
     /// Builds a relation from rows, checking arity and column type
@@ -35,10 +45,11 @@ impl Relation {
         Ok(builder.finish())
     }
 
-    /// Builds a relation directly from columns.
+    /// Builds a relation directly from `Value` columns (the boundary
+    /// representation).
     ///
-    /// All columns must have equal length; types are checked the same way as
-    /// [`Relation::from_rows`].
+    /// All columns must have equal length; types are checked the same way
+    /// as [`Relation::from_rows`].
     pub fn from_columns(schema: Schema, columns: Vec<Vec<Value>>) -> Result<Self> {
         if columns.len() != schema.arity() {
             return Err(RelationError::ArityMismatch {
@@ -47,13 +58,57 @@ impl Relation {
             });
         }
         let n_rows = columns.first().map_or(0, Vec::len);
-        for (i, col) in columns.iter().enumerate() {
+        let mut typed = Vec::with_capacity(columns.len());
+        for (i, col) in columns.into_iter().enumerate() {
+            let attr = schema.attribute(i)?.clone();
             if col.len() != n_rows {
-                return Err(RelationError::ArityMismatch { expected: n_rows, got: col.len() });
+                return Err(RelationError::ColumnLengthMismatch {
+                    column: attr.name.clone(),
+                    expected: n_rows,
+                    got: col.len(),
+                });
             }
-            check_column_homogeneous(schema.attribute(i)?, col)?;
+            let mut b = ColumnBuilder::new(attr);
+            for v in col {
+                b.push(v)?;
+            }
+            typed.push(b.finish());
         }
-        Ok(Self { schema, columns, n_rows })
+        Ok(Self {
+            schema,
+            columns: typed,
+            n_rows,
+        })
+    }
+
+    /// Builds a relation directly from typed columns — the fast path for
+    /// generators that already produce codes/floats. Lengths and kind
+    /// compatibility are checked; homogeneity is implied by the typed
+    /// layouts (boxed columns are scanned).
+    pub fn from_typed_columns(schema: Schema, columns: Vec<Column>) -> Result<Self> {
+        if columns.len() != schema.arity() {
+            return Err(RelationError::ArityMismatch {
+                expected: schema.arity(),
+                got: columns.len(),
+            });
+        }
+        let n_rows = columns.first().map_or(0, Column::len);
+        for (i, col) in columns.iter().enumerate() {
+            let attr = schema.attribute(i)?;
+            if col.len() != n_rows {
+                return Err(RelationError::ColumnLengthMismatch {
+                    column: attr.name.clone(),
+                    expected: n_rows,
+                    got: col.len(),
+                });
+            }
+            check_column_kind(attr, col)?;
+        }
+        Ok(Self {
+            schema,
+            columns,
+            n_rows,
+        })
     }
 
     /// The relation's schema.
@@ -76,37 +131,65 @@ impl Relation {
         self.n_rows == 0
     }
 
-    /// The column at `index`.
-    pub fn column(&self, index: usize) -> Result<&[Value]> {
+    /// The typed column at `index`.
+    pub fn column(&self, index: usize) -> Result<&Column> {
         self.columns
             .get(index)
-            .map(Vec::as_slice)
-            .ok_or(RelationError::IndexOutOfBounds { index, len: self.columns.len() })
+            .ok_or(RelationError::IndexOutOfBounds {
+                index,
+                len: self.columns.len(),
+            })
     }
 
-    /// The column named `name`.
-    pub fn column_by_name(&self, name: &str) -> Result<&[Value]> {
+    /// The typed column named `name`.
+    pub fn column_by_name(&self, name: &str) -> Result<&Column> {
         let idx = self.schema.index_of(name)?;
         self.column(idx)
     }
 
-    /// The cell at (`row`, `col`).
-    pub fn value(&self, row: usize, col: usize) -> Result<&Value> {
+    /// The column at `index` materialised as owned [`Value`]s — the
+    /// boundary representation for Value-level consumers (naive baselines,
+    /// exchange packages).
+    pub fn column_values(&self, index: usize) -> Result<Vec<Value>> {
+        Ok(self.column(index)?.to_values())
+    }
+
+    /// The column named `name` materialised as owned [`Value`]s.
+    pub fn column_values_by_name(&self, name: &str) -> Result<Vec<Value>> {
+        Ok(self.column_by_name(name)?.to_values())
+    }
+
+    /// The cell at (`row`, `col`), materialised.
+    pub fn value(&self, row: usize, col: usize) -> Result<Value> {
+        Ok(self.value_ref(row, col)?.to_value())
+    }
+
+    /// Borrowing view of the cell at (`row`, `col`).
+    pub fn value_ref(&self, row: usize, col: usize) -> Result<ValueRef<'_>> {
         let column = self.column(col)?;
-        column.get(row).ok_or(RelationError::IndexOutOfBounds { index: row, len: self.n_rows })
+        if row >= self.n_rows {
+            return Err(RelationError::IndexOutOfBounds {
+                index: row,
+                len: self.n_rows,
+            });
+        }
+        Ok(column.value_ref(row))
     }
 
     /// Materialises row `row` as an owned vector.
     pub fn row(&self, row: usize) -> Result<Vec<Value>> {
         if row >= self.n_rows {
-            return Err(RelationError::IndexOutOfBounds { index: row, len: self.n_rows });
+            return Err(RelationError::IndexOutOfBounds {
+                index: row,
+                len: self.n_rows,
+            });
         }
-        Ok(self.columns.iter().map(|c| c[row].clone()).collect())
+        Ok(self.columns.iter().map(|c| c.value(row)).collect())
     }
 
     /// Iterator over materialised rows.
     pub fn rows(&self) -> impl Iterator<Item = Vec<Value>> + '_ {
-        (0..self.n_rows).map(move |r| self.columns.iter().map(|c| c[r].clone()).collect())
+        (0..self.n_rows).map(move |r| self.columns.iter().map(|c| c.value(r)).collect())
     }
 
     /// Projection onto the attributes at `indices` (vertical slice).
@@ -114,35 +197,46 @@ impl Relation {
         let schema = self.schema.project(indices)?;
         let mut columns = Vec::with_capacity(indices.len());
         for &i in indices {
-            columns.push(self.column(i)?.to_vec());
+            columns.push(self.column(i)?.clone());
         }
-        Ok(Relation { schema, columns, n_rows: self.n_rows })
+        Ok(Relation {
+            schema,
+            columns,
+            n_rows: self.n_rows,
+        })
     }
 
     /// Projection by attribute names.
     pub fn project_names(&self, names: &[&str]) -> Result<Relation> {
-        let indices: Vec<usize> =
-            names.iter().map(|n| self.schema.index_of(n)).collect::<Result<_>>()?;
+        let indices: Vec<usize> = names
+            .iter()
+            .map(|n| self.schema.index_of(n))
+            .collect::<Result<_>>()?;
         self.project(&indices)
     }
 
     /// Horizontal slice keeping only the tuples at `row_indices`
     /// (in the given order). Used to realise PSI-aligned intersections.
+    /// Dictionary-encoded columns copy codes, not strings.
     pub fn select_rows(&self, row_indices: &[usize]) -> Result<Relation> {
         for &r in row_indices {
             if r >= self.n_rows {
-                return Err(RelationError::IndexOutOfBounds { index: r, len: self.n_rows });
+                return Err(RelationError::IndexOutOfBounds {
+                    index: r,
+                    len: self.n_rows,
+                });
             }
         }
-        let columns = self
-            .columns
-            .iter()
-            .map(|c| row_indices.iter().map(|&r| c[r].clone()).collect())
-            .collect();
-        Ok(Relation { schema: self.schema.clone(), columns, n_rows: row_indices.len() })
+        let columns = self.columns.iter().map(|c| c.select(row_indices)).collect();
+        Ok(Relation {
+            schema: self.schema.clone(),
+            columns,
+            n_rows: row_indices.len(),
+        })
     }
 
-    /// Appends a row (type-checked).
+    /// Appends a row (type-checked; a failed row leaves the relation
+    /// unchanged).
     pub fn push_row(&mut self, row: Vec<Value>) -> Result<()> {
         if row.len() != self.schema.arity() {
             return Err(RelationError::ArityMismatch {
@@ -151,17 +245,18 @@ impl Relation {
             });
         }
         for (i, v) in row.iter().enumerate() {
-            check_value(self.schema.attribute(i)?, &self.columns[i], v)?;
+            check_kind(self.schema.attribute(i)?, &self.columns[i], v)?;
         }
         for (i, v) in row.into_iter().enumerate() {
-            self.columns[i].push(v);
+            self.columns[i].push_value(v);
         }
         self.n_rows += 1;
         Ok(())
     }
 
     /// Appends all rows of `other` (schemas must be equal). Used when
-    /// recombining horizontal slices.
+    /// recombining horizontal slices. Dictionary columns merge their
+    /// dictionaries and remap codes.
     pub fn append(&mut self, other: &Relation) -> Result<()> {
         if self.schema != *other.schema() {
             return Err(RelationError::ArityMismatch {
@@ -170,7 +265,7 @@ impl Relation {
             });
         }
         for (mine, theirs) in self.columns.iter_mut().zip(&other.columns) {
-            mine.extend(theirs.iter().cloned());
+            mine.extend_from(theirs);
         }
         self.n_rows += other.n_rows;
         Ok(())
@@ -181,101 +276,130 @@ impl Relation {
     pub fn sorted_by_column(&self, col: usize) -> Result<Relation> {
         let key = self.column(col)?;
         let mut order: Vec<usize> = (0..self.n_rows).collect();
-        order.sort_by(|&a, &b| key[a].cmp(&key[b]));
+        order.sort_by(|&a, &b| key.value_ref(a).cmp(&key.value_ref(b)));
         self.select_rows(&order)
     }
 
     /// Rows where `predicate` holds on the value of column `col`.
     pub fn filter_rows<F>(&self, col: usize, predicate: F) -> Result<Relation>
     where
-        F: Fn(&Value) -> bool,
+        F: Fn(ValueRef<'_>) -> bool,
     {
         let column = self.column(col)?;
-        let keep: Vec<usize> =
-            (0..self.n_rows).filter(|&r| predicate(&column[r])).collect();
+        let keep: Vec<usize> = (0..self.n_rows)
+            .filter(|&r| predicate(column.value_ref(r)))
+            .collect();
         self.select_rows(&keep)
     }
 
     /// Number of distinct values in column `col` (nulls count as one value).
     pub fn distinct_count(&self, col: usize) -> Result<usize> {
-        let mut vals: Vec<&Value> = self.column(col)?.iter().collect();
-        vals.sort();
-        vals.dedup();
-        Ok(vals.len())
+        Ok(self.column(col)?.distinct_count())
     }
 }
 
-/// Checks a single value against the column's established non-null type.
-fn check_value(attr: &Attribute, column: &[Value], v: &Value) -> Result<()> {
-    if v.is_null() {
-        return Ok(());
+// Manual serde impls preserving the wire shape of the former derived
+// `Vec<Vec<Value>>` storage: columns serialize as arrays of Values, so
+// exchange packages written before the columnar refactor still parse and
+// new packages stay readable by Value-level consumers.
+impl Serialize for Relation {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("schema".to_owned(), self.schema.to_content()),
+            (
+                "columns".to_owned(),
+                Content::Seq(
+                    self.columns
+                        .iter()
+                        .map(|c| c.to_values().to_content())
+                        .collect(),
+                ),
+            ),
+            ("n_rows".to_owned(), self.n_rows.to_content()),
+        ])
     }
-    // Continuous columns accept any numeric; categorical accept a single
-    // non-null variant (established by the first non-null value).
-    match attr.kind {
-        AttrKind::Continuous => {
-            if v.as_f64().is_none() {
-                return Err(RelationError::TypeMismatch {
-                    column: attr.name.clone(),
-                    expected: "numeric",
-                    got: v.type_name(),
-                });
-            }
-        }
-        AttrKind::Categorical => {
-            if let Some(first) = column.iter().find(|x| !x.is_null()) {
-                let same = matches!(
-                    (first, v),
-                    (Value::Int(_), Value::Int(_))
-                        | (Value::Float(_), Value::Float(_))
-                        | (Value::Text(_), Value::Text(_))
-                );
-                if !same {
-                    return Err(RelationError::TypeMismatch {
-                        column: attr.name.clone(),
-                        expected: first.type_name(),
-                        got: v.type_name(),
-                    });
-                }
-            }
-        }
-    }
-    Ok(())
 }
 
-/// Checks a whole column for homogeneity.
-fn check_column_homogeneous(attr: &Attribute, col: &[Value]) -> Result<()> {
-    let mut seen: Vec<Value> = Vec::new();
-    for v in col {
-        check_value(attr, &seen, v)?;
-        if !v.is_null() && seen.is_empty() {
-            seen.push(v.clone());
+impl Deserialize for Relation {
+    fn from_content(content: &Content) -> std::result::Result<Self, DeError> {
+        let map = content
+            .as_map()
+            .ok_or_else(|| DeError::expected("object", "Relation", content))?;
+        let schema = Schema::from_content(
+            content_get(map, "schema")
+                .ok_or_else(|| DeError::missing_field("schema", "Relation"))?,
+        )?;
+        let columns = Vec::<Vec<Value>>::from_content(
+            content_get(map, "columns")
+                .ok_or_else(|| DeError::missing_field("columns", "Relation"))?,
+        )?;
+        let n_rows = usize::from_content(
+            content_get(map, "n_rows")
+                .ok_or_else(|| DeError::missing_field("n_rows", "Relation"))?,
+        )?;
+        let relation = Relation::from_columns(schema, columns)
+            .map_err(|e| DeError::custom(format!("invalid Relation: {e}")))?;
+        if relation.n_rows() != n_rows {
+            return Err(DeError::custom(format!(
+                "Relation n_rows field says {n_rows} but columns have {} rows",
+                relation.n_rows()
+            )));
         }
+        Ok(relation)
     }
-    Ok(())
 }
 
-/// Incremental, type-checked relation builder.
+/// Incremental, type-checked relation builder. Categorical cells go
+/// through a hashed dictionary lookup, so bulk loads pay O(1) per cell.
 #[derive(Debug, Clone)]
 pub struct RelationBuilder {
-    relation: Relation,
+    schema: Schema,
+    builders: Vec<ColumnBuilder>,
+    n_rows: usize,
 }
 
 impl RelationBuilder {
     /// Starts an empty builder over `schema`.
     pub fn new(schema: Schema) -> Self {
-        Self { relation: Relation::empty(schema) }
+        let builders = (0..schema.arity())
+            .map(|i| ColumnBuilder::new(schema.attribute(i).expect("index in range").clone()))
+            .collect();
+        Self {
+            schema,
+            builders,
+            n_rows: 0,
+        }
     }
 
-    /// Appends a row.
+    /// Appends a row (a failed row leaves no partial state).
     pub fn push_row(&mut self, row: Vec<Value>) -> Result<&mut Self> {
-        self.relation.push_row(row)?;
+        if row.len() != self.schema.arity() {
+            return Err(RelationError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: row.len(),
+            });
+        }
+        for (b, v) in self.builders.iter().zip(&row) {
+            b.check(v)?;
+        }
+        for (b, v) in self.builders.iter_mut().zip(row) {
+            b.push(v)?;
+        }
+        self.n_rows += 1;
         Ok(self)
     }
 
     /// Finishes the build.
     pub fn finish(self) -> Relation {
-        self.relation
+        Relation {
+            schema: self.schema,
+            columns: self
+                .builders
+                .into_iter()
+                .map(ColumnBuilder::finish)
+                .collect(),
+            n_rows: self.n_rows,
+        }
     }
 }
 
@@ -283,7 +407,11 @@ impl fmt::Display for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{}", self.schema)?;
         for r in 0..self.n_rows.min(20) {
-            let cells: Vec<String> = self.columns.iter().map(|c| c[r].to_string()).collect();
+            let cells: Vec<String> = self
+                .columns
+                .iter()
+                .map(|c| c.value_ref(r).to_string())
+                .collect();
             writeln!(f, "{}", cells.join(" | "))?;
         }
         if self.n_rows > 20 {
@@ -296,6 +424,7 @@ impl fmt::Display for Relation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::schema::Attribute;
 
     fn schema() -> Schema {
         Schema::new(vec![
@@ -323,15 +452,32 @@ mod tests {
         let r = sample();
         assert_eq!(r.n_rows(), 3);
         assert_eq!(r.arity(), 3);
-        assert_eq!(*r.value(1, 0).unwrap(), Value::Text("Bob".into()));
-        assert_eq!(r.column_by_name("age").unwrap()[2], Value::Int(22));
+        assert_eq!(r.value(1, 0).unwrap(), Value::Text("Bob".into()));
+        assert_eq!(r.value_ref(1, 0).unwrap(), ValueRef::Text("Bob"));
+        assert_eq!(r.column_by_name("age").unwrap().value(2), Value::Int(22));
         assert_eq!(r.row(0).unwrap()[2], Value::Text("Sales".into()));
+    }
+
+    #[test]
+    fn columns_are_typed() {
+        let r = sample();
+        assert!(matches!(r.column(0).unwrap(), Column::Categorical { .. }));
+        assert!(matches!(r.column(1).unwrap(), Column::Int { .. }));
+        let (dict, codes) = r.column(2).unwrap().as_categorical_parts().unwrap();
+        assert_eq!(dict, ["Sales".to_owned(), "CS".to_owned()]);
+        assert_eq!(codes, [1, 2, 1]);
     }
 
     #[test]
     fn arity_mismatch_rejected() {
         let err = Relation::from_rows(schema(), vec![vec!["x".into()]]).unwrap_err();
-        assert!(matches!(err, RelationError::ArityMismatch { expected: 3, got: 1 }));
+        assert!(matches!(
+            err,
+            RelationError::ArityMismatch {
+                expected: 3,
+                got: 1
+            }
+        ));
     }
 
     #[test]
@@ -359,11 +505,8 @@ mod tests {
 
     #[test]
     fn nulls_allowed_anywhere() {
-        let r = Relation::from_rows(
-            schema(),
-            vec![vec![Value::Null, Value::Null, Value::Null]],
-        )
-        .unwrap();
+        let r = Relation::from_rows(schema(), vec![vec![Value::Null, Value::Null, Value::Null]])
+            .unwrap();
         assert_eq!(r.n_rows(), 1);
     }
 
@@ -377,7 +520,8 @@ mod tests {
             ],
         )
         .unwrap();
-        assert_eq!(r.column(1).unwrap()[1], Value::Float(22.5));
+        assert_eq!(r.column(1).unwrap().value(1), Value::Float(22.5));
+        assert_eq!(r.column(1).unwrap().value(0), Value::Int(18));
     }
 
     #[test]
@@ -385,22 +529,95 @@ mod tests {
         let r = sample();
         let p = r.project_names(&["dept", "name"]).unwrap();
         assert_eq!(p.arity(), 2);
-        assert_eq!(p.column(0).unwrap()[0], Value::Text("Sales".into()));
+        assert_eq!(p.column(0).unwrap().value(0), Value::Text("Sales".into()));
 
         let s = r.select_rows(&[2, 0]).unwrap();
         assert_eq!(s.n_rows(), 2);
-        assert_eq!(*s.value(0, 0).unwrap(), Value::Text("Charlie".into()));
+        assert_eq!(s.value(0, 0).unwrap(), Value::Text("Charlie".into()));
         assert!(r.select_rows(&[9]).is_err());
     }
 
     #[test]
     fn from_columns_checks_lengths() {
-        let err = Relation::from_columns(
-            schema(),
-            vec![vec!["A".into()], vec![], vec!["S".into()]],
+        let err =
+            Relation::from_columns(schema(), vec![vec!["A".into()], vec![], vec!["S".into()]])
+                .unwrap_err();
+        assert!(matches!(
+            err,
+            RelationError::ColumnLengthMismatch {
+                expected: 1,
+                got: 0,
+                ..
+            }
+        ));
+        match err {
+            RelationError::ColumnLengthMismatch { column, .. } => assert_eq!(column, "age"),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn from_typed_columns_validates() {
+        let small = Schema::new(vec![
+            Attribute::categorical("label"),
+            Attribute::continuous("score"),
+        ])
+        .unwrap();
+        let label = Column::Categorical {
+            dict: vec!["a".into(), "b".into()],
+            codes: vec![1, 2, 0],
+        };
+        let score = Column::Float {
+            values: vec![0.5, 1.5, 0.0],
+            nulls: {
+                let mut b = crate::column::Bitmap::new();
+                b.push(false);
+                b.push(false);
+                b.push(true);
+                b
+            },
+            ints: crate::column::Bitmap::filled(3, false),
+        };
+        let r = Relation::from_typed_columns(small.clone(), vec![label.clone(), score]).unwrap();
+        assert_eq!(r.n_rows(), 3);
+        assert_eq!(r.value(2, 0).unwrap(), Value::Null);
+
+        // Ragged lengths rejected with the dedicated variant.
+        let short = Column::Int {
+            values: vec![1],
+            nulls: crate::column::Bitmap::filled(1, false),
+        };
+        let err =
+            Relation::from_typed_columns(small.clone(), vec![label.clone(), short]).unwrap_err();
+        assert!(matches!(
+            err,
+            RelationError::ColumnLengthMismatch {
+                expected: 3,
+                got: 1,
+                ..
+            }
+        ));
+
+        // Text column under a continuous attribute rejected.
+        let err = Relation::from_typed_columns(
+            Schema::new(vec![Attribute::continuous("x"), Attribute::continuous("y")]).unwrap(),
+            vec![
+                label,
+                Column::Int {
+                    values: vec![1, 2, 3],
+                    nulls: crate::column::Bitmap::filled(3, false),
+                },
+            ],
         )
         .unwrap_err();
-        assert!(matches!(err, RelationError::ArityMismatch { .. }));
+        assert!(matches!(
+            err,
+            RelationError::TypeMismatch {
+                expected: "numeric",
+                got: "text",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -424,35 +641,53 @@ mod tests {
         let other = sample();
         r.append(&other).unwrap();
         assert_eq!(r.n_rows(), 6);
-        assert_eq!(*r.value(3, 0).unwrap(), Value::Text("Alice".into()));
+        assert_eq!(r.value(3, 0).unwrap(), Value::Text("Alice".into()));
+        // Dictionary stayed deduplicated across the append.
+        let (dict, _) = r.column(0).unwrap().as_categorical_parts().unwrap();
+        assert_eq!(dict.len(), 3);
         // Mismatched schemas rejected.
-        let narrow = Relation::empty(
-            Schema::new(vec![Attribute::categorical("x")]).unwrap(),
-        );
+        let narrow = Relation::empty(Schema::new(vec![Attribute::categorical("x")]).unwrap());
         assert!(r.append(&narrow).is_err());
     }
 
     #[test]
     fn sorted_by_column_orders_rows() {
         let r = sample().sorted_by_column(1).unwrap();
-        let ages: Vec<_> = r.column(1).unwrap().to_vec();
+        let ages: Vec<_> = r.column_values(1).unwrap();
         let mut expected = ages.clone();
         expected.sort();
         assert_eq!(ages, expected);
         // Stability: Bob (row 1) precedes Charlie (row 2) among age ties.
-        assert_eq!(*r.value(1, 0).unwrap(), Value::Text("Bob".into()));
-        assert_eq!(*r.value(2, 0).unwrap(), Value::Text("Charlie".into()));
+        assert_eq!(r.value(1, 0).unwrap(), Value::Text("Bob".into()));
+        assert_eq!(r.value(2, 0).unwrap(), Value::Text("Charlie".into()));
     }
 
     #[test]
     fn filter_rows_by_predicate() {
         let r = sample()
-            .filter_rows(2, |v| *v == Value::Text("Sales".into()))
+            .filter_rows(2, |v| v == ValueRef::Text("Sales"))
             .unwrap();
         assert_eq!(r.n_rows(), 2);
-        assert!(r.column(2).unwrap().iter().all(|v| *v == Value::Text("Sales".into())));
+        assert!(r
+            .column(2)
+            .unwrap()
+            .iter()
+            .all(|v| v == ValueRef::Text("Sales")));
         let none = sample().filter_rows(2, |_| false).unwrap();
         assert!(none.is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_value_wire_shape() {
+        let r = sample();
+        let content = r.to_content();
+        // Columns serialize as arrays of Values (the pre-columnar shape).
+        let map = content.as_map().unwrap();
+        let cols = content_get(map, "columns").unwrap().as_seq().unwrap();
+        assert_eq!(cols.len(), 3);
+        assert_eq!(cols[0].as_seq().unwrap().len(), 3);
+        let back = Relation::from_content(&content).unwrap();
+        assert_eq!(back, r);
     }
 
     #[test]

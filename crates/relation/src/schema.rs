@@ -39,7 +39,10 @@ pub struct Attribute {
 impl Attribute {
     /// Creates a new attribute.
     pub fn new(name: impl Into<String>, kind: AttrKind) -> Self {
-        Self { name: name.into(), kind }
+        Self {
+            name: name.into(),
+            kind,
+        }
     }
 
     /// Shorthand for a categorical attribute.
@@ -82,10 +85,12 @@ impl Schema {
 
     /// Attribute at `index`, if in bounds.
     pub fn attribute(&self, index: usize) -> Result<&Attribute> {
-        self.attributes.get(index).ok_or(RelationError::IndexOutOfBounds {
-            index,
-            len: self.attributes.len(),
-        })
+        self.attributes
+            .get(index)
+            .ok_or(RelationError::IndexOutOfBounds {
+                index,
+                len: self.attributes.len(),
+            })
     }
 
     /// Index of the attribute named `name`.
@@ -162,7 +167,10 @@ mod tests {
     fn index_lookup() {
         let s = abc();
         assert_eq!(s.index_of("b").unwrap(), 1);
-        assert!(matches!(s.index_of("zz"), Err(RelationError::UnknownAttribute(_))));
+        assert!(matches!(
+            s.index_of("zz"),
+            Err(RelationError::UnknownAttribute(_))
+        ));
         assert_eq!(s.attribute(2).unwrap().name, "c");
         assert!(s.attribute(3).is_err());
     }

@@ -6,7 +6,7 @@
 
 use crate::error::Result;
 use crate::relation::Relation;
-use crate::value::Value;
+use crate::value::{Value, ValueRef};
 use std::collections::HashMap;
 
 /// Summary statistics of one column.
@@ -38,19 +38,19 @@ impl ColumnStats {
         let name = relation.schema().attribute(col)?.name.clone();
         let column = relation.column(col)?;
         let count = column.len();
-        let nulls = column.iter().filter(|v| v.is_null()).count();
+        let nulls = column.null_count();
 
-        let mut freq: HashMap<&Value, usize> = HashMap::new();
-        for v in column {
+        let mut freq: HashMap<ValueRef<'_>, usize> = HashMap::new();
+        for v in column.iter() {
             *freq.entry(v).or_insert(0) += 1;
         }
         let distinct = freq.len();
         let mode = freq
             .iter()
             .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
-            .map(|(v, c)| ((*v).clone(), *c));
+            .map(|(v, c)| (v.to_value(), *c));
 
-        let nums: Vec<f64> = column.iter().filter_map(Value::as_f64).collect();
+        let nums: Vec<f64> = column.iter().filter_map(|v| v.as_f64()).collect();
         let (min, max, mean, variance) = if nums.is_empty() {
             (None, None, None, None)
         } else {
@@ -62,12 +62,24 @@ impl ColumnStats {
             (Some(min), Some(max), Some(mean), Some(var))
         };
 
-        Ok(Self { name, count, nulls, distinct, min, max, mean, variance, mode })
+        Ok(Self {
+            name,
+            count,
+            nulls,
+            distinct,
+            min,
+            max,
+            mean,
+            variance,
+            mode,
+        })
     }
 
     /// Computes statistics for every column.
     pub fn compute_all(relation: &Relation) -> Result<Vec<Self>> {
-        (0..relation.arity()).map(|c| Self::compute(relation, c)).collect()
+        (0..relation.arity())
+            .map(|c| Self::compute(relation, c))
+            .collect()
     }
 }
 
@@ -75,8 +87,11 @@ impl ColumnStats {
 /// interpolation between order statistics (the common "type 7" estimator).
 /// `q` is clamped to [0, 1]; `None` if the column has no numeric values.
 pub fn quantile(relation: &Relation, col: usize, q: f64) -> Result<Option<f64>> {
-    let mut nums: Vec<f64> =
-        relation.column(col)?.iter().filter_map(Value::as_f64).collect();
+    let mut nums: Vec<f64> = relation
+        .column(col)?
+        .iter()
+        .filter_map(|v| v.as_f64())
+        .collect();
     if nums.is_empty() {
         return Ok(None);
     }
@@ -91,14 +106,16 @@ pub fn quantile(relation: &Relation, col: usize, q: f64) -> Result<Option<f64>> 
 
 /// The (q25, q50, q75) quartiles of a column, or `None` without numerics.
 pub fn quartiles(relation: &Relation, col: usize) -> Result<Option<(f64, f64, f64)>> {
-    Ok(match (
-        quantile(relation, col, 0.25)?,
-        quantile(relation, col, 0.5)?,
-        quantile(relation, col, 0.75)?,
-    ) {
-        (Some(a), Some(b), Some(c)) => Some((a, b, c)),
-        _ => None,
-    })
+    Ok(
+        match (
+            quantile(relation, col, 0.25)?,
+            quantile(relation, col, 0.5)?,
+            quantile(relation, col, 0.75)?,
+        ) {
+            (Some(a), Some(b), Some(c)) => Some((a, b, c)),
+            _ => None,
+        },
+    )
 }
 
 /// Fixed-width histogram over the numeric values of a column.
@@ -121,8 +138,11 @@ impl Histogram {
         if buckets == 0 {
             return Ok(None);
         }
-        let nums: Vec<f64> =
-            relation.column(col)?.iter().filter_map(Value::as_f64).collect();
+        let nums: Vec<f64> = relation
+            .column(col)?
+            .iter()
+            .filter_map(|v| v.as_f64())
+            .collect();
         if nums.is_empty() {
             return Ok(None);
         }
@@ -188,11 +208,7 @@ mod tests {
     #[test]
     fn mode_tie_breaks_deterministically() {
         let schema = Schema::new(vec![Attribute::categorical("x")]).unwrap();
-        let r = Relation::from_rows(
-            schema,
-            vec![vec!["a".into()], vec!["b".into()]],
-        )
-        .unwrap();
+        let r = Relation::from_rows(schema, vec![vec!["a".into()], vec!["b".into()]]).unwrap();
         let s = ColumnStats::compute(&r, 0).unwrap();
         // Ties resolve to the smallest value for determinism.
         assert_eq!(s.mode, Some((Value::Text("a".into()), 1)));

@@ -4,6 +4,13 @@
 //! type-homogeneous (enforced by [`crate::relation::RelationBuilder`]), so
 //! cross-variant comparisons only matter for establishing a stable total
 //! order; they never decide dependency semantics.
+//!
+//! Since the columnar refactor, `Value` is the *boundary* type: relations
+//! store typed [`crate::Column`]s internally and materialise `Value`s only
+//! at the edges (CSV I/O, serde exchange packages, the public cell API).
+//! [`ValueRef`] is the borrowing counterpart used to view a cell without
+//! cloning its text; `Value`'s equality, ordering and hashing all delegate
+//! to `ValueRef` so the two can never disagree.
 
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
@@ -30,6 +37,47 @@ pub enum Value {
     Float(f64),
     /// A string / categorical label.
     Text(String),
+}
+
+/// A borrowed view of a single cell, as handed out by typed columns.
+///
+/// Carries the same total order, equality and hash as [`Value`] (the owned
+/// form delegates to this one), but borrows text instead of cloning it, so
+/// whole-column scans over dictionary-encoded columns stay allocation-free.
+#[derive(Debug, Clone, Copy)]
+pub enum ValueRef<'a> {
+    /// A missing value.
+    Null,
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A 64-bit float.
+    Float(f64),
+    /// A borrowed string / categorical label.
+    Text(&'a str),
+}
+
+/// Canonical bit pattern for a float: all NaNs collapse to one pattern,
+/// and `-0.0` collapses to `0.0`, so `Eq`/`Hash`/`Ord` agree.
+#[inline]
+pub(crate) fn canonical_f64_bits(f: f64) -> u64 {
+    if f.is_nan() {
+        f64::NAN.to_bits()
+    } else if f == 0.0 {
+        0.0f64.to_bits()
+    } else {
+        f.to_bits()
+    }
+}
+
+/// Total order over floats with canonical NaN greatest.
+#[inline]
+pub(crate) fn float_total_cmp(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => a.partial_cmp(&b).expect("both non-NaN"),
+    }
 }
 
 impl Value {
@@ -71,11 +119,74 @@ impl Value {
 
     /// A short name for the variant, used in error messages.
     pub fn type_name(&self) -> &'static str {
+        self.as_value_ref().type_name()
+    }
+
+    /// The borrowing view of this value.
+    #[inline]
+    pub fn as_value_ref(&self) -> ValueRef<'_> {
         match self {
-            Value::Null => "null",
-            Value::Int(_) => "int",
-            Value::Float(_) => "float",
-            Value::Text(_) => "text",
+            Value::Null => ValueRef::Null,
+            Value::Int(i) => ValueRef::Int(*i),
+            Value::Float(f) => ValueRef::Float(*f),
+            Value::Text(s) => ValueRef::Text(s),
+        }
+    }
+}
+
+impl<'a> ValueRef<'a> {
+    /// Returns `true` if the view is [`ValueRef::Null`].
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, ValueRef::Null)
+    }
+
+    /// Numeric view (`Int` widens to `f64`).
+    #[inline]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            ValueRef::Int(i) => Some(*i as f64),
+            ValueRef::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view, if the cell is an `Int`.
+    #[inline]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            ValueRef::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view, if the cell is `Text`.
+    #[inline]
+    pub fn as_str(&self) -> Option<&'a str> {
+        match self {
+            ValueRef::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short name for the variant, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            ValueRef::Null => "null",
+            ValueRef::Int(_) => "int",
+            ValueRef::Float(_) => "float",
+            ValueRef::Text(_) => "text",
+        }
+    }
+
+    /// Materialises the owned [`Value`].
+    #[inline]
+    pub fn to_value(&self) -> Value {
+        match self {
+            ValueRef::Null => Value::Null,
+            ValueRef::Int(i) => Value::Int(*i),
+            ValueRef::Float(f) => Value::Float(*f),
+            ValueRef::Text(s) => Value::Text((*s).to_owned()),
         }
     }
 
@@ -85,40 +196,87 @@ impl Value {
     #[inline]
     fn type_rank(&self) -> u8 {
         match self {
-            Value::Null => 0,
-            Value::Int(_) | Value::Float(_) => 1,
-            Value::Text(_) => 2,
+            ValueRef::Null => 0,
+            ValueRef::Int(_) | ValueRef::Float(_) => 1,
+            ValueRef::Text(_) => 2,
         }
     }
+}
 
-    /// Canonical bit pattern for a float: all NaNs collapse to one pattern,
-    /// and `-0.0` collapses to `0.0`, so `Eq`/`Hash`/`Ord` agree.
-    #[inline]
-    fn canonical_bits(f: f64) -> u64 {
-        if f.is_nan() {
-            f64::NAN.to_bits()
-        } else if f == 0.0 {
-            0.0f64.to_bits()
-        } else {
-            f.to_bits()
+impl PartialEq for ValueRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for ValueRef<'_> {}
+
+impl PartialOrd for ValueRef<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ValueRef<'_> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use ValueRef::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Text(a), Text(b)) => a.cmp(b),
+            (Float(a), Float(b)) => float_total_cmp(*a, *b),
+            // Cross numeric comparison: compare as floats, fall back to the
+            // exact integer order when the float comparison ties (guards
+            // against precision loss above 2^53).
+            (Int(a), Float(b)) => match float_total_cmp(*a as f64, *b) {
+                Ordering::Equal => Ordering::Equal,
+                o => o,
+            },
+            (Float(a), Int(b)) => match float_total_cmp(*a, *b as f64) {
+                Ordering::Equal => Ordering::Equal,
+                o => o,
+            },
+            _ => self.type_rank().cmp(&other.type_rank()),
         }
     }
+}
 
-    /// Total order over floats with canonical NaN greatest.
-    #[inline]
-    fn float_cmp(a: f64, b: f64) -> Ordering {
-        match (a.is_nan(), b.is_nan()) {
-            (true, true) => Ordering::Equal,
-            (true, false) => Ordering::Greater,
-            (false, true) => Ordering::Less,
-            (false, false) => a.partial_cmp(&b).expect("both non-NaN"),
+impl Hash for ValueRef<'_> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            ValueRef::Null => state.write_u8(0),
+            // Numerics hash via the canonical float bit pattern so that
+            // `Int(2)` and `Float(2.0)` (which compare equal) hash equal.
+            ValueRef::Int(i) => {
+                state.write_u8(1);
+                state.write_u64(canonical_f64_bits(*i as f64));
+            }
+            ValueRef::Float(f) => {
+                state.write_u8(1);
+                state.write_u64(canonical_f64_bits(*f));
+            }
+            ValueRef::Text(s) => {
+                state.write_u8(2);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for ValueRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueRef::Null => write!(f, "?"),
+            ValueRef::Int(i) => write!(f, "{i}"),
+            ValueRef::Float(x) => write!(f, "{x}"),
+            ValueRef::Text(s) => write!(f, "{s}"),
         }
     }
 }
 
 impl PartialEq for Value {
     fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
+        self.as_value_ref() == other.as_value_ref()
     }
 }
 
@@ -132,58 +290,19 @@ impl PartialOrd for Value {
 
 impl Ord for Value {
     fn cmp(&self, other: &Self) -> Ordering {
-        use Value::*;
-        match (self, other) {
-            (Null, Null) => Ordering::Equal,
-            (Int(a), Int(b)) => a.cmp(b),
-            (Text(a), Text(b)) => a.cmp(b),
-            (Float(a), Float(b)) => Self::float_cmp(*a, *b),
-            // Cross numeric comparison: compare as floats, fall back to the
-            // exact integer order when the float comparison ties (guards
-            // against precision loss above 2^53).
-            (Int(a), Float(b)) => match Self::float_cmp(*a as f64, *b) {
-                Ordering::Equal => Ordering::Equal,
-                o => o,
-            },
-            (Float(a), Int(b)) => match Self::float_cmp(*a, *b as f64) {
-                Ordering::Equal => Ordering::Equal,
-                o => o,
-            },
-            _ => self.type_rank().cmp(&other.type_rank()),
-        }
+        self.as_value_ref().cmp(&other.as_value_ref())
     }
 }
 
 impl Hash for Value {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        match self {
-            Value::Null => state.write_u8(0),
-            // Numerics hash via the canonical float bit pattern so that
-            // `Int(2)` and `Float(2.0)` (which compare equal) hash equal.
-            Value::Int(i) => {
-                state.write_u8(1);
-                state.write_u64(Self::canonical_bits(*i as f64));
-            }
-            Value::Float(f) => {
-                state.write_u8(1);
-                state.write_u64(Self::canonical_bits(*f));
-            }
-            Value::Text(s) => {
-                state.write_u8(2);
-                s.hash(state);
-            }
-        }
+        self.as_value_ref().hash(state)
     }
 }
 
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Value::Null => write!(f, "?"),
-            Value::Int(i) => write!(f, "{i}"),
-            Value::Float(x) => write!(f, "{x}"),
-            Value::Text(s) => write!(f, "{s}"),
-        }
+        self.as_value_ref().fmt(f)
     }
 }
 
@@ -222,7 +341,7 @@ mod tests {
     use super::*;
     use std::collections::hash_map::DefaultHasher;
 
-    fn hash_of(v: &Value) -> u64 {
+    fn hash_of<T: Hash>(v: &T) -> u64 {
         let mut h = DefaultHasher::new();
         v.hash(&mut h);
         h.finish()
@@ -304,5 +423,26 @@ mod tests {
         let a = Value::Int(i64::MAX);
         let b = Value::Int(i64::MAX - 1);
         assert!(a > b);
+    }
+
+    #[test]
+    fn value_ref_agrees_with_value() {
+        let vals = [
+            Value::Null,
+            Value::Int(-3),
+            Value::Int(2),
+            Value::Float(2.0),
+            Value::Float(f64::NAN),
+            Value::Text("abc".into()),
+        ];
+        for a in &vals {
+            assert_eq!(hash_of(a), hash_of(&a.as_value_ref()));
+            assert_eq!(a.to_string(), a.as_value_ref().to_string());
+            assert_eq!(a.as_value_ref().to_value(), *a);
+            for b in &vals {
+                assert_eq!(a.cmp(b), a.as_value_ref().cmp(&b.as_value_ref()));
+                assert_eq!(*a == *b, a.as_value_ref() == b.as_value_ref());
+            }
+        }
     }
 }

@@ -12,10 +12,12 @@
 
 use crate::cfd_gen::generate_cfd_column;
 use crate::interval::{generate_dd_column, generate_od_column};
-use crate::mapping::{generate_afd_column, generate_fd_column, generate_nd_column, generate_ofd_column};
-use crate::sampler::sample_column;
+use crate::mapping::{
+    generate_afd_column, generate_fd_column, generate_nd_column, generate_ofd_column,
+};
+use crate::sampler::{collect_typed, sample_typed_column, sample_typed_column_from_distribution};
 use mp_metadata::{Dependency, MetadataPackage, PlanStep};
-use mp_relation::{AttrKind, Attribute, Domain, Relation, Result, Schema, Value};
+use mp_relation::{AttrKind, Attribute, Column, Domain, Relation, Result, Schema, Value};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -35,12 +37,20 @@ pub struct SynthConfig {
 impl SynthConfig {
     /// Random-generation baseline (§III-A): domains only.
     pub fn random_baseline(n_rows: usize, seed: u64) -> Self {
-        Self { n_rows, seed, use_dependencies: false }
+        Self {
+            n_rows,
+            seed,
+            use_dependencies: false,
+        }
     }
 
     /// Dependency-driven attack (§III-B/§IV).
     pub fn with_dependencies(n_rows: usize, seed: u64) -> Self {
-        Self { n_rows, seed, use_dependencies: true }
+        Self {
+            n_rows,
+            seed,
+            use_dependencies: true,
+        }
     }
 }
 
@@ -72,7 +82,7 @@ impl Adversary {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let n = config.n_rows;
         let arity = self.package.arity();
-        let mut columns: Vec<Option<Vec<Value>>> = vec![None; arity];
+        let mut columns: Vec<Option<Column>> = vec![None; arity];
 
         let plan = if config.use_dependencies {
             self.package
@@ -91,18 +101,17 @@ impl Adversary {
             // it for free generation whenever present.
             if matches!(step, PlanStep::Free { .. }) {
                 if let Some(dist) = &meta.distribution {
-                    columns[attr] =
-                        Some(crate::sampler::sample_column_from_distribution(dist, n, &mut rng));
+                    columns[attr] = Some(sample_typed_column_from_distribution(dist, n, &mut rng));
                     continue;
                 }
             }
             let col = match (step, domain) {
                 // No domain shared: nothing to sample from.
-                (_, None) => vec![Value::Null; n],
-                (PlanStep::Free { .. }, Some(dom)) => sample_column(dom, n, &mut rng),
+                (_, None) => collect_typed(vec![Value::Null; n]),
+                (PlanStep::Free { .. }, Some(dom)) => sample_typed_column(dom, n, &mut rng),
                 (PlanStep::Derive { dep, .. }, Some(dom)) => {
                     let dep = &self.package.dependencies[*dep];
-                    self.derive_column(dep, &columns, dom, n, &mut rng)
+                    collect_typed(self.derive_column(dep, &columns, dom, n, &mut rng))
                 }
             };
             columns[attr] = Some(col);
@@ -120,9 +129,11 @@ impl Adversary {
                 Attribute::new(a.name.clone(), kind)
             })
             .collect();
-        let columns: Vec<Vec<Value>> =
-            columns.into_iter().map(|c| c.expect("plan covers all attributes")).collect();
-        Relation::from_columns(Schema::new(attrs)?, columns)
+        let columns: Vec<Column> = columns
+            .into_iter()
+            .map(|c| c.expect("plan covers all attributes"))
+            .collect();
+        Relation::from_typed_columns(Schema::new(attrs)?, columns)
     }
 
     /// Generates one dependent column through `dep`, given the columns
@@ -130,24 +141,30 @@ impl Adversary {
     fn derive_column(
         &self,
         dep: &Dependency,
-        columns: &[Option<Vec<Value>>],
+        columns: &[Option<Column>],
         rhs_domain: &Domain,
         n: usize,
         rng: &mut StdRng,
     ) -> Vec<Value> {
-        let lhs_cols: Vec<&[Value]> = dep
+        // The mapping/interval generators work on owned values — the
+        // typed determinant columns materialise at this boundary only.
+        let lhs_owned: Vec<Vec<Value>> = dep
             .lhs()
             .iter()
-            .map(|a| columns[a].as_deref().expect("determinant generated before dependent"))
+            .map(|a| {
+                columns[a]
+                    .as_ref()
+                    .expect("determinant generated before dependent")
+                    .to_values()
+            })
             .collect();
+        let lhs_cols: Vec<&[Value]> = lhs_owned.iter().map(Vec::as_slice).collect();
         match dep {
             Dependency::Fd(_) => generate_fd_column(&lhs_cols, rhs_domain, n, rng),
             Dependency::Afd(afd) => {
                 generate_afd_column(&lhs_cols, rhs_domain, afd.g3_threshold, n, rng)
             }
-            Dependency::Od(od) => {
-                generate_od_column(lhs_cols[0], rhs_domain, od.direction, n, rng)
-            }
+            Dependency::Od(od) => generate_od_column(lhs_cols[0], rhs_domain, od.direction, n, rng),
             Dependency::Nd(nd) => generate_nd_column(lhs_cols[0], rhs_domain, nd.k, n, rng),
             Dependency::Dd(dd) => {
                 generate_dd_column(lhs_cols[0], rhs_domain, dd.eps_lhs, dd.delta_rhs, n, rng)
@@ -156,13 +173,17 @@ impl Adversary {
             Dependency::Cfd(cfd) => {
                 // CFD pattern cells are positional; rebuild the columns in
                 // tableau order rather than sorted-set order.
-                let cols: Vec<&[Value]> = cfd
+                let cols_owned: Vec<Vec<Value>> = cfd
                     .lhs
                     .iter()
                     .map(|(a, _)| {
-                        columns[*a].as_deref().expect("determinant generated before dependent")
+                        columns[*a]
+                            .as_ref()
+                            .expect("determinant generated before dependent")
+                            .to_values()
                     })
                     .collect();
+                let cols: Vec<&[Value]> = cols_owned.iter().map(Vec::as_slice).collect();
                 generate_cfd_column(cfd, &cols, rhs_domain, n, rng)
             }
         }
@@ -180,9 +201,9 @@ mod tests {
             "a",
             &rel,
             vec![
-                Fd::new(0usize, 1).into(),               // Name → Age
-                OrderDep::ascending(3, 1).into(),        // Salary orders Age
-                NumericalDep::new(2, 3, 2).into(),       // Dept →≤2 Salary
+                Fd::new(0usize, 1).into(),         // Name → Age
+                OrderDep::ascending(3, 1).into(),  // Salary orders Age
+                NumericalDep::new(2, 3, 2).into(), // Dept →≤2 Salary
             ],
         )
         .unwrap()
@@ -191,7 +212,9 @@ mod tests {
     #[test]
     fn synthesis_matches_schema_and_size() {
         let adv = Adversary::new(package());
-        let syn = adv.synthesize(&SynthConfig::with_dependencies(50, 1)).unwrap();
+        let syn = adv
+            .synthesize(&SynthConfig::with_dependencies(50, 1))
+            .unwrap();
         assert_eq!(syn.n_rows(), 50);
         assert_eq!(syn.arity(), 4);
         assert_eq!(syn.schema().attribute(0).unwrap().name, "Name");
@@ -201,11 +224,13 @@ mod tests {
     fn generated_values_stay_in_shared_domains() {
         let pkg = package();
         let adv = Adversary::new(pkg.clone());
-        let syn = adv.synthesize(&SynthConfig::with_dependencies(100, 2)).unwrap();
+        let syn = adv
+            .synthesize(&SynthConfig::with_dependencies(100, 2))
+            .unwrap();
         for (i, meta) in pkg.attributes.iter().enumerate() {
             let dom = meta.domain.as_ref().unwrap();
-            for v in syn.column(i).unwrap() {
-                assert!(dom.contains(v), "attr {i}: {v} outside {dom}");
+            for v in syn.column_values(i).unwrap() {
+                assert!(dom.contains(&v), "attr {i}: {v} outside {dom}");
             }
         }
     }
@@ -216,7 +241,9 @@ mod tests {
         // dependency that drove generation.
         let pkg = package();
         let adv = Adversary::new(pkg.clone());
-        let syn = adv.synthesize(&SynthConfig::with_dependencies(200, 3)).unwrap();
+        let syn = adv
+            .synthesize(&SynthConfig::with_dependencies(200, 3))
+            .unwrap();
         // Name → Age drove attr 1 (FD preferred by the planner).
         assert!(Fd::new(0usize, 1).holds(&syn).unwrap());
         // Dept →≤2 Salary drove attr 3.
@@ -226,7 +253,9 @@ mod tests {
     #[test]
     fn random_baseline_ignores_dependencies() {
         let adv = Adversary::new(package());
-        let syn = adv.synthesize(&SynthConfig::random_baseline(300, 4)).unwrap();
+        let syn = adv
+            .synthesize(&SynthConfig::random_baseline(300, 4))
+            .unwrap();
         // With 300 rows over 4 names and independent ages the FD breaks
         // (same name must collide with different ages).
         assert!(!Fd::new(0usize, 1).holds(&syn).unwrap());
@@ -235,9 +264,15 @@ mod tests {
     #[test]
     fn determinism_per_seed() {
         let adv = Adversary::new(package());
-        let a = adv.synthesize(&SynthConfig::with_dependencies(40, 9)).unwrap();
-        let b = adv.synthesize(&SynthConfig::with_dependencies(40, 9)).unwrap();
-        let c = adv.synthesize(&SynthConfig::with_dependencies(40, 10)).unwrap();
+        let a = adv
+            .synthesize(&SynthConfig::with_dependencies(40, 9))
+            .unwrap();
+        let b = adv
+            .synthesize(&SynthConfig::with_dependencies(40, 9))
+            .unwrap();
+        let c = adv
+            .synthesize(&SynthConfig::with_dependencies(40, 10))
+            .unwrap();
         assert_eq!(a, b);
         assert_ne!(a, c);
     }
@@ -246,10 +281,12 @@ mod tests {
     fn redacted_domains_block_generation() {
         let pkg = SharePolicy::PAPER_RECOMMENDED.apply(&package());
         let adv = Adversary::new(pkg);
-        let syn = adv.synthesize(&SynthConfig::with_dependencies(20, 5)).unwrap();
+        let syn = adv
+            .synthesize(&SynthConfig::with_dependencies(20, 5))
+            .unwrap();
         for c in 0..syn.arity() {
             assert!(
-                syn.column(c).unwrap().iter().all(Value::is_null),
+                syn.column(c).unwrap().iter().all(|v| v.is_null()),
                 "column {c} should be unguessable without a domain"
             );
         }
@@ -260,7 +297,9 @@ mod tests {
         let mut pkg = package();
         pkg.dependencies.push(Fd::new(0usize, 99).into()); // out of range
         let adv = Adversary::new(pkg);
-        let syn = adv.synthesize(&SynthConfig::with_dependencies(10, 6)).unwrap();
+        let syn = adv
+            .synthesize(&SynthConfig::with_dependencies(10, 6))
+            .unwrap();
         assert_eq!(syn.n_rows(), 10);
     }
 

@@ -63,8 +63,7 @@ pub fn generate_od_column<R: Rng + ?Sized>(
         seq.reverse();
     }
 
-    let mapping: HashMap<&Value, Value> =
-        distinct.into_iter().zip(seq).collect();
+    let mapping: HashMap<&Value, Value> = distinct.into_iter().zip(seq).collect();
     (0..n_rows).map(|r| mapping[&lhs_col[r]].clone()).collect()
 }
 
@@ -90,7 +89,9 @@ pub fn generate_dd_column<R: Rng + ?Sized>(
         // A DD's dependent attribute is continuous by definition; for a
         // categorical domain fall back to unconstrained uniform draws.
         Domain::Categorical(_) => {
-            return (0..n_rows).map(|_| sample_uniform(rhs_domain, rng)).collect();
+            return (0..n_rows)
+                .map(|_| sample_uniform(rhs_domain, rng))
+                .collect();
         }
     };
 
@@ -118,16 +119,17 @@ pub fn generate_dd_column<R: Rng + ?Sized>(
                 break;
             }
         }
-        let (lo, hi) = window.iter().fold((dom_min, dom_max), |(lo, hi), &(_, wy)| {
-            (lo.max(wy - delta), hi.min(wy + delta))
-        });
+        let (lo, hi) = window
+            .iter()
+            .fold((dom_min, dom_max), |(lo, hi), &(_, wy)| {
+                (lo.max(wy - delta), hi.min(wy + delta))
+            });
         let y = if hi > lo { rng.gen_range(lo..=hi) } else { lo };
         window.push((x, y));
         out[r] = Value::Float(y);
     }
     out
 }
-
 
 /// Generates a dependent column under an **SD** `X ↦ Y (gaps ∈ [lo, hi])`:
 /// the distinct determinant values, in ascending order, receive Y values
@@ -145,7 +147,9 @@ pub fn generate_sd_column<R: Rng + ?Sized>(
     let (dom_min, dom_max) = match rhs_domain {
         Domain::Continuous { min, max } => (*min, *max),
         Domain::Categorical(_) => {
-            return (0..n_rows).map(|_| sample_uniform(rhs_domain, rng)).collect();
+            return (0..n_rows)
+                .map(|_| sample_uniform(rhs_domain, rng))
+                .collect();
         }
     };
     let mut distinct: Vec<&Value> = lhs_col.iter().collect();
@@ -195,7 +199,12 @@ mod tests {
         let x: Vec<Value> = (0..90).map(|i| Value::Int((i % 9) as i64)).collect();
         let dom = Domain::continuous(0.0, 50.0);
         let y = generate_od_column(&x, &dom, OrderDirection::Ascending, 90, &mut rng);
-        let r = rel(Attribute::categorical("x"), x, Attribute::continuous("y"), y);
+        let r = rel(
+            Attribute::categorical("x"),
+            x,
+            Attribute::continuous("y"),
+            y,
+        );
         assert!(OrderDep::ascending(0, 1).holds(&r).unwrap());
     }
 
@@ -205,9 +214,14 @@ mod tests {
         let x: Vec<Value> = (0..60).map(|i| Value::Int((i % 6) as i64)).collect();
         let dom = Domain::categorical((0i64..25).collect::<Vec<_>>());
         let y = generate_od_column(&x, &dom, OrderDirection::Descending, 60, &mut rng);
-        let r = rel(Attribute::categorical("x"), x, Attribute::categorical("y"), y);
+        let r = rel(
+            Attribute::categorical("x"),
+            x,
+            Attribute::categorical("y"),
+            y,
+        );
         assert!(OrderDep::descending(0, 1).holds(&r).unwrap());
-        assert!(r.column(1).unwrap().iter().all(|v| dom.contains(v)));
+        assert!(r.column_values(1).unwrap().iter().all(|v| dom.contains(v)));
     }
 
     #[test]
@@ -216,7 +230,12 @@ mod tests {
         let x: Vec<Value> = (0..50).map(|i| Value::Float((i % 5) as f64)).collect();
         let dom = Domain::categorical(vec!["a", "b", "c"]);
         let y = generate_od_column(&x, &dom, OrderDirection::Ascending, 50, &mut rng);
-        let r = rel(Attribute::continuous("x"), x, Attribute::categorical("y"), y);
+        let r = rel(
+            Attribute::continuous("x"),
+            x,
+            Attribute::categorical("y"),
+            y,
+        );
         assert!(OrderDep::ascending(0, 1).holds(&r).unwrap());
     }
 
@@ -248,13 +267,15 @@ mod tests {
     #[test]
     fn dd_generation_satisfies_dd() {
         let mut rng = StdRng::seed_from_u64(25);
-        let x: Vec<Value> = (0..200).map(|_| Value::Float(rng.gen_range(0.0..100.0))).collect();
+        let x: Vec<Value> = (0..200)
+            .map(|_| Value::Float(rng.gen_range(0.0..100.0)))
+            .collect();
         let dom = Domain::continuous(0.0, 10.0);
         let y = generate_dd_column(&x, &dom, 2.0, 1.5, 200, &mut rng);
         let r = rel(Attribute::continuous("x"), x, Attribute::continuous("y"), y);
         assert!(DifferentialDep::new(0, 1, 2.0, 1.5).holds(&r).unwrap());
         // Values stay inside the domain.
-        for v in r.column(1).unwrap() {
+        for v in r.column(1).unwrap().iter() {
             let f = v.as_f64().unwrap();
             assert!((0.0..=10.0).contains(&f));
         }
@@ -274,7 +295,12 @@ mod tests {
     #[test]
     fn dd_with_nulls_in_lhs() {
         let mut rng = StdRng::seed_from_u64(27);
-        let x = vec![Value::Float(1.0), Value::Null, Value::Float(1.5), Value::Null];
+        let x = vec![
+            Value::Float(1.0),
+            Value::Null,
+            Value::Float(1.5),
+            Value::Null,
+        ];
         let dom = Domain::continuous(0.0, 4.0);
         let y = generate_dd_column(&x, &dom, 1.0, 0.5, 4, &mut rng);
         assert_eq!(y.len(), 4);

@@ -35,10 +35,10 @@ pub use adversary::{Adversary, SynthConfig};
 pub use cfd_gen::generate_cfd_column;
 pub use interval::{generate_dd_column, generate_od_column, generate_sd_column};
 pub use mapping::{
-    generate_afd_column, generate_fd_column, generate_nd_column, generate_ofd_column,
-    DEFAULT_BINS,
+    generate_afd_column, generate_fd_column, generate_nd_column, generate_ofd_column, DEFAULT_BINS,
 };
 pub use sampler::{
-    enumerate_domain, sample_column, sample_column_from_distribution, sample_from_distribution,
+    collect_typed, enumerate_domain, sample_column, sample_column_from_distribution,
+    sample_from_distribution, sample_typed_column, sample_typed_column_from_distribution,
     sample_uniform,
 };

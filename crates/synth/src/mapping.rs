@@ -153,8 +153,11 @@ pub fn generate_ofd_column<R: Rng + ?Sized>(
         idx
     };
 
-    let mapping: HashMap<&Value, &Value> =
-        distinct.iter().zip(indices.iter().map(|&i| &pool[i])).map(|(k, v)| (*k, v)).collect();
+    let mapping: HashMap<&Value, &Value> = distinct
+        .iter()
+        .zip(indices.iter().map(|&i| &pool[i]))
+        .map(|(k, v)| (*k, v))
+        .collect();
     (0..n_rows).map(|r| mapping[&lhs_col[r]].clone()).collect()
 }
 

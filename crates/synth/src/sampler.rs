@@ -8,7 +8,7 @@
 //! a continuous domain.
 
 use mp_metadata::Distribution;
-use mp_relation::{Domain, Value};
+use mp_relation::{Bitmap, Column, Domain, Value};
 use rand::Rng;
 
 /// Samples one value uniformly from `domain`.
@@ -40,14 +40,90 @@ pub fn sample_column<R: Rng + ?Sized>(domain: &Domain, n: usize, rng: &mut R) ->
     (0..n).map(|_| sample_uniform(domain, rng)).collect()
 }
 
+/// Samples a whole column directly into a typed [`Column`], consuming the
+/// same RNG stream as [`sample_column`] (the two are interchangeable).
+///
+/// Continuous domains fill an `f64` buffer with no `Value` boxing; all-text
+/// categorical domains share their value list as the dictionary and sample
+/// `u32` codes. Mixed-type categorical domains fall back to pushing owned
+/// values.
+pub fn sample_typed_column<R: Rng + ?Sized>(domain: &Domain, n: usize, rng: &mut R) -> Column {
+    match domain {
+        Domain::Continuous { min, max } => {
+            let values: Vec<f64> = (0..n)
+                .map(|_| {
+                    if max > min {
+                        rng.gen_range(*min..=*max)
+                    } else {
+                        *min
+                    }
+                })
+                .collect();
+            Column::Float {
+                values,
+                nulls: Bitmap::filled(n, false),
+                ints: Bitmap::filled(n, false),
+            }
+        }
+        Domain::Categorical(vals)
+            if !vals.is_empty() && vals.iter().all(|v| matches!(v, Value::Text(_))) =>
+        {
+            let dict: Vec<String> = vals
+                .iter()
+                .map(|v| v.as_str().expect("all-text checked above").to_string())
+                .collect();
+            let codes: Vec<u32> = (0..n)
+                .map(|_| rng.gen_range(0..vals.len()) as u32 + 1)
+                .collect();
+            Column::Categorical { dict, codes }
+        }
+        _ => collect_typed(sample_column(domain, n, rng)),
+    }
+}
+
+/// Samples a whole typed column from a distribution, consuming the same
+/// RNG stream as [`sample_column_from_distribution`]. Histograms emit
+/// floats directly; categorical frequency tables fall back to owned values.
+pub fn sample_typed_column_from_distribution<R: Rng + ?Sized>(
+    dist: &Distribution,
+    n: usize,
+    rng: &mut R,
+) -> Column {
+    match dist {
+        Distribution::Histogram { .. } => {
+            let values: Vec<f64> = (0..n)
+                .map(|_| match sample_from_distribution(dist, rng) {
+                    Value::Float(f) => f,
+                    v => v.as_f64().unwrap_or(f64::NAN),
+                })
+                .collect();
+            Column::Float {
+                values,
+                nulls: Bitmap::filled(n, false),
+                ints: Bitmap::filled(n, false),
+            }
+        }
+        Distribution::Categorical(_) => {
+            collect_typed(sample_column_from_distribution(dist, n, rng))
+        }
+    }
+}
+
+/// Folds owned values into a typed column (the `Value` boundary of the
+/// generators that still work row-wise).
+pub fn collect_typed(values: Vec<Value>) -> Column {
+    let mut col = Column::default();
+    for v in values {
+        col.push_value(v);
+    }
+    col
+}
+
 /// Samples one value from a shared [`Distribution`] — the adversary's
 /// move when the party over-shared value statistics. Categorical:
 /// frequency-weighted pick; continuous: pick a bucket by density, then
 /// uniform within the bucket.
-pub fn sample_from_distribution<R: Rng + ?Sized>(
-    dist: &Distribution,
-    rng: &mut R,
-) -> Value {
+pub fn sample_from_distribution<R: Rng + ?Sized>(dist: &Distribution, rng: &mut R) -> Value {
     match dist {
         Distribution::Categorical(freqs) => {
             if freqs.is_empty() {
@@ -63,7 +139,11 @@ pub fn sample_from_distribution<R: Rng + ?Sized>(
             }
             freqs.last().map(|(v, _)| v.clone()).unwrap_or(Value::Null)
         }
-        Distribution::Histogram { min, max, densities } => {
+        Distribution::Histogram {
+            min,
+            max,
+            densities,
+        } => {
             if densities.is_empty() || max <= min {
                 return Value::Float(*min);
             }
@@ -88,7 +168,9 @@ pub fn sample_column_from_distribution<R: Rng + ?Sized>(
     n: usize,
     rng: &mut R,
 ) -> Vec<Value> {
-    (0..n).map(|_| sample_from_distribution(dist, rng)).collect()
+    (0..n)
+        .map(|_| sample_from_distribution(dist, rng))
+        .collect()
 }
 
 /// A finite, ordered list of representative values of a domain, used by
@@ -106,9 +188,7 @@ pub fn enumerate_domain(domain: &Domain, bins: usize) -> Vec<Value> {
                 return vec![Value::Float((min + max) / 2.0)];
             }
             (0..bins)
-                .map(|i| {
-                    Value::Float(min + (max - min) * i as f64 / (bins - 1) as f64)
-                })
+                .map(|i| Value::Float(min + (max - min) * i as f64 / (bins - 1) as f64))
                 .collect()
         }
     }
@@ -153,7 +233,10 @@ mod tests {
     #[test]
     fn degenerate_domains() {
         let mut rng = StdRng::seed_from_u64(0);
-        assert_eq!(sample_uniform(&Domain::Categorical(vec![]), &mut rng), Value::Null);
+        assert_eq!(
+            sample_uniform(&Domain::Categorical(vec![]), &mut rng),
+            Value::Null
+        );
         assert_eq!(
             sample_uniform(&Domain::continuous(4.0, 4.0), &mut rng),
             Value::Float(4.0)

@@ -2,8 +2,7 @@
 //! that drove it, over randomised domains, sizes and seeds.
 
 use mp_metadata::{
-    ConditionalFd, DifferentialDep, Fd, MetricFd, NumericalDep, OrderDep, OrderDirection,
-    OrderedFd,
+    ConditionalFd, DifferentialDep, Fd, MetricFd, NumericalDep, OrderDep, OrderDirection, OrderedFd,
 };
 use mp_relation::{Attribute, Domain, Relation, Schema, Value};
 use mp_synth::*;

@@ -9,10 +9,11 @@
 //! `cargo run -p mp-bench --bin export_dataset`).
 
 use metadata_privacy::core::{
-    bucketize_column, identifiability_rate, k_anonymity, run_attack, ExperimentConfig,
-    TextTable,
+    bucketize_column, identifiability_rate, k_anonymity, run_attack, ExperimentConfig, TextTable,
 };
-use metadata_privacy::discovery::{discover_approx_ods, DependencyProfile, OdConfig, ProfileConfig};
+use metadata_privacy::discovery::{
+    discover_approx_ods, DependencyProfile, OdConfig, ProfileConfig,
+};
 use metadata_privacy::prelude::*;
 use metadata_privacy::relation::{csv, quartiles, AttrKind, ColumnStats};
 
@@ -29,7 +30,11 @@ fn main() {
             std::process::exit(1);
         }
     };
-    println!("Loaded `{path}`: {} rows × {} attributes\n", real.n_rows(), real.arity());
+    println!(
+        "Loaded `{path}`: {} rows × {} attributes\n",
+        real.n_rows(),
+        real.arity()
+    );
 
     // ── Column statistics ───────────────────────────────────────────────
     let mut t = TextTable::new(vec![
@@ -43,7 +48,9 @@ fn main() {
         let kind = real.schema().attribute(i).unwrap().kind;
         let quart = quartiles(&real, i)
             .unwrap()
-            .map_or("—".to_owned(), |(a, b, c)| format!("{a:.1}/{b:.1}/{c:.1}"));
+            .map_or("—".to_owned(), |(a, b, c)| {
+                format!("{a:.1}/{b:.1}/{c:.1}")
+            });
         t.push_row(vec![
             stats.name.clone(),
             kind.to_string(),
@@ -78,10 +85,16 @@ fn main() {
     );
 
     // ── Policy leakage matrix ───────────────────────────────────────────
-    let package =
-        MetadataPackage::describe("owner", &real, profile.to_dependencies()).unwrap();
-    let config = ExperimentConfig { rounds: 60, base_seed: 1, epsilon: 0.5 };
-    println!("\nPolicy leakage matrix (mean matches over {} rounds):", config.rounds);
+    let package = MetadataPackage::describe("owner", &real, profile.to_dependencies()).unwrap();
+    let config = ExperimentConfig {
+        rounds: 60,
+        base_seed: 1,
+        epsilon: 0.5,
+    };
+    println!(
+        "\nPolicy leakage matrix (mean matches over {} rounds):",
+        config.rounds
+    );
     let mut t = TextTable::new(vec!["policy".into(), "total matches".into()]);
     for (name, policy) in [
         ("names only", SharePolicy::NAMES_ONLY),

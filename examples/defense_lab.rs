@@ -6,9 +6,7 @@
 //!
 //! Run with: `cargo run --release --example defense_lab`
 
-use metadata_privacy::core::{
-    analytical, k_anonymity, run_attack, ExperimentConfig, TextTable,
-};
+use metadata_privacy::core::{analytical, k_anonymity, run_attack, ExperimentConfig, TextTable};
 use metadata_privacy::datasets::echocardiogram;
 use metadata_privacy::discovery::{discover_cfds, CfdConfig};
 use metadata_privacy::metadata::{DomainGeneralization, MetadataPackage, SharePolicy};
@@ -16,12 +14,25 @@ use metadata_privacy::prelude::*;
 
 fn main() {
     let real = echocardiogram();
-    let config = ExperimentConfig { rounds: 100, base_seed: 9, epsilon: 1.0 };
+    let config = ExperimentConfig {
+        rounds: 100,
+        base_seed: 9,
+        epsilon: 1.0,
+    };
 
     // ── Part 1: CFDs leak more ──────────────────────────────────────────
-    let cfds = discover_cfds(&real, &CfdConfig { min_support: 5, exclude_fd_pairs: true })
-        .expect("CFD discovery");
-    println!("Discovered {} constant CFDs with support ≥ 5. Examples:", cfds.len());
+    let cfds = discover_cfds(
+        &real,
+        &CfdConfig {
+            min_support: 5,
+            exclude_fd_pairs: true,
+        },
+    )
+    .expect("CFD discovery");
+    println!(
+        "Discovered {} constant CFDs with support ≥ 5. Examples:",
+        cfds.len()
+    );
     for cfd in cfds.iter().take(5) {
         let support = cfd.support(&real).unwrap();
         let card_y = real.distinct_count(cfd.rhs).unwrap();
@@ -60,8 +71,14 @@ fn main() {
     // ── Part 2: domain generalization blunts the §III-A attack ─────────
     println!("\nDomain generalization (widen continuous ranges):");
     for widen in [1.0, 2.0, 4.0, 8.0] {
-        let g = DomainGeneralization { widen, snap: 0.0, suppress_below: 0 };
-        let pkg = g.apply(&SharePolicy::NAMES_AND_DOMAINS.apply(&pkg_plain), &real).unwrap();
+        let g = DomainGeneralization {
+            widen,
+            snap: 0.0,
+            suppress_below: 0,
+        };
+        let pkg = g
+            .apply(&SharePolicy::NAMES_AND_DOMAINS.apply(&pkg_plain), &real)
+            .unwrap();
         let out = run_attack(&real, &pkg, false, &config).unwrap();
         let total: f64 = metadata_privacy::datasets::CONTINUOUS_ATTRS
             .iter()
@@ -77,8 +94,7 @@ fn main() {
         "\nk-anonymity over QI (age, wall_motion_score): k = {}",
         k_anonymity(&real, &qi).unwrap()
     );
-    let (anon, widths) =
-        metadata_privacy::core::generalize_to_k(&real, &qi, 4, 1.0, 12).unwrap();
+    let (anon, widths) = metadata_privacy::core::generalize_to_k(&real, &qi, 4, 1.0, 12).unwrap();
     println!(
         "after generalize_to_k(k=4): k = {}, bucket widths = {widths:?}",
         k_anonymity(&anon, &qi).unwrap()

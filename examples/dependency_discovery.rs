@@ -4,10 +4,10 @@
 //!
 //! Run with: `cargo run --release --example dependency_discovery`
 
+use metadata_privacy::datasets::{all_classes_spec, echocardiogram};
 use metadata_privacy::discovery::{
     discover_fds, discover_fds_naive, DependencyProfile, ProfileConfig, TaneConfig,
 };
-use metadata_privacy::datasets::{all_classes_spec, echocardiogram};
 use metadata_privacy::metadata::Dependency;
 
 fn main() {
@@ -65,7 +65,11 @@ fn main() {
     // ── TANE vs the exhaustive baseline ─────────────────────────────────
     let tane = discover_fds(
         &out.relation,
-        &TaneConfig { max_lhs: 2, g3_threshold: 0.0, ..TaneConfig::default() },
+        &TaneConfig {
+            max_lhs: 2,
+            g3_threshold: 0.0,
+            ..TaneConfig::default()
+        },
     )
     .expect("TANE runs");
     let naive = discover_fds_naive(&out.relation, 2).expect("naive runs");
@@ -74,7 +78,11 @@ fn main() {
         v.sort();
         v
     };
-    assert_eq!(canon(&tane), canon(&naive), "TANE must match the exhaustive baseline");
+    assert_eq!(
+        canon(&tane),
+        canon(&naive),
+        "TANE must match the exhaustive baseline"
+    );
     println!(
         "\nTANE and the exhaustive baseline agree on all {} minimal FDs (depth ≤ 2).",
         tane.len()
@@ -82,8 +90,8 @@ fn main() {
 
     // ── The paper's dataset ─────────────────────────────────────────────
     let echo = echocardiogram();
-    let profile = DependencyProfile::discover(&echo, &ProfileConfig::paper())
-        .expect("echo profiling");
+    let profile =
+        DependencyProfile::discover(&echo, &ProfileConfig::paper()).expect("echo profiling");
     println!(
         "\nEchocardiogram ({} rows): {} FDs, {} ODs, {} NDs discovered with the \
          paper's pairwise configuration.",

@@ -21,12 +21,22 @@ fn main() {
         data.ecommerce.relation.arity(),
     );
 
-    let experiment = ExperimentConfig { rounds: 100, base_seed: 11, epsilon: 1_000.0 };
+    let experiment = ExperimentConfig {
+        rounds: 100,
+        base_seed: 11,
+        epsilon: 1_000.0,
+    };
 
     for (name, policy) in [
         ("FULL (names + domains + dependencies)", SharePolicy::FULL),
-        ("NAMES_AND_DOMAINS (today's common practice)", SharePolicy::NAMES_AND_DOMAINS),
-        ("PAPER_RECOMMENDED (names + dependencies, no domains)", SharePolicy::PAPER_RECOMMENDED),
+        (
+            "NAMES_AND_DOMAINS (today's common practice)",
+            SharePolicy::NAMES_AND_DOMAINS,
+        ),
+        (
+            "PAPER_RECOMMENDED (names + dependencies, no domains)",
+            SharePolicy::PAPER_RECOMMENDED,
+        ),
     ] {
         let bank = Party::new(
             "bank",
@@ -44,8 +54,7 @@ fn main() {
         .expect("ecom party");
 
         // Bank column 5 is loan_approved — the training label.
-        let outcome =
-            run_scenario(bank, ecom, 5, &policy, &experiment).expect("scenario runs");
+        let outcome = run_scenario(bank, ecom, 5, &policy, &experiment).expect("scenario runs");
 
         println!("\n━━ Policy: {name}");
         println!(

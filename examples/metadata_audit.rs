@@ -51,7 +51,10 @@ fn main() {
             real.schema().attribute(i).unwrap().name.clone(),
             desc,
             format!("{theta:.4}"),
-            format!("{:.2}", analytical::random::expected_matches(real.n_rows(), theta)),
+            format!(
+                "{:.2}",
+                analytical::random::expected_matches(real.n_rows(), theta)
+            ),
             analytical::random::leaks(real.n_rows(), theta).to_string(),
         ]);
     }
@@ -59,10 +62,16 @@ fn main() {
     print!("{}", table.render());
 
     // ── Measured attack per policy ──────────────────────────────────────
-    let package =
-        MetadataPackage::describe("hospital", &real, verified_dependencies()).unwrap();
-    let config = ExperimentConfig { rounds: 100, base_seed: 5, epsilon: 1.0 };
-    println!("\nMeasured synthesis attack (mean matches over {} rounds):", config.rounds);
+    let package = MetadataPackage::describe("hospital", &real, verified_dependencies()).unwrap();
+    let config = ExperimentConfig {
+        rounds: 100,
+        base_seed: 5,
+        epsilon: 1.0,
+    };
+    println!(
+        "\nMeasured synthesis attack (mean matches over {} rounds):",
+        config.rounds
+    );
     let mut table = TextTable::new(vec![
         "attribute".into(),
         "names+domains".into(),
@@ -76,8 +85,7 @@ fn main() {
         &config,
     )
     .unwrap();
-    let with_deps =
-        run_attack(&real, &SharePolicy::FULL.apply(&package), true, &config).unwrap();
+    let with_deps = run_attack(&real, &SharePolicy::FULL.apply(&package), true, &config).unwrap();
     let recommended = run_attack(
         &real,
         &SharePolicy::PAPER_RECOMMENDED.apply(&package),

@@ -44,8 +44,8 @@ fn telco(n_customers: usize, seed: u64) -> Party {
 fn main() {
     let n = 700usize;
     let data = fintech_scenario(n, 31);
-    let bank = Party::new("bank", data.bank.relation, 0, data.bank.dependencies)
-        .expect("bank party");
+    let bank =
+        Party::new("bank", data.bank.relation, 0, data.bank.dependencies).expect("bank party");
     let ecom = Party::new(
         "ecommerce",
         data.ecommerce.relation,
@@ -93,11 +93,14 @@ fn main() {
     );
 
     // ── Privacy: what can the others reconstruct about each party? ──────
-    let config = ExperimentConfig { rounds: 80, base_seed: 17, epsilon: 1.0 };
+    let config = ExperimentConfig {
+        rounds: 80,
+        base_seed: 17,
+        epsilon: 1.0,
+    };
     for (p, name) in ["bank", "ecommerce", "telco"].iter().enumerate() {
         let result =
-            run_attack(&setup.aligned[p], &setup.metadata[p], true, &config)
-                .expect("attack");
+            run_attack(&setup.aligned[p], &setup.metadata[p], true, &config).expect("attack");
         let total: f64 = result.per_attr.iter().map(|a| a.mean_matches).sum();
         println!(
             "attack surface of {name:<10} (policy {}): {total:>8.1} total mean matches",

@@ -12,8 +12,8 @@ fn main() {
     println!("Real relation (the paper's Table II):\n{real}");
 
     // ── 2. It profiles its dependencies (TANE + RFD discovery) ─────────
-    let profile = DependencyProfile::discover(&real, &ProfileConfig::paper())
-        .expect("discovery succeeds");
+    let profile =
+        DependencyProfile::discover(&real, &ProfileConfig::paper()).expect("discovery succeeds");
     println!("Discovered dependencies:");
     for dep in profile.to_dependencies() {
         println!("  {dep}");
@@ -24,14 +24,21 @@ fn main() {
         .expect("describe succeeds");
     for (policy_name, policy) in [
         ("names only", SharePolicy::NAMES_ONLY),
-        ("names + domains (common practice)", SharePolicy::NAMES_AND_DOMAINS),
+        (
+            "names + domains (common practice)",
+            SharePolicy::NAMES_AND_DOMAINS,
+        ),
         ("full disclosure", SharePolicy::FULL),
         ("paper's recommendation", SharePolicy::PAPER_RECOMMENDED),
     ] {
         let shared = policy.apply(&package);
 
         // ── 4. The receiving party mounts the synthesis attack ─────────
-        let config = ExperimentConfig { rounds: 400, base_seed: 7, epsilon: 500.0 };
+        let config = ExperimentConfig {
+            rounds: 400,
+            base_seed: 7,
+            epsilon: 500.0,
+        };
         let result = run_attack(&real, &shared, true, &config).expect("attack runs");
 
         println!("\nPolicy: {policy_name}");

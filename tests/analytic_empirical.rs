@@ -41,7 +41,11 @@ fn domains() -> Vec<Domain> {
 }
 
 fn config(rounds: usize) -> ExperimentConfig {
-    ExperimentConfig { rounds, base_seed: 0xA11, epsilon: 0.0 }
+    ExperimentConfig {
+        rounds,
+        base_seed: 0xA11,
+        epsilon: 0.0,
+    }
 }
 
 #[test]
@@ -76,8 +80,7 @@ fn fd_cell_matches_rhs_model_with_blown_up_variance() {
     );
     // §III-B's structure claim, measured: the FD's block-correlated errors
     // inflate the per-round variance far beyond the binomial baseline.
-    let binomial_sigma =
-        analytical::random::match_variance(N, 1.0 / CARD_Y as f64).sqrt();
+    let binomial_sigma = analytical::random::match_variance(N, 1.0 / CARD_Y as f64).sqrt();
     assert!(
         cell.std_matches > 2.0 * binomial_sigma,
         "fd std {} should exceed binomial σ {binomial_sigma}",
@@ -136,7 +139,11 @@ fn continuous_dd_cell_bounded_by_pair_baseline() {
 
     let eps = 2.0;
     let dep: Dependency = DifferentialDep::new(0, 1, eps, eps).into();
-    let cfg = ExperimentConfig { rounds: 200, base_seed: 0xDD, epsilon: eps };
+    let cfg = ExperimentConfig {
+        rounds: 200,
+        base_seed: 0xDD,
+        epsilon: eps,
+    };
     let cell = run_cell(&real, &[dom_x, dom_y], Some(&dep), 1, &cfg).unwrap();
     // Free-generation baseline for the Y cell alone: N·2ε/range.
     let baseline = analytical::dd::random_baseline_matches(N, eps, 50.0);

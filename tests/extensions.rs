@@ -26,7 +26,10 @@ fn cfd_pipeline_discover_share_attack() {
         let (region, plan) = if i % 2 == 0 {
             ("eu", "gdpr-basic") // high-support constant pattern
         } else {
-            (["us", "apac", "latam"][i % 3], ["a", "b", "c", "d", "e"][i % 5])
+            (
+                ["us", "apac", "latam"][i % 3],
+                ["a", "b", "c", "d", "e"][i % 5],
+            )
         };
         rows.push(vec![region.into(), plan.into()]);
     }
@@ -34,15 +37,25 @@ fn cfd_pipeline_discover_share_attack() {
 
     let cfds = discover_cfds(&real, &CfdConfig::default()).unwrap();
     let target = ConditionalFd::constant(0, "eu", 1, "gdpr-basic");
-    assert!(cfds.contains(&target), "high-support pattern must be discovered");
+    assert!(
+        cfds.contains(&target),
+        "high-support pattern must be discovered"
+    );
 
     let support = target.support(&real).unwrap();
     let card_plan = real.distinct_count(1).unwrap();
-    assert!(analytical::cfd::leaks_more_than_random(real.n_rows(), support, card_plan));
+    assert!(analytical::cfd::leaks_more_than_random(
+        real.n_rows(),
+        support,
+        card_plan
+    ));
 
-    let config = ExperimentConfig { rounds: 150, base_seed: 2, epsilon: 0.0 };
-    let pkg_cfd =
-        MetadataPackage::describe("p", &real, vec![target.into()]).unwrap();
+    let config = ExperimentConfig {
+        rounds: 150,
+        base_seed: 2,
+        epsilon: 0.0,
+    };
+    let pkg_cfd = MetadataPackage::describe("p", &real, vec![target.into()]).unwrap();
     let pkg_plain = MetadataPackage::describe("p", &real, vec![]).unwrap();
     let with_cfd = run_attack(&real, &pkg_cfd, true, &config).unwrap();
     let random = run_attack(&real, &pkg_plain, false, &config).unwrap();
@@ -58,10 +71,18 @@ fn cfd_pipeline_discover_share_attack() {
 fn generalization_reduces_measured_leakage_proportionally() {
     let real = echocardiogram();
     let pkg = MetadataPackage::describe("h", &real, vec![]).unwrap();
-    let config = ExperimentConfig { rounds: 80, base_seed: 3, epsilon: 1.0 };
+    let config = ExperimentConfig {
+        rounds: 80,
+        base_seed: 3,
+        epsilon: 1.0,
+    };
 
     let base = run_attack(&real, &pkg, false, &config).unwrap();
-    let g = DomainGeneralization { widen: 4.0, snap: 0.0, suppress_below: 0 };
+    let g = DomainGeneralization {
+        widen: 4.0,
+        snap: 0.0,
+        suppress_below: 0,
+    };
     let widened = g.apply(&pkg, &real).unwrap();
     let defended = run_attack(&real, &widened, false, &config).unwrap();
 
@@ -93,7 +114,11 @@ fn defense_chain_k_anonymity_and_attack() {
     // metadata drops for the coarsened attributes.
     let pkg_real = MetadataPackage::describe("h", &real, vec![]).unwrap();
     let pkg_coarse = MetadataPackage::describe("h", &coarse, vec![]).unwrap();
-    let config = ExperimentConfig { rounds: 60, base_seed: 4, epsilon: 0.05 };
+    let config = ExperimentConfig {
+        rounds: 60,
+        base_seed: 4,
+        epsilon: 0.05,
+    };
     let against_real = run_attack(&real, &pkg_real, false, &config).unwrap();
     let against_real_coarse_meta = run_attack(&real, &pkg_coarse, false, &config).unwrap();
     let (b, d) = (
@@ -108,7 +133,9 @@ fn metric_layer_consistency() {
     let real = echocardiogram();
     let pkg = MetadataPackage::describe("h", &real, vec![]).unwrap();
     let adv = Adversary::new(pkg);
-    let syn = adv.synthesize(&SynthConfig::random_baseline(real.n_rows(), 6)).unwrap();
+    let syn = adv
+        .synthesize(&SynthConfig::random_baseline(real.n_rows(), 6))
+        .unwrap();
 
     use metadata_privacy::core::{continuous_matches, continuous_matches_metric};
     use metadata_privacy::datasets::echocardiogram::attrs::EPSS;
@@ -116,21 +143,20 @@ fn metric_layer_consistency() {
     for eps in [0.0, 0.5, 2.0, 10.0] {
         assert_eq!(
             continuous_matches(&real, &syn, EPSS, eps).unwrap(),
-            continuous_matches_metric(&real, &syn, EPSS, eps, ScalarMetric::Absolute)
-                .unwrap()
+            continuous_matches_metric(&real, &syn, EPSS, eps, ScalarMetric::Absolute).unwrap()
         );
     }
     // Vector metrics nest: Chebyshev ≤ Euclidean ≤ Manhattan distances
     // imply match-count ordering at fixed ε.
     use metadata_privacy::core::tuple_distance_matches;
     let attrs = [0usize, 5, 6];
-    let cheb = tuple_distance_matches(&real, &syn, &attrs, 3.0, VectorMetric::Chebyshev)
-        .unwrap();
-    let eucl = tuple_distance_matches(&real, &syn, &attrs, 3.0, VectorMetric::Euclidean)
-        .unwrap();
-    let manh = tuple_distance_matches(&real, &syn, &attrs, 3.0, VectorMetric::Manhattan)
-        .unwrap();
-    assert!(cheb >= eucl && eucl >= manh, "cheb {cheb} eucl {eucl} manh {manh}");
+    let cheb = tuple_distance_matches(&real, &syn, &attrs, 3.0, VectorMetric::Chebyshev).unwrap();
+    let eucl = tuple_distance_matches(&real, &syn, &attrs, 3.0, VectorMetric::Euclidean).unwrap();
+    let manh = tuple_distance_matches(&real, &syn, &attrs, 3.0, VectorMetric::Manhattan).unwrap();
+    assert!(
+        cheb >= eucl && eucl >= manh,
+        "cheb {cheb} eucl {eucl} manh {manh}"
+    );
 }
 
 #[test]
@@ -141,9 +167,11 @@ fn hfl_split_schema_compatibility_and_recombination() {
     let total: usize = parts.iter().map(Relation::n_rows).sum();
     assert_eq!(total, real.n_rows());
     // No row lost or duplicated: multiset of first-column values matches.
-    let mut original: Vec<Value> = real.column(2).unwrap().to_vec();
-    let mut recombined: Vec<Value> =
-        parts.iter().flat_map(|p| p.column(2).unwrap().to_vec()).collect();
+    let mut original: Vec<Value> = real.column_values(2).unwrap();
+    let mut recombined: Vec<Value> = parts
+        .iter()
+        .flat_map(|p| p.column_values(2).unwrap())
+        .collect();
     original.sort();
     recombined.sort();
     assert_eq!(original, recombined);
@@ -156,13 +184,8 @@ fn cfd_survives_vfl_party_remapping() {
     let data = fintech_scenario(100, 8);
     let mut deps = data.bank.dependencies.clone();
     deps.push(ConditionalFd::constant(2, 0i64, 3, 2000.0).into()); // tier=0 ⇒ limit=2000
-    let bank = metadata_privacy::federated::Party::new(
-        "bank",
-        data.bank.relation.clone(),
-        0,
-        deps,
-    )
-    .unwrap();
+    let bank = metadata_privacy::federated::Party::new("bank", data.bank.relation.clone(), 0, deps)
+        .unwrap();
     let pkg = bank.share_metadata(&SharePolicy::FULL).unwrap();
     let cfd = pkg
         .dependencies
@@ -195,11 +218,14 @@ fn distribution_sharing_leaks_more_than_domains_on_skewed_data() {
         rows.push(vec![v.into()]);
     }
     let real = Relation::from_rows(schema, rows).unwrap();
-    let config = ExperimentConfig { rounds: 120, base_seed: 7, epsilon: 0.0 };
+    let config = ExperimentConfig {
+        rounds: 120,
+        base_seed: 7,
+        epsilon: 0.0,
+    };
 
     let pkg_domain = MetadataPackage::describe("p", &real, vec![]).unwrap();
-    let pkg_dist =
-        MetadataPackage::describe_with_distributions("p", &real, vec![], 8).unwrap();
+    let pkg_dist = MetadataPackage::describe_with_distributions("p", &real, vec![], 8).unwrap();
     let domain_attack = run_attack(&real, &pkg_domain, false, &config).unwrap();
     let dist_attack = run_attack(&real, &pkg_dist, false, &config).unwrap();
 
@@ -207,8 +233,8 @@ fn distribution_sharing_leaks_more_than_domains_on_skewed_data() {
     let expected_amp = analytical::distribution::amplification(&dist_meta, 4);
     assert!(expected_amp > 1.5, "test data should be clearly skewed");
 
-    let measured_amp = dist_attack.attr(0).unwrap().mean_matches
-        / domain_attack.attr(0).unwrap().mean_matches;
+    let measured_amp =
+        dist_attack.attr(0).unwrap().mean_matches / domain_attack.attr(0).unwrap().mean_matches;
     assert!(
         (measured_amp - expected_amp).abs() < 0.25 * expected_amp,
         "measured amplification {measured_amp} vs analytic {expected_amp}"
@@ -228,8 +254,8 @@ fn inclusion_dependencies_across_parties() {
     assert!(!InclusionDep::new(0, 0).holds(ecom, bank).unwrap());
     let shared_rows: Vec<usize> = (0..ecom.n_rows())
         .filter(|&r| {
-            let id = ecom.value(r, 0).unwrap();
-            bank.column(0).unwrap().contains(id)
+            let id = ecom.value_ref(r, 0).unwrap();
+            bank.column(0).unwrap().iter().any(|v| v == id)
         })
         .collect();
     let shared = ecom.select_rows(&shared_rows).unwrap();

@@ -37,14 +37,17 @@ fn sd_discover_generate_validate_roundtrip() {
         .collect();
     let real = Relation::from_rows(schema, rows).unwrap();
     let sds = discover_sds(&real, &SdConfig::default()).unwrap();
-    let sd = sds.iter().find(|d| d.lhs == 0 && d.rhs == 1).expect("SD discovered");
+    let sd = sds
+        .iter()
+        .find(|d| d.lhs == 0 && d.rhs == 1)
+        .expect("SD discovered");
     assert!(sd.holds(&real).unwrap());
 
     // Generate from the discovered SD over the real determinant column.
     let mut rng = StdRng::seed_from_u64(4);
     let dom = Domain::infer(&real, 1).unwrap();
     let syn_col = generate_sd_column(
-        real.column(0).unwrap(),
+        &real.column_values(0).unwrap(),
         &dom,
         sd.min_gap,
         sd.max_gap,
@@ -53,10 +56,12 @@ fn sd_discover_generate_validate_roundtrip() {
     );
     let syn = Relation::from_columns(
         real.schema().clone(),
-        vec![real.column(0).unwrap().to_vec(), syn_col],
+        vec![real.column_values(0).unwrap(), syn_col],
     )
     .unwrap();
-    assert!(SequentialDep::new(0, 1, sd.min_gap, sd.max_gap).holds(&syn).unwrap());
+    assert!(SequentialDep::new(0, 1, sd.min_gap, sd.max_gap)
+        .holds(&syn)
+        .unwrap());
 }
 
 #[test]
@@ -72,7 +77,10 @@ fn mfd_and_variable_cfd_on_fintech_data() {
     // Variable CFDs hold on their partitions by construction of discovery.
     let cfds = discover_variable_cfds(
         bank,
-        &VariableCfdConfig { min_support: 10, exclude_global_fds: true },
+        &VariableCfdConfig {
+            min_support: 10,
+            exclude_global_fds: true,
+        },
     )
     .unwrap();
     for cfd in &cfds {
@@ -86,21 +94,24 @@ fn bloom_psi_candidates_feed_exact_verification() {
     // digest protocol verifies them exactly — final alignment must equal
     // the pure digest alignment.
     let data = fintech_scenario(400, 13);
-    let bank_ids = data.bank.relation.column(0).unwrap();
-    let ecom_ids = data.ecommerce.relation.column(0).unwrap();
+    let bank_ids = data.bank.relation.column_values(0).unwrap();
+    let ecom_ids = data.ecommerce.relation.column_values(0).unwrap();
 
     let mut filter = BloomFilter::with_capacity(bank_ids.len(), 4, 0xB10);
-    for id in bank_ids {
+    for id in &bank_ids {
         filter.insert(id);
     }
-    let candidates = bloom_candidate_rows(&filter, ecom_ids);
+    let candidates = bloom_candidate_rows(&filter, &ecom_ids);
     // Exact verification on the candidate subset only.
-    let candidate_ids: Vec<Value> =
-        candidates.iter().map(|&r| ecom_ids[r].clone()).collect();
-    let refined = metadata_privacy::federated::align(bank_ids, &candidate_ids, 0xB10);
+    let candidate_ids: Vec<Value> = candidates.iter().map(|&r| ecom_ids[r].clone()).collect();
+    let refined = metadata_privacy::federated::align(&bank_ids, &candidate_ids, 0xB10);
 
-    let direct = metadata_privacy::federated::align(bank_ids, ecom_ids, 0xB10);
-    assert_eq!(refined.len(), direct.len(), "two-step PSI must agree with direct PSI");
+    let direct = metadata_privacy::federated::align(&bank_ids, &ecom_ids, 0xB10);
+    assert_eq!(
+        refined.len(),
+        direct.len(),
+        "two-step PSI must agree with direct PSI"
+    );
     // Communication: the filter is far smaller than one digest per row.
     assert!(filter.size_bytes() < bank_ids.len() * 8);
 }
@@ -108,8 +119,7 @@ fn bloom_psi_candidates_feed_exact_verification() {
 #[test]
 fn multiparty_setup_trains_and_audits() {
     let data = fintech_scenario(300, 21);
-    let bank =
-        Party::new("bank", data.bank.relation, 0, data.bank.dependencies).unwrap();
+    let bank = Party::new("bank", data.bank.relation, 0, data.bank.dependencies).unwrap();
     let ecom = Party::new(
         "ecom",
         data.ecommerce.relation,
@@ -134,7 +144,11 @@ fn multiparty_setup_trains_and_audits() {
 
     // The e-commerce party followed the recommendation: its surface is
     // zero; the bank overshared: its surface is the domain-level leakage.
-    let config = ExperimentConfig { rounds: 30, base_seed: 3, epsilon: 0.0 };
+    let config = ExperimentConfig {
+        rounds: 30,
+        base_seed: 3,
+        epsilon: 0.0,
+    };
     let vs_ecom = run_attack(&setup.aligned[1], &setup.metadata[1], true, &config).unwrap();
     assert!(vs_ecom.per_attr.iter().all(|a| a.mean_matches == 0.0));
     let vs_bank = run_attack(&setup.aligned[0], &setup.metadata[0], true, &config).unwrap();

@@ -12,7 +12,13 @@ fn parties(n: usize, seed: u64) -> (Party, Party) {
     let data = fintech_scenario(n, seed);
     (
         Party::new("bank", data.bank.relation, 0, data.bank.dependencies).unwrap(),
-        Party::new("ecom", data.ecommerce.relation, 0, data.ecommerce.dependencies).unwrap(),
+        Party::new(
+            "ecom",
+            data.ecommerce.relation,
+            0,
+            data.ecommerce.dependencies,
+        )
+        .unwrap(),
     )
 }
 
@@ -20,7 +26,9 @@ fn parties(n: usize, seed: u64) -> (Party, Party) {
 fn setup_then_train_from_aligned_slices() {
     let (bank, ecom) = parties(400, 9);
     let session = VflSession::new(bank, ecom, 7);
-    let setup = session.run_setup(&SharePolicy::FULL, &SharePolicy::FULL).unwrap();
+    let setup = session
+        .run_setup(&SharePolicy::FULL, &SharePolicy::FULL)
+        .unwrap();
     assert_eq!(setup.aligned_a.n_rows(), setup.aligned_b.n_rows());
     assert_eq!(setup.alignment.len(), 320);
 
@@ -28,11 +36,21 @@ fn setup_then_train_from_aligned_slices() {
     // minus the id column).
     let labels = labels_from_column(&setup.aligned_a, 4).unwrap();
     let bank_block = FeatureBlock::encode(&setup.aligned_a, &[0, 1, 2, 3]).unwrap();
-    let ecom_block =
-        FeatureBlock::encode(&setup.aligned_b, &(0..setup.aligned_b.arity()).collect::<Vec<_>>())
-            .unwrap();
-    let model = train(vec![bank_block, ecom_block], &labels, &TrainConfig::default());
-    assert!(model.accuracy(&labels) > 0.7, "accuracy {}", model.accuracy(&labels));
+    let ecom_block = FeatureBlock::encode(
+        &setup.aligned_b,
+        &(0..setup.aligned_b.arity()).collect::<Vec<_>>(),
+    )
+    .unwrap();
+    let model = train(
+        vec![bank_block, ecom_block],
+        &labels,
+        &TrainConfig::default(),
+    );
+    assert!(
+        model.accuracy(&labels) > 0.7,
+        "accuracy {}",
+        model.accuracy(&labels)
+    );
     // Loss decreased monotonically-ish.
     assert!(model.loss_trace.last().unwrap() < model.loss_trace.first().unwrap());
 }
@@ -43,7 +61,11 @@ fn scenario_attack_respects_psi_alignment() {
     // relation: per-attribute mean matches scale with the intersection
     // size, not the bank's table size.
     let (bank, ecom) = parties(300, 21);
-    let experiment = ExperimentConfig { rounds: 40, base_seed: 1, epsilon: 0.0 };
+    let experiment = ExperimentConfig {
+        rounds: 40,
+        base_seed: 1,
+        epsilon: 0.0,
+    };
     let out = run_scenario(bank, ecom, 5, &SharePolicy::FULL, &experiment).unwrap();
     let n_aligned = out.setup.alignment.len() as f64;
     for attr in &out.attack_random.per_attr {
@@ -59,7 +81,11 @@ fn scenario_attack_respects_psi_alignment() {
 #[test]
 fn exchange_policies_propagate_into_scenario() {
     let (bank, ecom) = parties(200, 33);
-    let experiment = ExperimentConfig { rounds: 10, base_seed: 2, epsilon: 0.0 };
+    let experiment = ExperimentConfig {
+        rounds: 10,
+        base_seed: 2,
+        epsilon: 0.0,
+    };
     let out = run_scenario(bank, ecom, 5, &SharePolicy::NAMES_ONLY, &experiment).unwrap();
     assert!(!out.setup.metadata_from_a.shares_domains());
     assert!(!out.setup.metadata_from_a.shares_dependencies());
@@ -73,16 +99,17 @@ fn exchange_policies_propagate_into_scenario() {
 #[test]
 fn psi_alignment_is_entity_consistent_end_to_end() {
     let data = fintech_scenario(150, 5);
-    let bank_ids = data.bank.relation.column(0).unwrap().to_vec();
-    let ecom_ids = data.ecommerce.relation.column(0).unwrap().to_vec();
+    let bank_ids = data.bank.relation.column_values(0).unwrap();
+    let ecom_ids = data.ecommerce.relation.column_values(0).unwrap();
     let bank = Party::new("bank", data.bank.relation, 0, vec![]).unwrap();
     let ecom = Party::new("ecom", data.ecommerce.relation, 0, vec![]).unwrap();
     let session = VflSession::new(bank, ecom, 1234);
-    let setup = session.run_setup(&SharePolicy::FULL, &SharePolicy::FULL).unwrap();
+    let setup = session
+        .run_setup(&SharePolicy::FULL, &SharePolicy::FULL)
+        .unwrap();
     for i in 0..setup.alignment.len() {
         assert_eq!(
-            bank_ids[setup.alignment.rows_a[i]],
-            ecom_ids[setup.alignment.rows_b[i]],
+            bank_ids[setup.alignment.rows_a[i]], ecom_ids[setup.alignment.rows_b[i]],
             "row {i} aligned to different entities"
         );
     }

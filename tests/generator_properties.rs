@@ -7,42 +7,36 @@ use proptest::prelude::*;
 /// Strategy: a random two-attribute categorical package with one
 /// dependency of a random class.
 fn package_strategy() -> impl Strategy<Value = (MetadataPackage, usize)> {
-    (2usize..8, 2usize..12, 0usize..5, 1usize..6).prop_map(
-        |(card_a, card_b, dep_kind, k)| {
-            use metadata_privacy::metadata::AttributeMeta;
-            let dep: Dependency = match dep_kind {
-                0 => Fd::new(0usize, 1).into(),
-                1 => Afd::new(0usize, 1, 0.1).into(),
-                2 => OrderDep::ascending(0, 1).into(),
-                3 => NumericalDep::new(0, 1, k).into(),
-                _ => OrderedFd::new(0, 1).into(),
-            };
-            let pkg = MetadataPackage {
-                party: "p".into(),
-                attributes: vec![
-                    AttributeMeta {
-                        name: "a".into(),
-                        kind: Some(AttrKind::Categorical),
-                        domain: Some(Domain::categorical(
-                            (0..card_a as i64).collect::<Vec<_>>(),
-                        )),
-                        distribution: None,
-                    },
-                    AttributeMeta {
-                        name: "b".into(),
-                        kind: Some(AttrKind::Categorical),
-                        domain: Some(Domain::categorical(
-                            (0..card_b as i64).collect::<Vec<_>>(),
-                        )),
-                        distribution: None,
-                    },
-                ],
-                dependencies: vec![dep],
-                n_rows: None,
-            };
-            (pkg, dep_kind)
-        },
-    )
+    (2usize..8, 2usize..12, 0usize..5, 1usize..6).prop_map(|(card_a, card_b, dep_kind, k)| {
+        use metadata_privacy::metadata::AttributeMeta;
+        let dep: Dependency = match dep_kind {
+            0 => Fd::new(0usize, 1).into(),
+            1 => Afd::new(0usize, 1, 0.1).into(),
+            2 => OrderDep::ascending(0, 1).into(),
+            3 => NumericalDep::new(0, 1, k).into(),
+            _ => OrderedFd::new(0, 1).into(),
+        };
+        let pkg = MetadataPackage {
+            party: "p".into(),
+            attributes: vec![
+                AttributeMeta {
+                    name: "a".into(),
+                    kind: Some(AttrKind::Categorical),
+                    domain: Some(Domain::categorical((0..card_a as i64).collect::<Vec<_>>())),
+                    distribution: None,
+                },
+                AttributeMeta {
+                    name: "b".into(),
+                    kind: Some(AttrKind::Categorical),
+                    domain: Some(Domain::categorical((0..card_b as i64).collect::<Vec<_>>())),
+                    distribution: None,
+                },
+            ],
+            dependencies: vec![dep],
+            n_rows: None,
+        };
+        (pkg, dep_kind)
+    })
 }
 
 proptest! {
@@ -89,8 +83,8 @@ proptest! {
                 .unwrap();
             for (c, meta) in pkg.attributes.iter().enumerate() {
                 let dom = meta.domain.as_ref().unwrap();
-                for v in syn.column(c).unwrap() {
-                    prop_assert!(dom.contains(v), "attr {} value {} outside domain", c, v);
+                for v in syn.column_values(c).unwrap() {
+                    prop_assert!(dom.contains(&v), "attr {} value {} outside domain", c, v);
                 }
             }
         }

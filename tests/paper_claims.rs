@@ -9,7 +9,11 @@ use metadata_privacy::datasets::{
 use metadata_privacy::prelude::*;
 
 fn config(rounds: usize) -> ExperimentConfig {
-    ExperimentConfig { rounds, base_seed: 0xAB, epsilon: 0.0 }
+    ExperimentConfig {
+        rounds,
+        base_seed: 0xAB,
+        epsilon: 0.0,
+    }
 }
 
 /// §II-A, Example 2.1: the running example's dependencies.
@@ -70,7 +74,9 @@ fn table4_dependency_rows_close_to_random() {
     for &attr in &CATEGORICAL_ATTRS {
         let random = run_cell(&r, &domains, None, attr, &config(300)).unwrap();
         for class in ["FD", "OD"] {
-            let Some(dep) = inventory.lookup(class, attr) else { continue };
+            let Some(dep) = inventory.lookup(class, attr) else {
+                continue;
+            };
             let cell = run_cell(&r, &domains, Some(dep), attr, &config(300)).unwrap();
             let bound = 0.30 * r.n_rows() as f64;
             assert!(
@@ -109,7 +115,9 @@ fn table3_fd_row_close_to_random() {
     let domains = Domain::infer_all(&r).unwrap();
     let inventory = paper_inventory();
     for &attr in &CONTINUOUS_ATTRS {
-        let Some(dep) = inventory.lookup("FD", attr) else { continue };
+        let Some(dep) = inventory.lookup("FD", attr) else {
+            continue;
+        };
         let random = run_cell(&r, &domains, None, attr, &config(200)).unwrap();
         let fd = run_cell(&r, &domains, Some(dep), attr, &config(200)).unwrap();
         let (rm, fm) = (random.mean_mse.unwrap(), fd.mean_mse.unwrap());

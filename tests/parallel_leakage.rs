@@ -45,7 +45,10 @@ fn domains() -> Vec<Domain> {
 
 fn threaded(threads: usize) -> ProfileConfig {
     let mut config = ProfileConfig::paper();
-    config.fd.parallel = ParallelConfig { threads, ..ParallelConfig::default() };
+    config.fd.parallel = ParallelConfig {
+        threads,
+        ..ParallelConfig::default()
+    };
     config
 }
 
@@ -70,7 +73,13 @@ fn fd_leakage_bound_holds_with_parallel_discovery() {
     // Discover with threads > 1 through a shared cached context, then take
     // the planted FD x → y from the *discovered* profile (not constructed
     // by hand) into the leakage measurement.
-    let ctx = DiscoveryContext::new(&real, ParallelConfig { threads: 4, cache_capacity: 4096 });
+    let ctx = DiscoveryContext::new(
+        &real,
+        ParallelConfig {
+            threads: 4,
+            cache_capacity: 4096,
+        },
+    );
     let profile = DependencyProfile::discover_with(&ctx, &threaded(4)).unwrap();
     let fd = profile
         .fds
@@ -80,7 +89,11 @@ fn fd_leakage_bound_holds_with_parallel_discovery() {
         .clone();
 
     let dep: Dependency = fd.into();
-    let config = ExperimentConfig { rounds: 400, base_seed: 0xA11, epsilon: 0.0 };
+    let config = ExperimentConfig {
+        rounds: 400,
+        base_seed: 0xA11,
+        epsilon: 0.0,
+    };
     let cell = run_cell(&real, &domains(), Some(&dep), 1, &config).unwrap();
 
     // Identical bounds to `analytic_empirical::fd_cell_matches_rhs_model...`:
@@ -107,13 +120,20 @@ fn random_leakage_bound_unaffected_by_engine_config() {
     let real = mapped_relation(1);
     for parallel in [
         ParallelConfig::sequential(),
-        ParallelConfig { threads: 4, cache_capacity: 8 },
+        ParallelConfig {
+            threads: 4,
+            cache_capacity: 8,
+        },
         ParallelConfig::uncached(4),
     ] {
         let ctx = DiscoveryContext::new(&real, parallel);
         DependencyProfile::discover_with(&ctx, &ProfileConfig::paper()).unwrap();
 
-        let config = ExperimentConfig { rounds: 300, base_seed: 0xA11, epsilon: 0.0 };
+        let config = ExperimentConfig {
+            rounds: 300,
+            base_seed: 0xA11,
+            epsilon: 0.0,
+        };
         let cell = run_cell(&real, &domains(), None, 1, &config).unwrap();
         let expected = analytical::random::expected_matches(N, 1.0 / CARD_Y as f64);
         assert!(

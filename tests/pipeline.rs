@@ -5,7 +5,11 @@ use metadata_privacy::prelude::*;
 use metadata_privacy::{core::analytical, datasets};
 
 fn experiment(rounds: usize) -> ExperimentConfig {
-    ExperimentConfig { rounds, base_seed: 0xFEED, epsilon: 0.0 }
+    ExperimentConfig {
+        rounds,
+        base_seed: 0xFEED,
+        epsilon: 0.0,
+    }
 }
 
 #[test]
@@ -15,8 +19,7 @@ fn discovery_to_attack_pipeline_runs() {
     assert!(!profile.fds.is_empty());
     assert!(!profile.ods.is_empty());
 
-    let package =
-        MetadataPackage::describe("hospital", &real, profile.to_dependencies()).unwrap();
+    let package = MetadataPackage::describe("hospital", &real, profile.to_dependencies()).unwrap();
     let result = run_attack(&real, &package, true, &experiment(10)).unwrap();
     assert_eq!(result.per_attr.len(), 13);
     assert_eq!(result.rounds, 10);
@@ -30,10 +33,7 @@ fn random_matches_follow_n_over_domain_law() {
     let result = run_attack(&real, &package, false, &experiment(300)).unwrap();
     for &attr in &datasets::CATEGORICAL_ATTRS {
         let domain = Domain::infer(&real, attr).unwrap();
-        let expected = analytical::random::expected_matches(
-            real.n_rows(),
-            domain.theta(0.0),
-        );
+        let expected = analytical::random::expected_matches(real.n_rows(), domain.theta(0.0));
         let measured = result.attr(attr).unwrap().mean_matches;
         assert!(
             (measured - expected).abs() < 0.15 * expected + 1.0,
@@ -67,8 +67,7 @@ fn fd_driven_attack_leaks_no_more_than_random() {
 #[test]
 fn recommended_policy_zeroes_generation() {
     let real = datasets::echocardiogram();
-    let package =
-        MetadataPackage::describe("h", &real, datasets::verified_dependencies()).unwrap();
+    let package = MetadataPackage::describe("h", &real, datasets::verified_dependencies()).unwrap();
     let shared = SharePolicy::PAPER_RECOMMENDED.apply(&package);
     let result = run_attack(&real, &shared, true, &experiment(5)).unwrap();
     for summary in &result.per_attr {
@@ -94,8 +93,7 @@ fn exchange_round_trips_through_json() {
     // whether the package went through JSON or not.
     let real = datasets::employee();
     let profile = DependencyProfile::discover(&real, &ProfileConfig::paper()).unwrap();
-    let package =
-        MetadataPackage::describe("bank", &real, profile.to_dependencies()).unwrap();
+    let package = MetadataPackage::describe("bank", &real, profile.to_dependencies()).unwrap();
     let wire = package.to_json();
     let received = MetadataPackage::from_json(&wire).unwrap();
     assert_eq!(received, package);
@@ -113,8 +111,7 @@ fn discovered_dependencies_transfer_to_synthetic_data() {
     // hold on the adversary's synthetic output when they drive generation.
     let real = datasets::employee();
     let profile = DependencyProfile::discover(&real, &ProfileConfig::paper()).unwrap();
-    let package =
-        MetadataPackage::describe("bank", &real, profile.to_dependencies()).unwrap();
+    let package = MetadataPackage::describe("bank", &real, profile.to_dependencies()).unwrap();
     let adversary = Adversary::new(package.clone());
     let syn = adversary
         .synthesize(&SynthConfig::with_dependencies(100, 3))

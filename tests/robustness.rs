@@ -25,14 +25,11 @@ fn corrupt_csv_inputs_fail_with_typed_errors() {
 
 #[test]
 fn sixty_five_attribute_relation_rejected_by_tane() {
-    let attrs: Vec<Attribute> =
-        (0..65).map(|i| Attribute::categorical(format!("a{i}"))).collect();
+    let attrs: Vec<Attribute> = (0..65)
+        .map(|i| Attribute::categorical(format!("a{i}")))
+        .collect();
     let schema = Schema::new(attrs).unwrap();
-    let rel = Relation::from_rows(
-        schema,
-        vec![(0..65).map(Value::Int).collect()],
-    )
-    .unwrap();
+    let rel = Relation::from_rows(schema, vec![(0..65).map(Value::Int).collect()]).unwrap();
     let err = discover_fds(&rel, &TaneConfig::default()).unwrap_err();
     assert!(matches!(err, RelationError::IndexOutOfBounds { .. }));
 }
@@ -61,7 +58,9 @@ fn adversary_with_contradictory_metadata_stays_sane() {
         n_rows: Some(10),
     };
     let adv = Adversary::new(pkg);
-    let syn = adv.synthesize(&SynthConfig::random_baseline(10, 1)).unwrap();
+    let syn = adv
+        .synthesize(&SynthConfig::random_baseline(10, 1))
+        .unwrap();
     assert_eq!(syn.n_rows(), 10);
     // Continuous kind + categorical Int domain: values are numeric.
     assert!(syn.column(0).unwrap().iter().all(|v| v.as_f64().is_some()));
@@ -81,10 +80,16 @@ fn cyclic_and_self_referential_dependency_packages() {
     )
     .unwrap();
     let adv = Adversary::new(pkg.clone());
-    let syn = adv.synthesize(&SynthConfig::with_dependencies(30, 2)).unwrap();
+    let syn = adv
+        .synthesize(&SynthConfig::with_dependencies(30, 2))
+        .unwrap();
     assert_eq!(syn.n_rows(), 30);
     // And the attack harness runs over it.
-    let config = ExperimentConfig { rounds: 3, base_seed: 0, epsilon: 0.0 };
+    let config = ExperimentConfig {
+        rounds: 3,
+        base_seed: 0,
+        epsilon: 0.0,
+    };
     let result = run_attack(&rel, &pkg, true, &config).unwrap();
     assert_eq!(result.per_attr.len(), 4);
 }
@@ -109,14 +114,14 @@ fn all_null_relation_through_the_full_pipeline() {
         Attribute::categorical("b"),
     ])
     .unwrap();
-    let rel = Relation::from_rows(
-        schema,
-        vec![vec![Value::Null, Value::Null]; 8],
-    )
-    .unwrap();
+    let rel = Relation::from_rows(schema, vec![vec![Value::Null, Value::Null]; 8]).unwrap();
     let profile = DependencyProfile::discover(&rel, &ProfileConfig::paper()).unwrap();
     let pkg = MetadataPackage::describe("p", &rel, profile.to_dependencies()).unwrap();
-    let config = ExperimentConfig { rounds: 4, base_seed: 0, epsilon: 0.0 };
+    let config = ExperimentConfig {
+        rounds: 4,
+        base_seed: 0,
+        epsilon: 0.0,
+    };
     let result = run_attack(&rel, &pkg, true, &config).unwrap();
     // All-null real + all-null domain: everything "matches" — the audit
     // must survive, and the numbers must be exactly N per attribute.
@@ -151,7 +156,11 @@ fn attack_against_mismatched_arity_errors() {
     let wide = metadata_privacy::datasets::employee();
     let narrow = wide.project(&[0, 1]).unwrap();
     let pkg = MetadataPackage::describe("p", &wide, vec![]).unwrap();
-    let config = ExperimentConfig { rounds: 2, base_seed: 0, epsilon: 0.0 };
+    let config = ExperimentConfig {
+        rounds: 2,
+        base_seed: 0,
+        epsilon: 0.0,
+    };
     assert!(run_attack(&narrow, &pkg, false, &config).is_err());
 }
 
@@ -159,13 +168,21 @@ fn attack_against_mismatched_arity_errors() {
 fn extreme_epsilon_values_are_total_or_empty() {
     let rel = metadata_privacy::datasets::echocardiogram();
     let pkg = MetadataPackage::describe("p", &rel, vec![]).unwrap();
-    let huge = ExperimentConfig { rounds: 2, base_seed: 0, epsilon: f64::INFINITY };
+    let huge = ExperimentConfig {
+        rounds: 2,
+        base_seed: 0,
+        epsilon: f64::INFINITY,
+    };
     let result = run_attack(&rel, &pkg, false, &huge).unwrap();
     use metadata_privacy::datasets::echocardiogram::attrs::LVDD;
     // ε = ∞: every numeric pair matches (lvdd has no nulls).
     assert_eq!(result.attr(LVDD).unwrap().mean_matches, 132.0);
 
-    let negative = ExperimentConfig { rounds: 2, base_seed: 0, epsilon: -1.0 };
+    let negative = ExperimentConfig {
+        rounds: 2,
+        base_seed: 0,
+        epsilon: -1.0,
+    };
     let result = run_attack(&rel, &pkg, false, &negative).unwrap();
     assert_eq!(result.attr(LVDD).unwrap().mean_matches, 0.0);
 }
@@ -175,13 +192,8 @@ fn generalize_to_k_gives_up_gracefully() {
     // Categorical-only QIs can never be generalised by bucketing; the
     // routine must stop after max_steps without looping forever.
     let schema = Schema::new(vec![Attribute::categorical("c")]).unwrap();
-    let rel = Relation::from_rows(
-        schema,
-        vec![vec!["a".into()], vec!["b".into()]],
-    )
-    .unwrap();
-    let (out, widths) =
-        metadata_privacy::core::generalize_to_k(&rel, &[0], 2, 1.0, 3).unwrap();
+    let rel = Relation::from_rows(schema, vec![vec!["a".into()], vec!["b".into()]]).unwrap();
+    let (out, widths) = metadata_privacy::core::generalize_to_k(&rel, &[0], 2, 1.0, 3).unwrap();
     assert_eq!(out.n_rows(), 2);
     assert_eq!(widths, vec![None]);
     assert_eq!(metadata_privacy::core::k_anonymity(&out, &[0]).unwrap(), 1);

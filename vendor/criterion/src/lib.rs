@@ -49,7 +49,10 @@ impl Criterion {
 
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.into() }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
     }
 
     /// Runs a single standalone benchmark.
@@ -108,12 +111,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id made of a function name and a parameter, `name/param`.
     pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { text: format!("{name}/{parameter}") }
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
     }
 
     /// An id that is just the parameter value.
     pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { text: parameter.to_string() }
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
     }
 }
 
@@ -131,7 +138,9 @@ impl IntoBenchmarkId for BenchmarkId {
 
 impl IntoBenchmarkId for &str {
     fn into_benchmark_id(self) -> BenchmarkId {
-        BenchmarkId { text: self.to_owned() }
+        BenchmarkId {
+            text: self.to_owned(),
+        }
     }
 }
 
@@ -173,8 +182,7 @@ impl Bencher {
         let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
 
         // Spread the measurement budget across the configured samples.
-        let budget_per_sample =
-            self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let budget_per_sample = self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
         let iters_per_sample = ((budget_per_sample / est_ns) as u64).max(1);
 
         self.samples_ns.clear();
@@ -193,7 +201,11 @@ impl Bencher {
             println!("{label:<50} (no samples — b.iter was never called)");
             return;
         }
-        let min = self.samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let min = self
+            .samples_ns
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
         let max = self.samples_ns.iter().cloned().fold(0.0f64, f64::max);
         let mean = self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64;
         println!(

@@ -98,7 +98,11 @@ impl_tuple_strategy! {
 /// One parsed atom of the supported regex subset.
 enum RegexAtom {
     /// A set of candidate characters with a repetition count range.
-    Class { chars: Vec<char>, min: usize, max: usize },
+    Class {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    },
 }
 
 /// Parses the regex subset used as string strategies: sequences of
@@ -170,7 +174,11 @@ fn parse_simple_regex(pattern: &str) -> Vec<RegexAtom> {
         } else {
             (1, 1)
         };
-        atoms.push(RegexAtom::Class { chars: class, min, max });
+        atoms.push(RegexAtom::Class {
+            chars: class,
+            min,
+            max,
+        });
     }
     atoms
 }
@@ -182,7 +190,11 @@ impl Strategy for &str {
         let mut out = String::new();
         for atom in parse_simple_regex(self) {
             let RegexAtom::Class { chars, min, max } = atom;
-            let count = if min == max { min } else { rng.gen_range(min..=max) };
+            let count = if min == max {
+                min
+            } else {
+                rng.gen_range(min..=max)
+            };
             for _ in 0..count {
                 out.push(chars[rng.gen_range(0..chars.len())]);
             }
@@ -254,7 +266,7 @@ pub mod prop {
     pub mod collection {
         use super::super::*;
 
-        /// Number-of-elements specification for [`vec`].
+        /// Number-of-elements specification for [`vec()`].
         #[derive(Clone, Debug)]
         pub struct SizeRange {
             min: usize,
@@ -270,23 +282,32 @@ pub mod prop {
         impl From<std::ops::Range<usize>> for SizeRange {
             fn from(r: std::ops::Range<usize>) -> Self {
                 assert!(r.start < r.end, "empty size range");
-                SizeRange { min: r.start, max: r.end - 1 }
+                SizeRange {
+                    min: r.start,
+                    max: r.end - 1,
+                }
             }
         }
 
         impl From<std::ops::RangeInclusive<usize>> for SizeRange {
             fn from(r: std::ops::RangeInclusive<usize>) -> Self {
-                SizeRange { min: *r.start(), max: *r.end() }
+                SizeRange {
+                    min: *r.start(),
+                    max: *r.end(),
+                }
             }
         }
 
         /// Strategy for `Vec`s of values from `element` with a length
         /// drawn from `size`.
         pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-            VecStrategy { element, size: size.into() }
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
         }
 
-        /// Strategy returned by [`vec`].
+        /// Strategy returned by [`vec()`].
         pub struct VecStrategy<S> {
             element: S,
             size: SizeRange,
@@ -338,7 +359,9 @@ pub mod prop {
 pub mod prelude {
     pub use crate::test_runner::Config as ProptestConfig;
     pub use crate::test_runner::TestCaseError;
-    pub use crate::{any, prop, prop_assert, prop_assert_eq, prop_assume, proptest, Just, Strategy};
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assume, proptest, Just, Strategy,
+    };
 }
 
 // ---- macros ----------------------------------------------------------

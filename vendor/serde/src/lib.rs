@@ -340,7 +340,9 @@ impl_tuple! {
 impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
     fn to_content(&self) -> Content {
         Content::Seq(
-            self.iter().map(|(k, v)| Content::Seq(vec![k.to_content(), v.to_content()])).collect(),
+            self.iter()
+                .map(|(k, v)| Content::Seq(vec![k.to_content(), v.to_content()]))
+                .collect(),
         )
     }
 }
@@ -381,6 +383,9 @@ mod tests {
     #[test]
     fn tuple_roundtrip() {
         let c = (1usize, "x".to_owned()).to_content();
-        assert_eq!(<(usize, String)>::from_content(&c), Ok((1usize, "x".to_owned())));
+        assert_eq!(
+            <(usize, String)>::from_content(&c),
+            Ok((1usize, "x".to_owned()))
+        );
     }
 }

@@ -51,7 +51,10 @@ struct Cursor {
 
 impl Cursor {
     fn new(stream: TokenStream) -> Self {
-        Cursor { tokens: stream.into_iter().collect(), pos: 0 }
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
     }
 
     fn peek(&self) -> Option<&TokenTree> {
@@ -131,7 +134,10 @@ fn parse_named_fields(group: TokenStream) -> Vec<Field> {
         let default = c.skip_attrs();
         c.skip_visibility();
         let name = c.expect_ident("field name");
-        assert!(c.at_punct(':'), "serde_derive: expected `:` after field `{name}`");
+        assert!(
+            c.at_punct(':'),
+            "serde_derive: expected `:` after field `{name}`"
+        );
         c.next();
         c.skip_type();
         if c.at_punct(',') {
@@ -239,9 +245,7 @@ fn gen_serialize(input: &Input) -> String {
             s.push_str("::serde::Content::Map(__fields)");
             s
         }
-        Data::Struct(Shape::Tuple(1)) => {
-            "::serde::Serialize::to_content(&self.0)".to_owned()
-        }
+        Data::Struct(Shape::Tuple(1)) => "::serde::Serialize::to_content(&self.0)".to_owned(),
         Data::Struct(Shape::Tuple(n)) => {
             let items: Vec<String> = (0..*n)
                 .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
@@ -331,9 +335,9 @@ fn gen_deserialize(input: &Input) -> String {
                 "let __map = __c.as_map().ok_or_else(|| ::serde::DeError::expected(\"object\", \"{name}\", __c))?;\n::std::result::Result::Ok({ctor})"
             )
         }
-        Data::Struct(Shape::Tuple(1)) => format!(
-            "::std::result::Result::Ok({name}(::serde::Deserialize::from_content(__c)?))"
-        ),
+        Data::Struct(Shape::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_content(__c)?))")
+        }
         Data::Struct(Shape::Tuple(n)) => {
             let items: Vec<String> = (0..*n)
                 .map(|i| format!("::serde::Deserialize::from_content(&__seq[{i}])?"))
@@ -403,12 +407,16 @@ fn gen_deserialize(input: &Input) -> String {
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let parsed = parse_input(input);
-    gen_serialize(&parsed).parse().expect("serde_derive: generated Serialize impl parses")
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated Serialize impl parses")
 }
 
 /// Derives the vendored `serde::Deserialize` (content-tree form).
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let parsed = parse_input(input);
-    gen_deserialize(&parsed).parse().expect("serde_derive: generated Deserialize impl parses")
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl parses")
 }

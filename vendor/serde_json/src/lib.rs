@@ -50,7 +50,10 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
 
 /// Parses a value from JSON text.
 pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
-    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let content = p.parse_value()?;
     p.skip_ws();
@@ -210,7 +213,10 @@ impl<'a> Parser<'a> {
                 Ok(Content::F64(f64::NEG_INFINITY))
             }
             Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
-            _ => Err(Error::new(format!("unexpected character at byte {}", self.pos))),
+            _ => Err(Error::new(format!(
+                "unexpected character at byte {}",
+                self.pos
+            ))),
         }
     }
 
@@ -253,10 +259,7 @@ impl<'a> Parser<'a> {
                             out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
                         }
                         other => {
-                            return Err(Error::new(format!(
-                                "bad escape `\\{}`",
-                                other as char
-                            )))
+                            return Err(Error::new(format!("bad escape `\\{}`", other as char)))
                         }
                     }
                 }
@@ -326,7 +329,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Content::Seq(items));
                 }
-                _ => return Err(Error::new(format!("expected `,` or `]` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -355,7 +363,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Content::Map(entries));
                 }
-                _ => return Err(Error::new(format!("expected `,` or `}}` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
