@@ -66,6 +66,16 @@ fn run(argv: &[String]) -> Result<String, String> {
                 Ok(format!("{report}{}", csv::write_str(&anon)))
             }
         }
+        "simulate" => {
+            let seed = parsed.get_or("seed", 0u64)?;
+            let faults = parsed
+                .options
+                .get("faults")
+                .cloned()
+                .unwrap_or_else(|| "drop,dup,reorder".to_owned());
+            let rows = parsed.get_or("rows", 120usize)?;
+            commands::simulate(seed, &faults, rows)
+        }
         other => Err(format!("unknown subcommand `{other}`")),
     }
 }

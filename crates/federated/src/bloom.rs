@@ -94,12 +94,65 @@ impl BloomFilter {
 /// [`BloomFilter::estimated_fpr`]; it never misses a true intersection
 /// member.
 pub fn bloom_candidate_rows(filter: &BloomFilter, ids_b: &[Value]) -> Vec<usize> {
-    ids_b
+    bloom_candidate_rows_windowed(std::slice::from_ref(filter), ids_b)
+}
+
+/// Builds one Bloom filter per *window* of `ids_a`: a window of `window`
+/// rows starts every `stride` rows (with `stride < window` the windows
+/// overlap — the streaming-PSI shape where each batch re-covers the tail
+/// of the previous one so no boundary entity is missed). Each filter is
+/// capacity-sized for its window. `window` and `stride` are clamped to
+/// ≥ 1.
+pub fn windowed_filters(
+    ids_a: &[Value],
+    window: usize,
+    stride: usize,
+    k_hashes: u32,
+    salt: u64,
+) -> Vec<BloomFilter> {
+    let window = window.max(1);
+    let stride = stride.max(1);
+    let mut filters = Vec::new();
+    let mut start = 0;
+    while start < ids_a.len() {
+        let end = (start + window).min(ids_a.len());
+        let mut f = BloomFilter::with_capacity(end - start, k_hashes, salt);
+        for id in &ids_a[start..end] {
+            f.insert(id);
+        }
+        filters.push(f);
+        if end == ids_a.len() {
+            break;
+        }
+        start += stride;
+    }
+    filters
+}
+
+/// Bloom-filter PSI against a set of (window) filters: the rows of
+/// `ids_b` accepted by *any* filter, each row listed **once**, in
+/// ascending row order.
+///
+/// Deduplication here is load-bearing: with overlapping windows (or a
+/// false-positive collision in more than one filter) the same row is
+/// accepted by several filters, and the pre-dedup implementation reported
+/// it once per accepting window — inflating candidate counts and breaking
+/// downstream exact-intersection confirmation, which assumes candidate
+/// rows are distinct.
+pub fn bloom_candidate_rows_windowed(filters: &[BloomFilter], ids_b: &[Value]) -> Vec<usize> {
+    let mut rows: Vec<usize> = filters
         .iter()
-        .enumerate()
-        .filter(|(_, id)| filter.contains(id))
-        .map(|(i, _)| i)
-        .collect()
+        .flat_map(|f| {
+            ids_b
+                .iter()
+                .enumerate()
+                .filter(|(_, id)| f.contains(id))
+                .map(|(i, _)| i)
+        })
+        .collect();
+    rows.sort_unstable();
+    rows.dedup();
+    rows
 }
 
 #[cfg(test)]
@@ -174,6 +227,70 @@ mod tests {
         assert_eq!(f.size_bytes(), f.bits.len() * 8);
         // ~1.44·k·n/ln2... just sanity-bound the sizing heuristic.
         assert!(f.size_bytes() < 10_000 * 8);
+    }
+
+    #[test]
+    fn windowed_candidates_are_deduplicated() {
+        // Overlapping windows (stride < window): rows 4..8 of party A are
+        // covered by both windows, so a matching row of B is accepted by
+        // two filters. Regression: it must be reported exactly once.
+        let a = ids(0..12);
+        let filters = windowed_filters(&a, 8, 4, 4, 21);
+        assert_eq!(filters.len(), 2);
+        let b = ids(4..8); // entirely inside the overlap
+        for id in &b {
+            assert!(filters[0].contains(id) && filters[1].contains(id));
+        }
+        let candidates = bloom_candidate_rows_windowed(&filters, &b);
+        assert_eq!(candidates, vec![0, 1, 2, 3], "each row exactly once");
+    }
+
+    #[test]
+    fn windowed_crafted_collision_deduplicated() {
+        // Deliberately tiny filters: nearly every probe is a false
+        // positive in *every* window — the crafted-collision case. The
+        // candidate list must still be duplicate-free and sorted.
+        let a = ids(0..64);
+        let mut filters = windowed_filters(&a, 16, 8, 1, 5);
+        for f in &mut filters {
+            // Saturate: now every probe collides in every window.
+            for id in ids(0..512) {
+                f.insert(&id);
+            }
+        }
+        let probes = ids(1000..1040);
+        let candidates = bloom_candidate_rows_windowed(&filters, &probes);
+        let mut deduped = candidates.clone();
+        deduped.dedup();
+        assert_eq!(candidates, deduped, "duplicates in candidate rows");
+        assert!(candidates.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(candidates, (0..probes.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn windowed_union_covers_true_intersection() {
+        let a = ids(0..300);
+        let b = ids(250..400);
+        let filters = windowed_filters(&a, 64, 48, 4, 9);
+        let candidates = bloom_candidate_rows_windowed(&filters, &b);
+        let exact = align(&a, &b, 9);
+        for &rb in &exact.rows_b {
+            assert!(candidates.contains(&rb), "missed true member row {rb}");
+        }
+    }
+
+    #[test]
+    fn single_filter_path_unchanged() {
+        let a = ids(0..100);
+        let mut f = BloomFilter::with_capacity(a.len(), 4, 3);
+        for id in &a {
+            f.insert(id);
+        }
+        let b = ids(50..150);
+        let single = bloom_candidate_rows(&f, &b);
+        let windowed = bloom_candidate_rows_windowed(std::slice::from_ref(&f), &b);
+        assert_eq!(single, windowed);
+        assert!(single.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

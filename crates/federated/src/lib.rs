@@ -9,7 +9,13 @@
 //!   canonical row alignment that fixes the tuple index of the paper's
 //!   Definitions 2.2/2.3;
 //! * [`VflSession`] — the setup protocol: PSI, then metadata exchange
-//!   under per-party [`mp_metadata::SharePolicy`] redactions;
+//!   under per-party [`mp_metadata::SharePolicy`] redactions, run as
+//!   typed messages over a [`transport::Transport`] with retries and
+//!   idempotent receipt;
+//! * [`sim`] — a deterministic, seed-replayable fault-injection simulator
+//!   (drop / duplicate / reorder / delay / party-crash) plus the invariant
+//!   harness that checks completed setups are bit-identical to the
+//!   fault-free run and that redacted metadata never crosses the wire;
 //! * [`model`] — vertically federated logistic regression by score
 //!   aggregation (only partial logits and residuals cross the boundary);
 //! * [`run_scenario`] — the paper's Figure 1 bank × e-commerce scenario
@@ -26,8 +32,12 @@ mod party;
 mod protocol;
 pub mod psi;
 mod scenario;
+pub mod sim;
+pub mod transport;
 
-pub use bloom::{bloom_candidate_rows, BloomFilter};
+pub use bloom::{
+    bloom_candidate_rows, bloom_candidate_rows_windowed, windowed_filters, BloomFilter,
+};
 pub use horizontal::{horizontal_split, permutation_baseline, schemas_compatible};
 pub use model::{
     auc, holdout_split, labels_from_column, train, FeatureBlock, FederatedModel, PartyModel,
@@ -35,6 +45,11 @@ pub use model::{
 };
 pub use multiparty::{multi_align, MultiAlignment, MultiPartySession, MultiSetupOutcome};
 pub use party::Party;
-pub use protocol::{SetupOutcome, VflSession};
+pub use protocol::{run_setup_protocol, RetryConfig, SetupError, SetupOutcome, VflSession};
 pub use psi::{align, PsiAlignment};
-pub use scenario::{run_scenario, ScenarioOutcome};
+pub use scenario::{run_scenario, run_scenario_over, ScenarioOutcome};
+pub use sim::{
+    check_invariants, simulate_setup, FaultPlan, InvariantReport, InvariantViolation, PartyCrash,
+    SimOutcome, SimTransport, TraceSummary, FAULT_PROFILES,
+};
+pub use transport::{Envelope, MsgId, PartyId, Payload, PerfectTransport, TraceEvent, Transport};

@@ -7,10 +7,11 @@
 //! [`crate::VflSession`] accordingly.
 
 use crate::party::Party;
-use crate::psi::{digest, IdDigest};
+use crate::protocol::{run_setup_protocol, RetryConfig, SetupError};
+use crate::psi::{intersect_all, submit, IdDigest};
+use crate::transport::{PerfectTransport, Transport};
 use mp_metadata::{MetadataPackage, SharePolicy};
 use mp_relation::{Relation, Result};
-use std::collections::HashMap;
 
 /// Alignment of N parties over their common entities: `rows[p][i]` is the
 /// row of party `p` holding the i-th common entity (same `i` ⇒ same
@@ -37,32 +38,15 @@ impl MultiAlignment {
 /// column, in canonical (ascending digest) order. First occurrence wins
 /// within a party, as in the two-party case.
 pub fn multi_align(id_columns: &[&[mp_relation::Value]], salt: u64) -> MultiAlignment {
-    if id_columns.is_empty() {
-        return MultiAlignment { rows: Vec::new() };
+    let submissions: Vec<Vec<IdDigest>> = id_columns.iter().map(|ids| submit(ids, salt)).collect();
+    let slices: Vec<&[IdDigest]> = submissions.iter().map(Vec::as_slice).collect();
+    MultiAlignment {
+        rows: intersect_all(&slices),
     }
-    let mut maps: Vec<HashMap<IdDigest, usize>> = Vec::with_capacity(id_columns.len());
-    for ids in id_columns {
-        let mut m = HashMap::new();
-        for (i, v) in ids.iter().enumerate() {
-            m.entry(digest(v, salt)).or_insert(i);
-        }
-        maps.push(m);
-    }
-    let mut common: Vec<IdDigest> = maps[0]
-        .keys()
-        .filter(|d| maps[1..].iter().all(|m| m.contains_key(d)))
-        .copied()
-        .collect();
-    common.sort();
-    let rows = maps
-        .iter()
-        .map(|m| common.iter().map(|d| m[d]).collect())
-        .collect();
-    MultiAlignment { rows }
 }
 
 /// Outcome of an N-party setup.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultiSetupOutcome {
     /// The k-way alignment.
     pub alignment: MultiAlignment,
@@ -87,32 +71,29 @@ impl MultiPartySession {
         Self { parties, salt }
     }
 
-    /// Runs k-way PSI and the metadata broadcast; `policies[p]` governs
-    /// what party `p` discloses to the rest.
+    /// Runs k-way PSI and the metadata broadcast over a fault-free
+    /// transport; `policies[p]` governs what party `p` discloses to the
+    /// rest.
     pub fn run_setup(&self, policies: &[SharePolicy]) -> Result<MultiSetupOutcome> {
-        assert_eq!(policies.len(), self.parties.len(), "one policy per party");
-        let id_cols: Vec<Vec<mp_relation::Value>> = self
-            .parties
-            .iter()
-            .map(|p| p.ids())
-            .collect::<Result<_>>()?;
-        let id_slices: Vec<&[mp_relation::Value]> = id_cols.iter().map(Vec::as_slice).collect();
-        let alignment = multi_align(&id_slices, self.salt);
-        let mut aligned = Vec::with_capacity(self.parties.len());
-        let mut metadata = Vec::with_capacity(self.parties.len());
-        for (p, (party, policy)) in self.parties.iter().zip(policies).enumerate() {
-            aligned.push(
-                party
-                    .aligned_rows(&alignment.rows[p])?
-                    .project(&party.feature_columns())?,
-            );
-            metadata.push(party.share_metadata(policy)?);
-        }
-        Ok(MultiSetupOutcome {
-            alignment,
-            aligned,
-            metadata,
-        })
+        let mut transport = PerfectTransport::new(self.parties.len());
+        self.run_setup_over(policies, &mut transport, &RetryConfig::default())
+            .map_err(|e| match e {
+                SetupError::Data(inner) => inner,
+                other => mp_relation::RelationError::Io(other.to_string()),
+            })
+    }
+
+    /// Runs the setup protocol over an arbitrary [`Transport`] — the
+    /// entry point of the fault simulator ([`crate::sim`]). Fails closed
+    /// with a typed [`SetupError`] when the transport defeats the retry
+    /// budget.
+    pub fn run_setup_over(
+        &self,
+        policies: &[SharePolicy],
+        transport: &mut dyn Transport,
+        retry: &RetryConfig,
+    ) -> std::result::Result<MultiSetupOutcome, SetupError> {
+        run_setup_protocol(&self.parties, policies, self.salt, transport, retry)
     }
 }
 

@@ -73,6 +73,13 @@ impl Party {
     pub fn aligned_rows(&self, rows: &[usize]) -> Result<Relation> {
         self.relation.select_rows(rows)
     }
+
+    /// The party's PSI submission under `salt`: salted digests of its
+    /// entity ids, in row order — the payload of its
+    /// [`crate::transport::Payload::PsiDigests`] message.
+    pub fn psi_submission(&self, salt: u64) -> Result<Vec<crate::psi::IdDigest>> {
+        Ok(crate::psi::submit(&self.ids()?, salt))
+    }
 }
 
 /// Re-indexes a dependency through `remap`; `None` drops it (some referenced

@@ -1,19 +1,43 @@
-//! The two-party VFL setup protocol: PSI alignment, then metadata
-//! exchange under each party's redaction policy.
+//! The VFL setup protocol: PSI alignment, then metadata exchange under
+//! each party's redaction policy — run as a message-driven state machine
+//! over a [`Transport`].
 //!
 //! This is the "preliminary stage of model training" whose privacy the
 //! paper analyses: after [`VflSession::run_setup`] both parties hold the
 //! other's (redacted) metadata package and an aligned view of the common
 //! population — precisely the state in which the adversarial synthesis of
 //! §II-B becomes possible.
+//!
+//! ## Protocol shape
+//!
+//! Every party runs the same two-phase state machine:
+//!
+//! 1. **PSI phase** — send own salted digests to every peer; once every
+//!    peer's digests have arrived, the k-way intersection
+//!    ([`crate::psi::intersect_all`]) is computed locally (all parties
+//!    derive the identical canonical alignment).
+//! 2. **Metadata phase** — send the own *policy-redacted* metadata
+//!    package to every peer; setup completes for a party once it has sent
+//!    its package, received every peer's, and seen every own message
+//!    acked.
+//!
+//! Every non-ack message expects an [`Payload::Ack`]; unacked messages
+//! are retransmitted with capped exponential backoff ([`RetryConfig`])
+//! and receivers deduplicate by [`MsgId`], so the protocol tolerates
+//! dropped, duplicated, reordered and delayed messages. It either
+//! completes with an outcome bit-identical to the fault-free run, or
+//! fails closed with a typed [`SetupError`] — never a partial exchange.
 
+use crate::multiparty::{MultiAlignment, MultiSetupOutcome};
 use crate::party::Party;
-use crate::psi::{align, PsiAlignment};
+use crate::psi::{intersect_all, IdDigest, PsiAlignment};
+use crate::transport::{Envelope, MsgId, PartyId, Payload, PerfectTransport, Transport};
 use mp_metadata::{MetadataPackage, SharePolicy};
-use mp_relation::{Relation, Result};
+use mp_relation::{Relation, RelationError, Result};
+use std::collections::HashSet;
 
 /// The setup outcome for one direction of the exchange.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SetupOutcome {
     /// Alignment of both parties' rows over the common population.
     pub alignment: PsiAlignment,
@@ -25,6 +49,389 @@ pub struct SetupOutcome {
     pub metadata_from_a: MetadataPackage,
     /// The metadata B disclosed to A.
     pub metadata_from_b: MetadataPackage,
+}
+
+/// How the protocol fails when the transport misbehaves beyond what
+/// retries can absorb. Setup never returns a partial outcome: it is
+/// either complete or one of these.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetupError {
+    /// A party crashed mid-setup; the survivors aborted cleanly.
+    PartyCrashed {
+        /// The crashed party.
+        party: PartyId,
+    },
+    /// A message exhausted its retransmission budget without an ack (and
+    /// the unreachable peer is not known to have crashed).
+    RetriesExhausted {
+        /// The retrying sender.
+        from: PartyId,
+        /// The unresponsive recipient.
+        to: PartyId,
+        /// Payload kind of the undeliverable message.
+        kind: &'static str,
+    },
+    /// No message was in flight, no retry pending, and setup incomplete —
+    /// or the tick budget ran out. A liveness backstop; it cannot occur
+    /// under the shipped transports unless a fault plan silences a party
+    /// without crashing it.
+    Stalled {
+        /// Virtual time at which progress stopped.
+        at: u64,
+    },
+    /// A local data error (projection, selection, metadata description).
+    Data(RelationError),
+}
+
+impl std::fmt::Display for SetupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SetupError::PartyCrashed { party } => {
+                write!(f, "setup aborted: party {party} crashed")
+            }
+            SetupError::RetriesExhausted { from, to, kind } => write!(
+                f,
+                "setup aborted: party {from} exhausted retries sending {kind} to party {to}"
+            ),
+            SetupError::Stalled { at } => write!(f, "setup stalled at tick {at}"),
+            SetupError::Data(e) => write!(f, "setup data error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SetupError {}
+
+impl From<RelationError> for SetupError {
+    fn from(e: RelationError) -> Self {
+        SetupError::Data(e)
+    }
+}
+
+/// Retransmission policy for unacked protocol messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryConfig {
+    /// Ticks to wait for an ack before the first retransmission.
+    pub ack_timeout: u64,
+    /// Maximum retransmissions per logical message (on top of the first
+    /// transmission); exceeding it aborts setup.
+    pub max_retries: u32,
+    /// Cap on the exponential backoff between retransmissions, in ticks.
+    pub backoff_cap: u64,
+    /// Hard bound on total protocol ticks (liveness backstop).
+    pub max_ticks: u64,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        Self {
+            ack_timeout: 8,
+            max_retries: 6,
+            backoff_cap: 64,
+            max_ticks: 10_000,
+        }
+    }
+}
+
+impl RetryConfig {
+    /// Backoff before retransmission number `attempt` (1-based), doubling
+    /// from [`RetryConfig::ack_timeout`] and capped at
+    /// [`RetryConfig::backoff_cap`].
+    pub fn backoff(&self, attempt: u32) -> u64 {
+        self.ack_timeout
+            .saturating_mul(1u64 << attempt.min(20))
+            .min(self.backoff_cap.max(self.ack_timeout))
+    }
+}
+
+/// One logical message awaiting its ack.
+#[derive(Debug, Clone)]
+struct PendingMsg {
+    env: Envelope,
+    attempt: u32,
+    resend_at: u64,
+}
+
+/// Per-party protocol state machine.
+#[derive(Debug)]
+struct PartyMachine {
+    digests: Vec<IdDigest>,
+    package: MetadataPackage,
+    digests_sent: bool,
+    metadata_sent: bool,
+    peer_digests: Vec<Option<Vec<IdDigest>>>,
+    peer_metadata: Vec<Option<MetadataPackage>>,
+    pending: Vec<PendingMsg>,
+    seen: HashSet<MsgId>,
+}
+
+impl PartyMachine {
+    fn new(id: PartyId, n: usize, digests: Vec<IdDigest>, package: MetadataPackage) -> Self {
+        let mut peer_digests: Vec<Option<Vec<IdDigest>>> = vec![None; n];
+        peer_digests[id] = Some(digests.clone());
+        let mut peer_metadata: Vec<Option<MetadataPackage>> = vec![None; n];
+        peer_metadata[id] = Some(package.clone());
+        Self {
+            digests,
+            package,
+            digests_sent: false,
+            metadata_sent: false,
+            peer_digests,
+            peer_metadata,
+            pending: Vec::new(),
+            seen: HashSet::new(),
+        }
+    }
+
+    fn all_digests_in(&self) -> bool {
+        self.peer_digests.iter().all(Option::is_some)
+    }
+
+    fn all_metadata_in(&self) -> bool {
+        self.peer_metadata.iter().all(Option::is_some)
+    }
+
+    /// Setup is complete for this party: everything sent, received and
+    /// acked.
+    fn done(&self) -> bool {
+        self.digests_sent
+            && self.metadata_sent
+            && self.all_digests_in()
+            && self.all_metadata_in()
+            && self.pending.is_empty()
+    }
+}
+
+/// Drives the k-party setup protocol over `transport` until every live
+/// party completes, a fault aborts it, or the tick budget runs out.
+///
+/// `parties[p]` discloses under `policies[p]`. The returned outcome is
+/// assembled from *received* messages (each party's package as stored by
+/// a peer, the alignment from party 0's received digest view), so the
+/// result genuinely flowed through the transport.
+pub fn run_setup_protocol(
+    parties: &[Party],
+    policies: &[SharePolicy],
+    salt: u64,
+    transport: &mut dyn Transport,
+    retry: &RetryConfig,
+) -> std::result::Result<MultiSetupOutcome, SetupError> {
+    assert_eq!(policies.len(), parties.len(), "one policy per party");
+    assert_eq!(
+        transport.n_parties(),
+        parties.len(),
+        "transport must connect every party"
+    );
+    let n = parties.len();
+
+    // Local, failure-free preparation: digests and redacted packages.
+    let mut machines: Vec<PartyMachine> = Vec::with_capacity(n);
+    for (p, (party, policy)) in parties.iter().zip(policies).enumerate() {
+        let digests = party.psi_submission(salt)?;
+        let package = party.share_metadata(policy)?;
+        machines.push(PartyMachine::new(p, n, digests, package));
+    }
+
+    let mut next_msg_id = 0u64;
+    let mut fresh_id = || {
+        next_msg_id += 1;
+        MsgId(next_msg_id)
+    };
+
+    loop {
+        // Step every live party: drain inbox, then advance the send side.
+        // (Indexing, not iter_mut: `machines[p]` and `transport` are both
+        // borrowed mutably at different points of the body.)
+        #[allow(clippy::needless_range_loop)]
+        for p in 0..n {
+            if transport.is_crashed(p) {
+                continue;
+            }
+            // -- Receive, idempotently; (re-)ack everything non-ack. -----
+            while let Some(env) = transport.recv(p) {
+                let m = &mut machines[p];
+                match &env.payload {
+                    Payload::Ack(of) => {
+                        m.pending.retain(|pm| pm.env.id != *of);
+                        continue;
+                    }
+                    Payload::PsiDigests(digests) => {
+                        if m.seen.insert(env.id) {
+                            m.peer_digests[env.from] = Some(digests.clone());
+                        }
+                    }
+                    Payload::Metadata(pkg) => {
+                        if m.seen.insert(env.id) {
+                            m.peer_metadata[env.from] = Some((**pkg).clone());
+                        }
+                    }
+                }
+                // Duplicates are re-acked: the first ack may have been lost.
+                transport.send(
+                    Envelope {
+                        id: fresh_id(),
+                        from: p,
+                        to: env.from,
+                        payload: Payload::Ack(env.id),
+                    },
+                    0,
+                );
+            }
+
+            // -- Phase 1: broadcast own digests once. ---------------------
+            if !machines[p].digests_sent {
+                machines[p].digests_sent = true;
+                let digests = machines[p].digests.clone();
+                for q in (0..n).filter(|&q| q != p) {
+                    let env = Envelope {
+                        id: fresh_id(),
+                        from: p,
+                        to: q,
+                        payload: Payload::PsiDigests(digests.clone()),
+                    };
+                    machines[p].pending.push(PendingMsg {
+                        env: env.clone(),
+                        attempt: 0,
+                        resend_at: transport.now() + retry.ack_timeout,
+                    });
+                    transport.send(env, 0);
+                }
+            }
+
+            // -- Phase 2: once PSI inputs are complete, broadcast the
+            //    redacted metadata package. ------------------------------
+            if machines[p].all_digests_in() && !machines[p].metadata_sent {
+                machines[p].metadata_sent = true;
+                let pkg = machines[p].package.clone();
+                for q in (0..n).filter(|&q| q != p) {
+                    let env = Envelope {
+                        id: fresh_id(),
+                        from: p,
+                        to: q,
+                        payload: Payload::Metadata(Box::new(pkg.clone())),
+                    };
+                    machines[p].pending.push(PendingMsg {
+                        env: env.clone(),
+                        attempt: 0,
+                        resend_at: transport.now() + retry.ack_timeout,
+                    });
+                    transport.send(env, 0);
+                }
+            }
+
+            // -- Retransmit overdue unacked messages with capped backoff. -
+            let now = transport.now();
+            let overdue: Vec<usize> = machines[p]
+                .pending
+                .iter()
+                .enumerate()
+                .filter(|(_, pm)| pm.resend_at <= now)
+                .map(|(i, _)| i)
+                .collect();
+            for i in overdue {
+                let pm = &mut machines[p].pending[i];
+                if pm.attempt >= retry.max_retries {
+                    let to = pm.env.to;
+                    return Err(if transport.is_crashed(to) {
+                        SetupError::PartyCrashed { party: to }
+                    } else {
+                        SetupError::RetriesExhausted {
+                            from: p,
+                            to,
+                            kind: pm.env.payload.kind(),
+                        }
+                    });
+                }
+                pm.attempt += 1;
+                pm.resend_at = now + retry.backoff(pm.attempt);
+                let env = pm.env.clone();
+                let attempt = pm.attempt;
+                transport.send(env, attempt);
+            }
+        }
+
+        // Completion: every non-crashed party done. (A party that crashed
+        // *after* finishing its role does not block the survivors.)
+        if (0..n).all(|p| transport.is_crashed(p) || machines[p].done()) {
+            break;
+        }
+
+        // Liveness backstops.
+        if transport.now() >= retry.max_ticks {
+            return Err(SetupError::Stalled {
+                at: transport.now(),
+            });
+        }
+        if transport.in_flight() == 0 {
+            let idle = (0..n).all(|p| {
+                transport.is_crashed(p)
+                    || machines[p].pending.is_empty()
+                    || machines[p]
+                        .pending
+                        .iter()
+                        .all(|pm| pm.resend_at > retry.max_ticks)
+            });
+            // Nothing in flight and no retry will ever fire: if an
+            // unfinished live party is waiting on a crashed peer, abort
+            // with the crash; otherwise we genuinely stalled.
+            if idle && !(0..n).all(|p| transport.is_crashed(p) || machines[p].done()) {
+                if let Some(crashed) = (0..n).find(|&p| transport.is_crashed(p)) {
+                    return Err(SetupError::PartyCrashed { party: crashed });
+                }
+                return Err(SetupError::Stalled {
+                    at: transport.now(),
+                });
+            }
+        }
+
+        transport.tick();
+    }
+
+    assemble_outcome(parties, &machines, transport)
+}
+
+/// Builds the outcome from *received* state: the alignment from the first
+/// live party's digest view (identical at every party by construction),
+/// each party's metadata from a peer's stored copy.
+fn assemble_outcome(
+    parties: &[Party],
+    machines: &[PartyMachine],
+    transport: &dyn Transport,
+) -> std::result::Result<MultiSetupOutcome, SetupError> {
+    let n = parties.len();
+    let viewer = (0..n).find(|&p| !transport.is_crashed(p)).unwrap_or(0);
+    let views: Vec<&[IdDigest]> = machines[viewer]
+        .peer_digests
+        .iter()
+        .map(|d| d.as_ref().expect("completed setup has all digests"))
+        .map(Vec::as_slice)
+        .collect();
+    let alignment = MultiAlignment {
+        rows: intersect_all(&views),
+    };
+
+    let mut aligned = Vec::with_capacity(n);
+    let mut metadata = Vec::with_capacity(n);
+    for (p, party) in parties.iter().enumerate() {
+        aligned.push(
+            party
+                .aligned_rows(&alignment.rows[p])?
+                .project(&party.feature_columns())?,
+        );
+        // Prefer the copy a live peer actually received over the wire.
+        let receiver = (0..n).find(|&q| q != p && !transport.is_crashed(q));
+        let pkg = match receiver {
+            Some(q) => machines[q].peer_metadata[p]
+                .clone()
+                .expect("completed setup has all metadata"),
+            None => machines[p].package.clone(),
+        };
+        metadata.push(pkg);
+    }
+    Ok(MultiSetupOutcome {
+        alignment,
+        aligned,
+        metadata,
+    })
 }
 
 /// A two-party session.
@@ -48,29 +455,52 @@ impl VflSession {
         }
     }
 
-    /// Runs PSI and the metadata exchange. `policy_a` governs what A
-    /// disclosed to B and vice versa.
+    /// Runs PSI and the metadata exchange over a fault-free transport.
+    /// `policy_a` governs what A disclosed to B and vice versa.
     pub fn run_setup(
         &self,
         policy_a: &SharePolicy,
         policy_b: &SharePolicy,
     ) -> Result<SetupOutcome> {
-        let alignment = align(&self.party_a.ids()?, &self.party_b.ids()?, self.salt);
-        let aligned_a = self
-            .party_a
-            .aligned_rows(&alignment.rows_a)?
-            .project(&self.party_a.feature_columns())?;
-        let aligned_b = self
-            .party_b
-            .aligned_rows(&alignment.rows_b)?
-            .project(&self.party_b.feature_columns())?;
-        Ok(SetupOutcome {
-            alignment,
-            aligned_a,
-            aligned_b,
-            metadata_from_a: self.party_a.share_metadata(policy_a)?,
-            metadata_from_b: self.party_b.share_metadata(policy_b)?,
-        })
+        let mut transport = PerfectTransport::new(2);
+        self.run_setup_over(policy_a, policy_b, &mut transport, &RetryConfig::default())
+            .map_err(|e| match e {
+                SetupError::Data(inner) => inner,
+                other => RelationError::Io(other.to_string()),
+            })
+    }
+
+    /// Runs the setup protocol over an arbitrary [`Transport`] — the
+    /// entry point the fault simulator uses. Fails closed with a typed
+    /// [`SetupError`] when the transport defeats the retry budget.
+    pub fn run_setup_over(
+        &self,
+        policy_a: &SharePolicy,
+        policy_b: &SharePolicy,
+        transport: &mut dyn Transport,
+        retry: &RetryConfig,
+    ) -> std::result::Result<SetupOutcome, SetupError> {
+        let parties = [self.party_a.clone(), self.party_b.clone()];
+        let policies = [*policy_a, *policy_b];
+        let multi = run_setup_protocol(&parties, &policies, self.salt, transport, retry)?;
+        Ok(two_party_outcome(multi))
+    }
+}
+
+/// Converts a two-party [`MultiSetupOutcome`] into the pairwise shape.
+fn two_party_outcome(mut multi: MultiSetupOutcome) -> SetupOutcome {
+    let metadata_from_b = multi.metadata.pop().expect("two parties");
+    let metadata_from_a = multi.metadata.pop().expect("two parties");
+    let aligned_b = multi.aligned.pop().expect("two parties");
+    let aligned_a = multi.aligned.pop().expect("two parties");
+    let rows_b = multi.alignment.rows.pop().expect("two parties");
+    let rows_a = multi.alignment.rows.pop().expect("two parties");
+    SetupOutcome {
+        alignment: PsiAlignment { rows_a, rows_b },
+        aligned_a,
+        aligned_b,
+        metadata_from_a,
+        metadata_from_b,
     }
 }
 
@@ -177,5 +607,71 @@ mod tests {
             .unwrap();
         assert!(out.alignment.is_empty());
         assert_eq!(out.aligned_a.n_rows(), 0);
+    }
+
+    #[test]
+    fn setup_over_transport_matches_direct_psi() {
+        // The message-driven engine reproduces the pure-function PSI.
+        let (a, b) = parties();
+        let ids_a = a.ids().unwrap();
+        let ids_b = b.ids().unwrap();
+        let direct = crate::psi::align(&ids_a, &ids_b, 99);
+        let session = VflSession::new(a, b, 99);
+        let out = session
+            .run_setup(&SharePolicy::FULL, &SharePolicy::FULL)
+            .unwrap();
+        assert_eq!(out.alignment, direct);
+    }
+
+    #[test]
+    fn trace_contains_both_phases() {
+        let (a, b) = parties();
+        let session = VflSession::new(a, b, 7);
+        let mut transport = PerfectTransport::new(2);
+        session
+            .run_setup_over(
+                &SharePolicy::FULL,
+                &SharePolicy::FULL,
+                &mut transport,
+                &RetryConfig::default(),
+            )
+            .unwrap();
+        let kinds: HashSet<&str> = transport
+            .trace()
+            .iter()
+            .filter_map(|e| e.envelope())
+            .map(|env| env.payload.kind())
+            .collect();
+        assert!(kinds.contains("psi-digests"));
+        assert!(kinds.contains("metadata"));
+        assert!(kinds.contains("ack"));
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let retry = RetryConfig {
+            ack_timeout: 4,
+            max_retries: 10,
+            backoff_cap: 20,
+            max_ticks: 100,
+        };
+        assert_eq!(retry.backoff(1), 8);
+        assert_eq!(retry.backoff(2), 16);
+        assert_eq!(retry.backoff(3), 20);
+        assert_eq!(retry.backoff(9), 20);
+    }
+
+    #[test]
+    fn setup_error_displays() {
+        let e = SetupError::PartyCrashed { party: 1 };
+        assert!(e.to_string().contains("party 1 crashed"));
+        let e = SetupError::RetriesExhausted {
+            from: 0,
+            to: 1,
+            kind: "metadata",
+        };
+        assert!(e.to_string().contains("metadata"));
+        let e = SetupError::Stalled { at: 7 };
+        assert!(e.to_string().contains("tick 7"));
     }
 }

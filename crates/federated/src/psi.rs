@@ -57,29 +57,45 @@ impl PsiAlignment {
     }
 }
 
-/// Intersects two digest submissions. Duplicate digests within one party
-/// (duplicate ids, or — astronomically unlikely — hash collisions) keep
-/// their first occurrence only, mirroring PSI's set semantics. The
-/// canonical order is ascending digest, which both parties can compute
-/// independently.
-pub fn intersect(a: &[IdDigest], b: &[IdDigest]) -> PsiAlignment {
-    let mut first_a: HashMap<IdDigest, usize> = HashMap::new();
-    for (i, d) in a.iter().enumerate() {
-        first_a.entry(*d).or_insert(i);
+/// K-way intersection of digest submissions: for each party, the rows (in
+/// that party's local indexing) of the entities present in *every*
+/// submission, listed in canonical (ascending digest) order. Duplicate
+/// digests within one party (duplicate ids, or — astronomically unlikely —
+/// hash collisions) keep their first occurrence only, mirroring PSI's set
+/// semantics. This is the single intersection kernel behind both
+/// [`intersect`] and [`crate::multi_align`], and the computation every
+/// party runs locally once the protocol has delivered all digest lists
+/// (see [`crate::transport`]).
+pub fn intersect_all(submissions: &[&[IdDigest]]) -> Vec<Vec<usize>> {
+    if submissions.is_empty() {
+        return Vec::new();
     }
-    let mut first_b: HashMap<IdDigest, usize> = HashMap::new();
-    for (i, d) in b.iter().enumerate() {
-        first_b.entry(*d).or_insert(i);
+    let mut maps: Vec<HashMap<IdDigest, usize>> = Vec::with_capacity(submissions.len());
+    for digests in submissions {
+        let mut m = HashMap::new();
+        for (i, d) in digests.iter().enumerate() {
+            m.entry(*d).or_insert(i);
+        }
+        maps.push(m);
     }
-    let mut common: Vec<(IdDigest, usize, usize)> = first_a
-        .iter()
-        .filter_map(|(d, &ia)| first_b.get(d).map(|&ib| (*d, ia, ib)))
+    let mut common: Vec<IdDigest> = maps[0]
+        .keys()
+        .filter(|d| maps[1..].iter().all(|m| m.contains_key(d)))
+        .copied()
         .collect();
     common.sort();
-    PsiAlignment {
-        rows_a: common.iter().map(|&(_, ia, _)| ia).collect(),
-        rows_b: common.iter().map(|&(_, _, ib)| ib).collect(),
-    }
+    maps.iter()
+        .map(|m| common.iter().map(|d| m[d]).collect())
+        .collect()
+}
+
+/// Intersects two digest submissions via [`intersect_all`]; see there for
+/// the dedup and canonical-order semantics.
+pub fn intersect(a: &[IdDigest], b: &[IdDigest]) -> PsiAlignment {
+    let mut rows = intersect_all(&[a, b]);
+    let rows_b = rows.pop().expect("two submissions");
+    let rows_a = rows.pop().expect("two submissions");
+    PsiAlignment { rows_a, rows_b }
 }
 
 /// Convenience: full PSI between two id columns under a shared salt.

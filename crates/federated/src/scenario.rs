@@ -5,7 +5,8 @@
 
 use crate::model::{labels_from_column, train, FeatureBlock, TrainConfig};
 use crate::party::Party;
-use crate::protocol::{SetupOutcome, VflSession};
+use crate::protocol::{RetryConfig, SetupError, SetupOutcome, VflSession};
+use crate::transport::Transport;
 use mp_core::{run_attack, AttackResult, ExperimentConfig};
 use mp_metadata::SharePolicy;
 use mp_relation::Result;
@@ -40,7 +41,36 @@ pub fn run_scenario(
 ) -> Result<ScenarioOutcome> {
     let session = VflSession::new(bank, ecommerce, 0xF1A7);
     let setup = session.run_setup(bank_policy, &SharePolicy::FULL)?;
+    scenario_from_setup(&session, setup, label_column, experiment)
+}
 
+/// Runs the Figure 1 scenario with the setup phase driven over an
+/// arbitrary [`Transport`] — e.g. a [`crate::sim::SimTransport`] with a
+/// seeded fault plan. Either the whole scenario runs (setup survived the
+/// faults, and the outcome is bit-identical to the fault-free one) or it
+/// fails closed with the setup's typed [`SetupError`]; training never
+/// starts from a partial exchange.
+pub fn run_scenario_over(
+    bank: Party,
+    ecommerce: Party,
+    label_column: usize,
+    bank_policy: &SharePolicy,
+    experiment: &ExperimentConfig,
+    transport: &mut dyn Transport,
+    retry: &RetryConfig,
+) -> std::result::Result<ScenarioOutcome, SetupError> {
+    let session = VflSession::new(bank, ecommerce, 0xF1A7);
+    let setup = session.run_setup_over(bank_policy, &SharePolicy::FULL, transport, retry)?;
+    scenario_from_setup(&session, setup, label_column, experiment).map_err(SetupError::Data)
+}
+
+/// Utility + privacy measurement over a completed setup.
+fn scenario_from_setup(
+    session: &VflSession,
+    setup: crate::protocol::SetupOutcome,
+    label_column: usize,
+    experiment: &ExperimentConfig,
+) -> Result<ScenarioOutcome> {
     // --- Utility: train loan approval on the aligned intersection. ------
     let bank_features: Vec<usize> = {
         // Label column in aligned (feature-projected) coordinates.

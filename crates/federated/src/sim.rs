@@ -1,0 +1,795 @@
+//! Deterministic fault-injection simulator for the VFL setup protocol.
+//!
+//! The paper's threat model lives entirely in the setup phase, so its
+//! privacy guarantees must hold not just on the happy path but under the
+//! message-level failures every real deployment sees: drops, duplicates,
+//! reordering, delays and party crashes. This module provides
+//!
+//! * [`FaultPlan`] — a *seeded* schedule of faults. Two runs with the
+//!   same plan (same seed, same rates) inject byte-identical fault
+//!   decisions, so every failure is replayable from its seed alone;
+//! * [`SimTransport`] — a [`Transport`] applying the plan via the
+//!   workspace's deterministic `StdRng`;
+//! * [`TraceSummary`] — counts of what happened on the wire;
+//! * [`check_invariants`] — the harness asserting, for any plan, the
+//!   three protocol invariants:
+//!   1. a **completed** setup is bit-identical (alignment, aligned rows,
+//!      exchanged metadata) to the fault-free run with the same parties;
+//!   2. under redaction, no fault schedule ever pushes a redacted domain,
+//!      kind, distribution, row count or dependency across the boundary —
+//!      audited against the full message trace, not the return value;
+//!   3. a crashed party produces a clean typed abort, never a partial
+//!      exchange.
+//!
+//! Replaying a CI failure: every matrix entry is `(seed, profile)`;
+//! `mpriv simulate --seed N --faults <profile>` reruns it exactly.
+
+use crate::multiparty::{MultiPartySession, MultiSetupOutcome};
+use crate::party::Party;
+use crate::protocol::{RetryConfig, SetupError};
+use crate::transport::{Envelope, PartyId, Payload, PerfectTransport, TraceEvent, Transport};
+use mp_metadata::SharePolicy;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// A scheduled party crash: the party completes exactly `after_sends`
+/// transmissions, then falls silent (sends swallowed, deliveries to it
+/// dropped, state machine frozen).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartyCrash {
+    /// The party that crashes.
+    pub party: PartyId,
+    /// Number of successful transmissions before the crash.
+    pub after_sends: u64,
+}
+
+/// The named fault profiles of the CI matrix, replayable via
+/// `mpriv simulate --faults <name> --seed <seed>`.
+pub const FAULT_PROFILES: [&str; 4] = ["drop", "dup", "reorder", "crash"];
+
+/// A seeded, deterministic fault schedule.
+///
+/// Message-level faults (drop / duplicate / delay) are decided per
+/// transmission by a `StdRng` seeded with `seed`; since the protocol
+/// engine is single-threaded, the decision stream — and therefore the
+/// entire run — is a pure function of `(parties, plan)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the fault-decision stream.
+    pub seed: u64,
+    /// Probability a transmission is silently dropped.
+    pub drop_rate: f64,
+    /// Probability a delivered transmission is delivered twice.
+    pub duplicate_rate: f64,
+    /// Maximum extra delivery delay in ticks (uniform in `0..=max_delay`);
+    /// any value above 0 also reorders messages relative to send order.
+    pub max_delay: u64,
+    /// Scheduled party crashes.
+    pub crashes: Vec<PartyCrash>,
+}
+
+impl FaultPlan {
+    /// No faults at all (the seed still fixes the — unused — stream).
+    pub fn fault_free(seed: u64) -> Self {
+        Self {
+            seed,
+            drop_rate: 0.0,
+            duplicate_rate: 0.0,
+            max_delay: 0,
+            crashes: Vec::new(),
+        }
+    }
+
+    /// Builds a plan from a comma-separated fault list (the CLI's
+    /// `--faults drop,dup,crash` syntax). Recognised names: `drop`,
+    /// `dup`/`duplicate`, `reorder`/`delay`, `crash`. The crashed party
+    /// and its last completed send are derived from `seed` so different
+    /// seeds exercise different crash points, always early enough that
+    /// the protocol cannot complete.
+    pub fn from_names(names: &str, seed: u64, n_parties: usize) -> Result<Self, String> {
+        let mut plan = Self::fault_free(seed);
+        for name in names.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            match name {
+                "drop" => plan.drop_rate = 0.25,
+                "dup" | "duplicate" => plan.duplicate_rate = 0.3,
+                "reorder" | "delay" => plan.max_delay = 5,
+                "crash" => {
+                    let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A5_4ED0);
+                    plan.crashes.push(PartyCrash {
+                        party: rng.gen_range(0..n_parties.max(1)),
+                        after_sends: rng.gen_range(0..2u64),
+                    });
+                }
+                other => {
+                    return Err(format!(
+                        "unknown fault `{other}` (expected drop|dup|reorder|crash)"
+                    ))
+                }
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// One in-flight message inside the simulator.
+#[derive(Debug, Clone)]
+struct InFlight {
+    deliver_at: u64,
+    seq: u64,
+    env: Envelope,
+}
+
+/// A [`Transport`] that applies a [`FaultPlan`] deterministically.
+#[derive(Debug)]
+pub struct SimTransport {
+    plan: FaultPlan,
+    rng: StdRng,
+    now: u64,
+    seq: u64,
+    in_flight: Vec<InFlight>,
+    inboxes: Vec<VecDeque<Envelope>>,
+    sends: Vec<u64>,
+    crashed_at: Vec<Option<u64>>,
+    trace: Vec<TraceEvent>,
+}
+
+impl SimTransport {
+    /// Creates a simulated transport connecting `n_parties` parties.
+    pub fn new(n_parties: usize, plan: FaultPlan) -> Self {
+        let rng = StdRng::seed_from_u64(plan.seed);
+        Self {
+            plan,
+            rng,
+            now: 0,
+            seq: 0,
+            in_flight: Vec::new(),
+            inboxes: vec![VecDeque::new(); n_parties],
+            sends: vec![0; n_parties],
+            crashed_at: vec![None; n_parties],
+            trace: Vec::new(),
+        }
+    }
+
+    /// Parties the plan has crashed so far.
+    pub fn crashed_parties(&self) -> Vec<PartyId> {
+        self.crashed_at
+            .iter()
+            .enumerate()
+            .filter_map(|(p, c)| c.map(|_| p))
+            .collect()
+    }
+
+    fn schedule(&mut self, env: Envelope, extra_event: Option<fn(u64, Envelope) -> TraceEvent>) {
+        let delay = if self.plan.max_delay > 0 {
+            self.rng.gen_range(0..=self.plan.max_delay)
+        } else {
+            0
+        };
+        if let Some(make) = extra_event {
+            self.trace.push(make(self.now, env.clone()));
+        }
+        self.seq += 1;
+        self.in_flight.push(InFlight {
+            deliver_at: self.now + 1 + delay,
+            seq: self.seq,
+            env,
+        });
+    }
+}
+
+impl Transport for SimTransport {
+    fn n_parties(&self) -> usize {
+        self.inboxes.len()
+    }
+
+    fn send(&mut self, env: Envelope, attempt: u32) {
+        let from = env.from;
+        if self.crashed_at[from].is_some() {
+            return; // a dead party transmits nothing
+        }
+        // Crash schedule: the party completes `after_sends` transmissions,
+        // then this (and every later) send is the one that never happens.
+        if let Some(crash) = self.plan.crashes.iter().find(|c| c.party == from) {
+            if self.sends[from] >= crash.after_sends {
+                self.crashed_at[from] = Some(self.now);
+                self.trace.push(TraceEvent::Crashed {
+                    at: self.now,
+                    party: from,
+                });
+                return;
+            }
+        }
+        self.sends[from] += 1;
+        self.trace.push(TraceEvent::Sent {
+            at: self.now,
+            env: env.clone(),
+            attempt,
+        });
+        if self.plan.drop_rate > 0.0 && self.rng.gen::<f64>() < self.plan.drop_rate {
+            self.trace.push(TraceEvent::Dropped { at: self.now, env });
+            return;
+        }
+        let duplicate =
+            self.plan.duplicate_rate > 0.0 && self.rng.gen::<f64>() < self.plan.duplicate_rate;
+        self.schedule(env.clone(), None);
+        if duplicate {
+            self.schedule(env, Some(|at, env| TraceEvent::Duplicated { at, env }));
+        }
+    }
+
+    fn tick(&mut self) {
+        self.now += 1;
+        let mut due: Vec<InFlight> = Vec::new();
+        self.in_flight.retain(|m| {
+            if m.deliver_at <= self.now {
+                due.push(m.clone());
+                false
+            } else {
+                true
+            }
+        });
+        due.sort_by_key(|m| (m.deliver_at, m.seq));
+        for m in due {
+            if self.crashed_at[m.env.to].is_some() {
+                self.trace.push(TraceEvent::Dropped {
+                    at: self.now,
+                    env: m.env,
+                });
+                continue;
+            }
+            self.trace.push(TraceEvent::Delivered {
+                at: self.now,
+                env: m.env.clone(),
+            });
+            self.inboxes[m.env.to].push_back(m.env);
+        }
+    }
+
+    fn recv(&mut self, party: PartyId) -> Option<Envelope> {
+        if self.crashed_at[party].is_some() {
+            return None;
+        }
+        self.inboxes[party].pop_front()
+    }
+
+    fn now(&self) -> u64 {
+        self.now
+    }
+
+    fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    fn is_crashed(&self, party: PartyId) -> bool {
+        self.crashed_at[party].is_some()
+    }
+
+    fn trace(&self) -> &[TraceEvent] {
+        &self.trace
+    }
+}
+
+/// Wire-level counts extracted from a message trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceSummary {
+    /// Transmissions handed to the transport (including retransmissions).
+    pub sent: usize,
+    /// Retransmissions among `sent`.
+    pub retransmissions: usize,
+    /// Envelopes that reached an inbox.
+    pub delivered: usize,
+    /// Envelopes discarded (fault injection or dead recipient).
+    pub dropped: usize,
+    /// Extra deliveries scheduled by duplication faults.
+    pub duplicated: usize,
+    /// Party crashes.
+    pub crashes: usize,
+}
+
+impl TraceSummary {
+    /// Summarises a trace.
+    pub fn from_trace(trace: &[TraceEvent]) -> Self {
+        let mut s = Self::default();
+        for event in trace {
+            match event {
+                TraceEvent::Sent { attempt, .. } => {
+                    s.sent += 1;
+                    if *attempt > 0 {
+                        s.retransmissions += 1;
+                    }
+                }
+                TraceEvent::Delivered { .. } => s.delivered += 1,
+                TraceEvent::Dropped { .. } => s.dropped += 1,
+                TraceEvent::Duplicated { .. } => s.duplicated += 1,
+                TraceEvent::Crashed { .. } => s.crashes += 1,
+            }
+        }
+        s
+    }
+}
+
+impl std::fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} sent ({} retransmissions), {} delivered, {} dropped, {} duplicated, {} crashed",
+            self.sent,
+            self.retransmissions,
+            self.delivered,
+            self.dropped,
+            self.duplicated,
+            self.crashes
+        )
+    }
+}
+
+/// Everything one simulated run produces: the protocol result, the wire
+/// summary and the full message trace for auditing.
+#[derive(Debug)]
+pub struct SimOutcome {
+    /// Completed outcome or typed abort.
+    pub result: Result<MultiSetupOutcome, SetupError>,
+    /// Wire-level counts.
+    pub summary: TraceSummary,
+    /// Virtual duration of the run in ticks.
+    pub ticks: u64,
+    /// The full message trace.
+    pub trace: Vec<TraceEvent>,
+}
+
+/// Runs one simulated setup under `plan` and returns the outcome plus its
+/// audit artefacts. Same session + policies + plan ⇒ same outcome, trace
+/// and summary, always.
+pub fn simulate_setup(
+    session: &MultiPartySession,
+    policies: &[SharePolicy],
+    plan: &FaultPlan,
+    retry: &RetryConfig,
+) -> SimOutcome {
+    let mut transport = SimTransport::new(session.parties.len(), plan.clone());
+    let result = session.run_setup_over(policies, &mut transport, retry);
+    let ticks = transport.now();
+    let trace = std::mem::take(&mut transport.trace);
+    SimOutcome {
+        result,
+        summary: TraceSummary::from_trace(&trace),
+        ticks,
+        trace,
+    }
+}
+
+/// A violated protocol invariant, with enough context to replay.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InvariantViolation {
+    /// A completed setup differed from the fault-free outcome.
+    NotBitIdentical {
+        /// Which component diverged (`alignment`, `aligned`, `metadata`).
+        component: &'static str,
+        /// The diverging party, where applicable.
+        party: Option<PartyId>,
+    },
+    /// A traced message carried metadata its sender's policy redacts.
+    RedactionBreached {
+        /// The oversharing party.
+        party: PartyId,
+        /// The leaked field (`domain`, `kind`, `distribution`,
+        /// `row-count`, `fd`, `rfd`, or `package` for a wholesale
+        /// mismatch with the expected redacted package).
+        field: &'static str,
+    },
+    /// A crash schedule did not abort with [`SetupError::PartyCrashed`]
+    /// even though the crash fired mid-protocol.
+    UncleanCrash {
+        /// What the run returned instead, if it failed differently.
+        error: Option<SetupError>,
+    },
+    /// The fault-free reference run itself failed (setup data error).
+    ReferenceFailed(SetupError),
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvariantViolation::NotBitIdentical { component, party } => match party {
+                Some(p) => write!(
+                    f,
+                    "completed setup diverged from fault-free run: {component} of party {p}"
+                ),
+                None => write!(
+                    f,
+                    "completed setup diverged from fault-free run: {component}"
+                ),
+            },
+            InvariantViolation::RedactionBreached { party, field } => write!(
+                f,
+                "redaction breach: party {party} leaked `{field}` onto the wire"
+            ),
+            InvariantViolation::UncleanCrash { error } => match error {
+                Some(e) => write!(f, "crash schedule aborted uncleanly: {e}"),
+                None => write!(f, "crash fired mid-protocol but setup reported success"),
+            },
+            InvariantViolation::ReferenceFailed(e) => {
+                write!(f, "fault-free reference run failed: {e}")
+            }
+        }
+    }
+}
+
+/// What a passing invariant check observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvariantReport {
+    /// `true` if the faulty run completed (vs a typed abort).
+    pub completed: bool,
+    /// Wire summary of the faulty run.
+    pub summary: TraceSummary,
+    /// Virtual duration of the faulty run.
+    pub ticks: u64,
+}
+
+/// Runs `session` under `plan` *and* fault-free, then checks the three
+/// protocol invariants (see the module docs). Returns what the run did on
+/// success, or the first violation found.
+pub fn check_invariants(
+    session: &MultiPartySession,
+    policies: &[SharePolicy],
+    plan: &FaultPlan,
+    retry: &RetryConfig,
+) -> Result<InvariantReport, InvariantViolation> {
+    // Fault-free reference.
+    let mut reference_transport = PerfectTransport::new(session.parties.len());
+    let reference = session
+        .run_setup_over(policies, &mut reference_transport, retry)
+        .map_err(InvariantViolation::ReferenceFailed)?;
+
+    let sim = simulate_setup(session, policies, plan, retry);
+
+    // Invariant 2 first: the trace audit applies to completed AND aborted
+    // runs — a crashed or retry-exhausted setup must not have leaked
+    // redacted metadata either.
+    audit_trace_redaction(&session.parties, policies, &sim.trace)?;
+
+    match &sim.result {
+        Ok(outcome) => {
+            // Invariant 1: bit-identical to the fault-free run.
+            if outcome.alignment != reference.alignment {
+                return Err(InvariantViolation::NotBitIdentical {
+                    component: "alignment",
+                    party: None,
+                });
+            }
+            for (p, (got, want)) in outcome.aligned.iter().zip(&reference.aligned).enumerate() {
+                if got != want {
+                    return Err(InvariantViolation::NotBitIdentical {
+                        component: "aligned",
+                        party: Some(p),
+                    });
+                }
+            }
+            for (p, (got, want)) in outcome.metadata.iter().zip(&reference.metadata).enumerate() {
+                if got != want {
+                    return Err(InvariantViolation::NotBitIdentical {
+                        component: "metadata",
+                        party: Some(p),
+                    });
+                }
+            }
+            // Invariant 3, completion side: success is only legitimate if
+            // no crash fired mid-protocol (a party may crash after its
+            // role is over — that must not block the survivors).
+            let crash_fired = sim
+                .trace
+                .iter()
+                .any(|e| matches!(e, TraceEvent::Crashed { .. }));
+            if crash_fired && !plan.crashes.is_empty() {
+                return Err(InvariantViolation::UncleanCrash { error: None });
+            }
+        }
+        Err(err) => {
+            // Invariant 3: aborts are always typed; a crash schedule that
+            // fired must surface as PartyCrashed for a scheduled party.
+            let crash_fired = sim
+                .trace
+                .iter()
+                .any(|e| matches!(e, TraceEvent::Crashed { .. }));
+            if crash_fired {
+                let clean = matches!(
+                    err,
+                    SetupError::PartyCrashed { party }
+                        if plan.crashes.iter().any(|c| c.party == *party)
+                );
+                if !clean {
+                    return Err(InvariantViolation::UncleanCrash {
+                        error: Some(err.clone()),
+                    });
+                }
+            } else if !matches!(err, SetupError::RetriesExhausted { .. }) {
+                // Without a crash, the only legitimate abort is an
+                // exhausted retry budget (fail-closed under drop storms).
+                return Err(InvariantViolation::UncleanCrash {
+                    error: Some(err.clone()),
+                });
+            }
+        }
+    }
+
+    Ok(InvariantReport {
+        completed: sim.result.is_ok(),
+        summary: sim.summary,
+        ticks: sim.ticks,
+    })
+}
+
+/// Audits every metadata envelope in `trace` against its sender's policy:
+/// the traced package must equal the policy-redacted package *exactly*,
+/// and — belt and braces — must not carry any field the policy withholds.
+fn audit_trace_redaction(
+    parties: &[Party],
+    policies: &[SharePolicy],
+    trace: &[TraceEvent],
+) -> Result<(), InvariantViolation> {
+    let expected: Vec<_> = parties
+        .iter()
+        .zip(policies)
+        .map(|(party, policy)| party.share_metadata(policy))
+        .collect::<mp_relation::Result<_>>()
+        .map_err(|e| InvariantViolation::ReferenceFailed(SetupError::Data(e)))?;
+    for event in trace {
+        let Some(env) = event.envelope() else {
+            continue;
+        };
+        let Payload::Metadata(pkg) = &env.payload else {
+            continue;
+        };
+        let party = env.from;
+        let policy = &policies[party];
+        if !policy.domains && pkg.attributes.iter().any(|a| a.domain.is_some()) {
+            return Err(InvariantViolation::RedactionBreached {
+                party,
+                field: "domain",
+            });
+        }
+        if !policy.kinds && pkg.attributes.iter().any(|a| a.kind.is_some()) {
+            return Err(InvariantViolation::RedactionBreached {
+                party,
+                field: "kind",
+            });
+        }
+        if !policy.distributions && pkg.attributes.iter().any(|a| a.distribution.is_some()) {
+            return Err(InvariantViolation::RedactionBreached {
+                party,
+                field: "distribution",
+            });
+        }
+        if !policy.row_count && pkg.n_rows.is_some() {
+            return Err(InvariantViolation::RedactionBreached {
+                party,
+                field: "row-count",
+            });
+        }
+        let has_fd = pkg
+            .dependencies
+            .iter()
+            .any(|d| matches!(d, mp_metadata::Dependency::Fd(_)));
+        let has_rfd = pkg
+            .dependencies
+            .iter()
+            .any(|d| !matches!(d, mp_metadata::Dependency::Fd(_)));
+        if !policy.fds && has_fd {
+            return Err(InvariantViolation::RedactionBreached { party, field: "fd" });
+        }
+        if !policy.rfds && has_rfd {
+            return Err(InvariantViolation::RedactionBreached {
+                party,
+                field: "rfd",
+            });
+        }
+        if **pkg != expected[party] {
+            return Err(InvariantViolation::RedactionBreached {
+                party,
+                field: "package",
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_metadata::Fd;
+    use mp_relation::{Attribute, Relation, Schema, Value};
+
+    fn party(name: &str, ids: &[&str], deps: bool) -> Party {
+        let schema = Schema::new(vec![
+            Attribute::categorical("id"),
+            Attribute::continuous("x"),
+            Attribute::categorical("grp"),
+        ])
+        .unwrap();
+        let rel = Relation::from_rows(
+            schema,
+            ids.iter()
+                .enumerate()
+                .map(|(i, id)| {
+                    vec![
+                        Value::Text((*id).into()),
+                        Value::Float(i as f64),
+                        Value::Text(if i % 2 == 0 { "a".into() } else { "b".into() }),
+                    ]
+                })
+                .collect(),
+        )
+        .unwrap();
+        let deps = if deps {
+            vec![Fd::new(1usize, 2).into()]
+        } else {
+            vec![]
+        };
+        Party::new(name, rel, 0, deps).unwrap()
+    }
+
+    fn session() -> MultiPartySession {
+        let a = party("bank", &["u1", "u2", "u3", "u4", "u5"], true);
+        let b = party("shop", &["u5", "u3", "u9", "u1"], false);
+        MultiPartySession::new(vec![a, b], 0xBEEF)
+    }
+
+    fn policies() -> Vec<SharePolicy> {
+        vec![SharePolicy::PAPER_RECOMMENDED, SharePolicy::FULL]
+    }
+
+    #[test]
+    fn fault_free_plan_completes_identically() {
+        let s = session();
+        let report = check_invariants(
+            &s,
+            &policies(),
+            &FaultPlan::fault_free(1),
+            &RetryConfig::default(),
+        )
+        .unwrap();
+        assert!(report.completed);
+        assert_eq!(report.summary.dropped, 0);
+        assert_eq!(report.summary.retransmissions, 0);
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let s = session();
+        let plan = FaultPlan::from_names("drop,dup,reorder", 42, 2).unwrap();
+        let a = simulate_setup(&s, &policies(), &plan, &RetryConfig::default());
+        let b = simulate_setup(&s, &policies(), &plan, &RetryConfig::default());
+        assert_eq!(a.summary, b.summary);
+        assert_eq!(a.ticks, b.ticks);
+        assert_eq!(a.result.is_ok(), b.result.is_ok());
+    }
+
+    #[test]
+    fn different_seeds_usually_differ() {
+        let s = session();
+        let retry = RetryConfig::default();
+        let pols = policies();
+        let distinct: std::collections::HashSet<usize> = (0..8)
+            .map(|seed| {
+                let plan = FaultPlan::from_names("drop,reorder", seed, 2).unwrap();
+                simulate_setup(&s, &pols, &plan, &retry).summary.dropped
+            })
+            .collect();
+        assert!(distinct.len() > 1, "eight seeds produced identical traces");
+    }
+
+    #[test]
+    fn drops_force_retransmissions_but_identical_outcome() {
+        let s = session();
+        for seed in 0..16 {
+            let plan = FaultPlan {
+                drop_rate: 0.3,
+                ..FaultPlan::fault_free(seed)
+            };
+            let report = check_invariants(&s, &policies(), &plan, &RetryConfig::default()).unwrap();
+            if report.completed {
+                assert!(report.summary.dropped > 0 || report.summary.retransmissions == 0);
+            }
+        }
+    }
+
+    #[test]
+    fn certain_drop_fails_closed() {
+        let s = session();
+        let plan = FaultPlan {
+            drop_rate: 1.0,
+            ..FaultPlan::fault_free(3)
+        };
+        let sim = simulate_setup(&s, &policies(), &plan, &RetryConfig::default());
+        assert!(matches!(
+            sim.result,
+            Err(SetupError::RetriesExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicates_are_idempotent() {
+        let s = session();
+        for seed in 0..8 {
+            let plan = FaultPlan {
+                duplicate_rate: 1.0,
+                ..FaultPlan::fault_free(seed)
+            };
+            let report = check_invariants(&s, &policies(), &plan, &RetryConfig::default()).unwrap();
+            assert!(report.completed, "pure duplication must complete");
+            assert!(report.summary.duplicated > 0);
+        }
+    }
+
+    #[test]
+    fn crash_aborts_with_typed_error() {
+        let s = session();
+        for party in 0..2 {
+            let plan = FaultPlan {
+                crashes: vec![PartyCrash {
+                    party,
+                    after_sends: 1,
+                }],
+                ..FaultPlan::fault_free(9)
+            };
+            let sim = simulate_setup(&s, &policies(), &plan, &RetryConfig::default());
+            assert_eq!(sim.result, Err(SetupError::PartyCrashed { party }));
+            check_invariants(&s, &policies(), &plan, &RetryConfig::default()).unwrap();
+        }
+    }
+
+    #[test]
+    fn redaction_holds_under_every_profile() {
+        let s = session();
+        for profile in FAULT_PROFILES {
+            for seed in 0..4 {
+                let plan = FaultPlan::from_names(profile, seed, 2).unwrap();
+                check_invariants(&s, &policies(), &plan, &RetryConfig::default())
+                    .unwrap_or_else(|v| panic!("{profile}/{seed}: {v}"));
+            }
+        }
+    }
+
+    #[test]
+    fn tampered_trace_is_caught() {
+        // Forge a trace in which the redacting party leaks a full package.
+        let s = session();
+        let full = s.parties[0].share_metadata(&SharePolicy::FULL).unwrap();
+        let trace = vec![TraceEvent::Delivered {
+            at: 1,
+            env: Envelope {
+                id: crate::transport::MsgId(1),
+                from: 0,
+                to: 1,
+                payload: Payload::Metadata(Box::new(full)),
+            },
+        }];
+        let err = audit_trace_redaction(&s.parties, &policies(), &trace).unwrap_err();
+        assert!(matches!(
+            err,
+            InvariantViolation::RedactionBreached { party: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_fault_name_rejected() {
+        assert!(FaultPlan::from_names("drop,oops", 0, 2).is_err());
+        let plan = FaultPlan::from_names(" drop , dup ", 0, 2).unwrap();
+        assert!(plan.drop_rate > 0.0 && plan.duplicate_rate > 0.0);
+    }
+
+    #[test]
+    fn violation_messages_name_the_invariant() {
+        let v = InvariantViolation::NotBitIdentical {
+            component: "metadata",
+            party: Some(1),
+        };
+        assert!(v.to_string().contains("metadata"));
+        let v = InvariantViolation::RedactionBreached {
+            party: 0,
+            field: "domain",
+        };
+        assert!(v.to_string().contains("domain"));
+    }
+}

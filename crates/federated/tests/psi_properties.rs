@@ -1,0 +1,143 @@
+//! Property-based tests for the PSI alignment kernels
+//! ([`mp_federated::align`] / [`mp_federated::multi_align`]).
+//!
+//! The properties the rest of the stack leans on:
+//! - every aligned index pair refers to **equal entity ids**;
+//! - the aligned *entity set* is invariant under row permutation of
+//!   either party (the canonical digest order hides storage order);
+//! - alignment is symmetric in party order;
+//! - `multi_align` over two parties coincides with pairwise `align`.
+
+use mp_federated::{align, multi_align};
+use mp_relation::Value;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Strategy: an id column of small ints — dense duplicates and heavy
+/// cross-party overlap, the regime where dedup and ordering bugs hide.
+fn id_column() -> impl Strategy<Value = Vec<Value>> {
+    prop::collection::vec((0i64..15).prop_map(Value::Int), 0..40)
+}
+
+fn as_int(v: &Value) -> i64 {
+    match v {
+        Value::Int(i) => *i,
+        other => panic!("test ids are ints, got {other:?}"),
+    }
+}
+
+/// The set of distinct ids present in every column — the reference
+/// semantics of the intersection, independent of row order.
+fn naive_common(cols: &[&[Value]]) -> HashSet<i64> {
+    let mut sets = cols
+        .iter()
+        .map(|c| c.iter().map(as_int).collect::<HashSet<i64>>());
+    let first = sets.next().unwrap_or_default();
+    sets.fold(first, |acc, s| &acc & &s)
+}
+
+/// Aligned entity ids of party A, sorted — the permutation-invariant view
+/// of an alignment.
+fn aligned_ids(a: &[Value], rows_a: &[usize]) -> Vec<i64> {
+    let mut ids: Vec<i64> = rows_a.iter().map(|&r| as_int(&a[r])).collect();
+    ids.sort_unstable();
+    ids
+}
+
+proptest! {
+    #[test]
+    fn aligned_pairs_refer_to_equal_ids(a in id_column(), b in id_column(), salt in 0u64..1000) {
+        let al = align(&a, &b, salt);
+        for i in 0..al.len() {
+            prop_assert_eq!(&a[al.rows_a[i]], &b[al.rows_b[i]]);
+        }
+    }
+
+    #[test]
+    fn alignment_matches_naive_set_semantics(a in id_column(), b in id_column(), salt in 0u64..1000) {
+        let al = align(&a, &b, salt);
+        let got: HashSet<i64> = al.rows_a.iter().map(|&r| as_int(&a[r])).collect();
+        prop_assert_eq!(got.len(), al.len(), "one aligned slot per distinct entity");
+        prop_assert_eq!(got, naive_common(&[&a, &b]));
+    }
+
+    #[test]
+    fn row_permutation_invariant(a in id_column(), b in id_column(), salt in 0u64..1000, k in 0usize..40) {
+        let base = align(&a, &b, salt);
+        let mut rotated = a.clone();
+        if !rotated.is_empty() {
+            let k = k % rotated.len();
+            rotated.rotate_left(k);
+        }
+        let perm = align(&rotated, &b, salt);
+        prop_assert_eq!(perm.len(), base.len());
+        prop_assert_eq!(
+            aligned_ids(&rotated, &perm.rows_a),
+            aligned_ids(&a, &base.rows_a)
+        );
+        // B's side is untouched, so its row set must be identical too.
+        let mut base_b = base.rows_b.clone();
+        let mut perm_b = perm.rows_b.clone();
+        base_b.sort_unstable();
+        perm_b.sort_unstable();
+        prop_assert_eq!(base_b, perm_b);
+    }
+
+    #[test]
+    fn symmetric_in_party_order(a in id_column(), b in id_column(), salt in 0u64..1000) {
+        let ab = align(&a, &b, salt);
+        let ba = align(&b, &a, salt);
+        // Canonical digest order makes the symmetry exact, not just
+        // set-wise: swapping parties swaps the row vectors.
+        prop_assert_eq!(ab.rows_a, ba.rows_b);
+        prop_assert_eq!(ab.rows_b, ba.rows_a);
+    }
+
+    #[test]
+    fn multi_align_two_party_matches_pairwise(a in id_column(), b in id_column(), salt in 0u64..1000) {
+        let multi = multi_align(&[&a, &b], salt);
+        let pair = align(&a, &b, salt);
+        prop_assert_eq!(&multi.rows[0], &pair.rows_a);
+        prop_assert_eq!(&multi.rows[1], &pair.rows_b);
+    }
+
+    #[test]
+    fn multi_align_is_entity_consistent(
+        a in id_column(),
+        b in id_column(),
+        c in id_column(),
+        salt in 0u64..1000,
+    ) {
+        let cols: Vec<&[Value]> = vec![&a, &b, &c];
+        let al = multi_align(&cols, salt);
+        prop_assert_eq!(al.rows.len(), 3);
+        for i in 0..al.len() {
+            let e0 = &cols[0][al.rows[0][i]];
+            for (p, col) in cols.iter().enumerate().skip(1) {
+                prop_assert_eq!(e0, &col[al.rows[p][i]], "slot {} party {}", i, p);
+            }
+        }
+        // One slot per distinct common entity; no party row used twice.
+        let ids: HashSet<i64> = al.rows[0].iter().map(|&r| as_int(&a[r])).collect();
+        prop_assert_eq!(ids.len(), al.len());
+        prop_assert_eq!(ids, naive_common(&cols));
+        for rows in &al.rows {
+            let uniq: HashSet<usize> = rows.iter().copied().collect();
+            prop_assert_eq!(uniq.len(), rows.len(), "row reused within a party");
+        }
+    }
+
+    #[test]
+    fn multi_align_symmetric_in_party_order(
+        a in id_column(),
+        b in id_column(),
+        c in id_column(),
+        salt in 0u64..1000,
+    ) {
+        let fwd = multi_align(&[&a, &b, &c], salt);
+        let rev = multi_align(&[&c, &b, &a], salt);
+        prop_assert_eq!(&fwd.rows[0], &rev.rows[2]);
+        prop_assert_eq!(&fwd.rows[1], &rev.rows[1]);
+        prop_assert_eq!(&fwd.rows[2], &rev.rows[0]);
+    }
+}
