@@ -1,0 +1,92 @@
+//! CI overhead guard for the mp-observe instrumentation.
+//!
+//! The observability layer promises to be effectively free when nobody is
+//! listening *and* cheap when a [`mp_observe::Registry`] is attached:
+//! handles are resolved once per component and updates are single relaxed
+//! atomic operations. This binary measures the `pli_cache_10k_rows`-style
+//! workload (FD discovery over the all-classes synthetic relation, warm
+//! shared cache) with the default no-op recorder and with a live
+//! registry, and exits non-zero if the observed run is more than
+//! `OBSERVE_OVERHEAD_PCT` percent slower (default 5).
+//!
+//! Medians over interleaved repetitions keep the guard stable on noisy
+//! CI machines; raise the threshold via the environment if a runner is
+//! pathological, e.g. `OBSERVE_OVERHEAD_PCT=10 observe_overhead`.
+//!
+//! Usage: `observe_overhead [rows] [reps]` (defaults: 10000, 7).
+
+use mp_datasets::all_classes_spec;
+use mp_discovery::{discover_fds_with, DiscoveryContext, ParallelConfig, TaneConfig};
+use mp_observe::{Recorder, Registry};
+use mp_relation::Relation;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One warm discovery pass: a cold pass fills the shared PLI cache, then
+/// the timed pass measures the steady state the 5% promise is about.
+/// Sequential contexts on both sides — the guard measures recorder cost,
+/// not scheduler jitter.
+fn timed_pass(rel: &Relation, config: &TaneConfig, recorder: Option<Arc<dyn Recorder>>) -> u128 {
+    let ctx = match recorder {
+        None => DiscoveryContext::new(rel, ParallelConfig::sequential()),
+        Some(r) => DiscoveryContext::instrumented(rel, ParallelConfig::sequential(), r),
+    };
+    discover_fds_with(&ctx, config).expect("warm-up pass");
+    let start = Instant::now();
+    discover_fds_with(&ctx, config).expect("timed pass");
+    start.elapsed().as_nanos()
+}
+
+fn median(mut samples: Vec<u128>) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let rows: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(10_000);
+    let reps: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(7).max(1);
+    let threshold_pct: f64 = std::env::var("OBSERVE_OVERHEAD_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5.0);
+
+    let rel = all_classes_spec(rows, 7)
+        .generate()
+        .expect("generation")
+        .relation;
+    let config = TaneConfig {
+        max_lhs: 2,
+        g3_threshold: 0.0,
+        ..TaneConfig::default()
+    };
+
+    // Interleaved sampling so drift (thermal, noisy neighbours) hits both
+    // sides equally.
+    let mut noop_ns = Vec::with_capacity(reps);
+    let mut live_ns = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        noop_ns.push(timed_pass(&rel, &config, None));
+        live_ns.push(timed_pass(
+            &rel,
+            &config,
+            Some(Arc::new(Registry::new()) as Arc<dyn Recorder>),
+        ));
+    }
+    let base = median(noop_ns);
+    let live = median(live_ns);
+
+    let overhead_pct = 100.0 * (live as f64 - base as f64) / base as f64;
+    println!(
+        "observe overhead guard: {rows} rows, {reps} reps (median of warm passes)\n\
+         noop recorder:  {base:>12} ns\n\
+         live registry:  {live:>12} ns\n\
+         overhead:       {overhead_pct:>11.2} % (threshold {threshold_pct} %)"
+    );
+
+    if overhead_pct > threshold_pct {
+        eprintln!("FAIL: live metrics slow discovery by {overhead_pct:.2}% (> {threshold_pct}%)");
+        std::process::exit(1);
+    }
+    println!("OK");
+}

@@ -6,10 +6,12 @@ use mp_core::{
 };
 use mp_discovery::{DependencyProfile, DiscoveryContext, ParallelConfig, ProfileConfig};
 use mp_federated::{
-    check_invariants, simulate_setup, FaultPlan, MultiPartySession, Party, RetryConfig,
+    check_invariants, simulate_setup_observed, FaultPlan, MultiPartySession, Party, RetryConfig,
 };
 use mp_metadata::{MetadataPackage, SharePolicy};
+use mp_observe::{NoopRecorder, Recorder};
 use mp_relation::Relation;
+use std::sync::Arc;
 
 /// Resolves a policy name (`names`, `domains`, `full`, `recommended`).
 pub fn policy_by_name(name: &str) -> Result<SharePolicy, String> {
@@ -27,7 +29,19 @@ pub fn policy_by_name(name: &str) -> Result<SharePolicy, String> {
 /// `mpriv profile <csv>` — dependency discovery report, including the
 /// shared PLI-cache statistics of the discovery engine.
 pub fn profile(relation: &Relation) -> Result<String, String> {
-    let ctx = DiscoveryContext::new(relation, ParallelConfig::default());
+    profile_observed(relation, ParallelConfig::default(), Arc::new(NoopRecorder))
+}
+
+/// [`profile`] with an explicit [`Recorder`]. Callers that collect
+/// metrics should pass [`ParallelConfig::sequential`]: the shared PLI
+/// cache is consulted in nondeterministic order under a thread pool, so
+/// hit/miss counts are only byte-reproducible sequentially.
+pub fn profile_observed(
+    relation: &Relation,
+    parallel: ParallelConfig,
+    recorder: Arc<dyn Recorder>,
+) -> Result<String, String> {
+    let ctx = DiscoveryContext::instrumented(relation, parallel, recorder);
     let profile = DependencyProfile::discover_with(&ctx, &ProfileConfig::paper())
         .map_err(|e| e.to_string())?;
     let stats = ctx.cache_stats();
@@ -216,6 +230,18 @@ pub fn compare_policies(
 /// seed, so the output depends only on `--seed` and `--faults`; aborted
 /// setups surface as an `Err` (non-zero exit).
 pub fn simulate(seed: u64, faults: &str, rows: usize) -> Result<String, String> {
+    simulate_observed(seed, faults, rows, &NoopRecorder)
+}
+
+/// [`simulate`] with an explicit [`Recorder`]: the primary simulation
+/// run records wire and protocol metrics (the invariant re-runs stay
+/// unobserved so counters describe exactly one run).
+pub fn simulate_observed(
+    seed: u64,
+    faults: &str,
+    rows: usize,
+    recorder: &dyn Recorder,
+) -> Result<String, String> {
     // Fixed data seed: `--seed` drives the fault schedule, never the data.
     let data = mp_datasets::fintech_scenario(rows, 42);
     let bank = Party::new("bank", data.bank.relation, 0, data.bank.dependencies)
@@ -232,7 +258,7 @@ pub fn simulate(seed: u64, faults: &str, rows: usize) -> Result<String, String> 
 
     let plan = FaultPlan::from_names(faults, seed, session.parties.len())?;
     let retry = RetryConfig::default();
-    let sim = simulate_setup(&session, &policies, &plan, &retry);
+    let sim = simulate_setup_observed(&session, &policies, &plan, &retry, recorder);
 
     let mut out = format!("fault simulation: seed {seed}, faults [{faults}], {rows} rows/party\n");
     out.push_str(&format!(
@@ -270,8 +296,10 @@ pub fn help() -> String {
     "mpriv — metadata-privacy auditor (reproduction of 'Will Sharing Metadata Leak Privacy?', ICDE 2024)
 
 USAGE:
-  mpriv profile <csv>
-      Discover FDs/AFDs/ODs/NDs/DDs/OFDs in the file.
+  mpriv profile <csv> [--metrics-json out.json]
+      Discover FDs/AFDs/ODs/NDs/DDs/OFDs in the file. With
+      --metrics-json, also write a deterministic metrics snapshot
+      (PLI builds, cache traffic, per-pass spans) to the path.
   mpriv audit <csv> [--policy names|domains|full|recommended] [--rounds N] [--epsilon E]
       Simulate the metadata synthesis attack the policy would enable.
   mpriv identifiability <csv> [--max-size K] [--qi i,j,k]
@@ -280,8 +308,10 @@ USAGE:
       Generalise continuous quasi-identifiers until k-anonymous.
   mpriv compare <csv> [--rounds N] [--epsilon E]
       Leakage matrix: every preset policy side by side.
-  mpriv simulate [--seed N] [--faults drop,dup,reorder,crash] [--rows N]
-      Replay VFL setup under a seeded fault schedule; non-zero exit on abort.
+  mpriv simulate [--seed N] [--faults drop,dup,reorder,crash] [--rows N] [--metrics-json out.json]
+      Replay VFL setup under a seeded fault schedule; non-zero exit on
+      abort. With --metrics-json, also write a deterministic metrics
+      snapshot (wire counters, tick latencies, retransmits) to the path.
 
 CSV parsing: first row is the header; `?`, `NA` and empty fields are missing.
 "

@@ -7,8 +7,10 @@
 mod args;
 mod commands;
 
+use mp_observe::Registry;
 use mp_relation::csv;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -33,7 +35,21 @@ fn run(argv: &[String]) -> Result<String, String> {
     match parsed.command.as_str() {
         "profile" => {
             let rel = load(parsed.positional(0, "csv")?)?;
-            commands::profile(&rel)
+            match parsed.options.get("metrics-json") {
+                // Sequential: shared-cache hit/miss order is racy under a
+                // thread pool, and the snapshot must be byte-reproducible.
+                Some(path) => {
+                    let registry = Arc::new(Registry::new());
+                    let report = commands::profile_observed(
+                        &rel,
+                        mp_discovery::ParallelConfig::sequential(),
+                        registry.clone(),
+                    )?;
+                    write_metrics(&registry, path)?;
+                    Ok(report)
+                }
+                None => commands::profile(&rel),
+            }
         }
         "audit" => {
             let rel = load(parsed.positional(0, "csv")?)?;
@@ -74,10 +90,25 @@ fn run(argv: &[String]) -> Result<String, String> {
                 .cloned()
                 .unwrap_or_else(|| "drop,dup,reorder".to_owned());
             let rows = parsed.get_or("rows", 120usize)?;
-            commands::simulate(seed, &faults, rows)
+            match parsed.options.get("metrics-json") {
+                Some(path) => {
+                    let registry = Registry::new();
+                    let result = commands::simulate_observed(seed, &faults, rows, &registry);
+                    // Written even when the setup aborts: the wire metrics
+                    // of a failed run are exactly what one wants to inspect.
+                    write_metrics(&registry, path)?;
+                    result
+                }
+                None => commands::simulate(seed, &faults, rows),
+            }
         }
         other => Err(format!("unknown subcommand `{other}`")),
     }
+}
+
+fn write_metrics(registry: &Registry, path: &str) -> Result<(), String> {
+    std::fs::write(path, registry.snapshot().to_json())
+        .map_err(|e| format!("cannot write metrics to `{path}`: {e}"))
 }
 
 fn load(path: &str) -> Result<mp_relation::Relation, String> {

@@ -1,0 +1,141 @@
+//! Golden regression tests for `mpriv ... --metrics-json`.
+//!
+//! The metrics snapshot is part of the determinism contract: it contains
+//! only logical-clock integers (PLI builds, transport ticks), never wall
+//! time, so for a fixed input (and, for `simulate`, a fixed seed) the
+//! emitted JSON is byte-reproducible. These tests pin the exact snapshots
+//! for the checked-in fixture CSV and for `simulate --seed 7` against
+//! golden files, and assert the zero-perturbation half of the contract:
+//! collecting metrics must not change the report on stdout.
+//!
+//! To regenerate after an *intentional* change:
+//! `cargo run -p mp-cli --bin mpriv -- profile crates/cli/tests/fixtures/demo.csv \
+//!    --metrics-json crates/cli/tests/golden/profile_demo_metrics.json`
+//! `cargo run -p mp-cli --bin mpriv -- simulate --seed 7 --faults drop,dup,reorder \
+//!    --rows 120 --metrics-json crates/cli/tests/golden/simulate_seed7_metrics.json`
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn mpriv() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mpriv"))
+}
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join(name)
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("mpriv-metrics-golden");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// Runs `argv` with `--metrics-json` appended, checks the stdout report is
+/// byte-identical to the metrics-free run, and returns the snapshot JSON.
+fn run_with_metrics(argv: &[&str], out_name: &str, expect_success: bool) -> String {
+    let plain = mpriv().args(argv).output().unwrap();
+    let out_path = tmp(out_name);
+    let observed = mpriv()
+        .args(argv)
+        .arg("--metrics-json")
+        .arg(&out_path)
+        .output()
+        .unwrap();
+    assert_eq!(
+        plain.status.success(),
+        expect_success,
+        "unexpected status for {argv:?}: {}",
+        String::from_utf8_lossy(&plain.stderr)
+    );
+    assert_eq!(observed.status.success(), expect_success);
+    assert_eq!(
+        plain.stdout, observed.stdout,
+        "--metrics-json must not perturb the report of {argv:?}"
+    );
+    assert_eq!(
+        plain.stderr, observed.stderr,
+        "--metrics-json must not perturb diagnostics of {argv:?}"
+    );
+    std::fs::read_to_string(&out_path).unwrap()
+}
+
+fn assert_matches_golden(got: &str, golden: &str) {
+    let want = std::fs::read_to_string(fixture(golden)).unwrap();
+    assert_eq!(
+        got,
+        want,
+        "metrics snapshot drifted from {golden}; regenerate the golden file if the change is intended"
+    );
+}
+
+#[test]
+fn profile_metrics_match_golden_snapshot() {
+    let csv = fixture("fixtures/demo.csv");
+    let got = run_with_metrics(&["profile", csv.to_str().unwrap()], "profile.json", true);
+    assert_matches_golden(&got, "golden/profile_demo_metrics.json");
+}
+
+#[test]
+fn simulate_seed7_metrics_match_golden_snapshot() {
+    let got = run_with_metrics(
+        &[
+            "simulate",
+            "--seed",
+            "7",
+            "--faults",
+            "drop,dup,reorder",
+            "--rows",
+            "120",
+        ],
+        "simulate7.json",
+        true,
+    );
+    assert_matches_golden(&got, "golden/simulate_seed7_metrics.json");
+}
+
+#[test]
+fn metrics_snapshots_are_run_to_run_identical() {
+    let csv = fixture("fixtures/demo.csv");
+    let a = run_with_metrics(&["profile", csv.to_str().unwrap()], "p_a.json", true);
+    let b = run_with_metrics(&["profile", csv.to_str().unwrap()], "p_b.json", true);
+    assert_eq!(a, b, "profile metrics vary across runs");
+    let sim = ["simulate", "--seed", "3", "--faults", "drop,dup"];
+    let a = run_with_metrics(&sim, "s_a.json", true);
+    let b = run_with_metrics(&sim, "s_b.json", true);
+    assert_eq!(a, b, "simulate metrics vary across runs");
+}
+
+#[test]
+fn aborted_simulation_still_writes_metrics() {
+    // A crash schedule aborts the run (non-zero exit), but the wire
+    // metrics of the failed attempt are still written — they are exactly
+    // what one inspects after an abort.
+    let got = run_with_metrics(
+        &[
+            "simulate", "--seed", "5", "--faults", "crash", "--rows", "60",
+        ],
+        "crash.json",
+        false,
+    );
+    assert!(got.contains("\"schema_version\": 1"), "snapshot: {got}");
+    assert!(got.contains("transport.crashes"), "snapshot: {got}");
+}
+
+#[test]
+fn metrics_snapshot_carries_no_wall_clock() {
+    // Belt and braces for the determinism contract: every numeric field
+    // in the snapshot is a small logical quantity, so any wall-clock
+    // timestamp (seconds or nanoseconds since the epoch) sneaking in
+    // would stand out by sheer magnitude.
+    let csv = fixture("fixtures/demo.csv");
+    let got = run_with_metrics(&["profile", csv.to_str().unwrap()], "wall.json", true);
+    for token in got.split(|c: char| !c.is_ascii_digit()) {
+        if !token.is_empty() {
+            let v: u64 = token.parse().unwrap();
+            assert!(v < 1_000_000_000, "suspiciously large value {v} in: {got}");
+        }
+    }
+}

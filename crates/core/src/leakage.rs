@@ -258,7 +258,29 @@ pub struct AttrLeakage {
 /// Measures leakage on every attribute of an aligned pair, with `epsilon`
 /// as the continuous match tolerance.
 pub fn measure_all(real: &Relation, syn: &Relation, epsilon: f64) -> Result<Vec<AttrLeakage>> {
+    measure_all_with(real, syn, epsilon, &mp_observe::NoopRecorder)
+}
+
+/// [`measure_all`] with an explicit [`mp_observe::Recorder`]: counts every
+/// compared cell (`core.leakage.cells_compared`), every index-aligned
+/// match (`core.leakage.matches`), and buckets each attribute's match
+/// rate, in whole percent, into `core.leakage.match_rate_pct`. All values
+/// are integers derived from the comparison itself, so snapshots are
+/// byte-stable for a fixed input pair.
+pub fn measure_all_with(
+    real: &Relation,
+    syn: &Relation,
+    epsilon: f64,
+    recorder: &dyn mp_observe::Recorder,
+) -> Result<Vec<AttrLeakage>> {
     check_arity(real, syn)?;
+    let cells = recorder.counter("core.leakage.cells_compared");
+    let matched = recorder.counter("core.leakage.matches");
+    let rate_pct = recorder.histogram(
+        "core.leakage.match_rate_pct",
+        &[0, 1, 5, 10, 25, 50, 75, 90, 100],
+    );
+    let n_rows = real.n_rows() as u64;
     (0..real.arity())
         .map(|attr| {
             let name = real.schema().attribute(attr)?.name.clone();
@@ -268,6 +290,11 @@ pub fn measure_all(real: &Relation, syn: &Relation, epsilon: f64) -> Result<Vec<
                     continuous_matches(real, syn, attr, epsilon)? as f64
                 }
             };
+            cells.add(n_rows);
+            matched.add(matches as u64);
+            if let Some(pct) = (matches as u64 * 100).checked_div(n_rows) {
+                rate_pct.record(pct);
+            }
             Ok(AttrLeakage {
                 attr,
                 name,
@@ -383,6 +410,22 @@ mod tests {
         assert_eq!(all[1].matches, 2.0);
         assert!(all[1].mse.is_some());
         assert_eq!(all[0].name, "c");
+    }
+
+    #[test]
+    fn measure_all_with_records_cells_and_matches() {
+        use mp_observe::{Recorder, Registry};
+        let (real, syn) = pair();
+        let registry = Registry::new();
+        let observed = measure_all_with(&real, &syn, 0.1, &registry).unwrap();
+        assert_eq!(observed, measure_all(&real, &syn, 0.1).unwrap());
+        let snap = registry.snapshot();
+        // 2 attributes × 4 rows.
+        assert_eq!(snap.counters["core.leakage.cells_compared"], 8);
+        // 3 categorical + 2 continuous matches.
+        assert_eq!(snap.counters["core.leakage.matches"], 5);
+        assert_eq!(snap.histograms["core.leakage.match_rate_pct"].count, 2);
+        let _ = registry.counter("core.leakage.cells_compared"); // still interned
     }
 
     #[test]

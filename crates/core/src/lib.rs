@@ -37,8 +37,8 @@ pub use identifiability::{
     identifiability_rate, identifiable_tuples, minimal_identifying_sets, uniqueness_profile,
 };
 pub use leakage::{
-    categorical_matches, continuous_matches, leakage_rate, measure_all, mse, tuple_matches,
-    AttrLeakage,
+    categorical_matches, continuous_matches, leakage_rate, measure_all, measure_all_with, mse,
+    tuple_matches, AttrLeakage,
 };
 pub use metric::{
     continuous_matches_metric, distance_series, tuple_distance_matches, ScalarMetric, VectorMetric,

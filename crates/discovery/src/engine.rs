@@ -10,6 +10,7 @@
 //! candidate evaluation out over scoped worker threads.
 
 use mp_metadata::AttrSet;
+use mp_observe::{Counter, NoopRecorder, Recorder};
 use mp_relation::{par, Pli, PliCache, PliCacheStats, Relation, Result};
 use std::sync::Arc;
 
@@ -75,6 +76,10 @@ pub struct DiscoveryContext<'r> {
     relation: &'r Relation,
     cache: PliCache,
     parallel: ParallelConfig,
+    recorder: Arc<dyn Recorder>,
+    /// Resolved once at construction; bumped (with a 1-unit clock
+    /// advance) for every partition actually materialised.
+    pli_builds: Counter,
 }
 
 impl<'r> DiscoveryContext<'r> {
@@ -84,6 +89,19 @@ impl<'r> DiscoveryContext<'r> {
     /// bitset; their context degrades to an always-miss cache (capacity
     /// forced to 0) and discovery still works, just without memoization.
     pub fn new(relation: &'r Relation, parallel: ParallelConfig) -> Self {
+        Self::instrumented(relation, parallel, Arc::new(NoopRecorder))
+    }
+
+    /// [`new`](Self::new) with an explicit [`Recorder`]. The context
+    /// registers `pli_cache.*` counters and `discovery.pli.builds`, and
+    /// advances the recorder's logical clock by one unit per partition it
+    /// materialises — which is what gives the per-pass spans recorded by
+    /// the profiler their (deterministic) durations.
+    pub fn instrumented(
+        relation: &'r Relation,
+        parallel: ParallelConfig,
+        recorder: Arc<dyn Recorder>,
+    ) -> Self {
         let capacity = if relation.arity() > 64 {
             0
         } else {
@@ -91,9 +109,24 @@ impl<'r> DiscoveryContext<'r> {
         };
         DiscoveryContext {
             relation,
-            cache: PliCache::new(capacity),
+            cache: PliCache::with_recorder(capacity, recorder.as_ref()),
             parallel,
+            pli_builds: recorder.counter("discovery.pli.builds"),
+            recorder,
         }
+    }
+
+    /// The recorder this context reports to (a [`NoopRecorder`] unless
+    /// built via [`instrumented`](Self::instrumented)).
+    pub fn recorder(&self) -> &dyn Recorder {
+        self.recorder.as_ref()
+    }
+
+    /// Counts one materialised partition: bumps `discovery.pli.builds`
+    /// and advances the logical clock one work unit.
+    fn note_build(&self) {
+        self.pli_builds.inc();
+        self.recorder.advance(1);
     }
 
     /// The bound relation.
@@ -135,6 +168,7 @@ impl<'r> DiscoveryContext<'r> {
             }
         }
         let pli = Pli::from_typed(self.relation.column(attr)?);
+        self.note_build();
         Ok(self.store(key, pli))
     }
 
@@ -160,8 +194,10 @@ impl<'r> DiscoveryContext<'r> {
             let mut iter = set.iter();
             let first = iter.next().expect("checked non-empty");
             let mut pli = Pli::from_typed(self.relation.column(first)?);
+            self.note_build();
             for attr in iter {
                 pli = pli.intersect(&Pli::from_typed(self.relation.column(attr)?));
+                self.note_build();
             }
             return Ok(Arc::new(pli));
         }
@@ -177,6 +213,7 @@ impl<'r> DiscoveryContext<'r> {
         let a = self.pli_of(&parent)?;
         let b = self.pli_of_single(last)?;
         let pli = a.intersect(&b);
+        self.note_build();
         Ok(self.store(key, pli))
     }
 
@@ -254,6 +291,25 @@ mod tests {
         assert_eq!(*ctx.pli_of(&set).unwrap(), pli_of_set(&r, &set).unwrap());
         assert_eq!(ctx.cache_stats().hits, 0);
         assert_eq!(ctx.cache_stats().entries, 0);
+    }
+
+    #[test]
+    fn instrumented_context_reports_builds_and_cache_traffic() {
+        use mp_observe::Registry;
+        let r = employee();
+        let registry = Arc::new(Registry::new());
+        let ctx =
+            DiscoveryContext::instrumented(&r, ParallelConfig::sequential(), registry.clone());
+        let set = AttrSet::from_iter([0usize, 2]);
+        ctx.pli_of(&set).unwrap(); // builds Π_0, Π_2, Π_{0,2}
+        ctx.pli_of(&set).unwrap(); // pure cache hit
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["discovery.pli.builds"], 3);
+        assert_eq!(snap.clock, 3, "clock advances one unit per build");
+        assert!(snap.counters["pli_cache.hits"] >= 1);
+        // Registry and local stats read the same atomics.
+        assert_eq!(snap.counters["pli_cache.hits"], ctx.cache_stats().hits);
+        assert_eq!(snap.counters["pli_cache.misses"], ctx.cache_stats().misses);
     }
 
     #[test]

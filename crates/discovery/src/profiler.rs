@@ -97,9 +97,17 @@ impl DependencyProfile {
     /// rate.
     pub fn discover_with(ctx: &DiscoveryContext<'_>, config: &ProfileConfig) -> Result<Self> {
         let relation = ctx.relation();
-        let fds = discover_fds_with(ctx, &config.fd)?;
+        // One span per pass. Durations are logical units — one unit per
+        // partition the context materialises — so they answer "which pass
+        // did the partition work" deterministically, not wall time.
+        let span = |pass: &str| ctx.recorder().span(&format!("discovery.pass.{pass}"));
+        let fds = {
+            let _g = span("fds").enter();
+            discover_fds_with(ctx, &config.fd)?
+        };
         let afds = match config.afd_threshold {
             Some(eps) if eps > 0.0 => {
+                let _g = span("afds").enter();
                 let approx = discover_fds_with(
                     ctx,
                     &TaneConfig {
@@ -123,23 +131,39 @@ impl DependencyProfile {
             }
             _ => Vec::new(),
         };
-        let ods = discover_ods_with(ctx, &config.od)?;
-        let nds = discover_nds_with(ctx, &config.nd)?;
+        let ods = {
+            let _g = span("ods").enter();
+            discover_ods_with(ctx, &config.od)?
+        };
+        let nds = {
+            let _g = span("nds").enter();
+            discover_nds_with(ctx, &config.nd)?
+        };
         let dds = match &config.dd {
-            Some(cfg) => discover_dds_with(ctx, cfg)?,
+            Some(cfg) => {
+                let _g = span("dds").enter();
+                discover_dds_with(ctx, cfg)?
+            }
             None => Vec::new(),
         };
         let ofds = if config.ofds {
+            let _g = span("ofds").enter();
             discover_ofds_with(ctx, true)?
         } else {
             Vec::new()
         };
         let cfds = match &config.cfd {
-            Some(cfg) => discover_cfds(relation, cfg)?,
+            Some(cfg) => {
+                let _g = span("cfds").enter();
+                discover_cfds(relation, cfg)?
+            }
             None => Vec::new(),
         };
         let mfds = match &config.mfd {
-            Some(cfg) => discover_mfds(relation, cfg)?,
+            Some(cfg) => {
+                let _g = span("mfds").enter();
+                discover_mfds(relation, cfg)?
+            }
             None => Vec::new(),
         };
         Ok(Self {

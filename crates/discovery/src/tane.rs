@@ -111,6 +111,15 @@ pub fn discover_fds_with(ctx: &DiscoveryContext<'_>, config: &TaneConfig) -> Res
     }
     let threshold_violations = (config.g3_threshold * n as f64).floor() as usize;
 
+    // Lattice-shape metrics: width of each level and total candidate FD
+    // tests. Both are functions of the input alone (independent of thread
+    // count and cache capacity), so they are safe for golden snapshots.
+    let level_width = ctx.recorder().histogram(
+        "discovery.lattice.level_width",
+        &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024],
+    );
+    let candidates_tested = ctx.recorder().counter("discovery.candidates.tested");
+
     // Empty-set partition error, for level-1 validity checks (∅ → A).
     let unit = Pli::unit(n);
     // ∅ → A holds iff column A is constant; handle as level-0 so level-1
@@ -133,6 +142,7 @@ pub fn discover_fds_with(ctx: &DiscoveryContext<'_>, config: &TaneConfig) -> Res
         // iteration order and the thread count.
         let mut keys: Vec<AttrSet> = level.keys().cloned().collect();
         keys.sort();
+        level_width.record(keys.len() as u64);
 
         // Phase 1 — candidate tests, in parallel over lattice nodes. Each
         // node's test reads only its own `C⁺` and the shared PLI cache.
@@ -150,6 +160,7 @@ pub fn discover_fds_with(ctx: &DiscoveryContext<'_>, config: &TaneConfig) -> Res
                 if cplus & bit(a) == 0 {
                     continue;
                 }
+                candidates_tested.inc();
                 let lhs = x.without(a);
                 let violations = if lhs.is_empty() {
                     unit.g3_violations(&rhs_sigs[a])

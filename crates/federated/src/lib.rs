@@ -45,11 +45,16 @@ pub use model::{
 };
 pub use multiparty::{multi_align, MultiAlignment, MultiPartySession, MultiSetupOutcome};
 pub use party::Party;
-pub use protocol::{run_setup_protocol, RetryConfig, SetupError, SetupOutcome, VflSession};
+pub use protocol::{
+    run_setup_protocol, run_setup_protocol_observed, RetryConfig, SetupError, SetupOutcome,
+    VflSession,
+};
 pub use psi::{align, PsiAlignment};
 pub use scenario::{run_scenario, run_scenario_over, ScenarioOutcome};
 pub use sim::{
-    check_invariants, simulate_setup, FaultPlan, InvariantReport, InvariantViolation, PartyCrash,
-    SimOutcome, SimTransport, TraceSummary, FAULT_PROFILES,
+    check_invariants, simulate_setup, simulate_setup_observed, FaultPlan, InvariantReport,
+    InvariantViolation, PartyCrash, SimOutcome, SimTransport, TraceSummary, FAULT_PROFILES,
 };
-pub use transport::{Envelope, MsgId, PartyId, Payload, PerfectTransport, TraceEvent, Transport};
+pub use transport::{
+    Envelope, MsgId, PartyId, Payload, PerfectTransport, TraceEvent, Transport, TransportMetrics,
+};

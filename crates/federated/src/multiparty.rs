@@ -7,7 +7,7 @@
 //! [`crate::VflSession`] accordingly.
 
 use crate::party::Party;
-use crate::protocol::{run_setup_protocol, RetryConfig, SetupError};
+use crate::protocol::{run_setup_protocol, run_setup_protocol_observed, RetryConfig, SetupError};
 use crate::psi::{intersect_all, submit, IdDigest};
 use crate::transport::{PerfectTransport, Transport};
 use mp_metadata::{MetadataPackage, SharePolicy};
@@ -94,6 +94,26 @@ impl MultiPartySession {
         retry: &RetryConfig,
     ) -> std::result::Result<MultiSetupOutcome, SetupError> {
         run_setup_protocol(&self.parties, policies, self.salt, transport, retry)
+    }
+
+    /// [`run_setup_over`](Self::run_setup_over) with an explicit
+    /// [`mp_observe::Recorder`]; see
+    /// [`run_setup_protocol_observed`] for what gets recorded.
+    pub fn run_setup_over_observed(
+        &self,
+        policies: &[SharePolicy],
+        transport: &mut dyn Transport,
+        retry: &RetryConfig,
+        recorder: &dyn mp_observe::Recorder,
+    ) -> std::result::Result<MultiSetupOutcome, SetupError> {
+        run_setup_protocol_observed(
+            &self.parties,
+            policies,
+            self.salt,
+            transport,
+            retry,
+            recorder,
+        )
     }
 }
 

@@ -33,6 +33,7 @@ use crate::party::Party;
 use crate::psi::{intersect_all, IdDigest, PsiAlignment};
 use crate::transport::{Envelope, MsgId, PartyId, Payload, PerfectTransport, Transport};
 use mp_metadata::{MetadataPackage, SharePolicy};
+use mp_observe::{Counter, NoopRecorder, Recorder};
 use mp_relation::{Relation, RelationError, Result};
 use std::collections::HashSet;
 
@@ -215,6 +216,56 @@ pub fn run_setup_protocol(
     transport: &mut dyn Transport,
     retry: &RetryConfig,
 ) -> std::result::Result<MultiSetupOutcome, SetupError> {
+    run_setup_protocol_observed(parties, policies, salt, transport, retry, &NoopRecorder)
+}
+
+/// Per-party protocol metric handles, resolved once per run.
+struct ProtocolMetrics {
+    sent: Vec<Counter>,
+    recv: Vec<Counter>,
+    retransmits: Vec<Counter>,
+    backoff_ticks: Vec<Counter>,
+    acks_sent: Counter,
+}
+
+impl ProtocolMetrics {
+    fn new(n: usize, recorder: &dyn Recorder) -> Self {
+        ProtocolMetrics {
+            sent: (0..n)
+                .map(|p| recorder.counter(&format!("protocol.party.{p}.sent")))
+                .collect(),
+            recv: (0..n)
+                .map(|p| recorder.counter(&format!("protocol.party.{p}.recv")))
+                .collect(),
+            retransmits: (0..n)
+                .map(|p| recorder.counter(&format!("protocol.party.{p}.retransmits")))
+                .collect(),
+            backoff_ticks: (0..n)
+                .map(|p| recorder.counter(&format!("protocol.party.{p}.backoff_ticks")))
+                .collect(),
+            acks_sent: recorder.counter("protocol.acks_sent"),
+        }
+    }
+}
+
+/// [`run_setup_protocol`] with an explicit [`Recorder`].
+///
+/// Records per-party `protocol.party.<p>.{sent,recv,retransmits,
+/// backoff_ticks}` counters, the `protocol.acks_sent` total, and the
+/// `protocol.setup` span, and drives the recorder's logical clock from
+/// the transport's virtual tick clock (`set_time` each tick) — so the
+/// span's duration is the protocol's length *in ticks*, never wall time.
+/// The protocol engine is single-threaded and the recorder never feeds
+/// back into protocol decisions, so every recorded value is a pure
+/// function of `(parties, policies, transport behaviour)`.
+pub fn run_setup_protocol_observed(
+    parties: &[Party],
+    policies: &[SharePolicy],
+    salt: u64,
+    transport: &mut dyn Transport,
+    retry: &RetryConfig,
+    recorder: &dyn Recorder,
+) -> std::result::Result<MultiSetupOutcome, SetupError> {
     assert_eq!(policies.len(), parties.len(), "one policy per party");
     assert_eq!(
         transport.n_parties(),
@@ -237,7 +288,12 @@ pub fn run_setup_protocol(
         MsgId(next_msg_id)
     };
 
+    let metrics = ProtocolMetrics::new(n, recorder);
+    recorder.set_time(transport.now());
+    let _setup_span = recorder.span("protocol.setup").enter();
+
     loop {
+        recorder.set_time(transport.now());
         // Step every live party: drain inbox, then advance the send side.
         // (Indexing, not iter_mut: `machines[p]` and `transport` are both
         // borrowed mutably at different points of the body.)
@@ -248,6 +304,7 @@ pub fn run_setup_protocol(
             }
             // -- Receive, idempotently; (re-)ack everything non-ack. -----
             while let Some(env) = transport.recv(p) {
+                metrics.recv[p].inc();
                 let m = &mut machines[p];
                 match &env.payload {
                     Payload::Ack(of) => {
@@ -266,6 +323,7 @@ pub fn run_setup_protocol(
                     }
                 }
                 // Duplicates are re-acked: the first ack may have been lost.
+                metrics.acks_sent.inc();
                 transport.send(
                     Envelope {
                         id: fresh_id(),
@@ -293,6 +351,7 @@ pub fn run_setup_protocol(
                         attempt: 0,
                         resend_at: transport.now() + retry.ack_timeout,
                     });
+                    metrics.sent[p].inc();
                     transport.send(env, 0);
                 }
             }
@@ -314,6 +373,7 @@ pub fn run_setup_protocol(
                         attempt: 0,
                         resend_at: transport.now() + retry.ack_timeout,
                     });
+                    metrics.sent[p].inc();
                     transport.send(env, 0);
                 }
             }
@@ -345,6 +405,8 @@ pub fn run_setup_protocol(
                 pm.resend_at = now + retry.backoff(pm.attempt);
                 let env = pm.env.clone();
                 let attempt = pm.attempt;
+                metrics.retransmits[p].inc();
+                metrics.backoff_ticks[p].add(retry.backoff(attempt));
                 transport.send(env, attempt);
             }
         }
@@ -385,6 +447,7 @@ pub fn run_setup_protocol(
 
         transport.tick();
     }
+    recorder.set_time(transport.now());
 
     assemble_outcome(parties, &machines, transport)
 }

@@ -27,8 +27,11 @@
 use crate::multiparty::{MultiPartySession, MultiSetupOutcome};
 use crate::party::Party;
 use crate::protocol::{RetryConfig, SetupError};
-use crate::transport::{Envelope, PartyId, Payload, PerfectTransport, TraceEvent, Transport};
+use crate::transport::{
+    Envelope, PartyId, Payload, PerfectTransport, TraceEvent, Transport, TransportMetrics,
+};
 use mp_metadata::SharePolicy;
+use mp_observe::{NoopRecorder, Recorder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
@@ -116,6 +119,7 @@ impl FaultPlan {
 #[derive(Debug, Clone)]
 struct InFlight {
     deliver_at: u64,
+    sent_at: u64,
     seq: u64,
     env: Envelope,
 }
@@ -132,6 +136,7 @@ pub struct SimTransport {
     sends: Vec<u64>,
     crashed_at: Vec<Option<u64>>,
     trace: Vec<TraceEvent>,
+    metrics: TransportMetrics,
 }
 
 impl SimTransport {
@@ -148,7 +153,19 @@ impl SimTransport {
             sends: vec![0; n_parties],
             crashed_at: vec![None; n_parties],
             trace: Vec::new(),
+            metrics: TransportMetrics::noop(),
         }
+    }
+
+    /// [`new`](Self::new) with wire metrics registered on `recorder`
+    /// (see [`TransportMetrics::new`] for the metric names). Metrics are
+    /// observation-only: the fault-decision RNG stream is untouched, so
+    /// an observed run injects exactly the faults the unobserved run
+    /// does.
+    pub fn observed(n_parties: usize, plan: FaultPlan, recorder: &dyn Recorder) -> Self {
+        let mut transport = Self::new(n_parties, plan);
+        transport.metrics = TransportMetrics::new(n_parties, recorder);
+        transport
     }
 
     /// Parties the plan has crashed so far.
@@ -172,6 +189,7 @@ impl SimTransport {
         self.seq += 1;
         self.in_flight.push(InFlight {
             deliver_at: self.now + 1 + delay,
+            sent_at: self.now,
             seq: self.seq,
             env,
         });
@@ -193,6 +211,7 @@ impl Transport for SimTransport {
         if let Some(crash) = self.plan.crashes.iter().find(|c| c.party == from) {
             if self.sends[from] >= crash.after_sends {
                 self.crashed_at[from] = Some(self.now);
+                self.metrics.note_crash();
                 self.trace.push(TraceEvent::Crashed {
                     at: self.now,
                     party: from,
@@ -201,12 +220,14 @@ impl Transport for SimTransport {
             }
         }
         self.sends[from] += 1;
+        self.metrics.note_sent(from);
         self.trace.push(TraceEvent::Sent {
             at: self.now,
             env: env.clone(),
             attempt,
         });
         if self.plan.drop_rate > 0.0 && self.rng.gen::<f64>() < self.plan.drop_rate {
+            self.metrics.note_dropped();
             self.trace.push(TraceEvent::Dropped { at: self.now, env });
             return;
         }
@@ -214,6 +235,7 @@ impl Transport for SimTransport {
             self.plan.duplicate_rate > 0.0 && self.rng.gen::<f64>() < self.plan.duplicate_rate;
         self.schedule(env.clone(), None);
         if duplicate {
+            self.metrics.note_duplicated();
             self.schedule(env, Some(|at, env| TraceEvent::Duplicated { at, env }));
         }
     }
@@ -232,12 +254,15 @@ impl Transport for SimTransport {
         due.sort_by_key(|m| (m.deliver_at, m.seq));
         for m in due {
             if self.crashed_at[m.env.to].is_some() {
+                self.metrics.note_dropped();
                 self.trace.push(TraceEvent::Dropped {
                     at: self.now,
                     env: m.env,
                 });
                 continue;
             }
+            self.metrics
+                .note_delivered(m.env.to, self.now.saturating_sub(m.sent_at));
             self.trace.push(TraceEvent::Delivered {
                 at: self.now,
                 env: m.env.clone(),
@@ -347,8 +372,24 @@ pub fn simulate_setup(
     plan: &FaultPlan,
     retry: &RetryConfig,
 ) -> SimOutcome {
-    let mut transport = SimTransport::new(session.parties.len(), plan.clone());
-    let result = session.run_setup_over(policies, &mut transport, retry);
+    simulate_setup_observed(session, policies, plan, retry, &NoopRecorder)
+}
+
+/// [`simulate_setup`] with an explicit [`Recorder`]: the transport
+/// registers its wire metrics ([`TransportMetrics`]) and the protocol
+/// engine its per-party counters and setup span
+/// ([`crate::run_setup_protocol_observed`]). Recording is
+/// observation-only — the fault-decision RNG stream, the trace and the
+/// outcome are byte-identical to the unobserved run under the same plan.
+pub fn simulate_setup_observed(
+    session: &MultiPartySession,
+    policies: &[SharePolicy],
+    plan: &FaultPlan,
+    retry: &RetryConfig,
+    recorder: &dyn Recorder,
+) -> SimOutcome {
+    let mut transport = SimTransport::observed(session.parties.len(), plan.clone(), recorder);
+    let result = session.run_setup_over_observed(policies, &mut transport, retry, recorder);
     let ticks = transport.now();
     let trace = std::mem::take(&mut transport.trace);
     SimOutcome {
@@ -749,6 +790,48 @@ mod tests {
                     .unwrap_or_else(|v| panic!("{profile}/{seed}: {v}"));
             }
         }
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_and_records_wire_metrics() {
+        use mp_observe::Registry;
+        let s = session();
+        let plan = FaultPlan::from_names("drop,dup,reorder", 42, 2).unwrap();
+        let retry = RetryConfig::default();
+        let plain = simulate_setup(&s, &policies(), &plan, &retry);
+
+        let registry = Registry::new();
+        let observed = simulate_setup_observed(&s, &policies(), &plan, &retry, &registry);
+
+        // Observation must not perturb the run in any way.
+        assert_eq!(plain.summary, observed.summary);
+        assert_eq!(plain.ticks, observed.ticks);
+        assert_eq!(plain.result.is_ok(), observed.result.is_ok());
+
+        // The live metrics agree with the trace-derived summary.
+        let snap = registry.snapshot();
+        let sent: u64 =
+            snap.counters["transport.party.0.sent"] + snap.counters["transport.party.1.sent"];
+        assert_eq!(sent, observed.summary.sent as u64);
+        assert_eq!(
+            snap.counters["transport.dropped"],
+            observed.summary.dropped as u64
+        );
+        assert_eq!(
+            snap.counters["transport.duplicated"],
+            observed.summary.duplicated as u64
+        );
+        assert_eq!(
+            snap.histograms["transport.latency_ticks"].count,
+            observed.summary.delivered as u64
+        );
+        let retx: u64 = snap.counters["protocol.party.0.retransmits"]
+            + snap.counters["protocol.party.1.retransmits"];
+        assert_eq!(retx, observed.summary.retransmissions as u64);
+        // The setup span measured the whole run in transport ticks.
+        assert_eq!(snap.spans["protocol.setup"].count, 1);
+        assert_eq!(snap.spans["protocol.setup"].units, observed.ticks);
+        assert_eq!(snap.clock, observed.ticks);
     }
 
     #[test]

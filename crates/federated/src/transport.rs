@@ -18,6 +18,7 @@
 
 use crate::psi::IdDigest;
 use mp_metadata::MetadataPackage;
+use mp_observe::{Counter, Histogram, Recorder};
 use std::collections::VecDeque;
 
 /// Index of a party within a session (position in the party list).
@@ -169,6 +170,78 @@ pub trait Transport {
 
     /// The message trace so far.
     fn trace(&self) -> &[TraceEvent];
+}
+
+/// Wire-level metric handles, resolved once per transport.
+///
+/// The default value is the no-op form (dead handles, empty per-party
+/// vectors); [`TransportMetrics::new`] registers live handles under
+/// `transport.party.<p>.sent`, `transport.party.<p>.delivered`,
+/// `transport.dropped`, `transport.duplicated`, `transport.crashes` and
+/// the `transport.latency_ticks` histogram. Latencies are virtual-clock
+/// deltas (delivery tick − send tick), so every recorded value is
+/// deterministic under a fixed fault-plan seed.
+#[derive(Debug, Clone, Default)]
+pub struct TransportMetrics {
+    sent: Vec<Counter>,
+    delivered: Vec<Counter>,
+    dropped: Counter,
+    duplicated: Counter,
+    crashes: Counter,
+    latency: Histogram,
+}
+
+impl TransportMetrics {
+    /// Dead handles: every note is discarded.
+    pub fn noop() -> Self {
+        Self::default()
+    }
+
+    /// Live handles registered with `recorder` for `n_parties` parties.
+    pub fn new(n_parties: usize, recorder: &dyn Recorder) -> Self {
+        TransportMetrics {
+            sent: (0..n_parties)
+                .map(|p| recorder.counter(&format!("transport.party.{p}.sent")))
+                .collect(),
+            delivered: (0..n_parties)
+                .map(|p| recorder.counter(&format!("transport.party.{p}.delivered")))
+                .collect(),
+            dropped: recorder.counter("transport.dropped"),
+            duplicated: recorder.counter("transport.duplicated"),
+            crashes: recorder.counter("transport.crashes"),
+            latency: recorder.histogram("transport.latency_ticks", &[1, 2, 4, 8, 16, 32]),
+        }
+    }
+
+    /// Party `party` handed the transport one envelope.
+    pub fn note_sent(&self, party: PartyId) {
+        if let Some(c) = self.sent.get(party) {
+            c.inc();
+        }
+    }
+
+    /// One envelope reached `party`'s inbox after `latency_ticks` ticks.
+    pub fn note_delivered(&self, party: PartyId, latency_ticks: u64) {
+        if let Some(c) = self.delivered.get(party) {
+            c.inc();
+        }
+        self.latency.record(latency_ticks);
+    }
+
+    /// One envelope was discarded (fault injection or dead recipient).
+    pub fn note_dropped(&self) {
+        self.dropped.inc();
+    }
+
+    /// One extra delivery was scheduled by a duplication fault.
+    pub fn note_duplicated(&self) {
+        self.duplicated.inc();
+    }
+
+    /// One party crashed.
+    pub fn note_crash(&self) {
+        self.crashes.inc();
+    }
 }
 
 /// The fault-free reference transport: every envelope is delivered exactly

@@ -14,8 +14,8 @@
 //! `mpriv simulate --seed <N> --faults <profile>`.
 
 use mp_federated::{
-    check_invariants, simulate_setup, FaultPlan, MultiPartySession, Party, PartyCrash, RetryConfig,
-    SetupError, FAULT_PROFILES,
+    check_invariants, simulate_setup, simulate_setup_observed, FaultPlan, MultiPartySession, Party,
+    PartyCrash, RetryConfig, SetupError, FAULT_PROFILES,
 };
 use mp_metadata::{Fd, SharePolicy};
 use mp_relation::{Attribute, Relation, Schema, Value};
@@ -207,6 +207,52 @@ fn seed_replay_is_exact() {
             (Ok(x), Ok(y)) => assert_eq!(x, y),
             (Err(x), Err(y)) => assert_eq!(x, y),
             _ => panic!("replay diverged on outcome ({profile})"),
+        }
+    }
+}
+
+/// Observation is passive: running the same plan with a live metrics
+/// [`mp_observe::Registry`] attached must reproduce the unobserved run
+/// exactly — summary, tick count and outcome — and leave the invariant
+/// verdict untouched. Metrics never consume from the fault RNG stream,
+/// so a run's behaviour cannot depend on whether anyone is watching.
+#[test]
+fn metrics_observation_does_not_change_invariant_outcomes() {
+    let session = two_party_session();
+    let pols = policies(2);
+    let retry = RetryConfig::default();
+    for profile in FAULT_PROFILES {
+        for seed in 0..4u64 {
+            let plan = FaultPlan::from_names(profile, seed, 2).unwrap();
+            let plain = simulate_setup(&session, &pols, &plan, &retry);
+            let registry = mp_observe::Registry::new();
+            let observed = simulate_setup_observed(&session, &pols, &plan, &retry, &registry);
+            assert_eq!(plain.summary, observed.summary, "{profile} seed {seed}");
+            assert_eq!(plain.ticks, observed.ticks, "{profile} seed {seed}");
+            assert_eq!(
+                plain.result.is_ok(),
+                observed.result.is_ok(),
+                "{profile} seed {seed}"
+            );
+            // The invariant harness (which replays unobserved) must agree
+            // with what the observed run just did.
+            let verdict = check_invariants(&session, &pols, &plan, &retry)
+                .unwrap_or_else(|v| panic!("{profile} seed {seed}: {v}"));
+            assert_eq!(
+                verdict.completed,
+                observed.result.is_ok(),
+                "{profile} seed {seed}: verdict diverged from observed run"
+            );
+            // And the snapshot's wire counters match the run's summary.
+            let snap = registry.snapshot();
+            let sent: u64 = (0..2)
+                .map(|p| snap.counters[&format!("transport.party.{p}.sent")])
+                .sum();
+            assert_eq!(sent, observed.summary.sent as u64, "{profile} seed {seed}");
+            assert_eq!(
+                snap.counters["transport.dropped"], observed.summary.dropped as u64,
+                "{profile} seed {seed}"
+            );
         }
     }
 }

@@ -17,8 +17,8 @@
 //! proportional to `capacity × O(n_rows)` instead of the full lattice.
 
 use crate::Pli;
+use mp_observe::{Counter, Recorder};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// A point-in-time snapshot of a [`PliCache`]'s counters.
@@ -80,9 +80,9 @@ struct Inner {
 pub struct PliCache {
     inner: Mutex<Inner>,
     capacity: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
 }
 
 impl std::fmt::Debug for PliCache {
@@ -100,16 +100,36 @@ impl PliCache {
     /// [`insert`](Self::insert) is a no-op (useful as an ablation
     /// baseline and for relations too wide to key).
     pub fn new(capacity: usize) -> Self {
+        // Detached live counters: `stats()` keeps working without a
+        // recorder, at the same one-relaxed-atomic cost as before.
         PliCache {
             inner: Mutex::new(Inner {
                 map: HashMap::new(),
                 tick: 0,
             }),
             capacity,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            hits: Counter::live(),
+            misses: Counter::live(),
+            evictions: Counter::live(),
         }
+    }
+
+    /// Like [`new`](Self::new), but the hit/miss/eviction counters are
+    /// registered with `recorder` as `pli_cache.hits`, `pli_cache.misses`
+    /// and `pli_cache.evictions`. The *same* atomics back [`stats`](
+    /// Self::stats) and the recorder's snapshot, so there is exactly one
+    /// source of truth for cache statistics.
+    pub fn with_recorder(capacity: usize, recorder: &dyn Recorder) -> Self {
+        let mut cache = PliCache::new(capacity);
+        // Noop recorders hand back dead handles; keep the detached live
+        // counters in that case so `stats()` stays functional.
+        let hits = recorder.counter("pli_cache.hits");
+        if hits.is_live() {
+            cache.hits = hits;
+            cache.misses = recorder.counter("pli_cache.misses");
+            cache.evictions = recorder.counter("pli_cache.evictions");
+        }
+        cache
     }
 
     /// The configured capacity.
@@ -131,7 +151,7 @@ impl PliCache {
     /// recency and the hit/miss counters.
     pub fn get(&self, key: u64) -> Option<Arc<Pli>> {
         if self.capacity == 0 {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.misses.inc();
             return None;
         }
         let mut inner = self.inner.lock().expect("PliCache lock poisoned");
@@ -142,12 +162,12 @@ impl PliCache {
                 entry.last_used = tick;
                 let pli = Arc::clone(&entry.pli);
                 drop(inner);
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 Some(pli)
             }
             None => {
                 drop(inner);
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 None
             }
         }
@@ -180,7 +200,7 @@ impl PliCache {
                 .map(|(k, _)| k)
             {
                 inner.map.remove(&victim);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.evictions.inc();
             }
         }
         inner.map.insert(
@@ -205,9 +225,9 @@ impl PliCache {
     /// Snapshot of the counters.
     pub fn stats(&self) -> PliCacheStats {
         PliCacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
             entries: self.len(),
             capacity: self.capacity,
         }
@@ -295,6 +315,27 @@ mod tests {
         let stats = cache.stats();
         assert!(stats.hits + stats.misses >= 200);
         assert!(cache.len() <= 16);
+    }
+
+    #[test]
+    fn recorder_counters_are_one_source_of_truth() {
+        use mp_observe::{NoopRecorder, Registry};
+        let registry = Registry::new();
+        let cache = PliCache::with_recorder(4, &registry);
+        cache.get(1); // miss
+        cache.insert(1, pli(&[1, 2]));
+        cache.get(1); // hit
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["pli_cache.hits"], 1);
+        assert_eq!(snap.counters["pli_cache.misses"], 1);
+        assert_eq!(snap.counters["pli_cache.evictions"], 0);
+
+        // A noop recorder must not break local stats.
+        let plain = PliCache::with_recorder(4, &NoopRecorder);
+        plain.get(9);
+        assert_eq!(plain.stats().misses, 1);
     }
 
     #[test]
