@@ -1,0 +1,553 @@
+//! A hand-rolled Rust lexer, sufficient for lexical lint passes.
+//!
+//! The lexer turns source text into a flat token stream with byte spans and
+//! 1-based line/column positions. It is deliberately *not* a parser: lints
+//! work on token patterns (`. unwrap ( )`, `Instant :: now`, …), so the
+//! lexer only has to get the hard lexical cases right so that token-pattern
+//! matching never fires inside strings or comments:
+//!
+//! * raw strings with arbitrary hash fences (`r##"…"##`, `br#"…"#`),
+//! * nested block comments (`/* /* */ */`),
+//! * char literals vs lifetimes (`'a'` vs `'a`, `'\u{1F600}'`),
+//! * raw identifiers (`r#fn`) vs raw strings (`r#"…"#`),
+//! * line/block doc comments (`///`, `//!`, `/** */`, `/*! */`).
+//!
+//! Unterminated constructs never panic: the offending token extends to end
+//! of input and is surfaced as [`TokenKind::Unterminated`] so a lint can
+//! report it instead of the lexer crashing on adversarial input.
+
+/// What a token is, at the granularity lint passes care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including the `foo` of a raw `r#foo`).
+    Ident,
+    /// Raw identifier `r#foo`; `text` keeps the `r#` prefix.
+    RawIdent,
+    /// Lifetime such as `'a` or `'static` (no closing quote).
+    Lifetime,
+    /// Character literal `'x'`, including escapes (`'\n'`, `'\u{7FFF}'`).
+    CharLit,
+    /// Byte literal `b'x'`.
+    ByteLit,
+    /// String literal `"…"` (escapes allowed).
+    StrLit,
+    /// Raw string literal `r"…"` / `r#"…"#` (any fence width).
+    RawStrLit,
+    /// Byte-string literal `b"…"` or raw byte-string `br#"…"#`.
+    ByteStrLit,
+    /// Numeric literal (integer or float, any base, with suffix).
+    NumberLit,
+    /// Non-doc line comment `// …`.
+    LineComment,
+    /// Doc line comment `/// …` or `//! …`.
+    DocLineComment,
+    /// Non-doc block comment `/* … */`, nesting handled.
+    BlockComment,
+    /// Doc block comment `/** … */` or `/*! … */`.
+    DocBlockComment,
+    /// A single punctuation byte (`.`, `:`, `[`, `!`, …).
+    Punct,
+    /// A lexically unterminated string/char/comment reaching end of input.
+    Unterminated,
+}
+
+/// One lexed token: kind plus byte span and 1-based position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Classification used by lint pattern matching.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte in the source.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: usize,
+    /// 1-based column (in bytes) of the first byte.
+    pub col: usize,
+}
+
+impl Token {
+    /// The token's text within `src` (the source it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Lexes `src` into tokens, skipping whitespace but keeping comments.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+    tokens: Vec<Token>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphabetic() || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric() || b >= 0x80
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, maintaining the line/column counters.
+    fn bump(&mut self) {
+        if let Some(&b) = self.bytes.get(self.pos) {
+            self.pos += 1;
+            if b == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_whitespace() {
+                self.bump();
+                continue;
+            }
+            let (start, line, col) = (self.pos, self.line, self.col);
+            let kind = self.next_kind(b);
+            debug_assert!(self.pos > start, "lexer must always make progress");
+            self.tokens.push(Token {
+                kind,
+                start,
+                end: self.pos,
+                line,
+                col,
+            });
+        }
+        self.tokens
+    }
+
+    /// Consumes one token starting at the current position and returns its kind.
+    fn next_kind(&mut self, b: u8) -> TokenKind {
+        match b {
+            b'/' => match self.peek(1) {
+                Some(b'/') => self.line_comment(),
+                Some(b'*') => self.block_comment(),
+                _ => self.punct(),
+            },
+            b'\'' => self.quote(),
+            b'"' => self.string_lit(),
+            b'r' => self.maybe_raw(),
+            b'b' => self.maybe_byte(),
+            _ if is_ident_start(b) => self.ident(),
+            _ if b.is_ascii_digit() => self.number(),
+            _ => self.punct(),
+        }
+    }
+
+    fn punct(&mut self) -> TokenKind {
+        self.bump();
+        TokenKind::Punct
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        TokenKind::Ident
+    }
+
+    fn number(&mut self) -> TokenKind {
+        // Integer part: decimal digits or a base prefix (0x/0o/0b) with its
+        // wider digit alphabet; `_` separators allowed throughout.
+        if self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x' | b'o' | b'b' | b'X' | b'O' | b'B'))
+        {
+            self.bump_n(2);
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+            {
+                self.bump();
+            }
+            return TokenKind::NumberLit;
+        }
+        while self
+            .peek(0)
+            .is_some_and(|c| c.is_ascii_digit() || c == b'_')
+        {
+            self.bump();
+        }
+        // Fraction only when a digit follows the dot: `1.5` is one number,
+        // `1.max(2)` is a number then a method call, `0..n` is a range.
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_digit() || c == b'_')
+            {
+                self.bump();
+            }
+        }
+        // Exponent (`1e9`, `2.5E-3`).
+        if matches!(self.peek(0), Some(b'e' | b'E'))
+            && (self.peek(1).is_some_and(|c| c.is_ascii_digit())
+                || (matches!(self.peek(1), Some(b'+' | b'-'))
+                    && self.peek(2).is_some_and(|c| c.is_ascii_digit())))
+        {
+            self.bump_n(2);
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_digit() || c == b'_')
+            {
+                self.bump();
+            }
+        }
+        // Type suffix (`1u32`, `1.0f64`).
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        TokenKind::NumberLit
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        // `///` and `//!` are docs; `////…` (4+ slashes) is a plain comment,
+        // matching rustc.
+        let doc = match (self.peek(2), self.peek(3)) {
+            (Some(b'!'), _) => true,
+            (Some(b'/'), Some(b'/')) => false,
+            (Some(b'/'), _) => true,
+            _ => false,
+        };
+        while self.peek(0).is_some_and(|c| c != b'\n') {
+            self.bump();
+        }
+        if doc {
+            TokenKind::DocLineComment
+        } else {
+            TokenKind::LineComment
+        }
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        // `/**` and `/*!` are docs, except `/**/` (empty) and `/***` which
+        // are plain comments, matching rustc.
+        let doc = match (self.peek(2), self.peek(3)) {
+            (Some(b'!'), _) => true,
+            (Some(b'*'), Some(b'/')) => false,
+            (Some(b'*'), Some(b'*')) => false,
+            (Some(b'*'), _) => true,
+            _ => false,
+        };
+        self.bump_n(2);
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump_n(2);
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump_n(2);
+                }
+                (Some(_), _) => self.bump(),
+                (None, _) => return TokenKind::Unterminated,
+            }
+        }
+        if doc {
+            TokenKind::DocBlockComment
+        } else {
+            TokenKind::BlockComment
+        }
+    }
+
+    /// `'` starts either a lifetime (`'a`, `'static`, the `'s` in `&'s str`)
+    /// or a char literal (`'a'`, `'\n'`, `'\u{1F600}'`).
+    fn quote(&mut self) -> TokenKind {
+        // `'ident` not followed by `'` is a lifetime; `'x'` is a char.
+        if self.peek(1).is_some_and(is_ident_start) {
+            let mut ahead = 2;
+            while self.peek(ahead).is_some_and(is_ident_continue) {
+                ahead += 1;
+            }
+            if self.peek(ahead) != Some(b'\'') {
+                self.bump(); // the quote
+                self.bump_n(ahead - 1);
+                return TokenKind::Lifetime;
+            }
+        }
+        self.char_like(b'\'', TokenKind::CharLit)
+    }
+
+    /// Consumes a quoted literal with escape handling; `open` is `'` or `"`.
+    fn char_like(&mut self, open: u8, kind: TokenKind) -> TokenKind {
+        self.bump(); // opening quote
+        loop {
+            match self.peek(0) {
+                None => return TokenKind::Unterminated,
+                Some(b'\\') => self.bump_n(2),
+                Some(c) if c == open => {
+                    self.bump();
+                    return kind;
+                }
+                // A newline inside a char literal means it was really a
+                // stray quote; stop so the lexer can't swallow the file.
+                Some(b'\n') if open == b'\'' => return TokenKind::Unterminated,
+                Some(_) => self.bump(),
+            }
+        }
+    }
+
+    fn string_lit(&mut self) -> TokenKind {
+        self.char_like(b'"', TokenKind::StrLit)
+    }
+
+    /// `r` starts a raw string (`r"…"`, `r#"…"#`), a raw identifier
+    /// (`r#match`) or a plain identifier (`result`).
+    fn maybe_raw(&mut self) -> TokenKind {
+        let mut hashes = 0;
+        while self.peek(1 + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        match self.peek(1 + hashes) {
+            Some(b'"') => self.raw_string(1, hashes, TokenKind::RawStrLit),
+            Some(c) if hashes == 1 && is_ident_start(c) => {
+                self.bump_n(2); // r#
+                self.ident();
+                TokenKind::RawIdent
+            }
+            _ => self.ident(),
+        }
+    }
+
+    /// `b` starts `b'x'`, `b"…"`, `br#"…"#` or a plain identifier.
+    fn maybe_byte(&mut self) -> TokenKind {
+        match self.peek(1) {
+            Some(b'\'') => {
+                self.bump();
+                self.char_like(b'\'', TokenKind::ByteLit)
+            }
+            Some(b'"') => {
+                self.bump();
+                self.char_like(b'"', TokenKind::ByteStrLit)
+            }
+            Some(b'r') => {
+                let mut hashes = 0;
+                while self.peek(2 + hashes) == Some(b'#') {
+                    hashes += 1;
+                }
+                if self.peek(2 + hashes) == Some(b'"') {
+                    self.raw_string(2, hashes, TokenKind::ByteStrLit)
+                } else {
+                    self.ident()
+                }
+            }
+            _ => self.ident(),
+        }
+    }
+
+    /// Consumes `r##"…"##`-style raw strings. `prefix` is the length of the
+    /// `r`/`br` introducer, `hashes` the fence width. No escapes inside; the
+    /// literal ends only at `"` followed by exactly `hashes` `#`s.
+    fn raw_string(&mut self, prefix: usize, hashes: usize, kind: TokenKind) -> TokenKind {
+        self.bump_n(prefix + hashes + 1); // introducer, fence, opening quote
+        'scan: loop {
+            match self.peek(0) {
+                None => return TokenKind::Unterminated,
+                Some(b'"') => {
+                    for i in 0..hashes {
+                        if self.peek(1 + i) != Some(b'#') {
+                            self.bump();
+                            continue 'scan;
+                        }
+                    }
+                    self.bump_n(1 + hashes);
+                    return kind;
+                }
+                Some(_) => self.bump(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).iter().map(|t| (t.kind, t.text(src))).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("let x = a.unwrap();");
+        assert_eq!(toks[0], (TokenKind::Ident, "let"));
+        assert_eq!(toks[3], (TokenKind::Ident, "a"));
+        assert_eq!(toks[4], (TokenKind::Punct, "."));
+        assert_eq!(toks[5], (TokenKind::Ident, "unwrap"));
+    }
+
+    #[test]
+    fn line_and_col_are_one_based() {
+        let toks = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"x = "call .unwrap() // not a comment";"#);
+        assert_eq!(toks[2].0, TokenKind::StrLit);
+        assert_eq!(toks.len(), 4); // x = "…" ;
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = kinds(r#""a\"b" c"#);
+        assert_eq!(toks[0], (TokenKind::StrLit, r#""a\"b""#));
+        assert_eq!(toks[1], (TokenKind::Ident, "c"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r####"let s = r##"quote: "# inside"##; done"####;
+        let toks = kinds(src);
+        assert_eq!(toks[3].0, TokenKind::RawStrLit);
+        assert_eq!(toks[3].1, r###"r##"quote: "# inside"##"###);
+        assert_eq!(toks[5], (TokenKind::Ident, "done"));
+    }
+
+    #[test]
+    fn raw_byte_strings() {
+        let toks = kinds(r###"br#"raw "bytes""# x"###);
+        assert_eq!(toks[0].0, TokenKind::ByteStrLit);
+        assert_eq!(toks[1], (TokenKind::Ident, "x"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still outer */ b");
+        assert_eq!(toks[0], (TokenKind::Ident, "a"));
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
+        assert_eq!(toks[2], (TokenKind::Ident, "b"));
+    }
+
+    #[test]
+    fn doc_comments_are_distinguished() {
+        assert_eq!(kinds("/// doc")[0].0, TokenKind::DocLineComment);
+        assert_eq!(kinds("//! inner doc")[0].0, TokenKind::DocLineComment);
+        assert_eq!(kinds("// plain")[0].0, TokenKind::LineComment);
+        assert_eq!(kinds("//// rule")[0].0, TokenKind::LineComment);
+        assert_eq!(kinds("/** doc */")[0].0, TokenKind::DocBlockComment);
+        assert_eq!(kinds("/*! inner */")[0].0, TokenKind::DocBlockComment);
+        assert_eq!(kinds("/* plain */")[0].0, TokenKind::BlockComment);
+        assert_eq!(kinds("/**/")[0].0, TokenKind::BlockComment);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("&'a str, 'static, 'x', '\\n', '\\u{1F600}'");
+        let got: Vec<TokenKind> = toks
+            .iter()
+            .filter(|t| !matches!(t.0, TokenKind::Punct | TokenKind::Ident))
+            .map(|t| t.0)
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                TokenKind::Lifetime,
+                TokenKind::Lifetime,
+                TokenKind::CharLit,
+                TokenKind::CharLit,
+                TokenKind::CharLit,
+            ]
+        );
+        assert_eq!(toks[1], (TokenKind::Lifetime, "'a"));
+    }
+
+    #[test]
+    fn escaped_quote_char_literal() {
+        let toks = kinds(r"'\'' x");
+        assert_eq!(toks[0], (TokenKind::CharLit, r"'\''"));
+        assert_eq!(toks[1], (TokenKind::Ident, "x"));
+    }
+
+    #[test]
+    fn raw_ident_vs_raw_string() {
+        let toks = kinds(r##"r#match r"str" r#"also str"# rest"##);
+        assert_eq!(toks[0], (TokenKind::RawIdent, "r#match"));
+        assert_eq!(toks[1].0, TokenKind::RawStrLit);
+        assert_eq!(toks[2].0, TokenKind::RawStrLit);
+        assert_eq!(toks[3], (TokenKind::Ident, "rest"));
+    }
+
+    #[test]
+    fn byte_literals() {
+        let toks = kinds(r#"b'x' b"bytes" banana"#);
+        assert_eq!(toks[0].0, TokenKind::ByteLit);
+        assert_eq!(toks[1].0, TokenKind::ByteStrLit);
+        assert_eq!(toks[2], (TokenKind::Ident, "banana"));
+    }
+
+    #[test]
+    fn numbers() {
+        let toks = kinds("0 42_000u64 0xFF 0b1010 1.5e-3 1.max(2) 0..n");
+        assert_eq!(toks[0].0, TokenKind::NumberLit);
+        assert_eq!(toks[1], (TokenKind::NumberLit, "42_000u64"));
+        assert_eq!(toks[2], (TokenKind::NumberLit, "0xFF"));
+        assert_eq!(toks[3], (TokenKind::NumberLit, "0b1010"));
+        assert_eq!(toks[4], (TokenKind::NumberLit, "1.5e-3"));
+        // `1.max` is number, dot, ident — not a malformed float.
+        assert_eq!(toks[5], (TokenKind::NumberLit, "1"));
+        assert_eq!(toks[6], (TokenKind::Punct, "."));
+        assert_eq!(toks[7], (TokenKind::Ident, "max"));
+        // `0..n` keeps the range operator intact.
+        assert_eq!(toks[11], (TokenKind::NumberLit, "0"));
+        assert_eq!(toks[12], (TokenKind::Punct, "."));
+        assert_eq!(toks[13], (TokenKind::Punct, "."));
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        assert_eq!(kinds("\"abc").last().unwrap().0, TokenKind::Unterminated);
+        assert_eq!(kinds("/* abc").last().unwrap().0, TokenKind::Unterminated);
+        assert_eq!(
+            kinds("r#\"abc\" no fence").last().unwrap().0,
+            TokenKind::Unterminated
+        );
+        assert_eq!(kinds("'\nx")[0].0, TokenKind::Unterminated);
+    }
+
+    #[test]
+    fn every_byte_is_progressed() {
+        // A pile of pathological fragments; the lexer must terminate and
+        // cover the whole input.
+        let src = "r# b' '' r#\"\"# /*/**/*/ 'a 'a' b\"\\\"\" 0x 1e 1e+ r";
+        let toks = lex(src);
+        assert!(!toks.is_empty());
+        assert_eq!(toks.last().unwrap().end, src.len());
+    }
+}

@@ -1,0 +1,74 @@
+//! # mp-analyze — workspace invariant linter
+//!
+//! The leakage tables (paper Tables III/IV) and the golden metrics
+//! snapshots reproduce bit-identically only because the whole workspace
+//! obeys conventions no compiler checks: logical clocks instead of wall
+//! time, sorted-key serialization instead of hash-iteration order, seeded
+//! randomness only, typed errors instead of panics on wire/CSV input, and
+//! a strict crate-layering direction. This crate turns those conventions
+//! into machine-checked constraints that gate CI, in the spirit of
+//! metadata-constraint systems (CFDs/denial constraints) the paper's
+//! discovery layer itself reproduces.
+//!
+//! ## Pipeline
+//!
+//! 1. [`workspace::Workspace::discover`] walks the repository, collecting
+//!    every first-party `.rs` file and `Cargo.toml` in sorted order.
+//! 2. [`lexer`] tokenizes each file — a hand-rolled lexer that gets raw
+//!    strings, nested block comments, lifetimes-vs-char-literals and raw
+//!    identifiers right, so token-pattern rules never fire inside strings
+//!    or comments.
+//! 3. [`source::SourceFile`] layers `#[cfg(test)]`/`#[test]` region
+//!    detection and `// lint: allow(rule) reason="…"` suppressions on top.
+//! 4. The [`rules`] registry runs every lint and produces a
+//!    [`diagnostics::Report`] whose human and JSON renderings are
+//!    byte-stable across runs.
+//!
+//! The binary (`mp-analyze`, also reachable as `mpriv analyze`) exits
+//! non-zero when any violation survives, making the invariants blocking in
+//! CI. Zero dependencies, like `mp-observe`.
+
+pub mod config;
+pub mod diagnostics;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod workspace;
+
+use std::path::{Path, PathBuf};
+
+/// Runs the full registry over the workspace at `root` with `config`.
+pub fn analyze(root: &Path, config: &config::Config) -> Result<diagnostics::Report, String> {
+    let ws = workspace::Workspace::discover(root, config)?;
+    Ok(rules::run(&ws, config))
+}
+
+/// Loads `analyze.toml` from `root` (falling back to the built-in default
+/// configuration when the file does not exist) and runs the analysis.
+pub fn analyze_with_default_config(root: &Path) -> Result<diagnostics::Report, String> {
+    let config_path = root.join("analyze.toml");
+    let config = if config_path.exists() {
+        let text = std::fs::read_to_string(&config_path)
+            .map_err(|e| format!("reading {}: {e}", config_path.display()))?;
+        config::Config::parse(&text).map_err(|e| format!("analyze.toml: {e}"))?
+    } else {
+        config::Config::workspace_default()
+    };
+    analyze(root, &config)
+}
+
+/// Walks up from `start` to the nearest directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_owned());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_owned);
+    }
+    None
+}

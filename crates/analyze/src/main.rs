@@ -1,0 +1,133 @@
+//! `mp-analyze` — run the workspace invariant linter from the command line.
+//!
+//! ```text
+//! mp-analyze [--root DIR] [--config PATH] [--format human|json] [--list-rules]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage/configuration
+//! error. The JSON report is byte-stable across runs on an unchanged tree.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(Outcome { report, clean }) => {
+            print!("{report}");
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(msg) => {
+            eprintln!("mp-analyze: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+struct Outcome {
+    report: String,
+    clean: bool,
+}
+
+fn run(args: &[String]) -> Result<Outcome, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut config_path: Option<PathBuf> = None;
+    let mut format = "human".to_owned();
+    let mut list_rules = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = Some(PathBuf::from(
+                    iter.next().ok_or("--root needs a directory")?,
+                ));
+            }
+            "--config" => {
+                config_path = Some(PathBuf::from(iter.next().ok_or("--config needs a path")?));
+            }
+            "--format" => {
+                format = iter.next().ok_or("--format needs human|json")?.clone();
+                if format != "human" && format != "json" {
+                    return Err(format!("unknown format `{format}` (expected human|json)"));
+                }
+            }
+            "--list-rules" => list_rules = true,
+            "--help" | "-h" => {
+                return Ok(Outcome {
+                    report: USAGE.to_owned(),
+                    clean: true,
+                });
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+
+    if list_rules {
+        let mut out = String::new();
+        for lint in mp_analyze::rules::registry() {
+            out.push_str(&format!("{:<24} {}\n", lint.name(), lint.description()));
+        }
+        return Ok(Outcome {
+            report: out,
+            clean: true,
+        });
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("getting cwd: {e}"))?;
+            mp_analyze::find_workspace_root(&cwd)
+                .ok_or("no workspace root found above the current directory; pass --root")?
+        }
+    };
+
+    let config = match config_path {
+        Some(p) => {
+            let text =
+                std::fs::read_to_string(&p).map_err(|e| format!("reading {}: {e}", p.display()))?;
+            mp_analyze::config::Config::parse(&text).map_err(|e| format!("{}: {e}", p.display()))?
+        }
+        None => {
+            let p = root.join("analyze.toml");
+            if p.exists() {
+                let text = std::fs::read_to_string(&p)
+                    .map_err(|e| format!("reading {}: {e}", p.display()))?;
+                mp_analyze::config::Config::parse(&text)
+                    .map_err(|e| format!("analyze.toml: {e}"))?
+            } else {
+                mp_analyze::config::Config::workspace_default()
+            }
+        }
+    };
+
+    let report = mp_analyze::analyze(&root, &config)?;
+    let rendered = match format.as_str() {
+        "json" => report.render_json(),
+        _ => report.render_human(),
+    };
+    Ok(Outcome {
+        report: rendered,
+        clean: report.is_clean(),
+    })
+}
+
+const USAGE: &str = "\
+mp-analyze: workspace invariant linter (determinism, panic-safety, layering, I/O hygiene)
+
+USAGE:
+    mp-analyze [--root DIR] [--config PATH] [--format human|json] [--list-rules]
+
+OPTIONS:
+    --root DIR       workspace root (default: nearest [workspace] above cwd)
+    --config PATH    analyze.toml to use (default: <root>/analyze.toml)
+    --format FMT     human (file:line:col lines) or json (stable sorted keys)
+    --list-rules     print every registered rule and exit
+
+EXIT CODES:
+    0  clean    1  violations found    2  usage or configuration error
+";

@@ -1,0 +1,57 @@
+//! I/O hygiene: library crates compute, binaries print. A stray `println!`
+//! in a library corrupts machine-read stdout (`--format json`, golden
+//! snapshot comparisons) and bypasses the CLI's output discipline.
+//! Binary sources (`src/main.rs`, `src/bin/`) are exempt by role; the
+//! whole of `crates/bench` is additionally exempt via `allow_paths`.
+
+use super::{scan_token_seqs, Lint, TestPolicy, TokenSeq};
+use crate::config::Config;
+use crate::diagnostics::Diagnostic;
+use crate::workspace::Workspace;
+
+/// `no-stdout-in-libs`: no `println!`/`eprintln!`/`print!`/`eprint!`/`dbg!`
+/// in library crates; the CLI and bench binaries are exempt via config.
+pub struct NoStdoutInLibs;
+
+impl Lint for NoStdoutInLibs {
+    fn name(&self) -> &'static str {
+        "no-stdout-in-libs"
+    }
+
+    fn description(&self) -> &'static str {
+        "library crates must not print (println!/eprintln!/print!/eprint!/dbg!); return data, let binaries print"
+    }
+
+    fn check(&self, ws: &Workspace, config: &Config, out: &mut Vec<Diagnostic>) {
+        const SEQS: &[TokenSeq] = &[
+            TokenSeq {
+                seq: &["println", "!"],
+                message: "`println!` in a library crate; return the text and let the binary print",
+            },
+            TokenSeq {
+                seq: &["eprintln", "!"],
+                message: "`eprintln!` in a library crate; surface the condition as an error value",
+            },
+            TokenSeq {
+                seq: &["print", "!"],
+                message: "`print!` in a library crate; return the text and let the binary print",
+            },
+            TokenSeq {
+                seq: &["eprint", "!"],
+                message: "`eprint!` in a library crate; surface the condition as an error value",
+            },
+            TokenSeq {
+                seq: &["dbg", "!"],
+                message: "`dbg!` must not ship; remove the debugging aid",
+            },
+        ];
+        scan_token_seqs(
+            self.name(),
+            SEQS,
+            TestPolicy::ExemptTestsAndBins,
+            ws,
+            config,
+            out,
+        );
+    }
+}

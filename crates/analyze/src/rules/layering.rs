@@ -1,0 +1,191 @@
+//! Crate-layering lints: the dependency direction of the workspace is an
+//! architectural invariant — observability at the bottom, the relational
+//! substrate below discovery/federated, `unsafe` quarantined in `vendor/`.
+
+use super::{scan_token_seqs, Lint, TestPolicy, TokenSeq};
+use crate::config::Config;
+use crate::diagnostics::Diagnostic;
+use crate::workspace::{Manifest, Workspace};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// `no-unsafe`: the `unsafe` keyword may not appear in first-party code
+/// (`vendor/` is outside the scan set; `[workspace.lints]` additionally
+/// denies `unsafe_code` at compile time — this pass keeps the gate even
+/// for code hidden behind `cfg` combinations the build doesn't exercise).
+pub struct NoUnsafe;
+
+impl Lint for NoUnsafe {
+    fn name(&self) -> &'static str {
+        "no-unsafe"
+    }
+
+    fn description(&self) -> &'static str {
+        "the `unsafe` keyword is only allowed under vendor/"
+    }
+
+    fn check(&self, ws: &Workspace, config: &Config, out: &mut Vec<Diagnostic>) {
+        const SEQS: &[TokenSeq] = &[TokenSeq {
+            seq: &["unsafe"],
+            message: "`unsafe` outside vendor/; first-party code is forbid(unsafe_code)",
+        }];
+        scan_token_seqs(self.name(), SEQS, TestPolicy::Strict, ws, config, out);
+    }
+}
+
+/// `crate-layering`: dependency-direction constraints read from each
+/// crate's `Cargo.toml` — isolated crates depend on nothing in-workspace,
+/// forbidden edges are checked transitively, and the workspace graph must
+/// stay acyclic.
+pub struct CrateLayering;
+
+impl Lint for CrateLayering {
+    fn name(&self) -> &'static str {
+        "crate-layering"
+    }
+
+    fn description(&self) -> &'static str {
+        "Cargo.toml dependency direction: isolated crates stay leaf-free, forbidden edges checked transitively, no cycles"
+    }
+
+    fn check(&self, ws: &Workspace, config: &Config, out: &mut Vec<Diagnostic>) {
+        // Workspace crate name -> its manifest.
+        let by_name: BTreeMap<&str, &Manifest> = ws
+            .manifests
+            .iter()
+            .filter_map(|m| m.package_name.as_deref().map(|n| (n, m)))
+            .collect();
+
+        // Normal-dependency adjacency restricted to in-workspace crates.
+        let graph: BTreeMap<&str, Vec<&str>> = by_name
+            .iter()
+            .map(|(name, m)| {
+                let deps: Vec<&str> = m
+                    .deps
+                    .iter()
+                    .filter(|d| !d.dev && by_name.contains_key(d.name.as_str()))
+                    .map(|d| d.name.as_str())
+                    .collect();
+                (*name, deps)
+            })
+            .collect();
+
+        // Isolated crates: no in-workspace dependencies at all (dev
+        // included — a dev-dependency still links the test binary).
+        for isolated in &config.layering.isolated {
+            let Some(m) = by_name.get(isolated.as_str()) else {
+                continue;
+            };
+            for d in &m.deps {
+                if by_name.contains_key(d.name.as_str()) && d.name.starts_with("mp-") {
+                    out.push(Diagnostic::new(
+                        self.name(),
+                        &m.rel_path,
+                        d.line,
+                        1,
+                        format!(
+                            "`{isolated}` must not depend on in-workspace crates, but depends on `{}`",
+                            d.name
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // Forbidden edges, transitively: `from` must not reach `to`.
+        for (from, to) in &config.layering.forbidden {
+            let Some(m) = by_name.get(from.as_str()) else {
+                continue;
+            };
+            if let Some(via) = reaches(&graph, from, to) {
+                let line = m
+                    .deps
+                    .iter()
+                    .find(|d| d.name == via)
+                    .map(|d| d.line)
+                    .unwrap_or(1);
+                let how = if via == *to {
+                    "directly".to_owned()
+                } else {
+                    format!("via `{via}`")
+                };
+                out.push(Diagnostic::new(
+                    self.name(),
+                    &m.rel_path,
+                    line,
+                    1,
+                    format!("forbidden dependency: `{from}` must not reach `{to}` ({how})"),
+                ));
+            }
+        }
+
+        // The whole workspace graph must be acyclic.
+        for name in graph.keys() {
+            if let Some(cycle) = find_cycle(&graph, name) {
+                let m = by_name[name];
+                out.push(Diagnostic::new(
+                    self.name(),
+                    &m.rel_path,
+                    1,
+                    1,
+                    format!("dependency cycle: {}", cycle.join(" -> ")),
+                ));
+                // One report per cycle is enough; the sort/dedup in
+                // `Report::finish` collapses repeats from other entry points
+                // only if identical, so stop at the first.
+                break;
+            }
+        }
+    }
+}
+
+/// When `from` can reach `to`, returns the first-hop dependency of `from`
+/// on that path (for a useful diagnostic line); `None` otherwise.
+fn reaches<'g>(graph: &BTreeMap<&'g str, Vec<&'g str>>, from: &str, to: &str) -> Option<&'g str> {
+    let start = graph.get(from)?;
+    for &first_hop in start {
+        let mut stack = vec![first_hop];
+        let mut seen = BTreeSet::new();
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return Some(first_hop);
+            }
+            if seen.insert(n) {
+                if let Some(next) = graph.get(n) {
+                    stack.extend(next.iter().copied());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Detects a cycle reachable from `start`; returns the cycle path.
+fn find_cycle<'g>(graph: &BTreeMap<&'g str, Vec<&'g str>>, start: &'g str) -> Option<Vec<&'g str>> {
+    fn visit<'g>(
+        graph: &BTreeMap<&'g str, Vec<&'g str>>,
+        node: &'g str,
+        path: &mut Vec<&'g str>,
+        done: &mut BTreeSet<&'g str>,
+    ) -> Option<Vec<&'g str>> {
+        if let Some(pos) = path.iter().position(|n| *n == node) {
+            let mut cycle: Vec<&str> = path[pos..].to_vec();
+            cycle.push(node);
+            return Some(cycle);
+        }
+        if done.contains(node) {
+            return None;
+        }
+        path.push(node);
+        if let Some(next) = graph.get(node) {
+            for &n in next {
+                if let Some(c) = visit(graph, n, path, done) {
+                    return Some(c);
+                }
+            }
+        }
+        path.pop();
+        done.insert(node);
+        None
+    }
+    visit(graph, start, &mut Vec::new(), &mut BTreeSet::new())
+}

@@ -1,0 +1,98 @@
+//! Panic-safety lints: library code that parses wire messages, CSV input
+//! or untrusted metadata must fail with typed errors, never by unwinding.
+
+use super::{code_tokens, is_literal_index, scan_token_seqs, Lint, TestPolicy, TokenSeq};
+use crate::config::Config;
+use crate::diagnostics::Diagnostic;
+use crate::source::FileRole;
+use crate::workspace::Workspace;
+
+/// `no-panic`: no `unwrap`/`expect`/panic-family macros in non-test library
+/// code of the scoped crates (`mp-relation`, `mp-federated`, `mp-core`).
+/// Genuinely-infallible cases carry a reasoned suppression instead.
+pub struct NoPanic;
+
+impl Lint for NoPanic {
+    fn name(&self) -> &'static str {
+        "no-panic"
+    }
+
+    fn description(&self) -> &'static str {
+        "no unwrap/expect/panic!/unreachable!/todo! in non-test library code; return typed errors"
+    }
+
+    fn check(&self, ws: &Workspace, config: &Config, out: &mut Vec<Diagnostic>) {
+        const SEQS: &[TokenSeq] = &[
+            TokenSeq {
+                seq: &[".", "unwrap", "("],
+                message: "`unwrap()` panics on malformed input; return a typed error (or suppress with a reason if infallible)",
+            },
+            TokenSeq {
+                seq: &[".", "expect", "("],
+                message: "`expect()` panics on malformed input; return a typed error (or suppress with a reason if infallible)",
+            },
+            TokenSeq {
+                seq: &["panic", "!"],
+                message: "`panic!` unwinds across the protocol boundary; return a typed error",
+            },
+            TokenSeq {
+                seq: &["unreachable", "!"],
+                message: "`unreachable!` is a panic in disguise; prove it with types or suppress with a reason",
+            },
+            TokenSeq {
+                seq: &["todo", "!"],
+                message: "`todo!` must not ship in library code",
+            },
+            TokenSeq {
+                seq: &["unimplemented", "!"],
+                message: "`unimplemented!` must not ship in library code",
+            },
+        ];
+        scan_token_seqs(self.name(), SEQS, TestPolicy::ExemptTests, ws, config, out);
+    }
+}
+
+/// `no-literal-index`: `xs[0]` on a slice is `unwrap()` in disguise — the
+/// subscript panics exactly like the method would. Constant subscripts in
+/// scoped library code need either a shape-checked accessor (`first()`,
+/// `get(…)`, destructuring) or a reasoned suppression for fixed-arity data.
+pub struct NoLiteralIndex;
+
+impl Lint for NoLiteralIndex {
+    fn name(&self) -> &'static str {
+        "no-literal-index"
+    }
+
+    fn description(&self) -> &'static str {
+        "constant subscripts like xs[0] panic out of bounds; use get()/first()/destructuring or suppress with a reason"
+    }
+
+    fn check(&self, ws: &Workspace, config: &Config, out: &mut Vec<Diagnostic>) {
+        let scope = config.scope(self.name());
+        for file in &ws.files {
+            if !scope.applies_to(&file.rel_path) || file.role == FileRole::Test {
+                continue;
+            }
+            let code = code_tokens(file);
+            for i in 0..code.len() {
+                if !is_literal_index(&code, i, &file.text) {
+                    continue;
+                }
+                let tok = code[i];
+                if file.in_test_region(tok.start) || file.suppressed(self.name(), tok.line) {
+                    continue;
+                }
+                out.push(Diagnostic::new(
+                    self.name(),
+                    &file.rel_path,
+                    tok.line,
+                    tok.col,
+                    format!(
+                        "constant subscript `[{}]` panics out of bounds; use get()/first()/destructuring or suppress with a reason",
+                        code[i + 1].text(&file.text)
+                    ),
+                ));
+            }
+        }
+    }
+}

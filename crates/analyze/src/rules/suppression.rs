@@ -1,0 +1,96 @@
+//! Meta-lints: the suppression mechanism itself is audited (a suppression
+//! is a debt record, and debt needs a reason), and files that defeat the
+//! lexer are surfaced instead of silently half-scanned.
+
+use super::Lint;
+use crate::config::Config;
+use crate::diagnostics::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::workspace::Workspace;
+
+/// `lexical-integrity`: a token the lexer could not terminate (runaway
+/// string/comment) means the rest of the file escaped every other pass.
+pub struct LexicalIntegrity;
+
+impl Lint for LexicalIntegrity {
+    fn name(&self) -> &'static str {
+        "lexical-integrity"
+    }
+
+    fn description(&self) -> &'static str {
+        "files must lex cleanly; an unterminated string or comment would hide code from the other passes"
+    }
+
+    fn check(&self, ws: &Workspace, _config: &Config, out: &mut Vec<Diagnostic>) {
+        for file in &ws.files {
+            for t in &file.tokens {
+                if t.kind == TokenKind::Unterminated {
+                    out.push(Diagnostic::new(
+                        self.name(),
+                        &file.rel_path,
+                        t.line,
+                        t.col,
+                        "unterminated string or comment; the remainder of this file was not analyzed",
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// `suppression`: every `// lint: allow(…)` must parse, carry a non-empty
+/// reason, and actually suppress something. Must run **after** the lexical
+/// passes — it reads their usage bookkeeping.
+pub struct SuppressionHygiene;
+
+impl Lint for SuppressionHygiene {
+    fn name(&self) -> &'static str {
+        "suppression"
+    }
+
+    fn description(&self) -> &'static str {
+        "lint suppressions must parse, carry a reason=\"…\" justification, and match a real violation"
+    }
+
+    fn check(&self, ws: &Workspace, _config: &Config, out: &mut Vec<Diagnostic>) {
+        for file in &ws.files {
+            let used = file.used.borrow();
+            for (i, s) in file.suppressions.iter().enumerate() {
+                if let Some(err) = &s.malformed {
+                    out.push(Diagnostic::new(
+                        self.name(),
+                        &file.rel_path,
+                        s.line,
+                        s.col,
+                        format!("malformed suppression: {err}"),
+                    ));
+                    continue;
+                }
+                if s.reason.is_none() {
+                    out.push(Diagnostic::new(
+                        self.name(),
+                        &file.rel_path,
+                        s.line,
+                        s.col,
+                        format!(
+                            "suppression of `{}` has no reason; write `reason=\"…\"` explaining why it is safe",
+                            s.rules.join(", ")
+                        ),
+                    ));
+                }
+                if !used[i] {
+                    out.push(Diagnostic::new(
+                        self.name(),
+                        &file.rel_path,
+                        s.line,
+                        s.col,
+                        format!(
+                            "unused suppression of `{}`; nothing on the covered lines violates it — delete the comment",
+                            s.rules.join(", ")
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}

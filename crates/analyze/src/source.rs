@@ -1,0 +1,393 @@
+//! Per-file analysis context: lexed tokens, `#[cfg(test)]`/`#[test]` region
+//! detection and `// lint: allow(…)` suppression comments.
+
+use crate::lexer::{self, Token, TokenKind};
+use std::cell::RefCell;
+use std::ops::Range;
+
+/// How a file participates in the build, derived from its path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileRole {
+    /// Library source under `src/` (the default).
+    Lib,
+    /// Binary source: `src/main.rs` or anything under `src/bin/`.
+    Bin,
+    /// Integration tests, benches and examples (`tests/`, `benches/`,
+    /// `examples/`).
+    Test,
+}
+
+/// One `// lint: allow(rule, …) reason="…"` comment.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Rules the comment suppresses.
+    pub rules: Vec<String>,
+    /// The mandatory human justification (checked by `suppression` lint).
+    pub reason: Option<String>,
+    /// Line the comment sits on.
+    pub line: usize,
+    /// Column of the comment.
+    pub col: usize,
+    /// Lines the suppression covers (the comment's own line for trailing
+    /// comments, plus the next line for stand-alone ones).
+    pub covers: Range<usize>,
+    /// Set when the comment's text after `lint:` could not be parsed.
+    pub malformed: Option<String>,
+}
+
+/// A lexed workspace source file plus derived lint context.
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel_path: String,
+    /// Full source text.
+    pub text: String,
+    /// Token stream (comments included, whitespace skipped).
+    pub tokens: Vec<Token>,
+    /// Build role from the path (`src/` vs `src/bin/` vs `tests/`).
+    pub role: FileRole,
+    /// Byte ranges covered by `#[cfg(test)]` / `#[test]` items or enclosing
+    /// `mod` blocks.
+    pub test_regions: Vec<Range<usize>>,
+    /// Parsed suppression comments, in file order.
+    pub suppressions: Vec<Suppression>,
+    /// Which suppressions actually matched a diagnostic (per suppression
+    /// index, interior-mutable so lints can record usage through a shared
+    /// reference).
+    pub used: RefCell<Vec<bool>>,
+}
+
+impl SourceFile {
+    /// Lexes `text` and derives regions/suppressions for the file at
+    /// `rel_path` (workspace-relative).
+    pub fn parse(rel_path: &str, text: String) -> SourceFile {
+        let tokens = lexer::lex(&text);
+        let role = role_of(rel_path);
+        let test_regions = find_test_regions(&text, &tokens);
+        let suppressions = find_suppressions(&text, &tokens);
+        let used = RefCell::new(vec![false; suppressions.len()]);
+        SourceFile {
+            rel_path: rel_path.to_owned(),
+            text,
+            tokens,
+            role,
+            test_regions,
+            suppressions,
+            used,
+        }
+    }
+
+    /// True when byte `offset` lies in any `#[cfg(test)]`/`#[test]` region.
+    pub fn in_test_region(&self, offset: usize) -> bool {
+        self.test_regions.iter().any(|r| r.contains(&offset))
+    }
+
+    /// Looks for an *active* suppression of `rule` covering `line`; marks it
+    /// used and returns true when found. Reason-less suppressions still
+    /// suppress — the missing reason is reported separately, so a rule never
+    /// fires twice on the same line.
+    pub fn suppressed(&self, rule: &str, line: usize) -> bool {
+        for (i, s) in self.suppressions.iter().enumerate() {
+            if s.malformed.is_none()
+                && s.covers.contains(&line)
+                && s.rules.iter().any(|r| r == rule)
+            {
+                self.used.borrow_mut()[i] = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Non-comment tokens (what pattern-matching lints iterate).
+    pub fn code_tokens(&self) -> impl Iterator<Item = &Token> {
+        self.tokens.iter().filter(|t| {
+            !matches!(
+                t.kind,
+                TokenKind::LineComment
+                    | TokenKind::BlockComment
+                    | TokenKind::DocLineComment
+                    | TokenKind::DocBlockComment
+            )
+        })
+    }
+}
+
+fn role_of(rel_path: &str) -> FileRole {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    if parts
+        .iter()
+        .any(|p| *p == "tests" || *p == "benches" || *p == "examples")
+    {
+        return FileRole::Test;
+    }
+    if parts.last() == Some(&"main.rs") || parts.contains(&"bin") {
+        return FileRole::Bin;
+    }
+    FileRole::Lib
+}
+
+/// Scans for `#[cfg(test)]` / `#[test]` attributes and returns the byte
+/// range of each annotated item (attribute through the end of the item's
+/// brace block, or the terminating `;` for block-less items).
+fn find_test_regions(src: &str, tokens: &[Token]) -> Vec<Range<usize>> {
+    let mut regions: Vec<Range<usize>> = Vec::new();
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| {
+            !matches!(
+                t.kind,
+                TokenKind::LineComment
+                    | TokenKind::BlockComment
+                    | TokenKind::DocLineComment
+                    | TokenKind::DocBlockComment
+            )
+        })
+        .collect();
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].text(src) != "#" || code.get(i + 1).map(|t| t.text(src)) != Some("[") {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute's tokens up to the matching `]`.
+        let attr_start = code[i].start;
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        let mut attr_text = String::new();
+        while j < code.len() {
+            let t = code[j].text(src);
+            match t {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {
+                    attr_text.push_str(t);
+                }
+            }
+            j += 1;
+        }
+        // `cfg(not(test))` guards *live* code and must not become a test
+        // region; `cfg_attr(test, …)` only conditions another attribute.
+        let is_test_attr = attr_text == "test"
+            || (attr_text.starts_with("cfg(")
+                && attr_text.contains("test")
+                && !attr_text.contains("not(test")
+                && !attr_text.starts_with("cfg_attr"));
+        if !is_test_attr || j >= code.len() {
+            i = j + 1;
+            continue;
+        }
+        // Find the annotated item's extent: skip further attributes, then
+        // brace-match the first `{` (or stop at a top-level `;`).
+        let mut k = j + 1;
+        while k + 1 < code.len() && code[k].text(src) == "#" && code[k + 1].text(src) == "[" {
+            let mut d = 0usize;
+            k += 1;
+            while k < code.len() {
+                match code[k].text(src) {
+                    "[" => d += 1,
+                    "]" => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            k += 1;
+        }
+        let mut brace = 0usize;
+        let mut end = src.len();
+        while k < code.len() {
+            match code[k].text(src) {
+                "{" => brace += 1,
+                "}" => {
+                    brace = brace.saturating_sub(1);
+                    if brace == 0 {
+                        end = code[k].end;
+                        break;
+                    }
+                }
+                ";" if brace == 0 => {
+                    end = code[k].end;
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        regions.push(attr_start..end);
+        i = j + 1;
+    }
+    regions
+}
+
+/// Parses `// lint: allow(rule-a, rule-b) reason="…"` comments.
+fn find_suppressions(src: &str, tokens: &[Token]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for t in tokens {
+        if t.kind != TokenKind::LineComment {
+            continue;
+        }
+        let body = t.text(src).trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix("lint:") else {
+            continue;
+        };
+        // Trailing comments (code earlier on the same line) cover their own
+        // line; stand-alone comments cover the following line too.
+        let leading = src[..t.start]
+            .rsplit('\n')
+            .next()
+            .is_some_and(|prefix| prefix.trim().is_empty());
+        let covers = if leading {
+            t.line..t.line + 2
+        } else {
+            t.line..t.line + 1
+        };
+        let mut sup = Suppression {
+            rules: Vec::new(),
+            reason: None,
+            line: t.line,
+            col: t.col,
+            covers,
+            malformed: None,
+        };
+        match parse_allow(rest.trim()) {
+            Ok((rules, reason)) => {
+                sup.rules = rules;
+                sup.reason = reason;
+            }
+            Err(msg) => sup.malformed = Some(msg),
+        }
+        out.push(sup);
+    }
+    out
+}
+
+/// Parses `allow(rule-a, rule-b) reason="…"`; the reason clause is optional
+/// at parse time (its absence is a `suppression` lint violation, not a
+/// syntax error).
+fn parse_allow(s: &str) -> Result<(Vec<String>, Option<String>), String> {
+    let Some(rest) = s.strip_prefix("allow") else {
+        return Err("expected `allow(<rule>, …)` after `lint:`".to_owned());
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err("expected `(` after `allow`".to_owned());
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("unclosed `(` in `allow(…)`".to_owned());
+    };
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_owned())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Err("`allow(…)` lists no rules".to_owned());
+    }
+    let tail = rest[close + 1..].trim();
+    if tail.is_empty() {
+        return Ok((rules, None));
+    }
+    let Some(tail) = tail.strip_prefix("reason") else {
+        return Err(format!("unexpected trailing text `{tail}`"));
+    };
+    let tail = tail.trim_start();
+    let Some(tail) = tail.strip_prefix('=') else {
+        return Err("expected `=` after `reason`".to_owned());
+    };
+    let tail = tail.trim_start();
+    let Some(tail) = tail.strip_prefix('"') else {
+        return Err("reason must be a quoted string".to_owned());
+    };
+    let Some(end) = tail.find('"') else {
+        return Err("unclosed reason string".to_owned());
+    };
+    let reason = tail[..end].trim().to_owned();
+    if reason.is_empty() {
+        return Ok((rules, None));
+    }
+    Ok((rules, Some(reason)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roles_from_paths() {
+        assert_eq!(role_of("crates/relation/src/csv.rs"), FileRole::Lib);
+        assert_eq!(role_of("crates/cli/src/main.rs"), FileRole::Bin);
+        assert_eq!(role_of("crates/bench/src/bin/table3.rs"), FileRole::Bin);
+        assert_eq!(role_of("crates/relation/tests/props.rs"), FileRole::Test);
+        assert_eq!(role_of("examples/quickstart.rs"), FileRole::Test);
+    }
+
+    #[test]
+    fn cfg_test_module_region() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src.to_owned());
+        let unwrap_at = src.find("unwrap").expect("present");
+        assert!(f.in_test_region(unwrap_at));
+        assert!(!f.in_test_region(src.find("live").expect("present")));
+        assert!(!f.in_test_region(src.find("after").expect("present")));
+    }
+
+    #[test]
+    fn test_attr_fn_region() {
+        let src = "#[test]\nfn check() { y.unwrap(); }\nfn live() {}\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src.to_owned());
+        assert!(f.in_test_region(src.find("unwrap").expect("present")));
+        assert!(!f.in_test_region(src.find("live").expect("present")));
+    }
+
+    #[test]
+    fn stacked_attrs_region() {
+        let src = "#[cfg(test)]\n#[derive(Debug)]\nstruct T { a: u8 }\nfn live() {}\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src.to_owned());
+        assert!(f.in_test_region(src.find("a: u8").expect("present")));
+        assert!(!f.in_test_region(src.find("live").expect("present")));
+    }
+
+    #[test]
+    fn suppression_trailing_and_leading() {
+        let src = "let a = x.unwrap(); // lint: allow(no-panic) reason=\"checked above\"\n// lint: allow(no-literal-index) reason=\"fixed arity\"\nlet b = v[0];\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src.to_owned());
+        assert_eq!(f.suppressions.len(), 2);
+        assert!(f.suppressed("no-panic", 1));
+        assert!(!f.suppressed("no-panic", 2));
+        assert!(f.suppressed("no-literal-index", 3));
+        assert_eq!(f.used.borrow().as_slice(), &[true, true]);
+    }
+
+    #[test]
+    fn suppression_without_reason_or_malformed() {
+        let src = "// lint: allow(no-panic)\n// lint: deny(everything)\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src.to_owned());
+        assert_eq!(f.suppressions[0].reason, None);
+        assert!(f.suppressions[0].malformed.is_none());
+        assert!(f.suppressions[1].malformed.is_some());
+    }
+
+    #[test]
+    fn suppression_multi_rule() {
+        let (rules, reason) =
+            parse_allow("allow(a-rule, b-rule) reason=\"both fine\"").expect("parses");
+        assert_eq!(rules, vec!["a-rule".to_owned(), "b-rule".to_owned()]);
+        assert_eq!(reason.as_deref(), Some("both fine"));
+    }
+
+    #[test]
+    fn suppressions_ignore_lookalike_comments() {
+        let src = "// linting is great\n/// lint: allow(no-panic) in docs is prose\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src.to_owned());
+        assert!(f.suppressions.is_empty());
+    }
+}

@@ -1,0 +1,63 @@
+//! The linter's own acceptance gate: the workspace at HEAD must be clean
+//! under the shipped `analyze.toml`, and the JSON report must be
+//! byte-stable across runs (CI diffs two runs of the real binary; this
+//! test catches the same regression without leaving the test harness).
+
+use std::path::Path;
+
+/// Workspace root, two levels up from this crate's manifest.
+fn workspace_root() -> &'static Path {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/analyze sits two levels below the workspace root");
+    assert!(
+        root.join("analyze.toml").is_file(),
+        "no analyze.toml at {}",
+        root.display()
+    );
+    root
+}
+
+#[test]
+fn workspace_head_is_clean_under_shipped_config() {
+    let report = mp_analyze::analyze_with_default_config(workspace_root())
+        .expect("analysis of the workspace must not error");
+    assert!(
+        report.is_clean(),
+        "mp-analyze found violations at HEAD:\n{}",
+        report.render_human()
+    );
+}
+
+#[test]
+fn shipped_config_parses_and_matches_builtin_default() {
+    // analyze.toml is the source of truth for CI; the built-in default is
+    // the fallback when the file is missing. They must agree, or local
+    // runs and CI runs would lint different scopes.
+    let root = workspace_root();
+    let text = std::fs::read_to_string(root.join("analyze.toml")).expect("read analyze.toml");
+    let shipped = mp_analyze::config::Config::parse(&text).expect("analyze.toml must parse");
+    let builtin = mp_analyze::config::Config::workspace_default();
+    assert_eq!(
+        format!("{shipped:?}"),
+        format!("{builtin:?}"),
+        "analyze.toml drifted from Config::workspace_default()"
+    );
+}
+
+#[test]
+fn json_report_is_byte_stable_across_runs() {
+    let root = workspace_root();
+    let first = mp_analyze::analyze_with_default_config(root)
+        .expect("first run")
+        .render_json();
+    let second = mp_analyze::analyze_with_default_config(root)
+        .expect("second run")
+        .render_json();
+    assert_eq!(
+        first, second,
+        "two runs over the same tree must render identical bytes"
+    );
+    assert!(first.contains("\"schema_version\": 1"));
+}

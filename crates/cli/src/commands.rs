@@ -312,6 +312,10 @@ USAGE:
       Replay VFL setup under a seeded fault schedule; non-zero exit on
       abort. With --metrics-json, also write a deterministic metrics
       snapshot (wire counters, tick latencies, retransmits) to the path.
+  mpriv analyze [--root DIR] [--config analyze.toml] [--format human|json] [--list-rules]
+      Run the workspace invariant linter (determinism, panic-safety,
+      crate layering, I/O hygiene); non-zero exit on violations. The
+      JSON report is byte-stable across runs.
 
 CSV parsing: first row is the header; `?`, `NA` and empty fields are missing.
 "

@@ -45,7 +45,7 @@ pub fn expected_matches(
     if real.len() < 2 {
         return 0.0;
     }
-    let range = real[real.len() - 1] - real[0];
+    let range = real[real.len() - 1] - real[0]; // lint: allow(no-literal-index) reason="guarded by the len() < 2 early return above"
     if range <= 0.0 {
         return 0.0;
     }

@@ -199,13 +199,15 @@ fn derive(
             mp_synth::generate_afd_column(lhs, rhs_domain, afd.g3_threshold, n, rng)
         }
         Dependency::Od(od) => {
+            // lint: allow(no-literal-index) reason="unary dependencies carry exactly one LHS attribute by construction"
             mp_synth::generate_od_column(lhs[0], rhs_domain, od.direction, n, rng)
         }
-        Dependency::Nd(nd) => mp_synth::generate_nd_column(lhs[0], rhs_domain, nd.k, n, rng),
+        Dependency::Nd(nd) => mp_synth::generate_nd_column(lhs[0], rhs_domain, nd.k, n, rng), // lint: allow(no-literal-index) reason="unary dependencies carry exactly one LHS attribute by construction"
         Dependency::Dd(dd) => {
+            // lint: allow(no-literal-index) reason="unary dependencies carry exactly one LHS attribute by construction"
             mp_synth::generate_dd_column(lhs[0], rhs_domain, dd.eps_lhs, dd.delta_rhs, n, rng)
         }
-        Dependency::Ofd(_) => mp_synth::generate_ofd_column(lhs[0], rhs_domain, n, rng),
+        Dependency::Ofd(_) => mp_synth::generate_ofd_column(lhs[0], rhs_domain, n, rng), // lint: allow(no-literal-index) reason="unary dependencies carry exactly one LHS attribute by construction"
         Dependency::Cfd(cfd) => mp_synth::generate_cfd_column(cfd, lhs, rhs_domain, n, rng),
     }
 }

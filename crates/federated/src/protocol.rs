@@ -465,7 +465,7 @@ fn assemble_outcome(
     let views: Vec<&[IdDigest]> = machines[viewer]
         .peer_digests
         .iter()
-        .map(|d| d.as_ref().expect("completed setup has all digests"))
+        .map(|d| d.as_ref().expect("completed setup has all digests")) // lint: allow(no-panic) reason="this runs only after the engine reported Completed, which requires every peer digest to have been received"
         .map(Vec::as_slice)
         .collect();
     let alignment = MultiAlignment {
@@ -485,7 +485,7 @@ fn assemble_outcome(
         let pkg = match receiver {
             Some(q) => machines[q].peer_metadata[p]
                 .clone()
-                .expect("completed setup has all metadata"),
+                .expect("completed setup has all metadata"), // lint: allow(no-panic) reason="this runs only after the engine reported Completed, which requires every live party to hold all peer metadata"
             None => machines[p].package.clone(),
         };
         metadata.push(pkg);
@@ -551,19 +551,27 @@ impl VflSession {
 }
 
 /// Converts a two-party [`MultiSetupOutcome`] into the pairwise shape.
-fn two_party_outcome(mut multi: MultiSetupOutcome) -> SetupOutcome {
-    let metadata_from_b = multi.metadata.pop().expect("two parties");
-    let metadata_from_a = multi.metadata.pop().expect("two parties");
-    let aligned_b = multi.aligned.pop().expect("two parties");
-    let aligned_a = multi.aligned.pop().expect("two parties");
-    let rows_b = multi.alignment.rows.pop().expect("two parties");
-    let rows_a = multi.alignment.rows.pop().expect("two parties");
+fn two_party_outcome(multi: MultiSetupOutcome) -> SetupOutcome {
+    let ([metadata_from_a, metadata_from_b], [aligned_a, aligned_b], [rows_a, rows_b]) = (
+        pair(multi.metadata),
+        pair(multi.aligned),
+        pair(multi.alignment.rows),
+    );
     SetupOutcome {
         alignment: PsiAlignment { rows_a, rows_b },
         aligned_a,
         aligned_b,
         metadata_from_a,
         metadata_from_b,
+    }
+}
+
+/// Fixes a per-party vector to the two-party shape.
+fn pair<T>(v: Vec<T>) -> [T; 2] {
+    match <[T; 2]>::try_from(v) {
+        Ok(both) => both,
+        // lint: allow(no-panic) reason="run_setup_protocol returns exactly one entry per party and VflSession always passes two parties"
+        Err(v) => unreachable!("two-party session produced {} entries", v.len()),
     }
 }
 

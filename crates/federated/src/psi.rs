@@ -78,9 +78,12 @@ pub fn intersect_all(submissions: &[&[IdDigest]]) -> Vec<Vec<usize>> {
         }
         maps.push(m);
     }
-    let mut common: Vec<IdDigest> = maps[0]
+    let Some((first, rest)) = maps.split_first() else {
+        return Vec::new();
+    };
+    let mut common: Vec<IdDigest> = first
         .keys()
-        .filter(|d| maps[1..].iter().all(|m| m.contains_key(d)))
+        .filter(|d| rest.iter().all(|m| m.contains_key(d)))
         .copied()
         .collect();
     common.sort();
@@ -92,10 +95,11 @@ pub fn intersect_all(submissions: &[&[IdDigest]]) -> Vec<Vec<usize>> {
 /// Intersects two digest submissions via [`intersect_all`]; see there for
 /// the dedup and canonical-order semantics.
 pub fn intersect(a: &[IdDigest], b: &[IdDigest]) -> PsiAlignment {
-    let mut rows = intersect_all(&[a, b]);
-    let rows_b = rows.pop().expect("two submissions");
-    let rows_a = rows.pop().expect("two submissions");
-    PsiAlignment { rows_a, rows_b }
+    match <[Vec<usize>; 2]>::try_from(intersect_all(&[a, b])) {
+        Ok([rows_a, rows_b]) => PsiAlignment { rows_a, rows_b },
+        // lint: allow(no-panic) reason="intersect_all returns exactly one row set per non-empty submission list, and two submissions are passed"
+        Err(rows) => unreachable!("got {} row sets for 2 submissions", rows.len()),
+    }
 }
 
 /// Convenience: full PSI between two id columns under a shared salt.

@@ -9,7 +9,7 @@ use crate::protocol::{RetryConfig, SetupError, SetupOutcome, VflSession};
 use crate::transport::Transport;
 use mp_core::{run_attack, AttackResult, ExperimentConfig};
 use mp_metadata::SharePolicy;
-use mp_relation::Result;
+use mp_relation::{RelationError, Result};
 
 /// Outcome of the full scenario.
 #[derive(Debug, Clone)]
@@ -72,24 +72,22 @@ fn scenario_from_setup(
     experiment: &ExperimentConfig,
 ) -> Result<ScenarioOutcome> {
     // --- Utility: train loan approval on the aligned intersection. ------
-    let bank_features: Vec<usize> = {
-        // Label column in aligned (feature-projected) coordinates.
-        let feats = session.party_a.feature_columns();
-        let label_pos = feats
-            .iter()
-            .position(|&c| c == label_column)
-            .expect("label must be a bank feature column");
-        (0..setup.aligned_a.arity())
-            .filter(|&c| c != label_pos)
-            .collect()
-    };
-    let label_pos = {
-        let feats = session.party_a.feature_columns();
-        feats
-            .iter()
-            .position(|&c| c == label_column)
-            .expect("label position")
-    };
+    // Label column in aligned (feature-projected) coordinates. The label is
+    // caller-supplied, so a column outside the bank's feature set is a
+    // typed error, not a panic.
+    let label_pos = session
+        .party_a
+        .feature_columns()
+        .iter()
+        .position(|&c| c == label_column)
+        .ok_or_else(|| {
+            RelationError::UnknownAttribute(format!(
+                "label column {label_column} is not among the bank's feature columns"
+            ))
+        })?;
+    let bank_features: Vec<usize> = (0..setup.aligned_a.arity())
+        .filter(|&c| c != label_pos)
+        .collect();
     let labels = labels_from_column(&setup.aligned_a, label_pos)?;
     let bank_block = FeatureBlock::encode(&setup.aligned_a, &bank_features)?;
     let ecom_features: Vec<usize> = (0..setup.aligned_b.arity()).collect();

@@ -105,7 +105,7 @@ pub fn parse_records(text: &str, delimiter: char) -> Result<Vec<Vec<String>>> {
         records.push(record);
     }
     // Drop fully empty trailing records (e.g. file ends with blank line).
-    records.retain(|r| !(r.len() == 1 && r[0].is_empty()));
+    records.retain(|r| !matches!(r.as_slice(), [f] if f.is_empty()));
     Ok(records)
 }
 
@@ -161,7 +161,8 @@ pub fn read_str(text: &str, opts: &CsvOptions) -> Result<Relation> {
     let header: Vec<String> = if opts.has_header {
         records.remove(0)
     } else {
-        (0..records[0].len()).map(|i| format!("attr{i}")).collect()
+        let width = records.first().map_or(0, Vec::len);
+        (0..width).map(|i| format!("attr{i}")).collect()
     };
     let arity = header.len();
     // Optional `#kinds` annotation row immediately after the header.
@@ -187,8 +188,9 @@ pub fn read_str(text: &str, opts: &CsvOptions) -> Result<Relation> {
                 let mut kinds = Vec::with_capacity(arity);
                 // Field 0 carries the marker plus column 0's kind:
                 // `#kinds=<kind>`.
-                let first_kind = row[0]
-                    .strip_prefix("#kinds=")
+                let first_kind = row
+                    .first()
+                    .and_then(|f| f.strip_prefix("#kinds="))
                     .map(|k| parse_kind(k, 0))
                     .transpose()?
                     .unwrap_or(AttrKind::Categorical);

@@ -62,10 +62,11 @@ where
                 }
                 let item = inputs[i]
                     .lock()
-                    .expect("par_map input lock poisoned")
+                    .expect("par_map input lock poisoned") // lint: allow(no-panic) reason="a poisoned lock means a worker already panicked; thread::scope re-raises that panic anyway"
                     .take()
-                    .expect("item taken twice");
+                    .expect("item taken twice"); // lint: allow(no-panic) reason="the atomic fetch_add hands each index to exactly one worker"
                 let result = f(item);
+                // lint: allow(no-panic) reason="a poisoned lock means a worker already panicked; thread::scope re-raises that panic anyway"
                 *outputs[i].lock().expect("par_map output lock poisoned") = Some(result);
             });
         }
@@ -75,8 +76,8 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("par_map output lock poisoned")
-                .expect("worker skipped an item")
+                .expect("par_map output lock poisoned") // lint: allow(no-panic) reason="a poisoned lock means a worker already panicked; thread::scope re-raises that panic anyway"
+                .expect("worker skipped an item") // lint: allow(no-panic) reason="thread::scope joined every worker, and the index loop covers 0..n, so every slot is filled"
         })
         .collect()
 }

@@ -30,7 +30,7 @@ impl Pli {
         }
         let mut clusters: Vec<Vec<usize>> = groups.into_values().filter(|g| g.len() >= 2).collect();
         // Rows were pushed in index order, so each cluster is sorted already.
-        clusters.sort_by_key(|c| c[0]);
+        clusters.sort_by_key(|c| c[0]); // lint: allow(no-literal-index) reason="clusters are filtered to len >= 2 one line above"
         Self {
             clusters,
             n_rows: column.len(),
@@ -72,7 +72,7 @@ impl Pli {
             }
         }
         // Rows were scattered in index order, so each cluster is sorted.
-        clusters.sort_by_key(|c| c[0]);
+        clusters.sort_by_key(|c| c[0]); // lint: allow(no-literal-index) reason="empty and singleton clusters were dropped by the retain above"
         Self {
             clusters,
             n_rows: codes.len(),
@@ -86,7 +86,7 @@ impl Pli {
         for c in &mut clusters {
             c.sort_unstable();
         }
-        clusters.sort_by_key(|c| c[0]);
+        clusters.sort_by_key(|c| c[0]); // lint: allow(no-literal-index) reason="the retain above drops clusters shorter than 2"
         Self { clusters, n_rows }
     }
 
@@ -200,7 +200,7 @@ impl Pli {
                 }
             }
         }
-        out.sort_by_key(|c| c[0]);
+        out.sort_by_key(|c| c[0]); // lint: allow(no-literal-index) reason="only groups of len >= 2 are pushed into out"
         Pli {
             clusters: out,
             n_rows: self.n_rows,
@@ -216,7 +216,7 @@ impl Pli {
     pub fn refines(&self, other: &Pli) -> bool {
         let sig = other.full_signature();
         self.clusters.iter().all(|cluster| {
-            let first = sig[cluster[0]];
+            let first = sig[cluster[0]]; // lint: allow(no-literal-index) reason="Pli invariant: stored clusters always have len >= 2"
             cluster[1..].iter().all(|&r| sig[r] == first)
         })
     }
@@ -225,7 +225,7 @@ impl Pli {
     /// (`rhs_full_sig`, from [`Pli::full_signature`] of Π_Y).
     pub fn satisfies_fd(&self, rhs_full_sig: &[usize]) -> bool {
         self.clusters.iter().all(|cluster| {
-            let first = rhs_full_sig[cluster[0]];
+            let first = rhs_full_sig[cluster[0]]; // lint: allow(no-literal-index) reason="Pli invariant: stored clusters always have len >= 2"
             cluster[1..].iter().all(|&r| rhs_full_sig[r] == first)
         })
     }

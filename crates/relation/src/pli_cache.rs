@@ -139,6 +139,7 @@ impl PliCache {
 
     /// Number of resident entries.
     pub fn len(&self) -> usize {
+        // lint: allow(no-panic) reason="cache operations cannot panic while holding the lock, so poisoning implies a panic already unwinding elsewhere"
         self.inner.lock().expect("PliCache lock poisoned").map.len()
     }
 
@@ -154,6 +155,7 @@ impl PliCache {
             self.misses.inc();
             return None;
         }
+        // lint: allow(no-panic) reason="cache operations cannot panic while holding the lock, so poisoning implies a panic already unwinding elsewhere"
         let mut inner = self.inner.lock().expect("PliCache lock poisoned");
         inner.tick += 1;
         let tick = inner.tick;
@@ -183,6 +185,7 @@ impl PliCache {
         if self.capacity == 0 {
             return pli;
         }
+        // lint: allow(no-panic) reason="cache operations cannot panic while holding the lock, so poisoning implies a panic already unwinding elsewhere"
         let mut inner = self.inner.lock().expect("PliCache lock poisoned");
         inner.tick += 1;
         let tick = inner.tick;
@@ -217,7 +220,7 @@ impl PliCache {
     pub fn clear(&self) {
         self.inner
             .lock()
-            .expect("PliCache lock poisoned")
+            .expect("PliCache lock poisoned") // lint: allow(no-panic) reason="cache operations cannot panic while holding the lock, so poisoning implies a panic already unwinding elsewhere"
             .map
             .clear();
     }

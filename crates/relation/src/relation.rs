@@ -361,8 +361,10 @@ pub struct RelationBuilder {
 impl RelationBuilder {
     /// Starts an empty builder over `schema`.
     pub fn new(schema: Schema) -> Self {
-        let builders = (0..schema.arity())
-            .map(|i| ColumnBuilder::new(schema.attribute(i).expect("index in range").clone()))
+        let builders = schema
+            .attributes()
+            .iter()
+            .map(|a| ColumnBuilder::new(a.clone()))
             .collect();
         Self {
             schema,

@@ -76,6 +76,7 @@ pub(crate) fn float_total_cmp(a: f64, b: f64) -> Ordering {
         (true, true) => Ordering::Equal,
         (true, false) => Ordering::Greater,
         (false, true) => Ordering::Less,
+        // lint: allow(no-panic) reason="both operands are proven non-NaN by this match arm, so partial_cmp always returns Some"
         (false, false) => a.partial_cmp(&b).expect("both non-NaN"),
     }
 }
