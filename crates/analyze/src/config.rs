@@ -115,6 +115,17 @@ impl Config {
             },
         );
         rules.insert(
+            "fuzzed-decoder-no-panic".to_owned(),
+            RuleScope {
+                paths: vec![
+                    "crates/federated/src/transport.rs".to_owned(),
+                    "crates/metadata/src/exchange.rs".to_owned(),
+                    "crates/relation/src/csv.rs".to_owned(),
+                ],
+                ..RuleScope::default()
+            },
+        );
+        rules.insert(
             "no-stdout-in-libs".to_owned(),
             RuleScope {
                 allow_paths: vec!["crates/bench".to_owned()],

@@ -33,6 +33,7 @@ pub fn registry() -> Vec<Box<dyn Lint>> {
         Box::new(determinism::NoUnorderedIteration),
         Box::new(panic_safety::NoPanic),
         Box::new(panic_safety::NoLiteralIndex),
+        Box::new(panic_safety::FuzzedDecoderNoPanic),
         Box::new(io_hygiene::NoStdoutInLibs),
         Box::new(layering::NoUnsafe),
         Box::new(layering::CrateLayering),
@@ -128,7 +129,7 @@ pub(crate) fn scan_token_seqs(
     }
 }
 
-fn matches_at(code: &[&Token], at: usize, seq: &[&str], src: &str) -> bool {
+pub(crate) fn matches_at(code: &[&Token], at: usize, seq: &[&str], src: &str) -> bool {
     // Puncts are lexed one byte at a time, so a `"::"` element in a
     // pattern stands for two consecutive `:` tokens.
     let mut k = at;
@@ -215,6 +216,21 @@ mod tests {
             "pub fn f() { let _ = std::time::Instant::now(); }\n",
         );
         assert!(rule_hits("no-wall-clock", &ws).is_empty());
+    }
+
+    #[test]
+    fn fuzzed_decoder_rule_ignores_suppressions() {
+        // A reasoned suppression silences `no-panic` but not the fuzzing
+        // surface rule: both unwraps below are flagged there.
+        let src = "pub fn f(v: Option<u8>) -> u8 {\n    // lint: allow(no-panic) reason=\"demo\"\n    v.unwrap()\n}\npub fn g(v: Option<u8>) -> u8 {\n    v.unwrap()\n}\n";
+        let ws = ws_with("crates/metadata/src/exchange.rs", src);
+        assert_eq!(
+            rule_hits("fuzzed-decoder-no-panic", &ws),
+            vec!["3:6", "6:6"]
+        );
+        // Outside the scoped decoder files the rule stays silent.
+        let ws = ws_with("crates/metadata/src/lib.rs", src);
+        assert!(rule_hits("fuzzed-decoder-no-panic", &ws).is_empty());
     }
 
     #[test]

@@ -1,11 +1,40 @@
 //! Panic-safety lints: library code that parses wire messages, CSV input
 //! or untrusted metadata must fail with typed errors, never by unwinding.
 
-use super::{code_tokens, is_literal_index, scan_token_seqs, Lint, TestPolicy, TokenSeq};
+use super::{
+    code_tokens, is_literal_index, matches_at, scan_token_seqs, Lint, TestPolicy, TokenSeq,
+};
 use crate::config::Config;
 use crate::diagnostics::Diagnostic;
 use crate::source::FileRole;
 use crate::workspace::Workspace;
+
+const PANIC_SEQS: &[TokenSeq] = &[
+    TokenSeq {
+        seq: &[".", "unwrap", "("],
+        message: "`unwrap()` panics on malformed input; return a typed error (or suppress with a reason if infallible)",
+    },
+    TokenSeq {
+        seq: &[".", "expect", "("],
+        message: "`expect()` panics on malformed input; return a typed error (or suppress with a reason if infallible)",
+    },
+    TokenSeq {
+        seq: &["panic", "!"],
+        message: "`panic!` unwinds across the protocol boundary; return a typed error",
+    },
+    TokenSeq {
+        seq: &["unreachable", "!"],
+        message: "`unreachable!` is a panic in disguise; prove it with types or suppress with a reason",
+    },
+    TokenSeq {
+        seq: &["todo", "!"],
+        message: "`todo!` must not ship in library code",
+    },
+    TokenSeq {
+        seq: &["unimplemented", "!"],
+        message: "`unimplemented!` must not ship in library code",
+    },
+];
 
 /// `no-panic`: no `unwrap`/`expect`/panic-family macros in non-test library
 /// code of the scoped crates (`mp-relation`, `mp-federated`, `mp-core`).
@@ -22,33 +51,63 @@ impl Lint for NoPanic {
     }
 
     fn check(&self, ws: &Workspace, config: &Config, out: &mut Vec<Diagnostic>) {
-        const SEQS: &[TokenSeq] = &[
-            TokenSeq {
-                seq: &[".", "unwrap", "("],
-                message: "`unwrap()` panics on malformed input; return a typed error (or suppress with a reason if infallible)",
-            },
-            TokenSeq {
-                seq: &[".", "expect", "("],
-                message: "`expect()` panics on malformed input; return a typed error (or suppress with a reason if infallible)",
-            },
-            TokenSeq {
-                seq: &["panic", "!"],
-                message: "`panic!` unwinds across the protocol boundary; return a typed error",
-            },
-            TokenSeq {
-                seq: &["unreachable", "!"],
-                message: "`unreachable!` is a panic in disguise; prove it with types or suppress with a reason",
-            },
-            TokenSeq {
-                seq: &["todo", "!"],
-                message: "`todo!` must not ship in library code",
-            },
-            TokenSeq {
-                seq: &["unimplemented", "!"],
-                message: "`unimplemented!` must not ship in library code",
-            },
-        ];
-        scan_token_seqs(self.name(), SEQS, TestPolicy::ExemptTests, ws, config, out);
+        scan_token_seqs(
+            self.name(),
+            PANIC_SEQS,
+            TestPolicy::ExemptTests,
+            ws,
+            config,
+            out,
+        );
+    }
+}
+
+/// `fuzzed-decoder-no-panic`: the decoders mp-fuzz drives with untrusted
+/// bytes (CSV ingest, exchange-package JSON, wire envelopes) must be
+/// panic-free outright. Unlike [`NoPanic`], in-source suppressions are
+/// *not* honoured in this scope — a reasoned `allow` is still a reachable
+/// panic to the fuzzer, so the only way to pass is to return a typed
+/// error.
+pub struct FuzzedDecoderNoPanic;
+
+impl Lint for FuzzedDecoderNoPanic {
+    fn name(&self) -> &'static str {
+        "fuzzed-decoder-no-panic"
+    }
+
+    fn description(&self) -> &'static str {
+        "fuzzed decoder modules must return typed errors, never panic; suppressions are not honoured"
+    }
+
+    fn check(&self, ws: &Workspace, config: &Config, out: &mut Vec<Diagnostic>) {
+        let scope = config.scope(self.name());
+        for file in &ws.files {
+            if !scope.applies_to(&file.rel_path) || file.role == FileRole::Test {
+                continue;
+            }
+            let code = code_tokens(file);
+            for i in 0..code.len() {
+                for pattern in PANIC_SEQS {
+                    if !matches_at(&code, i, pattern.seq, &file.text) {
+                        continue;
+                    }
+                    let tok = code[i];
+                    if file.in_test_region(tok.start) {
+                        continue;
+                    }
+                    out.push(Diagnostic::new(
+                        self.name(),
+                        &file.rel_path,
+                        tok.line,
+                        tok.col,
+                        format!(
+                            "panic site on the fuzzing surface (no suppressions accepted here): {}",
+                            pattern.message
+                        ),
+                    ));
+                }
+            }
+        }
     }
 }
 

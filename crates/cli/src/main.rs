@@ -121,6 +121,14 @@ fn run(argv: &[String]) -> Result<String, String> {
                 None => commands::simulate(seed, &faults, rows),
             }
         }
+        "check" => {
+            let parties = parsed.get_or("parties", 2usize)?;
+            let ticks = parsed.get_or("ticks", 256u64)?;
+            let budget = parsed.get_or("budget", 2usize)?;
+            let delay = parsed.get_or("delay", 2u64)?;
+            let crash_points = parsed.get_or("crash-points", 3u64)?;
+            commands::check(parties, ticks, budget, delay, crash_points)
+        }
         other => Err(format!("unknown subcommand `{other}`")),
     }
 }

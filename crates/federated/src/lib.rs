@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 mod bloom;
+pub mod check;
 pub mod horizontal;
 pub mod model;
 mod multiparty;
@@ -37,6 +38,10 @@ pub mod transport;
 
 pub use bloom::{
     bloom_candidate_rows, bloom_candidate_rows_windowed, windowed_filters, BloomFilter,
+};
+pub use check::{
+    model_check, small_world_session, CheckConfig, CheckReport, Decision, ScheduleTransport,
+    ViolationRecord, MAX_PARTIES,
 };
 pub use horizontal::{horizontal_split, permutation_baseline, schemas_compatible};
 pub use model::{
@@ -57,4 +62,5 @@ pub use sim::{
 };
 pub use transport::{
     Envelope, MsgId, PartyId, Payload, PerfectTransport, TraceEvent, Transport, TransportMetrics,
+    WireError, WIRE_VERSION,
 };

@@ -20,6 +20,18 @@ use std::hash::{Hash, Hasher};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct IdDigest(u64);
 
+impl IdDigest {
+    /// Reconstructs a digest from its raw wire representation.
+    pub fn from_raw(raw: u64) -> Self {
+        IdDigest(raw)
+    }
+
+    /// The raw 64-bit digest value (what travels on the wire).
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
 /// Hashes one identifier under a shared salt.
 pub fn digest(id: &Value, salt: u64) -> IdDigest {
     let mut h = DefaultHasher::new();

@@ -484,13 +484,45 @@ pub fn check_invariants(
         .map_err(InvariantViolation::ReferenceFailed)?;
 
     let sim = simulate_setup(session, policies, plan, retry);
+    let scheduled: Vec<PartyId> = plan.crashes.iter().map(|c| c.party).collect();
+    verify_run(
+        &session.parties,
+        policies,
+        &reference,
+        &sim.result,
+        &sim.trace,
+        &scheduled,
+    )?;
 
+    Ok(InvariantReport {
+        completed: sim.result.is_ok(),
+        summary: sim.summary,
+        ticks: sim.ticks,
+    })
+}
+
+/// The invariant core shared by [`check_invariants`] (seeded sampling)
+/// and the exhaustive model checker ([`crate::check`]): given the
+/// fault-free reference outcome, one run's result and trace, and the set
+/// of parties a fault schedule was *allowed* to crash, asserts the three
+/// protocol invariants from the module docs.
+pub(crate) fn verify_run(
+    parties: &[Party],
+    policies: &[SharePolicy],
+    reference: &MultiSetupOutcome,
+    result: &Result<MultiSetupOutcome, SetupError>,
+    trace: &[TraceEvent],
+    scheduled_crash_parties: &[PartyId],
+) -> Result<(), InvariantViolation> {
     // Invariant 2 first: the trace audit applies to completed AND aborted
     // runs — a crashed or retry-exhausted setup must not have leaked
     // redacted metadata either.
-    audit_trace_redaction(&session.parties, policies, &sim.trace)?;
+    audit_trace_redaction(parties, policies, trace)?;
 
-    match &sim.result {
+    let crash_fired = trace
+        .iter()
+        .any(|e| matches!(e, TraceEvent::Crashed { .. }));
+    match result {
         Ok(outcome) => {
             // Invariant 1: bit-identical to the fault-free run.
             if outcome.alignment != reference.alignment {
@@ -518,26 +550,18 @@ pub fn check_invariants(
             // Invariant 3, completion side: success is only legitimate if
             // no crash fired mid-protocol (a party may crash after its
             // role is over — that must not block the survivors).
-            let crash_fired = sim
-                .trace
-                .iter()
-                .any(|e| matches!(e, TraceEvent::Crashed { .. }));
-            if crash_fired && !plan.crashes.is_empty() {
+            if crash_fired && !scheduled_crash_parties.is_empty() {
                 return Err(InvariantViolation::UncleanCrash { error: None });
             }
         }
         Err(err) => {
             // Invariant 3: aborts are always typed; a crash schedule that
             // fired must surface as PartyCrashed for a scheduled party.
-            let crash_fired = sim
-                .trace
-                .iter()
-                .any(|e| matches!(e, TraceEvent::Crashed { .. }));
             if crash_fired {
                 let clean = matches!(
                     err,
                     SetupError::PartyCrashed { party }
-                        if plan.crashes.iter().any(|c| c.party == *party)
+                        if scheduled_crash_parties.contains(party)
                 );
                 if !clean {
                     return Err(InvariantViolation::UncleanCrash {
@@ -553,12 +577,7 @@ pub fn check_invariants(
             }
         }
     }
-
-    Ok(InvariantReport {
-        completed: sim.result.is_ok(),
-        summary: sim.summary,
-        ticks: sim.ticks,
-    })
+    Ok(())
 }
 
 /// Audits every metadata envelope in `trace` against its sender's policy:

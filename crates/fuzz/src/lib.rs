@@ -1,0 +1,64 @@
+//! # mp-fuzz — offline mutational fuzzing harness
+//!
+//! A vendored, zero-network fuzzer for the workspace's untrusted-input
+//! decoders: CSV ingest (`mp_relation::csv`), exchange-package JSON
+//! (`mp_metadata::MetadataPackage`) and wire envelopes
+//! (`mp_federated::Envelope`). No external fuzzing engine and no
+//! instrumentation: mutation is seeded xorshift havoc plus dictionary
+//! tokens, and the feedback signal is coverage-light — an input joins
+//! the corpus when its *outcome signature* (typed-error text, or
+//! canonical re-encoding) was never seen before.
+//!
+//! The contract every target must uphold, enforced per input:
+//!
+//! 1. **no panics** — malformed bytes produce a typed error;
+//! 2. **canonical fixed point** — an accepted input's re-encoding
+//!    decodes again and re-encodes bit-identically.
+//!
+//! Runs are replayable from `(seed, iterations)` alone; findings are
+//! written to `fuzz/corpus/regressions/<target>/` by the `mp-fuzz`
+//! binary and replayed forever after by a plain `#[test]`
+//! (`crates/fuzz/tests/regressions.rs`).
+
+#![warn(missing_docs)]
+
+pub mod mutate;
+pub mod rng;
+pub mod runner;
+pub mod target;
+
+pub use mutate::Mutator;
+pub use rng::XorShift64;
+pub use runner::{check_input, fuzz_target, Finding, FindingKind, FuzzConfig, FuzzReport};
+pub use target::{by_name, registry, FuzzTarget, TargetOutcome};
+
+/// Workspace-relative corpus root (`fuzz/corpus`), resolved from this
+/// crate's manifest so tests and the binary agree on the location.
+pub fn corpus_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../fuzz/corpus")
+}
+
+/// Loads every corpus file under `dir` (non-recursive), sorted by file
+/// name so replay order — and therefore any fuzz run seeded from it —
+/// is deterministic. A missing directory is an empty corpus.
+pub fn load_corpus_dir(dir: &std::path::Path) -> std::io::Result<Vec<(String, Vec<u8>)>> {
+    let mut entries = Vec::new();
+    let read = match std::fs::read_dir(dir) {
+        Ok(read) => read,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(entries),
+        Err(e) => return Err(e),
+    };
+    for entry in read {
+        let entry = entry?;
+        if !entry.file_type()?.is_file() {
+            continue;
+        }
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with('.') {
+            continue;
+        }
+        entries.push((name, std::fs::read(entry.path())?));
+    }
+    entries.sort();
+    Ok(entries)
+}

@@ -1,0 +1,338 @@
+//! The target registry: every untrusted-input decoder the fuzzer drives.
+//!
+//! A target wraps one decode/encode pair behind a uniform bytes-in
+//! interface. The contract the runner enforces on top:
+//!
+//! * the decoder never panics — malformed bytes produce a typed error
+//!   ([`TargetOutcome::Rejected`]);
+//! * accepted inputs re-encode to a *canonical* form that survives a
+//!   second decode/encode round trip bit-identically.
+
+use mp_federated::{Envelope, MsgId, Payload, WireError};
+use mp_metadata::{Fd, MetadataPackage};
+use mp_relation::csv::{self, CsvOptions};
+use mp_relation::{Attribute, Relation, Schema, Value};
+
+/// What one execution of a target produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TargetOutcome {
+    /// The decoder returned a typed error (the expected fate of most
+    /// mutated inputs). The message feeds the coverage signature.
+    Rejected {
+        /// Rendered decoder error.
+        error: String,
+    },
+    /// The decoder accepted the input; `canonical` is its re-encoding.
+    Accepted {
+        /// Canonical re-encoded bytes; must be a round-trip fixed point.
+        canonical: Vec<u8>,
+    },
+}
+
+/// One fuzzable decoder.
+pub trait FuzzTarget {
+    /// Registry name (also the corpus subdirectory under `fuzz/corpus/`).
+    fn name(&self) -> &'static str;
+    /// Structural tokens for the mutation engine.
+    fn dictionary(&self) -> &'static [&'static [u8]];
+    /// Built-in seed inputs (all must be accepted).
+    fn seeds(&self) -> Vec<Vec<u8>>;
+    /// Feeds `input` to the decoder. Must return, never unwind — the
+    /// runner treats a caught panic as a finding.
+    fn run(&self, input: &[u8]) -> TargetOutcome;
+}
+
+/// Every registered target, in stable order.
+pub fn registry() -> Vec<Box<dyn FuzzTarget>> {
+    vec![
+        Box::new(CsvTarget),
+        Box::new(ExchangeTarget),
+        Box::new(EnvelopeTarget),
+    ]
+}
+
+/// Looks a target up by its registry name.
+pub fn by_name(name: &str) -> Option<Box<dyn FuzzTarget>> {
+    registry().into_iter().find(|t| t.name() == name)
+}
+
+/// CSV ingest: [`mp_relation::csv::read_str`] under default options,
+/// canonicalised by [`mp_relation::csv::write_str`].
+pub struct CsvTarget;
+
+impl FuzzTarget for CsvTarget {
+    fn name(&self) -> &'static str {
+        "csv"
+    }
+
+    fn dictionary(&self) -> &'static [&'static [u8]] {
+        &[
+            b",",
+            b"\"",
+            b"\"\"",
+            b"\n",
+            b"\r\n",
+            b"\r",
+            b"?",
+            b"NA",
+            b"\xEF\xBB\xBF",
+            b"-1",
+            b"2.5",
+            b"1e308",
+        ]
+    }
+
+    fn seeds(&self) -> Vec<Vec<u8>> {
+        vec![
+            b"name,age\nalice,18\nbob,22\n".to_vec(),
+            b"a,b,c\n1,2.5,x\n?,NA,\"q,uoted\"\n".to_vec(),
+            b"x,y\r\n\"multi\nline\",2\r\n\"esc\"\"aped\",3\r\n".to_vec(),
+            b"only\n1\n2\n3\n".to_vec(),
+        ]
+    }
+
+    fn run(&self, input: &[u8]) -> TargetOutcome {
+        let Ok(text) = std::str::from_utf8(input) else {
+            return TargetOutcome::Rejected {
+                error: "input is not UTF-8".to_owned(),
+            };
+        };
+        match csv::read_str(text, &CsvOptions::default()) {
+            Err(e) => TargetOutcome::Rejected {
+                error: e.to_string(),
+            },
+            Ok(rel) => TargetOutcome::Accepted {
+                canonical: csv::write_str(&rel).into_bytes(),
+            },
+        }
+    }
+}
+
+/// Exchange-package deserialization:
+/// [`mp_metadata::MetadataPackage::from_json`], canonicalised by
+/// [`MetadataPackage::to_json`].
+pub struct ExchangeTarget;
+
+impl FuzzTarget for ExchangeTarget {
+    fn name(&self) -> &'static str {
+        "exchange"
+    }
+
+    fn dictionary(&self) -> &'static [&'static [u8]] {
+        &[
+            b"{",
+            b"}",
+            b"[",
+            b"]",
+            b":",
+            b",",
+            b"\"format_version\"",
+            b"\"party\"",
+            b"\"attributes\"",
+            b"\"dependencies\"",
+            b"\"n_rows\"",
+            b"\"name\"",
+            b"\"kind\"",
+            b"\"domain\"",
+            b"\"distribution\"",
+            b"null",
+            b"true",
+            b"false",
+            b"0",
+            b"-1",
+            b"1e308",
+            b"99",
+            b"\\u0000",
+        ]
+    }
+
+    fn seeds(&self) -> Vec<Vec<u8>> {
+        sample_packages()
+            .into_iter()
+            .map(|p| p.to_json().into_bytes())
+            .collect()
+    }
+
+    fn run(&self, input: &[u8]) -> TargetOutcome {
+        let Ok(text) = std::str::from_utf8(input) else {
+            return TargetOutcome::Rejected {
+                error: "input is not UTF-8".to_owned(),
+            };
+        };
+        match MetadataPackage::from_json(text) {
+            Err(e) => TargetOutcome::Rejected {
+                error: e.to_string(),
+            },
+            Ok(pkg) => TargetOutcome::Accepted {
+                canonical: pkg.to_json().into_bytes(),
+            },
+        }
+    }
+}
+
+/// Wire-envelope decoding: [`Envelope::decode`], canonicalised by
+/// [`Envelope::encode`].
+pub struct EnvelopeTarget;
+
+impl FuzzTarget for EnvelopeTarget {
+    fn name(&self) -> &'static str {
+        "envelope"
+    }
+
+    fn dictionary(&self) -> &'static [&'static [u8]] {
+        &[
+            b"MP",
+            &[0x01],
+            &[0x02],
+            &[0x03],
+            &[0x00, 0x00, 0x00, 0x00],
+            &[0xFF, 0xFF, 0xFF, 0xFF],
+            &[0xFF; 8],
+            b"{\"party\":\"p\"}",
+        ]
+    }
+
+    fn seeds(&self) -> Vec<Vec<u8>> {
+        sample_envelopes().iter().map(Envelope::encode).collect()
+    }
+
+    fn run(&self, input: &[u8]) -> TargetOutcome {
+        match Envelope::decode(input) {
+            Err(e) => TargetOutcome::Rejected {
+                error: wire_error_label(&e),
+            },
+            Ok(env) => TargetOutcome::Accepted {
+                canonical: env.encode(),
+            },
+        }
+    }
+}
+
+/// Collapses a [`WireError`] to its variant label: the payload of e.g.
+/// `UnexpectedEof` varies with every truncation point, and a signature
+/// per offset would flood the corpus with equivalent rejections.
+fn wire_error_label(e: &WireError) -> String {
+    match e {
+        WireError::UnexpectedEof { .. } => "unexpected EOF".to_owned(),
+        WireError::BadMagic => "bad magic".to_owned(),
+        WireError::UnsupportedVersion { .. } => "unsupported version".to_owned(),
+        WireError::BadTag { .. } => "bad tag".to_owned(),
+        WireError::Oversized { .. } => "oversized length".to_owned(),
+        WireError::BadUtf8 { .. } => "bad utf-8".to_owned(),
+        WireError::Package(_) => "bad package".to_owned(),
+        WireError::TrailingBytes { .. } => "trailing bytes".to_owned(),
+    }
+}
+
+/// Small valid packages used as exchange seeds and envelope payloads.
+fn sample_packages() -> Vec<MetadataPackage> {
+    let schema = Schema::new(vec![
+        Attribute::categorical("id"),
+        Attribute::continuous("amount"),
+    ])
+    .expect("static schema is valid");
+    let rel = Relation::from_rows(
+        schema,
+        vec![
+            vec![Value::Text("u1".into()), Value::Float(10.0)],
+            vec![Value::Text("u2".into()), Value::Float(-2.5)],
+        ],
+    )
+    .expect("static rows fit the schema");
+    let full = MetadataPackage::describe("bank", &rel, vec![Fd::new(0usize, 1).into()])
+        .expect("describe on a static relation succeeds");
+    let mut legacy = full.clone();
+    legacy.format_version = None;
+    legacy.party = "legacy".to_owned();
+    vec![full, legacy]
+}
+
+/// One valid envelope per payload kind.
+fn sample_envelopes() -> Vec<Envelope> {
+    let pkg = sample_packages().swap_remove(0);
+    vec![
+        Envelope {
+            id: MsgId(1),
+            from: 0,
+            to: 1,
+            payload: Payload::PsiDigests(vec![
+                mp_federated::psi::IdDigest::from_raw(0xDEAD_BEEF),
+                mp_federated::psi::IdDigest::from_raw(42),
+            ]),
+        },
+        Envelope {
+            id: MsgId(2),
+            from: 1,
+            to: 0,
+            payload: Payload::Metadata(Box::new(pkg)),
+        },
+        Envelope {
+            id: MsgId(3),
+            from: 0,
+            to: 1,
+            payload: Payload::Ack(MsgId(2)),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_stable_and_unique() {
+        let names: Vec<&str> = registry().iter().map(|t| t.name()).collect();
+        assert_eq!(names, vec!["csv", "exchange", "envelope"]);
+        assert!(by_name("csv").is_some());
+        assert!(by_name("nonsense").is_none());
+    }
+
+    #[test]
+    fn every_seed_is_accepted_and_canonical() {
+        for target in registry() {
+            let seeds = target.seeds();
+            assert!(!seeds.is_empty(), "{} has no seeds", target.name());
+            for (i, seed) in seeds.iter().enumerate() {
+                match target.run(seed) {
+                    TargetOutcome::Accepted { canonical } => {
+                        // Canonical form is a fixed point of decode/encode.
+                        match target.run(&canonical) {
+                            TargetOutcome::Accepted { canonical: again } => assert_eq!(
+                                canonical,
+                                again,
+                                "{} seed {i} canonical form is not a fixed point",
+                                target.name()
+                            ),
+                            TargetOutcome::Rejected { error } => panic!(
+                                "{} seed {i} canonical form rejected: {error}",
+                                target.name()
+                            ),
+                        }
+                    }
+                    TargetOutcome::Rejected { error } => {
+                        panic!("{} seed {i} rejected: {error}", target.name())
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected_not_panics() {
+        let cases: &[(&str, &[u8])] = &[
+            ("csv", b"a,b\n1\n"),
+            ("csv", b"\xFF\xFE"),
+            ("exchange", b"{\"party\": 3}"),
+            ("exchange", b"not json"),
+            ("envelope", b"XX whatever"),
+            ("envelope", b""),
+        ];
+        for (name, input) in cases {
+            let target = by_name(name).expect("registered");
+            assert!(
+                matches!(target.run(input), TargetOutcome::Rejected { .. }),
+                "{name} accepted malformed input {input:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Corpus replay as plain tests: every committed seed and regression
+//! input must uphold the full target contract (no panic, typed errors
+//! only, canonical round-trip fixed point) on every CI run — no fuzzing
+//! budget involved.
+
+use mp_fuzz::{check_input, corpus_root, load_corpus_dir, registry};
+
+#[test]
+fn committed_corpus_replays_clean() {
+    let mut replayed = 0usize;
+    for target in registry() {
+        for dir in [
+            corpus_root().join(target.name()),
+            corpus_root().join("regressions").join(target.name()),
+        ] {
+            for (name, bytes) in load_corpus_dir(&dir).expect("corpus dir readable") {
+                if let Err(finding) = check_input(target.as_ref(), &bytes) {
+                    panic!(
+                        "regression {}/{name} violates the {} contract: {finding:?}",
+                        dir.display(),
+                        target.name()
+                    );
+                }
+                replayed += 1;
+            }
+        }
+    }
+    assert!(
+        replayed >= 12,
+        "expected the committed corpus (seeds + regressions), replayed only {replayed}"
+    );
+}
+
+#[test]
+fn built_in_seeds_replay_clean() {
+    for target in registry() {
+        for (i, seed) in target.seeds().iter().enumerate() {
+            assert!(
+                check_input(target.as_ref(), seed).is_ok(),
+                "{} built-in seed {i} violates the contract",
+                target.name()
+            );
+        }
+    }
+}

@@ -14,6 +14,42 @@ use crate::graph::DependencyGraph;
 use mp_relation::{AttrKind, Domain, Relation, Result};
 use serde::{Deserialize, Serialize};
 
+/// The wire-format version written by [`MetadataPackage::to_json`].
+///
+/// Decoding accepts packages carrying this version or none at all
+/// (pre-versioning packages); anything else is an
+/// [`ExchangeError::UnsupportedVersion`], so a future incompatible format
+/// fails loudly instead of being half-parsed.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Errors decoding a metadata exchange package.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExchangeError {
+    /// The JSON itself was malformed or did not match the package schema.
+    Json(String),
+    /// The package declares a wire-format version this build cannot read.
+    UnsupportedVersion {
+        /// Version declared by the package.
+        found: u32,
+        /// Version this build reads and writes.
+        supported: u32,
+    },
+}
+
+impl std::fmt::Display for ExchangeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExchangeError::Json(msg) => write!(f, "malformed metadata package: {msg}"),
+            ExchangeError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported package format version {found} (this build reads version {supported})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExchangeError {}
+
 /// Metadata shared about a single attribute.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AttributeMeta {
@@ -34,6 +70,10 @@ pub struct AttributeMeta {
 /// Everything one party shares about its relation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetadataPackage {
+    /// Wire-format version ([`FORMAT_VERSION`]); `None` on packages from
+    /// builds that predate versioning, which decode identically.
+    #[serde(default)]
+    pub format_version: Option<u32>,
     /// Identifier of the sharing party (e.g. `"bank"`).
     pub party: String,
     /// Per-attribute metadata, in schema order.
@@ -65,6 +105,7 @@ impl MetadataPackage {
             });
         }
         Ok(Self {
+            format_version: Some(FORMAT_VERSION),
             party: party.into(),
             attributes,
             dependencies,
@@ -111,12 +152,24 @@ impl MetadataPackage {
 
     /// Serialises to JSON (the exchange wire format).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("metadata packages always serialise")
+        // The vendored serializer is total over the Content tree, so the
+        // Err arm is unreachable; mapping it to the empty string keeps
+        // this encoder panic-free (it is a fuzz target).
+        serde_json::to_string_pretty(self).unwrap_or_default()
     }
 
-    /// Deserialises from JSON.
-    pub fn from_json(json: &str) -> std::result::Result<Self, serde_json::Error> {
-        serde_json::from_str(json)
+    /// Deserialises from JSON, rejecting packages whose declared
+    /// [`format_version`](Self::format_version) this build cannot read.
+    pub fn from_json(json: &str) -> std::result::Result<Self, ExchangeError> {
+        let pkg: Self =
+            serde_json::from_str(json).map_err(|e| ExchangeError::Json(e.to_string()))?;
+        match pkg.format_version {
+            None | Some(FORMAT_VERSION) => Ok(pkg),
+            Some(found) => Err(ExchangeError::UnsupportedVersion {
+                found,
+                supported: FORMAT_VERSION,
+            }),
+        }
     }
 
     /// `true` if any attribute's domain is shared — per the paper's
@@ -175,6 +228,59 @@ mod tests {
         let json = pkg.to_json();
         let back = MetadataPackage::from_json(&json).unwrap();
         assert_eq!(back, pkg);
+    }
+
+    #[test]
+    fn version_tagged_and_legacy_packages_decode() {
+        let pkg =
+            MetadataPackage::describe("bank", &rel(), vec![Fd::new(0usize, 1).into()]).unwrap();
+        assert_eq!(pkg.format_version, Some(FORMAT_VERSION));
+        // A pre-versioning package (no format_version key) still decodes.
+        let legacy = r#"{"party": "old", "attributes": [], "dependencies": [], "n_rows": null}"#;
+        let back = MetadataPackage::from_json(legacy).unwrap();
+        assert_eq!(back.format_version, None);
+        assert_eq!(back.party, "old");
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        let pkg =
+            MetadataPackage::describe("bank", &rel(), vec![Fd::new(0usize, 1).into()]).unwrap();
+        let json = pkg.to_json().replace(
+            &format!("\"format_version\": {FORMAT_VERSION}"),
+            "\"format_version\": 99",
+        );
+        match MetadataPackage::from_json(&json) {
+            Err(ExchangeError::UnsupportedVersion { found: 99, .. }) => {}
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_and_duplicate_key_packages_are_rejected() {
+        let pkg =
+            MetadataPackage::describe("bank", &rel(), vec![Fd::new(0usize, 1).into()]).unwrap();
+        let json = pkg.to_json();
+        // Truncation at any prefix must be a typed error, never a panic.
+        for cut in [0, 1, json.len() / 2, json.len() - 1] {
+            assert!(
+                matches!(
+                    MetadataPackage::from_json(&json[..cut]),
+                    Err(ExchangeError::Json(_))
+                ),
+                "truncation at byte {cut} must be rejected"
+            );
+        }
+        // A duplicated key cannot smuggle a second, conflicting value.
+        let dup = json.replacen(
+            "\"party\": \"bank\"",
+            "\"party\": \"bank\", \"party\": \"evil\"",
+            1,
+        );
+        match MetadataPackage::from_json(&dup) {
+            Err(ExchangeError::Json(msg)) => assert!(msg.contains("duplicate")),
+            other => panic!("expected duplicate-key rejection, got {other:?}"),
+        }
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub use dependency::{
     OrderedFd,
 };
 pub use distribution::Distribution;
-pub use exchange::{AttributeMeta, MetadataPackage};
+pub use exchange::{AttributeMeta, ExchangeError, MetadataPackage, FORMAT_VERSION};
 pub use generalization::DomainGeneralization;
 pub use graph::{DependencyGraph, PlanStep};
 pub use inference::FdSet;

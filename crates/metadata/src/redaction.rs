@@ -98,6 +98,7 @@ impl SharePolicy {
             .cloned()
             .collect();
         MetadataPackage {
+            format_version: pkg.format_version,
             party: pkg.party.clone(),
             attributes,
             dependencies,

@@ -206,4 +206,72 @@ proptest! {
         let back = MetadataPackage::from_json(&pkg.to_json()).unwrap();
         prop_assert_eq!(back, pkg);
     }
+
+    /// JSON whitespace between tokens is not part of the exchange format:
+    /// any amount of it may be inserted without changing what the package
+    /// *means*, and re-serialising must reproduce the canonical bytes
+    /// exactly.
+    #[test]
+    fn whitespace_perturbed_package_reserialises_byte_identically(
+        dists_on in any::<bool>(),
+        inserts in prop::collection::vec(
+            (0usize..100_000, 0usize..4),
+            1..64,
+        ),
+    ) {
+        let rel = Relation::from_rows(
+            Schema::new(vec![
+                Attribute::categorical("c"),
+                Attribute::continuous("x"),
+            ]).unwrap(),
+            vec![vec!["a".into(), 1.5.into()], vec!["b".into(), 2.5.into()]],
+        ).unwrap();
+        let deps = vec![Dependency::from(Fd::new(0usize, 1))];
+        let pkg = if dists_on {
+            MetadataPackage::describe_with_distributions("p", &rel, deps, 3).unwrap()
+        } else {
+            MetadataPackage::describe("p", &rel, deps).unwrap()
+        };
+        let json = pkg.to_json();
+        let bytes = json.as_bytes();
+        // Insertion points that cannot change meaning: adjacent to a
+        // structural character or existing whitespace, outside string
+        // literals (inserting inside a string or number atom would).
+        let mut legal: Vec<usize> = Vec::new();
+        let mut in_str = false;
+        let mut esc = false;
+        let is_safe = |b: u8| b.is_ascii_whitespace() || b"{}[],:".contains(&b);
+        for i in 0..=bytes.len() {
+            let prev_ok = i > 0 && is_safe(bytes[i - 1]);
+            let next_ok = i < bytes.len() && is_safe(bytes[i]);
+            if !in_str && (prev_ok || next_ok || i == 0 || i == bytes.len()) {
+                legal.push(i);
+            }
+            if i < bytes.len() {
+                match (in_str, esc, bytes[i]) {
+                    (true, true, _) => esc = false,
+                    (true, false, b'\\') => esc = true,
+                    (true, false, b'"') => in_str = false,
+                    (false, _, b'"') => in_str = true,
+                    _ => {}
+                }
+            }
+        }
+        let ws = [b' ', b'\t', b'\n', b'\r'];
+        let mut at: Vec<(usize, u8)> = inserts
+            .iter()
+            .map(|(ix, w)| (legal[ix % legal.len()], ws[*w]))
+            .collect();
+        at.sort_by_key(|&(pos, _)| std::cmp::Reverse(pos));
+        let mut mutated = bytes.to_vec();
+        for (pos, b) in at {
+            mutated.insert(pos, b);
+        }
+        let mutated = String::from_utf8(mutated).unwrap();
+        prop_assert!(mutated != json, "perturbation inserted nothing");
+        let back = MetadataPackage::from_json(&mutated).unwrap();
+        let reserialised = back.to_json();
+        prop_assert_eq!(reserialised.as_bytes(), bytes);
+        prop_assert_eq!(back, pkg);
+    }
 }

@@ -51,14 +51,21 @@ impl CsvOptions {
 /// Splits raw CSV text into records of string fields.
 ///
 /// Handles quoted fields (including embedded delimiters, escaped quotes and
-/// embedded newlines). Returns an error with a 1-based line number on an
-/// unterminated quote.
+/// embedded newlines), strips a leading UTF-8 BOM, and accepts `\n` or
+/// `\r\n` record terminators. Malformed input — a bare `\r` outside quotes
+/// or a quote left open at end of input — is a typed error (with the
+/// 1-based line number where the offence *started*), never a silent
+/// misparse.
 pub fn parse_records(text: &str, delimiter: char) -> Result<Vec<Vec<String>>> {
+    // Spreadsheet exports routinely prefix a UTF-8 BOM; left in place it
+    // would silently corrupt the first header name ("\u{FEFF}name").
+    let text = text.strip_prefix('\u{FEFF}').unwrap_or(text);
     let mut records = Vec::new();
     let mut record: Vec<String> = Vec::new();
     let mut field = String::new();
     let mut in_quotes = false;
     let mut line = 1usize;
+    let mut quote_opened_at = 1usize;
     let mut chars = text.chars().peekable();
     let mut any = false;
 
@@ -82,8 +89,26 @@ pub fn parse_records(text: &str, delimiter: char) -> Result<Vec<Vec<String>>> {
             }
         } else {
             match c {
-                '"' => in_quotes = true,
-                '\r' => {} // tolerate CRLF
+                '"' => {
+                    in_quotes = true;
+                    quote_opened_at = line;
+                }
+                '\r' => {
+                    // Only as part of a CRLF terminator; a bare CR would
+                    // previously vanish, silently gluing two fields
+                    // together.
+                    if chars.peek() == Some(&'\n') {
+                        chars.next();
+                        line += 1;
+                        record.push(std::mem::take(&mut field));
+                        records.push(std::mem::take(&mut record));
+                    } else {
+                        return Err(RelationError::Csv {
+                            line,
+                            message: "bare CR line ending (expected \\n or \\r\\n)".into(),
+                        });
+                    }
+                }
                 '\n' => {
                     line += 1;
                     record.push(std::mem::take(&mut field));
@@ -96,8 +121,10 @@ pub fn parse_records(text: &str, delimiter: char) -> Result<Vec<Vec<String>>> {
     }
     if in_quotes {
         return Err(RelationError::Csv {
-            line,
-            message: "unterminated quoted field".into(),
+            line: quote_opened_at,
+            message: format!(
+                "unterminated quoted field (opened at line {quote_opened_at}, still open at end of input)"
+            ),
         });
     }
     if any && (!field.is_empty() || !record.is_empty()) {
@@ -122,7 +149,9 @@ fn parse_field(field: &str, null_tokens: &[String]) -> Value {
     // must stay text, or text columns containing them would not round-trip.
     if let Ok(f) = trimmed.parse::<f64>() {
         if f.is_finite() {
-            return Value::Float(f);
+            // `-0.0` would display as "-0", which re-reads as integer 0;
+            // normalise so serialisation is a byte-stable fixed point.
+            return Value::Float(if f == 0.0 { 0.0 } else { f });
         }
     }
     Value::Text(trimmed.to_owned())
@@ -300,7 +329,10 @@ pub fn write_path(relation: &Relation, path: impl AsRef<Path>) -> Result<()> {
 }
 
 fn escape(field: &str) -> String {
-    if field.contains([',', '"', '\n']) {
+    // `\r` must be quoted or the reader sees a bare-CR framing error; a
+    // leading U+FEFF must be quoted or the reader's BOM strip would eat
+    // it when the field opens the file.
+    if field.contains([',', '"', '\n', '\r']) || field.starts_with('\u{FEFF}') {
         format!("\"{}\"", field.replace('"', "\"\""))
     } else {
         field.to_owned()
@@ -473,12 +505,89 @@ NaN
     }
 
     #[test]
+    fn utf8_bom_is_stripped_from_header() {
+        let r = read_str("\u{FEFF}name,age\nAlice,18\n", &CsvOptions::default()).unwrap();
+        assert_eq!(r.schema().attribute(0).unwrap().name, "name");
+        assert!(r.column_by_name("name").is_ok());
+        // A BOM later in the file is ordinary content, not a marker.
+        let r = read_str("a\n\u{FEFF}\n", &CsvOptions::default()).unwrap();
+        assert_eq!(
+            r.column(0).unwrap().value(0),
+            Value::Text("\u{FEFF}".into())
+        );
+    }
+
+    #[test]
+    fn bare_cr_is_a_typed_error_not_a_silent_merge() {
+        // Before hardening, the CR vanished and `1\r2` parsed as `12`.
+        let err = read_str("a\n1\r2\n", &CsvOptions::default()).unwrap_err();
+        match err {
+            RelationError::Csv { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("bare CR"));
+            }
+            other => panic!("expected Csv error, got {other}"),
+        }
+        // Classic Mac line endings (CR-only) are rejected the same way.
+        assert!(read_str("a\r1\r", &CsvOptions::default()).is_err());
+    }
+
+    #[test]
+    fn unterminated_quote_at_eof_reports_opening_line() {
+        let err = read_str("a,b\n1,2\n\"oops,3\n", &CsvOptions::default()).unwrap_err();
+        match err {
+            RelationError::Csv { line, message } => {
+                assert_eq!(line, 3, "error points at the line the quote opened on");
+                assert!(message.contains("unterminated"));
+            }
+            other => panic!("expected Csv error, got {other}"),
+        }
+        // Quote open at the very last byte, no trailing newline.
+        assert!(read_str("a\n\"", &CsvOptions::default()).is_err());
+    }
+
+    #[test]
+    fn ragged_trailing_row_rejected_with_line_number() {
+        // Last record short, with and without a final newline.
+        for text in ["a,b\n1,2\n3\n", "a,b\n1,2\n3"] {
+            let err = read_str(text, &CsvOptions::default()).unwrap_err();
+            match err {
+                RelationError::Csv { line, message } => {
+                    assert_eq!(line, 3);
+                    assert!(message.contains("expected 2 fields"));
+                }
+                other => panic!("expected Csv error, got {other}"),
+            }
+        }
+        // Trailing record with too many fields is equally typed.
+        assert!(read_str("a,b\n1,2\n3,4,5\n", &CsvOptions::default()).is_err());
+    }
+
+    #[test]
     fn roundtrip() {
         let csv = "name,age\n\"Smith, J\",18\nBob,?\n";
         let r = read_str(csv, &CsvOptions::default()).unwrap();
         let out = write_str(&r);
         let r2 = read_str(&out, &CsvOptions::default()).unwrap();
         assert_eq!(r, r2);
+    }
+
+    /// Canonical fixed point: `write(read(x))` must re-read to bytes
+    /// identical to its own re-serialisation. Each case is a writer bug
+    /// the fuzzer found (see `fuzz/corpus/regressions/csv/`).
+    #[test]
+    fn writer_output_is_a_round_trip_fixed_point() {
+        for text in [
+            "h\n\"a\rb\"\n",      // CR inside a quoted field
+            "\"\u{FEFF}h\"\n1\n", // header name starting with a BOM
+            "x\n-0.0\n",          // -0.0 displays as "-0", re-reads as 0
+            "\"\r\"\n",           // header that IS a bare CR
+        ] {
+            let first = write_str(&read_str(text, &CsvOptions::default()).unwrap());
+            let again = read_str(&first, &CsvOptions::default())
+                .unwrap_or_else(|e| panic!("canonical form of {text:?} rejected: {e}"));
+            assert_eq!(write_str(&again), first, "not a fixed point for {text:?}");
+        }
     }
 
     #[test]

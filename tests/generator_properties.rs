@@ -17,6 +17,7 @@ fn package_strategy() -> impl Strategy<Value = (MetadataPackage, usize)> {
             _ => OrderedFd::new(0, 1).into(),
         };
         let pkg = MetadataPackage {
+            format_version: Some(metadata_privacy::metadata::FORMAT_VERSION),
             party: "p".into(),
             attributes: vec![
                 AttributeMeta {

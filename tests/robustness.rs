@@ -39,6 +39,7 @@ fn adversary_with_contradictory_metadata_stays_sane() {
     // Kind says continuous but the domain is categorical, and vice versa;
     // the adversary must still produce a typed relation.
     let pkg = MetadataPackage {
+        format_version: Some(metadata_privacy::metadata::FORMAT_VERSION),
         party: "chaos".into(),
         attributes: vec![
             AttributeMeta {

@@ -127,6 +127,18 @@ pub trait Deserialize: Sized {
     fn from_content(content: &Content) -> Result<Self, DeError>;
 }
 
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(content.clone())
+    }
+}
+
 // ---- primitive impls -------------------------------------------------
 
 macro_rules! impl_signed {

@@ -48,11 +48,19 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
     Ok(out)
 }
 
+/// Maximum nesting depth the parser accepts. Untrusted input such as
+/// `[[[[…` would otherwise recurse once per bracket and overflow the
+/// stack (an abort, not a catchable panic), so depth is bounded with a
+/// typed error instead. The workspace's metadata packages nest four or
+/// five levels deep; 128 leaves generous headroom.
+pub const MAX_DEPTH: usize = 128;
+
 /// Parses a value from JSON text.
 pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let content = p.parse_value()?;
@@ -159,6 +167,7 @@ fn write_content(c: &Content, out: &mut String, indent: Option<usize>, depth: us
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -310,12 +319,25 @@ impl<'a> Parser<'a> {
             .map_err(|_| Error::new(format!("bad number `{text}`")))
     }
 
+    fn enter(&mut self) -> Result<(), Error> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(Error::new(format!(
+                "nesting deeper than {MAX_DEPTH} levels at byte {}",
+                self.pos
+            )));
+        }
+        Ok(())
+    }
+
     fn parse_array(&mut self) -> Result<Content, Error> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Content::Seq(items));
         }
         loop {
@@ -327,6 +349,7 @@ impl<'a> Parser<'a> {
                 }
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Content::Seq(items));
                 }
                 _ => {
@@ -341,15 +364,23 @@ impl<'a> Parser<'a> {
 
     fn parse_object(&mut self) -> Result<Content, Error> {
         self.expect(b'{')?;
-        let mut entries = Vec::new();
+        self.enter()?;
+        let mut entries: Vec<(String, Content)> = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Content::Map(entries));
         }
         loop {
             self.skip_ws();
             let key = self.parse_string()?;
+            // Duplicate keys would silently resolve first-wins in
+            // `content_get`; reject them so a smuggled second value can
+            // never disagree with the one a reader observes.
+            if entries.iter().any(|(k, _)| *k == key) {
+                return Err(Error::new(format!("duplicate object key `{key}`")));
+            }
             self.skip_ws();
             self.expect(b':')?;
             let value = self.parse_value()?;
@@ -361,6 +392,7 @@ impl<'a> Parser<'a> {
                 }
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Content::Map(entries));
                 }
                 _ => {
@@ -412,6 +444,26 @@ mod tests {
         let pretty = to_string_pretty(&v).unwrap();
         assert!(pretty.contains('\n'));
         assert_eq!(from_str::<Vec<Vec<u8>>>(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn deep_nesting_is_a_typed_error_not_a_stack_overflow() {
+        let deep = "[".repeat(100_000);
+        let err = from_str::<Vec<u8>>(&deep).unwrap_err();
+        assert!(err.to_string().contains("nesting deeper"));
+        let deep_obj = "{\"k\":".repeat(100_000);
+        assert!(from_str::<bool>(&deep_obj).is_err());
+        // Depths at or under the cap still parse.
+        let ok = format!("{}{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(from_str::<serde::Content>(&ok).is_ok());
+    }
+
+    #[test]
+    fn duplicate_object_keys_are_rejected() {
+        let err = from_str::<serde::Content>(r#"{"a": 1, "a": 2}"#).unwrap_err();
+        assert!(err.to_string().contains("duplicate object key `a`"));
+        // Same key in sibling objects is fine.
+        assert!(from_str::<serde::Content>(r#"[{"a": 1}, {"a": 2}]"#).is_ok());
     }
 
     #[test]
