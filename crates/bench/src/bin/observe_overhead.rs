@@ -18,6 +18,7 @@
 use mp_datasets::all_classes_spec;
 use mp_discovery::{discover_fds_with, DiscoveryContext, ParallelConfig, TaneConfig};
 use mp_observe::{Recorder, Registry};
+use mp_relation::csv::{read_stream, read_stream_observed, write_str, CsvOptions};
 use mp_relation::Relation;
 use std::sync::Arc;
 use std::time::Instant;
@@ -40,6 +41,25 @@ fn timed_pass(rel: &Relation, config: &TaneConfig, recorder: Option<Arc<dyn Reco
 fn median(mut samples: Vec<u128>) -> u128 {
     samples.sort_unstable();
     samples[samples.len() / 2]
+}
+
+/// One chunked-ingest pass over in-memory CSV bytes, with or without a
+/// live recorder. Returns elapsed nanos; asserts observation passivity —
+/// the observed parse must produce a bit-identical relation.
+fn timed_ingest(text: &str, baseline: &Relation, recorder: Option<Arc<dyn Recorder>>) -> u128 {
+    let opts = CsvOptions::default();
+    let start = Instant::now();
+    let rel = match &recorder {
+        None => read_stream(text.as_bytes(), &opts),
+        Some(r) => read_stream_observed(text.as_bytes(), &opts, r.as_ref()),
+    }
+    .expect("ingest pass");
+    let elapsed = start.elapsed().as_nanos();
+    assert_eq!(
+        &rel, baseline,
+        "observed ingest must be passive (bit-identical relation)"
+    );
+    elapsed
 }
 
 fn main() {
@@ -84,8 +104,42 @@ fn main() {
          overhead:       {overhead_pct:>11.2} % (threshold {threshold_pct} %)"
     );
 
+    // Ingest passivity: the chunked CSV decoder with a live registry must
+    // stay within the same envelope, and (asserted inside the pass) must
+    // produce a bit-identical relation to the unobserved decoder.
+    let text = write_str(&rel);
+    let baseline = read_stream(text.as_bytes(), &CsvOptions::default()).expect("baseline parse");
+    let mut ingest_noop_ns = Vec::with_capacity(reps);
+    let mut ingest_live_ns = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        ingest_noop_ns.push(timed_ingest(&text, &baseline, None));
+        ingest_live_ns.push(timed_ingest(
+            &text,
+            &baseline,
+            Some(Arc::new(Registry::new()) as Arc<dyn Recorder>),
+        ));
+    }
+    let ingest_base = median(ingest_noop_ns);
+    let ingest_live = median(ingest_live_ns);
+    let ingest_pct = 100.0 * (ingest_live as f64 - ingest_base as f64) / ingest_base as f64;
+    println!(
+        "ingest passivity guard: {} CSV bytes\n\
+         noop ingest:    {ingest_base:>12} ns\n\
+         live ingest:    {ingest_live:>12} ns\n\
+         overhead:       {ingest_pct:>11.2} % (threshold {threshold_pct} %)",
+        text.len()
+    );
+
+    let mut failed = false;
     if overhead_pct > threshold_pct {
         eprintln!("FAIL: live metrics slow discovery by {overhead_pct:.2}% (> {threshold_pct}%)");
+        failed = true;
+    }
+    if ingest_pct > threshold_pct {
+        eprintln!("FAIL: live metrics slow ingest by {ingest_pct:.2}% (> {threshold_pct}%)");
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
     println!("OK");

@@ -1,0 +1,75 @@
+//! Million-row PLI construction bench: single-pass vs sharded.
+//!
+//! Generates the planted 7-column scale relation
+//! ([`mp_datasets::scale_relation`]) and times, per column, the
+//! single-pass [`Pli::from_typed`] build against the radix-sharded
+//! [`Pli::from_typed_sharded`] build, asserting on every column that the
+//! two produce bit-identical partitions. Print-only (no JSON) — the
+//! machine-readable scale record is written by the `discovery_1m` bin.
+//!
+//! Usage: `pli_build_1m [rows] [shards]` (defaults: 1000000, auto).
+
+use mp_relation::par::effective_threads;
+use mp_relation::Pli;
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let rows: usize = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1_000_000);
+    let shards: usize = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or_else(|| effective_threads(0).min(16));
+
+    let start = Instant::now();
+    let out = mp_datasets::scale_relation(rows, 7).expect("scale relation generates");
+    let rel = out.relation;
+    println!(
+        "generated {} x {} planted relation in {:.1} ms",
+        rel.n_rows(),
+        rel.arity(),
+        start.elapsed().as_secs_f64() * 1e3
+    );
+    println!(
+        "{:<12} {:>12} {:>12} {:>8}  (shards = {shards})",
+        "column", "single ms", "sharded ms", "speedup"
+    );
+
+    let mut total_single = 0.0;
+    let mut total_sharded = 0.0;
+    for a in 0..rel.arity() {
+        let col = rel.column(a).expect("column in range");
+        let name = &rel.schema().attribute(a).expect("attr in range").name;
+
+        let t = Instant::now();
+        let single = Pli::from_typed(col);
+        let single_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        let sharded = Pli::from_typed_sharded(col, shards);
+        let sharded_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        assert_eq!(
+            single, sharded,
+            "sharded PLI build diverged from single-pass on column {name}"
+        );
+        total_single += single_ms;
+        total_sharded += sharded_ms;
+        println!(
+            "{name:<12} {single_ms:>12.2} {sharded_ms:>12.2} {:>7.2}x",
+            single_ms / sharded_ms
+        );
+    }
+    println!(
+        "{:<12} {total_single:>12.2} {total_sharded:>12.2} {:>7.2}x",
+        "TOTAL",
+        total_single / total_sharded
+    );
+    println!(
+        "OK: all {} columns bit-identical across builds",
+        rel.arity()
+    );
+}

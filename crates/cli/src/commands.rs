@@ -4,7 +4,9 @@
 use mp_core::{
     identifiability_rate, k_anonymity, run_attack, uniqueness_profile, ExperimentConfig, TextTable,
 };
-use mp_discovery::{DependencyProfile, DiscoveryContext, ParallelConfig, ProfileConfig};
+use mp_discovery::{
+    DependencyProfile, DiscoveryContext, MemoryBudget, ParallelConfig, ProfileConfig,
+};
 use mp_federated::{
     check_invariants, model_check, simulate_setup_observed, small_world_session, CheckConfig,
     FaultPlan, MultiPartySession, Party, RetryConfig,
@@ -27,10 +29,17 @@ pub fn policy_by_name(name: &str) -> Result<SharePolicy, String> {
     }
 }
 
-/// `mpriv profile <csv>` — dependency discovery report, including the
-/// shared PLI-cache statistics of the discovery engine.
-pub fn profile(relation: &Relation) -> Result<String, String> {
-    profile_observed(relation, ParallelConfig::default(), Arc::new(NoopRecorder))
+/// `mpriv profile <csv> [--budget-mb N]` — dependency discovery report,
+/// including the shared PLI-cache statistics of the discovery engine. A
+/// limited [`MemoryBudget`] bounds the partition cache by estimated
+/// retained heap bytes (partitions spill and rebuild on demand).
+pub fn profile(relation: &Relation, budget: MemoryBudget) -> Result<String, String> {
+    profile_observed(
+        relation,
+        ParallelConfig::default(),
+        budget,
+        Arc::new(NoopRecorder),
+    )
 }
 
 /// [`profile`] with an explicit [`Recorder`]. Callers that collect
@@ -40,9 +49,10 @@ pub fn profile(relation: &Relation) -> Result<String, String> {
 pub fn profile_observed(
     relation: &Relation,
     parallel: ParallelConfig,
+    budget: MemoryBudget,
     recorder: Arc<dyn Recorder>,
 ) -> Result<String, String> {
-    let ctx = DiscoveryContext::instrumented(relation, parallel, recorder);
+    let ctx = DiscoveryContext::instrumented_with_budget(relation, parallel, budget, recorder);
     let profile = DependencyProfile::discover_with(&ctx, &ProfileConfig::paper())
         .map_err(|e| e.to_string())?;
     let stats = ctx.cache_stats();
@@ -352,10 +362,12 @@ pub fn help() -> String {
     "mpriv — metadata-privacy auditor (reproduction of 'Will Sharing Metadata Leak Privacy?', ICDE 2024)
 
 USAGE:
-  mpriv profile <csv> [--metrics-json out.json]
-      Discover FDs/AFDs/ODs/NDs/DDs/OFDs in the file. With
-      --metrics-json, also write a deterministic metrics snapshot
-      (PLI builds, cache traffic, per-pass spans) to the path.
+  mpriv profile <csv> [--budget-mb N] [--metrics-json out.json]
+      Discover FDs/AFDs/ODs/NDs/DDs/OFDs in the file. --budget-mb caps
+      the PLI cache at N MiB of estimated partition heap (0 = unlimited;
+      partitions spill and rebuild on demand). With --metrics-json, also
+      write a deterministic metrics snapshot (streaming-ingest chunks,
+      PLI builds, cache traffic, per-pass spans) to the path.
   mpriv audit <csv> [--policy names|domains|full|recommended] [--rounds N] [--epsilon E]
       Simulate the metadata synthesis attack the policy would enable.
   mpriv identifiability <csv> [--max-size K] [--qi i,j,k]
@@ -420,7 +432,7 @@ mod tests {
 
     #[test]
     fn profile_reports_dependencies() {
-        let out = profile(&sample()).unwrap();
+        let out = profile(&sample(), MemoryBudget::unlimited()).unwrap();
         assert!(out.contains("4 rows × 3 attributes"));
         assert!(out.contains("FD"));
         assert!(out.contains("name"));
@@ -434,6 +446,26 @@ mod tests {
             "columnar repr section missing: {out}"
         );
         assert!(out.contains("dict"), "dictionary repr missing: {out}");
+    }
+
+    #[test]
+    fn profile_budget_caps_cache_without_changing_dependencies() {
+        let unlimited = profile(&sample(), MemoryBudget::unlimited()).unwrap();
+        let budgeted = profile(&sample(), MemoryBudget::from_bytes(1)).unwrap();
+        assert!(unlimited.contains("budget unlimited"), "{unlimited}");
+        assert!(budgeted.contains("budget 1 B"), "{budgeted}");
+        let deps = |report: &str| -> Vec<String> {
+            report
+                .lines()
+                .filter(|l| l.contains("->"))
+                .map(str::to_owned)
+                .collect()
+        };
+        assert_eq!(
+            deps(&budgeted),
+            deps(&unlimited),
+            "a starved budget may cost rebuilds, never dependencies"
+        );
     }
 
     #[test]
@@ -465,7 +497,7 @@ mod tests {
     fn csv_roundtrip_through_commands() {
         let text = "a,b\nx,1\ny,2\nx,1\n";
         let rel = csv::read_str(text, &csv::CsvOptions::default()).unwrap();
-        assert!(profile(&rel).is_ok());
+        assert!(profile(&rel, MemoryBudget::unlimited()).is_ok());
         assert!(identifiability(&rel, 2, &[]).is_ok());
         let _ = Value::Null; // silence unused import in some cfgs
     }

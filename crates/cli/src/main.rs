@@ -53,21 +53,40 @@ fn run(argv: &[String]) -> Result<String, String> {
     let parsed = args::parse(argv)?;
     match parsed.command.as_str() {
         "profile" => {
-            let rel = load(parsed.positional(0, "csv")?)?;
+            let csv_path = parsed.positional(0, "csv")?;
+            let budget_mb = parsed.get_or("budget-mb", 0usize)?;
+            let budget = if budget_mb == 0 {
+                mp_discovery::MemoryBudget::unlimited()
+            } else {
+                mp_discovery::MemoryBudget::from_mb(budget_mb)
+            };
             match parsed.options.get("metrics-json") {
                 // Sequential: shared-cache hit/miss order is racy under a
                 // thread pool, and the snapshot must be byte-reproducible.
                 Some(path) => {
                     let registry = Arc::new(Registry::new());
+                    // Observed ingest: the streaming decoder's chunk/record
+                    // counters land in the same snapshot as the discovery
+                    // metrics.
+                    let rel = csv::read_path_observed(
+                        csv_path,
+                        &csv::CsvOptions::default(),
+                        registry.as_ref(),
+                    )
+                    .map_err(|e| format!("cannot read `{csv_path}`: {e}"))?;
                     let report = commands::profile_observed(
                         &rel,
                         mp_discovery::ParallelConfig::sequential(),
+                        budget,
                         registry.clone(),
                     )?;
                     write_metrics(&registry, path)?;
                     Ok(report)
                 }
-                None => commands::profile(&rel),
+                None => {
+                    let rel = load(csv_path)?;
+                    commands::profile(&rel, budget)
+                }
             }
         }
         "audit" => {

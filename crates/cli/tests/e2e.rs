@@ -44,6 +44,24 @@ fn profile_runs_on_csv() {
 }
 
 #[test]
+fn profile_accepts_memory_budget() {
+    let out = mpriv()
+        .arg("profile")
+        .arg(demo_csv())
+        .args(["--budget-mb", "1"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("budget 1048576 B"), "{text}");
+    assert!(text.contains("FD"));
+}
+
+#[test]
 fn audit_with_options() {
     let out = mpriv()
         .args(["audit"])

@@ -8,7 +8,9 @@
 //!   pattern of Tables III and IV;
 //! * [`fintech_scenario`] — the Figure 1 bank × e-commerce VFL scenario;
 //! * [`SyntheticSpec`] — configurable relations with planted FD/AFD/OD/ND
-//!   ground truth for discovery tests and benches.
+//!   ground truth for discovery tests and benches;
+//! * [`scale_relation`] — the same dependency classes generated straight
+//!   into typed columns, fast enough for million-row scale benches.
 
 #![warn(missing_docs)]
 
@@ -17,6 +19,7 @@ mod employee;
 mod fintech;
 mod generator;
 mod iris;
+mod scale;
 
 pub use echocardiogram::{
     echocardiogram, echocardiogram_schema, echocardiogram_with_seed, paper_inventory,
@@ -26,3 +29,4 @@ pub use employee::{attrs as employee_attrs, employee};
 pub use fintech::{fintech_scenario, FintechParty, FintechScenario};
 pub use generator::{all_classes_spec, ColumnSpec, SyntheticRelation, SyntheticSpec};
 pub use iris::{iris_attrs, iris_dependencies, iris_like, iris_like_with_seed, IRIS_ROWS};
+pub use scale::{scale_relation, SCALE_ARITY, SCALE_BASE_CARDINALITY};

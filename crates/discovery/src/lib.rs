@@ -30,7 +30,7 @@ mod tane;
 
 pub use cfd::{discover_cfds, CfdConfig};
 pub use dd::{discover_dds, discover_dds_with, tight_delta, DdConfig};
-pub use engine::{DiscoveryContext, ParallelConfig};
+pub use engine::{DiscoveryContext, MemoryBudget, ParallelConfig};
 pub use mfd::{
     discover_mfds, discover_sds, discover_variable_cfds, MfdConfig, SdConfig, VariableCfdConfig,
 };

@@ -11,7 +11,6 @@ use crate::engine::{DiscoveryContext, ParallelConfig};
 use mp_metadata::{AttrSet, Fd};
 use mp_relation::{Pli, Relation, Result};
 use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
 
 /// Limits and thresholds for FD discovery.
 #[derive(Debug, Clone)]
@@ -52,9 +51,18 @@ fn set_to_bits(s: &AttrSet) -> Bits {
     s.iter().fold(0, |acc, a| acc | bit(a))
 }
 
-/// One lattice node: the attribute set's PLI and its `C⁺` candidate set.
+/// One lattice node: its `C⁺` candidate set plus the only fact the
+/// traversal needs from the set's partition — whether it is a superkey.
+///
+/// Deliberately does *not* pin an `Arc<Pli>`: partitions live solely in
+/// the context's (byte-budgeted) cache, so a whole lattice level retains
+/// a few machine words per node instead of `O(n_rows)` each. Under
+/// memory pressure the cache spills partitions and the memoized
+/// intersection chain rebuilds them on demand — that spill/rebuild is
+/// what keeps million-row traversals inside a fixed [`MemoryBudget`]
+/// (`crate::MemoryBudget`).
 struct Node {
-    pli: Arc<Pli>,
+    is_key: bool,
     cplus: Bits,
 }
 
@@ -107,7 +115,13 @@ pub fn discover_fds_with(ctx: &DiscoveryContext<'_>, config: &TaneConfig) -> Res
     for a in 0..m {
         let pli = ctx.pli_of_single(a)?;
         rhs_sigs.push(pli.full_signature());
-        level.insert(AttrSet::single(a), Node { pli, cplus: all });
+        level.insert(
+            AttrSet::single(a),
+            Node {
+                is_key: pli.is_key(),
+                cplus: all,
+            },
+        );
     }
     let threshold_violations = (config.g3_threshold * n as f64).floor() as usize;
 
@@ -193,7 +207,7 @@ pub fn discover_fds_with(ctx: &DiscoveryContext<'_>, config: &TaneConfig) -> Res
         // independent, so they too run on the thread budget.
         let pruned: Vec<Result<Option<Vec<Fd>>>> = ctx.par_map(keys.clone(), |x| {
             let node = &level[&x];
-            if !node.pli.is_key() {
+            if !node.is_key {
                 return Ok(None);
             }
             let x_bits = set_to_bits(&x);
@@ -276,10 +290,18 @@ pub fn discover_fds_with(ctx: &DiscoveryContext<'_>, config: &TaneConfig) -> Res
             }
         }
         let sets: Vec<AttrSet> = joins.iter().map(|(u, _)| u.clone()).collect();
-        let plis: Vec<Result<Arc<Pli>>> = ctx.par_map(sets, |u| ctx.pli_of(&u));
+        // Only keyness is kept; the partitions themselves stay behind in
+        // the cache (or are dropped, if the memory budget spilled them).
+        let keyness: Vec<Result<bool>> = ctx.par_map(sets, |u| ctx.pli_of(&u).map(|p| p.is_key()));
         let mut next: HashMap<AttrSet, Node> = HashMap::new();
-        for ((union, cplus), pli) in joins.into_iter().zip(plis) {
-            next.insert(union, Node { pli: pli?, cplus });
+        for ((union, cplus), is_key) in joins.into_iter().zip(keyness) {
+            next.insert(
+                union,
+                Node {
+                    is_key: is_key?,
+                    cplus,
+                },
+            );
         }
         level = next;
         depth += 1;
@@ -544,13 +566,34 @@ mod tests {
             ParallelConfig {
                 threads: 4,
                 cache_capacity: 4096,
+                ..ParallelConfig::default()
             },
             ParallelConfig {
                 threads: 3,
                 cache_capacity: 8,
+                ..ParallelConfig::default()
             },
             ParallelConfig::uncached(4),
             ParallelConfig::uncached(1),
+            // Forced sharded single-column builds.
+            ParallelConfig {
+                threads: 4,
+                pli_shards: 7,
+                ..ParallelConfig::default()
+            },
+            // Starved byte budget: every level spills and rebuilds.
+            ParallelConfig {
+                threads: 2,
+                cache_budget_bytes: 512,
+                ..ParallelConfig::default()
+            },
+            // Byte budget of a single small partition.
+            ParallelConfig {
+                threads: 1,
+                cache_budget_bytes: 4096,
+                pli_shards: 3,
+                ..ParallelConfig::default()
+            },
         ] {
             let got = discover_fds(
                 &out.relation,

@@ -35,6 +35,7 @@ proptest! {
         let parallel = ParallelConfig {
             threads: 1,
             cache_capacity: cache_capacity.unwrap_or(0),
+        ..ParallelConfig::default()
         };
         let cached = DiscoveryContext::new(&rel, parallel);
         let reference = DiscoveryContext::new(&rel, ParallelConfig::uncached(1));
@@ -59,7 +60,7 @@ proptest! {
         // Cache hit (second request) must return the same Arc contents as
         // the miss that populated it, even after other sets evicted it.
         let rel = build(rows, 4);
-        let ctx = DiscoveryContext::new(&rel, ParallelConfig { threads: 1, cache_capacity: 2 });
+        let ctx = DiscoveryContext::new(&rel, ParallelConfig { threads: 1, cache_capacity: 2, ..ParallelConfig::default() });
         let set = AttrSet::from_iter(set.iter().copied());
         let first = ctx.pli_of(&set).unwrap();
         // Churn the tiny cache with every single-attribute partition.

@@ -4,7 +4,7 @@
 //! must account for exactly those evictions.
 
 use mp_discovery::{
-    discover_fds, discover_fds_naive, DiscoveryContext, ParallelConfig, TaneConfig,
+    discover_fds, discover_fds_naive, DiscoveryContext, MemoryBudget, ParallelConfig, TaneConfig,
 };
 use mp_metadata::{pli_of_set, AttrSet};
 
@@ -16,6 +16,7 @@ fn capacity_one_alternating_singletons_stay_bit_identical() {
         ParallelConfig {
             threads: 1,
             cache_capacity: 1,
+            ..ParallelConfig::default()
         },
     );
 
@@ -51,6 +52,7 @@ fn capacity_one_alternating_pairs_stay_bit_identical() {
         ParallelConfig {
             threads: 1,
             cache_capacity: 1,
+            ..ParallelConfig::default()
         },
     );
 
@@ -78,6 +80,84 @@ fn capacity_one_alternating_pairs_stay_bit_identical() {
 }
 
 #[test]
+fn starved_byte_budget_alternating_requests_stay_bit_identical() {
+    // The byte-budget analogue of the capacity-1 case: plenty of entry
+    // capacity, but a budget sized to the larger of two non-key singleton
+    // partitions, so the two can never be resident together — every insert
+    // after the first must spill through the budget, and the accounting must
+    // stay exact (never exceeding the budget).
+    let rel = mp_datasets::employee();
+    let sets = [AttrSet::from_iter([1usize]), AttrSet::from_iter([2usize])];
+    let sizes: Vec<usize> = sets
+        .iter()
+        .map(|s| pli_of_set(&rel, s).unwrap().heap_bytes())
+        .collect();
+    assert!(
+        sizes.iter().all(|&b| b > 0),
+        "both attributes must be non-keys so their partitions occupy bytes"
+    );
+    let budget = *sizes.iter().max().unwrap();
+    let ctx = DiscoveryContext::with_budget(
+        &rel,
+        ParallelConfig {
+            threads: 1,
+            cache_capacity: 4096,
+            ..ParallelConfig::default()
+        },
+        MemoryBudget::from_bytes(budget),
+    );
+    for i in 0..5 {
+        for set in &sets {
+            let got = ctx.pli_of(set).unwrap();
+            let direct = pli_of_set(&rel, set).unwrap();
+            assert_eq!(*got, direct, "round {i}, set {set:?}");
+            let stats = ctx.cache_stats();
+            assert!(
+                stats.bytes <= budget,
+                "round {i}: resident {} exceeds budget {budget}: {stats}",
+                stats.bytes
+            );
+        }
+    }
+    let stats = ctx.cache_stats();
+    assert_eq!(stats.budget_bytes, budget, "{stats}");
+    assert!(
+        stats.budget_evictions > 0,
+        "the starved budget must have forced evictions: {stats}"
+    );
+}
+
+#[test]
+fn byte_budgeted_discovery_output_matches_naive_oracle() {
+    // Full TANE under a starved byte budget (and sharded single-column
+    // builds) must reproduce the naive baseline exactly — spilling and
+    // rebuilding partitions may cost time, never correctness.
+    for rel in [mp_datasets::employee(), mp_datasets::echocardiogram()] {
+        let naive = discover_fds_naive(&rel, 2).unwrap();
+        let config = TaneConfig {
+            max_lhs: 2,
+            g3_threshold: 0.0,
+            parallel: ParallelConfig {
+                threads: 2,
+                cache_capacity: 4096,
+                cache_budget_bytes: 512,
+                pli_shards: 5,
+            },
+        };
+        let engine = discover_fds(&rel, &config).unwrap();
+        let canon = |fds: &[mp_metadata::Fd]| {
+            let mut v: Vec<(Vec<usize>, usize)> = fds
+                .iter()
+                .map(|f| (f.lhs.indices().to_vec(), f.rhs))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(canon(&engine), canon(&naive));
+    }
+}
+
+#[test]
 fn capacity_one_discovery_output_matches_naive_oracle() {
     // Full TANE under the thrashing cache must reproduce the naive
     // baseline exactly — eviction may cost time, never correctness.
@@ -89,6 +169,7 @@ fn capacity_one_discovery_output_matches_naive_oracle() {
             parallel: ParallelConfig {
                 threads: 2,
                 cache_capacity: 1,
+                ..ParallelConfig::default()
             },
         };
         let engine = discover_fds(&rel, &config).unwrap();

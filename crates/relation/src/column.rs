@@ -815,6 +815,101 @@ impl ColumnBuilder {
     }
 }
 
+/// Incremental, kind-*agnostic* builder of one typed column, for streaming
+/// ingest.
+///
+/// Unlike [`ColumnBuilder`], no homogeneity checking happens while rows
+/// arrive: a CSV column's attribute kind is only known once the whole
+/// column has been seen (or a `#kinds` row declared it up front), so kind
+/// validation is deferred to finalisation
+/// ([`Relation::from_typed_columns`](crate::Relation::from_typed_columns)
+/// runs the whole-column equivalent of the per-value checks). Promotion
+/// rules are exactly [`Column::push_value`]'s, and categorical appends use
+/// the same hashed dictionary fast path as [`ColumnBuilder`], so the
+/// finished column is identical to one built by pushing the same values
+/// through either path.
+///
+/// The builder also tracks whether any text and any numeric value was
+/// pushed — the two facts CSV kind inference and the mixed-column
+/// stringify pass need, gathered here so ingest never has to re-scan the
+/// column.
+#[derive(Debug, Clone, Default)]
+pub struct StreamingColumnBuilder {
+    column: Column,
+    dict_lookup: HashMap<String, u32>,
+    saw_text: bool,
+    saw_numeric: bool,
+}
+
+impl StreamingColumnBuilder {
+    /// Starts an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of rows pushed so far.
+    pub fn len(&self) -> usize {
+        self.column.len()
+    }
+
+    /// `true` when nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.column.is_empty()
+    }
+
+    /// `true` when any [`Value::Text`] was pushed.
+    pub fn saw_text(&self) -> bool {
+        self.saw_text
+    }
+
+    /// `true` when any non-null numeric ([`Value::Int`] / [`Value::Float`])
+    /// was pushed.
+    pub fn saw_numeric(&self) -> bool {
+        self.saw_numeric
+    }
+
+    /// Appends one value, promoting the physical layout as needed (see
+    /// [`Column::push_value`]).
+    pub fn push(&mut self, v: Value) {
+        match &v {
+            Value::Text(_) => self.saw_text = true,
+            Value::Int(_) | Value::Float(_) => self.saw_numeric = true,
+            Value::Null => {}
+        }
+        if let (Column::Categorical { dict, codes }, Value::Text(s)) = (&mut self.column, &v) {
+            // Fast dictionary path with the hash lookup.
+            let code = match self.dict_lookup.get(s.as_str()) {
+                Some(&c) => c,
+                None => {
+                    dict.push(s.clone());
+                    let c = dict.len() as u32;
+                    self.dict_lookup.insert(s.clone(), c);
+                    c
+                }
+            };
+            codes.push(code);
+            return;
+        }
+        self.column.push_value(v);
+        // The first text promotes the column to Categorical; seed the
+        // lookup so subsequent pushes take the fast path.
+        if let Column::Categorical { dict, .. } = &self.column {
+            if self.dict_lookup.len() != dict.len() {
+                self.dict_lookup = dict
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| (s.clone(), (i + 1) as u32))
+                    .collect();
+            }
+        }
+    }
+
+    /// Finishes the build.
+    pub fn finish(self) -> Column {
+        self.column
+    }
+}
+
 /// Checks a single value against the attribute kind and the column's
 /// established non-null type (the typed equivalent of the pre-columnar
 /// `check_value`).
@@ -1132,6 +1227,42 @@ mod tests {
         let b = col_from(Attribute::continuous("x"), &[Value::Float(2.5)]);
         a.extend_from(&b);
         assert_eq!(a.to_values(), vec![Value::Int(1), Value::Float(2.5)]);
+    }
+
+    #[test]
+    fn streaming_builder_matches_push_value_layouts() {
+        for vals in [
+            vec!["a".into(), Value::Null, "b".into(), "a".into()],
+            vec![Value::Int(1), Value::Float(2.5), Value::Null],
+            vec![Value::Null, Value::Null],
+            vec![Value::Int(i64::MAX), Value::Float(0.5)],
+            vec![Value::Null, "z".into(), Value::Int(3)],
+        ] {
+            let mut b = StreamingColumnBuilder::new();
+            for v in &vals {
+                b.push(v.clone());
+            }
+            assert_eq!(b.len(), vals.len());
+            let built = b.finish();
+            let mut plain = Column::default();
+            for v in &vals {
+                plain.push_value(v.clone());
+            }
+            assert_eq!(built.repr_name(), plain.repr_name(), "{vals:?}");
+            assert_eq!(built.to_values(), vals, "{vals:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_builder_tracks_text_and_numeric() {
+        let mut b = StreamingColumnBuilder::new();
+        assert!(!b.saw_text() && !b.saw_numeric() && b.is_empty());
+        b.push(Value::Null);
+        assert!(!b.saw_text() && !b.saw_numeric());
+        b.push(Value::Int(4));
+        assert!(b.saw_numeric() && !b.saw_text());
+        b.push("x".into());
+        assert!(b.saw_text() && b.saw_numeric());
     }
 
     #[test]

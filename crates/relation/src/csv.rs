@@ -4,12 +4,29 @@
 //! and the echocardiogram convention that `?` or an empty field is a
 //! missing value. Implemented in-repo to keep the dependency footprint to
 //! the crates the project brief allows.
+//!
+//! Ingest is *streaming*: [`read_path`] / [`read_stream`] decode the input
+//! in fixed-size chunks through an incremental record splitter straight
+//! into typed-column builders ([`crate::StreamingColumnBuilder`]), so peak
+//! memory is the typed columns plus one chunk — never the whole file as a
+//! `String` plus a boxed row copy. [`read_str`] runs the same machinery
+//! over a single in-memory chunk, which makes the two paths identical by
+//! construction: same `Relation`, same typed errors, independent of where
+//! chunk boundaries fall.
 
+use crate::column::StreamingColumnBuilder;
 use crate::error::{RelationError, Result};
 use crate::relation::Relation;
 use crate::schema::{AttrKind, Attribute, Schema};
 use crate::value::Value;
+use mp_observe::{Counter, Histogram, Recorder};
+use std::io::Read;
 use std::path::Path;
+
+/// Bytes decoded per [`read_stream`] chunk: large enough that dictionary
+/// interning dominates the chunking overhead, small enough that ingest
+/// memory stays flat regardless of file size.
+const CHUNK_BYTES: usize = 64 * 1024;
 
 /// Options controlling CSV parsing.
 #[derive(Debug, Clone)]
@@ -48,91 +65,184 @@ impl CsvOptions {
     }
 }
 
-/// Splits raw CSV text into records of string fields.
-///
-/// Handles quoted fields (including embedded delimiters, escaped quotes and
-/// embedded newlines), strips a leading UTF-8 BOM, and accepts `\n` or
-/// `\r\n` record terminators. Malformed input — a bare `\r` outside quotes
-/// or a quote left open at end of input — is a typed error (with the
-/// 1-based line number where the offence *started*), never a silent
-/// misparse.
-pub fn parse_records(text: &str, delimiter: char) -> Result<Vec<Vec<String>>> {
-    // Spreadsheet exports routinely prefix a UTF-8 BOM; left in place it
-    // would silently corrupt the first header name ("\u{FEFF}name").
-    let text = text.strip_prefix('\u{FEFF}').unwrap_or(text);
-    let mut records = Vec::new();
-    let mut record: Vec<String> = Vec::new();
-    let mut field = String::new();
-    let mut in_quotes = false;
-    let mut line = 1usize;
-    let mut quote_opened_at = 1usize;
-    let mut chars = text.chars().peekable();
-    let mut any = false;
+/// Lookahead carried across a chunk boundary: the previous character
+/// cannot be classified until the next one is seen — exactly the
+/// one-character peek the old whole-string parser got from `Peekable`,
+/// reified so scanning can pause at any byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pending {
+    /// No lookahead outstanding.
+    None,
+    /// A `"` seen inside a quoted field: a following `"` is an escaped
+    /// literal quote, anything else closes the field.
+    Quote,
+    /// A `\r` seen outside quotes: only a following `\n` terminates the
+    /// record; anything else is a bare-CR framing error.
+    Cr,
+}
 
-    while let Some(c) = chars.next() {
-        any = true;
-        if in_quotes {
-            match c {
-                '"' => {
-                    if chars.peek() == Some(&'"') {
-                        chars.next();
-                        field.push('"');
-                    } else {
-                        in_quotes = false;
-                    }
-                }
-                '\n' => {
-                    line += 1;
-                    field.push(c);
-                }
-                _ => field.push(c),
-            }
-        } else {
-            match c {
-                '"' => {
-                    in_quotes = true;
-                    quote_opened_at = line;
-                }
-                '\r' => {
-                    // Only as part of a CRLF terminator; a bare CR would
-                    // previously vanish, silently gluing two fields
-                    // together.
-                    if chars.peek() == Some(&'\n') {
-                        chars.next();
-                        line += 1;
-                        record.push(std::mem::take(&mut field));
-                        records.push(std::mem::take(&mut record));
-                    } else {
-                        return Err(RelationError::Csv {
-                            line,
-                            message: "bare CR line ending (expected \\n or \\r\\n)".into(),
-                        });
-                    }
-                }
-                '\n' => {
-                    line += 1;
-                    record.push(std::mem::take(&mut field));
-                    records.push(std::mem::take(&mut record));
-                }
-                c if c == delimiter => record.push(std::mem::take(&mut field)),
-                _ => field.push(c),
-            }
+/// Incremental CSV record splitter: text goes in as arbitrary chunks,
+/// complete records come out through a sink as soon as they close.
+///
+/// Handles quoted fields (including embedded delimiters, escaped quotes
+/// and embedded newlines), strips a leading UTF-8 BOM, and accepts `\n`
+/// or `\r\n` record terminators. Malformed input — a bare `\r` outside
+/// quotes or a quote left open at end of input — is a typed error (with
+/// the 1-based line number where the offence *started*), never a silent
+/// misparse. Fully-empty records (blank lines) are dropped before they
+/// reach the sink.
+#[derive(Debug)]
+struct RecordSplitter {
+    delimiter: char,
+    record: Vec<String>,
+    field: String,
+    in_quotes: bool,
+    line: usize,
+    quote_opened_at: usize,
+    /// Any character processed yet (after BOM stripping)?
+    any: bool,
+    pending: Pending,
+    /// Before the very first character, where a BOM is a marker rather
+    /// than content.
+    at_start: bool,
+}
+
+impl RecordSplitter {
+    fn new(delimiter: char) -> Self {
+        Self {
+            delimiter,
+            record: Vec::new(),
+            field: String::new(),
+            in_quotes: false,
+            line: 1,
+            quote_opened_at: 1,
+            any: false,
+            pending: Pending::None,
+            at_start: true,
         }
     }
-    if in_quotes {
-        return Err(RelationError::Csv {
-            line: quote_opened_at,
-            message: format!(
-                "unterminated quoted field (opened at line {quote_opened_at}, still open at end of input)"
-            ),
-        });
+
+    /// Closes the current record, dropping the single-empty-field records
+    /// blank lines produce.
+    fn end_record(&mut self, sink: &mut dyn FnMut(Vec<String>)) {
+        self.record.push(std::mem::take(&mut self.field));
+        let record = std::mem::take(&mut self.record);
+        if !matches!(record.as_slice(), [f] if f.is_empty()) {
+            sink(record);
+        }
     }
-    if any && (!field.is_empty() || !record.is_empty()) {
-        record.push(field);
-        records.push(record);
+
+    fn bare_cr(&self) -> RelationError {
+        RelationError::Csv {
+            line: self.line,
+            message: "bare CR line ending (expected \\n or \\r\\n)".into(),
+        }
     }
-    // Drop fully empty trailing records (e.g. file ends with blank line).
-    records.retain(|r| !matches!(r.as_slice(), [f] if f.is_empty()));
+
+    /// Scans one chunk. Framing errors surface eagerly; everything else
+    /// waits for [`finish`](Self::finish).
+    fn feed(&mut self, chunk: &str, sink: &mut dyn FnMut(Vec<String>)) -> Result<()> {
+        for c in chunk.chars() {
+            if self.at_start {
+                // Spreadsheet exports routinely prefix a UTF-8 BOM; left
+                // in place it would silently corrupt the first header
+                // name ("\u{FEFF}name").
+                self.at_start = false;
+                if c == '\u{FEFF}' {
+                    continue;
+                }
+            }
+            self.any = true;
+            match self.pending {
+                Pending::Quote => {
+                    self.pending = Pending::None;
+                    if c == '"' {
+                        self.field.push('"');
+                        continue;
+                    }
+                    // The quote closed the field; reprocess `c` unquoted.
+                    self.in_quotes = false;
+                }
+                Pending::Cr => {
+                    self.pending = Pending::None;
+                    if c == '\n' {
+                        self.line += 1;
+                        self.end_record(sink);
+                        continue;
+                    }
+                    // A bare CR would previously vanish, silently gluing
+                    // two fields together.
+                    return Err(self.bare_cr());
+                }
+                Pending::None => {}
+            }
+            if self.in_quotes {
+                match c {
+                    '"' => self.pending = Pending::Quote,
+                    '\n' => {
+                        self.line += 1;
+                        self.field.push(c);
+                    }
+                    _ => self.field.push(c),
+                }
+            } else {
+                match c {
+                    '"' => {
+                        self.in_quotes = true;
+                        self.quote_opened_at = self.line;
+                    }
+                    '\r' => self.pending = Pending::Cr,
+                    '\n' => {
+                        self.line += 1;
+                        self.end_record(sink);
+                    }
+                    c if c == self.delimiter => self.record.push(std::mem::take(&mut self.field)),
+                    _ => self.field.push(c),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes end-of-input state: resolves outstanding lookahead, rejects
+    /// unterminated quotes, and emits the final unterminated record.
+    fn finish(&mut self, sink: &mut dyn FnMut(Vec<String>)) -> Result<()> {
+        match self.pending {
+            Pending::Quote => {
+                // A quote as the very last character closes its field.
+                self.pending = Pending::None;
+                self.in_quotes = false;
+            }
+            Pending::Cr => return Err(self.bare_cr()),
+            Pending::None => {}
+        }
+        if self.in_quotes {
+            return Err(RelationError::Csv {
+                line: self.quote_opened_at,
+                message: format!(
+                    "unterminated quoted field (opened at line {}, still open at end of input)",
+                    self.quote_opened_at
+                ),
+            });
+        }
+        if self.any && (!self.field.is_empty() || !self.record.is_empty()) {
+            self.end_record(sink);
+        }
+        Ok(())
+    }
+}
+
+/// Splits raw CSV text into records of string fields.
+///
+/// One-shot wrapper over the incremental splitter (see `RecordSplitter`
+/// for the framing rules): the whole text is fed as a single chunk, so
+/// the result is identical to any chunked scan of the same bytes.
+pub fn parse_records(text: &str, delimiter: char) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut splitter = RecordSplitter::new(delimiter);
+    let mut sink = |r: Vec<String>| records.push(r);
+    splitter.feed(text, &mut sink)?;
+    splitter.finish(&mut sink)?;
     Ok(records)
 }
 
@@ -157,21 +267,212 @@ fn parse_field(field: &str, null_tokens: &[String]) -> Value {
     Value::Text(trimmed.to_owned())
 }
 
-/// Infers an [`AttrKind`] for a parsed column: all-numeric (ignoring nulls)
-/// columns become continuous, everything else categorical.
-fn infer_kind(column: &[Value]) -> AttrKind {
-    let mut saw_numeric = false;
-    for v in column {
-        match v {
-            Value::Null => {}
-            Value::Int(_) | Value::Float(_) => saw_numeric = true,
-            Value::Text(_) => return AttrKind::Categorical,
+/// Streaming record consumer: header and `#kinds` handling, ragged-row
+/// checks and incremental typed-column building, one record at a time.
+///
+/// Framing errors abort the scan eagerly (the splitter returns them);
+/// everything else — ragged rows, a malformed `#kinds` row — is
+/// *deferred*: the first one is recorded here and returned at
+/// finalisation only if the rest of the input framed cleanly. That
+/// reproduces the old two-phase parse-then-validate error precedence
+/// exactly: a framing error anywhere in the file outranks a row-shape
+/// error earlier in it.
+struct StreamIngest<'o> {
+    opts: &'o CsvOptions,
+    /// Attribute names; `Some` once the first record arrived.
+    names: Option<Vec<String>>,
+    arity: usize,
+    /// The next record may be the `#kinds` annotation row.
+    awaiting_kinds: bool,
+    declared_kinds: Option<Vec<AttrKind>>,
+    builders: Vec<StreamingColumnBuilder>,
+    /// Data records consumed so far (drives ragged-row line numbers).
+    data_rows: usize,
+    /// All records consumed so far (header and `#kinds` included).
+    records: u64,
+    deferred: Option<RelationError>,
+}
+
+impl<'o> StreamIngest<'o> {
+    fn new(opts: &'o CsvOptions) -> Self {
+        Self {
+            opts,
+            names: None,
+            arity: 0,
+            awaiting_kinds: false,
+            declared_kinds: None,
+            builders: Vec::new(),
+            data_rows: 0,
+            records: 0,
+            deferred: None,
         }
     }
-    if saw_numeric {
-        AttrKind::Continuous
-    } else {
-        AttrKind::Categorical
+
+    /// Records consumed so far (post blank-line filtering).
+    fn records_seen(&self) -> u64 {
+        self.records
+    }
+
+    fn accept(&mut self, record: Vec<String>) {
+        self.records += 1;
+        if self.names.is_none() {
+            self.arity = record.len();
+            self.builders = (0..self.arity)
+                .map(|_| StreamingColumnBuilder::new())
+                .collect();
+            if self.opts.has_header {
+                self.names = Some(record);
+                self.awaiting_kinds = self.opts.kind_row;
+                return;
+            }
+            // Headerless: names and arity come from the first record —
+            // even when that record turns out to be the `#kinds` row
+            // (matching the whole-file path, which synthesised names
+            // before removing it).
+            self.names = Some((0..self.arity).map(|i| format!("attr{i}")).collect());
+            if self.opts.kind_row && record.first().is_some_and(|f| f.starts_with("#kinds")) {
+                self.take_kinds(record);
+                return;
+            }
+            self.push_data(record);
+            return;
+        }
+        if self.awaiting_kinds {
+            self.awaiting_kinds = false;
+            if record.first().is_some_and(|f| f.starts_with("#kinds")) {
+                self.take_kinds(record);
+                return;
+            }
+        }
+        self.push_data(record);
+    }
+
+    /// Records the first non-framing error; later ones are shadowed.
+    fn defer(&mut self, err: RelationError) {
+        if self.deferred.is_none() {
+            self.deferred = Some(err);
+        }
+    }
+
+    /// Parses the `#kinds` annotation row (always reported as line 2, its
+    /// position in every format the writer emits).
+    fn take_kinds(&mut self, row: Vec<String>) {
+        if row.len() != self.arity {
+            self.defer(RelationError::Csv {
+                line: 2,
+                message: format!(
+                    "#kinds row has {} fields, expected {}",
+                    row.len(),
+                    self.arity
+                ),
+            });
+            return;
+        }
+        let parse_kind = |f: &str, c: usize| match f.trim() {
+            "categorical" => Ok(AttrKind::Categorical),
+            "continuous" => Ok(AttrKind::Continuous),
+            other => Err(RelationError::Csv {
+                line: 2,
+                message: format!("unknown kind `{other}` in #kinds field {c}"),
+            }),
+        };
+        // Field 0 carries the marker plus column 0's kind: `#kinds=<kind>`.
+        let first_kind = match row
+            .first()
+            .and_then(|f| f.strip_prefix("#kinds="))
+            .map(|k| parse_kind(k, 0))
+            .transpose()
+        {
+            Ok(k) => k.unwrap_or(AttrKind::Categorical),
+            Err(e) => {
+                self.defer(e);
+                return;
+            }
+        };
+        let mut kinds = Vec::with_capacity(self.arity);
+        kinds.push(first_kind);
+        for (c, f) in row.iter().enumerate().skip(1) {
+            match parse_kind(f, c) {
+                Ok(k) => kinds.push(k),
+                Err(e) => {
+                    self.defer(e);
+                    return;
+                }
+            }
+        }
+        self.declared_kinds = Some(kinds);
+    }
+
+    fn push_data(&mut self, record: Vec<String>) {
+        if self.deferred.is_some() {
+            // The result is already doomed; keep scanning only so later
+            // framing errors can take precedence.
+            return;
+        }
+        if record.len() != self.arity {
+            self.defer(RelationError::Csv {
+                line: self.data_rows + 1 + usize::from(self.opts.has_header),
+                message: format!("expected {} fields, found {}", self.arity, record.len()),
+            });
+            return;
+        }
+        for (builder, field) in self.builders.iter_mut().zip(&record) {
+            builder.push(parse_field(field, &self.opts.null_tokens));
+        }
+        self.data_rows += 1;
+    }
+
+    /// Resolves kinds, stringifies mixed categorical columns and builds
+    /// the relation.
+    fn finalize(self) -> Result<Relation> {
+        if let Some(err) = self.deferred {
+            return Err(err);
+        }
+        let Some(names) = self.names else {
+            return Err(RelationError::Csv {
+                line: 1,
+                message: "empty input".into(),
+            });
+        };
+        let declared = self.declared_kinds;
+        let mut attrs = Vec::with_capacity(self.arity);
+        let mut columns = Vec::with_capacity(self.arity);
+        for (i, (name, builder)) in names.into_iter().zip(self.builders).enumerate() {
+            // All-numeric (ignoring nulls) columns become continuous,
+            // everything else categorical — unless a `#kinds` row said
+            // otherwise.
+            let kind = declared
+                .as_ref()
+                .and_then(|ks| ks.get(i).copied())
+                .unwrap_or_else(|| {
+                    if !builder.saw_text() && builder.saw_numeric() {
+                        AttrKind::Continuous
+                    } else {
+                        AttrKind::Categorical
+                    }
+                });
+            // Mixed numeric/text columns were inferred (or declared)
+            // categorical; stringify the numerics so the column is
+            // homogeneous (e.g. an ID column of "1, 2, x").
+            let stringify =
+                kind == AttrKind::Categorical && builder.saw_text() && builder.saw_numeric();
+            let mut column = builder.finish();
+            if stringify {
+                let mut rebuilt = StreamingColumnBuilder::new();
+                for row in 0..column.len() {
+                    let v = column.value(row);
+                    if v.as_f64().is_some() {
+                        rebuilt.push(Value::Text(v.to_string()));
+                    } else {
+                        rebuilt.push(v);
+                    }
+                }
+                column = rebuilt.finish();
+            }
+            attrs.push(Attribute::new(name, kind));
+            columns.push(column);
+        }
+        Relation::from_typed_columns(Schema::new(attrs)?, columns)
     }
 }
 
@@ -180,102 +481,159 @@ fn infer_kind(column: &[Value]) -> AttrKind {
 /// If `opts.has_header` is false, attributes are named `attr0..attrN`
 /// (matching the paper's Table III/IV naming).
 pub fn read_str(text: &str, opts: &CsvOptions) -> Result<Relation> {
-    let mut records = parse_records(text, opts.delimiter)?;
-    if records.is_empty() {
-        return Err(RelationError::Csv {
-            line: 1,
-            message: "empty input".into(),
-        });
-    }
-    let header: Vec<String> = if opts.has_header {
-        records.remove(0)
-    } else {
-        let width = records.first().map_or(0, Vec::len);
-        (0..width).map(|i| format!("attr{i}")).collect()
-    };
-    let arity = header.len();
-    // Optional `#kinds` annotation row immediately after the header.
-    let mut declared_kinds: Option<Vec<AttrKind>> = None;
-    if opts.kind_row {
-        if let Some(first) = records.first() {
-            if first.first().is_some_and(|f| f.starts_with("#kinds")) {
-                let row = records.remove(0);
-                if row.len() != arity {
-                    return Err(RelationError::Csv {
-                        line: 2,
-                        message: format!("#kinds row has {} fields, expected {arity}", row.len()),
-                    });
-                }
-                let parse_kind = |f: &str, c: usize| match f.trim() {
-                    "categorical" => Ok(AttrKind::Categorical),
-                    "continuous" => Ok(AttrKind::Continuous),
-                    other => Err(RelationError::Csv {
-                        line: 2,
-                        message: format!("unknown kind `{other}` in #kinds field {c}"),
-                    }),
-                };
-                let mut kinds = Vec::with_capacity(arity);
-                // Field 0 carries the marker plus column 0's kind:
-                // `#kinds=<kind>`.
-                let first_kind = row
-                    .first()
-                    .and_then(|f| f.strip_prefix("#kinds="))
-                    .map(|k| parse_kind(k, 0))
-                    .transpose()?
-                    .unwrap_or(AttrKind::Categorical);
-                kinds.push(first_kind);
-                for (c, f) in row.iter().enumerate().skip(1) {
-                    kinds.push(parse_kind(f, c)?);
-                }
-                declared_kinds = Some(kinds);
-            }
-        }
-    }
-    let mut columns: Vec<Vec<Value>> = vec![Vec::with_capacity(records.len()); arity];
-    for (i, rec) in records.iter().enumerate() {
-        if rec.len() != arity {
-            return Err(RelationError::Csv {
-                line: i + 1 + usize::from(opts.has_header),
-                message: format!("expected {arity} fields, found {}", rec.len()),
-            });
-        }
-        for (c, f) in rec.iter().enumerate() {
-            columns[c].push(parse_field(f, &opts.null_tokens));
-        }
-    }
-    let attrs: Vec<Attribute> = header
-        .into_iter()
-        .enumerate()
-        .zip(&columns)
-        .map(|((i, name), col)| {
-            let kind = declared_kinds
-                .as_ref()
-                .and_then(|ks| ks.get(i).copied())
-                .unwrap_or_else(|| infer_kind(col));
-            Attribute::new(name, kind)
-        })
-        .collect();
-    // Mixed numeric/text columns were inferred categorical; stringify the
-    // numerics so the column is homogeneous (e.g. an ID column of "1, 2, x").
-    for (attr, col) in attrs.iter().zip(&mut columns) {
-        if attr.kind == AttrKind::Categorical
-            && col.iter().any(|v| matches!(v, Value::Text(_)))
-            && col.iter().any(|v| v.as_f64().is_some())
-        {
-            for v in col.iter_mut() {
-                if v.as_f64().is_some() {
-                    *v = Value::Text(v.to_string());
-                }
-            }
-        }
-    }
-    Relation::from_columns(Schema::new(attrs)?, columns)
+    let mut splitter = RecordSplitter::new(opts.delimiter);
+    let mut ingest = StreamIngest::new(opts);
+    let mut sink = |r: Vec<String>| ingest.accept(r);
+    splitter.feed(text, &mut sink)?;
+    splitter.finish(&mut sink)?;
+    ingest.finalize()
 }
 
-/// Reads a relation from a CSV file.
+/// Deterministic ingest-side observability handles. Every number is a
+/// function of the input bytes and the chunk size alone — never wall
+/// time — so metrics snapshots stay byte-reproducible.
+struct IngestMetrics {
+    chunks: Counter,
+    records: Counter,
+    bytes: Counter,
+    rows_per_chunk: Histogram,
+}
+
+impl IngestMetrics {
+    fn new(recorder: &dyn Recorder) -> Self {
+        Self {
+            chunks: recorder.counter("ingest.chunks"),
+            records: recorder.counter("ingest.records"),
+            bytes: recorder.counter("ingest.bytes"),
+            rows_per_chunk: recorder.histogram(
+                "ingest.rows_per_chunk",
+                &[1, 4, 16, 64, 256, 1024, 4096, 16384, 65536],
+            ),
+        }
+    }
+}
+
+/// The typed error `fs::read_to_string` used to produce for non-UTF-8
+/// input, reproduced byte-for-byte by the chunked decoder.
+fn invalid_utf8() -> RelationError {
+    RelationError::Io("stream did not contain valid UTF-8".to_owned())
+}
+
+/// Feeds the valid UTF-8 prefix of `bytes` to the splitter, returning the
+/// (≤ 3) trailing bytes of a scalar the chunk boundary split, to be
+/// retried with the next chunk.
+fn feed_bytes(
+    splitter: &mut RecordSplitter,
+    bytes: &[u8],
+    sink: &mut dyn FnMut(Vec<String>),
+) -> Result<Vec<u8>> {
+    match std::str::from_utf8(bytes) {
+        Ok(s) => {
+            splitter.feed(s, sink)?;
+            Ok(Vec::new())
+        }
+        Err(e) => {
+            if e.error_len().is_some() {
+                // Genuinely malformed, not merely truncated.
+                return Err(invalid_utf8());
+            }
+            let (valid, rest) = bytes.split_at(e.valid_up_to());
+            let s = std::str::from_utf8(valid).map_err(|_| invalid_utf8())?;
+            splitter.feed(s, sink)?;
+            Ok(rest.to_vec())
+        }
+    }
+}
+
+/// The shared chunked-decode loop under [`read_stream`] / [`read_path`]
+/// (and their observed variants). `chunk_bytes` is a parameter so tests
+/// can prove chunk-size invariance down to one-byte reads.
+fn read_stream_impl<R: Read>(
+    mut reader: R,
+    opts: &CsvOptions,
+    chunk_bytes: usize,
+    metrics: Option<&IngestMetrics>,
+) -> Result<Relation> {
+    let mut splitter = RecordSplitter::new(opts.delimiter);
+    let mut ingest = StreamIngest::new(opts);
+    let mut buf = vec![0u8; chunk_bytes.max(1)];
+    // ≤ 3 trailing bytes of a UTF-8 scalar split by a chunk boundary.
+    let mut carry: Vec<u8> = Vec::new();
+    loop {
+        let n = match reader.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        };
+        let rows_before = ingest.records_seen();
+        {
+            let mut sink = |r: Vec<String>| ingest.accept(r);
+            if carry.is_empty() {
+                carry = feed_bytes(&mut splitter, &buf[..n], &mut sink)?;
+            } else {
+                carry.extend_from_slice(&buf[..n]);
+                let pending = std::mem::take(&mut carry);
+                carry = feed_bytes(&mut splitter, &pending, &mut sink)?;
+            }
+        }
+        if let Some(m) = metrics {
+            m.chunks.inc();
+            m.bytes.add(n as u64);
+            m.rows_per_chunk.record(ingest.records_seen() - rows_before);
+        }
+    }
+    if !carry.is_empty() {
+        // The stream ended mid-scalar; `read_to_string` rejects that too.
+        return Err(invalid_utf8());
+    }
+    {
+        let mut sink = |r: Vec<String>| ingest.accept(r);
+        splitter.finish(&mut sink)?;
+    }
+    if let Some(m) = metrics {
+        m.records.add(ingest.records_seen());
+    }
+    ingest.finalize()
+}
+
+/// Reads a relation from any byte stream, decoding UTF-8 incrementally in
+/// fixed-size chunks. Output and typed errors are identical to
+/// [`read_str`] over the same bytes, wherever the chunk boundaries fall.
+pub fn read_stream<R: Read>(reader: R, opts: &CsvOptions) -> Result<Relation> {
+    read_stream_impl(reader, opts, CHUNK_BYTES, None)
+}
+
+/// [`read_stream`] with ingest observability: registers the
+/// `ingest.chunks` / `ingest.records` / `ingest.bytes` counters and the
+/// `ingest.rows_per_chunk` histogram on `recorder`. All deterministic —
+/// functions of the bytes and chunk size, never wall time — so they are
+/// safe for golden-pinned metrics snapshots.
+pub fn read_stream_observed<R: Read>(
+    reader: R,
+    opts: &CsvOptions,
+    recorder: &dyn Recorder,
+) -> Result<Relation> {
+    let metrics = IngestMetrics::new(recorder);
+    read_stream_impl(reader, opts, CHUNK_BYTES, Some(&metrics))
+}
+
+/// Reads a relation from a CSV file, streaming it in 64 KiB chunks: peak
+/// ingest memory is the typed columns plus one chunk, not the whole file.
 pub fn read_path(path: impl AsRef<Path>, opts: &CsvOptions) -> Result<Relation> {
-    let text = std::fs::read_to_string(path)?;
-    read_str(&text, opts)
+    let file = std::fs::File::open(path)?;
+    read_stream_impl(file, opts, CHUNK_BYTES, None)
+}
+
+/// [`read_path`] with ingest observability (see [`read_stream_observed`]).
+pub fn read_path_observed(
+    path: impl AsRef<Path>,
+    opts: &CsvOptions,
+    recorder: &dyn Recorder,
+) -> Result<Relation> {
+    let file = std::fs::File::open(path)?;
+    let metrics = IngestMetrics::new(recorder);
+    read_stream_impl(file, opts, CHUNK_BYTES, Some(&metrics))
 }
 
 /// Serialises a relation to CSV text (with header, `?` for nulls).
@@ -593,5 +951,143 @@ NaN
     #[test]
     fn empty_input_is_error() {
         assert!(read_str("", &CsvOptions::default()).is_err());
+    }
+
+    /// The chunked decoder must produce the identical relation whatever
+    /// the chunk size — records, quoted fields, CRLF pairs, escaped
+    /// quotes, the BOM and multi-byte scalars all land on boundaries at
+    /// size 1–3.
+    #[test]
+    fn chunked_reads_match_read_str_for_any_chunk_size() {
+        let cases = [
+            "name,age\nAlice,18\nBob,22\n",
+            "a,b\n\"line1\nline2\",2\n",
+            "name,quote\n\"Smith, John\",\"he said \"\"hi\"\"\"\n",
+            "\u{FEFF}name,age\nAlice,18\n",
+            "a,b\r\n1,2\r\n\"q\"\"q\",3\r\n",
+            // The PR 6 canonicalisation pins, re-run through chunking.
+            "h\n\"a\rb\"\n",
+            "\"\u{FEFF}h\"\n1\n",
+            "x\n-0.0\n",
+            "\"\r\"\n",
+            // Multi-byte scalars split across chunk boundaries.
+            "x,y\nümlaut,1\n日本語,2\n",
+            "a\n\u{FEFF}\n",
+            // Mixed column stringification and blank-line filtering.
+            "x\n1\nhello\n",
+            "a,b\n\n1,2\n\n",
+            "x,y\n?,1\n2,NA\n",
+        ];
+        for text in cases {
+            let expected = read_str(text, &CsvOptions::default()).unwrap();
+            for chunk in [1usize, 2, 3, 7, 64] {
+                let got = read_stream_impl(text.as_bytes(), &CsvOptions::default(), chunk, None)
+                    .unwrap_or_else(|e| panic!("chunk {chunk} failed on {text:?}: {e}"));
+                assert_eq!(got, expected, "chunk {chunk} on {text:?}");
+                assert_eq!(got.schema(), expected.schema(), "chunk {chunk} on {text:?}");
+            }
+        }
+    }
+
+    /// Malformed input must produce the identical *typed error* through
+    /// every chunking, including boundaries inside the offending bytes.
+    #[test]
+    fn chunked_reads_report_identical_typed_errors() {
+        let cases = [
+            "a\n1\r2\n",            // bare CR mid-line
+            "a\r1\r",               // CR-only line endings
+            "a,b\n1,2\n\"oops,3\n", // unterminated quote
+            "a\n\"",                // quote open at the last byte
+            "a,b\n1,2\n3\n",        // ragged row
+            "a,b\n1,2\n3",          // ragged row, no trailing newline
+            "",                     // empty input
+            "\u{FEFF}",             // BOM-only file is still empty input
+        ];
+        for text in cases {
+            let expected = read_str(text, &CsvOptions::default()).unwrap_err();
+            for chunk in [1usize, 2, 3, 7, 64] {
+                let got = read_stream_impl(text.as_bytes(), &CsvOptions::default(), chunk, None)
+                    .unwrap_err();
+                assert_eq!(got, expected, "chunk {chunk} on {text:?}");
+            }
+        }
+    }
+
+    /// Error precedence is two-phase, like the old parse-then-validate
+    /// reader: a framing error anywhere outranks a row-shape error
+    /// earlier in the file.
+    #[test]
+    fn framing_errors_outrank_earlier_row_shape_errors() {
+        let text = "a,b\n1\nx\rY\n"; // ragged on line 2, bare CR on line 3
+        for result in [
+            read_str(text, &CsvOptions::default()),
+            read_stream_impl(text.as_bytes(), &CsvOptions::default(), 2, None),
+        ] {
+            match result.unwrap_err() {
+                RelationError::Csv { line, message } => {
+                    assert_eq!(line, 3);
+                    assert!(message.contains("bare CR"), "{message}");
+                }
+                other => panic!("expected Csv error, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_utf8_stream_is_a_typed_io_error() {
+        let malformed: &[u8] = b"a,b\n1,\xFF\n";
+        for chunk in [1usize, 4, 64] {
+            let err = read_stream_impl(malformed, &CsvOptions::default(), chunk, None).unwrap_err();
+            assert!(
+                matches!(err, RelationError::Io(ref m) if m.contains("valid UTF-8")),
+                "chunk {chunk}: {err}"
+            );
+        }
+        // A multi-byte scalar truncated at end of stream is equally malformed.
+        let truncated: &[u8] = b"x\n\xC3";
+        let err = read_stream_impl(truncated, &CsvOptions::default(), 64, None).unwrap_err();
+        assert!(matches!(err, RelationError::Io(ref m) if m.contains("valid UTF-8")));
+    }
+
+    #[test]
+    fn kind_row_roundtrips_through_chunked_reads() {
+        let opts = CsvOptions::with_kind_row();
+        let schema = Schema::new(vec![
+            Attribute::categorical("code"),
+            Attribute::continuous("x"),
+        ])
+        .unwrap();
+        let r = Relation::from_rows(
+            schema,
+            vec![
+                vec![Value::Int(0), 1.5.into()],
+                vec![Value::Int(1), 2.5.into()],
+            ],
+        )
+        .unwrap();
+        let text = write_str_with(&r, &opts);
+        for chunk in [1usize, 3, 64] {
+            let back = read_stream_impl(text.as_bytes(), &opts, chunk, None).unwrap();
+            assert_eq!(back, r, "chunk {chunk}");
+            assert_eq!(back.schema(), r.schema(), "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn observed_ingest_is_passive_and_counts_chunks() {
+        use mp_observe::Registry;
+        let text = "name,age\nAlice,18\nBob,22\n";
+        let registry = Registry::new();
+        let metrics = IngestMetrics::new(&registry);
+        let observed =
+            read_stream_impl(text.as_bytes(), &CsvOptions::default(), 8, Some(&metrics)).unwrap();
+        assert_eq!(observed, read_str(text, &CsvOptions::default()).unwrap());
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["ingest.bytes"], text.len() as u64);
+        assert_eq!(snap.counters["ingest.records"], 3);
+        assert_eq!(
+            snap.counters["ingest.chunks"],
+            text.len().div_ceil(8) as u64
+        );
     }
 }

@@ -30,10 +30,17 @@ pub struct PliCacheStats {
     pub misses: u64,
     /// Entries evicted to stay within capacity.
     pub evictions: u64,
+    /// Evictions forced by the byte budget while entry capacity remained
+    /// (a subset of `evictions`).
+    pub budget_evictions: u64,
     /// Entries currently resident.
     pub entries: usize,
+    /// Estimated heap bytes currently retained by resident partitions.
+    pub bytes: usize,
     /// Maximum resident entries (`0` = caching disabled).
     pub capacity: usize,
+    /// Maximum retained heap bytes (`0` = unlimited).
+    pub budget_bytes: usize,
 }
 
 impl PliCacheStats {
@@ -52,13 +59,20 @@ impl std::fmt::Display for PliCacheStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} hits / {} misses ({:.1}% hit rate), {} resident, {} evicted, capacity {}",
+            "{} hits / {} misses ({:.1}% hit rate), {} resident ({} B), {} evicted ({} by budget), capacity {}, budget {}",
             self.hits,
             self.misses,
             100.0 * self.hit_rate(),
             self.entries,
+            self.bytes,
             self.evictions,
-            self.capacity
+            self.budget_evictions,
+            self.capacity,
+            if self.budget_bytes == 0 {
+                "unlimited".to_owned()
+            } else {
+                format!("{} B", self.budget_bytes)
+            }
         )
     }
 }
@@ -67,12 +81,17 @@ impl std::fmt::Display for PliCacheStats {
 struct Entry {
     pli: Arc<Pli>,
     last_used: u64,
+    /// Estimated retained heap bytes ([`Pli::heap_bytes`]), fixed at
+    /// insertion so accounting stays exact across eviction.
+    bytes: usize,
 }
 
 /// The lock-guarded map; counters live outside the lock.
 struct Inner {
     map: HashMap<u64, Entry>,
     tick: u64,
+    /// Sum of every resident entry's `bytes`.
+    bytes: usize,
 }
 
 /// Thread-safe LRU-bounded memoizing store for stripped partitions,
@@ -80,15 +99,20 @@ struct Inner {
 pub struct PliCache {
     inner: Mutex<Inner>,
     capacity: usize,
+    /// Maximum retained heap bytes across resident partitions
+    /// (`0` = unlimited; entry capacity still applies).
+    budget_bytes: usize,
     hits: Counter,
     misses: Counter,
     evictions: Counter,
+    budget_evictions: Counter,
 }
 
 impl std::fmt::Debug for PliCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PliCache")
             .field("capacity", &self.capacity)
+            .field("budget_bytes", &self.budget_bytes)
             .field("stats", &self.stats())
             .finish()
     }
@@ -100,17 +124,30 @@ impl PliCache {
     /// [`insert`](Self::insert) is a no-op (useful as an ablation
     /// baseline and for relations too wide to key).
     pub fn new(capacity: usize) -> Self {
+        Self::with_budget(capacity, 0)
+    }
+
+    /// Like [`new`](Self::new), plus a *byte* budget: the estimated
+    /// retained heap of resident partitions ([`Pli::heap_bytes`]) is kept
+    /// at or below `budget_bytes` by additional LRU evictions.
+    /// `budget_bytes == 0` means unlimited (entry capacity still
+    /// applies). A partition larger than the whole budget is returned
+    /// uncached rather than evicting everything for a single entry.
+    pub fn with_budget(capacity: usize, budget_bytes: usize) -> Self {
         // Detached live counters: `stats()` keeps working without a
         // recorder, at the same one-relaxed-atomic cost as before.
         PliCache {
             inner: Mutex::new(Inner {
                 map: HashMap::new(),
                 tick: 0,
+                bytes: 0,
             }),
             capacity,
+            budget_bytes,
             hits: Counter::live(),
             misses: Counter::live(),
             evictions: Counter::live(),
+            budget_evictions: Counter::live(),
         }
     }
 
@@ -120,7 +157,18 @@ impl PliCache {
     /// Self::stats) and the recorder's snapshot, so there is exactly one
     /// source of truth for cache statistics.
     pub fn with_recorder(capacity: usize, recorder: &dyn Recorder) -> Self {
-        let mut cache = PliCache::new(capacity);
+        Self::with_recorder_and_budget(capacity, 0, recorder)
+    }
+
+    /// [`with_budget`](Self::with_budget) plus recorder-registered
+    /// counters (see [`with_recorder`](Self::with_recorder)); budget
+    /// evictions are registered as `pli_cache.budget_evictions`.
+    pub fn with_recorder_and_budget(
+        capacity: usize,
+        budget_bytes: usize,
+        recorder: &dyn Recorder,
+    ) -> Self {
+        let mut cache = PliCache::with_budget(capacity, budget_bytes);
         // Noop recorders hand back dead handles; keep the detached live
         // counters in that case so `stats()` stays functional.
         let hits = recorder.counter("pli_cache.hits");
@@ -128,6 +176,7 @@ impl PliCache {
             cache.hits = hits;
             cache.misses = recorder.counter("pli_cache.misses");
             cache.evictions = recorder.counter("pli_cache.evictions");
+            cache.budget_evictions = recorder.counter("pli_cache.budget_evictions");
         }
         cache
     }
@@ -135,6 +184,17 @@ impl PliCache {
     /// The configured capacity.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The configured byte budget (`0` = unlimited).
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// Estimated heap bytes currently retained by resident partitions.
+    pub fn resident_bytes(&self) -> usize {
+        // lint: allow(no-panic) reason="cache operations cannot panic while holding the lock, so poisoning implies a panic already unwinding elsewhere"
+        self.inner.lock().expect("PliCache lock poisoned").bytes
     }
 
     /// Number of resident entries.
@@ -181,8 +241,14 @@ impl PliCache {
     /// that earlier partition is kept and returned, so all callers share
     /// one allocation.
     pub fn insert(&self, key: u64, pli: Pli) -> Arc<Pli> {
+        let bytes = pli.heap_bytes();
         let pli = Arc::new(pli);
         if self.capacity == 0 {
+            return pli;
+        }
+        if self.budget_bytes > 0 && bytes > self.budget_bytes {
+            // Larger than the whole budget: caching it would evict every
+            // other entry and still overshoot. Hand it back uncached.
             return pli;
         }
         // lint: allow(no-panic) reason="cache operations cannot panic while holding the lock, so poisoning implies a panic already unwinding elsewhere"
@@ -193,24 +259,39 @@ impl PliCache {
             existing.last_used = tick;
             return Arc::clone(&existing.pli);
         }
-        if inner.map.len() >= self.capacity {
+        // Evict until both bounds hold: the entry count stays below
+        // capacity and the byte budget covers the incoming partition.
+        while !inner.map.is_empty()
+            && (inner.map.len() >= self.capacity
+                || (self.budget_bytes > 0 && inner.bytes + bytes > self.budget_bytes))
+        {
+            let over_capacity = inner.map.len() >= self.capacity;
             // O(entries) scan; capacities are small enough that a heap
             // would cost more in constant factors than it saves.
-            if let Some(&victim) = inner
+            let Some(&victim) = inner
                 .map
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| k)
-            {
-                inner.map.remove(&victim);
-                self.evictions.inc();
+            else {
+                break;
+            };
+            if let Some(evicted) = inner.map.remove(&victim) {
+                inner.bytes -= evicted.bytes;
+            }
+            self.evictions.inc();
+            if !over_capacity {
+                // Capacity had room; only the byte budget forced this.
+                self.budget_evictions.inc();
             }
         }
+        inner.bytes += bytes;
         inner.map.insert(
             key,
             Entry {
                 pli: Arc::clone(&pli),
                 last_used: tick,
+                bytes,
             },
         );
         pli
@@ -218,11 +299,10 @@ impl PliCache {
 
     /// Drops every entry (counters are kept).
     pub fn clear(&self) {
-        self.inner
-            .lock()
-            .expect("PliCache lock poisoned") // lint: allow(no-panic) reason="cache operations cannot panic while holding the lock, so poisoning implies a panic already unwinding elsewhere"
-            .map
-            .clear();
+        // lint: allow(no-panic) reason="cache operations cannot panic while holding the lock, so poisoning implies a panic already unwinding elsewhere"
+        let mut inner = self.inner.lock().expect("PliCache lock poisoned");
+        inner.map.clear();
+        inner.bytes = 0;
     }
 
     /// Snapshot of the counters.
@@ -231,8 +311,11 @@ impl PliCache {
             hits: self.hits.get(),
             misses: self.misses.get(),
             evictions: self.evictions.get(),
+            budget_evictions: self.budget_evictions.get(),
             entries: self.len(),
+            bytes: self.resident_bytes(),
             capacity: self.capacity,
+            budget_bytes: self.budget_bytes,
         }
     }
 }
@@ -339,6 +422,107 @@ mod tests {
         let plain = PliCache::with_recorder(4, &NoopRecorder);
         plain.get(9);
         assert_eq!(plain.stats().misses, 1);
+    }
+
+    /// Heap bytes of `pli(&values)` — the same estimate `insert` uses.
+    fn bytes_of(values: &[i64]) -> usize {
+        pli(values).heap_bytes()
+    }
+
+    #[test]
+    fn byte_accounting_is_exact_across_insert_evict_clear() {
+        let one = bytes_of(&[1, 1]); // one 2-row cluster
+        let cache = PliCache::with_budget(16, 3 * one);
+        assert_eq!(cache.budget_bytes(), 3 * one);
+        cache.insert(1, pli(&[1, 1]));
+        cache.insert(2, pli(&[2, 2]));
+        assert_eq!(cache.resident_bytes(), 2 * one);
+        // Third fits exactly; budget holds with zero slack.
+        cache.insert(3, pli(&[3, 3]));
+        assert_eq!(cache.resident_bytes(), 3 * one);
+        assert_eq!(cache.stats().budget_evictions, 0);
+        // Fourth forces exactly one budget eviction (capacity has room).
+        cache.insert(4, pli(&[4, 4]));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 3);
+        assert_eq!(stats.bytes, 3 * one);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.budget_evictions, 1);
+        assert!(cache.get(1).is_none(), "LRU entry paid for the budget");
+        cache.clear();
+        assert_eq!(cache.resident_bytes(), 0);
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn oversized_partition_bypasses_cache_instead_of_flushing_it() {
+        let one = bytes_of(&[1, 1]);
+        let cache = PliCache::with_budget(16, 2 * one);
+        cache.insert(1, pli(&[1, 1]));
+        cache.insert(2, pli(&[2, 2]));
+        // Larger than the whole budget: returned uncached, residents kept.
+        let big = cache.insert(3, pli(&[5, 5, 5, 5, 5, 5, 5, 5]));
+        assert_eq!(big.covered_count(), 8);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.resident_bytes(), 2 * one);
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(2).is_some());
+        assert!(cache.get(3).is_none());
+    }
+
+    #[test]
+    fn budget_can_evict_several_entries_for_one_insert() {
+        let one = bytes_of(&[1, 1]);
+        let three = bytes_of(&[7; 8]); // one 8-row cluster
+        assert!(three < 4 * one && three > 2 * one);
+        let cache = PliCache::with_budget(16, 4 * one);
+        for key in 1..=4 {
+            cache.insert(key, pli(&[key as i64, key as i64]));
+        }
+        // Fits only after evicting the three least-recent entries.
+        cache.insert(9, pli(&[7; 8]));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.bytes, one + three);
+        assert_eq!(stats.budget_evictions, 3);
+        assert!(cache.get(4).is_some(), "most recent small entry survives");
+        assert!(cache.get(9).is_some());
+    }
+
+    /// The capacity-1 adversarial case from PR 2, re-run with a byte
+    /// budget layered on top: ping-ponging two keys through a cache that
+    /// can hold only one must alternate evictions, never deadlock or
+    /// double-count.
+    #[test]
+    fn capacity_one_with_budget_ping_pong_stays_exact() {
+        let one = bytes_of(&[1, 1]);
+        let cache = PliCache::with_budget(1, one);
+        for round in 0..8u64 {
+            let key = round % 2;
+            cache.insert(key, pli(&[1, 1]));
+            assert_eq!(cache.resident_bytes(), one, "round {round}");
+            assert_eq!(cache.len(), 1, "round {round}");
+        }
+        // 7 evictions (first insert found an empty cache), none of them
+        // forced by the byte budget — capacity always bound first.
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 7);
+        assert_eq!(stats.budget_evictions, 0);
+    }
+
+    #[test]
+    fn budget_recorder_counter_is_registered() {
+        use mp_observe::Registry;
+        let registry = Registry::new();
+        let one = bytes_of(&[1, 1]);
+        let cache = PliCache::with_recorder_and_budget(16, one, &registry);
+        cache.insert(1, pli(&[1, 1]));
+        cache.insert(2, pli(&[2, 2]));
+        assert_eq!(
+            registry.snapshot().counters["pli_cache.budget_evictions"],
+            1
+        );
+        assert_eq!(cache.stats().budget_evictions, 1);
     }
 
     #[test]

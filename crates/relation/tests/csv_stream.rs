@@ -1,0 +1,103 @@
+//! Integration tests for the public streaming-ingest API: [`csv::read_stream`]
+//! over pathological readers and [`csv::read_path`] over real files must be
+//! indistinguishable from [`csv::read_str`] over the same bytes.
+
+use mp_relation::csv::{self, CsvOptions};
+use std::io::Read;
+
+/// A reader that yields one byte per `read` call — the worst possible
+/// chunking — and reports a spurious `Interrupted` before every byte,
+/// which a conforming consumer must retry.
+struct TrickleReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    interrupt_next: bool,
+}
+
+impl<'a> TrickleReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self {
+            bytes,
+            pos: 0,
+            interrupt_next: true,
+        }
+    }
+}
+
+impl Read for TrickleReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.interrupt_next {
+            self.interrupt_next = false;
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                "spurious wakeup",
+            ));
+        }
+        self.interrupt_next = true;
+        match (self.bytes.get(self.pos), buf.first_mut()) {
+            (Some(&b), Some(slot)) => {
+                *slot = b;
+                self.pos += 1;
+                Ok(1)
+            }
+            _ => Ok(0),
+        }
+    }
+}
+
+#[test]
+fn read_stream_over_one_byte_reads_matches_read_str() {
+    let cases = [
+        "name,age\nAlice,18\nBob,22\n",
+        "a,b\r\n\"line1\nline2\",2\r\n",
+        "\u{FEFF}name,quote\n\"Smith, John\",\"say \"\"hi\"\"\"\n",
+        "x,y\nümlaut,1\n日本語,2\n",
+        "x\n-0.0\n",
+    ];
+    for text in cases {
+        let expected = csv::read_str(text, &CsvOptions::default()).unwrap();
+        let got = csv::read_stream(TrickleReader::new(text.as_bytes()), &CsvOptions::default())
+            .unwrap_or_else(|e| panic!("trickle read failed on {text:?}: {e}"));
+        assert_eq!(got, expected, "on {text:?}");
+        assert_eq!(got.schema(), expected.schema(), "on {text:?}");
+    }
+}
+
+#[test]
+fn read_stream_surfaces_typed_errors_like_read_str() {
+    let cases = [
+        "a\n1\r2\n",            // bare CR
+        "a,b\n1,2\n\"oops,3\n", // unterminated quote
+        "a,b\n1,2\n3\n",        // ragged row
+        "",                     // empty input
+    ];
+    for text in cases {
+        let expected = csv::read_str(text, &CsvOptions::default()).unwrap_err();
+        let got = csv::read_stream(TrickleReader::new(text.as_bytes()), &CsvOptions::default())
+            .unwrap_err();
+        assert_eq!(got, expected, "on {text:?}");
+    }
+}
+
+#[test]
+fn read_path_streams_files_byte_identically_to_read_str() {
+    let text = "name,age,score\n\"Smith, J\",18,1.5\nBob,?,2.5\n\"line1\nline2\",30,?\n";
+    let dir = std::env::temp_dir();
+    let path = dir.join("mp_relation_csv_stream_test.csv");
+    std::fs::write(&path, text).unwrap();
+    let from_file = csv::read_path(&path, &CsvOptions::default()).unwrap();
+    std::fs::remove_file(&path).ok();
+    let from_str = csv::read_str(text, &CsvOptions::default()).unwrap();
+    assert_eq!(from_file, from_str);
+    assert_eq!(from_file.schema(), from_str.schema());
+}
+
+#[test]
+fn read_path_reports_missing_file_as_io_error() {
+    let err = csv::read_path(
+        "/nonexistent/definitely/missing.csv",
+        &CsvOptions::default(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, mp_relation::RelationError::Io(_)));
+}

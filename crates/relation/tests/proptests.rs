@@ -135,6 +135,44 @@ proptest! {
     }
 
     #[test]
+    fn sharded_pli_build_matches_single_pass(
+        codes in prop::collection::vec(0u32..40, 0..200),
+        shards in 1usize..70,
+    ) {
+        // Radix-sharded construction must be bit-identical to the
+        // single-pass build for arbitrary code streams and shard counts.
+        let n_codes = 40;
+        prop_assert_eq!(
+            Pli::from_codes_sharded(&codes, n_codes, shards),
+            Pli::from_codes(&codes, n_codes)
+        );
+    }
+
+    #[test]
+    fn chunked_csv_ingest_matches_whole_string_read(
+        rows in prop::collection::vec((0i64..50, "[a-z ,\"\n]{0,6}", prop::option::of(-100.0f64..100.0)), 1..30),
+    ) {
+        // Streaming ingest must be chunk-boundary invariant: any chunking
+        // of the serialised bytes yields the same relation as read_str.
+        let schema = Schema::new(vec![
+            Attribute::continuous("id"),
+            Attribute::categorical("label"),
+            Attribute::continuous("score"),
+        ]).unwrap();
+        let rel = Relation::from_rows(
+            schema,
+            rows.into_iter()
+                .map(|(i, s, f)| vec![Value::Int(i), Value::Text(s), Value::from(f)])
+                .collect(),
+        ).unwrap();
+        let text = csv::write_str(&rel);
+        let expected = csv::read_str(&text, &csv::CsvOptions::default()).unwrap();
+        let streamed = csv::read_stream(text.as_bytes(), &csv::CsvOptions::default()).unwrap();
+        prop_assert_eq!(&streamed, &expected);
+        prop_assert_eq!(streamed.schema(), expected.schema());
+    }
+
+    #[test]
     fn value_ordering_is_total_and_consistent(
         x in any::<i64>(),
         y in any::<f64>(),
