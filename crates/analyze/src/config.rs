@@ -118,6 +118,7 @@ impl Config {
             "fuzzed-decoder-no-panic".to_owned(),
             RuleScope {
                 paths: vec![
+                    "crates/federated/src/net.rs".to_owned(),
                     "crates/federated/src/transport.rs".to_owned(),
                     "crates/metadata/src/exchange.rs".to_owned(),
                     "crates/relation/src/csv.rs".to_owned(),

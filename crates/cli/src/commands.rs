@@ -8,8 +8,9 @@ use mp_discovery::{
     DependencyProfile, DiscoveryContext, MemoryBudget, ParallelConfig, ProfileConfig,
 };
 use mp_federated::{
-    check_invariants, model_check, simulate_setup_observed, small_world_session, CheckConfig,
-    FaultPlan, MultiPartySession, Party, RetryConfig,
+    check_invariants, model_check, outcome_matches, run_client_session, simulate_setup_observed,
+    small_world_session, CheckConfig, ClientConfig, FaultPlan, MultiPartySession, Party,
+    RetryConfig, ServeConfig, Server,
 };
 use mp_metadata::{MetadataPackage, SharePolicy};
 use mp_observe::{NoopRecorder, Recorder};
@@ -302,6 +303,137 @@ pub fn simulate_observed(
     }
 }
 
+/// The bank × e-commerce party pair every serve session runs, built from
+/// a fixed data seed (same data as `mpriv simulate`).
+fn serve_parties(rows: usize) -> Result<Vec<Party>, String> {
+    let data = mp_datasets::fintech_scenario(rows, 42);
+    Ok(vec![
+        Party::new("bank", data.bank.relation, 0, data.bank.dependencies)
+            .map_err(|e| e.to_string())?,
+        Party::new(
+            "ecommerce",
+            data.ecommerce.relation,
+            0,
+            data.ecommerce.dependencies,
+        )
+        .map_err(|e| e.to_string())?,
+    ])
+}
+
+/// `mpriv serve [--sessions N] [--rows N] [--metrics-json out.json]` —
+/// self-drive mode: start the session-multiplexing relay daemon on an
+/// ephemeral local port, run N concurrent two-party VFL setup sessions
+/// against it over real TCP sockets, and verify every completed outcome
+/// bit-identical to the same seeds through the in-process
+/// [`mp_federated::PerfectTransport`] oracle. Non-zero exit on any abort
+/// or oracle divergence. The report prints only schedule-independent
+/// facts, so it is byte-stable across runs.
+pub fn serve_drive(
+    sessions: usize,
+    rows: usize,
+    recorder: Arc<dyn Recorder>,
+) -> Result<String, String> {
+    if sessions == 0 {
+        return Err("--sessions must be at least 1".to_owned());
+    }
+    let parties = serve_parties(rows)?;
+    let policies = [SharePolicy::PAPER_RECOMMENDED, SharePolicy::FULL];
+    let salt = 0xF1A7;
+    let reference = MultiPartySession::new(parties.clone(), salt)
+        .run_setup(&policies)
+        .map_err(|e| format!("in-process reference setup failed: {e}"))?;
+
+    let retry = RetryConfig::default();
+    let server = Server::start("127.0.0.1:0", ServeConfig::from_retry(&retry), recorder)
+        .map_err(|e| format!("cannot bind serve socket: {e}"))?;
+    let addr = server.addr().to_owned();
+
+    let handles: Vec<_> = (0..sessions)
+        .flat_map(|s| {
+            parties.iter().zip(policies).enumerate().map({
+                let addr = addr.clone();
+                move |(p, (party, policy))| {
+                    let addr = addr.clone();
+                    let party = party.clone();
+                    let cfg = ClientConfig::new(s as u64 + 1, p, 2, RetryConfig::default());
+                    std::thread::spawn(move || {
+                        run_client_session(&addr, &cfg, &party, &policy, salt, &NoopRecorder)
+                            .map(|outcome| (p, outcome))
+                    })
+                }
+            })
+        })
+        .collect();
+
+    let mut completed = 0usize;
+    let mut divergent = 0usize;
+    let mut aborts: Vec<String> = Vec::new();
+    for handle in handles {
+        match handle.join() {
+            Ok(Ok((p, outcome))) => {
+                completed += 1;
+                if !outcome_matches(&outcome, p, &reference) {
+                    divergent += 1;
+                }
+            }
+            Ok(Err(e)) => aborts.push(e.to_string()),
+            Err(_) => aborts.push("client thread panicked".to_owned()),
+        }
+    }
+    let report = server.shutdown();
+
+    let mut out = format!("serve: TCP relay, {sessions} sessions × 2 parties, {rows} rows/party\n");
+    out.push_str(&format!(
+        "sessions: {} completed, {} aborted\n",
+        report.sessions_completed, report.sessions_aborted
+    ));
+    let cap = ServeConfig::from_retry(&retry).queue_cap as u64;
+    out.push_str(&format!(
+        "backpressure: max queue depth within cap {cap}: {}\n",
+        report.max_queue_depth <= cap
+    ));
+    if !aborts.is_empty() {
+        return Err(format!(
+            "{} client sessions aborted: {}\n{out}",
+            aborts.len(),
+            aborts[0]
+        ));
+    }
+    if divergent > 0 {
+        return Err(format!(
+            "{divergent} outcomes diverged from the in-process oracle\n{out}"
+        ));
+    }
+    out.push_str(&format!(
+        "oracle: all {completed} outcomes bit-identical to the in-process reference\n"
+    ));
+    Ok(out)
+}
+
+/// Binds the relay daemon for `mpriv serve --listen <addr>`. The caller
+/// (the binary) owns the returned [`Server`]: it prints the bound
+/// address, decides when to stop, and renders the final report with
+/// [`serve_report`].
+pub fn serve_bind(addr: &str, recorder: Arc<dyn Recorder>) -> Result<Server, String> {
+    let retry = RetryConfig::default();
+    Server::start(addr, ServeConfig::from_retry(&retry), recorder)
+        .map_err(|e| format!("cannot bind `{addr}`: {e}"))
+}
+
+/// Renders a daemon's lifetime [`mp_federated::ServeReport`].
+pub fn serve_report(report: &mp_federated::ServeReport) -> String {
+    format!(
+        "sessions: {} started, {} completed, {} aborted\nframes: {} in, {} routed, {} spoof-rejected\nmax queue depth: {}\n",
+        report.sessions_started,
+        report.sessions_completed,
+        report.sessions_aborted,
+        report.frames_in,
+        report.frames_routed,
+        report.spoof_rejected,
+        report.max_queue_depth
+    )
+}
+
 /// `mpriv check --parties N --ticks K --budget B --delay D --crash-points C`
 /// — exhaustively enumerates every fault interleaving of the VFL setup
 /// protocol within the bounded small world and asserts the simulator's
@@ -380,6 +512,14 @@ USAGE:
       Replay VFL setup under a seeded fault schedule; non-zero exit on
       abort. With --metrics-json, also write a deterministic metrics
       snapshot (wire counters, tick latencies, retransmits) to the path.
+  mpriv serve [--sessions N] [--rows N] [--listen ADDR] [--metrics-json out.json]
+      Session-multiplexing relay daemon for VFL setup over real sockets.
+      Default drive mode: bind an ephemeral port, run N concurrent
+      two-party sessions against it, and verify every outcome
+      bit-identical to the in-process fault-free reference; non-zero
+      exit on abort or divergence. With --listen (host:port or
+      unix:<path>), serve external clients until stdin closes. With
+      --metrics-json, write the serve.* counters/gauges to the path.
   mpriv check [--parties N] [--ticks K] [--budget B] [--delay D] [--crash-points C]
       Exhaustively enumerate every fault interleaving (drop/duplicate/
       delay/crash schedules, up to B non-default decisions) of the VFL
@@ -512,6 +652,7 @@ mod tests {
             "anonymize",
             "compare",
             "simulate",
+            "serve",
             "check",
             "analyze",
         ] {

@@ -140,6 +140,39 @@ fn run(argv: &[String]) -> Result<String, String> {
                 None => commands::simulate(seed, &faults, rows),
             }
         }
+        "serve" => {
+            let metrics_path = parsed.options.get("metrics-json").cloned();
+            let registry = Arc::new(Registry::new());
+            let recorder: Arc<dyn mp_observe::Recorder> = if metrics_path.is_some() {
+                registry.clone()
+            } else {
+                Arc::new(mp_observe::NoopRecorder)
+            };
+            let result = match parsed.options.get("listen") {
+                Some(flag) if flag == "true" => {
+                    Err("--listen needs an address (host:port or unix:<path>)".to_owned())
+                }
+                Some(addr) => {
+                    let server = commands::serve_bind(addr, recorder)?;
+                    // The banner goes out before blocking so external
+                    // clients learn the bound (possibly ephemeral) address.
+                    println!("serve: listening on {} (EOF on stdin stops)", server.addr());
+                    let mut sink = String::new();
+                    use std::io::Read as _;
+                    let _ = std::io::stdin().read_to_string(&mut sink);
+                    Ok(commands::serve_report(&server.shutdown()))
+                }
+                None => {
+                    let sessions = parsed.get_or("sessions", 4usize)?;
+                    let rows = parsed.get_or("rows", 40usize)?;
+                    commands::serve_drive(sessions, rows, recorder)
+                }
+            };
+            if let Some(path) = metrics_path {
+                write_metrics(&registry, &path)?;
+            }
+            result
+        }
         "check" => {
             let parties = parsed.get_or("parties", 2usize)?;
             let ticks = parsed.get_or("ticks", 256u64)?;

@@ -29,10 +29,12 @@ pub mod check;
 pub mod horizontal;
 pub mod model;
 mod multiparty;
+pub mod net;
 mod party;
 mod protocol;
 pub mod psi;
 mod scenario;
+pub mod serve;
 pub mod sim;
 pub mod transport;
 
@@ -49,6 +51,10 @@ pub use model::{
     TrainConfig,
 };
 pub use multiparty::{multi_align, MultiAlignment, MultiPartySession, MultiSetupOutcome};
+pub use net::{
+    decode_stream, encode_frame, encode_stream, AbortReason, FrameBuffer, FrameError, FramedStream,
+    SessionFrame, SocketStream, MAX_FRAME_BYTES,
+};
 pub use party::Party;
 pub use protocol::{
     run_setup_protocol, run_setup_protocol_observed, RetryConfig, SetupError, SetupOutcome,
@@ -56,11 +62,15 @@ pub use protocol::{
 };
 pub use psi::{align, PsiAlignment};
 pub use scenario::{run_scenario, run_scenario_over, ScenarioOutcome};
+pub use serve::{
+    outcome_matches, run_client_session, BoundedQueue, ClientConfig, PartyOutcome, ServeConfig,
+    ServeReport, Server, SocketListener, SocketTransport,
+};
 pub use sim::{
     check_invariants, simulate_setup, simulate_setup_observed, FaultPlan, InvariantReport,
     InvariantViolation, PartyCrash, SimOutcome, SimTransport, TraceSummary, FAULT_PROFILES,
 };
 pub use transport::{
     Envelope, MsgId, PartyId, Payload, PerfectTransport, TraceEvent, Transport, TransportMetrics,
-    WireError, WIRE_VERSION,
+    WireError, MAX_ENVELOPE_BYTES, WIRE_VERSION,
 };

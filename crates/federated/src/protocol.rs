@@ -142,6 +142,17 @@ impl RetryConfig {
             .saturating_mul(1u64 << attempt.min(20))
             .min(self.backoff_cap.max(self.ack_timeout))
     }
+
+    /// Total ticks a sender spends on one message before giving up: the
+    /// initial ack wait plus every capped backoff in the retry ladder.
+    /// `mpriv serve` derives its handshake and drain budgets from this —
+    /// the server never abandons a connection the protocol's own retry
+    /// policy would still consider retryable.
+    pub fn ladder_ticks(&self) -> u64 {
+        (1..=self.max_retries).fold(self.ack_timeout, |acc, attempt| {
+            acc.saturating_add(self.backoff(attempt))
+        })
+    }
 }
 
 /// One logical message awaiting its ack.
@@ -219,32 +230,225 @@ pub fn run_setup_protocol(
     run_setup_protocol_observed(parties, policies, salt, transport, retry, &NoopRecorder)
 }
 
-/// Per-party protocol metric handles, resolved once per run.
-struct ProtocolMetrics {
-    sent: Vec<Counter>,
-    recv: Vec<Counter>,
-    retransmits: Vec<Counter>,
-    backoff_ticks: Vec<Counter>,
+/// Protocol metric handles for one party's engine, resolved once per run.
+///
+/// Counter names are shared with the in-process harness and the socket
+/// client: `protocol.party.<p>.{sent,recv,retransmits,backoff_ticks}`
+/// plus the run-wide `protocol.acks_sent` total (the recorder interns by
+/// name, so every engine's `acks_sent` handle feeds the same counter).
+pub(crate) struct EngineMetrics {
+    sent: Counter,
+    recv: Counter,
+    retransmits: Counter,
+    backoff_ticks: Counter,
     acks_sent: Counter,
 }
 
-impl ProtocolMetrics {
-    fn new(n: usize, recorder: &dyn Recorder) -> Self {
-        ProtocolMetrics {
-            sent: (0..n)
-                .map(|p| recorder.counter(&format!("protocol.party.{p}.sent")))
-                .collect(),
-            recv: (0..n)
-                .map(|p| recorder.counter(&format!("protocol.party.{p}.recv")))
-                .collect(),
-            retransmits: (0..n)
-                .map(|p| recorder.counter(&format!("protocol.party.{p}.retransmits")))
-                .collect(),
-            backoff_ticks: (0..n)
-                .map(|p| recorder.counter(&format!("protocol.party.{p}.backoff_ticks")))
-                .collect(),
+impl EngineMetrics {
+    pub(crate) fn new(party: PartyId, recorder: &dyn Recorder) -> Self {
+        EngineMetrics {
+            sent: recorder.counter(&format!("protocol.party.{party}.sent")),
+            recv: recorder.counter(&format!("protocol.party.{party}.recv")),
+            retransmits: recorder.counter(&format!("protocol.party.{party}.retransmits")),
+            backoff_ticks: recorder.counter(&format!("protocol.party.{party}.backoff_ticks")),
             acks_sent: recorder.counter("protocol.acks_sent"),
         }
+    }
+}
+
+/// One party's half of the setup protocol, stepped explicitly.
+///
+/// This is the unit the in-process harness ([`run_setup_protocol`])
+/// replicates per party over a shared [`Transport`], and the unit the
+/// socket client ([`crate::serve`]) runs *alone* against a remote peer
+/// pool — the state machine is identical in both deployments, which is
+/// what makes the simulator a faithful test double for the daemon.
+pub(crate) struct PartyEngine {
+    id: PartyId,
+    machine: PartyMachine,
+}
+
+impl PartyEngine {
+    /// Engine for party `id` of `n`, holding its PSI submission and its
+    /// *already redacted* metadata package.
+    pub(crate) fn new(
+        id: PartyId,
+        n: usize,
+        digests: Vec<IdDigest>,
+        package: MetadataPackage,
+    ) -> Self {
+        Self {
+            id,
+            machine: PartyMachine::new(id, n, digests, package),
+        }
+    }
+
+    /// Setup is complete for this party: everything sent, received and
+    /// acked.
+    pub(crate) fn done(&self) -> bool {
+        self.machine.done()
+    }
+
+    /// `true` while any own message still awaits its ack.
+    pub(crate) fn has_pending(&self) -> bool {
+        !self.machine.pending.is_empty()
+    }
+
+    /// `true` if no retransmission timer can fire at or before `tick`.
+    pub(crate) fn idle_beyond(&self, tick: u64) -> bool {
+        self.machine.pending.iter().all(|pm| pm.resend_at > tick)
+    }
+
+    /// Every peer's digest submission, once all have arrived.
+    pub(crate) fn digest_views(&self) -> Option<Vec<&[IdDigest]>> {
+        self.machine
+            .peer_digests
+            .iter()
+            .map(|d| d.as_deref())
+            .collect()
+    }
+
+    /// Party `p`'s metadata as received (own package for `p == id`).
+    pub(crate) fn metadata_from(&self, p: PartyId) -> Option<&MetadataPackage> {
+        self.machine.peer_metadata.get(p).and_then(Option::as_ref)
+    }
+
+    /// The own (redacted) package this engine broadcasts.
+    pub(crate) fn own_package(&self) -> &MetadataPackage {
+        &self.machine.package
+    }
+
+    /// One engine step: drain the inbox (idempotently, acking every
+    /// non-ack), broadcast the own digests once, broadcast the own
+    /// metadata once the PSI inputs are complete, then retransmit overdue
+    /// unacked messages with capped backoff. `fresh_id` allocates message
+    /// ids — the in-process harness shares one counter across all
+    /// engines, the socket client uses a party-strided stream so ids stay
+    /// session-unique without coordination.
+    pub(crate) fn pump(
+        &mut self,
+        transport: &mut dyn Transport,
+        retry: &RetryConfig,
+        fresh_id: &mut dyn FnMut() -> MsgId,
+        metrics: &EngineMetrics,
+    ) -> std::result::Result<(), SetupError> {
+        let p = self.id;
+        let m = &mut self.machine;
+        // -- Receive, idempotently; (re-)ack everything non-ack. -----
+        while let Some(env) = transport.recv(p) {
+            metrics.recv.inc();
+            match &env.payload {
+                Payload::Ack(of) => {
+                    m.pending.retain(|pm| pm.env.id != *of);
+                    continue;
+                }
+                Payload::PsiDigests(digests) => {
+                    if m.seen.insert(env.id) {
+                        if let Some(slot) = m.peer_digests.get_mut(env.from) {
+                            *slot = Some(digests.clone());
+                        }
+                    }
+                }
+                Payload::Metadata(pkg) => {
+                    if m.seen.insert(env.id) {
+                        if let Some(slot) = m.peer_metadata.get_mut(env.from) {
+                            *slot = Some((**pkg).clone());
+                        }
+                    }
+                }
+            }
+            // Duplicates are re-acked: the first ack may have been lost.
+            metrics.acks_sent.inc();
+            transport.send(
+                Envelope {
+                    id: fresh_id(),
+                    from: p,
+                    to: env.from,
+                    payload: Payload::Ack(env.id),
+                },
+                0,
+            );
+        }
+
+        // -- Phase 1: broadcast own digests once. ---------------------
+        if !m.digests_sent {
+            m.digests_sent = true;
+            let digests = m.digests.clone();
+            let n = m.peer_digests.len();
+            for q in (0..n).filter(|&q| q != p) {
+                let env = Envelope {
+                    id: fresh_id(),
+                    from: p,
+                    to: q,
+                    payload: Payload::PsiDigests(digests.clone()),
+                };
+                m.pending.push(PendingMsg {
+                    env: env.clone(),
+                    attempt: 0,
+                    resend_at: transport.now() + retry.ack_timeout,
+                });
+                metrics.sent.inc();
+                transport.send(env, 0);
+            }
+        }
+
+        // -- Phase 2: once PSI inputs are complete, broadcast the
+        //    redacted metadata package. ------------------------------
+        if m.all_digests_in() && !m.metadata_sent {
+            m.metadata_sent = true;
+            let pkg = m.package.clone();
+            let n = m.peer_digests.len();
+            for q in (0..n).filter(|&q| q != p) {
+                let env = Envelope {
+                    id: fresh_id(),
+                    from: p,
+                    to: q,
+                    payload: Payload::Metadata(Box::new(pkg.clone())),
+                };
+                m.pending.push(PendingMsg {
+                    env: env.clone(),
+                    attempt: 0,
+                    resend_at: transport.now() + retry.ack_timeout,
+                });
+                metrics.sent.inc();
+                transport.send(env, 0);
+            }
+        }
+
+        // -- Retransmit overdue unacked messages with capped backoff. -
+        let now = transport.now();
+        let overdue: Vec<usize> = m
+            .pending
+            .iter()
+            .enumerate()
+            .filter(|(_, pm)| pm.resend_at <= now)
+            .map(|(i, _)| i)
+            .collect();
+        for i in overdue {
+            let Some(pm) = m.pending.get_mut(i) else {
+                continue;
+            };
+            if pm.attempt >= retry.max_retries {
+                let to = pm.env.to;
+                return Err(if transport.is_crashed(to) {
+                    SetupError::PartyCrashed { party: to }
+                } else {
+                    SetupError::RetriesExhausted {
+                        from: p,
+                        to,
+                        kind: pm.env.payload.kind(),
+                    }
+                });
+            }
+            pm.attempt += 1;
+            pm.resend_at = now + retry.backoff(pm.attempt);
+            let env = pm.env.clone();
+            let attempt = pm.attempt;
+            metrics.retransmits.inc();
+            metrics.backoff_ticks.add(retry.backoff(attempt));
+            transport.send(env, attempt);
+        }
+        Ok(())
     }
 }
 
@@ -275,11 +479,11 @@ pub fn run_setup_protocol_observed(
     let n = parties.len();
 
     // Local, failure-free preparation: digests and redacted packages.
-    let mut machines: Vec<PartyMachine> = Vec::with_capacity(n);
+    let mut engines: Vec<PartyEngine> = Vec::with_capacity(n);
     for (p, (party, policy)) in parties.iter().zip(policies).enumerate() {
         let digests = party.psi_submission(salt)?;
         let package = party.share_metadata(policy)?;
-        machines.push(PartyMachine::new(p, n, digests, package));
+        engines.push(PartyEngine::new(p, n, digests, package));
     }
 
     let mut next_msg_id = 0u64;
@@ -288,132 +492,26 @@ pub fn run_setup_protocol_observed(
         MsgId(next_msg_id)
     };
 
-    let metrics = ProtocolMetrics::new(n, recorder);
+    let metrics: Vec<EngineMetrics> = (0..n).map(|p| EngineMetrics::new(p, recorder)).collect();
     recorder.set_time(transport.now());
     let _setup_span = recorder.span("protocol.setup").enter();
 
     loop {
         recorder.set_time(transport.now());
         // Step every live party: drain inbox, then advance the send side.
-        // (Indexing, not iter_mut: `machines[p]` and `transport` are both
-        // borrowed mutably at different points of the body.)
+        // All engines share one message-id counter, so the wire trace is
+        // byte-identical to the pre-engine inline loop.
         #[allow(clippy::needless_range_loop)]
         for p in 0..n {
             if transport.is_crashed(p) {
                 continue;
             }
-            // -- Receive, idempotently; (re-)ack everything non-ack. -----
-            while let Some(env) = transport.recv(p) {
-                metrics.recv[p].inc();
-                let m = &mut machines[p];
-                match &env.payload {
-                    Payload::Ack(of) => {
-                        m.pending.retain(|pm| pm.env.id != *of);
-                        continue;
-                    }
-                    Payload::PsiDigests(digests) => {
-                        if m.seen.insert(env.id) {
-                            m.peer_digests[env.from] = Some(digests.clone());
-                        }
-                    }
-                    Payload::Metadata(pkg) => {
-                        if m.seen.insert(env.id) {
-                            m.peer_metadata[env.from] = Some((**pkg).clone());
-                        }
-                    }
-                }
-                // Duplicates are re-acked: the first ack may have been lost.
-                metrics.acks_sent.inc();
-                transport.send(
-                    Envelope {
-                        id: fresh_id(),
-                        from: p,
-                        to: env.from,
-                        payload: Payload::Ack(env.id),
-                    },
-                    0,
-                );
-            }
-
-            // -- Phase 1: broadcast own digests once. ---------------------
-            if !machines[p].digests_sent {
-                machines[p].digests_sent = true;
-                let digests = machines[p].digests.clone();
-                for q in (0..n).filter(|&q| q != p) {
-                    let env = Envelope {
-                        id: fresh_id(),
-                        from: p,
-                        to: q,
-                        payload: Payload::PsiDigests(digests.clone()),
-                    };
-                    machines[p].pending.push(PendingMsg {
-                        env: env.clone(),
-                        attempt: 0,
-                        resend_at: transport.now() + retry.ack_timeout,
-                    });
-                    metrics.sent[p].inc();
-                    transport.send(env, 0);
-                }
-            }
-
-            // -- Phase 2: once PSI inputs are complete, broadcast the
-            //    redacted metadata package. ------------------------------
-            if machines[p].all_digests_in() && !machines[p].metadata_sent {
-                machines[p].metadata_sent = true;
-                let pkg = machines[p].package.clone();
-                for q in (0..n).filter(|&q| q != p) {
-                    let env = Envelope {
-                        id: fresh_id(),
-                        from: p,
-                        to: q,
-                        payload: Payload::Metadata(Box::new(pkg.clone())),
-                    };
-                    machines[p].pending.push(PendingMsg {
-                        env: env.clone(),
-                        attempt: 0,
-                        resend_at: transport.now() + retry.ack_timeout,
-                    });
-                    metrics.sent[p].inc();
-                    transport.send(env, 0);
-                }
-            }
-
-            // -- Retransmit overdue unacked messages with capped backoff. -
-            let now = transport.now();
-            let overdue: Vec<usize> = machines[p]
-                .pending
-                .iter()
-                .enumerate()
-                .filter(|(_, pm)| pm.resend_at <= now)
-                .map(|(i, _)| i)
-                .collect();
-            for i in overdue {
-                let pm = &mut machines[p].pending[i];
-                if pm.attempt >= retry.max_retries {
-                    let to = pm.env.to;
-                    return Err(if transport.is_crashed(to) {
-                        SetupError::PartyCrashed { party: to }
-                    } else {
-                        SetupError::RetriesExhausted {
-                            from: p,
-                            to,
-                            kind: pm.env.payload.kind(),
-                        }
-                    });
-                }
-                pm.attempt += 1;
-                pm.resend_at = now + retry.backoff(pm.attempt);
-                let env = pm.env.clone();
-                let attempt = pm.attempt;
-                metrics.retransmits[p].inc();
-                metrics.backoff_ticks[p].add(retry.backoff(attempt));
-                transport.send(env, attempt);
-            }
+            engines[p].pump(transport, retry, &mut fresh_id, &metrics[p])?;
         }
 
         // Completion: every non-crashed party done. (A party that crashed
         // *after* finishing its role does not block the survivors.)
-        if (0..n).all(|p| transport.is_crashed(p) || machines[p].done()) {
+        if (0..n).all(|p| transport.is_crashed(p) || engines[p].done()) {
             break;
         }
 
@@ -426,16 +524,13 @@ pub fn run_setup_protocol_observed(
         if transport.in_flight() == 0 {
             let idle = (0..n).all(|p| {
                 transport.is_crashed(p)
-                    || machines[p].pending.is_empty()
-                    || machines[p]
-                        .pending
-                        .iter()
-                        .all(|pm| pm.resend_at > retry.max_ticks)
+                    || !engines[p].has_pending()
+                    || engines[p].idle_beyond(retry.max_ticks)
             });
             // Nothing in flight and no retry will ever fire: if an
             // unfinished live party is waiting on a crashed peer, abort
             // with the crash; otherwise we genuinely stalled.
-            if idle && !(0..n).all(|p| transport.is_crashed(p) || machines[p].done()) {
+            if idle && !(0..n).all(|p| transport.is_crashed(p) || engines[p].done()) {
                 if let Some(crashed) = (0..n).find(|&p| transport.is_crashed(p)) {
                     return Err(SetupError::PartyCrashed { party: crashed });
                 }
@@ -449,7 +544,7 @@ pub fn run_setup_protocol_observed(
     }
     recorder.set_time(transport.now());
 
-    assemble_outcome(parties, &machines, transport)
+    assemble_outcome(parties, &engines, transport)
 }
 
 /// Builds the outcome from *received* state: the alignment from the first
@@ -457,17 +552,14 @@ pub fn run_setup_protocol_observed(
 /// each party's metadata from a peer's stored copy.
 fn assemble_outcome(
     parties: &[Party],
-    machines: &[PartyMachine],
+    engines: &[PartyEngine],
     transport: &dyn Transport,
 ) -> std::result::Result<MultiSetupOutcome, SetupError> {
     let n = parties.len();
     let viewer = (0..n).find(|&p| !transport.is_crashed(p)).unwrap_or(0);
-    let views: Vec<&[IdDigest]> = machines[viewer]
-        .peer_digests
-        .iter()
-        .map(|d| d.as_ref().expect("completed setup has all digests")) // lint: allow(no-panic) reason="this runs only after the engine reported Completed, which requires every peer digest to have been received"
-        .map(Vec::as_slice)
-        .collect();
+    let views: Vec<&[IdDigest]> = engines[viewer]
+        .digest_views()
+        .expect("completed setup has all digests"); // lint: allow(no-panic) reason="this runs only after the engine reported Completed, which requires every peer digest to have been received"
     let alignment = MultiAlignment {
         rows: intersect_all(&views),
     };
@@ -483,10 +575,11 @@ fn assemble_outcome(
         // Prefer the copy a live peer actually received over the wire.
         let receiver = (0..n).find(|&q| q != p && !transport.is_crashed(q));
         let pkg = match receiver {
-            Some(q) => machines[q].peer_metadata[p]
-                .clone()
+            Some(q) => engines[q]
+                .metadata_from(p)
+                .cloned()
                 .expect("completed setup has all metadata"), // lint: allow(no-panic) reason="this runs only after the engine reported Completed, which requires every live party to hold all peer metadata"
-            None => machines[p].package.clone(),
+            None => engines[p].own_package().clone(),
         };
         metadata.push(pkg);
     }

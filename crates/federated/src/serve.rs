@@ -1,0 +1,1280 @@
+//! `mpriv serve`: a long-running daemon multiplexing many concurrent VFL
+//! setup sessions over real sockets.
+//!
+//! ## Architecture
+//!
+//! The server is a pure **relay**: it never holds party data, never
+//! decodes a metadata package, and takes no protocol decisions. Each
+//! client connection speaks for exactly one party of one session; the
+//! per-party state machine is the same engine the in-process harness
+//! runs, so a completed socket session is *bit-identical* to the
+//! same seeds through [`crate::PerfectTransport`] — the simulator is a
+//! faithful test double for the daemon, and the sim invariant harness is
+//! the oracle the soak tests check against.
+//!
+//! ```text
+//! client party 0 ──frames──▶ ┌────────────────────────────┐
+//!                            │  per-connection thread      │
+//! client party 1 ──frames──▶ │  Hello → join session       │
+//!                            │  Envelope → route to peer's │
+//!      ...                   │    bounded queue            │
+//! client party k ──frames──▶ │  drain own queue → socket   │
+//!                            └────────────────────────────┘
+//! ```
+//!
+//! **Backpressure.** Every session member owns a bounded outbound queue
+//! ([`BoundedQueue`]); routing a frame into a full queue waits a bounded
+//! number of io ticks and then aborts *that session* with
+//! [`AbortReason::QueueOverflow`]. A stalled session can therefore never
+//! stall another: connection threads only ever block on their own
+//! socket (timeout-bounded) or on a peer queue (tick-bounded).
+//!
+//! **Time.** No wall clock reaches any decision in this module. Socket
+//! read timeouts define the *io tick*; handshake, idle, backpressure and
+//! drain budgets are all tick counts, derived from the protocol's
+//! [`RetryConfig`] by [`ServeConfig::from_retry`]. (The tick's wall
+//! duration is configuration, set by binaries; the library only counts.)
+//!
+//! **Aborts and shutdown.** Any failure — disconnect, spoofed sender,
+//! queue overflow, idle timeout — aborts the one affected session: the
+//! typed [`AbortReason`] jumps every member queue and each client maps it
+//! onto a [`SetupError`]. [`Server::shutdown`] stops accepting, lets
+//! in-flight sessions drain for a tick budget, then aborts stragglers
+//! with [`AbortReason::ServerShutdown`] and joins every thread.
+
+use crate::multiparty::{MultiAlignment, MultiSetupOutcome};
+use crate::net::{AbortReason, FramedStream, ReadStep, SessionFrame, SocketStream};
+use crate::party::Party;
+use crate::protocol::{EngineMetrics, PartyEngine, RetryConfig, SetupError};
+use crate::psi::{intersect_all, IdDigest};
+use crate::transport::{Envelope, MsgId, PartyId, TraceEvent, Transport};
+use mp_metadata::{MetadataPackage, SharePolicy};
+use mp_observe::Recorder;
+use mp_relation::{Relation, RelationError};
+use std::collections::{HashMap, VecDeque};
+use std::net::TcpListener;
+#[cfg(unix)]
+use std::os::unix::net::UnixListener;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Unpoisons a mutex guard: the daemon keeps serving other sessions even
+/// if one connection thread panicked mid-lock.
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------
+// Bounded queues
+// ---------------------------------------------------------------------
+
+/// A bounded MPSC queue with tick-bounded blocking push.
+///
+/// The unit of backpressure: one per session member, holding the frames
+/// routed *to* that member. `cap` bounds memory per session; the depth
+/// high-water mark is tracked for the backpressure regression tests.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    inner: Mutex<QueueInner<T>>,
+    readable: Condvar,
+    writable: Condvar,
+    cap: usize,
+}
+
+#[derive(Debug)]
+struct QueueInner<T> {
+    items: VecDeque<T>,
+    max_depth: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// An empty queue holding at most `cap` items.
+    pub fn new(cap: usize) -> Self {
+        Self {
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::new(),
+                max_depth: 0,
+            }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Pushes without blocking; `false` if the queue is full.
+    pub fn try_push(&self, item: T) -> bool {
+        let mut g = lock(&self.inner);
+        if g.items.len() >= self.cap {
+            return false;
+        }
+        g.items.push_back(item);
+        g.max_depth = g.max_depth.max(g.items.len());
+        self.readable.notify_one();
+        true
+    }
+
+    /// Pushes, waiting up to `ticks` waits of `tick` each for space.
+    /// `false` means the backpressure budget elapsed with the queue still
+    /// full — the caller aborts the session.
+    pub fn push_bounded(&self, item: T, tick: Duration, ticks: u64) -> bool {
+        let mut g = lock(&self.inner);
+        let mut waited = 0u64;
+        while g.items.len() >= self.cap {
+            if waited >= ticks {
+                return false;
+            }
+            let (guard, timeout) = self
+                .writable
+                .wait_timeout(g, tick)
+                .unwrap_or_else(PoisonError::into_inner);
+            g = guard;
+            if timeout.timed_out() {
+                waited += 1;
+            }
+        }
+        g.items.push_back(item);
+        g.max_depth = g.max_depth.max(g.items.len());
+        self.readable.notify_one();
+        true
+    }
+
+    /// Clears the queue and pushes `item` alone: aborts must never queue
+    /// behind the very backlog that caused them.
+    pub fn jump_queue(&self, item: T) {
+        let mut g = lock(&self.inner);
+        g.items.clear();
+        g.items.push_back(item);
+        g.max_depth = g.max_depth.max(1);
+        self.readable.notify_one();
+        self.writable.notify_all();
+    }
+
+    /// Pops without blocking.
+    pub fn pop(&self) -> Option<T> {
+        let mut g = lock(&self.inner);
+        let item = g.items.pop_front();
+        if item.is_some() {
+            self.writable.notify_one();
+        }
+        item
+    }
+
+    /// Current depth.
+    pub fn depth(&self) -> usize {
+        lock(&self.inner).items.len()
+    }
+
+    /// Highest depth ever observed.
+    pub fn max_depth(&self) -> usize {
+        lock(&self.inner).max_depth
+    }
+
+    /// The capacity bound.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+}
+
+// ---------------------------------------------------------------------
+// Listener
+// ---------------------------------------------------------------------
+
+/// A bound listening socket: TCP or (on Unix) a Unix-domain socket.
+#[derive(Debug)]
+pub enum SocketListener {
+    /// A TCP listener.
+    Tcp(TcpListener),
+    /// A Unix-domain listener, with its filesystem path (removed on
+    /// shutdown).
+    #[cfg(unix)]
+    Unix(UnixListener, String),
+}
+
+impl SocketListener {
+    /// Binds `addr`: `unix:<path>` for a Unix-domain socket, anything
+    /// else as a TCP `host:port` (use port 0 for an ephemeral port).
+    pub fn bind(addr: &str) -> std::io::Result<Self> {
+        #[cfg(unix)]
+        if let Some(path) = addr.strip_prefix("unix:") {
+            // A stale socket file from a previous run would fail the bind.
+            let _ = std::fs::remove_file(path);
+            return Ok(SocketListener::Unix(
+                UnixListener::bind(path)?,
+                path.to_owned(),
+            ));
+        }
+        Ok(SocketListener::Tcp(TcpListener::bind(addr)?))
+    }
+
+    /// The bound address in the form [`SocketStream::connect`] accepts.
+    pub fn local_addr(&self) -> std::io::Result<String> {
+        match self {
+            SocketListener::Tcp(l) => Ok(l.local_addr()?.to_string()),
+            #[cfg(unix)]
+            SocketListener::Unix(_, path) => Ok(format!("unix:{path}")),
+        }
+    }
+
+    /// Blocks until the next connection.
+    pub fn accept(&self) -> std::io::Result<SocketStream> {
+        match self {
+            SocketListener::Tcp(l) => Ok(SocketStream::Tcp(l.accept()?.0)),
+            #[cfg(unix)]
+            SocketListener::Unix(l, _) => Ok(SocketStream::Unix(l.accept()?.0)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------
+
+/// Daemon configuration. All budgets are io-tick counts; the io tick's
+/// wall duration is the read timeout binaries choose.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Most parties a session may declare.
+    pub max_parties: usize,
+    /// Per-member outbound queue capacity (the backpressure bound).
+    pub queue_cap: usize,
+    /// Wall duration of one io tick (socket read/condvar wait timeout).
+    pub io_tick: Duration,
+    /// Ticks a fresh connection gets to send its `Hello`.
+    pub handshake_ticks: u64,
+    /// Ticks an assembled session may sit with no frame in either
+    /// direction before it is aborted.
+    pub idle_ticks: u64,
+    /// Ticks a routing push may wait on a full peer queue.
+    pub push_ticks: u64,
+    /// Ticks an in-flight session gets to finish after shutdown begins.
+    pub drain_ticks: u64,
+}
+
+impl ServeConfig {
+    /// Maps the protocol's retry policy onto connection supervision:
+    /// the handshake and drain budgets are one full retransmission
+    /// ladder (if a peer could still be retried, the server still
+    /// waits), the backpressure budget is one backoff cap, and the idle
+    /// budget is the protocol's own liveness bound — the server never
+    /// gives up on a session the protocol would still consider live.
+    pub fn from_retry(retry: &RetryConfig) -> Self {
+        let ladder = retry.ladder_ticks();
+        Self {
+            max_parties: 8,
+            queue_cap: 64,
+            io_tick: Duration::from_millis(2),
+            handshake_ticks: ladder,
+            idle_ticks: retry.max_ticks,
+            push_ticks: retry.backoff_cap.max(1),
+            drain_ticks: ladder,
+        }
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self::from_retry(&RetryConfig::default())
+    }
+}
+
+/// Server metric handles (all under the `serve.` prefix).
+#[derive(Debug, Clone)]
+struct ServeMetrics {
+    sessions_started: mp_observe::Counter,
+    sessions_completed: mp_observe::Counter,
+    sessions_aborted: mp_observe::Counter,
+    frames_in: mp_observe::Counter,
+    frames_routed: mp_observe::Counter,
+    spoof_rejected: mp_observe::Counter,
+    connections: mp_observe::Gauge,
+    queue_depth: mp_observe::Gauge,
+}
+
+impl ServeMetrics {
+    fn new(recorder: &dyn Recorder) -> Self {
+        Self {
+            sessions_started: recorder.counter("serve.sessions_started"),
+            sessions_completed: recorder.counter("serve.sessions_completed"),
+            sessions_aborted: recorder.counter("serve.sessions_aborted"),
+            frames_in: recorder.counter("serve.frames_in"),
+            frames_routed: recorder.counter("serve.frames_routed"),
+            spoof_rejected: recorder.counter("serve.spoof_rejected"),
+            connections: recorder.gauge("serve.connections"),
+            queue_depth: recorder.gauge("serve.queue_depth"),
+        }
+    }
+}
+
+/// Authoritative lifetime counters for [`ServeReport`].
+///
+/// These are server-owned so the report stays correct even under a
+/// [`mp_observe::NoopRecorder`], whose counter handles discard writes;
+/// every bump is mirrored into the matching `serve.*` metric handle.
+#[derive(Debug, Default)]
+struct ServeStats {
+    sessions_started: AtomicU64,
+    sessions_completed: AtomicU64,
+    sessions_aborted: AtomicU64,
+    frames_in: AtomicU64,
+    frames_routed: AtomicU64,
+    spoof_rejected: AtomicU64,
+}
+
+/// What happened to a session, for the final report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SessionPhase {
+    /// Waiting for all members to join.
+    Gathering,
+    /// All members joined; protocol frames are being relayed.
+    Running,
+    /// Closed — completed or aborted.
+    Closed,
+}
+
+/// One multiplexed session: membership, queues, completion state.
+struct SessionState {
+    n: usize,
+    phase: SessionPhase,
+    members: Vec<Option<Arc<BoundedQueue<SessionFrame>>>>,
+    done: Vec<bool>,
+    abort: Option<AbortReason>,
+    live: usize,
+}
+
+impl SessionState {
+    fn new(n: usize) -> Self {
+        Self {
+            n,
+            phase: SessionPhase::Gathering,
+            members: (0..n).map(|_| None).collect(),
+            done: vec![false; n],
+            abort: None,
+            live: 0,
+        }
+    }
+}
+
+struct ServerShared {
+    cfg: ServeConfig,
+    sessions: Mutex<HashMap<u64, Arc<Mutex<SessionState>>>>,
+    shutdown: AtomicBool,
+    ticks: AtomicU64,
+    max_queue_depth: AtomicU64,
+    stats: ServeStats,
+    metrics: ServeMetrics,
+    recorder: Arc<dyn Recorder>,
+}
+
+impl ServerShared {
+    fn count_session_started(&self) {
+        self.stats.sessions_started.fetch_add(1, Ordering::Relaxed);
+        self.metrics.sessions_started.inc();
+    }
+
+    fn count_session_completed(&self) {
+        self.stats
+            .sessions_completed
+            .fetch_add(1, Ordering::Relaxed);
+        self.metrics.sessions_completed.inc();
+    }
+
+    fn count_frame_in(&self) {
+        self.stats.frames_in.fetch_add(1, Ordering::Relaxed);
+        self.metrics.frames_in.inc();
+    }
+
+    fn count_frame_routed(&self) {
+        self.stats.frames_routed.fetch_add(1, Ordering::Relaxed);
+        self.metrics.frames_routed.inc();
+    }
+
+    fn count_spoof_rejected(&self) {
+        self.stats.spoof_rejected.fetch_add(1, Ordering::Relaxed);
+        self.metrics.spoof_rejected.inc();
+    }
+
+    /// One io tick elapsed somewhere: advance the logical clock the
+    /// recorder's spans are measured in.
+    fn note_tick(&self) {
+        let t = self.ticks.fetch_add(1, Ordering::Relaxed) + 1;
+        self.recorder.set_time(t);
+    }
+
+    fn note_depth(&self, depth: usize) {
+        let d = depth as u64;
+        self.metrics.queue_depth.set(d);
+        self.max_queue_depth.fetch_max(d, Ordering::Relaxed);
+    }
+
+    /// Aborts a session: marks it closed and jumps every member queue
+    /// with the typed reason (idempotent — the first reason wins).
+    fn abort_session(&self, session: &Mutex<SessionState>, reason: AbortReason) {
+        let mut s = lock(session);
+        if s.phase == SessionPhase::Closed {
+            return;
+        }
+        s.phase = SessionPhase::Closed;
+        s.abort = Some(reason.clone());
+        self.stats.sessions_aborted.fetch_add(1, Ordering::Relaxed);
+        self.metrics.sessions_aborted.inc();
+        for q in s.members.iter().flatten() {
+            q.jump_queue(SessionFrame::Abort(reason.clone()));
+        }
+    }
+}
+
+/// Summary of a server's lifetime, returned by [`Server::shutdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Sessions that assembled all their members.
+    pub sessions_started: u64,
+    /// Sessions that completed cleanly (every member reported done).
+    pub sessions_completed: u64,
+    /// Sessions torn down with a typed abort.
+    pub sessions_aborted: u64,
+    /// Frames received from clients.
+    pub frames_in: u64,
+    /// Envelope frames routed between members.
+    pub frames_routed: u64,
+    /// Envelopes rejected for claiming another member's identity.
+    pub spoof_rejected: u64,
+    /// Highest per-member queue depth ever observed.
+    pub max_queue_depth: u64,
+}
+
+/// A running `mpriv serve` daemon.
+///
+/// Created by [`Server::start`]; owns the acceptor thread and every
+/// connection thread. Call [`Server::shutdown`] for a graceful stop
+/// (drains in-flight sessions, then aborts stragglers) and the final
+/// [`ServeReport`].
+pub struct Server {
+    shared: Arc<ServerShared>,
+    addr: String,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    #[cfg(unix)]
+    unix_path: Option<String>,
+}
+
+impl Server {
+    /// Binds `addr` and starts accepting connections.
+    pub fn start(
+        addr: &str,
+        cfg: ServeConfig,
+        recorder: Arc<dyn Recorder>,
+    ) -> std::io::Result<Server> {
+        let listener = SocketListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        #[cfg(unix)]
+        let unix_path = match &listener {
+            SocketListener::Unix(_, path) => Some(path.clone()),
+            _ => None,
+        };
+        let shared = Arc::new(ServerShared {
+            cfg,
+            sessions: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+            ticks: AtomicU64::new(0),
+            max_queue_depth: AtomicU64::new(0),
+            stats: ServeStats::default(),
+            metrics: ServeMetrics::new(recorder.as_ref()),
+            recorder,
+        });
+        let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || {
+                while !shared.shutdown.load(Ordering::SeqCst) {
+                    let Ok(stream) = listener.accept() else {
+                        continue;
+                    };
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let shared = Arc::clone(&shared);
+                    let handle = std::thread::spawn(move || handle_connection(stream, shared));
+                    lock(&conns).push(handle);
+                }
+            })
+        };
+        Ok(Server {
+            shared,
+            addr: local,
+            acceptor: Some(acceptor),
+            conns,
+            #[cfg(unix)]
+            unix_path,
+        })
+    }
+
+    /// The bound address, in the form [`SocketStream::connect`] accepts.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Highest per-member queue depth observed so far.
+    pub fn max_queue_depth(&self) -> u64 {
+        self.shared.max_queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Graceful stop: stop accepting, give in-flight sessions the drain
+    /// budget, abort stragglers with [`AbortReason::ServerShutdown`],
+    /// join every thread and report.
+    pub fn shutdown(mut self) -> ServeReport {
+        self.stop_threads();
+        let s = &self.shared.stats;
+        ServeReport {
+            sessions_started: s.sessions_started.load(Ordering::Relaxed),
+            sessions_completed: s.sessions_completed.load(Ordering::Relaxed),
+            sessions_aborted: s.sessions_aborted.load(Ordering::Relaxed),
+            frames_in: s.frames_in.load(Ordering::Relaxed),
+            frames_routed: s.frames_routed.load(Ordering::Relaxed),
+            spoof_rejected: s.spoof_rejected.load(Ordering::Relaxed),
+            max_queue_depth: self.shared.max_queue_depth.load(Ordering::Relaxed),
+        }
+    }
+
+    fn stop_threads(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the acceptor out of its blocking accept.
+        let _ = SocketStream::connect(&self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        // Connection threads observe the flag, drain, then exit.
+        let handles: Vec<_> = lock(&self.conns).drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        #[cfg(unix)]
+        if let Some(path) = self.unix_path.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() {
+            self.stop_threads();
+        }
+    }
+}
+
+/// Tears the connection down with a typed abort, best-effort.
+fn refuse(framed: &mut FramedStream, reason: AbortReason) {
+    let _ = framed.write_frame(&SessionFrame::Abort(reason));
+    let _ = framed.socket().shutdown();
+}
+
+/// The per-connection relay loop: handshake, join, route until closed.
+fn handle_connection(stream: SocketStream, shared: Arc<ServerShared>) {
+    let _ = stream.set_read_timeout(Some(shared.cfg.io_tick));
+    // A stalled reader can block our writes for at most the push budget.
+    let write_cap = shared
+        .cfg
+        .io_tick
+        .saturating_mul(shared.cfg.push_ticks.min(u64::from(u32::MAX)) as u32);
+    let _ = stream.set_write_timeout(Some(write_cap.max(shared.cfg.io_tick)));
+    let mut framed = FramedStream::new(stream);
+
+    let conn_span = shared.recorder.span("serve.connection");
+    let _conn_guard = conn_span.enter();
+    shared
+        .metrics
+        .connections
+        .set(shared.metrics.connections.get().saturating_add(1));
+
+    let outcome = connection_loop(&mut framed, &shared);
+    if let Some(reason) = outcome {
+        refuse(&mut framed, reason);
+    } else {
+        let _ = framed.socket().shutdown();
+    }
+    shared
+        .metrics
+        .connections
+        .set(shared.metrics.connections.get().saturating_sub(1));
+}
+
+/// Runs the handshake and relay loop. Returns `Some(reason)` when the
+/// *connection itself* must be refused with an abort frame the session
+/// teardown did not already queue, `None` on a clean exit.
+fn connection_loop(framed: &mut FramedStream, shared: &ServerShared) -> Option<AbortReason> {
+    // -- Handshake: one Hello within the handshake budget. ------------
+    let mut ticks = 0u64;
+    let (session_id, party, n_parties) = loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Some(AbortReason::ServerShutdown);
+        }
+        match framed.read_step() {
+            Ok(ReadStep::Frame(SessionFrame::Hello {
+                session,
+                party,
+                n_parties,
+            })) => {
+                shared.count_frame_in();
+                break (session, party, n_parties);
+            }
+            Ok(ReadStep::Frame(other)) => {
+                return Some(AbortReason::Protocol(format!(
+                    "expected hello, got {}",
+                    other.kind()
+                )));
+            }
+            Ok(ReadStep::Tick) => {
+                shared.note_tick();
+                ticks += 1;
+                if ticks >= shared.cfg.handshake_ticks {
+                    return Some(AbortReason::HandshakeTimeout);
+                }
+            }
+            Ok(ReadStep::Eof) => return None,
+            Err(e) => return Some(AbortReason::Protocol(e.to_string())),
+        }
+    };
+    let n = n_parties as usize;
+    if n < 2 || n > shared.cfg.max_parties {
+        return Some(AbortReason::Protocol(format!(
+            "session size {n} outside 2..={}",
+            shared.cfg.max_parties
+        )));
+    }
+    if party >= n_parties {
+        return Some(AbortReason::Protocol(format!(
+            "party {party} outside session of {n}"
+        )));
+    }
+    let party_ix = party as usize;
+
+    // -- Join the session registry. ------------------------------------
+    let my_queue = Arc::new(BoundedQueue::new(shared.cfg.queue_cap));
+    let session = {
+        let mut sessions = lock(&shared.sessions);
+        let session = Arc::clone(
+            sessions
+                .entry(session_id)
+                .or_insert_with(|| Arc::new(Mutex::new(SessionState::new(n)))),
+        );
+        let mut s = lock(&session);
+        if s.n != n {
+            return Some(AbortReason::Protocol(format!(
+                "session size mismatch: declared {n}, session has {}",
+                s.n
+            )));
+        }
+        if s.phase != SessionPhase::Gathering {
+            return Some(AbortReason::Protocol("session already running".to_owned()));
+        }
+        let Some(slot) = s.members.get_mut(party_ix) else {
+            return Some(AbortReason::Protocol("party slot out of range".to_owned()));
+        };
+        if slot.is_some() {
+            return Some(AbortReason::Protocol(format!(
+                "party {party} already joined"
+            )));
+        }
+        *slot = Some(Arc::clone(&my_queue));
+        s.live += 1;
+        if s.live == s.n {
+            s.phase = SessionPhase::Running;
+            shared.count_session_started();
+            for (q_ix, q) in s.members.iter().enumerate() {
+                if let Some(q) = q {
+                    q.jump_queue(SessionFrame::Welcome {
+                        session: session_id,
+                        party: q_ix as u64,
+                        n_parties,
+                    });
+                }
+            }
+        }
+        drop(s);
+        session
+    };
+
+    // -- Relay loop. ----------------------------------------------------
+    let mut idle = 0u64;
+    let mut shutdown_ticks = 0u64;
+    let mut clean_exit = false;
+    loop {
+        let mut progressed = false;
+
+        // Drain own outbound queue to the socket.
+        while let Some(frame) = my_queue.pop() {
+            progressed = true;
+            let terminal = matches!(frame, SessionFrame::Complete | SessionFrame::Abort(_));
+            if framed.write_frame(&frame).is_err() {
+                shared.abort_session(&session, AbortReason::PeerDisconnected { party });
+                break;
+            }
+            if terminal {
+                clean_exit = true;
+                break;
+            }
+        }
+        if clean_exit {
+            break;
+        }
+
+        // One read step from our client.
+        match framed.read_step() {
+            Ok(ReadStep::Frame(frame)) => {
+                progressed = true;
+                shared.count_frame_in();
+                match frame {
+                    SessionFrame::Envelope(env) => {
+                        if env.from as u64 != party {
+                            shared.count_spoof_rejected();
+                            shared.abort_session(
+                                &session,
+                                AbortReason::Spoofed {
+                                    claimed: env.from as u64,
+                                },
+                            );
+                            continue;
+                        }
+                        let target = {
+                            let s = lock(&session);
+                            if s.phase != SessionPhase::Running {
+                                None
+                            } else {
+                                s.members
+                                    .get(env.to)
+                                    .and_then(Option::as_ref)
+                                    .map(Arc::clone)
+                            }
+                        };
+                        let Some(target) = target else {
+                            // Closed session or unknown recipient: the
+                            // teardown frames are already on our queue.
+                            continue;
+                        };
+                        let to = env.to as u64;
+                        let ok = target.push_bounded(
+                            SessionFrame::Envelope(env),
+                            shared.cfg.io_tick,
+                            shared.cfg.push_ticks,
+                        );
+                        shared.note_depth(target.depth());
+                        if ok {
+                            shared.count_frame_routed();
+                        } else {
+                            shared
+                                .abort_session(&session, AbortReason::QueueOverflow { party: to });
+                        }
+                    }
+                    SessionFrame::Done { party: done_party } => {
+                        if done_party != party {
+                            shared.abort_session(
+                                &session,
+                                AbortReason::Spoofed {
+                                    claimed: done_party,
+                                },
+                            );
+                            continue;
+                        }
+                        let mut s = lock(&session);
+                        if let Some(flag) = s.done.get_mut(party_ix) {
+                            *flag = true;
+                        }
+                        if s.phase == SessionPhase::Running && s.done.iter().all(|&d| d) {
+                            s.phase = SessionPhase::Closed;
+                            shared.count_session_completed();
+                            for q in s.members.iter().flatten() {
+                                // Completion may not skip queued acks, so
+                                // it takes the normal (bounded) path; on
+                                // overflow the abort jumps the queue.
+                                if !q.try_push(SessionFrame::Complete) {
+                                    q.jump_queue(SessionFrame::Complete);
+                                }
+                            }
+                        }
+                    }
+                    SessionFrame::Abort(reason) => {
+                        shared.abort_session(&session, reason);
+                    }
+                    SessionFrame::Hello { .. }
+                    | SessionFrame::Welcome { .. }
+                    | SessionFrame::Complete => {
+                        shared.abort_session(
+                            &session,
+                            AbortReason::Protocol(format!(
+                                "unexpected {} frame mid-session",
+                                frame.kind()
+                            )),
+                        );
+                    }
+                }
+            }
+            Ok(ReadStep::Tick) => {
+                shared.note_tick();
+            }
+            Ok(ReadStep::Eof) => {
+                // Disconnect before Complete/Abort reached us: if the
+                // session is still live this is a mid-session crash.
+                let live = lock(&session).phase != SessionPhase::Closed;
+                if live {
+                    shared.abort_session(&session, AbortReason::PeerDisconnected { party });
+                }
+                break;
+            }
+            Err(e) => {
+                shared.abort_session(&session, AbortReason::Protocol(e.to_string()));
+            }
+        }
+
+        if progressed {
+            idle = 0;
+        } else {
+            idle += 1;
+            if idle >= shared.cfg.idle_ticks {
+                shared.abort_session(&session, AbortReason::IdleTimeout);
+            }
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            shutdown_ticks += 1;
+            if shutdown_ticks > shared.cfg.drain_ticks {
+                shared.abort_session(&session, AbortReason::ServerShutdown);
+            }
+        }
+    }
+
+    // -- Leave: drop membership; forget fully-vacated sessions. --------
+    {
+        let mut s = lock(&session);
+        if let Some(slot) = s.members.get_mut(party_ix) {
+            *slot = None;
+        }
+        s.live = s.live.saturating_sub(1);
+        if s.live == 0 {
+            drop(s);
+            lock(&shared.sessions).remove(&session_id);
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------
+
+/// Client-side configuration for one socket session.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientConfig {
+    /// Session to join (agreed out of band, like the PSI salt).
+    pub session: u64,
+    /// The party index this client speaks for.
+    pub party: PartyId,
+    /// Total parties in the session.
+    pub n_parties: usize,
+    /// Wall duration of one io tick (the read timeout; the client's
+    /// logical clock advances once per tick).
+    pub io_tick: Duration,
+    /// Ticks to wait for the server's `Welcome`.
+    pub handshake_ticks: u64,
+    /// The protocol retry policy (retransmissions count io ticks).
+    pub retry: RetryConfig,
+}
+
+impl ClientConfig {
+    /// A client for `party` of `n_parties` in `session`, with timeouts
+    /// derived from `retry` exactly like [`ServeConfig::from_retry`].
+    pub fn new(session: u64, party: PartyId, n_parties: usize, retry: RetryConfig) -> Self {
+        Self {
+            session,
+            party,
+            n_parties,
+            io_tick: Duration::from_millis(2),
+            handshake_ticks: retry.ladder_ticks().saturating_mul(4),
+            retry,
+        }
+    }
+}
+
+/// Terminal session states a [`SocketTransport`] can observe.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+enum ClientState {
+    /// Frames are flowing.
+    #[default]
+    Running,
+    /// The server reported every party done.
+    Complete,
+    /// The server aborted the session.
+    Aborted(AbortReason),
+    /// The connection died underneath us.
+    Disconnected,
+}
+
+/// A [`Transport`] carrying one party's envelopes over a socket.
+///
+/// [`Transport::tick`] performs one timeout-bounded read pass — the read
+/// timeout *is* the logical tick, so retransmission timers count io
+/// ticks and no wall-clock value ever reaches a protocol decision.
+pub struct SocketTransport {
+    framed: FramedStream,
+    party: PartyId,
+    n: usize,
+    now: u64,
+    inbox: VecDeque<Envelope>,
+    trace: Vec<TraceEvent>,
+    state: ClientState,
+    crashed: Vec<bool>,
+}
+
+impl SocketTransport {
+    fn new(framed: FramedStream, party: PartyId, n: usize) -> Self {
+        Self {
+            framed,
+            party,
+            n,
+            now: 0,
+            inbox: VecDeque::new(),
+            trace: Vec::new(),
+            state: ClientState::Running,
+            crashed: vec![false; n],
+        }
+    }
+
+    /// Drains every frame the socket has ready, then returns. Terminal
+    /// frames flip [`ClientState`]; envelopes land in the inbox.
+    fn pump_socket(&mut self) {
+        loop {
+            match self.framed.read_step() {
+                Ok(ReadStep::Frame(SessionFrame::Envelope(env))) => {
+                    self.trace.push(TraceEvent::Delivered {
+                        at: self.now,
+                        env: env.clone(),
+                    });
+                    self.inbox.push_back(env);
+                }
+                Ok(ReadStep::Frame(SessionFrame::Complete)) => {
+                    self.state = ClientState::Complete;
+                    return;
+                }
+                Ok(ReadStep::Frame(SessionFrame::Abort(reason))) => {
+                    if let AbortReason::PeerDisconnected { party } = &reason {
+                        if let Some(flag) = self.crashed.get_mut(*party as usize) {
+                            *flag = true;
+                        }
+                        self.trace.push(TraceEvent::Crashed {
+                            at: self.now,
+                            party: *party as usize,
+                        });
+                    }
+                    self.state = ClientState::Aborted(reason);
+                    return;
+                }
+                Ok(ReadStep::Frame(_)) => {
+                    // Welcome/Hello/Done mid-run: relay noise; ignore.
+                }
+                Ok(ReadStep::Tick) => return,
+                Ok(ReadStep::Eof) => {
+                    self.state = ClientState::Disconnected;
+                    return;
+                }
+                Err(_) => {
+                    self.state = ClientState::Disconnected;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl Transport for SocketTransport {
+    fn n_parties(&self) -> usize {
+        self.n
+    }
+
+    fn send(&mut self, env: Envelope, attempt: u32) {
+        self.trace.push(TraceEvent::Sent {
+            at: self.now,
+            env: env.clone(),
+            attempt,
+        });
+        if self
+            .framed
+            .write_frame(&SessionFrame::Envelope(env))
+            .is_err()
+        {
+            self.state = ClientState::Disconnected;
+        }
+    }
+
+    fn tick(&mut self) {
+        self.now += 1;
+        if self.state == ClientState::Running {
+            self.pump_socket();
+        }
+    }
+
+    fn recv(&mut self, party: PartyId) -> Option<Envelope> {
+        if party == self.party {
+            self.inbox.pop_front()
+        } else {
+            None
+        }
+    }
+
+    fn now(&self) -> u64 {
+        self.now
+    }
+
+    fn in_flight(&self) -> usize {
+        self.inbox.len()
+    }
+
+    fn is_crashed(&self, party: PartyId) -> bool {
+        self.crashed.get(party).copied().unwrap_or(false)
+    }
+
+    fn trace(&self) -> &[TraceEvent] {
+        &self.trace
+    }
+}
+
+/// One party's view of a completed socket session.
+///
+/// Comparable against a [`MultiSetupOutcome`] from the same seeds over
+/// [`crate::PerfectTransport`] via [`outcome_matches`] — the byte-
+/// identity oracle of the serve soak harness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartyOutcome {
+    /// The k-way alignment (identical at every party by construction).
+    pub alignment: MultiAlignment,
+    /// This party's aligned rows (feature columns only).
+    pub aligned_self: Relation,
+    /// Every party's metadata as received (own package included).
+    pub metadata: Vec<MetadataPackage>,
+}
+
+/// `true` when a socket party's outcome is bit-identical to the
+/// reference in-process outcome for the same seeds.
+pub fn outcome_matches(mine: &PartyOutcome, party: PartyId, reference: &MultiSetupOutcome) -> bool {
+    mine.alignment == reference.alignment
+        && reference.aligned.get(party) == Some(&mine.aligned_self)
+        && mine.metadata == reference.metadata
+}
+
+fn abort_error(reason: &AbortReason, at: u64) -> SetupError {
+    match reason {
+        AbortReason::PeerDisconnected { party } => SetupError::PartyCrashed {
+            party: *party as usize,
+        },
+        AbortReason::HandshakeTimeout | AbortReason::IdleTimeout => SetupError::Stalled { at },
+        other => SetupError::Data(RelationError::Io(format!("session aborted: {other}"))),
+    }
+}
+
+fn disconnect_error(party: PartyId) -> SetupError {
+    SetupError::Data(RelationError::Io(format!(
+        "party {party}: connection to server lost"
+    )))
+}
+
+/// Runs one party of one session against an `mpriv serve` daemon at
+/// `addr`, driving the same per-party engine the in-process harness
+/// runs ([`crate::run_setup_protocol`]).
+///
+/// Completes with this party's [`PartyOutcome`] (bit-identical to the
+/// same seeds over [`crate::PerfectTransport`]) or fails closed with a
+/// typed [`SetupError`] mapped from the session's abort reason.
+pub fn run_client_session(
+    addr: &str,
+    cfg: &ClientConfig,
+    party: &Party,
+    policy: &SharePolicy,
+    salt: u64,
+    recorder: &dyn Recorder,
+) -> std::result::Result<PartyOutcome, SetupError> {
+    let digests = party.psi_submission(salt)?;
+    let package = party.share_metadata(policy)?;
+
+    let p = cfg.party;
+    let n = cfg.n_parties;
+    let stream = SocketStream::connect(addr)
+        .map_err(|e| SetupError::Data(RelationError::Io(format!("connect {addr}: {e}"))))?;
+    let _ = stream.set_read_timeout(Some(cfg.io_tick));
+    let _ = stream.set_write_timeout(Some(cfg.io_tick.saturating_mul(512)));
+    let mut framed = FramedStream::new(stream);
+
+    // -- Handshake: Hello, then wait for Welcome. ----------------------
+    framed
+        .write_frame(&SessionFrame::Hello {
+            session: cfg.session,
+            party: p as u64,
+            n_parties: n as u64,
+        })
+        .map_err(|_| disconnect_error(p))?;
+    let mut waited = 0u64;
+    loop {
+        match framed.read_step() {
+            Ok(ReadStep::Frame(SessionFrame::Welcome {
+                session,
+                party: confirmed,
+                n_parties,
+            })) => {
+                if session != cfg.session || confirmed != p as u64 || n_parties != n as u64 {
+                    return Err(SetupError::Data(RelationError::Io(
+                        "server welcomed a different membership".to_owned(),
+                    )));
+                }
+                break;
+            }
+            Ok(ReadStep::Frame(SessionFrame::Abort(reason))) => {
+                return Err(abort_error(&reason, 0));
+            }
+            Ok(ReadStep::Frame(other)) => {
+                return Err(SetupError::Data(RelationError::Io(format!(
+                    "expected welcome, got {}",
+                    other.kind()
+                ))));
+            }
+            Ok(ReadStep::Tick) => {
+                waited += 1;
+                if waited >= cfg.handshake_ticks {
+                    return Err(SetupError::Stalled { at: 0 });
+                }
+            }
+            Ok(ReadStep::Eof) | Err(_) => return Err(disconnect_error(p)),
+        }
+    }
+
+    // -- Run the engine over the socket transport. ---------------------
+    let mut transport = SocketTransport::new(framed, p, n);
+    let mut engine = PartyEngine::new(p, n, digests, package);
+    let metrics = EngineMetrics::new(p, recorder);
+    let span = recorder.span("protocol.setup");
+    let _guard = span.enter();
+
+    // Party-strided message ids: party p draws p+1, p+1+n, p+1+2n, ...
+    // — session-unique without coordination, so receiver-side MsgId
+    // dedup works exactly as in the shared-counter in-process harness.
+    let mut drawn = 0u64;
+    let mut fresh_id = move || {
+        let id = (p as u64) + 1 + drawn * (n as u64);
+        drawn += 1;
+        MsgId(id)
+    };
+
+    let mut done_sent = false;
+    loop {
+        engine.pump(&mut transport, &cfg.retry, &mut fresh_id, &metrics)?;
+        match &transport.state {
+            ClientState::Complete => break,
+            ClientState::Aborted(reason) => {
+                return Err(abort_error(reason, transport.now));
+            }
+            ClientState::Disconnected => return Err(disconnect_error(p)),
+            ClientState::Running => {}
+        }
+        if engine.done() && !done_sent {
+            done_sent = true;
+            if transport
+                .framed
+                .write_frame(&SessionFrame::Done { party: p as u64 })
+                .is_err()
+            {
+                return Err(disconnect_error(p));
+            }
+        }
+        if transport.now() >= cfg.retry.max_ticks {
+            return Err(SetupError::Stalled {
+                at: transport.now(),
+            });
+        }
+        transport.tick();
+        recorder.set_time(transport.now());
+    }
+
+    // -- Assemble this party's outcome from *received* state. ----------
+    let stalled = SetupError::Stalled {
+        at: transport.now(),
+    };
+    let views: Vec<&[IdDigest]> = engine.digest_views().ok_or(stalled.clone())?;
+    let alignment = MultiAlignment {
+        rows: intersect_all(&views),
+    };
+    let own_rows = alignment.rows.get(p).ok_or(stalled.clone())?;
+    let aligned_self = party
+        .aligned_rows(own_rows)?
+        .project(&party.feature_columns())?;
+    let mut metadata = Vec::with_capacity(n);
+    for q in 0..n {
+        metadata.push(engine.metadata_from(q).cloned().ok_or(stalled.clone())?);
+    }
+    let _ = transport.framed.socket().shutdown();
+    Ok(PartyOutcome {
+        alignment,
+        aligned_self,
+        metadata,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_queue_caps_and_tracks_depth() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1));
+        assert!(q.try_push(2));
+        assert!(!q.try_push(3), "cap enforced");
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.max_depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3));
+        assert_eq!(q.max_depth(), 2, "high-water mark sticks");
+        assert_eq!(q.cap(), 2);
+    }
+
+    #[test]
+    fn bounded_push_times_out_on_full_queue() {
+        let q = BoundedQueue::new(1);
+        assert!(q.try_push(1));
+        // Tiny tick, two attempts: must give up, not block forever.
+        assert!(!q.push_bounded(2, Duration::from_millis(1), 2));
+        assert_eq!(q.depth(), 1);
+    }
+
+    #[test]
+    fn jump_queue_clears_backlog() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1));
+        assert!(q.try_push(2));
+        q.jump_queue(9);
+        assert_eq!(q.pop(), Some(9));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn serve_config_maps_retry_budgets() {
+        let retry = RetryConfig::default();
+        let cfg = ServeConfig::from_retry(&retry);
+        assert_eq!(cfg.handshake_ticks, retry.ladder_ticks());
+        assert_eq!(cfg.idle_ticks, retry.max_ticks);
+        assert_eq!(cfg.push_ticks, retry.backoff_cap);
+        assert!(cfg.queue_cap > 0);
+    }
+
+    #[test]
+    fn abort_reasons_map_to_typed_errors() {
+        assert_eq!(
+            abort_error(&AbortReason::PeerDisconnected { party: 1 }, 5),
+            SetupError::PartyCrashed { party: 1 }
+        );
+        assert_eq!(
+            abort_error(&AbortReason::IdleTimeout, 5),
+            SetupError::Stalled { at: 5 }
+        );
+        assert!(matches!(
+            abort_error(&AbortReason::ServerShutdown, 5),
+            SetupError::Data(_)
+        ));
+    }
+}

@@ -86,6 +86,18 @@ pub struct Envelope {
 /// enforces.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireError {
+    /// The input was empty. Rejected up front: a zero-length frame is a
+    /// framing bug at the transport layer, not a truncated envelope.
+    Empty,
+    /// The input exceeds [`MAX_ENVELOPE_BYTES`]. Rejected before any
+    /// parsing or allocation so a hostile frame length cannot balloon
+    /// memory.
+    FrameTooLarge {
+        /// Bytes presented.
+        len: usize,
+        /// The cap ([`MAX_ENVELOPE_BYTES`]).
+        cap: usize,
+    },
     /// Input ended before a field could be read in full.
     UnexpectedEof {
         /// Byte offset where reading stopped.
@@ -131,6 +143,13 @@ pub enum WireError {
 impl std::fmt::Display for WireError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            WireError::Empty => write!(f, "empty input (zero-length frame)"),
+            WireError::FrameTooLarge { len, cap } => {
+                write!(
+                    f,
+                    "frame of {len} bytes exceeds the {cap}-byte envelope cap"
+                )
+            }
             WireError::UnexpectedEof { offset, needed } => {
                 write!(
                     f,
@@ -168,6 +187,15 @@ impl std::error::Error for WireError {}
 
 /// Wire-format version written by [`Envelope::encode`].
 pub const WIRE_VERSION: u8 = 1;
+
+/// Hard cap on the byte size of a single wire-encoded [`Envelope`].
+///
+/// [`Envelope::decode`] rejects larger inputs (and the socket framing
+/// layer rejects larger *declared* lengths) before touching the body, so
+/// an attacker-controlled length field can never drive an allocation.
+/// 16 MiB comfortably fits any real PSI submission or metadata package
+/// this system produces.
+pub const MAX_ENVELOPE_BYTES: usize = 16 * 1024 * 1024;
 
 const MAGIC: [u8; 2] = *b"MP";
 const TAG_PSI: u8 = 1;
@@ -265,6 +293,15 @@ impl Envelope {
     /// actually present before any allocation, so a hostile header cannot
     /// cause an over-allocation.
     pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        if bytes.is_empty() {
+            return Err(WireError::Empty);
+        }
+        if bytes.len() > MAX_ENVELOPE_BYTES {
+            return Err(WireError::FrameTooLarge {
+                len: bytes.len(),
+                cap: MAX_ENVELOPE_BYTES,
+            });
+        }
         let mut r = WireReader { bytes, pos: 0 };
         if r.take(2)? != MAGIC {
             return Err(WireError::BadMagic);
@@ -702,6 +739,34 @@ mod tests {
         assert!(matches!(
             Envelope::decode(&bytes),
             Err(WireError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn wire_decode_rejects_zero_length_frames() {
+        // Regression: a zero-length frame is a typed error, not EOF noise
+        // — the socket framing layer depends on distinguishing the two.
+        assert_eq!(Envelope::decode(&[]), Err(WireError::Empty));
+    }
+
+    #[test]
+    fn wire_decode_rejects_over_cap_frames_before_parsing() {
+        // Regression: an over-cap input is rejected by size alone, before
+        // magic/version parsing (the head bytes here are garbage).
+        let oversized = vec![0u8; MAX_ENVELOPE_BYTES + 1];
+        assert_eq!(
+            Envelope::decode(&oversized),
+            Err(WireError::FrameTooLarge {
+                len: MAX_ENVELOPE_BYTES + 1,
+                cap: MAX_ENVELOPE_BYTES,
+            })
+        );
+        // An input exactly at the cap is parsed (and fails on content,
+        // not on size).
+        let at_cap = vec![0u8; MAX_ENVELOPE_BYTES];
+        assert!(matches!(
+            Envelope::decode(&at_cap),
+            Err(WireError::BadMagic)
         ));
     }
 

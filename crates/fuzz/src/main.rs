@@ -1,7 +1,7 @@
 //! `mp-fuzz` — the offline fuzz runner.
 //!
 //! ```text
-//! mp-fuzz [--target csv|exchange|envelope|all] [--seed N] [--iters N]
+//! mp-fuzz [--target csv|exchange|envelope|frame|all] [--seed N] [--iters N]
 //!         [--emit-seeds]
 //! ```
 //!
@@ -52,7 +52,7 @@ fn run(argv: &[String]) -> Result<bool, String> {
             "--replay" => replay = Some(take(&mut args, "--replay")?),
             "--help" | "-h" => {
                 println!(
-                    "usage: mp-fuzz [--target csv|exchange|envelope|all] [--seed N] [--iters N] [--emit-seeds]"
+                    "usage: mp-fuzz [--target csv|exchange|envelope|frame|all] [--seed N] [--iters N] [--emit-seeds]"
                 );
                 return Ok(true);
             }
@@ -66,7 +66,7 @@ fn run(argv: &[String]) -> Result<bool, String> {
         .collect();
     if targets.is_empty() {
         return Err(format!(
-            "unknown target `{target_filter}` (expected csv, exchange, envelope or all)"
+            "unknown target `{target_filter}` (expected csv, exchange, envelope, frame or all)"
         ));
     }
 

@@ -8,6 +8,7 @@
 //! * accepted inputs re-encode to a *canonical* form that survives a
 //!   second decode/encode round trip bit-identically.
 
+use mp_federated::net::{decode_stream, encode_stream, AbortReason, FrameError, SessionFrame};
 use mp_federated::{Envelope, MsgId, Payload, WireError};
 use mp_metadata::{Fd, MetadataPackage};
 use mp_relation::csv::{self, CsvOptions};
@@ -48,6 +49,7 @@ pub fn registry() -> Vec<Box<dyn FuzzTarget>> {
         Box::new(CsvTarget),
         Box::new(ExchangeTarget),
         Box::new(EnvelopeTarget),
+        Box::new(FrameTarget),
     ]
 }
 
@@ -208,11 +210,110 @@ impl FuzzTarget for EnvelopeTarget {
     }
 }
 
+/// Session-frame stream decoding for `mpriv serve`:
+/// [`decode_stream`] over the `[len u32 LE][kind u8][body]` framing,
+/// canonicalised by [`encode_stream`]. Exercises the exact decoder the
+/// daemon's per-connection reader runs on untrusted socket bytes:
+/// length-prefix truncation, zero-length and oversized-length claims,
+/// bad kinds/bodies, and spliced multi-frame streams.
+pub struct FrameTarget;
+
+impl FuzzTarget for FrameTarget {
+    fn name(&self) -> &'static str {
+        "frame"
+    }
+
+    fn dictionary(&self) -> &'static [&'static [u8]] {
+        &[
+            // Plausible little-endian length prefixes.
+            &[0x00, 0x00, 0x00, 0x00],
+            &[0x01, 0x00, 0x00, 0x00],
+            &[0x19, 0x00, 0x00, 0x00],
+            &[0xFF, 0xFF, 0xFF, 0xFF],
+            &[0x11, 0x00, 0x00, 0x01],
+            // Frame kind bytes (Hello..Abort).
+            &[0x01],
+            &[0x02],
+            &[0x03],
+            &[0x04],
+            &[0x05],
+            &[0x06],
+            // Abort codes.
+            &[0x07],
+            // Envelope magic for kind-3 bodies.
+            b"MP",
+            b"shutting down",
+        ]
+    }
+
+    fn seeds(&self) -> Vec<Vec<u8>> {
+        let envelopes: Vec<SessionFrame> = sample_envelopes()
+            .into_iter()
+            .map(SessionFrame::Envelope)
+            .collect();
+        vec![
+            // A full session lifecycle in one stream.
+            encode_stream(&[
+                SessionFrame::Hello {
+                    session: 7,
+                    party: 0,
+                    n_parties: 2,
+                },
+                SessionFrame::Welcome {
+                    session: 7,
+                    party: 0,
+                    n_parties: 2,
+                },
+            ]),
+            encode_stream(&envelopes),
+            encode_stream(&[SessionFrame::Done { party: 1 }, SessionFrame::Complete]),
+            // Every abort reason once.
+            encode_stream(&[
+                SessionFrame::Abort(AbortReason::PeerDisconnected { party: 1 }),
+                SessionFrame::Abort(AbortReason::HandshakeTimeout),
+                SessionFrame::Abort(AbortReason::IdleTimeout),
+                SessionFrame::Abort(AbortReason::QueueOverflow { party: 0 }),
+                SessionFrame::Abort(AbortReason::Spoofed { claimed: 2 }),
+                SessionFrame::Abort(AbortReason::ServerShutdown),
+                SessionFrame::Abort(AbortReason::Protocol("bad frame".to_owned())),
+            ]),
+        ]
+    }
+
+    fn run(&self, input: &[u8]) -> TargetOutcome {
+        match decode_stream(input) {
+            Err(e) => TargetOutcome::Rejected {
+                error: frame_error_label(&e),
+            },
+            Ok(frames) => TargetOutcome::Accepted {
+                canonical: encode_stream(&frames),
+            },
+        }
+    }
+}
+
+/// Collapses a [`FrameError`] to its variant label, for the same reason
+/// as [`wire_error_label`]: offsets and claimed lengths vary with every
+/// mutation and would flood the corpus with equivalent signatures.
+fn frame_error_label(e: &FrameError) -> String {
+    match e {
+        FrameError::ZeroLength { .. } => "zero-length frame".to_owned(),
+        FrameError::TooLarge { .. } => "frame too large".to_owned(),
+        FrameError::Truncated { .. } => "truncated frame".to_owned(),
+        FrameError::BadKind { .. } => "bad frame kind".to_owned(),
+        FrameError::BadBody { kind, .. } => format!("bad body for kind {kind}"),
+        FrameError::BadUtf8 => "bad utf-8".to_owned(),
+        FrameError::Envelope(w) => format!("bad envelope: {}", wire_error_label(w)),
+    }
+}
+
 /// Collapses a [`WireError`] to its variant label: the payload of e.g.
 /// `UnexpectedEof` varies with every truncation point, and a signature
 /// per offset would flood the corpus with equivalent rejections.
 fn wire_error_label(e: &WireError) -> String {
     match e {
+        WireError::Empty => "empty input".to_owned(),
+        WireError::FrameTooLarge { .. } => "frame too large".to_owned(),
         WireError::UnexpectedEof { .. } => "unexpected EOF".to_owned(),
         WireError::BadMagic => "bad magic".to_owned(),
         WireError::UnsupportedVersion { .. } => "unsupported version".to_owned(),
@@ -282,7 +383,7 @@ mod tests {
     #[test]
     fn registry_names_are_stable_and_unique() {
         let names: Vec<&str> = registry().iter().map(|t| t.name()).collect();
-        assert_eq!(names, vec!["csv", "exchange", "envelope"]);
+        assert_eq!(names, vec!["csv", "exchange", "envelope", "frame"]);
         assert!(by_name("csv").is_some());
         assert!(by_name("nonsense").is_none());
     }
@@ -326,6 +427,15 @@ mod tests {
             ("exchange", b"not json"),
             ("envelope", b"XX whatever"),
             ("envelope", b""),
+            // Zero-length prefix.
+            ("frame", &[0x00, 0x00, 0x00, 0x00]),
+            // Oversized length claim with no body behind it.
+            ("frame", &[0xFF, 0xFF, 0xFF, 0xFF, 0x03]),
+            // Truncated mid-prefix and mid-body.
+            ("frame", &[0x05, 0x00]),
+            ("frame", &[0x05, 0x00, 0x00, 0x00, 0x04]),
+            // Unknown kind byte.
+            ("frame", &[0x01, 0x00, 0x00, 0x00, 0x99]),
         ];
         for (name, input) in cases {
             let target = by_name(name).expect("registered");
