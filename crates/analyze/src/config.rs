@@ -87,6 +87,7 @@ impl Config {
                 paths: vec![
                     "crates/cli/src/commands.rs".to_owned(),
                     "crates/cli/src/main.rs".to_owned(),
+                    "crates/core/src/matrix.rs".to_owned(),
                     "crates/observe/src/snapshot.rs".to_owned(),
                 ],
                 ..RuleScope::default()

@@ -142,6 +142,79 @@ pub fn audit(
     ))
 }
 
+/// Resolves a matrix dataset name. The registry is fixed: the three
+/// tables the leakage matrix ships with (ISSUE 9) — the paper's
+/// echocardiogram reconstruction with its verified dependency inventory,
+/// the Figure 1 bank table scaled to 500 customers, and the UCI-style
+/// car-evaluation cross product.
+pub fn matrix_dataset(name: &str) -> Result<mp_core::MatrixDataset, String> {
+    match name {
+        "echocardiogram" => Ok(mp_core::MatrixDataset {
+            name: name.to_owned(),
+            relation: mp_datasets::echocardiogram(),
+            dependencies: mp_datasets::verified_dependencies(),
+        }),
+        "bank" => {
+            let party = mp_datasets::bank_table(500);
+            Ok(mp_core::MatrixDataset {
+                name: name.to_owned(),
+                relation: party.relation,
+                dependencies: party.dependencies,
+            })
+        }
+        "car" => {
+            let (relation, dependencies) = mp_datasets::car_table();
+            Ok(mp_core::MatrixDataset {
+                name: name.to_owned(),
+                relation,
+                dependencies,
+            })
+        }
+        other => Err(format!(
+            "unknown dataset `{other}` (expected echocardiogram|bank|car)"
+        )),
+    }
+}
+
+/// `mpriv audit --matrix [--datasets a,b] [--adversaries m,n] [--rounds N]
+/// [--epsilon E] [--threads T]` — the full leakage matrix: metadata class
+/// × share policy × adversary model over the named datasets. Returns the
+/// evaluated matrix plus its rendered markdown; the binary decides where
+/// the JSON and markdown go. Byte-reproducible for any thread count.
+pub fn audit_matrix(
+    datasets: &str,
+    adversaries: &str,
+    rounds: usize,
+    epsilon: f64,
+    threads: usize,
+    recorder: &dyn Recorder,
+) -> Result<(mp_core::LeakageMatrix, String), String> {
+    let datasets = datasets
+        .split(',')
+        .map(|name| matrix_dataset(name.trim()))
+        .collect::<Result<Vec<_>, _>>()?;
+    if datasets.is_empty() {
+        return Err("--datasets must name at least one dataset".to_owned());
+    }
+    let adversaries = adversaries
+        .split(',')
+        .map(|label| mp_synth::AdversaryModel::parse(label.trim()))
+        .collect::<Result<Vec<_>, _>>()?;
+    if adversaries.is_empty() {
+        return Err("--adversaries must name at least one model".to_owned());
+    }
+    let config = mp_core::MatrixConfig {
+        rounds,
+        epsilon,
+        threads,
+        adversaries,
+    };
+    let matrix =
+        mp_core::LeakageMatrix::run(&datasets, &config, recorder).map_err(|e| e.to_string())?;
+    let markdown = matrix.render_markdown();
+    Ok((matrix, markdown))
+}
+
 /// `mpriv identifiability <csv> --max-size K --qi a,b,c`.
 pub fn identifiability(
     relation: &Relation,
@@ -502,6 +575,15 @@ USAGE:
       PLI builds, cache traffic, per-pass spans) to the path.
   mpriv audit <csv> [--policy names|domains|full|recommended] [--rounds N] [--epsilon E]
       Simulate the metadata synthesis attack the policy would enable.
+  mpriv audit --matrix [--datasets echocardiogram,bank,car] [--adversaries baseline,partial50,collude2,noisy10]
+              [--rounds N] [--epsilon E] [--threads T] [--out matrix.json] [--md matrix.md] [--metrics-json out.json]
+      Leakage-audit matrix over the built-in datasets: metadata class
+      (domains-only, +FD, +OD, +ND, +DD, +OFD, +CFD) × share policy
+      (names|domains|full|recommended|redact-odd) × adversary model
+      (baseline, partialNN alignment, colludeK pooling, noisyNN domains).
+      Prints markdown; --out writes schema-versioned sorted-key JSON,
+      --md writes the markdown. Byte-reproducible across runs and
+      thread counts.
   mpriv identifiability <csv> [--max-size K] [--qi i,j,k]
       GDPR-style identifiability (Definition 2.1) and optional k-anonymity.
   mpriv anonymize <csv> --qi i,j [--k K] [--out out.csv]
@@ -689,6 +771,28 @@ mod tests {
     #[test]
     fn simulate_rejects_unknown_fault() {
         assert!(simulate(0, "gremlins", 60).is_err());
+    }
+
+    #[test]
+    fn matrix_dataset_registry() {
+        for name in ["echocardiogram", "bank", "car"] {
+            let ds = matrix_dataset(name).unwrap();
+            assert_eq!(ds.name, name);
+            assert!(ds.relation.n_rows() > 0);
+            assert!(!ds.dependencies.is_empty());
+        }
+        assert!(matrix_dataset("nope").is_err());
+    }
+
+    #[test]
+    fn audit_matrix_runs_and_rejects_bad_input() {
+        let (matrix, md) = audit_matrix("car", "baseline", 3, 0.5, 1, &NoopRecorder).unwrap();
+        // 1 dataset × 1 adversary × 7 classes × 5 policies.
+        assert_eq!(matrix.cells.len(), 35);
+        assert!(md.contains("## car — adversary: baseline"));
+        assert!(matrix.to_json().contains("\"schema_version\": 1"));
+        assert!(audit_matrix("nope", "baseline", 3, 0.5, 1, &NoopRecorder).is_err());
+        assert!(audit_matrix("car", "mallory", 3, 0.5, 1, &NoopRecorder).is_err());
     }
 
     #[test]

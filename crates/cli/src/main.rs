@@ -89,6 +89,43 @@ fn run(argv: &[String]) -> Result<String, String> {
                 }
             }
         }
+        "audit" if parsed.options.contains_key("matrix") => {
+            let datasets = parsed.get_or("datasets", "echocardiogram,bank,car".to_owned())?;
+            let adversaries = parsed.get_or(
+                "adversaries",
+                "baseline,partial50,collude2,noisy10".to_owned(),
+            )?;
+            let rounds = parsed.get_or("rounds", 40usize)?;
+            let epsilon = parsed.get_or("epsilon", 0.5f64)?;
+            let threads = parsed.get_or("threads", 0usize)?;
+            let metrics_path = parsed.options.get("metrics-json").cloned();
+            let registry = Registry::new();
+            let recorder: &dyn mp_observe::Recorder = if metrics_path.is_some() {
+                &registry
+            } else {
+                &mp_observe::NoopRecorder
+            };
+            let (matrix, markdown) = commands::audit_matrix(
+                &datasets,
+                &adversaries,
+                rounds,
+                epsilon,
+                threads,
+                recorder,
+            )?;
+            if let Some(path) = parsed.options.get("out") {
+                std::fs::write(path, matrix.to_json())
+                    .map_err(|e| format!("cannot write matrix JSON to `{path}`: {e}"))?;
+            }
+            if let Some(path) = parsed.options.get("md") {
+                std::fs::write(path, &markdown)
+                    .map_err(|e| format!("cannot write matrix markdown to `{path}`: {e}"))?;
+            }
+            if let Some(path) = metrics_path {
+                write_metrics(&registry, &path)?;
+            }
+            Ok(markdown)
+        }
         "audit" => {
             let rel = load(parsed.positional(0, "csv")?)?;
             let policy = commands::policy_by_name(&parsed.get_or("policy", "domains".to_owned())?)?;

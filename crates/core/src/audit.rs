@@ -21,7 +21,9 @@ pub struct AuditConfig {
     pub epsilon: f64,
     /// Largest attribute-subset size for identifiability.
     pub max_subset_size: usize,
-    /// Base seed.
+    /// Base seed. Each policy's attack derives its own stream from this
+    /// via [`crate::seed_for`], so the four preset measurements are
+    /// independent rather than replaying one random stream four times.
     pub base_seed: u64,
 }
 
@@ -89,11 +91,6 @@ impl PrivacyAudit {
         }
 
         let package = MetadataPackage::describe("audit", relation, dependencies.clone())?;
-        let experiment = ExperimentConfig {
-            rounds: config.rounds,
-            base_seed: config.base_seed,
-            epsilon: config.epsilon,
-        };
         let presets: [(&'static str, SharePolicy); 4] = [
             ("names", SharePolicy::NAMES_ONLY),
             ("domains", SharePolicy::NAMES_AND_DOMAINS),
@@ -102,6 +99,14 @@ impl PrivacyAudit {
         ];
         let mut policies = Vec::with_capacity(presets.len());
         for (name, policy) in presets {
+            // Per-policy stream: `base_seed + r` alone collides across
+            // policies (every preset would replay the same rounds), so
+            // the cell coordinate is folded in first.
+            let experiment = ExperimentConfig {
+                rounds: config.rounds,
+                base_seed: config.base_seed ^ crate::seed_for("audit", name, "baseline", 0),
+                epsilon: config.epsilon,
+            };
             let result = run_attack(relation, &policy.apply(&package), true, &experiment)?;
             policies.push(PolicyOutcome {
                 policy: name,

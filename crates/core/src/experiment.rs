@@ -42,6 +42,19 @@ impl Default for ExperimentConfig {
     }
 }
 
+impl ExperimentConfig {
+    /// The RNG seed for round `round` of *this* experiment:
+    /// `base_seed + round` (wrapping), byte-for-byte the derivation the
+    /// Tables III/IV goldens were pinned on. Consecutive seeds within one
+    /// experiment are harmless; what must never happen is two *different*
+    /// experiments (another policy, another dataset) reusing the same
+    /// stream — callers running many experiments derive each cell's
+    /// `base_seed` through [`crate::seed_for`] first.
+    pub fn round_seed(&self, round: usize) -> u64 {
+        self.base_seed.wrapping_add(round as u64)
+    }
+}
+
 /// Per-attribute outcome, averaged over rounds.
 #[derive(Debug, Clone)]
 pub struct AttrSummary {
@@ -91,7 +104,7 @@ pub fn run_attack(
     for round in 0..config.rounds {
         let synth_cfg = SynthConfig {
             n_rows: n,
-            seed: config.base_seed.wrapping_add(round as u64),
+            seed: config.round_seed(round),
             use_dependencies,
         };
         let syn = adversary.synthesize(&synth_cfg)?;
@@ -125,7 +138,7 @@ pub fn run_cell(
     let mut acc = RoundAccumulator::new(attr, name);
 
     for round in 0..config.rounds {
-        let mut rng = StdRng::seed_from_u64(config.base_seed.wrapping_add(round as u64));
+        let mut rng = StdRng::seed_from_u64(config.round_seed(round));
         let syn_col: Vec<Value> = match dep {
             None => mp_synth::sample_column(&domains[attr], n, &mut rng),
             Some(dep) => {
@@ -169,7 +182,7 @@ pub fn run_cell_with_known_lhs(
     let lhs_cols: Vec<&[Value]> = lhs_owned.iter().map(Vec::as_slice).collect();
 
     for round in 0..config.rounds {
-        let mut rng = StdRng::seed_from_u64(config.base_seed.wrapping_add(round as u64));
+        let mut rng = StdRng::seed_from_u64(config.round_seed(round));
         let syn_col = derive(dep, &lhs_cols, &domains[attr], n, &mut rng);
         acc.push_column(real, attr, &syn_col, config.epsilon)?;
     }

@@ -25,8 +25,10 @@ pub mod defense;
 pub mod experiment;
 pub mod identifiability;
 pub mod leakage;
+pub mod matrix;
 pub mod metric;
 pub mod report;
+pub mod seed;
 
 pub use audit::{AuditConfig, CfdRisk, PolicyOutcome, PrivacyAudit};
 pub use defense::{bucketize_column, generalize_to_k, k_anonymity};
@@ -40,7 +42,11 @@ pub use leakage::{
     categorical_matches, continuous_matches, leakage_rate, measure_all, measure_all_with, mse,
     tuple_matches, AttrLeakage,
 };
+pub use matrix::{
+    LeakageMatrix, MatrixCell, MatrixConfig, MatrixDataset, MatrixPolicy, MetadataClass,
+};
 pub use metric::{
     continuous_matches_metric, distance_series, tuple_distance_matches, ScalarMetric, VectorMetric,
 };
 pub use report::{na_cell, TextTable};
+pub use seed::seed_for;

@@ -1,0 +1,362 @@
+//! The paper's conclusions as machine-checked properties of the leakage
+//! matrix (ISSUE 9, satellite 3):
+//!
+//! 1. **FDs add no extra leakage over domains** (§III-B) — for every
+//!    dataset × policy × adversary coordinate.
+//! 2. **Partial-alignment leakage is monotone in the aligned fraction**
+//!    — *exactly*, because aligned subsets are nested and partial
+//!    adversaries share the baseline's generation streams.
+//! 3. **Collusion leakage bounds any single party's** — the pooled
+//!    package's analytical expectation dominates every view's, and the
+//!    pool of all views reassembles full knowledge.
+//! 4. **Noisy domains mitigate monotonically** — the analytical
+//!    expectation never increases with the noise level.
+
+use mp_core::{seed_for, LeakageMatrix, MatrixConfig, MatrixDataset};
+use mp_metadata::MetadataPackage;
+use mp_observe::NoopRecorder;
+use mp_relation::{Attribute, Relation, Schema, Value};
+use mp_synth::{Adversary, AdversaryModel, SynthConfig};
+use proptest::prelude::*;
+
+fn echo_dataset() -> MatrixDataset {
+    MatrixDataset {
+        name: "echocardiogram".to_owned(),
+        relation: mp_datasets::echocardiogram(),
+        dependencies: mp_datasets::verified_dependencies(),
+    }
+}
+
+fn car_dataset() -> MatrixDataset {
+    let (relation, dependencies) = mp_datasets::car_table();
+    MatrixDataset {
+        name: "car".to_owned(),
+        relation,
+        dependencies,
+    }
+}
+
+fn bank_dataset() -> MatrixDataset {
+    let party = mp_datasets::bank_table(200);
+    MatrixDataset {
+        name: "bank".to_owned(),
+        relation: party.relation,
+        dependencies: party.dependencies,
+    }
+}
+
+/// A small synthetic table for the proptests: categorical key, skewed
+/// categorical, bounded continuous — enough structure that domains leak.
+fn tiny_dataset(n: usize) -> MatrixDataset {
+    let schema = Schema::new(vec![
+        Attribute::categorical("dept"),
+        Attribute::continuous("salary"),
+        Attribute::categorical("grade"),
+    ])
+    .unwrap();
+    let rows: Vec<Vec<Value>> = (0..n)
+        .map(|i| {
+            vec![
+                ["Sales", "CS", "Mgmt", "Legal"][i % 4].into(),
+                (20.0 + (i % 6) as f64).into(),
+                Value::Int((i % 3) as i64),
+            ]
+        })
+        .collect();
+    MatrixDataset {
+        name: "tiny".to_owned(),
+        relation: Relation::from_rows(schema, rows).unwrap(),
+        dependencies: vec![mp_metadata::Fd::new(0usize, 2).into()],
+    }
+}
+
+fn config(rounds: usize, adversaries: Vec<AdversaryModel>) -> MatrixConfig {
+    MatrixConfig {
+        rounds,
+        epsilon: 0.5,
+        threads: 0,
+        adversaries,
+    }
+}
+
+const ALL_ADVERSARIES: [AdversaryModel; 4] = [
+    AdversaryModel::Baseline,
+    AdversaryModel::PartialAlignment { aligned_pct: 50 },
+    AdversaryModel::Collusion { parties: 2 },
+    AdversaryModel::NoisyDomains { noise_pct: 10 },
+];
+
+// ---- claim 1: FDs add no extra leakage over domains ----------------------
+
+#[test]
+fn fd_adds_no_extra_leakage_on_every_dataset_policy_adversary_cell() {
+    let datasets = [echo_dataset(), bank_dataset(), car_dataset()];
+    let matrix = LeakageMatrix::run(
+        &datasets,
+        &config(8, ALL_ADVERSARIES.to_vec()),
+        &NoopRecorder,
+    )
+    .unwrap();
+    // 3 datasets × 4 adversaries × 7 classes × 5 policies.
+    assert_eq!(matrix.cells.len(), 420);
+    let violations = matrix.fd_adds_no_extra_leakage();
+    assert!(violations.is_empty(), "§III-B violated at: {violations:?}");
+}
+
+// ---- claim 2: partial alignment is exactly monotone in f -----------------
+
+#[test]
+fn partial_alignment_leakage_monotone_in_aligned_fraction() {
+    let datasets = [tiny_dataset(48), car_dataset()];
+    let fractions = [10u8, 25, 50, 75, 100];
+    let adversaries: Vec<AdversaryModel> = fractions
+        .iter()
+        .map(|&aligned_pct| AdversaryModel::PartialAlignment { aligned_pct })
+        .collect();
+    let matrix = LeakageMatrix::run(&datasets, &config(5, adversaries), &NoopRecorder).unwrap();
+    for ds in ["tiny", "car"] {
+        for cell in matrix.cells.iter().filter(|c| c.dataset == ds) {
+            // Compare each fraction against the next one up.
+            for window in fractions.windows(2) {
+                let (lo, hi) = (window[0], window[1]);
+                let low = matrix
+                    .find(ds, cell.class, cell.policy, &format!("partial{lo}"))
+                    .unwrap();
+                let high = matrix
+                    .find(ds, cell.class, cell.policy, &format!("partial{hi}"))
+                    .unwrap();
+                assert!(
+                    low.empirical <= high.empirical,
+                    "{ds}/{}/{}: partial{lo} leaked {} > partial{hi}'s {} — \
+                     nested subsets of one synthetic relation cannot lose matches",
+                    cell.class,
+                    cell.policy,
+                    low.empirical,
+                    high.empirical
+                );
+                assert!(low.rows_scored <= high.rows_scored);
+            }
+        }
+    }
+}
+
+// ---- claim 3: collusion bounds any single party --------------------------
+
+#[test]
+fn collusion_analytical_leakage_dominates_every_single_view() {
+    let ds = echo_dataset();
+    let package =
+        MetadataPackage::describe("owner", &ds.relation, ds.dependencies.clone()).unwrap();
+    let n = ds.relation.n_rows();
+    let epsilon = 0.5;
+    let expected = |pkg: &MetadataPackage| -> f64 {
+        pkg.attributes
+            .iter()
+            .filter_map(|a| a.domain.as_ref())
+            .map(|d| mp_core::analytical::random::expected_matches_for_domain(n, d, epsilon))
+            .sum()
+    };
+    for k in 2..=4usize {
+        let views = AdversaryModel::collusion_views(&package, k);
+        let pooled = MetadataPackage::pool(&views).unwrap();
+        let pooled_expected = expected(&pooled);
+        let mut max_single = 0.0f64;
+        for view in &views {
+            let e = expected(view);
+            assert!(
+                pooled_expected >= e,
+                "k={k}: pooled {pooled_expected} < single view {e}"
+            );
+            max_single = max_single.max(e);
+        }
+        assert!(
+            pooled_expected >= max_single,
+            "k={k}: collusion must dominate the best-informed single party"
+        );
+        // The views partition the domains, so pooling reassembles exactly
+        // the full package's expectation (views overlap only in names).
+        let full_expected = expected(&package);
+        assert!(
+            (pooled_expected - full_expected).abs() < 1e-9,
+            "pool of all views must reassemble full knowledge"
+        );
+    }
+}
+
+#[test]
+fn collusion_empirical_leakage_dominates_views_with_fixed_seeds() {
+    // Measured version of claim 3 on the tiny table: attack rounds from
+    // the pooled package vs each view, same number of rounds, seeds from
+    // the shared derivation.
+    let ds = tiny_dataset(60);
+    let package = MetadataPackage::describe("owner", &ds.relation, vec![]).unwrap();
+    let rounds = 12u64;
+    let epsilon = 0.5;
+    let measure = |pkg: &MetadataPackage, label: &str| -> f64 {
+        let adversary = Adversary::new(pkg.clone());
+        let mut total = 0.0;
+        for round in 0..rounds {
+            let syn = adversary
+                .synthesize(&SynthConfig {
+                    n_rows: ds.relation.n_rows(),
+                    seed: seed_for("tiny", "claims", label, round),
+                    use_dependencies: true,
+                })
+                .unwrap();
+            for (attr, attribute) in ds.relation.schema().iter() {
+                let real = ds.relation.column(attr).unwrap();
+                let synth = syn.column(attr).unwrap();
+                for i in 0..ds.relation.n_rows() {
+                    let hit = match attribute.kind {
+                        mp_relation::AttrKind::Continuous => {
+                            match (real.f64_at(i), synth.f64_at(i)) {
+                                (Some(x), Some(y)) => (x - y).abs() <= epsilon,
+                                _ => false,
+                            }
+                        }
+                        _ => real.value_ref(i) == synth.value_ref(i),
+                    };
+                    if hit {
+                        total += 1.0;
+                    }
+                }
+            }
+        }
+        total / rounds as f64
+    };
+    let views = AdversaryModel::collusion_views(&package, 2);
+    let pooled = MetadataPackage::pool(&views).unwrap();
+    let pooled_mean = measure(&pooled, "pooled");
+    for (i, view) in views.iter().enumerate() {
+        let view_mean = measure(view, "view");
+        // Generous statistical slack: the pooled adversary generates for
+        // strictly more attributes, so it can only gain in expectation.
+        assert!(
+            pooled_mean >= view_mean - 3.0,
+            "pooled mean {pooled_mean} fell below view {i}'s {view_mean}"
+        );
+    }
+}
+
+// ---- claim 4: noisy domains mitigate monotonically -----------------------
+
+#[test]
+fn noisy_domains_never_increase_analytical_leakage() {
+    let datasets = [tiny_dataset(48), bank_dataset()];
+    let adversaries = vec![
+        AdversaryModel::Baseline,
+        AdversaryModel::NoisyDomains { noise_pct: 10 },
+        AdversaryModel::NoisyDomains { noise_pct: 50 },
+    ];
+    let matrix = LeakageMatrix::run(&datasets, &config(4, adversaries), &NoopRecorder).unwrap();
+    for cell in matrix.cells.iter().filter(|c| c.adversary == "baseline") {
+        let n10 = matrix
+            .find(&cell.dataset, cell.class, cell.policy, "noisy10")
+            .unwrap();
+        let n50 = matrix
+            .find(&cell.dataset, cell.class, cell.policy, "noisy50")
+            .unwrap();
+        assert!(
+            n10.analytical <= cell.analytical + 1e-9,
+            "{}/{}/{}: 10% noise must not raise Σ N·θ",
+            cell.dataset,
+            cell.class,
+            cell.policy
+        );
+        assert!(
+            n50.analytical <= n10.analytical + 1e-9,
+            "{}/{}/{}: θ must be non-increasing in noise",
+            cell.dataset,
+            cell.class,
+            cell.policy
+        );
+    }
+}
+
+#[test]
+fn collusion_of_all_views_matches_baseline_analytical() {
+    // The pooled collude-k package reassembles the shared package, so the
+    // analytical column must agree with the baseline cell exactly.
+    let datasets = [tiny_dataset(48)];
+    let adversaries = vec![
+        AdversaryModel::Baseline,
+        AdversaryModel::Collusion { parties: 2 },
+        AdversaryModel::Collusion { parties: 3 },
+    ];
+    let matrix = LeakageMatrix::run(&datasets, &config(4, adversaries), &NoopRecorder).unwrap();
+    for cell in matrix.cells.iter().filter(|c| c.adversary == "baseline") {
+        for collude in ["collude2", "collude3"] {
+            let pooled = matrix
+                .find(&cell.dataset, cell.class, cell.policy, collude)
+                .unwrap();
+            assert!(
+                (pooled.analytical - cell.analytical).abs() < 1e-9,
+                "{}/{}/{}: {collude} pooled package must carry the same domains",
+                cell.dataset,
+                cell.class,
+                cell.policy
+            );
+            assert_eq!(pooled.n_deps, cell.n_deps);
+        }
+    }
+}
+
+// ---- proptests -----------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn partial_alignment_monotone_for_arbitrary_fractions(
+        lo in 1u8..=99,
+        span in 1u8..=99,
+        n in 24usize..=60,
+    ) {
+        let hi = lo.saturating_add(span).min(100);
+        prop_assume!(lo < hi);
+        let datasets = [tiny_dataset(n)];
+        let adversaries = vec![
+            AdversaryModel::PartialAlignment { aligned_pct: lo },
+            AdversaryModel::PartialAlignment { aligned_pct: hi },
+        ];
+        let matrix = LeakageMatrix::run(&datasets, &config(3, adversaries), &NoopRecorder)
+            .unwrap();
+        for cell in matrix.cells.iter().filter(|c| c.adversary == format!("partial{lo}")) {
+            let high = matrix
+                .find(&cell.dataset, cell.class, cell.policy, &format!("partial{hi}"))
+                .unwrap();
+            prop_assert!(
+                cell.empirical <= high.empirical,
+                "partial{} leaked {} > partial{}'s {} at {}/{}",
+                lo, cell.empirical, hi, high.empirical, cell.class, cell.policy
+            );
+        }
+    }
+
+    #[test]
+    fn noise_monotone_for_arbitrary_levels(
+        lo in 0u8..=99,
+        span in 1u8..=100,
+        n in 24usize..=60,
+    ) {
+        let hi = lo.saturating_add(span).min(100);
+        prop_assume!(lo < hi);
+        let datasets = [tiny_dataset(n)];
+        let adversaries = vec![
+            AdversaryModel::NoisyDomains { noise_pct: lo },
+            AdversaryModel::NoisyDomains { noise_pct: hi },
+        ];
+        let matrix = LeakageMatrix::run(&datasets, &config(3, adversaries), &NoopRecorder)
+            .unwrap();
+        for cell in matrix.cells.iter().filter(|c| c.adversary == format!("noisy{lo}")) {
+            let noisier = matrix
+                .find(&cell.dataset, cell.class, cell.policy, &format!("noisy{hi}"))
+                .unwrap();
+            prop_assert!(
+                noisier.analytical <= cell.analytical + 1e-9,
+                "noisy{} analytical {} > noisy{}'s {} at {}/{}",
+                hi, noisier.analytical, lo, cell.analytical, cell.class, cell.policy
+            );
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! A UCI *car evaluation*-style categorical table.
+//!
+//! The second new matrix dataset is all-categorical, complementing the
+//! mixed echocardiogram and bank tables: the full cross product of five
+//! ordinal feature columns plus an acceptability class computed by a
+//! fixed rule (like UCI `car`, whose class is a published decision rule
+//! over the features). Everything is enumerated — no RNG — so the table
+//! is a pure constant.
+//!
+//! Planted inventory: the decision rule is a function of
+//! `{buying, persons, safety}` (an exact FD), `safety = low` forces
+//! `class = unacc` (a constant CFD — the value-carrying class), and the
+//! cross product makes `buying →≤4 maint` a trivially tight numerical
+//! dependency. No OD/DD/OFD holds, so those matrix rows coincide with
+//! domains-only here.
+
+use mp_metadata::{ConditionalFd, Dependency, Fd, NumericalDep};
+use mp_relation::{Attribute, Relation, Schema, Value};
+
+/// Cardinalities of the five feature columns, in schema order.
+const LEVELS: [i64; 5] = [4, 4, 4, 3, 3];
+
+/// The acceptability rule: a total function of buying price, capacity
+/// and safety (maintenance and doors are deliberately ignored so the FD
+/// determinant is a strict attribute subset).
+fn acceptability(buying: i64, persons: i64, safety: i64) -> i64 {
+    if safety == 0 || persons == 0 {
+        0 // unacceptable: unsafe or zero capacity
+    } else if buying <= 1 && safety == 2 {
+        2 // good: cheap and maximally safe
+    } else {
+        1 // acceptable
+    }
+}
+
+/// The 576-row car-evaluation table and its planted dependencies.
+///
+/// Rows enumerate the full `4 × 4 × 4 × 3 × 3` feature cross product in
+/// lexicographic order; the sixth column is `acceptability` applied to
+/// columns 0, 3 and 4. Deterministic by construction.
+pub fn car_table() -> (Relation, Vec<Dependency>) {
+    let schema = Schema::new(vec![
+        Attribute::categorical("buying"),
+        Attribute::categorical("maint"),
+        Attribute::categorical("doors"),
+        Attribute::categorical("persons"),
+        Attribute::categorical("safety"),
+        Attribute::categorical("class"),
+    ])
+    .expect("car schema is valid");
+
+    let mut rows = Vec::with_capacity(576);
+    for buying in 0..LEVELS[0] {
+        for maint in 0..LEVELS[1] {
+            for doors in 0..LEVELS[2] {
+                for persons in 0..LEVELS[3] {
+                    for safety in 0..LEVELS[4] {
+                        rows.push(vec![
+                            Value::Int(buying),
+                            Value::Int(maint),
+                            Value::Int(doors),
+                            Value::Int(persons),
+                            Value::Int(safety),
+                            Value::Int(acceptability(buying, persons, safety)),
+                        ]);
+                    }
+                }
+            }
+        }
+    }
+    let relation = Relation::from_rows(schema, rows).expect("car rows valid");
+
+    let dependencies: Vec<Dependency> = vec![
+        Fd::new(vec![0, 3, 4], 5).into(), // {buying, persons, safety} → class
+        ConditionalFd::constant(4, 0i64, 5, 0i64).into(), // safety = low ⇒ unacc
+        NumericalDep::new(0, 1, 4).into(), // buying →≤4 maint (cross product)
+    ];
+    (relation, dependencies)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_cross_product() {
+        let (rel, _) = car_table();
+        assert_eq!(rel.n_rows(), 576);
+        assert_eq!(rel.arity(), 6);
+        for (col, levels) in LEVELS.iter().enumerate() {
+            assert_eq!(rel.distinct_count(col).unwrap(), *levels as usize);
+        }
+        assert_eq!(rel.distinct_count(5).unwrap(), 3);
+    }
+
+    #[test]
+    fn all_planted_dependencies_hold() {
+        let (rel, deps) = car_table();
+        for dep in &deps {
+            assert!(dep.holds(&rel).unwrap(), "{dep}");
+        }
+    }
+
+    #[test]
+    fn class_ignores_maint_and_doors() {
+        // The FD determinant is strictly {0, 3, 4}: neither maint nor
+        // doors influence the class, pinned by checking the *smaller*
+        // FDs do NOT hold (class genuinely needs all three determinants).
+        let (rel, _) = car_table();
+        assert!(!Fd::new(vec![0, 3], 5).holds(&rel).unwrap());
+        assert!(!Fd::new(vec![0, 4], 5).holds(&rel).unwrap());
+        assert!(!Fd::new(vec![3, 4], 5).holds(&rel).unwrap());
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(car_table().0, car_table().0);
+    }
+}

@@ -14,6 +14,8 @@
 
 #![warn(missing_docs)]
 
+mod bank;
+mod car;
 pub mod echocardiogram;
 mod employee;
 mod fintech;
@@ -21,6 +23,8 @@ mod generator;
 mod iris;
 mod scale;
 
+pub use bank::bank_table;
+pub use car::car_table;
 pub use echocardiogram::{
     echocardiogram, echocardiogram_schema, echocardiogram_with_seed, paper_inventory,
     verified_dependencies, PaperInventory, CATEGORICAL_ATTRS, CONTINUOUS_ATTRS, N_ROWS,

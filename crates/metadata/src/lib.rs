@@ -26,6 +26,7 @@ mod generalization;
 mod graph;
 mod inference;
 mod mfd;
+mod pool;
 mod redaction;
 mod seq;
 
@@ -41,5 +42,6 @@ pub use generalization::DomainGeneralization;
 pub use graph::{DependencyGraph, PlanStep};
 pub use inference::FdSet;
 pub use mfd::{discover_inds, InclusionDep, MetricFd};
+pub use pool::PoolError;
 pub use redaction::SharePolicy;
 pub use seq::SequentialDep;

@@ -1,0 +1,498 @@
+//! Pooling and perturbation of metadata packages — the collusion and
+//! noisy-domain adversary surfaces.
+//!
+//! *Pooling*: when k receiving parties collude, each contributes the
+//! (differently redacted) package it received and the coalition merges
+//! them into one view ([`MetadataPackage::pool`]). The merge is strict:
+//! packages describing different schemas, or carrying *conflicting*
+//! values for the same field, are rejected with a typed [`PoolError`] —
+//! never silently unioned. A field one party has and another lacks is the
+//! normal collusion case and merges fine; two parties claiming different
+//! domains for the same attribute is inconsistent metadata and fails.
+//!
+//! *Perturbation*: a sharing party can blunt the §III-A random-generation
+//! attack without withholding domains entirely by publishing a widened /
+//! padded domain ([`MetadataPackage::with_noisy_domains`]): the
+//! adversary's per-tuple hit probability θ drops monotonically with the
+//! noise level, which `crates/core/src/matrix.rs` verifies empirically
+//! against the analytical model.
+
+use crate::exchange::{AttributeMeta, MetadataPackage};
+use mp_relation::{Domain, Value};
+
+/// Why two packages refused to merge.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PoolError {
+    /// No packages were supplied.
+    Empty,
+    /// A package describes a different number of attributes.
+    ArityMismatch {
+        /// Arity of the first package.
+        expected: usize,
+        /// Arity of the offending package.
+        found: usize,
+        /// Party name of the offending package.
+        party: String,
+    },
+    /// Attribute `index` is named differently across packages — the
+    /// packages describe different schemas.
+    NameMismatch {
+        /// Position of the offending attribute.
+        index: usize,
+        /// Name in the first package.
+        expected: String,
+        /// Conflicting name.
+        found: String,
+    },
+    /// Two packages declare different kinds for the same attribute.
+    KindConflict {
+        /// Position of the offending attribute.
+        index: usize,
+    },
+    /// Two packages declare different domains for the same attribute.
+    DomainConflict {
+        /// Position of the offending attribute.
+        index: usize,
+    },
+    /// Two packages declare different distributions for the same
+    /// attribute.
+    DistributionConflict {
+        /// Position of the offending attribute.
+        index: usize,
+    },
+    /// Two packages declare different row counts.
+    RowCountConflict {
+        /// First row count.
+        a: usize,
+        /// Conflicting row count.
+        b: usize,
+    },
+    /// Two packages declare different wire-format versions.
+    VersionConflict {
+        /// First declared version.
+        a: u32,
+        /// Conflicting version.
+        b: u32,
+    },
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::Empty => write!(f, "cannot pool zero packages"),
+            PoolError::ArityMismatch {
+                expected,
+                found,
+                party,
+            } => write!(
+                f,
+                "package from `{party}` describes {found} attributes, expected {expected}"
+            ),
+            PoolError::NameMismatch {
+                index,
+                expected,
+                found,
+            } => write!(
+                f,
+                "attribute {index} is `{expected}` in one package and `{found}` in another"
+            ),
+            PoolError::KindConflict { index } => {
+                write!(f, "conflicting kinds for attribute {index}")
+            }
+            PoolError::DomainConflict { index } => {
+                write!(f, "conflicting domains for attribute {index}")
+            }
+            PoolError::DistributionConflict { index } => {
+                write!(f, "conflicting distributions for attribute {index}")
+            }
+            PoolError::RowCountConflict { a, b } => {
+                write!(f, "conflicting row counts {a} and {b}")
+            }
+            PoolError::VersionConflict { a, b } => {
+                write!(f, "conflicting format versions {a} and {b}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Merges `Option` fields: a value present in one package and absent in
+/// another combines; two *different* present values are a conflict.
+fn merge_opt<T: Clone + PartialEq>(
+    a: &Option<T>,
+    b: &Option<T>,
+    conflict: PoolError,
+) -> Result<Option<T>, PoolError> {
+    match (a, b) {
+        (Some(x), Some(y)) if x != y => Err(conflict),
+        (Some(x), _) => Ok(Some(x.clone())),
+        (None, y) => Ok(y.clone()),
+    }
+}
+
+impl MetadataPackage {
+    /// Merges the packages a coalition of colluding receivers pooled.
+    ///
+    /// All packages must describe the same schema (same arity, same
+    /// attribute names in the same order); per-attribute fields merge by
+    /// union-of-knowledge (`Some` beats `None`), but any two packages
+    /// carrying *different* values for the same field — kind, domain,
+    /// distribution, row count or format version — are rejected with a
+    /// typed [`PoolError`]. Dependencies are concatenated in input order
+    /// with exact duplicates dropped; party names join with `+`.
+    pub fn pool(packages: &[MetadataPackage]) -> Result<MetadataPackage, PoolError> {
+        let Some(first) = packages.first() else {
+            return Err(PoolError::Empty);
+        };
+        let mut merged = first.clone();
+        for pkg in packages.iter().skip(1) {
+            if pkg.arity() != merged.arity() {
+                return Err(PoolError::ArityMismatch {
+                    expected: merged.arity(),
+                    found: pkg.arity(),
+                    party: pkg.party.clone(),
+                });
+            }
+            merged.format_version = match (merged.format_version, pkg.format_version) {
+                (Some(a), Some(b)) if a != b => return Err(PoolError::VersionConflict { a, b }),
+                (Some(a), _) => Some(a),
+                (None, b) => b,
+            };
+            merged.n_rows = match (merged.n_rows, pkg.n_rows) {
+                (Some(a), Some(b)) if a != b => return Err(PoolError::RowCountConflict { a, b }),
+                (Some(a), _) => Some(a),
+                (None, b) => b,
+            };
+            let mut attributes = Vec::with_capacity(merged.arity());
+            for (index, (have, new)) in merged.attributes.iter().zip(&pkg.attributes).enumerate() {
+                if have.name != new.name {
+                    return Err(PoolError::NameMismatch {
+                        index,
+                        expected: have.name.clone(),
+                        found: new.name.clone(),
+                    });
+                }
+                attributes.push(AttributeMeta {
+                    name: have.name.clone(),
+                    kind: merge_opt(&have.kind, &new.kind, PoolError::KindConflict { index })?,
+                    domain: merge_opt(
+                        &have.domain,
+                        &new.domain,
+                        PoolError::DomainConflict { index },
+                    )?,
+                    distribution: merge_opt(
+                        &have.distribution,
+                        &new.distribution,
+                        PoolError::DistributionConflict { index },
+                    )?,
+                });
+            }
+            merged.attributes = attributes;
+            for dep in &pkg.dependencies {
+                if !merged.dependencies.contains(dep) {
+                    merged.dependencies.push(dep.clone());
+                }
+            }
+            merged.party = format!("{}+{}", merged.party, pkg.party);
+        }
+        Ok(merged)
+    }
+
+    /// The package with every shared domain deterministically perturbed
+    /// by `noise_pct` percent before crossing the trust boundary.
+    ///
+    /// Continuous domains widen by `noise_pct`% of their range on *each*
+    /// side; categorical domains are padded with
+    /// `ceil(|D| · noise_pct / 100)` spurious labels. Both shrink the
+    /// adversary's per-tuple hit probability `θ` monotonically in
+    /// `noise_pct` (the generated values spread over a strictly larger
+    /// domain), which is exactly the analytical-model prediction the
+    /// leakage matrix checks. `noise_pct = 0` returns the package
+    /// unchanged. No randomness is involved: the perturbed package is a
+    /// pure function of the input, so matrix cells stay reproducible.
+    pub fn with_noisy_domains(&self, noise_pct: u8) -> MetadataPackage {
+        let mut out = self.clone();
+        if noise_pct == 0 {
+            return out;
+        }
+        for meta in &mut out.attributes {
+            meta.domain = meta.domain.as_ref().map(|d| perturb(d, noise_pct));
+        }
+        out
+    }
+}
+
+fn perturb(domain: &Domain, noise_pct: u8) -> Domain {
+    let pct = f64::from(noise_pct) / 100.0;
+    match domain {
+        Domain::Continuous { min, max } => {
+            let pad = (max - min).abs() * pct;
+            Domain::continuous(min - pad, max + pad)
+        }
+        Domain::Categorical(vals) => {
+            let extra = (vals.len() as f64 * pct).ceil() as usize;
+            let mut padded = vals.clone();
+            // The padding must be type-compatible with the values already
+            // in the domain, or the adversary's synthetic draws would mix
+            // types within one column: integer-coded domains grow past
+            // their maximum, float-coded ones likewise, and anything else
+            // gains fresh labels.
+            let max_int = vals
+                .iter()
+                .filter_map(|v| match v {
+                    Value::Int(i) => Some(*i),
+                    _ => None,
+                })
+                .max();
+            let max_float = vals
+                .iter()
+                .filter_map(|v| match v {
+                    Value::Float(f) => Some(*f),
+                    _ => None,
+                })
+                .fold(None::<f64>, |acc, f| Some(acc.map_or(f, |a| a.max(f))));
+            let int_coded = vals
+                .iter()
+                .all(|v| matches!(v, Value::Int(_) | Value::Null));
+            let float_coded = vals
+                .iter()
+                .all(|v| matches!(v, Value::Float(_) | Value::Null));
+            match (int_coded, max_int, float_coded, max_float) {
+                (true, Some(m), _, _) => {
+                    padded.extend((0..extra).map(|i| Value::Int(m + 1 + i as i64)));
+                }
+                (_, _, true, Some(m)) => {
+                    padded.extend((0..extra).map(|i| Value::Float(m + 1.0 + i as f64)));
+                }
+                _ => {
+                    padded.extend((0..extra).map(|i| Value::Text(format!("__noise_{i}"))));
+                }
+            }
+            Domain::Categorical(padded)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dependency::{Fd, OrderDep};
+    use crate::SharePolicy;
+    use mp_relation::{Attribute, Relation, Schema};
+
+    fn rel() -> Relation {
+        let schema = Schema::new(vec![
+            Attribute::categorical("dept"),
+            Attribute::continuous("salary"),
+            Attribute::categorical("region"),
+        ])
+        .unwrap();
+        Relation::from_rows(
+            schema,
+            vec![
+                vec!["Sales".into(), 20.0.into(), "north".into()],
+                vec!["CS".into(), 30.0.into(), "south".into()],
+                vec!["Mgmt".into(), 40.0.into(), "north".into()],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn full() -> MetadataPackage {
+        MetadataPackage::describe(
+            "bank",
+            &rel(),
+            vec![Fd::new(0usize, 2).into(), OrderDep::ascending(1, 2).into()],
+        )
+        .unwrap()
+    }
+
+    /// Strips the domain (and distribution) of every attribute except
+    /// those owned by colluder `i` of `k`.
+    fn view(pkg: &MetadataPackage, i: usize, k: usize) -> MetadataPackage {
+        let mut v = pkg.clone();
+        v.party = format!("colluder{i}");
+        for (a, meta) in v.attributes.iter_mut().enumerate() {
+            if a % k != i {
+                meta.domain = None;
+                meta.distribution = None;
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn pooled_views_reassemble_the_full_package() {
+        let pkg = full();
+        let views: Vec<_> = (0..2).map(|i| view(&pkg, i, 2)).collect();
+        // Neither view alone shares every domain…
+        for v in &views {
+            assert!(v.attributes.iter().any(|a| a.domain.is_none()));
+        }
+        // …but the pool does.
+        let pooled = MetadataPackage::pool(&views).unwrap();
+        assert_eq!(pooled.party, "colluder0+colluder1");
+        assert!(pooled.attributes.iter().all(|a| a.domain.is_some()));
+        assert_eq!(pooled.attributes.len(), pkg.attributes.len());
+        for (p, o) in pooled.attributes.iter().zip(&pkg.attributes) {
+            assert_eq!(p.domain, o.domain);
+        }
+        assert_eq!(pooled.dependencies, pkg.dependencies);
+        assert_eq!(pooled.n_rows, pkg.n_rows);
+    }
+
+    #[test]
+    fn duplicate_dependencies_dedup() {
+        let pkg = full();
+        let pooled = MetadataPackage::pool(&[pkg.clone(), pkg.clone()]).unwrap();
+        assert_eq!(pooled.dependencies, pkg.dependencies);
+    }
+
+    #[test]
+    fn empty_pool_rejected() {
+        assert_eq!(MetadataPackage::pool(&[]), Err(PoolError::Empty));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let pkg = full();
+        let mut other = pkg.clone();
+        other.party = "evil".into();
+        other.attributes.pop();
+        match MetadataPackage::pool(&[pkg, other]) {
+            Err(PoolError::ArityMismatch {
+                expected: 3,
+                found: 2,
+                party,
+            }) => assert_eq!(party, "evil"),
+            other => panic!("expected ArityMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn renamed_attribute_rejected() {
+        let pkg = full();
+        let mut other = pkg.clone();
+        other.attributes[1].name = "wages".into();
+        match MetadataPackage::pool(&[pkg, other]) {
+            Err(PoolError::NameMismatch {
+                index: 1,
+                expected,
+                found,
+            }) => {
+                assert_eq!(expected, "salary");
+                assert_eq!(found, "wages");
+            }
+            other => panic!("expected NameMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conflicting_domain_is_not_silently_unioned() {
+        let pkg = full();
+        let mut other = pkg.clone();
+        other.attributes[0].domain = Some(Domain::categorical(vec!["Sales", "Legal"]));
+        match MetadataPackage::pool(&[pkg, other]) {
+            Err(PoolError::DomainConflict { index: 0 }) => {}
+            other => panic!("expected DomainConflict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conflicting_kind_row_count_and_version_rejected() {
+        let pkg = full();
+
+        let mut kind = pkg.clone();
+        kind.attributes[2].kind = Some(mp_relation::AttrKind::Continuous);
+        assert_eq!(
+            MetadataPackage::pool(&[pkg.clone(), kind]),
+            Err(PoolError::KindConflict { index: 2 })
+        );
+
+        let mut rows = pkg.clone();
+        rows.n_rows = Some(99);
+        assert_eq!(
+            MetadataPackage::pool(&[pkg.clone(), rows]),
+            Err(PoolError::RowCountConflict { a: 3, b: 99 })
+        );
+
+        let mut version = pkg.clone();
+        version.format_version = Some(7);
+        assert!(matches!(
+            MetadataPackage::pool(&[pkg, version]),
+            Err(PoolError::VersionConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_fields_merge_without_conflict() {
+        let pkg = full();
+        let redacted = SharePolicy::NAMES_ONLY.apply(&pkg);
+        let pooled = MetadataPackage::pool(&[redacted, pkg.clone()]).unwrap();
+        assert!(pooled.attributes.iter().all(|a| a.domain.is_some()));
+        assert_eq!(pooled.n_rows, pkg.n_rows);
+    }
+
+    #[test]
+    fn single_package_pools_to_itself() {
+        let pkg = full();
+        assert_eq!(
+            MetadataPackage::pool(std::slice::from_ref(&pkg)).unwrap(),
+            pkg
+        );
+    }
+
+    #[test]
+    fn noisy_domains_widen_and_pad() {
+        let pkg = full();
+        let noisy = pkg.with_noisy_domains(50);
+        // dept: 3 labels + ceil(3·0.5) = 2 spurious.
+        match noisy.attributes[0].domain.as_ref().unwrap() {
+            Domain::Categorical(vals) => {
+                assert_eq!(vals.len(), 5);
+                assert!(vals.contains(&Value::Text("__noise_0".into())));
+            }
+            other => panic!("dept stayed categorical, got {other:?}"),
+        }
+        // salary: [20, 40] widens by 10 each side.
+        match noisy.attributes[1].domain.as_ref().unwrap() {
+            Domain::Continuous { min, max } => {
+                assert!((min - 10.0).abs() < 1e-9 && (max - 50.0).abs() < 1e-9);
+            }
+            other => panic!("salary stayed continuous, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn noise_shrinks_theta_monotonically() {
+        let pkg = full();
+        for attr in 0..pkg.arity() {
+            let mut last = f64::INFINITY;
+            for pct in [0u8, 10, 25, 50, 100] {
+                let d = pkg.with_noisy_domains(pct).attributes[attr]
+                    .domain
+                    .clone()
+                    .unwrap();
+                let theta = d.theta(1.0);
+                assert!(
+                    theta <= last + 1e-12,
+                    "θ must be non-increasing in noise (attr {attr}, {pct}%)"
+                );
+                last = theta;
+            }
+        }
+    }
+
+    #[test]
+    fn zero_noise_is_identity() {
+        let pkg = full();
+        assert_eq!(pkg.with_noisy_domains(0), pkg);
+    }
+
+    #[test]
+    fn noisy_package_without_domains_is_unchanged() {
+        let pkg = SharePolicy::PAPER_RECOMMENDED.apply(&full());
+        assert_eq!(pkg.with_noisy_domains(30), pkg);
+    }
+}

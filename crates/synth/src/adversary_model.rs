@@ -1,0 +1,258 @@
+//! Adversary models beyond the paper's single honest-but-curious
+//! receiver.
+//!
+//! The paper evaluates one adversary: a party that receives a (possibly
+//! redacted) metadata package and synthesizes data from it (§III/§V).
+//! Practical VFL attacks widen that space — partial PSI alignment,
+//! coalitions of receivers pooling what each was sent, and deliberately
+//! perturbed domains — so the leakage matrix sweeps an explicit
+//! [`AdversaryModel`] axis. Each model maps the *shared* package to the
+//! package the adversary actually generates from ([`AdversaryModel::shared_package`]);
+//! row-subset effects (partial alignment) are applied at scoring time by
+//! `mp_core::matrix` since they change what the adversary can *verify*,
+//! not what it can generate.
+
+use mp_metadata::MetadataPackage;
+
+/// Which adversary receives the shared metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdversaryModel {
+    /// The paper's honest-but-curious receiver: one party, full PSI
+    /// alignment, the package exactly as shared.
+    Baseline,
+    /// The adversary's PSI intersection covers only `aligned_pct`% of the
+    /// victim's rows; reconstructed cells outside the intersection cannot
+    /// be attributed to a tuple, so only the aligned fraction scores.
+    PartialAlignment {
+        /// Aligned fraction in percent, `1..=100`.
+        aligned_pct: u8,
+    },
+    /// `parties` receivers collude: each holds a differently-redacted
+    /// view of the same package and the coalition pools them via
+    /// [`MetadataPackage::pool`].
+    Collusion {
+        /// Coalition size, `2..=8`.
+        parties: u8,
+    },
+    /// The sharing party perturbed every domain by `noise_pct`% before
+    /// sharing ([`MetadataPackage::with_noisy_domains`]); the adversary
+    /// generates from the widened domains.
+    NoisyDomains {
+        /// Perturbation level in percent, `0..=100`.
+        noise_pct: u8,
+    },
+}
+
+impl AdversaryModel {
+    /// The canonical short label (`baseline`, `partial50`, `collude2`,
+    /// `noisy10`) used in matrix JSON keys and CLI `--adversaries` lists.
+    pub fn label(&self) -> String {
+        match self {
+            AdversaryModel::Baseline => "baseline".to_owned(),
+            AdversaryModel::PartialAlignment { aligned_pct } => format!("partial{aligned_pct}"),
+            AdversaryModel::Collusion { parties } => format!("collude{parties}"),
+            AdversaryModel::NoisyDomains { noise_pct } => format!("noisy{noise_pct}"),
+        }
+    }
+
+    /// The label the *generation* seed is derived from.
+    ///
+    /// Partial alignment generates exactly like the baseline (alignment
+    /// restricts scoring, not synthesis), so it shares the baseline's
+    /// streams — which is what makes leakage *exactly* monotone in the
+    /// aligned fraction: scoring a superset of rows of the same synthetic
+    /// relation can only add matches.
+    pub fn generation_label(&self) -> String {
+        match self {
+            AdversaryModel::PartialAlignment { .. } => "baseline".to_owned(),
+            other => other.label(),
+        }
+    }
+
+    /// Fraction of victim rows the adversary can score, in percent.
+    pub fn aligned_pct(&self) -> u8 {
+        match self {
+            AdversaryModel::PartialAlignment { aligned_pct } => *aligned_pct,
+            _ => 100,
+        }
+    }
+
+    /// The package the adversary synthesizes from, given what the owner
+    /// shared under the active policy.
+    ///
+    /// * `Baseline` / `PartialAlignment` — the shared package as-is.
+    /// * `Collusion` — the pool of the per-party views
+    ///   ([`Self::collusion_views`]).
+    /// * `NoisyDomains` — the shared package with perturbed domains.
+    pub fn shared_package(&self, shared: &MetadataPackage) -> Result<MetadataPackage, String> {
+        match self {
+            AdversaryModel::Baseline | AdversaryModel::PartialAlignment { .. } => {
+                Ok(shared.clone())
+            }
+            AdversaryModel::Collusion { parties } => {
+                let views = Self::collusion_views(shared, usize::from(*parties));
+                MetadataPackage::pool(&views).map_err(|e| e.to_string())
+            }
+            AdversaryModel::NoisyDomains { noise_pct } => Ok(shared.with_noisy_domains(*noise_pct)),
+        }
+    }
+
+    /// The `k` per-party views of a shared package: view `i` keeps the
+    /// domain and distribution of attributes `a` with `a % k == i` and
+    /// sees only names/kinds for the rest. Every view keeps the full
+    /// dependency list (dependencies are schema-level, not per-column).
+    /// Pooling all `k` views reassembles exactly the shared package, so
+    /// collusion leakage is an upper bound on any single view's.
+    pub fn collusion_views(shared: &MetadataPackage, k: usize) -> Vec<MetadataPackage> {
+        let k = k.max(1);
+        (0..k)
+            .map(|i| {
+                let mut view = shared.clone();
+                view.party = format!("{}#{i}", shared.party);
+                for (a, meta) in view.attributes.iter_mut().enumerate() {
+                    if a % k != i {
+                        meta.domain = None;
+                        meta.distribution = None;
+                    }
+                }
+                view
+            })
+            .collect()
+    }
+
+    /// Parses a CLI label: `baseline`, `partialNN` (NN in `1..=100`),
+    /// `colludeK` (K in `2..=8`), `noisyNN` (NN in `0..=100`).
+    pub fn parse(label: &str) -> Result<AdversaryModel, String> {
+        if label == "baseline" {
+            return Ok(AdversaryModel::Baseline);
+        }
+        if let Some(rest) = label.strip_prefix("partial") {
+            let pct: u8 = rest
+                .parse()
+                .map_err(|_| format!("bad aligned fraction in `{label}`"))?;
+            if !(1..=100).contains(&pct) {
+                return Err(format!("aligned fraction must be 1..=100, got {pct}"));
+            }
+            return Ok(AdversaryModel::PartialAlignment { aligned_pct: pct });
+        }
+        if let Some(rest) = label.strip_prefix("collude") {
+            let k: u8 = rest
+                .parse()
+                .map_err(|_| format!("bad coalition size in `{label}`"))?;
+            if !(2..=8).contains(&k) {
+                return Err(format!("coalition size must be 2..=8, got {k}"));
+            }
+            return Ok(AdversaryModel::Collusion { parties: k });
+        }
+        if let Some(rest) = label.strip_prefix("noisy") {
+            let pct: u8 = rest
+                .parse()
+                .map_err(|_| format!("bad noise level in `{label}`"))?;
+            if pct > 100 {
+                return Err(format!("noise level must be 0..=100, got {pct}"));
+            }
+            return Ok(AdversaryModel::NoisyDomains { noise_pct: pct });
+        }
+        Err(format!(
+            "unknown adversary `{label}` (expected baseline, partialNN, colludeK or noisyNN)"
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_metadata::Fd;
+    use mp_relation::{Attribute, Relation, Schema};
+
+    fn pkg() -> MetadataPackage {
+        let schema = Schema::new(vec![
+            Attribute::categorical("a"),
+            Attribute::continuous("b"),
+            Attribute::categorical("c"),
+        ])
+        .unwrap();
+        let rel = Relation::from_rows(
+            schema,
+            vec![
+                vec!["x".into(), 1.0.into(), "p".into()],
+                vec!["y".into(), 2.0.into(), "q".into()],
+            ],
+        )
+        .unwrap();
+        MetadataPackage::describe("owner", &rel, vec![Fd::new(0usize, 2).into()]).unwrap()
+    }
+
+    #[test]
+    fn labels_round_trip_through_parse() {
+        let models = [
+            AdversaryModel::Baseline,
+            AdversaryModel::PartialAlignment { aligned_pct: 50 },
+            AdversaryModel::Collusion { parties: 3 },
+            AdversaryModel::NoisyDomains { noise_pct: 10 },
+        ];
+        for m in models {
+            assert_eq!(AdversaryModel::parse(&m.label()), Ok(m));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_out_of_range_and_garbage() {
+        for bad in [
+            "partial0",
+            "partial101",
+            "collude1",
+            "collude9",
+            "noisy101",
+            "partialx",
+            "mallory",
+            "",
+        ] {
+            assert!(AdversaryModel::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn partial_alignment_generates_like_baseline() {
+        let m = AdversaryModel::PartialAlignment { aligned_pct: 25 };
+        assert_eq!(m.generation_label(), "baseline");
+        assert_eq!(m.aligned_pct(), 25);
+        assert_eq!(m.shared_package(&pkg()).unwrap(), pkg());
+    }
+
+    #[test]
+    fn collusion_pool_reassembles_the_shared_package() {
+        let shared = pkg();
+        for k in 2..=4u8 {
+            let m = AdversaryModel::Collusion { parties: k };
+            let pooled = m.shared_package(&shared).unwrap();
+            for (p, s) in pooled.attributes.iter().zip(&shared.attributes) {
+                assert_eq!(p.domain, s.domain);
+                assert_eq!(p.kind, s.kind);
+            }
+            assert_eq!(pooled.dependencies, shared.dependencies);
+        }
+    }
+
+    #[test]
+    fn each_collusion_view_is_strictly_poorer() {
+        let shared = pkg();
+        for view in AdversaryModel::collusion_views(&shared, 3) {
+            assert!(view.attributes.iter().any(|a| a.domain.is_none()));
+            assert_eq!(view.dependencies, shared.dependencies);
+        }
+    }
+
+    #[test]
+    fn noisy_model_perturbs_domains() {
+        let shared = pkg();
+        let m = AdversaryModel::NoisyDomains { noise_pct: 50 };
+        let noisy = m.shared_package(&shared).unwrap();
+        assert_ne!(noisy, shared);
+        assert_eq!(
+            noisy,
+            shared.with_noisy_domains(50),
+            "model must delegate to the canonical perturbation"
+        );
+    }
+}

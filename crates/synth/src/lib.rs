@@ -26,12 +26,14 @@
 #![warn(missing_docs)]
 
 mod adversary;
+mod adversary_model;
 mod cfd_gen;
 mod interval;
 mod mapping;
 mod sampler;
 
 pub use adversary::{Adversary, SynthConfig};
+pub use adversary_model::AdversaryModel;
 pub use cfd_gen::generate_cfd_column;
 pub use interval::{generate_dd_column, generate_od_column, generate_sd_column};
 pub use mapping::{
