@@ -3,8 +3,12 @@
 //! Both output formats are byte-stable across runs: diagnostics are sorted
 //! by `(path, line, col, rule)`, the JSON renderer emits keys in sorted
 //! order, and nothing in a report depends on wall time, hash iteration
-//! order or the machine it ran on.
+//! order or the machine it ran on. Interprocedural diagnostics carry a
+//! `chain` — the call path from the flagged site down to the originating
+//! fact — which is part of the byte-stability contract.
 
+use crate::facts::CrateCounts;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// One rule violation at a source location.
@@ -20,6 +24,10 @@ pub struct Diagnostic {
     pub col: usize,
     /// Human-readable description of the violation.
     pub message: String,
+    /// For interprocedural rules: the call chain from this site to the
+    /// underlying fact, one `path:line: name` element per hop. Empty for
+    /// lexical rules.
+    pub chain: Vec<String>,
 }
 
 impl Diagnostic {
@@ -37,11 +45,19 @@ impl Diagnostic {
             line,
             col,
             message: message.into(),
+            chain: Vec::new(),
         }
+    }
+
+    /// Attaches a call chain (builder style, for interprocedural passes).
+    pub fn with_chain(mut self, chain: Vec<String>) -> Diagnostic {
+        self.chain = chain;
+        self
     }
 }
 
-/// A finished analysis: sorted diagnostics plus scan statistics.
+/// A finished analysis: sorted diagnostics plus scan statistics and the
+/// per-crate fact counters the baseline ratchet pins.
 #[derive(Debug, Clone)]
 pub struct Report {
     /// All violations, sorted by `(path, line, col, rule, message)`.
@@ -52,6 +68,9 @@ pub struct Report {
     pub manifests_scanned: usize,
     /// Names of the rules that ran, sorted.
     pub rules: Vec<String>,
+    /// Per-crate debt counters (panic sites, tainted functions), keyed by
+    /// package name — the input to `--ratchet`.
+    pub facts: BTreeMap<String, CrateCounts>,
 }
 
 impl Report {
@@ -72,7 +91,8 @@ impl Report {
         self.diagnostics.is_empty()
     }
 
-    /// `path:line:col: rule: message` lines plus a summary trailer.
+    /// `path:line:col: rule: message` lines (each followed by its indented
+    /// call chain, when present) plus a summary trailer.
     pub fn render_human(&self) -> String {
         let mut out = String::new();
         for d in &self.diagnostics {
@@ -81,6 +101,9 @@ impl Report {
                 "{}:{}:{}: {}: {}",
                 d.path, d.line, d.col, d.rule, d.message
             );
+            for (i, hop) in d.chain.iter().enumerate() {
+                let _ = writeln!(out, "    {}. {hop}", i + 1);
+            }
         }
         let _ = writeln!(
             out,
@@ -96,7 +119,21 @@ impl Report {
     /// Pretty JSON with keys in sorted order; byte-stable across runs.
     pub fn render_json(&self) -> String {
         let mut out = String::new();
-        out.push_str("{\n  \"schema_version\": 1,\n  \"summary\": {\n");
+        out.push_str("{\n  \"facts\": {");
+        for (i, (name, c)) in self.facts.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                out,
+                "    {}: {{\"panic_sites\": {}, \"tainted_fns\": {}}}",
+                json_string(name),
+                c.panic_sites,
+                c.tainted_fns
+            );
+        }
+        if !self.facts.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"schema_version\": 2,\n  \"summary\": {\n");
         let _ = writeln!(out, "    \"files_scanned\": {},", self.files_scanned);
         let _ = writeln!(
             out,
@@ -115,9 +152,16 @@ impl Report {
         out.push_str("  },\n  \"violations\": [");
         for (i, d) in self.diagnostics.iter().enumerate() {
             out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    {\"chain\": [");
+            for (j, hop) in d.chain.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&json_string(hop));
+            }
             let _ = write!(
                 out,
-                "    {{\"col\": {}, \"line\": {}, \"message\": {}, \"path\": {}, \"rule\": {}}}",
+                "], \"col\": {}, \"line\": {}, \"message\": {}, \"path\": {}, \"rule\": {}}}",
                 d.col,
                 d.line,
                 json_string(&d.message),
@@ -159,15 +203,27 @@ mod tests {
     use super::*;
 
     fn sample() -> Report {
+        let mut facts = BTreeMap::new();
+        facts.insert(
+            "mp-demo".to_owned(),
+            CrateCounts {
+                panic_sites: 4,
+                tainted_fns: 1,
+            },
+        );
         Report {
             diagnostics: vec![
                 Diagnostic::new("z-rule", "b.rs", 2, 1, "later file"),
-                Diagnostic::new("a-rule", "a.rs", 9, 4, "first file, later line"),
+                Diagnostic::new("a-rule", "a.rs", 9, 4, "first file, later line").with_chain(vec![
+                    "a.rs:9: demo::top".to_owned(),
+                    "b.rs:2: demo::deep".to_owned(),
+                ]),
                 Diagnostic::new("a-rule", "a.rs", 3, 7, "first file, early \"quoted\""),
             ],
             files_scanned: 2,
             manifests_scanned: 1,
             rules: vec!["z-rule".to_owned(), "a-rule".to_owned()],
+            facts,
         }
         .finish()
     }
@@ -182,10 +238,11 @@ mod tests {
     }
 
     #[test]
-    fn human_format_is_colon_separated() {
+    fn human_format_is_colon_separated_with_chains() {
         let r = sample();
         let h = r.render_human();
         assert!(h.starts_with("a.rs:3:7: a-rule: first file, early \"quoted\"\n"));
+        assert!(h.contains("    1. a.rs:9: demo::top\n    2. b.rs:2: demo::deep\n"));
         assert!(h.contains("3 violation(s) in 2 file(s), 1 manifest(s), 2 rule(s)"));
     }
 
@@ -196,8 +253,10 @@ mod tests {
         let j2 = sample().render_json();
         assert_eq!(j1, j2, "same report must render byte-identically");
         assert!(j1.contains("\\\"quoted\\\""));
-        assert!(j1.contains("\"schema_version\": 1"));
+        assert!(j1.contains("\"schema_version\": 2"));
         assert!(j1.contains("\"violations\": 3"));
+        assert!(j1.contains("\"chain\": [\"a.rs:9: demo::top\", \"b.rs:2: demo::deep\"]"));
+        assert!(j1.contains("\"mp-demo\": {\"panic_sites\": 4, \"tainted_fns\": 1}"));
     }
 
     #[test]
@@ -207,10 +266,12 @@ mod tests {
             files_scanned: 5,
             manifests_scanned: 3,
             rules: vec!["no-panic".to_owned()],
+            facts: BTreeMap::new(),
         }
         .finish();
         assert!(r.is_clean());
         assert!(r.render_json().contains("\"violations\": []"));
+        assert!(r.render_json().contains("\"facts\": {}"));
     }
 
     #[test]

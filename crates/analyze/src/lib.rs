@@ -20,17 +20,31 @@
 //!    or comments.
 //! 3. [`source::SourceFile`] layers `#[cfg(test)]`/`#[test]` region
 //!    detection and `// lint: allow(rule) reason="…"` suppressions on top.
-//! 4. The [`rules`] registry runs every lint and produces a
-//!    [`diagnostics::Report`] whose human and JSON renderings are
-//!    byte-stable across runs.
+//! 4. [`parser`] recovers item structure (functions, impl owners, inline
+//!    modules, `use` imports) from the token stream; [`callgraph`] builds
+//!    a conservative, `use`-aware workspace call graph over it; [`facts`]
+//!    propagates may-panic, determinism-taint and lock-acquisition facts
+//!    through the graph (see DESIGN.md §15 for the lattice and the
+//!    soundness caveats).
+//! 5. The [`rules`] registry runs every lint — lexical and
+//!    interprocedural — and produces a [`diagnostics::Report`] whose human
+//!    and JSON renderings are byte-stable across runs, call chains
+//!    included.
+//! 6. [`ratchet`] compares the report's per-crate debt counters against
+//!    the committed `analyze-baseline.toml`: counters may only fall.
 //!
 //! The binary (`mp-analyze`, also reachable as `mpriv analyze`) exits
-//! non-zero when any violation survives, making the invariants blocking in
-//! CI. Zero dependencies, like `mp-observe`.
+//! non-zero when any violation survives or `--ratchet` detects a counter
+//! regression, making the invariants blocking in CI. Zero dependencies,
+//! like `mp-observe`.
 
+pub mod callgraph;
 pub mod config;
 pub mod diagnostics;
+pub mod facts;
 pub mod lexer;
+pub mod parser;
+pub mod ratchet;
 pub mod rules;
 pub mod source;
 pub mod workspace;

@@ -2,10 +2,12 @@
 //!
 //! ```text
 //! mp-analyze [--root DIR] [--config PATH] [--format human|json] [--list-rules]
+//!            [--ratchet] [--baseline PATH] [--write-baseline]
 //! ```
 //!
-//! Exit codes: `0` clean, `1` violations found, `2` usage/configuration
-//! error. The JSON report is byte-stable across runs on an unchanged tree.
+//! Exit codes: `0` clean, `1` violations found or ratchet regression, `2`
+//! usage/configuration error. The JSON report is byte-stable across runs
+//! on an unchanged tree; ratchet chatter goes to stderr to keep it so.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -33,11 +35,31 @@ struct Outcome {
     clean: bool,
 }
 
+/// Runs the debt ratchet after the analysis proper. Messages go to
+/// stderr; a regression flips the exit code to 1.
+fn run_ratchet(
+    report: &mp_analyze::diagnostics::Report,
+    root: &std::path::Path,
+    baseline: Option<PathBuf>,
+    write: bool,
+) -> Result<bool, String> {
+    let path = baseline.unwrap_or_else(|| root.join("analyze-baseline.toml"));
+    let (outcome, summary) = mp_analyze::ratchet::apply(&report.facts, &path, write)?;
+    eprint!("{summary}");
+    if !summary.ends_with('\n') && !summary.is_empty() {
+        eprintln!();
+    }
+    Ok(outcome.passed())
+}
+
 fn run(args: &[String]) -> Result<Outcome, String> {
     let mut root: Option<PathBuf> = None;
     let mut config_path: Option<PathBuf> = None;
     let mut format = "human".to_owned();
     let mut list_rules = false;
+    let mut ratchet = false;
+    let mut baseline: Option<PathBuf> = None;
+    let mut write_baseline = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -56,6 +78,14 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                 }
             }
             "--list-rules" => list_rules = true,
+            "--ratchet" => ratchet = true,
+            "--baseline" => {
+                baseline = Some(PathBuf::from(iter.next().ok_or("--baseline needs a path")?));
+            }
+            "--write-baseline" => {
+                ratchet = true;
+                write_baseline = true;
+            }
             "--help" | "-h" => {
                 return Ok(Outcome {
                     report: USAGE.to_owned(),
@@ -106,13 +136,17 @@ fn run(args: &[String]) -> Result<Outcome, String> {
     };
 
     let report = mp_analyze::analyze(&root, &config)?;
+    let mut clean = report.is_clean();
+    if ratchet {
+        clean &= run_ratchet(&report, &root, baseline, write_baseline)?;
+    }
     let rendered = match format.as_str() {
         "json" => report.render_json(),
         _ => report.render_human(),
     };
     Ok(Outcome {
         report: rendered,
-        clean: report.is_clean(),
+        clean,
     })
 }
 
@@ -121,13 +155,19 @@ mp-analyze: workspace invariant linter (determinism, panic-safety, layering, I/O
 
 USAGE:
     mp-analyze [--root DIR] [--config PATH] [--format human|json] [--list-rules]
+               [--ratchet] [--baseline PATH] [--write-baseline]
 
 OPTIONS:
-    --root DIR       workspace root (default: nearest [workspace] above cwd)
-    --config PATH    analyze.toml to use (default: <root>/analyze.toml)
-    --format FMT     human (file:line:col lines) or json (stable sorted keys)
-    --list-rules     print every registered rule and exit
+    --root DIR        workspace root (default: nearest [workspace] above cwd)
+    --config PATH     analyze.toml to use (default: <root>/analyze.toml)
+    --format FMT      human (file:line:col lines) or json (stable sorted keys)
+    --list-rules      print every registered rule and exit
+    --ratchet         compare per-crate debt counters against the baseline;
+                      any counter rise fails the run (stderr, exit 1)
+    --baseline PATH   baseline file (default: <root>/analyze-baseline.toml)
+    --write-baseline  write current counters as the new baseline (implies
+                      --ratchet; use after burning debt down)
 
 EXIT CODES:
-    0  clean    1  violations found    2  usage or configuration error
+    0  clean    1  violations found or ratchet regression    2  usage error
 ";

@@ -1,0 +1,601 @@
+//! Item-level parsing on top of the token stream: functions (with their
+//! brace-matched bodies), the `mod`/`impl`/`trait` scopes that qualify
+//! them, and `use` imports.
+//!
+//! This is deliberately *not* a full Rust parser. The interprocedural
+//! passes need three things a lexical scan cannot give them: which
+//! function a token belongs to, what that function is called (qualified
+//! by its impl type and inline-module path), and how the file's `use`
+//! declarations map short names onto crate paths. Everything else —
+//! expressions, types, generics — is skipped with depth counters.
+//!
+//! The parser never fails: malformed input degrades to fewer recognized
+//! items (an unclosed body extends to end of file), mirroring how the
+//! lexer degrades to [`crate::lexer::TokenKind::Unterminated`].
+
+use crate::lexer::Token;
+use crate::source::SourceFile;
+use std::ops::Range;
+
+/// One `fn` item (free function, inherent/trait-impl method, or trait
+/// default method) with a body.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's bare name.
+    pub name: String,
+    /// Enclosing `impl` self-type or `trait` name, when the function is a
+    /// method or default method.
+    pub owner: Option<String>,
+    /// Inline `mod` path within the file (the file's own module position
+    /// in the crate is derived from its path by the call-graph layer).
+    pub module: Vec<String>,
+    /// Parameter names, in order (`self` included when present). Used to
+    /// tell parameter-owned locks from locks the function owns.
+    pub params: Vec<String>,
+    /// Code-token index range of the body: `body.start` is the opening
+    /// `{`, `body.end` is one past the closing `}` (or the end of the
+    /// token stream for unclosed bodies).
+    pub body: Range<usize>,
+    /// 1-based line/column of the `fn` keyword.
+    pub line: usize,
+    /// 1-based column of the `fn` keyword.
+    pub col: usize,
+    /// True when the item sits in a `#[cfg(test)]`/`#[test]` region or a
+    /// test-role file; interprocedural facts skip test code entirely.
+    pub in_test: bool,
+}
+
+/// One leaf of a `use` declaration: `alias` is the name visible in the
+/// file, `path` the absolute segments it expands to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseImport {
+    /// Name the import binds in this file (`Registry`, or the rename in
+    /// `as`). Empty for glob imports.
+    pub alias: String,
+    /// Path segments, e.g. `["mp_observe", "Registry"]`. For globs this
+    /// is the prefix the `*` expands under.
+    pub path: Vec<String>,
+    /// True for `use foo::*;`.
+    pub glob: bool,
+}
+
+/// Everything the item parser extracts from one file.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedFile {
+    /// Function items in source order.
+    pub fns: Vec<FnItem>,
+    /// `use` imports in source order.
+    pub uses: Vec<UseImport>,
+}
+
+/// Innermost function whose body contains code-token index `idx`, if any.
+/// Bodies nest (closures and nested `fn`s), so the *latest* matching item
+/// whose range is narrowest wins.
+pub fn enclosing_fn(fns: &[FnItem], idx: usize) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (i, f) in fns.iter().enumerate() {
+        if f.body.contains(&idx) {
+            match best {
+                Some(b) if fns[b].body.len() <= f.body.len() => {}
+                _ => best = Some(i),
+            }
+        }
+    }
+    best
+}
+
+/// What kind of scope an open brace introduced.
+#[derive(Debug)]
+enum Scope {
+    /// `mod name {`
+    Mod,
+    /// `impl Type {`, `impl Trait for Type {` or `trait Name {`
+    Owner,
+    /// A function body; holds the index into `ParsedFile::fns`.
+    Fn(usize),
+    /// Any other `{` (blocks, match arms, struct literals, macro bodies).
+    Block,
+}
+
+/// Parses the item structure of `file`. Pure: works on the already-lexed
+/// token stream, no I/O.
+pub fn parse(file: &SourceFile) -> ParsedFile {
+    let code: Vec<&Token> = file.code_tokens().collect();
+    let src = file.text.as_str();
+    let is_test_file = file.role == crate::source::FileRole::Test;
+    let mut out = ParsedFile::default();
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut mods: Vec<String> = Vec::new();
+    let mut owners: Vec<String> = Vec::new();
+    // Scope the *next* `{` opens, set when a header was just parsed.
+    let mut pending: Option<(Scope, Option<String>)> = None;
+    let mut i = 0;
+    while i < code.len() {
+        let text = code[i].text(src);
+        match text {
+            "{" => {
+                let (scope, label) = pending.take().unwrap_or((Scope::Block, None));
+                match &scope {
+                    Scope::Mod => mods.push(label.unwrap_or_default()),
+                    Scope::Owner => owners.push(label.unwrap_or_default()),
+                    _ => {}
+                }
+                scopes.push(scope);
+                i += 1;
+            }
+            "}" => {
+                match scopes.pop() {
+                    Some(Scope::Mod) => {
+                        mods.pop();
+                    }
+                    Some(Scope::Owner) => {
+                        owners.pop();
+                    }
+                    Some(Scope::Fn(idx)) => out.fns[idx].body.end = i + 1,
+                    _ => {}
+                }
+                i += 1;
+            }
+            "mod" => {
+                // `mod name { … }` opens a module scope; `mod name;` is an
+                // out-of-line declaration with nothing to parse here.
+                if let Some(name_tok) = code.get(i + 1) {
+                    let name = name_tok.text(src);
+                    if code.get(i + 2).map(|t| t.text(src)) == Some("{") {
+                        pending = Some((Scope::Mod, Some(name.to_owned())));
+                    }
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            "impl" | "trait" => {
+                let (self_type, next) = parse_owner_header(&code, i, src, text == "trait");
+                pending = Some((Scope::Owner, Some(self_type)));
+                i = next;
+            }
+            "fn" => {
+                // `fn(` is a function-pointer type, not an item.
+                let Some(name_tok) = code.get(i + 1) else {
+                    i += 1;
+                    continue;
+                };
+                let name = name_tok.text(src);
+                if !name.chars().next().is_some_and(is_name_start) {
+                    i += 1;
+                    continue;
+                }
+                let (params, next, has_body) = parse_fn_signature(&code, i + 2, src);
+                if has_body {
+                    let fn_tok = code[i];
+                    let item = FnItem {
+                        name: name.trim_start_matches("r#").to_owned(),
+                        owner: owners.last().cloned().filter(|o| !o.is_empty()),
+                        module: mods.clone(),
+                        params,
+                        body: next..code.len(),
+                        line: fn_tok.line,
+                        col: fn_tok.col,
+                        in_test: is_test_file || file.in_test_region(fn_tok.start),
+                    };
+                    out.fns.push(item);
+                    pending = Some((Scope::Fn(out.fns.len() - 1), None));
+                }
+                i = next;
+            }
+            "use" => {
+                let next = parse_use(&code, i + 1, src, &mut out.uses);
+                i = next;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+fn is_name_start(c: char) -> bool {
+    c == '_' || c == 'r' || c.is_alphabetic()
+}
+
+/// Parses an `impl`/`trait` header starting at `at` (the keyword) and
+/// returns the self-type name plus the index of the opening `{` (or of the
+/// terminating `;` for bodiless forms). The self-type of
+/// `impl Trait for Type` is `Type`; generics are skipped.
+fn parse_owner_header(code: &[&Token], at: usize, src: &str, is_trait: bool) -> (String, usize) {
+    let mut j = at + 1;
+    let mut angle = 0i32;
+    // Segment boundaries: everything after the last depth-0 `for` that is
+    // not an HRTB (`for<'a>`).
+    let mut segment_start = j;
+    while j < code.len() {
+        let t = code[j].text(src);
+        match t {
+            "<" => angle += 1,
+            ">" => angle -= 1,
+            "{" | ";" if angle <= 0 => break,
+            "for"
+                if angle <= 0 && !is_trait && code.get(j + 1).map(|t| t.text(src)) != Some("<") =>
+            {
+                segment_start = j + 1;
+            }
+            "where" if angle <= 0 => {
+                // The where clause follows the type; stop extending it.
+                while j < code.len() {
+                    let t = code[j].text(src);
+                    if t == "{" || t == ";" {
+                        break;
+                    }
+                    j += 1;
+                }
+                break;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    // Self-type name: last identifier of the segment's leading path,
+    // stopping at the first `<` (generic arguments).
+    let mut name = String::new();
+    let mut depth = 0i32;
+    for tok in &code[segment_start..j.min(code.len())] {
+        let t = tok.text(src);
+        match t {
+            "<" => depth += 1,
+            ">" => depth -= 1,
+            _ if depth == 0
+                && t.chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphabetic() || c == '_')
+                && !matches!(t, "for" | "where" | "dyn" | "mut" | "const") =>
+            {
+                name = t.trim_start_matches("r#").to_owned();
+            }
+            _ => {}
+        }
+    }
+    (name, j)
+}
+
+/// Scans a function signature starting just after the name. Returns the
+/// parameter names, the index of the opening `{` (body) or just past the
+/// `;` (bodiless declaration), and whether a body follows.
+fn parse_fn_signature(code: &[&Token], at: usize, src: &str) -> (Vec<String>, usize, bool) {
+    let mut params = Vec::new();
+    let mut j = at;
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut seen_params = false;
+    while j < code.len() {
+        let t = code[j].text(src);
+        match t {
+            "(" => {
+                paren += 1;
+                if paren == 1 && !seen_params {
+                    seen_params = true;
+                    j = collect_params(code, j + 1, src, &mut params);
+                    paren -= 1; // collect_params consumed the matching `)`
+                    continue;
+                }
+            }
+            ")" => paren -= 1,
+            "[" => bracket += 1,
+            "]" => bracket -= 1,
+            "{" if paren == 0 && bracket == 0 => return (params, j, true),
+            ";" if paren == 0 && bracket == 0 => return (params, j + 1, false),
+            _ => {}
+        }
+        j += 1;
+    }
+    (params, j, false)
+}
+
+/// Collects parameter names from `(` onwards (entry is just past the
+/// opening paren); returns the index one past the matching `)`. A
+/// parameter name is the identifier before a depth-1 `:`; a bare
+/// `self`/`&self`/`&mut self` receiver counts as the parameter `self`.
+fn collect_params(code: &[&Token], at: usize, src: &str, params: &mut Vec<String>) -> usize {
+    let mut j = at;
+    let mut depth = 1i32;
+    let mut last_ident: Option<&str> = None;
+    while j < code.len() {
+        let t = code[j].text(src);
+        match t {
+            "(" | "[" | "<" => depth += 1,
+            // `->` (fn-pointer return arrow) lexes as `-` `>`; its `>` is
+            // not a closing angle bracket.
+            ">" if code.get(j.wrapping_sub(1)).map(|t| t.text(src)) == Some("-") => {}
+            ")" | "]" | ">" => {
+                depth -= 1;
+                if depth == 0 {
+                    if last_ident == Some("self") {
+                        params.push("self".to_owned());
+                    }
+                    return j + 1;
+                }
+            }
+            ":" if depth == 1 => {
+                // `path::seg` double-colons never sit at a parameter
+                // boundary with an identifier directly before them at
+                // depth 1 *and* a comma/paren before that — but the
+                // simple filter below is enough: take the ident only if
+                // the next token is not another `:` (i.e. not `::`).
+                if code.get(j + 1).map(|t| t.text(src)) != Some(":")
+                    && code.get(j.wrapping_sub(1)).map(|t| t.text(src)) != Some(":")
+                {
+                    if let Some(name) = last_ident.take() {
+                        params.push(name.trim_start_matches("r#").to_owned());
+                    }
+                }
+            }
+            "," if depth == 1 => {
+                if last_ident == Some("self") {
+                    params.push("self".to_owned());
+                }
+                last_ident = None;
+            }
+            _ => {
+                if t.chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphabetic() || c == '_')
+                {
+                    last_ident = Some(t);
+                }
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Parses one `use …;` declaration starting at `at` (just past the `use`
+/// keyword), appending every leaf to `out`. Handles nested groups
+/// (`use a::{b, c::{d as e, *}};`) and `pub use`. Returns the index just
+/// past the terminating `;`.
+fn parse_use(code: &[&Token], at: usize, src: &str, out: &mut Vec<UseImport>) -> usize {
+    // Collect the raw token texts up to the `;` first; recursion over the
+    // collected slice keeps the index bookkeeping simple.
+    let mut j = at;
+    let mut toks: Vec<&str> = Vec::new();
+    let mut brace = 0i32;
+    while j < code.len() {
+        let t = code[j].text(src);
+        match t {
+            "{" => brace += 1,
+            "}" => brace -= 1,
+            ";" if brace <= 0 => {
+                j += 1;
+                break;
+            }
+            _ => {}
+        }
+        toks.push(t);
+        j += 1;
+    }
+    expand_use(&toks, &[], out);
+    j
+}
+
+/// Recursively expands a `use` token slice under `prefix`.
+fn expand_use(toks: &[&str], prefix: &[String], out: &mut Vec<UseImport>) {
+    let mut path: Vec<String> = prefix.to_vec();
+    let mut k = 0;
+    while k < toks.len() {
+        match toks[k] {
+            ":" => {
+                k += 1; // each `::` lexes as two `:` puncts
+            }
+            "{" => {
+                // Split the group body on depth-0 commas; recurse per arm.
+                let mut depth = 1i32;
+                let mut arm_start = k + 1;
+                let mut m = k + 1;
+                while m < toks.len() && depth > 0 {
+                    match toks[m] {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 && m > arm_start {
+                                expand_use(&toks[arm_start..m], &path, out);
+                            }
+                        }
+                        "," if depth == 1 => {
+                            if m > arm_start {
+                                expand_use(&toks[arm_start..m], &path, out);
+                            }
+                            arm_start = m + 1;
+                        }
+                        _ => {}
+                    }
+                    m += 1;
+                }
+                return;
+            }
+            "*" => {
+                out.push(UseImport {
+                    alias: String::new(),
+                    path,
+                    glob: true,
+                });
+                return;
+            }
+            "as" => {
+                // `path as rename`: rebind the alias, keep the real path.
+                if let Some(rename) = toks.get(k + 1) {
+                    out.push(UseImport {
+                        alias: (*rename).trim_start_matches("r#").to_owned(),
+                        path,
+                        glob: false,
+                    });
+                }
+                return;
+            }
+            "pub" | "(" | ")" | "crate" if k == 0 && toks[k] != "crate" => {
+                // `pub use`, `pub(crate) use` visibility tokens.
+                k += 1;
+            }
+            seg => {
+                // A bare `self` never contributes a segment: as a group
+                // leaf (`use a::b::{self, C}`) it names the prefix itself,
+                // and as a leading `use self::…` it is the implicit crate
+                // root `resolve_path` strips anyway.
+                if seg != "self"
+                    && seg
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                {
+                    path.push(seg.trim_start_matches("r#").to_owned());
+                }
+                k += 1;
+            }
+        }
+    }
+    if let Some(last) = path.last().cloned() {
+        out.push(UseImport {
+            alias: last,
+            path,
+            glob: false,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn parse_src(src: &str) -> ParsedFile {
+        parse(&SourceFile::parse("crates/x/src/lib.rs", src.to_owned()))
+    }
+
+    #[test]
+    fn free_function_with_body() {
+        let p = parse_src("pub fn alpha(a: u32, b: &str) -> u32 { a + b.len() as u32 }\n");
+        assert_eq!(p.fns.len(), 1);
+        let f = &p.fns[0];
+        assert_eq!(f.name, "alpha");
+        assert_eq!(f.owner, None);
+        assert_eq!(f.params, vec!["a", "b"]);
+        assert!(!f.in_test);
+    }
+
+    #[test]
+    fn methods_get_their_impl_type() {
+        let src = "struct Cache;\nimpl Cache {\n    fn get(&self, k: u64) -> u64 { k }\n}\nimpl std::fmt::Display for Cache {\n    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result { Ok(()) }\n}\n";
+        let p = parse_src(src);
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].owner.as_deref(), Some("Cache"));
+        assert_eq!(p.fns[0].params, vec!["self", "k"]);
+        assert_eq!(p.fns[1].owner.as_deref(), Some("Cache"));
+        assert_eq!(p.fns[1].name, "fmt");
+    }
+
+    #[test]
+    fn trait_default_methods_and_decls() {
+        let src = "trait Rec {\n    fn must(&self);\n    fn with_default(&self) -> u8 { 7 }\n}\n";
+        let p = parse_src(src);
+        // Bodiless declarations are not items; default methods are.
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "with_default");
+        assert_eq!(p.fns[0].owner.as_deref(), Some("Rec"));
+    }
+
+    #[test]
+    fn inline_modules_qualify() {
+        let src = "mod outer {\n    pub mod inner {\n        pub fn deep() {}\n    }\n    pub fn shallow() {}\n}\nfn top() {}\n";
+        let p = parse_src(src);
+        let by_name: Vec<(&str, Vec<String>)> = p
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.module.clone()))
+            .collect();
+        assert_eq!(
+            by_name,
+            vec![
+                ("deep", vec!["outer".to_owned(), "inner".to_owned()]),
+                ("shallow", vec!["outer".to_owned()]),
+                ("top", vec![]),
+            ]
+        );
+    }
+
+    #[test]
+    fn bodies_are_brace_matched() {
+        let src = "fn a() { if x { y() } else { z() } }\nfn b() {}\n";
+        let p = parse_src(src);
+        assert_eq!(p.fns.len(), 2);
+        // `b`'s body must start after `a`'s body ends.
+        assert!(p.fns[0].body.end <= p.fns[1].body.start);
+    }
+
+    #[test]
+    fn nested_fn_attribution() {
+        let src = "fn outer() {\n    fn inner() { nested_call(); }\n    inner();\n}\n";
+        let p = parse_src(src);
+        assert_eq!(p.fns.len(), 2);
+        let outer = p.fns.iter().position(|f| f.name == "outer").unwrap();
+        let inner = p.fns.iter().position(|f| f.name == "inner").unwrap();
+        // A token inside `inner` resolves to `inner`, not `outer`.
+        let probe = p.fns[inner].body.start + 1;
+        assert_eq!(enclosing_fn(&p.fns, probe), Some(inner));
+        // A token in `outer` after `inner` ends resolves to `outer`.
+        let probe = p.fns[inner].body.end + 1;
+        assert_eq!(enclosing_fn(&p.fns, probe), Some(outer));
+    }
+
+    #[test]
+    fn impl_trait_for_type_takes_the_type() {
+        let src = "impl<T: Clone> Recorder for Noop<T> {\n    fn counter(&self) {}\n}\n";
+        let p = parse_src(src);
+        assert_eq!(p.fns[0].owner.as_deref(), Some("Noop"));
+    }
+
+    #[test]
+    fn where_clause_and_return_generics() {
+        let src = "fn complex<T>(xs: Vec<T>) -> impl Iterator<Item = T> where T: Clone { xs.into_iter() }\n";
+        let p = parse_src(src);
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].params, vec!["xs"]);
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let src = "fn takes(f: fn(u32) -> u32) -> u32 { f(1) }\n";
+        let p = parse_src(src);
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "takes");
+    }
+
+    #[test]
+    fn test_region_fns_are_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn check() {}\n}\n";
+        let p = parse_src(src);
+        assert!(!p.fns[0].in_test);
+        assert!(p.fns[1].in_test);
+    }
+
+    #[test]
+    fn use_declarations_simple_and_nested() {
+        let src = "use mp_observe::Registry;\nuse std::collections::{BTreeMap, HashMap as Hm};\nuse mp_relation::pli_cache::*;\npub use crate::facts::Facts;\n";
+        let p = parse_src(src);
+        let get = |alias: &str| {
+            p.uses
+                .iter()
+                .find(|u| u.alias == alias)
+                .unwrap_or_else(|| panic!("no import {alias}"))
+        };
+        assert_eq!(get("Registry").path, vec!["mp_observe", "Registry"]);
+        assert_eq!(get("BTreeMap").path, vec!["std", "collections", "BTreeMap"]);
+        assert_eq!(get("Hm").path, vec!["std", "collections", "HashMap"]);
+        assert_eq!(get("Facts").path, vec!["crate", "facts", "Facts"]);
+        let glob = p.uses.iter().find(|u| u.glob).expect("glob import");
+        assert_eq!(glob.path, vec!["mp_relation", "pli_cache"]);
+    }
+
+    #[test]
+    fn unclosed_body_extends_to_eof() {
+        let p = parse_src("fn broken() { let x = 1;\n");
+        assert_eq!(p.fns.len(), 1);
+        assert!(p.fns[0].body.end >= p.fns[0].body.start);
+    }
+}

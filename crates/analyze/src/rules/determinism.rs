@@ -2,10 +2,8 @@
 //! byte-reproducible because nothing in the measurement path reads wall
 //! time, unseeded entropy, or hash-iteration order.
 
-use super::{scan_token_seqs, Lint, TestPolicy, TokenSeq};
-use crate::config::Config;
+use super::{scan_token_seqs, Context, Lint, TestPolicy, TokenSeq};
 use crate::diagnostics::Diagnostic;
-use crate::workspace::Workspace;
 
 /// `no-wall-clock`: no `Instant::now`, `SystemTime` or `thread::sleep`
 /// outside `crates/bench` — simulated time uses logical clocks
@@ -21,7 +19,7 @@ impl Lint for NoWallClock {
         "wall-clock time (Instant::now, SystemTime, thread::sleep) is only allowed in crates/bench; use logical clocks"
     }
 
-    fn check(&self, ws: &Workspace, config: &Config, out: &mut Vec<Diagnostic>) {
+    fn check(&self, cx: &Context<'_>, out: &mut Vec<Diagnostic>) {
         const SEQS: &[TokenSeq] = &[
             TokenSeq {
                 seq: &["Instant", "::", "now"],
@@ -36,7 +34,7 @@ impl Lint for NoWallClock {
                 message: "`thread::sleep` couples behaviour to real time; model delays as transport ticks",
             },
         ];
-        scan_token_seqs(self.name(), SEQS, TestPolicy::Strict, ws, config, out);
+        scan_token_seqs(self.name(), SEQS, TestPolicy::Strict, cx.ws, cx.config, out);
     }
 }
 
@@ -53,7 +51,7 @@ impl Lint for NoUnseededRng {
         "randomness must be seeded (SeedableRng::seed_from_u64 etc.); OS entropy sources are banned"
     }
 
-    fn check(&self, ws: &Workspace, config: &Config, out: &mut Vec<Diagnostic>) {
+    fn check(&self, cx: &Context<'_>, out: &mut Vec<Diagnostic>) {
         const SEQS: &[TokenSeq] = &[
             TokenSeq {
                 seq: &["thread_rng"],
@@ -72,7 +70,7 @@ impl Lint for NoUnseededRng {
                 message: "`rand::random()` hides an OS-seeded generator; use a seeded StdRng",
             },
         ];
-        scan_token_seqs(self.name(), SEQS, TestPolicy::Strict, ws, config, out);
+        scan_token_seqs(self.name(), SEQS, TestPolicy::Strict, cx.ws, cx.config, out);
     }
 }
 
@@ -91,7 +89,7 @@ impl Lint for NoUnorderedIteration {
         "serialization paths may not use HashMap/HashSet: iteration order would leak into report bytes"
     }
 
-    fn check(&self, ws: &Workspace, config: &Config, out: &mut Vec<Diagnostic>) {
+    fn check(&self, cx: &Context<'_>, out: &mut Vec<Diagnostic>) {
         const SEQS: &[TokenSeq] = &[
             TokenSeq {
                 seq: &["HashMap"],
@@ -102,6 +100,6 @@ impl Lint for NoUnorderedIteration {
                 message: "`HashSet` in a serialization path: iteration order is arbitrary; use BTreeSet or sort first",
             },
         ];
-        scan_token_seqs(self.name(), SEQS, TestPolicy::Strict, ws, config, out);
+        scan_token_seqs(self.name(), SEQS, TestPolicy::Strict, cx.ws, cx.config, out);
     }
 }

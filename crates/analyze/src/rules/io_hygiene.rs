@@ -4,10 +4,8 @@
 //! Binary sources (`src/main.rs`, `src/bin/`) are exempt by role; the
 //! whole of `crates/bench` is additionally exempt via `allow_paths`.
 
-use super::{scan_token_seqs, Lint, TestPolicy, TokenSeq};
-use crate::config::Config;
+use super::{scan_token_seqs, Context, Lint, TestPolicy, TokenSeq};
 use crate::diagnostics::Diagnostic;
-use crate::workspace::Workspace;
 
 /// `no-stdout-in-libs`: no `println!`/`eprintln!`/`print!`/`eprint!`/`dbg!`
 /// in library crates; the CLI and bench binaries are exempt via config.
@@ -22,7 +20,7 @@ impl Lint for NoStdoutInLibs {
         "library crates must not print (println!/eprintln!/print!/eprint!/dbg!); return data, let binaries print"
     }
 
-    fn check(&self, ws: &Workspace, config: &Config, out: &mut Vec<Diagnostic>) {
+    fn check(&self, cx: &Context<'_>, out: &mut Vec<Diagnostic>) {
         const SEQS: &[TokenSeq] = &[
             TokenSeq {
                 seq: &["println", "!"],
@@ -49,8 +47,8 @@ impl Lint for NoStdoutInLibs {
             self.name(),
             SEQS,
             TestPolicy::ExemptTestsAndBins,
-            ws,
-            config,
+            cx.ws,
+            cx.config,
             out,
         );
     }

@@ -2,10 +2,9 @@
 //! architectural invariant — observability at the bottom, the relational
 //! substrate below discovery/federated, `unsafe` quarantined in `vendor/`.
 
-use super::{scan_token_seqs, Lint, TestPolicy, TokenSeq};
-use crate::config::Config;
+use super::{scan_token_seqs, Context, Lint, TestPolicy, TokenSeq};
 use crate::diagnostics::Diagnostic;
-use crate::workspace::{Manifest, Workspace};
+use crate::workspace::Manifest;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// `no-unsafe`: the `unsafe` keyword may not appear in first-party code
@@ -23,12 +22,12 @@ impl Lint for NoUnsafe {
         "the `unsafe` keyword is only allowed under vendor/"
     }
 
-    fn check(&self, ws: &Workspace, config: &Config, out: &mut Vec<Diagnostic>) {
+    fn check(&self, cx: &Context<'_>, out: &mut Vec<Diagnostic>) {
         const SEQS: &[TokenSeq] = &[TokenSeq {
             seq: &["unsafe"],
             message: "`unsafe` outside vendor/; first-party code is forbid(unsafe_code)",
         }];
-        scan_token_seqs(self.name(), SEQS, TestPolicy::Strict, ws, config, out);
+        scan_token_seqs(self.name(), SEQS, TestPolicy::Strict, cx.ws, cx.config, out);
     }
 }
 
@@ -47,9 +46,10 @@ impl Lint for CrateLayering {
         "Cargo.toml dependency direction: isolated crates stay leaf-free, forbidden edges checked transitively, no cycles"
     }
 
-    fn check(&self, ws: &Workspace, config: &Config, out: &mut Vec<Diagnostic>) {
+    fn check(&self, cx: &Context<'_>, out: &mut Vec<Diagnostic>) {
         // Workspace crate name -> its manifest.
-        let by_name: BTreeMap<&str, &Manifest> = ws
+        let by_name: BTreeMap<&str, &Manifest> = cx
+            .ws
             .manifests
             .iter()
             .filter_map(|m| m.package_name.as_deref().map(|n| (n, m)))
@@ -71,7 +71,7 @@ impl Lint for CrateLayering {
 
         // Isolated crates: no in-workspace dependencies at all (dev
         // included — a dev-dependency still links the test binary).
-        for isolated in &config.layering.isolated {
+        for isolated in &cx.config.layering.isolated {
             let Some(m) = by_name.get(isolated.as_str()) else {
                 continue;
             };
@@ -92,7 +92,7 @@ impl Lint for CrateLayering {
         }
 
         // Forbidden edges, transitively: `from` must not reach `to`.
-        for (from, to) in &config.layering.forbidden {
+        for (from, to) in &cx.config.layering.forbidden {
             let Some(m) = by_name.get(from.as_str()) else {
                 continue;
             };

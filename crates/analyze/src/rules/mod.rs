@@ -1,18 +1,41 @@
 //! The lint registry: every invariant the workspace enforces, as an object
 //! behind a common [`Lint`] trait, plus the token-pattern machinery shared
 //! by the lexical passes.
+//!
+//! Lexical passes read files token-by-token; the interprocedural passes
+//! ([`interprocedural`]) additionally consume the call graph and fact
+//! database built once per run and handed to every lint via [`Context`].
 
+use crate::callgraph::CallGraph;
 use crate::config::Config;
 use crate::diagnostics::{Diagnostic, Report};
+use crate::facts::FactDb;
 use crate::lexer::{Token, TokenKind};
 use crate::source::{FileRole, SourceFile};
 use crate::workspace::Workspace;
 
 mod determinism;
+pub mod interprocedural;
 mod io_hygiene;
 mod layering;
 mod panic_safety;
 mod suppression;
+
+pub(crate) use panic_safety::PANIC_SEQS;
+
+/// Everything a lint pass may consume: the workspace, its configuration,
+/// and the interprocedural analysis results (call graph + fact database),
+/// built exactly once per run.
+pub struct Context<'a> {
+    /// The scanned workspace.
+    pub ws: &'a Workspace,
+    /// Scoping and layering configuration.
+    pub config: &'a Config,
+    /// Item-level parse + call resolution over every file.
+    pub graph: &'a CallGraph,
+    /// Propagated facts: may-panic, determinism taint, lock summaries.
+    pub facts: &'a FactDb,
+}
 
 /// One invariant check over the workspace.
 pub trait Lint {
@@ -21,7 +44,7 @@ pub trait Lint {
     /// One-line description for `--list-rules` and docs.
     fn description(&self) -> &'static str;
     /// Appends violations to `out`.
-    fn check(&self, ws: &Workspace, config: &Config, out: &mut Vec<Diagnostic>);
+    fn check(&self, cx: &Context<'_>, out: &mut Vec<Diagnostic>);
 }
 
 /// All lints, in execution order. `suppression` must stay last: it audits
@@ -34,6 +57,9 @@ pub fn registry() -> Vec<Box<dyn Lint>> {
         Box::new(panic_safety::NoPanic),
         Box::new(panic_safety::NoLiteralIndex),
         Box::new(panic_safety::FuzzedDecoderNoPanic),
+        Box::new(interprocedural::NoPanicReachable),
+        Box::new(interprocedural::DeterminismTaint),
+        Box::new(interprocedural::LockOrder),
         Box::new(io_hygiene::NoStdoutInLibs),
         Box::new(layering::NoUnsafe),
         Box::new(layering::CrateLayering),
@@ -43,17 +69,28 @@ pub fn registry() -> Vec<Box<dyn Lint>> {
 }
 
 /// Runs every registered lint over `ws` and returns the finished report.
+/// Builds the call graph and fact database first — fact extraction also
+/// performs the suppression-usage bookkeeping the hygiene pass audits.
 pub fn run(ws: &Workspace, config: &Config) -> Report {
+    let graph = CallGraph::build(ws);
+    let facts = FactDb::build(ws, &graph, config);
+    let cx = Context {
+        ws,
+        config,
+        graph: &graph,
+        facts: &facts,
+    };
     let lints = registry();
     let mut diagnostics = Vec::new();
     for lint in &lints {
-        lint.check(ws, config, &mut diagnostics);
+        lint.check(&cx, &mut diagnostics);
     }
     Report {
         diagnostics,
         files_scanned: ws.files.len(),
         manifests_scanned: ws.manifests.len(),
         rules: lints.iter().map(|l| l.name().to_owned()).collect(),
+        facts: facts.counts.clone(),
     }
     .finish()
 }
@@ -187,10 +224,18 @@ mod tests {
 
     fn rule_hits(rule_name: &str, ws: &Workspace) -> Vec<String> {
         let config = Config::workspace_default();
+        let graph = CallGraph::build(ws);
+        let facts = FactDb::build(ws, &graph, &config);
+        let cx = Context {
+            ws,
+            config: &config,
+            graph: &graph,
+            facts: &facts,
+        };
         let mut out = Vec::new();
         for lint in registry() {
             if lint.name() == rule_name {
-                lint.check(ws, &config, &mut out);
+                lint.check(&cx, &mut out);
             }
         }
         out.iter()

@@ -2,14 +2,12 @@
 //! or untrusted metadata must fail with typed errors, never by unwinding.
 
 use super::{
-    code_tokens, is_literal_index, matches_at, scan_token_seqs, Lint, TestPolicy, TokenSeq,
+    code_tokens, is_literal_index, matches_at, scan_token_seqs, Context, Lint, TestPolicy, TokenSeq,
 };
-use crate::config::Config;
 use crate::diagnostics::Diagnostic;
 use crate::source::FileRole;
-use crate::workspace::Workspace;
 
-const PANIC_SEQS: &[TokenSeq] = &[
+pub(crate) const PANIC_SEQS: &[TokenSeq] = &[
     TokenSeq {
         seq: &[".", "unwrap", "("],
         message: "`unwrap()` panics on malformed input; return a typed error (or suppress with a reason if infallible)",
@@ -50,13 +48,13 @@ impl Lint for NoPanic {
         "no unwrap/expect/panic!/unreachable!/todo! in non-test library code; return typed errors"
     }
 
-    fn check(&self, ws: &Workspace, config: &Config, out: &mut Vec<Diagnostic>) {
+    fn check(&self, cx: &Context<'_>, out: &mut Vec<Diagnostic>) {
         scan_token_seqs(
             self.name(),
             PANIC_SEQS,
             TestPolicy::ExemptTests,
-            ws,
-            config,
+            cx.ws,
+            cx.config,
             out,
         );
     }
@@ -79,9 +77,9 @@ impl Lint for FuzzedDecoderNoPanic {
         "fuzzed decoder modules must return typed errors, never panic; suppressions are not honoured"
     }
 
-    fn check(&self, ws: &Workspace, config: &Config, out: &mut Vec<Diagnostic>) {
-        let scope = config.scope(self.name());
-        for file in &ws.files {
+    fn check(&self, cx: &Context<'_>, out: &mut Vec<Diagnostic>) {
+        let scope = cx.config.scope(self.name());
+        for file in &cx.ws.files {
             if !scope.applies_to(&file.rel_path) || file.role == FileRole::Test {
                 continue;
             }
@@ -126,9 +124,9 @@ impl Lint for NoLiteralIndex {
         "constant subscripts like xs[0] panic out of bounds; use get()/first()/destructuring or suppress with a reason"
     }
 
-    fn check(&self, ws: &Workspace, config: &Config, out: &mut Vec<Diagnostic>) {
-        let scope = config.scope(self.name());
-        for file in &ws.files {
+    fn check(&self, cx: &Context<'_>, out: &mut Vec<Diagnostic>) {
+        let scope = cx.config.scope(self.name());
+        for file in &cx.ws.files {
             if !scope.applies_to(&file.rel_path) || file.role == FileRole::Test {
                 continue;
             }

@@ -2,11 +2,9 @@
 //! is a debt record, and debt needs a reason), and files that defeat the
 //! lexer are surfaced instead of silently half-scanned.
 
-use super::Lint;
-use crate::config::Config;
+use super::{Context, Lint};
 use crate::diagnostics::Diagnostic;
 use crate::lexer::TokenKind;
-use crate::workspace::Workspace;
 
 /// `lexical-integrity`: a token the lexer could not terminate (runaway
 /// string/comment) means the rest of the file escaped every other pass.
@@ -21,8 +19,8 @@ impl Lint for LexicalIntegrity {
         "files must lex cleanly; an unterminated string or comment would hide code from the other passes"
     }
 
-    fn check(&self, ws: &Workspace, _config: &Config, out: &mut Vec<Diagnostic>) {
-        for file in &ws.files {
+    fn check(&self, cx: &Context<'_>, out: &mut Vec<Diagnostic>) {
+        for file in &cx.ws.files {
             for t in &file.tokens {
                 if t.kind == TokenKind::Unterminated {
                     out.push(Diagnostic::new(
@@ -52,8 +50,8 @@ impl Lint for SuppressionHygiene {
         "lint suppressions must parse, carry a reason=\"…\" justification, and match a real violation"
     }
 
-    fn check(&self, ws: &Workspace, _config: &Config, out: &mut Vec<Diagnostic>) {
-        for file in &ws.files {
+    fn check(&self, cx: &Context<'_>, out: &mut Vec<Diagnostic>) {
+        for file in &cx.ws.files {
             let used = file.used.borrow();
             for (i, s) in file.suppressions.iter().enumerate() {
                 if let Some(err) = &s.malformed {

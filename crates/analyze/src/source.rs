@@ -98,6 +98,16 @@ impl SourceFile {
         false
     }
 
+    /// Non-marking twin of [`SourceFile::suppressed`]: true when an active
+    /// suppression of `rule` covers `line`, without recording a use. Fact
+    /// propagation consults suppressions inside a fixpoint loop and must
+    /// only mark them used once the suppressed fact is known to be real.
+    pub fn has_suppression(&self, rule: &str, line: usize) -> bool {
+        self.suppressions.iter().any(|s| {
+            s.malformed.is_none() && s.covers.contains(&line) && s.rules.iter().any(|r| r == rule)
+        })
+    }
+
     /// Non-comment tokens (what pattern-matching lints iterate).
     pub fn code_tokens(&self) -> impl Iterator<Item = &Token> {
         self.tokens.iter().filter(|t| {

@@ -1,0 +1,9 @@
+//! A fuzzed decoder: `fuzzed-decoder-no-panic` ignores in-source allows
+//! here — a reasoned suppression is still a reachable panic to the fuzzer.
+
+/// The same suppressed unwrap as `parse_flag`, but the allow is not
+/// honoured in this file.
+pub fn decode(bytes: &[u8]) -> u64 {
+    // lint: allow(no-panic) reason="fixture: not honoured in fuzzed decoders"
+    u64::from_le_bytes(bytes[..8].try_into().unwrap())
+}

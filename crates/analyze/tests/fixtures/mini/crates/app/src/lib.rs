@@ -1,0 +1,22 @@
+//! Fixture app crate: every function here sits in a lint scope and calls
+//! into `fx-util`, so the violations only surface interprocedurally.
+
+pub mod decode;
+pub mod report;
+
+/// Indirect panic chain: newest -> checked_tail -> last_or_panic.
+pub fn newest(xs: &[u64]) -> u64 {
+    fx_util::checked_tail(xs)
+}
+
+/// Regression pin for the poisoned-lock chain.
+pub fn registry_size() -> usize {
+    fx_util::registry_len()
+}
+
+/// A suppressed direct site: honoured here, because this file is not a
+/// fuzzed decoder.
+pub fn parse_flag(s: &str) -> bool {
+    // lint: allow(no-panic) reason="fixture: demonstrates an honoured suppression"
+    s.parse().unwrap()
+}

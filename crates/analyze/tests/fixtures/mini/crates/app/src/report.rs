@@ -1,0 +1,11 @@
+//! The fixture's byte-stable serialization path (no-unordered-iteration
+//! scope): the hash-order taint arrives two hops away.
+
+/// Two-hop taint chain: render -> summarize -> tally (HashMap iteration).
+pub fn render(values: &[u64]) -> String {
+    let mut out = String::new();
+    for (v, n) in fx_util::summarize(values) {
+        out.push_str(&format!("{v}={n}\n"));
+    }
+    out
+}

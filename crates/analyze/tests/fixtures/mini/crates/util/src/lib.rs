@@ -1,0 +1,67 @@
+//! Fixture helper crate — deliberately violating. Nothing here is in a
+//! lint scope; every violation must be found *through* the call graph
+//! from `fx-app`.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+pub static REGISTRY: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+/// Bottom of the indirect panic chain.
+pub fn last_or_panic(xs: &[u64]) -> u64 {
+    *xs.last().unwrap()
+}
+
+/// Middle hop: clean on its own, may-panic transitively.
+pub fn checked_tail(xs: &[u64]) -> u64 {
+    last_or_panic(xs)
+}
+
+/// Mirrors the poisoned-lock regression found in the real workspace: the
+/// panic hides behind `lock().expect(..)` one crate away from the
+/// no-panic scope that calls it.
+pub fn registry_len() -> usize {
+    REGISTRY.lock().expect("registry poisoned").len()
+}
+
+/// Hash-order taint source: iterates a `HashMap`.
+pub fn tally(values: &[u64]) -> Vec<(u64, usize)> {
+    let mut counts: HashMap<u64, usize> = HashMap::new();
+    for &v in values {
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+/// Middle hop for the two-hop taint chain.
+pub fn summarize(values: &[u64]) -> Vec<(u64, usize)> {
+    tally(values)
+}
+
+/// Two mutexes acquired in both orders across two methods: the lock
+/// identity is the shared field (`Store::registry`, `Store::journal`), so
+/// the nested acquisitions form a two-lock cycle.
+pub struct Store {
+    registry: Mutex<Vec<u64>>,
+    journal: Mutex<Vec<u64>>,
+}
+
+impl Store {
+    /// Acquires registry, then journal while still holding it.
+    pub fn sync_forward(&self) {
+        if let Ok(mut r) = self.registry.lock() {
+            if let Ok(j) = self.journal.lock() {
+                r.extend(j.iter().copied());
+            }
+        }
+    }
+
+    /// The same two locks in the opposite order.
+    pub fn sync_backward(&self) {
+        if let Ok(mut j) = self.journal.lock() {
+            if let Ok(r) = self.registry.lock() {
+                j.extend(r.iter().copied());
+            }
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Property tests for the interprocedural fact engine: propagation must
+//! match a reference reachability closure, be independent of declaration
+//! order, render byte-identical reports across runs, and honour reasoned
+//! suppressions everywhere except fuzzed-decoder files.
+
+use mp_analyze::callgraph::CallGraph;
+use mp_analyze::config::Config;
+use mp_analyze::facts::FactDb;
+use mp_analyze::source::SourceFile;
+use mp_analyze::workspace::{Manifest, Workspace};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// One generated function: an optional (possibly suppressed) panic site
+/// plus direct calls to other generated functions.
+#[derive(Debug, Clone)]
+struct FnSpec {
+    panics: bool,
+    suppressed: bool,
+    calls: Vec<usize>,
+}
+
+fn fn_specs() -> impl Strategy<Value = Vec<FnSpec>> {
+    prop::collection::vec(
+        (
+            any::<bool>(),
+            any::<bool>(),
+            prop::collection::vec(0usize..16, 0..4),
+        ),
+        2..8,
+    )
+    .prop_map(|raw| {
+        let n = raw.len();
+        raw.into_iter()
+            .map(|(panics, suppressed, calls)| FnSpec {
+                panics,
+                suppressed,
+                calls: calls.into_iter().map(|c| c % n).collect(),
+            })
+            .collect()
+    })
+}
+
+/// Renders the generated functions as one crate file, declared in the
+/// given order (the *names* stay `f0..fN`, so facts can be compared
+/// across declaration orders).
+fn render(specs: &[FnSpec], order: &[usize]) -> String {
+    let mut out = String::from("//! generated property fixture\n");
+    for &i in order {
+        let s = &specs[i];
+        out.push_str(&format!("pub fn f{i}() {{\n"));
+        if s.panics {
+            out.push_str("    let v: Option<u8> = None;\n");
+            if s.suppressed {
+                out.push_str("    // lint: allow(no-panic) reason=\"generated fixture\"\n");
+            }
+            out.push_str("    let _ = v.unwrap();\n");
+        }
+        for &c in &s.calls {
+            out.push_str(&format!("    f{c}();\n"));
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+fn workspace(src: &str) -> Workspace {
+    Workspace {
+        root: PathBuf::from("/nonexistent"),
+        files: vec![SourceFile::parse("crates/alpha/src/lib.rs", src.to_owned())],
+        manifests: vec![Manifest::parse(
+            "crates/alpha/Cargo.toml",
+            "[package]\nname = \"mp-alpha\"\n",
+        )],
+    }
+}
+
+/// A config scoping `no-panic` over the generated file. The
+/// fuzzed-decoder scope must be pinned explicitly: a rule section left
+/// out of the config applies *everywhere*, which would turn the whole
+/// generated workspace into a fuzzed surface and void every suppression.
+fn scoped_config(fuzzed_path: &str) -> Config {
+    let toml = format!(
+        "[rules.no-panic]\npaths = [\"crates/alpha/src\"]\n\
+         [rules.fuzzed-decoder-no-panic]\npaths = [\"{fuzzed_path}\"]\n"
+    );
+    Config::parse(&toml).expect("generated config parses")
+}
+
+/// Reference semantics: `fi` may panic iff an *unsuppressed* panic site is
+/// reachable from it over the call edges (a reasoned allow does not
+/// propagate).
+fn reference_may_panic(specs: &[FnSpec]) -> Vec<bool> {
+    let n = specs.len();
+    let mut may: Vec<bool> = specs.iter().map(|s| s.panics && !s.suppressed).collect();
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            if !may[i] && specs[i].calls.iter().any(|&c| may[c]) {
+                may[i] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            return may;
+        }
+    }
+}
+
+/// `f{i}` -> computed may-panic, keyed by name so declaration order drops
+/// out of the comparison.
+fn computed_may_panic(src: &str, config: &Config) -> BTreeMap<String, bool> {
+    let ws = workspace(src);
+    let graph = CallGraph::build(&ws);
+    let db = FactDb::build(&ws, &graph, config);
+    graph
+        .fns
+        .iter()
+        .enumerate()
+        .map(|(f, node)| (node.item.name.clone(), db.panic_dist[f].is_some()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn propagation_matches_reference_closure_in_any_declaration_order(
+        specs in fn_specs(),
+        seed_order in prop::collection::vec(any::<u64>(), 8),
+    ) {
+        let config = scoped_config("crates/alpha/src/none.rs");
+        let reference = reference_may_panic(&specs);
+
+        // Declaration order A: as generated.
+        let forward: Vec<usize> = (0..specs.len()).collect();
+        // Declaration order B: a permutation drawn from the seed stream.
+        let mut shuffled = forward.clone();
+        for (k, s) in seed_order.iter().enumerate() {
+            let n = shuffled.len();
+            shuffled.swap(k % n, (*s as usize) % n);
+        }
+
+        for order in [&forward, &shuffled] {
+            let src = render(&specs, order);
+            let computed = computed_may_panic(&src, &config);
+            for (i, &expect) in reference.iter().enumerate() {
+                prop_assert_eq!(
+                    computed.get(&format!("f{i}")).copied(),
+                    Some(expect),
+                    "f{} under order {:?}\nsource:\n{}", i, order, src
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn report_renders_byte_identical_across_runs(specs in fn_specs()) {
+        let config = scoped_config("crates/alpha/src/none.rs");
+        let order: Vec<usize> = (0..specs.len()).collect();
+        let src = render(&specs, &order);
+        let first = mp_analyze::rules::run(&workspace(&src), &config).render_json();
+        let second = mp_analyze::rules::run(&workspace(&src), &config).render_json();
+        prop_assert_eq!(first, second);
+    }
+
+    #[test]
+    fn suppressions_honoured_except_in_fuzzed_decoders(specs in fn_specs()) {
+        let order: Vec<usize> = (0..specs.len()).collect();
+        let src = render(&specs, &order);
+
+        // Under plain no-panic scope, exactly the unsuppressed local
+        // sites are flagged lexically.
+        let plain = mp_analyze::rules::run(&workspace(&src), &scoped_config("crates/alpha/src/none.rs"));
+        let lexical = plain.diagnostics.iter().filter(|d| d.rule == "no-panic").count();
+        let unsuppressed = specs.iter().filter(|s| s.panics && !s.suppressed).count();
+        prop_assert_eq!(lexical, unsuppressed);
+
+        // A fuzzed-decoder scope ignores the allows: every panic site is
+        // flagged, suppressed or not.
+        let fuzzed_config = scoped_config("crates/alpha/src/lib.rs");
+        let fuzzed = mp_analyze::rules::run(&workspace(&src), &fuzzed_config);
+        let on_surface = fuzzed
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == "fuzzed-decoder-no-panic")
+            .count();
+        let all_sites = specs.iter().filter(|s| s.panics).count();
+        prop_assert_eq!(on_surface, all_sites);
+    }
+}

@@ -59,5 +59,22 @@ fn json_report_is_byte_stable_across_runs() {
         first, second,
         "two runs over the same tree must render identical bytes"
     );
-    assert!(first.contains("\"schema_version\": 1"));
+    assert!(first.contains("\"schema_version\": 2"));
+}
+
+#[test]
+fn committed_baseline_has_no_regressions() {
+    // The shipped analyze-baseline.toml must pass the ratchet at HEAD —
+    // otherwise CI's blocking `--ratchet` run and this test disagree.
+    let root = workspace_root();
+    let report = mp_analyze::analyze_with_default_config(root).expect("analysis");
+    let text = std::fs::read_to_string(root.join("analyze-baseline.toml"))
+        .expect("analyze-baseline.toml is committed");
+    let baseline = mp_analyze::ratchet::Baseline::parse(&text).expect("baseline parses");
+    let outcome = mp_analyze::ratchet::compare(&baseline, &report.facts);
+    assert!(
+        outcome.passed(),
+        "debt counters rose above the committed baseline:\n{}",
+        outcome.regressions.join("\n")
+    );
 }

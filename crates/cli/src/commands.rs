@@ -609,9 +609,13 @@ USAGE:
       assert the simulator's invariants over the full space; non-zero
       exit with a replayable schedule on any violation.
   mpriv analyze [--root DIR] [--config analyze.toml] [--format human|json] [--list-rules]
+                [--ratchet] [--baseline PATH] [--write-baseline]
       Run the workspace invariant linter (determinism, panic-safety,
       crate layering, I/O hygiene); non-zero exit on violations. The
-      JSON report is byte-stable across runs.
+      JSON report is byte-stable across runs, call chains included.
+      --ratchet additionally compares per-crate debt counters against
+      analyze-baseline.toml and fails if any counter rose; after burning
+      debt down, --write-baseline locks the lower counts in.
 
 CSV parsing: first row is the header; `?`, `NA` and empty fields are missing.
 "

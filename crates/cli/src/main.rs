@@ -251,13 +251,26 @@ fn run_analyze(argv: &[String]) -> Result<(String, bool), String> {
         }
         None => mp_analyze::analyze_with_default_config(&root)?,
     };
+    let mut clean = report.is_clean();
+    let write_baseline = parsed.options.contains_key("write-baseline");
+    if parsed.options.contains_key("ratchet") || write_baseline {
+        let baseline = match parsed.options.get("baseline") {
+            Some(p) => std::path::PathBuf::from(p),
+            None => root.join("analyze-baseline.toml"),
+        };
+        let (outcome, summary) =
+            mp_analyze::ratchet::apply(&report.facts, &baseline, write_baseline)?;
+        // Ratchet chatter goes to stderr so stdout stays byte-stable.
+        eprintln!("{}", summary.trim_end());
+        clean &= outcome.passed();
+    }
     let format = parsed.get_or("format", "human".to_owned())?;
     let rendered = match format.as_str() {
         "json" => report.render_json(),
         "human" => report.render_human(),
         other => return Err(format!("unknown format `{other}` (expected human|json)")),
     };
-    Ok((rendered, report.is_clean()))
+    Ok((rendered, clean))
 }
 
 fn write_metrics(registry: &Registry, path: &str) -> Result<(), String> {

@@ -49,11 +49,14 @@ pub fn discover_cfds(relation: &Relation, config: &CfdConfig) -> Result<Vec<Cond
                 if cluster.len() < config.min_support {
                     continue;
                 }
-                let y = rhs_col.value_ref(cluster[0]);
-                if cluster[1..].iter().all(|&r| rhs_col.value_ref(r) == y) {
+                let Some((&row0, rest)) = cluster.split_first() else {
+                    continue;
+                };
+                let y = rhs_col.value_ref(row0);
+                if rest.iter().all(|&r| rhs_col.value_ref(r) == y) {
                     out.push(ConditionalFd::constant(
                         lhs,
-                        lhs_col.value(cluster[0]),
+                        lhs_col.value(row0),
                         rhs,
                         y.to_value(),
                     ));

@@ -309,11 +309,9 @@ impl<'r> DiscoveryContext<'r> {
             // No memoization: build the chain linearly, like
             // `mp_metadata::pli_of_set`, instead of recursing (which
             // would rebuild each parent prefix from scratch).
-            let mut iter = set.iter();
-            let first = iter.next().expect("checked non-empty");
             let mut pli = Pli::from_typed(self.relation.column(first)?);
             self.note_build();
-            for attr in iter {
+            for attr in set.iter().skip(1) {
                 pli = pli.intersect(&Pli::from_typed(self.relation.column(attr)?));
                 self.note_build();
             }
@@ -323,10 +321,7 @@ impl<'r> DiscoveryContext<'r> {
         if let Some(pli) = self.cache.get(key) {
             return Ok(pli);
         }
-        let last = set
-            .iter()
-            .last()
-            .expect("non-empty set has a last attribute");
+        let last = set.iter().last().unwrap_or(first);
         let parent = set.without(last);
         let a = self.pli_of(&parent)?;
         let b = self.pli_of_single(last)?;

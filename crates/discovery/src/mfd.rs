@@ -116,11 +116,14 @@ pub fn discover_variable_cfds(
                     if cluster.len() < config.min_support {
                         continue;
                     }
+                    let Some(&row0) = cluster.first() else {
+                        continue;
+                    };
                     let subset = relation.select_rows(cluster)?;
                     if Fd::new(fd_lhs, rhs).holds(&subset)? {
                         out.push(ConditionalFd::variable(
                             cond,
-                            cond_col.value(cluster[0]),
+                            cond_col.value(row0),
                             fd_lhs,
                             rhs,
                         ));

@@ -111,6 +111,7 @@ pub fn discover_fds_with(ctx: &DiscoveryContext<'_>, config: &TaneConfig) -> Res
     // Full signatures of single attributes, for g3 checks.
     let mut rhs_sigs: Vec<Vec<usize>> = Vec::with_capacity(m);
     // Level 1 nodes.
+    // lint: allow(no-unordered-iteration) reason="level keys are collected and sorted before every traversal below"
     let mut level: HashMap<AttrSet, Node> = HashMap::new();
     for a in 0..m {
         let pli = ctx.pli_of_single(a)?;

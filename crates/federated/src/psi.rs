@@ -82,6 +82,7 @@ pub fn intersect_all(submissions: &[&[IdDigest]]) -> Vec<Vec<usize>> {
     if submissions.is_empty() {
         return Vec::new();
     }
+    // lint: allow(no-unordered-iteration) reason="the intersection drawn from these maps is sorted into canonical digest order before use"
     let mut maps: Vec<HashMap<IdDigest, usize>> = Vec::with_capacity(submissions.len());
     for digests in submissions {
         let mut m = HashMap::new();

@@ -51,7 +51,7 @@ use crate::transport::{Envelope, MsgId, PartyId, TraceEvent, Transport};
 use mp_metadata::{MetadataPackage, SharePolicy};
 use mp_observe::Recorder;
 use mp_relation::{Relation, RelationError};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::net::TcpListener;
 #[cfg(unix)]
 use std::os::unix::net::UnixListener;
@@ -357,7 +357,7 @@ impl SessionState {
 
 struct ServerShared {
     cfg: ServeConfig,
-    sessions: Mutex<HashMap<u64, Arc<Mutex<SessionState>>>>,
+    sessions: Mutex<BTreeMap<u64, Arc<Mutex<SessionState>>>>,
     shutdown: AtomicBool,
     ticks: AtomicU64,
     max_queue_depth: AtomicU64,
@@ -474,7 +474,7 @@ impl Server {
         };
         let shared = Arc::new(ServerShared {
             cfg,
-            sessions: Mutex::new(HashMap::new()),
+            sessions: Mutex::new(BTreeMap::new()),
             shutdown: AtomicBool::new(false),
             ticks: AtomicU64::new(0),
             max_queue_depth: AtomicU64::new(0),
@@ -852,6 +852,7 @@ fn connection_loop(framed: &mut FramedStream, shared: &ServerShared) -> Option<A
         s.live = s.live.saturating_sub(1);
         if s.live == 0 {
             drop(s);
+            // lint: allow(lock-order) reason="the session guard is dropped on the line above, so the registry lock is never nested inside it"
             lock(&shared.sessions).remove(&session_id);
         }
     }

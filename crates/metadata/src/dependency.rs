@@ -153,7 +153,9 @@ impl OrderDep {
             .collect();
         pairs.sort_by(|a, b| a.0.cmp(b.0));
         Ok(pairs.windows(2).all(|w| {
-            let ((x0, y0), (x1, y1)) = (w[0], w[1]);
+            let &[(x0, y0), (x1, y1)] = w else {
+                return true;
+            };
             if x0 == x1 {
                 y0 == y1
             } else {
@@ -290,7 +292,9 @@ impl OrderedFd {
             .collect();
         pairs.sort_by(|a, b| a.0.cmp(b.0));
         Ok(pairs.windows(2).all(|w| {
-            let ((x0, y0), (x1, y1)) = (w[0], w[1]);
+            let &[(x0, y0), (x1, y1)] = w else {
+                return true;
+            };
             if x0 == x1 {
                 y0 == y1
             } else {

@@ -175,6 +175,7 @@ impl DependencyGraph {
             });
             let next = next_ready
                 .or_else(|| (0..self.n_attrs).find(|&a| !emitted.contains(a)))
+                // lint: allow(no-panic) reason="the loop guard guarantees an unemitted attribute exists for the fallback find"
                 .expect("attributes remain");
             emitted = emitted.with(next);
             order.push(next);

@@ -3,7 +3,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::metrics::{Counter, Gauge, Histogram, Span, SpanCore};
 use crate::snapshot::{Snapshot, SpanSnapshot};
@@ -132,7 +132,7 @@ impl Registry {
 
     /// Captures the current state of every registered metric.
     pub fn snapshot(&self) -> Snapshot {
-        let metrics = self.metrics.lock().expect("observe registry poisoned");
+        let metrics = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
         let mut snap = Snapshot::new(self.clock.now());
         for (name, metric) in metrics.iter() {
             match metric {
@@ -162,40 +162,43 @@ impl Registry {
 
 impl Recorder for Registry {
     fn counter(&self, name: &str) -> Counter {
-        let mut metrics = self.metrics.lock().expect("observe registry poisoned");
+        let mut metrics = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
         match metrics
             .entry(name.to_string())
             .or_insert_with(|| Metric::Counter(Counter::live()))
         {
             Metric::Counter(c) => c.clone(),
+            // lint: allow(no-panic) reason="name/type conflicts are programming errors; the panic is pinned by a should_panic test below"
             _ => panic!("metric `{name}` already registered with a different type"),
         }
     }
 
     fn gauge(&self, name: &str) -> Gauge {
-        let mut metrics = self.metrics.lock().expect("observe registry poisoned");
+        let mut metrics = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
         match metrics
             .entry(name.to_string())
             .or_insert_with(|| Metric::Gauge(Gauge::live()))
         {
             Metric::Gauge(g) => g.clone(),
+            // lint: allow(no-panic) reason="name/type conflicts are programming errors; the panic is pinned by a should_panic test below"
             _ => panic!("metric `{name}` already registered with a different type"),
         }
     }
 
     fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
-        let mut metrics = self.metrics.lock().expect("observe registry poisoned");
+        let mut metrics = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
         match metrics
             .entry(name.to_string())
             .or_insert_with(|| Metric::Histogram(Histogram::live(bounds)))
         {
             Metric::Histogram(h) => h.clone(),
+            // lint: allow(no-panic) reason="name/type conflicts are programming errors; the panic is pinned by a should_panic test below"
             _ => panic!("metric `{name}` already registered with a different type"),
         }
     }
 
     fn span(&self, name: &str) -> Span {
-        let mut metrics = self.metrics.lock().expect("observe registry poisoned");
+        let mut metrics = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
         match metrics.entry(name.to_string()).or_insert_with(|| {
             Metric::Span(Span(Some((
                 Arc::new(SpanCore {
@@ -206,6 +209,7 @@ impl Recorder for Registry {
             ))))
         }) {
             Metric::Span(s) => s.clone(),
+            // lint: allow(no-panic) reason="name/type conflicts are programming errors; the panic is pinned by a should_panic test below"
             _ => panic!("metric `{name}` already registered with a different type"),
         }
     }

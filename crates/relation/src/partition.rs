@@ -24,6 +24,7 @@ pub struct Pli {
 impl Pli {
     /// Builds the stripped partition of a single column.
     pub fn from_column(column: &[Value]) -> Self {
+        // lint: allow(no-unordered-iteration) reason="clusters are sorted by first row index before they leave this function"
         let mut groups: HashMap<&Value, Vec<usize>> = HashMap::new();
         for (i, v) in column.iter().enumerate() {
             groups.entry(v).or_default().push(i);
@@ -239,6 +240,7 @@ impl Pli {
     /// Partition product against a precomputed signature of the other side.
     pub fn intersect_with_signature(&self, other_sig: &[Option<usize>]) -> Pli {
         let mut out: Vec<Vec<usize>> = Vec::new();
+        // lint: allow(no-unordered-iteration) reason="drained groups are sorted by first row index before they leave this function"
         let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
         for cluster in &self.clusters {
             groups.clear();
@@ -290,6 +292,7 @@ impl Pli {
     /// X-singletons never violate.
     pub fn g3_violations(&self, rhs_full_sig: &[usize]) -> usize {
         let mut total = 0;
+        // lint: allow(no-unordered-iteration) reason="only the order-independent maximum of the counts is read"
         let mut counts: HashMap<usize, usize> = HashMap::new();
         for cluster in &self.clusters {
             counts.clear();

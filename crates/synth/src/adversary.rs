@@ -131,6 +131,7 @@ impl Adversary {
             .collect();
         let columns: Vec<Column> = columns
             .into_iter()
+            // lint: allow(no-panic) reason="the generation plan covers every attribute exactly once; a hole is a planner bug"
             .map(|c| c.expect("plan covers all attributes"))
             .collect();
         Relation::from_typed_columns(Schema::new(attrs)?, columns)
@@ -154,6 +155,7 @@ impl Adversary {
             .map(|a| {
                 columns[a]
                     .as_ref()
+                    // lint: allow(no-panic) reason="the plan topologically orders dependents after their determinants; absence is a planner bug"
                     .expect("determinant generated before dependent")
                     .to_values()
             })
@@ -164,11 +166,15 @@ impl Adversary {
             Dependency::Afd(afd) => {
                 generate_afd_column(&lhs_cols, rhs_domain, afd.g3_threshold, n, rng)
             }
+            // lint: allow(no-literal-index) reason="Od/Nd/Dd/Ofd dependencies have a single-attribute determinant by construction"
             Dependency::Od(od) => generate_od_column(lhs_cols[0], rhs_domain, od.direction, n, rng),
+            // lint: allow(no-literal-index) reason="Od/Nd/Dd/Ofd dependencies have a single-attribute determinant by construction"
             Dependency::Nd(nd) => generate_nd_column(lhs_cols[0], rhs_domain, nd.k, n, rng),
             Dependency::Dd(dd) => {
+                // lint: allow(no-literal-index) reason="Od/Nd/Dd/Ofd dependencies have a single-attribute determinant by construction"
                 generate_dd_column(lhs_cols[0], rhs_domain, dd.eps_lhs, dd.delta_rhs, n, rng)
             }
+            // lint: allow(no-literal-index) reason="Od/Nd/Dd/Ofd dependencies have a single-attribute determinant by construction"
             Dependency::Ofd(_) => generate_ofd_column(lhs_cols[0], rhs_domain, n, rng),
             Dependency::Cfd(cfd) => {
                 // CFD pattern cells are positional; rebuild the columns in
@@ -179,6 +185,7 @@ impl Adversary {
                     .map(|(a, _)| {
                         columns[*a]
                             .as_ref()
+                            // lint: allow(no-panic) reason="the plan topologically orders dependents after their determinants; absence is a planner bug"
                             .expect("determinant generated before dependent")
                             .to_values()
                     })

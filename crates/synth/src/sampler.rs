@@ -70,6 +70,7 @@ pub fn sample_typed_column<R: Rng + ?Sized>(domain: &Domain, n: usize, rng: &mut
         {
             let dict: Vec<String> = vals
                 .iter()
+                // lint: allow(no-panic) reason="the arm guard checks every value is Value::Text before this runs"
                 .map(|v| v.as_str().expect("all-text checked above").to_string())
                 .collect();
             let codes: Vec<u32> = (0..n)
